@@ -1,0 +1,44 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench examples fuzz explore soak doc clean outputs
+
+all: build test
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/persistent_kv.exe
+	dune exec examples/bank_ledger.exe
+	dune exec examples/durable_queue.exe
+	dune exec examples/task_scheduler.exe
+	dune exec examples/disk_persistence.exe -- write /tmp/onll-demo.img
+	dune exec examples/disk_persistence.exe -- recover /tmp/onll-demo.img
+
+fuzz:
+	dune exec bin/onll_cli.exe -- fuzz -s counter --seeds 200
+	dune exec bin/onll_cli.exe -- fuzz -s ledger --seeds 200
+
+explore:
+	dune exec bench/main.exe e9
+
+soak:
+	dune exec test/soak/soak.exe
+
+doc:
+	dune build @doc 2>/dev/null || true
+
+# The repository's final evidence files.
+outputs:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+clean:
+	dune clean
