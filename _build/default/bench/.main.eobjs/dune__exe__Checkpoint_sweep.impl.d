@@ -1,0 +1,1 @@
+bench/checkpoint_sweep.ml: Harness List Onll_core Onll_machine Onll_nvm Onll_specs Onll_util Printf Sim

@@ -1,0 +1,1 @@
+bench/explore_bench.ml: Array List Onll_core Onll_explore Onll_machine Onll_sched Onll_specs Onll_util Printf Sim

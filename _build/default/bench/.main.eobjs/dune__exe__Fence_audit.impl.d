@@ -1,0 +1,1 @@
+bench/fence_audit.ml: Array Float Gen List Onll_baselines Onll_core Onll_machine Onll_nvm Onll_sched Onll_specs Onll_util Sim Splitmix Table Test_support

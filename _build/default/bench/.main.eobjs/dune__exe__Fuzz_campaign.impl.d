@@ -1,0 +1,1 @@
+bench/fuzz_campaign.ml: Fuzz Gen List Onll_core Onll_nvm Onll_specs Onll_util Test_support

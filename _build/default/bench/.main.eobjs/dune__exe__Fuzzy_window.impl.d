@@ -1,0 +1,1 @@
+bench/fuzzy_window.ml: Array List Onll_core Onll_machine Onll_sched Onll_specs Onll_util Sim

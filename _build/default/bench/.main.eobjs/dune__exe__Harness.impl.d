@@ -1,0 +1,1 @@
+bench/harness.ml: Array Float Onll_machine Onll_nvm Onll_sched Sim Unix

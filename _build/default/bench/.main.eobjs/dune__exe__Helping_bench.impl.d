@@ -1,0 +1,1 @@
+bench/helping_bench.ml: Array List Onll_core Onll_machine Onll_sched Onll_specs Onll_util Sim Table

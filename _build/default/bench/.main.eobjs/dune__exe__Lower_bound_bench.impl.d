@@ -1,0 +1,1 @@
+bench/lower_bound_bench.ml: Array List Onll_baselines Onll_core Onll_lowerbound Onll_machine Onll_specs Onll_util Printf Sim

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Char Hashtbl Instance List Measure Onll_core Onll_machine Onll_plog Onll_util Printf Staged String Test Time Toolkit

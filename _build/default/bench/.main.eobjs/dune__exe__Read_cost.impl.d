@@ -1,0 +1,1 @@
+bench/read_cost.ml: List Native Onll_core Onll_machine Onll_specs Onll_util Unix

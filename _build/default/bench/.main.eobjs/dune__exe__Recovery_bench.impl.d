@@ -1,0 +1,1 @@
+bench/recovery_bench.ml: Harness List Onll_core Onll_machine Onll_nvm Onll_specs Onll_util Sim

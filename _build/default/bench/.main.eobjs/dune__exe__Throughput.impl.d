@@ -1,0 +1,1 @@
+bench/throughput.ml: Domain Harness List Native Onll_baselines Onll_core Onll_machine Onll_specs Onll_util Printf Test_support Unix

@@ -1,0 +1,64 @@
+(** E11 — checkpoint-interval tuning curve (§8 reclamation ablation).
+
+    E6 compares "no checkpoints" against one interval; this sweep holds the
+    history fixed and varies the interval, exposing the §8 trade-off
+    directly: frequent checkpoints bound recovery work and log space but
+    each costs two extra persistent fences, so total fences rise as the
+    interval shrinks. The sweet spot depends on how much post-crash
+    downtime an application tolerates. *)
+
+open Onll_machine
+module Cs = Onll_specs.Counter
+
+let run_one ~history ~interval =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create ~log_capacity:(1 lsl 22) () in
+  for k = 1 to history do
+    ignore (C.update obj Cs.Increment);
+    if interval > 0 && k mod interval = 0 then begin
+      ignore (C.checkpoint obj);
+      C.prune obj ~below:(C.latest_available_idx obj)
+    end
+  done;
+  let fences = M.persistent_fences () in
+  Onll_nvm.Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
+  let live =
+    List.fold_left (fun a (_, l, _) -> a + l) 0 (C.log_stats obj)
+  in
+  let (), dt = Harness.time_it (fun () -> C.recover obj) in
+  assert (C.read obj Cs.Get = history);
+  (fences, live, dt *. 1e6)
+
+let run () =
+  let history = 2_000 in
+  let rows =
+    List.map
+      (fun interval ->
+        let fences, live, rec_us = run_one ~history ~interval in
+        [
+          (if interval = 0 then "none" else string_of_int interval);
+          string_of_int fences;
+          Onll_util.Table.fmt_float
+            (float_of_int fences /. float_of_int history);
+          string_of_int live;
+          Onll_util.Table.fmt_float rec_us;
+        ])
+      [ 0; 1000; 500; 200; 100; 50; 20 ]
+  in
+  Onll_util.Table.print
+    ~title:
+      (Printf.sprintf
+         "E11 — checkpoint interval sweep (counter, %d updates, crash, \
+          recover; recovered value asserted)"
+         history)
+    ~header:
+      [
+        "interval";
+        "total pfences";
+        "pfences/update";
+        "live log bytes";
+        "recovery µs";
+      ]
+    rows

@@ -1,0 +1,41 @@
+(** Shared helpers for the experiment harness. *)
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let ops_per_sec total elapsed =
+  if elapsed <= 0. then Float.infinity else float_of_int total /. elapsed
+
+(** Best observed rate over [n] repetitions — throughput measurements on a
+    shared machine are noisy downwards (interference), so the max is the
+    most stable estimator. *)
+let best_of n f =
+  let best = ref neg_infinity in
+  for _ = 1 to n do
+    let v = f () in
+    if v > !best then best := v
+  done;
+  !best
+
+(** A sim-driven workload: [procs] processes, each performing
+    [updates_per_proc] updates (and optionally reads) against closures that
+    hide the concrete object. Returns persistent fences consumed. *)
+let run_sim_workload sim ~procs ~per_proc ~seed ~(update : int -> unit)
+    ~(read : int -> unit) ~read_every =
+  let open Onll_machine in
+  Sim.reset_stats sim;
+  let body p _ =
+    for k = 1 to per_proc do
+      update p;
+      if read_every > 0 && k mod read_every = 0 then read p
+    done
+  in
+  let outcome =
+    Sim.run sim
+      (Onll_sched.Sched.Strategy.random ~seed)
+      (Array.init procs (fun p -> body p))
+  in
+  assert (outcome = Onll_sched.Sched.World.Completed);
+  (Sim.stats sim).Onll_nvm.Memory.Stats.persistent_fences

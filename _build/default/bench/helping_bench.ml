@@ -1,0 +1,97 @@
+(** E10 — the cost of helping (ablation on MAX-PROCESSES).
+
+    ONLL's persist step appends the whole fuzzy window, so one operation's
+    log entry can carry up to MAX-PROCESSES envelopes (Prop 5.2). This
+    ablation measures how much helping actually inflates the durable
+    footprint as concurrency grows: average envelopes per log entry, bytes
+    per update, and the redundancy factor (envelopes written / operations
+    executed) under a contended random schedule. Expected shape: all three
+    grow with the process count but stay well under the MAX-PROCESSES
+    worst case, because helping only triggers when an updater is parked
+    inside its persist step. *)
+
+open Onll_machine
+module Cs = Onll_specs.Counter
+
+type sample = {
+  avg_ops_per_entry : float;
+  bytes_per_update : float;
+  redundancy : float;  (* envelopes persisted / updates executed *)
+  max_window : int;
+}
+
+let measure ~n ~seeds ~ops =
+  let total_entries = ref 0 in
+  let total_envs = ref 0 in
+  let total_bytes = ref 0 in
+  let total_updates = ref 0 in
+  let worst = ref 0 in
+  for seed = 1 to seeds do
+    let sim = Sim.create ~max_processes:n () in
+    let module M = (val Sim.machine sim) in
+    let module C = Onll_core.Onll.Make (M) (Cs) in
+    let obj = C.create ~log_capacity:(1 lsl 20) () in
+    let procs =
+      Array.init n (fun _ ->
+          fun _ ->
+            for _ = 1 to ops do
+              ignore (C.update obj Cs.Increment)
+            done)
+    in
+    let outcome =
+      Sim.run sim (Onll_sched.Sched.Strategy.random ~seed) procs
+    in
+    assert (outcome = Onll_sched.Sched.World.Completed);
+    total_updates := !total_updates + (n * ops);
+    worst := max !worst (C.max_fuzzy_window obj);
+    for p = 0 to n - 1 do
+      List.iter
+        (fun k ->
+          incr total_entries;
+          total_envs := !total_envs + k)
+        (C.log_ops_per_entry obj ~proc:p)
+    done;
+    total_bytes :=
+      !total_bytes
+      + List.fold_left (fun a (_, _, used) -> a + used) 0 (C.log_stats obj)
+  done;
+  {
+    avg_ops_per_entry = float_of_int !total_envs /. float_of_int !total_entries;
+    bytes_per_update = float_of_int !total_bytes /. float_of_int !total_updates;
+    redundancy = float_of_int !total_envs /. float_of_int !total_updates;
+    max_window = !worst;
+  }
+
+let run () =
+  let open Onll_util in
+  let rows =
+    List.map
+      (fun n ->
+        let s = measure ~n ~seeds:20 ~ops:10 in
+        [
+          string_of_int n;
+          Table.fmt_float s.avg_ops_per_entry;
+          Table.fmt_float s.redundancy;
+          Table.fmt_float s.bytes_per_update;
+          string_of_int s.max_window;
+          string_of_int n;
+        ])
+      [ 1; 2; 3; 4; 6; 8 ]
+  in
+  Table.print
+    ~title:
+      "E10 — helping overhead vs process count (counter, contended random \
+       schedules)"
+    ~header:
+      [
+        "processes";
+        "envs/entry";
+        "redundancy";
+        "bytes/update";
+        "max window";
+        "bound";
+      ]
+    rows;
+  print_endline
+    "(redundancy = envelopes persisted / updates executed: 1.0 means no \
+     helping occurred; the worst case is MAX-PROCESSES)"

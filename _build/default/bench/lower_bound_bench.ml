@@ -1,0 +1,148 @@
+(** E2 — the lower bound (Theorem 6.3), measured.
+
+    For each implementation and each process count, run the two adversary
+    schedules and report what every process had to pay. The paper's claim:
+    any {e lock-free} durably linearizable implementation shows at least one
+    persistent fence per process (ONLL and persist-on-read hit exactly one;
+    shadow paging pays two); a non-durable object shows zero (it simply is
+    not durable); blocking implementations starve instead of fencing. *)
+
+open Onll_machine
+module Lb = Onll_lowerbound.Lowerbound
+module Cs = Onll_specs.Counter
+
+let setups :
+    (string * (int -> Sim.t * (int -> unit) array)) list =
+  let onll n =
+    let sim = Sim.create ~max_processes:n () in
+    let module M = (val Sim.machine sim) in
+    let module C = Onll_core.Onll.Make (M) (Cs) in
+    let obj = C.create () in
+    (sim, Array.init n (fun _ -> fun _ -> ignore (C.update obj Cs.Increment)))
+  in
+  let onll_wf n =
+    let sim = Sim.create ~max_processes:n () in
+    let module M = (val Sim.machine sim) in
+    let module C = Onll_core.Onll.Make_wait_free (M) (Cs) in
+    let obj = C.create () in
+    (sim, Array.init n (fun _ -> fun _ -> ignore (C.update obj Cs.Increment)))
+  in
+  let por n =
+    let sim = Sim.create ~max_processes:n () in
+    let module M = (val Sim.machine sim) in
+    let module P = Onll_baselines.Persist_on_read.Make (M) (Cs) in
+    let obj = P.create () in
+    (sim, Array.init n (fun _ -> fun _ -> ignore (P.update obj Cs.Increment)))
+  in
+  let shadow n =
+    let sim = Sim.create ~max_processes:n () in
+    let module M = (val Sim.machine sim) in
+    let module H = Onll_baselines.Shadow.Make (M) (Cs) in
+    let obj = H.create () in
+    (sim, Array.init n (fun _ -> fun _ -> ignore (H.update obj Cs.Increment)))
+  in
+  let fc n =
+    let sim = Sim.create ~max_processes:n () in
+    let module M = (val Sim.machine sim) in
+    let module F = Onll_baselines.Flat_combining.Make (M) (Cs) in
+    let obj = F.create () in
+    (sim, Array.init n (fun _ -> fun _ -> ignore (F.update obj Cs.Increment)))
+  in
+  let volatile n =
+    let sim = Sim.create ~max_processes:n () in
+    let module M = (val Sim.machine sim) in
+    let module V = Onll_baselines.Volatile.Make (M) (Cs) in
+    let obj = V.create () in
+    (sim, Array.init n (fun _ -> fun _ -> ignore (V.update obj Cs.Increment)))
+  in
+  [
+    ("onll", onll);
+    ("onll-wait-free", onll_wf);
+    ("persist-on-read", por);
+    ("shadow", shadow);
+    ("flat-combining", fc);
+    ("volatile", volatile);
+  ]
+
+let fence_summary r =
+  let a = r.Lb.per_proc_fences in
+  let mn = Array.fold_left min max_int a and mx = Array.fold_left max 0 a in
+  if mn = mx then string_of_int mn else Printf.sprintf "%d..%d" mn mx
+
+let outcome_str r =
+  match r.Lb.outcome with
+  | Lb.Measured -> "measured"
+  | Lb.Livelock p -> Printf.sprintf "LIVELOCK (p%d starved)" p
+  | Lb.Completed_early -> "completed early"
+
+let run () =
+  let rows =
+    List.concat_map
+      (fun (impl, setup) ->
+        List.map
+          (fun n ->
+            let sim, procs = setup n in
+            let solo = Lb.solo_chain ~max_steps:100_000 sim ~procs in
+            let sim, procs = setup n in
+            let chain = Lb.fence_chain ~max_steps:100_000 sim ~procs in
+            [
+              impl;
+              string_of_int n;
+              fence_summary solo;
+              outcome_str solo;
+              fence_summary chain;
+              outcome_str chain;
+              (if Lb.all_at_least_one chain then "yes"
+               else
+                 match chain.Lb.outcome with
+                 | Lb.Livelock _ -> "n/a (blocks)"
+                 | _ -> "NO");
+            ])
+          [ 2; 4; 8 ])
+      setups
+  in
+  Onll_util.Table.print
+    ~title:
+      "E2 — Theorem 6.3 adversary: persistent fences per process (min..max)"
+    ~header:
+      [
+        "implementation";
+        "n";
+        "solo-chain pf";
+        "solo outcome";
+        "fence-chain pf";
+        "fence-chain outcome";
+        ">=1 fence each";
+      ]
+    rows;
+  (* The theorem's unit is fences per update INVOKED: repeat the Case 1
+     schedule for k operations per process. *)
+  let round_rows =
+    List.map
+      (fun rounds ->
+        let n = 4 in
+        let sim = Sim.create ~max_processes:n () in
+        let module M = (val Sim.machine sim) in
+        let module C = Onll_core.Onll.Make (M) (Cs) in
+        let obj = C.create () in
+        let procs =
+          Array.init n (fun _ ->
+              fun _ ->
+                for _ = 1 to rounds do
+                  ignore (C.update obj Cs.Increment)
+                done)
+        in
+        let r = Lb.solo_chain_rounds ~rounds sim ~procs in
+        [
+          string_of_int rounds;
+          fence_summary r;
+          outcome_str r;
+          (if Lb.all_at_least rounds r then "yes" else "NO");
+        ])
+      [ 1; 2; 4; 8 ]
+  in
+  Onll_util.Table.print
+    ~title:
+      "E2b — k updates per process under the repeated Case 1 schedule        (onll, n = 4): k fences each"
+    ~header:[ "k"; "pf per process"; "outcome"; ">=k fences each" ]
+    round_rows

@@ -1,0 +1,48 @@
+(** The benchmark harness: regenerates every empirical artifact of the
+    paper (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+    paper-vs-measured). Run all experiments with [dune exec
+    bench/main.exe], or a subset by id, e.g. [dune exec bench/main.exe e1
+    f2]. *)
+
+let experiments =
+  [
+    ("e1", "fences per operation, all objects x implementations (Thm 5.1)",
+     Fence_audit.run);
+    ("e2", "lower-bound adversary schedules (Thm 6.3)", Lower_bound_bench.run);
+    ("e3", "throughput vs domains, native machine", Throughput.run_e3);
+    ("e4", "read cost vs history: local views (§8)", Read_cost.run);
+    ("e5", "throughput vs fence latency, native machine", Throughput.run_e5);
+    ("e6", "recovery cost and reclamation (§8)", Recovery_bench.run);
+    ("e7", "substrate micro-benchmarks (bechamel)", Micro.run);
+    ("e8", "durable-linearizability crash-fuzz campaign", Fuzz_campaign.run);
+    ("e9", "systematic schedule + crash-point exploration", Explore_bench.run);
+    ("e10", "helping overhead vs process count (ablation)", Helping_bench.run);
+    ("e11", "checkpoint-interval tuning curve (ablation)",
+     Checkpoint_sweep.run);
+    ("f1", "Figure 1: the four counter executions, replayed",
+     Onll_scenarios.Figure1.print_all);
+    ("f2", "Figure 2 / Prop 5.2: fuzzy-window bound", Fuzzy_window.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as ids) -> ids
+    | _ -> List.map (fun (id, _, _) -> id) experiments
+  in
+  List.iter
+    (fun id ->
+      match List.find_opt (fun (id', _, _) -> id = id') experiments with
+      | Some (_, descr, run) ->
+          Printf.printf "\n################ %s — %s ################\n%!" id
+            descr;
+          let (), dt = Harness.time_it run in
+          Printf.printf "[%s done in %.2fs]\n%!" id dt;
+          (* return the big native-bench buffers to the OS so later
+             experiments do not pay major-GC costs over a bloated heap *)
+          Gc.compact ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; known: %s\n" id
+            (String.concat ", " (List.map (fun (i, _, _) -> i) experiments));
+          exit 1)
+    requested

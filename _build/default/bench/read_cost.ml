@@ -1,0 +1,40 @@
+(** E4 — read cost vs history length: the §8 local-views extension.
+
+    A plain ONLL reader replays the whole execution trace (O(history));
+    with per-process local views the replay covers only the delta since the
+    reader's previous observation (O(1) in steady state). Expected shape:
+    the no-views curve grows linearly with history length, the views curve
+    stays flat. *)
+
+open Onll_machine
+module Cs = Onll_specs.Counter
+
+let read_ns ~views ~history =
+  let native = Native.create ~max_processes:1 ~fence_ns:0 () in
+  let module M = (val Native.machine native) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  ignore (Native.register native);
+  let obj = C.create ~local_views:views ~log_capacity:(1 lsl 25) () in
+  for _ = 1 to history do
+    ignore (C.update obj Cs.Increment)
+  done;
+  let reads = 2_000 in
+  (* Warm the view so the first delta replay is excluded. *)
+  ignore (C.read obj Cs.Get);
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reads do
+    ignore (C.read obj Cs.Get)
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int reads
+
+let run () =
+  let histories = [ 100; 500; 1_000; 2_000; 4_000 ] in
+  let curve views =
+    List.map
+      (fun h -> (float_of_int h, read_ns ~views ~history:h))
+      histories
+  in
+  Onll_util.Table.series
+    ~title:"E4 — read latency vs history length (ns/read, counter, 1 domain)"
+    ~x_label:"history"
+    [ ("onll (full replay)", curve false); ("onll+views", curve true) ]

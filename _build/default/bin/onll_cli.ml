@@ -1,0 +1,359 @@
+(* The onll command-line tool: interactive entry points to the simulator.
+
+   onll figure1                        replay the paper's Figure 1
+   onll lowerbound -n 4 -i onll        run the Theorem 6.3 adversary
+   onll fuzz -s counter --seeds 50     crash-fuzz campaign with the checker
+   onll fences -s kv                   fence audit for one object
+*)
+
+open Cmdliner
+open Onll_machine
+module Lb = Onll_lowerbound.Lowerbound
+module Cs = Onll_specs.Counter
+
+(* {1 figure1} *)
+
+let figure1_cmd =
+  let doc = "Replay the four executions of the paper's Figure 1." in
+  Cmd.v (Cmd.info "figure1" ~doc)
+    Term.(const Onll_scenarios.Figure1.print_all $ const ())
+
+(* {1 lowerbound} *)
+
+let impl_setups n = function
+  | "onll" ->
+      let sim = Sim.create ~max_processes:n () in
+      let module M = (val Sim.machine sim) in
+      let module C = Onll_core.Onll.Make (M) (Cs) in
+      let obj = C.create () in
+      ( sim,
+        Array.init n (fun _ -> fun _ -> ignore (C.update obj Cs.Increment)) )
+  | "persist-on-read" ->
+      let sim = Sim.create ~max_processes:n () in
+      let module M = (val Sim.machine sim) in
+      let module P = Onll_baselines.Persist_on_read.Make (M) (Cs) in
+      let obj = P.create () in
+      ( sim,
+        Array.init n (fun _ -> fun _ -> ignore (P.update obj Cs.Increment)) )
+  | "shadow" ->
+      let sim = Sim.create ~max_processes:n () in
+      let module M = (val Sim.machine sim) in
+      let module H = Onll_baselines.Shadow.Make (M) (Cs) in
+      let obj = H.create () in
+      ( sim,
+        Array.init n (fun _ -> fun _ -> ignore (H.update obj Cs.Increment)) )
+  | "flat-combining" ->
+      let sim = Sim.create ~max_processes:n () in
+      let module M = (val Sim.machine sim) in
+      let module F = Onll_baselines.Flat_combining.Make (M) (Cs) in
+      let obj = F.create () in
+      ( sim,
+        Array.init n (fun _ -> fun _ -> ignore (F.update obj Cs.Increment)) )
+  | "volatile" ->
+      let sim = Sim.create ~max_processes:n () in
+      let module M = (val Sim.machine sim) in
+      let module V = Onll_baselines.Volatile.Make (M) (Cs) in
+      let obj = V.create () in
+      ( sim,
+        Array.init n (fun _ -> fun _ -> ignore (V.update obj Cs.Increment)) )
+  | other ->
+      Printf.eprintf
+        "unknown implementation %S (try onll, persist-on-read, shadow, \
+         flat-combining, volatile)\n"
+        other;
+      exit 1
+
+let lowerbound n impl =
+  let sim, procs = impl_setups n impl in
+  let solo = Lb.solo_chain ~max_steps:100_000 sim ~procs in
+  Format.printf "solo-chain  (Case 1): %a@." Lb.pp_report solo;
+  let sim, procs = impl_setups n impl in
+  let chain = Lb.fence_chain ~max_steps:100_000 sim ~procs in
+  Format.printf "fence-chain (Case 2): %a@." Lb.pp_report chain;
+  Format.printf "every process fenced at least once: %b@."
+    (Lb.all_at_least_one chain)
+
+let lowerbound_cmd =
+  let doc = "Run the Theorem 6.3 adversary against an implementation." in
+  let n =
+    Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"process count")
+  in
+  let impl =
+    Arg.(
+      value & opt string "onll"
+      & info [ "i"; "impl" ] ~docv:"IMPL" ~doc:"implementation under test")
+  in
+  Cmd.v (Cmd.info "lowerbound" ~doc) Term.(const lowerbound $ n $ impl)
+
+(* {1 fuzz} *)
+
+let fuzz spec seeds crash_window =
+  let open Test_support in
+  let campaign (type u r) run gen_update gen_read =
+    let failures = ref 0 and crashes = ref 0 in
+    ignore (gen_update : Onll_util.Splitmix.t -> u);
+    ignore (gen_read : Onll_util.Splitmix.t -> r);
+    for seed = 1 to seeds do
+      let plan =
+        {
+          Fuzz.default_plan with
+          seed;
+          crash_at = Some (5 + (seed * 17 mod crash_window));
+          policy =
+            (match seed mod 3 with
+            | 0 -> Onll_nvm.Crash_policy.Persist_all
+            | 1 -> Onll_nvm.Crash_policy.Drop_all
+            | _ -> Onll_nvm.Crash_policy.Random seed);
+        }
+      in
+      let r = run ~plan ~gen_update ~gen_read () in
+      if r.Fuzz.crashed then incr crashes;
+      if r.Fuzz.failures <> [] || not r.Fuzz.verdict_ok then begin
+        incr failures;
+        Printf.printf "seed %d FAILED:\n" seed;
+        List.iter (fun f -> Printf.printf "  %s\n" f) r.Fuzz.failures;
+        Option.iter (fun v -> Printf.printf "  %s\n" v) r.Fuzz.verdict
+      end
+    done;
+    Printf.printf "%s: %d runs, %d crashed, %d failures\n" spec seeds !crashes
+      !failures;
+    if !failures > 0 then exit 1
+  in
+  match spec with
+  | "counter" ->
+      let module F = Fuzz.Make (Onll_specs.Counter) in
+      campaign F.run Gen.Counter.update Gen.Counter.read
+  | "queue" ->
+      let module F = Fuzz.Make (Onll_specs.Queue_spec) in
+      campaign F.run Gen.Queue.update Gen.Queue.read
+  | "kv" ->
+      let module F = Fuzz.Make (Onll_specs.Kv) in
+      campaign F.run Gen.Kv.update Gen.Kv.read
+  | "stack" ->
+      let module F = Fuzz.Make (Onll_specs.Stack_spec) in
+      campaign F.run Gen.Stack.update Gen.Stack.read
+  | "set" ->
+      let module F = Fuzz.Make (Onll_specs.Set_spec) in
+      campaign F.run Gen.Set_g.update Gen.Set_g.read
+  | "ledger" ->
+      let module F = Fuzz.Make (Onll_specs.Ledger) in
+      campaign F.run Gen.Ledger.update Gen.Ledger.read
+  | other ->
+      Printf.eprintf
+        "unknown spec %S (try counter, queue, kv, stack, set, ledger)\n" other;
+      exit 1
+
+let fuzz_cmd =
+  let doc =
+    "Crash-fuzz an ONLL object: random schedules, crash points and \
+     policies, audited by the durable-linearizability checker."
+  in
+  let spec =
+    Arg.(
+      value & opt string "counter"
+      & info [ "s"; "spec" ] ~docv:"SPEC" ~doc:"object specification")
+  in
+  let seeds =
+    Arg.(value & opt int 50 & info [ "seeds" ] ~docv:"N" ~doc:"seed count")
+  in
+  let window =
+    Arg.(
+      value & opt int 150
+      & info [ "crash-window" ] ~docv:"STEPS"
+          ~doc:"crash step is drawn from [5, 5+STEPS)")
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc) Term.(const fuzz $ spec $ seeds $ window)
+
+(* {1 fences} *)
+
+let fences updates =
+  let sim = Sim.create ~max_processes:3 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create () in
+  let procs =
+    Array.init 3 (fun _ ->
+        fun _ ->
+          for _ = 1 to updates do
+            ignore (C.update obj Cs.Increment);
+            ignore (C.read obj Cs.Get)
+          done)
+  in
+  ignore (Sim.run sim (Onll_sched.Sched.Strategy.random ~seed:1) procs);
+  let stats = Sim.stats sim in
+  Format.printf "workload: 3 processes x %d updates + %d reads@." updates
+    updates;
+  Format.printf "machine:  %a@." Onll_nvm.Memory.Stats.pp stats;
+  Format.printf "persistent fences / update = %g (Theorem 5.1 bound: 1)@."
+    (float_of_int stats.Onll_nvm.Memory.Stats.persistent_fences
+    /. float_of_int (3 * updates))
+
+let fences_cmd =
+  let doc = "Audit ONLL's persistent-fence count on a counter workload." in
+  let updates =
+    Arg.(
+      value & opt int 50
+      & info [ "u"; "updates" ] ~docv:"N" ~doc:"updates per process")
+  in
+  Cmd.v (Cmd.info "fences" ~doc) Term.(const fences $ updates)
+
+(* {1 explore} *)
+
+let explore procs ops k with_crashes =
+  let mk () =
+    let sim = Sim.create ~max_processes:procs () in
+    let module M = (val Sim.machine sim) in
+    let module C = Onll_core.Onll.Make (M) (Cs) in
+    let obj = C.create ~log_capacity:8192 () in
+    let completed = ref 0 in
+    let work =
+      Array.init procs (fun _ ->
+          fun _ ->
+            for _ = 1 to ops do
+              ignore (C.update obj Cs.Increment);
+              incr completed
+            done)
+    in
+    ( sim,
+      work,
+      fun outcome ->
+        match outcome with
+        | Onll_sched.Sched.World.Completed ->
+            assert (C.read obj Cs.Get = procs * ops)
+        | Onll_sched.Sched.World.Crashed ->
+            C.recover obj;
+            let v = C.read obj Cs.Get in
+            assert (v >= !completed && v <= procs * ops)
+        | Onll_sched.Sched.World.Stopped _ -> assert false )
+  in
+  let stats =
+    Onll_explore.Explore.run ~max_preemptions:k ~with_crashes
+      ~max_runs:500_000 ~mk ()
+  in
+  Format.printf
+    "explored the FULL space of schedules (<= %d preemptions%s): %a@." k
+    (if with_crashes then ", crash at every decision point" else "")
+    Onll_explore.Explore.pp_stats stats;
+  Format.printf "every execution satisfied the durability assertions@."
+
+let explore_cmd =
+  let doc =
+    "Systematically enumerate every preemption-bounded schedule (and \
+     optionally a crash at every decision point) of a small ONLL counter \
+     program, asserting durability on each execution."
+  in
+  let procs =
+    Arg.(value & opt int 2 & info [ "p"; "procs" ] ~docv:"N" ~doc:"processes")
+  in
+  let ops =
+    Arg.(value & opt int 1 & info [ "u"; "ops" ] ~docv:"N" ~doc:"updates each")
+  in
+  let k =
+    Arg.(
+      value & opt int 1
+      & info [ "k"; "preemptions" ] ~docv:"K" ~doc:"preemption bound")
+  in
+  let crashes =
+    Arg.(value & flag & info [ "crashes" ] ~doc:"branch on crashes too")
+  in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(const explore $ procs $ ops $ k $ crashes)
+
+(* {1 rationale} *)
+
+let rationale_cmd =
+  let doc =
+    "Run the paper's §3.1 case analysis: the three bad designs (reader \
+     returns / waits / helps) and ONLL's escape, under the same adversarial \
+     schedule."
+  in
+  Cmd.v (Cmd.info "rationale" ~doc)
+    Term.(const Onll_scenarios.Rationale.print_all $ const ())
+
+(* {1 simulate} *)
+
+let simulate procs ops seed crash_at =
+  let sim = Sim.create ~max_processes:procs ~trace_log:true () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create () in
+  let events = ref [] in
+  let body p _ =
+    for k = 1 to ops do
+      let v = C.update obj Cs.Increment in
+      events := Printf.sprintf "p%d: update #%d returned %d" p k v :: !events
+    done
+  in
+  let strategy =
+    match crash_at with
+    | None -> Onll_sched.Sched.Strategy.random ~seed
+    | Some n ->
+        Onll_sched.Sched.Strategy.random_with_crash ~seed ~crash_at_step:n
+  in
+  let outcome = Sim.run sim strategy (Array.init procs (fun p -> body p)) in
+  Printf.printf "schedule (proc, primitive):\n  ";
+  List.iteri
+    (fun i (p, l) ->
+      if i > 0 && i mod 8 = 0 then Printf.printf "\n  ";
+      Printf.printf "p%d:%-10s " p (Onll_sched.Sched.label_to_string l))
+    (Onll_sched.Sched.World.trace (Sim.world sim));
+  Printf.printf "\n\ncompletions (in real-time order):\n";
+  List.iter (Printf.printf "  %s\n") (List.rev !events);
+  (match outcome with
+  | Onll_sched.Sched.World.Crashed ->
+      Printf.printf "\n*** CRASH ***\n";
+      C.recover obj;
+      Printf.printf "recovered value: %d\n" (C.read obj Cs.Get);
+      Printf.printf "recovered operations:\n";
+      List.iter
+        (fun (id, idx) ->
+          Format.printf "  idx %d: %a@." idx Onll_core.Onll.pp_op_id id)
+        (C.recovered_ops obj)
+  | Onll_sched.Sched.World.Completed ->
+      Printf.printf "\ncompleted; value: %d\n" (C.read obj Cs.Get)
+  | Onll_sched.Sched.World.Stopped m -> Printf.printf "stopped: %s\n" m);
+  let stats = Sim.stats sim in
+  Format.printf "machine: %a@." Onll_nvm.Memory.Stats.pp stats
+
+let simulate_cmd =
+  let doc =
+    "Run a counter workload under a seeded schedule and narrate every \
+     scheduling step, completion, and (optionally) the crash + recovery."
+  in
+  let procs =
+    Arg.(value & opt int 2 & info [ "p"; "procs" ] ~docv:"N" ~doc:"processes")
+  in
+  let ops =
+    Arg.(
+      value & opt int 2 & info [ "u"; "ops" ] ~docv:"N" ~doc:"updates each")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"schedule seed")
+  in
+  let crash_at =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-at" ] ~docv:"STEP" ~doc:"inject a crash at this step")
+  in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const simulate $ procs $ ops $ seed $ crash_at)
+
+let () =
+  let doc =
+    "ONLL: durable universal construction for non-volatile memory \
+     (reproduction of Cohen, Guerraoui & Zablotchi, SPAA'18)"
+  in
+  let info = Cmd.info "onll" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            figure1_cmd;
+            rationale_cmd;
+            explore_cmd;
+            lowerbound_cmd;
+            fuzz_cmd;
+            fences_cmd;
+            simulate_cmd;
+          ]))

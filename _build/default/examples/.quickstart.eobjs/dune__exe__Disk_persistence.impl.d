@@ -1,0 +1,1 @@
+examples/disk_persistence.ml: List Onll_core Onll_machine Onll_nvm Onll_specs Printf Sim Sys

@@ -1,0 +1,1 @@
+examples/disk_persistence.mli:

@@ -1,0 +1,1 @@
+examples/durable_queue.ml: Array List Onll_core Onll_machine Onll_sched Onll_specs Printf Sched Sim

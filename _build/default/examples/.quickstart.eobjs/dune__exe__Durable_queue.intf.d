@@ -1,0 +1,1 @@
+examples/durable_queue.mli:

@@ -1,0 +1,1 @@
+examples/persistent_kv.ml: Array List Onll_core Onll_machine Onll_sched Onll_specs Printf Sched Sim String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Onll_core Onll_machine Onll_nvm Onll_sched Onll_specs Printf Sched Sim

@@ -1,0 +1,1 @@
+examples/task_scheduler.ml: List Onll_core Onll_machine Onll_sched Onll_specs Onll_util Printf Sched Sim Splitmix

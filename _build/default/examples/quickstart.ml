@@ -1,0 +1,70 @@
+(* Quickstart: a durable counter in ~40 effective lines.
+
+   Build a simulated NVM machine, derive a durably linearizable counter from
+   its sequential specification with the ONLL universal construction, run
+   three concurrent processes against it, crash the whole system mid-flight,
+   recover, and keep going — while watching the persistent-fence meter.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Onll_machine
+open Onll_sched
+module Counter = Onll_specs.Counter
+
+let () =
+  (* A machine with 3 simulated processes and simulated NVM. *)
+  let sim = Sim.create ~max_processes:3 () in
+  let module M = (val Sim.machine sim) in
+  (* The universal construction: sequential spec in, durable object out. *)
+  let module C = Onll_core.Onll.Make (M) (Counter) in
+  let counter = C.create () in
+
+  (* Era 1: three processes, five increments each, random interleaving. *)
+  let workload _ =
+    for _ = 1 to 5 do
+      ignore (C.update counter Counter.Increment)
+    done
+  in
+  let outcome =
+    Sim.run sim (Sched.Strategy.random ~seed:42) (Array.make 3 workload)
+  in
+  assert (outcome = Sched.World.Completed);
+  Printf.printf "era 1 done: counter = %d (expected 15)\n"
+    (C.read counter Counter.Get);
+  Printf.printf "persistent fences so far: %d (one per update — Theorem 5.1)\n"
+    (M.persistent_fences ());
+
+  (* Era 2: same workload, but the power goes out at step 40. Whatever was
+     fenced survives; everything else vanishes with the caches. *)
+  let outcome =
+    Sim.run sim
+      (Sched.Strategy.random_with_crash ~seed:7 ~crash_at_step:40)
+      (Array.make 3 workload)
+  in
+  assert (outcome = Sched.World.Crashed);
+  Printf.printf "\n*** CRASH at step 40 ***\n";
+
+  (* Recovery rebuilds the execution trace from the per-process logs. *)
+  C.recover counter;
+  let v = C.read counter Counter.Get in
+  Printf.printf "recovered: counter = %d (>= 15: completed ops survive; \
+                 <= 30: nothing invented)\n" v;
+  assert (v >= 15 && v <= 30);
+
+  (* Detectable execution: did process 0's first era-2 increment (sequence
+     number 5, after 5 era-1 ops) make it in? *)
+  let id = { Onll_core.Onll.id_proc = 0; id_seq = 5 } in
+  Printf.printf "process 0's 6th increment linearized before the crash: %b\n"
+    (C.was_linearized counter id);
+
+  (* Era 3: business as usual on the recovered object. *)
+  let outcome =
+    Sim.run sim (Sched.Strategy.random ~seed:99) (Array.make 3 workload)
+  in
+  assert (outcome = Sched.World.Completed);
+  Printf.printf "\nera 3 done: counter = %d\n" (C.read counter Counter.Get);
+  let stats = Sim.stats sim in
+  Format.printf "machine totals: %a@." Onll_nvm.Memory.Stats.pp stats;
+  Printf.printf "updates executed: %d — persistent fences: %d\n"
+    (C.read counter Counter.Get)
+    stats.Onll_nvm.Memory.Stats.persistent_fences

@@ -1,0 +1,88 @@
+(* A crash-tolerant priority task scheduler.
+
+   Jobs arrive with priorities (lower = more urgent) from several submitter
+   processes; worker processes repeatedly take the most urgent job. The
+   whole scheduler is one ONLL priority queue: submissions and takes are
+   durably linearizable updates, so after a power failure no accepted job
+   is lost, no job is handed to two workers, and urgency order still holds.
+
+   The run: submitters and workers race, the machine crashes mid-flight,
+   recovery restores the queue, a fresh worker drains the rest — and the
+   audit checks global conservation plus that every drained job comes out
+   in priority order.
+
+   Run with: dune exec examples/task_scheduler.exe *)
+
+open Onll_machine
+open Onll_sched
+open Onll_util
+module Pq = Onll_specs.Pqueue
+
+let () =
+  let sim = Sim.create ~max_processes:4 () in
+  let module M = (val Sim.machine sim) in
+  let module Sched_q = Onll_core.Onll.Make (M) (Pq) in
+  let q = Sched_q.create ~log_capacity:(1 lsl 18) () in
+
+  let submitted = ref [] and started = ref [] in
+  let submitter id _ =
+    let rng = Splitmix.create (900 + id) in
+    for k = 0 to 5 do
+      let prio = Splitmix.int rng 10 in
+      let job = (id * 100) + k in
+      (* record the intent before invoking: a crash may linearize the
+         submission without the submitter learning of it *)
+      submitted := (prio, job) :: !submitted;
+      ignore (Sched_q.update q (Pq.Insert (prio, job)))
+    done
+  in
+  let worker _ =
+    for _ = 1 to 7 do
+      match Sched_q.update q Pq.Extract_min with
+      | Pq.Min (Some (prio, job)) -> started := (prio, job) :: !started
+      | Pq.Min None -> ()
+      | Pq.Nothing | Pq.Count _ -> assert false
+    done
+  in
+
+  let outcome =
+    Sim.run sim
+      (Sched.Strategy.random_with_crash ~seed:4242 ~crash_at_step:420)
+      [| submitter 1; submitter 2; worker; worker |]
+  in
+  Printf.printf "crashed mid-flight: %b\n" (outcome = Sched.World.Crashed);
+  Printf.printf "accepted submissions: %d; jobs started before crash: %d\n"
+    (List.length !submitted) (List.length !started);
+
+  if outcome = Sched.World.Crashed then Sched_q.recover q;
+
+  (* Post-crash: one fresh worker drains everything that survived. *)
+  let drained = ref [] in
+  let drain _ =
+    let continue_ = ref true in
+    while !continue_ do
+      match Sched_q.update q Pq.Extract_min with
+      | Pq.Min (Some (prio, job)) -> drained := (prio, job) :: !drained
+      | Pq.Min None -> continue_ := false
+      | Pq.Nothing | Pq.Count _ -> assert false
+    done
+  in
+  ignore (Sim.run sim Sched.Strategy.round_robin [| drain |]);
+  let drained = List.rev !drained in
+  Printf.printf "jobs drained after recovery: %d\n" (List.length drained);
+
+  (* Audit 1: priority order of the post-crash drain. *)
+  let prios = List.map fst drained in
+  assert (prios = List.sort compare prios);
+  Printf.printf "drain order respects priorities ✓\n";
+
+  (* Audit 2: conservation — every drained job was accepted, and no job
+     both started before the crash and drained after it (no double
+     execution). *)
+  let accepted = List.map snd !submitted in
+  List.iter (fun (_, j) -> assert (List.mem j accepted)) drained;
+  List.iter
+    (fun (_, j) -> assert (not (List.exists (fun (_, j') -> j' = j) !started)))
+    drained;
+  Printf.printf "no job lost to thin air, none executed twice ✓\n";
+  Printf.printf "persistent fences: %d\n" (M.persistent_fences ())

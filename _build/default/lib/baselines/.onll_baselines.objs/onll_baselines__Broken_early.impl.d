@@ -1,0 +1,1 @@
+lib/baselines/broken_early.ml: Array Hashtbl List Onll_core Onll_machine Onll_plog Onll_util Option Printf

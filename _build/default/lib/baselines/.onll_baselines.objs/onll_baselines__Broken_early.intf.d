@@ -1,0 +1,1 @@
+lib/baselines/broken_early.mli: Onll_core Onll_machine

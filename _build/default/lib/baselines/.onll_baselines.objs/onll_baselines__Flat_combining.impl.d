@@ -1,0 +1,1 @@
+lib/baselines/flat_combining.ml: Array List Onll_core Onll_machine Onll_plog Onll_util Printf

@@ -1,0 +1,1 @@
+lib/baselines/flat_combining.mli: Onll_core Onll_machine

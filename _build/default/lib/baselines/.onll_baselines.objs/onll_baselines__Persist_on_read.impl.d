@@ -1,0 +1,1 @@
+lib/baselines/persist_on_read.ml: Array Hashtbl List Onll_core Onll_machine Onll_plog Onll_util Option Printf

@@ -1,0 +1,1 @@
+lib/baselines/persist_on_read.mli: Onll_core Onll_machine

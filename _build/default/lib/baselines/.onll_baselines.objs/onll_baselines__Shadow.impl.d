@@ -1,0 +1,1 @@
+lib/baselines/shadow.ml: Bytes Codec Crc32 Int64 Onll_core Onll_machine Onll_util Printf String

@@ -1,0 +1,1 @@
+lib/baselines/shadow.mli: Onll_core Onll_machine

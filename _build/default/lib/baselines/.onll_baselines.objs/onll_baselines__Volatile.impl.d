@@ -1,0 +1,1 @@
+lib/baselines/volatile.ml: Onll_core Onll_machine

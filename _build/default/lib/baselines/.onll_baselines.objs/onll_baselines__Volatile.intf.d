@@ -1,0 +1,1 @@
+lib/baselines/volatile.mli: Onll_core Onll_machine

@@ -1,0 +1,21 @@
+(** Deliberately broken implementation for validating the oracle.
+
+    Linearizes updates at insertion and lets readers return without helping
+    persistence — the first bad branch of the paper's §3.1 case analysis. A
+    reader can observe an update that a subsequent crash erases, violating
+    durable linearizability. The test suite drives this implementation into
+    that window and asserts {!Onll_histcheck.Histcheck} rejects the
+    recorded history. {b Never} use outside the oracle tests. *)
+
+module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) : sig
+  type t
+
+  val create : ?log_capacity:int -> unit -> t
+  val update : t -> S.update_op -> S.value
+
+  val read : t -> S.read_op -> S.value
+  (** Unsafely observes linearized-but-unpersisted operations. *)
+
+  val recover : t -> unit
+  (** Rebuilds from whatever survived; stops at the first index gap. *)
+end

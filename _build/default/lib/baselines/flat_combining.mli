@@ -1,0 +1,31 @@
+(** Lock-based flat combining (paper §8's closing discussion).
+
+    Processes announce updates in per-process slots; the lock holder (the
+    combiner) appends the whole announced batch to its persistent log with
+    a {e single} persistent fence, applies it to a transient mirror and
+    publishes the results. Fences per operation can thus drop below the
+    lower bound — but only because waiting processes pay the fence's price
+    in spinning: the construction is blocking, and parking the combiner
+    starves everyone (the Theorem 6.3 experiment shows this as a
+    livelock). *)
+
+module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) : sig
+  type t
+
+  val create : ?log_capacity:int -> unit -> t
+
+  val update : t -> S.update_op -> S.value
+  (** Announce and either combine (if the lock is free) or spin until a
+      combiner serves the announcement. *)
+
+  val read : t -> S.read_op -> S.value
+  (** Served from the mirror, which is published only after the batch
+      fence: zero fences, durable observations. *)
+
+  val recover : t -> unit
+  val current_state : t -> S.state
+
+  val batch_stats : t -> int * int
+  (** (batches appended, operations covered) — operations/batches is the
+      combining factor. *)
+end

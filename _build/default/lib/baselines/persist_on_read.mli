@@ -1,0 +1,25 @@
+(** "Linearize now, persist later": the §3.1 trade-off, taken the other way.
+
+    Structurally ONLL with the order of stages flipped — updates are
+    visible (linearized) at trace insertion, before they are durable — and
+    the §3.1 case analysis then forces readers that observe a
+    not-yet-persistent operation to make it durable before responding.
+    Still lock-free and durably linearizable; still one persistent fence
+    per update; but reads are no longer fence-free. The benchmarks measure
+    how often readers pay ({!Make.read_fences}). *)
+
+module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) : sig
+  type t
+
+  val create : ?log_capacity:int -> unit -> t
+  val update : t -> S.update_op -> S.value
+
+  val read : t -> S.read_op -> S.value
+  (** May issue a persistent fence (helping an in-flight update persist). *)
+
+  val read_fences : t -> int
+  (** Number of reads so far that had to fence. *)
+
+  val recover : t -> unit
+  val current_state : t -> S.state
+end

@@ -1,0 +1,134 @@
+(** Shadow-paging baseline: a lock-protected object whose entire state is
+    re-serialised to an alternating NVM slot on every update — the classic
+    "persist in place, atomically" design used by transactional NVM systems
+    (§7). Costs {e two} persistent fences per update (data, then the
+    versioned header that commits it) and none per read. Blocking: a stalled
+    lock holder stops the world.
+
+    Region layout:
+    {v
+    0    header slot A: seq:int64  which:int64  len:int64  crc:int64
+    32   header slot B
+    64   state slot 0  (state_capacity bytes)
+    64+c state slot 1
+    v} *)
+
+open Onll_util
+
+module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
+  type t = {
+    lock : bool M.Tvar.t;
+    mirror : S.state M.Tvar.t;  (** published only after durability *)
+    region : M.Pm.t;
+    state_capacity : int;
+    mutable seq : int64;  (** owned by the lock holder *)
+  }
+
+  let instances = ref 0
+
+  let header_crc seq which len =
+    let b = Bytes.create 24 in
+    Bytes.set_int64_le b 0 seq;
+    Bytes.set_int64_le b 8 which;
+    Bytes.set_int64_le b 16 len;
+    Int64.logand (Int64.of_int32 (Crc32.bytes b ~pos:0 ~len:24)) 0xFFFFFFFFL
+
+  let slot_off t which = 64 + (which * t.state_capacity)
+
+  let create ?(state_capacity = 4096) () =
+    let n = !instances in
+    incr instances;
+    {
+      lock = M.Tvar.make false;
+      mirror = M.Tvar.make S.initial;
+      region =
+        M.Pm.create
+          ~name:(Printf.sprintf "%s.%d.shadow" S.name n)
+          ~size:(64 + (2 * state_capacity));
+      state_capacity;
+      seq = 0L;
+    }
+
+  let acquire t =
+    let rec loop () =
+      if not (M.Tvar.cas t.lock ~expected:false ~desired:true) then begin
+        M.pause ();
+        loop ()
+      end
+    in
+    loop ()
+
+  let release t = M.Tvar.set t.lock false
+
+  let persist t state =
+    let blob = Codec.encode S.state_codec state in
+    let len = String.length blob in
+    if len > t.state_capacity then
+      invalid_arg "Shadow: state exceeds state_capacity";
+    let seq = Int64.add t.seq 1L in
+    let which = Int64.to_int (Int64.rem seq 2L) in
+    (* 1. write the new state into the shadow slot and fence it ... *)
+    let off = slot_off t which in
+    M.Pm.store t.region ~off blob;
+    M.Pm.flush t.region ~off ~len;
+    M.fence ();
+    (* 2. ... then commit it with a checksummed header update. *)
+    let hdr = if Int64.rem seq 2L = 0L then 0 else 32 in
+    M.Pm.store_int64 t.region ~off:hdr seq;
+    M.Pm.store_int64 t.region ~off:(hdr + 8) (Int64.of_int which);
+    M.Pm.store_int64 t.region ~off:(hdr + 16) (Int64.of_int len);
+    M.Pm.store_int64 t.region ~off:(hdr + 24)
+      (header_crc seq (Int64.of_int which) (Int64.of_int len));
+    M.Pm.flush t.region ~off:hdr ~len:32;
+    M.fence ();
+    t.seq <- seq
+
+  let update t op =
+    acquire t;
+    let s = M.Tvar.get t.mirror in
+    let s', v = S.apply s op in
+    persist t s';
+    M.Tvar.set t.mirror s';
+    release t;
+    M.return_point ();
+    v
+
+  let read t rop =
+    let v = S.read (M.Tvar.get t.mirror) rop in
+    M.return_point ();
+    v
+
+  let read_slot t hdr =
+    let seq = M.Pm.load_int64 t.region ~off:hdr in
+    let which = M.Pm.load_int64 t.region ~off:(hdr + 8) in
+    let len = M.Pm.load_int64 t.region ~off:(hdr + 16) in
+    let crc = M.Pm.load_int64 t.region ~off:(hdr + 24) in
+    if
+      seq > 0L
+      && (which = 0L || which = 1L)
+      && len > 0L
+      && Int64.to_int len <= t.state_capacity
+      && crc = header_crc seq which len
+    then Some (seq, Int64.to_int which, Int64.to_int len)
+    else None
+
+  let recover t =
+    let best =
+      match (read_slot t 0, read_slot t 32) with
+      | None, None -> None
+      | Some s, None | None, Some s -> Some s
+      | Some ((sa, _, _) as a), Some ((sb, _, _) as b) ->
+          Some (if sa >= sb then a else b)
+    in
+    match best with
+    | None ->
+        t.seq <- 0L;
+        M.Tvar.set t.mirror S.initial;
+        M.Tvar.set t.lock false
+    | Some (seq, which, len) ->
+        let blob = M.Pm.load t.region ~off:(slot_off t which) ~len in
+        let state = Codec.decode S.state_codec blob in
+        t.seq <- seq;
+        M.Tvar.set t.mirror state;
+        M.Tvar.set t.lock false
+end

@@ -1,0 +1,24 @@
+(** Shadow-paging baseline: lock-protected, whole-state reserialisation.
+
+    The classic "persist in place, atomically" design of transactional NVM
+    systems (paper §7): each update re-encodes the entire state into an
+    alternating NVM slot (fence 1) and commits it with a checksummed,
+    versioned header write (fence 2). Two persistent fences per update,
+    none per read; durable and crash-atomic — but blocking: a stalled lock
+    holder stops the world, which the lower-bound adversary exposes as a
+    livelock. *)
+
+module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) : sig
+  type t
+
+  val create : ?state_capacity:int -> unit -> t
+  (** [state_capacity] (default 4096) bounds the encoded state size.
+      @raise Invalid_argument from [update] if the state outgrows it. *)
+
+  val update : t -> S.update_op -> S.value
+  val read : t -> S.read_op -> S.value
+
+  val recover : t -> unit
+  (** Load the newest slot with a valid header; a torn commit falls back to
+      the previous slot. *)
+end

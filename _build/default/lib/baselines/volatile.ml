@@ -1,0 +1,28 @@
+(** Non-durable lock-free baseline: the object state lives in a single
+    transient variable updated by CAS. Zero fences, zero durability — the
+    throughput ceiling every durable implementation is measured against,
+    and the floor for fence counts. *)
+
+module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
+  type t = { state : S.state M.Tvar.t }
+
+  let create () = { state = M.Tvar.make S.initial }
+
+  let update t op =
+    let rec loop () =
+      let s = M.Tvar.get t.state in
+      let s', v = S.apply s op in
+      if M.Tvar.cas t.state ~expected:s ~desired:s' then v else loop ()
+    in
+    let v = loop () in
+    M.return_point ();
+    v
+
+  let read t rop =
+    let v = S.read (M.Tvar.get t.state) rop in
+    M.return_point ();
+    v
+
+  (* Nothing survives a crash: recovery is reinitialisation. *)
+  let recover t = M.Tvar.set t.state S.initial
+end

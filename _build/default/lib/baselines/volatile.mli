@@ -1,0 +1,17 @@
+(** Non-durable lock-free baseline: a single CAS-updated transient variable.
+
+    Zero persistent fences and zero durability — the throughput ceiling and
+    fence-count floor every durable implementation is compared against. Its
+    role in the lower-bound experiment (E2) is to show what "0 fences"
+    costs: {!Make.recover} reinitialises, so any state is lost at a crash. *)
+
+module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) : sig
+  type t
+
+  val create : unit -> t
+  val update : t -> S.update_op -> S.value
+  val read : t -> S.read_op -> S.value
+
+  val recover : t -> unit
+  (** Reinitialisation — nothing survives a crash. *)
+end

@@ -1,0 +1,1 @@
+lib/core/onll.ml: Array Format Hashtbl List Onll_machine Onll_plog Onll_util Printf Spec Trace_adapter Trace_intf Wf_trace

@@ -1,0 +1,1 @@
+lib/core/onll.mli: Format Onll_machine Spec Trace_intf

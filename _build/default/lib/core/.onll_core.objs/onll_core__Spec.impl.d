@@ -1,0 +1,1 @@
+lib/core/spec.ml: Format Onll_util

@@ -1,0 +1,1 @@
+lib/core/trace.ml: List Onll_machine

@@ -1,0 +1,1 @@
+lib/core/trace_adapter.ml: Onll_machine Trace Trace_intf

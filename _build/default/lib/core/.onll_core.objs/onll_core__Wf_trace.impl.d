@@ -1,0 +1,1 @@
+lib/core/wf_trace.ml: Array List Onll_machine Trace_intf

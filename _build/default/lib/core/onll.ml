@@ -1,0 +1,429 @@
+(** ONLL — Order Now, Linearize Later (paper §4).
+
+    The universal construction: given a machine and a deterministic
+    sequential specification, produce a lock-free durably linearizable
+    object using at most one persistent fence per update and none per read.
+
+    An update proceeds in the paper's three stages:
+    + {b order} — insert a descriptor node into the transient execution
+      trace, fixing the operation's linearization {e order} (but not yet its
+      linearization point);
+    + {b persist} — append the operation {e and} every not-yet-available
+      operation preceding it (the fuzzy window — helping) to the invoking
+      process's persistent log, with a single persistent fence;
+    + {b linearize} — set the node's available flag, making the operation
+      visible to readers; compute the return value from the trace prefix.
+
+    Reads find the newest available node and compute against that prefix;
+    they never write shared memory or NVM.
+
+    Recovery (Listing 5) rebuilds the trace from the per-process logs in
+    execution-index order. The construction is {e detectable} [15]: every
+    update carries a [(process, sequence)] id and {!Make.was_linearized}
+    answers, after recovery, whether it took effect before the crash.
+
+    §8 extensions implemented here: per-process local views (read
+    acceleration), trace pruning and log compaction via checkpoints. To keep
+    operation identities meaningful across compaction, materialised states
+    internally carry a per-process sequence floor (the number of that
+    process's operations already summarised), so detectability and sequence
+    allocation survive even when the operations themselves have been
+    reclaimed. *)
+
+type op_id = { id_proc : int; id_seq : int }
+
+let pp_op_id ppf { id_proc; id_seq } =
+  Format.fprintf ppf "p%d#%d" id_proc id_seq
+
+exception Recovery_corrupt of string
+(** Raised when the durable logs are mutually inconsistent (which the
+    correctness argument of Prop. 5.10 rules out for crash-consistent logs,
+    so this indicates actual corruption or a bug). *)
+
+(* Duplicated (condensed) from onll.mli, which carries the documentation. *)
+module type CONSTRUCTION = sig
+  type state
+  type update_op
+  type read_op
+  type value
+  type t
+
+  val create : ?log_capacity:int -> ?local_views:bool -> unit -> t
+  val update : t -> update_op -> value
+  val update_with_id : t -> update_op -> op_id * value
+  val update_detectable : t -> seq:int -> update_op -> value
+  val read : t -> read_op -> value
+  val recover : t -> unit
+  val was_linearized : t -> op_id -> bool
+  val recovered_ops : t -> (op_id * int) list
+  val checkpoint : t -> int
+  val prune : t -> below:int -> unit
+
+  type envelope
+
+  val envelope_id : envelope -> op_id
+  val envelope_op : envelope -> update_op
+  val trace_nodes : t -> (int * bool * envelope option) list
+  val trace_base : t -> int * state
+  val current_state : t -> state
+  val latest_available_idx : t -> int
+  val max_fuzzy_window : t -> int
+  val log_stats : t -> (string * int * int) list
+  val log_entry_counts : t -> int list
+  val log_ops_per_entry : t -> proc:int -> int list
+end
+
+(* The construction is generic in the trace implementation (see
+   Trace_intf): [Make] uses the paper's lock-free trace, [Make_wait_free]
+   the Kogan–Petrank-style wait-free one (§8). *)
+module Make_generic
+    (M : Onll_machine.Machine_sig.S)
+    (T : Trace_intf.S)
+    (S : Spec.S) :
+  CONSTRUCTION
+    with type state = S.state
+     and type update_op = S.update_op
+     and type read_op = S.read_op
+     and type value = S.value = struct
+  module L = Onll_plog.Plog.Make (M)
+
+  type state = S.state
+  type update_op = S.update_op
+  type read_op = S.read_op
+  type value = S.value
+
+  type envelope = { e_proc : int; e_seq : int; e_op : S.update_op }
+
+  let envelope_id e = { id_proc = e.e_proc; id_seq = e.e_seq }
+  let envelope_op e = e.e_op
+
+  (* Materialised state: the specification state plus, per process, how many
+     of its operations are included ([floors.(p)] = 1 + highest included
+     sequence number). Immutable; [floors] is copied on write. *)
+  type istate = { st : S.state; floors : int array }
+
+  let initial_istate () =
+    { st = S.initial; floors = Array.make M.max_processes 0 }
+
+  let apply_env is env =
+    let st, v = S.apply is.st env.e_op in
+    let floors =
+      if env.e_seq >= is.floors.(env.e_proc) then begin
+        let f = Array.copy is.floors in
+        f.(env.e_proc) <- env.e_seq + 1;
+        f
+      end
+      else is.floors
+    in
+    ({ st; floors }, v)
+
+  (* What goes into the persistent log. [Ops] is Listing 1's recordEntry:
+     the helped envelopes, newest first, with contiguous execution indices
+     descending from [exec_idx]. [Checkpoint] summarises the history up to
+     [upto_idx] for compaction (§8). *)
+  type record =
+    | Ops of { exec_idx : int; envs : envelope list }
+    | Checkpoint of { upto_idx : int; state : istate }
+
+  let envelope_codec =
+    let open Onll_util.Codec in
+    map
+      (fun (e_proc, e_seq, e_op) -> { e_proc; e_seq; e_op })
+      (fun { e_proc; e_seq; e_op } -> (e_proc, e_seq, e_op))
+      (triple int int S.update_codec)
+
+  let istate_codec =
+    let open Onll_util.Codec in
+    map
+      (fun (st, floors) -> { st; floors })
+      (fun { st; floors } -> (st, floors))
+      (pair S.state_codec (array int))
+
+  let record_codec =
+    let open Onll_util.Codec in
+    let ops_c = pair int (list envelope_codec) in
+    let ckpt_c = pair int istate_codec in
+    tagged
+      (function
+        | Ops { exec_idx; envs } -> (0, encode ops_c (exec_idx, envs))
+        | Checkpoint { upto_idx; state } ->
+            (1, encode ckpt_c (upto_idx, state)))
+      (fun tag body ->
+        match tag with
+        | 0 ->
+            let exec_idx, envs = decode ops_c body in
+            Ops { exec_idx; envs }
+        | 1 ->
+            let upto_idx, state = decode ckpt_c body in
+            Checkpoint { upto_idx; state }
+        | n -> raise (Decode_error (Printf.sprintf "record: bad tag %d" n)))
+
+  type t = {
+    mutable trace : (envelope, istate) T.t;
+        (** replaced wholesale by recovery *)
+    logs : L.t array;  (** per process; the durable state *)
+    seqs : int array;  (** next per-process op sequence number; owner-only *)
+    views : ((envelope, istate) T.node * istate) option array;
+        (** per-process local view (§8): an available node and the state at
+            it; owner-only *)
+    use_views : bool;
+    recovered : (op_id, int) Hashtbl.t;
+        (** op id -> execution index, rebuilt by recovery *)
+    mutable max_fuzzy : int;
+        (** largest fuzzy window observed at any persist step (Prop 5.2
+            says this never exceeds MAX-PROCESSES) *)
+  }
+
+  let instances = ref 0
+
+  let create ?(log_capacity = 1 lsl 16) ?(local_views = false) () =
+    let n = !instances in
+    incr instances;
+    {
+      trace = T.create ~base_idx:0 ~base_state:(initial_istate ());
+      logs =
+        Array.init M.max_processes (fun p ->
+            L.create
+              ~name:(Printf.sprintf "%s.%d.plog.%d" S.name n p)
+              ~capacity:log_capacity);
+      seqs = Array.make M.max_processes 0;
+      views = Array.make M.max_processes None;
+      use_views = local_views;
+      recovered = Hashtbl.create 64;
+      max_fuzzy = 0;
+    }
+
+  (* State of the object at [node] (after applying node's operation), plus
+     the return value of node's own operation if it contributed to the
+     delta. Maintains the caller's local view when enabled. *)
+  let compute t node =
+    let p = M.self () in
+    let floor = if t.use_views then t.views.(p) else None in
+    let base, delta = T.delta_from ?floor t.trace node in
+    let state, last_value =
+      List.fold_left
+        (fun (is, _) (_, env) ->
+          let is', v = apply_env is env in
+          (is', Some v))
+        (base, None)
+        delta
+    in
+    if t.use_views then t.views.(p) <- Some (node, state);
+    (state, last_value)
+
+  (* State after [node] without touching local views (recovery/pruning
+     contexts, where the caller is not a registered process). *)
+  let istate_at t node =
+    let base, delta = T.delta_from t.trace node in
+    List.fold_left (fun is (_, env) -> fst (apply_env is env)) base delta
+
+  (* Listing 3. *)
+  let update_env t env =
+    let node = T.insert t.trace env in
+    let fuzzy = T.fuzzy_envs t.trace node in
+    let fuzzy_len = List.length fuzzy in
+    assert (fuzzy_len <= M.max_processes);
+    if fuzzy_len > t.max_fuzzy then t.max_fuzzy <- fuzzy_len;
+    let payload =
+      Onll_util.Codec.encode record_codec
+        (Ops { exec_idx = T.idx node; envs = fuzzy })
+    in
+    L.append t.logs.(env.e_proc) payload;
+    T.set_available node;
+    let _, value = compute t node in
+    M.return_point ();
+    match value with
+    | Some v -> v
+    | None -> assert false  (* node's own op is always in the delta *)
+
+  let next_id t =
+    let p = M.self () in
+    let seq = t.seqs.(p) in
+    t.seqs.(p) <- seq + 1;
+    { id_proc = p; id_seq = seq }
+
+  let update_with_id t op =
+    let id = next_id t in
+    let v =
+      update_env t { e_proc = id.id_proc; e_seq = id.id_seq; e_op = op }
+    in
+    (id, v)
+
+  let update t op = snd (update_with_id t op)
+
+  (* Detectable-execution entry point: the caller chooses the sequence
+     number, so it can ask {!was_linearized} about this exact operation
+     after a crash, even though the call itself never returned. *)
+  let update_detectable t ~seq op =
+    let p = M.self () in
+    if seq < t.seqs.(p) then
+      invalid_arg "Onll.update_detectable: sequence number reused";
+    t.seqs.(p) <- seq + 1;
+    update_env t { e_proc = p; e_seq = seq; e_op = op }
+
+  (* Listing 4. *)
+  let read t rop =
+    let node = T.latest_available t.trace in
+    let state, _ = compute t node in
+    let v = S.read state.st rop in
+    M.return_point ();
+    v
+
+  (* {2 Recovery — Listing 5} *)
+
+  let decode_entries log =
+    List.map (Onll_util.Codec.decode record_codec) (L.entries log)
+
+  let recover t =
+    Array.iter L.recover t.logs;
+    let records = Array.to_list t.logs |> List.concat_map decode_entries in
+    (* Best checkpoint = deepest summarised prefix. *)
+    let base_idx, base_state =
+      List.fold_left
+        (fun ((bi, _) as best) r ->
+          match r with
+          | Checkpoint { upto_idx; state } when upto_idx > bi ->
+              (upto_idx, state)
+          | Checkpoint _ | Ops _ -> best)
+        (0, initial_istate ())
+        records
+    in
+    (* Execution index -> envelope, from every Ops record. Duplicates are
+       fine (helping stores the same operation in several logs); they must
+       agree on the operation id. *)
+    let by_idx = Hashtbl.create 64 in
+    List.iter
+      (function
+        | Checkpoint _ -> ()
+        | Ops { exec_idx; envs } ->
+            List.iteri
+              (fun k env ->
+                let idx = exec_idx - k in
+                match Hashtbl.find_opt by_idx idx with
+                | None -> Hashtbl.replace by_idx idx env
+                | Some prior ->
+                    if prior.e_proc <> env.e_proc || prior.e_seq <> env.e_seq
+                    then
+                      raise
+                        (Recovery_corrupt
+                           (Printf.sprintf
+                              "logs disagree on operation at index %d" idx)))
+              envs)
+      records;
+    let max_idx = Hashtbl.fold (fun i _ acc -> max i acc) by_idx base_idx in
+    let trace = T.create ~base_idx ~base_state in
+    Hashtbl.reset t.recovered;
+    Array.blit base_state.floors 0 t.seqs 0 M.max_processes;
+    Array.fill t.views 0 (Array.length t.views) None;
+    for idx = base_idx + 1 to max_idx do
+      match Hashtbl.find_opt by_idx idx with
+      | None ->
+          (* Prop 5.10: a gap below a persisted operation is impossible for
+             logs produced by this implementation. *)
+          raise
+            (Recovery_corrupt
+               (Printf.sprintf "operation at index %d missing from all logs"
+                  idx))
+      | Some env ->
+          let node = T.insert trace env in
+          assert (T.idx node = idx);
+          T.set_available node;
+          Hashtbl.replace t.recovered
+            { id_proc = env.e_proc; id_seq = env.e_seq }
+            idx;
+          if env.e_seq >= t.seqs.(env.e_proc) then
+            t.seqs.(env.e_proc) <- env.e_seq + 1
+    done;
+    t.trace <- trace
+
+  (* {2 Detectable execution} *)
+
+  let recovered_ops t =
+    Hashtbl.fold (fun id idx acc -> (id, idx) :: acc) t.recovered []
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+
+  let was_linearized t id =
+    Hashtbl.mem t.recovered id
+    || (let _, base = T.base_of t.trace in
+        id.id_seq < base.floors.(id.id_proc))
+    || List.exists
+         (fun (_, _, env) ->
+           match env with
+           | Some e -> e.e_proc = id.id_proc && e.e_seq = id.id_seq
+           | None -> false)
+         (T.to_list t.trace)
+
+  (* {2 §8: checkpointing, log compaction, trace pruning} *)
+
+  (* Summarise the history up to the newest available operation into the
+     calling process's log, then drop the log prefix this makes redundant
+     (entries of ours whose operations all have execution index <= the
+     checkpoint, and older checkpoints). Costs one persistent fence for the
+     appended checkpoint and one for the durable head update. Returns the
+     summarised index. *)
+  let checkpoint t =
+    let p = M.self () in
+    let node = T.latest_available t.trace in
+    let state = istate_at t node in
+    let upto = T.idx node in
+    let payload =
+      Onll_util.Codec.encode record_codec
+        (Checkpoint { upto_idx = upto; state })
+    in
+    L.append t.logs.(p) payload;
+    let droppable =
+      (* Our own Ops entries have increasing exec_idx, so the droppable
+         entries form a prefix. *)
+      let rec count acc = function
+        | Ops { exec_idx; _ } :: rest when exec_idx <= upto ->
+            count (acc + 1) rest
+        | Checkpoint { upto_idx; _ } :: rest when upto_idx < upto ->
+            count (acc + 1) rest
+        | _ -> acc
+      in
+      count 0 (decode_entries t.logs.(p))
+    in
+    L.set_head t.logs.(p) droppable;
+    upto
+
+  let prune t ~below =
+    T.prune t.trace ~below ~state_before:(fun node -> istate_at t node)
+
+  (* {2 Introspection (tests, figures, reports)} *)
+
+  let trace_nodes t = T.to_list t.trace
+
+  let trace_base t =
+    let i, is = T.base_of t.trace in
+    (i, is.st)
+
+  let current_state t = (istate_at t (T.latest_available t.trace)).st
+  let latest_available_idx t = T.idx (T.latest_available t.trace)
+
+  let log_stats t =
+    Array.to_list t.logs
+    |> List.map (fun l -> (L.name l, L.live_bytes l, L.used_bytes l))
+
+  let log_entry_counts t =
+    Array.to_list t.logs |> List.map (fun l -> L.entry_count l)
+
+  (* Operations per entry of one process's log (0 for checkpoints) —
+     exposes helping: an entry with k > 1 operations persisted k-1
+     not-yet-available operations of other processes. *)
+  let max_fuzzy_window t = t.max_fuzzy
+
+  let log_ops_per_entry t ~proc =
+    decode_entries t.logs.(proc)
+    |> List.map (function
+         | Ops { envs; _ } -> List.length envs
+         | Checkpoint _ -> 0)
+end
+
+(** The paper's construction: ONLL over the lock-free Listing 2 trace. *)
+module Make (M : Onll_machine.Machine_sig.S) (S : Spec.S) =
+  Make_generic (M) (Trace_adapter.Backward (M)) (S)
+
+(** §8 extension: the same construction over the wait-free trace. Pruning
+    is unsupported on this variant (see {!Wf_trace}). *)
+module Make_wait_free (M : Onll_machine.Machine_sig.S) (S : Spec.S) =
+  Make_generic (M) (Wf_trace.Make (M)) (S)

@@ -1,0 +1,163 @@
+(** ONLL — Order Now, Linearize Later: the paper's universal construction.
+
+    Given a machine (simulated or native — {!Onll_machine.Machine_sig.S})
+    and a deterministic sequential specification ({!Spec.S}), {!Make}
+    produces a lock-free durably linearizable implementation of the object
+    that issues {e at most one persistent fence per update operation and
+    none per read-only operation} (Theorem 5.1). {!Make_wait_free} is the
+    §8 variant over a Kogan–Petrank-style wait-free execution trace.
+
+    An update runs the paper's three stages — {b order} (append a
+    descriptor to the transient execution trace, fixing the linearization
+    order), {b persist} (append the operation and every not-yet-available
+    predecessor to the caller's single-fence persistent log), {b linearize}
+    (set the descriptor's available flag) — and computes its return value
+    from the trace prefix. Reads never write shared memory or NVM.
+
+    The durable state {e is} the set of per-process logs; {!recover}
+    rebuilds the transient trace from them after a full-system crash
+    (Listing 5). The construction is {e detectable} [Friedman et al. 15]:
+    operations carry client-visible identities and {!was_linearized}
+    answers, post-recovery, whether a given operation took effect. *)
+
+type op_id = { id_proc : int; id_seq : int }
+(** Identity of an update: the invoking process and a per-process sequence
+    number (chosen by the client with {!Make.update_detectable}, or
+    allocated automatically). *)
+
+val pp_op_id : Format.formatter -> op_id -> unit
+
+exception Recovery_corrupt of string
+(** Recovery found mutually inconsistent logs — impossible for logs written
+    by this implementation surviving a crash (Prop. 5.10), so it indicates
+    external corruption or a bug. *)
+
+(** The interface every instantiation provides. *)
+module type CONSTRUCTION = sig
+  type state
+  type update_op
+  type read_op
+  type value
+
+  type t
+  (** A durable object: a transient execution trace plus one persistent log
+      per process. *)
+
+  val create : ?log_capacity:int -> ?local_views:bool -> unit -> t
+  (** Allocate a fresh object with empty per-process logs of [log_capacity]
+      bytes each (default 64 KiB). [local_views] (default false) enables the
+      §8 read acceleration: each process caches the state at the newest
+      operation it has observed, so computes replay only the delta. *)
+
+  (** {1 Operations} *)
+
+  val update : t -> update_op -> value
+  (** Apply an update. Linearizable, durable on response, exactly one
+      persistent fence.
+      @raise Onll_plog.Plog.Full when the caller's log is exhausted
+      (checkpoint, or size logs for the workload). *)
+
+  val update_with_id : t -> update_op -> op_id * value
+  (** Like {!update}, also returning the operation's identity. *)
+
+  val update_detectable : t -> seq:int -> update_op -> value
+  (** Like {!update} with a {e client-chosen} sequence number, so the
+      client can interrogate {!was_linearized} about this exact invocation
+      after a crash even though the call never returned. Sequence numbers
+      must be fresh (strictly above any previously used by this process).
+      @raise Invalid_argument on reuse. *)
+
+  val read : t -> read_op -> value
+  (** Apply a read-only operation: no shared-memory writes, no NVM
+      accesses, no fences. *)
+
+  (** {1 Crash recovery} *)
+
+  val recover : t -> unit
+  (** Rebuild the transient state from the durable logs (Listing 5): call
+      after a crash, before the first post-crash operation. Idempotent.
+      The recovered history contains every operation whose log append was
+      fenced (in particular every update that responded), in execution
+      order, starting from the deepest checkpoint.
+      @raise Recovery_corrupt on inconsistent logs. *)
+
+  val was_linearized : t -> op_id -> bool
+  (** Detectable execution: did this operation take effect? For operations
+      older than the deepest checkpoint the answer comes from the per-process
+      sequence floors carried by materialised states, so compaction does not
+      lose detectability. *)
+
+  val recovered_ops : t -> (op_id * int) list
+  (** The operations recovery re-inserted, with their execution indices,
+      oldest first (empty before any recovery). *)
+
+  (** {1 §8 extensions: reclamation} *)
+
+  val checkpoint : t -> int
+  (** Summarise the history up to the newest available operation into the
+      caller's log and drop the log prefix this makes redundant. Two
+      persistent fences (the checkpoint append and the durable head
+      update). Returns the summarised execution index. *)
+
+  val prune : t -> below:int -> unit
+  (** Make trace nodes with execution index < [below] unreachable,
+      materialising their cumulative state (the node at [below] must be
+      available). @raise Trace_intf.Unsupported on the wait-free variant. *)
+
+  (** {1 Introspection (tests, scenarios, reports)} *)
+
+  type envelope
+
+  val envelope_id : envelope -> op_id
+  val envelope_op : envelope -> update_op
+
+  val trace_nodes : t -> (int * bool * envelope option) list
+  (** Reachable trace nodes, oldest first: (execution index, available
+      flag, operation — [None] for the sentinel). *)
+
+  val trace_base : t -> int * state
+  (** The trace's summarised base: index and materialised state. *)
+
+  val current_state : t -> state
+  (** State at the newest available operation. *)
+
+  val latest_available_idx : t -> int
+  val max_fuzzy_window : t -> int
+  (** Largest fuzzy window observed at any persist step (Prop. 5.2 bounds
+      it by the machine's [max_processes]). *)
+
+  val log_stats : t -> (string * int * int) list
+  (** Per process log: (region name, live bytes, used bytes). *)
+
+  val log_entry_counts : t -> int list
+  val log_ops_per_entry : t -> proc:int -> int list
+  (** Operations per entry of one process's log (0 for checkpoints); an
+      entry with more than one operation exposes helping. *)
+end
+
+module Make_generic
+    (M : Onll_machine.Machine_sig.S)
+    (T : Trace_intf.S)
+    (S : Spec.S) :
+  CONSTRUCTION
+    with type state = S.state
+     and type update_op = S.update_op
+     and type read_op = S.read_op
+     and type value = S.value
+
+(** The paper's construction: ONLL over the lock-free Listing 2 trace. *)
+module Make (M : Onll_machine.Machine_sig.S) (S : Spec.S) :
+  CONSTRUCTION
+    with type state = S.state
+     and type update_op = S.update_op
+     and type read_op = S.read_op
+     and type value = S.value
+
+(** §8: the same construction over the Kogan–Petrank-style wait-free trace
+    ({!Wf_trace}); {!CONSTRUCTION.prune} is unsupported. *)
+module Make_wait_free (M : Onll_machine.Machine_sig.S) (S : Spec.S) :
+  CONSTRUCTION
+    with type state = S.state
+     and type update_op = S.update_op
+     and type read_op = S.read_op
+     and type value = S.value

@@ -1,0 +1,45 @@
+(** Deterministic sequential object specifications.
+
+    The universal construction turns any module of this signature into a
+    lock-free durably linearizable object. The paper's model (§2.2) defines
+    the state of an object as the sequence of update operations applied to
+    it, with a [compute] method giving each operation's return value; here
+    that is split into an explicit state type with [apply] (updates: new
+    state + return value) and [read] (read-only operations: return value
+    only), which is equivalent and lets implementations checkpoint states.
+
+    Update operations must be deterministic: applying the same operations in
+    the same order always yields the same state and values. [apply] and
+    [read] must be pure. *)
+
+module type S = sig
+  type state
+  type update_op
+  type read_op
+  type value
+
+  val name : string
+  (** Short identifier, used in region names and reports. *)
+
+  val initial : state
+  (** The state produced by INITIALIZE. *)
+
+  val apply : state -> update_op -> state * value
+  (** Sequential semantics of an update: the new state and the value
+      returned to the invoking process. *)
+
+  val read : state -> read_op -> value
+  (** Sequential semantics of a read-only operation. *)
+
+  val update_codec : update_op Onll_util.Codec.t
+  (** Serialization for persisting operations in the log. *)
+
+  val state_codec : state Onll_util.Codec.t
+  (** Serialization for checkpointing states (log compaction, §8). *)
+
+  val equal_state : state -> state -> bool
+  val equal_value : value -> value -> bool
+  val pp_update : Format.formatter -> update_op -> unit
+  val pp_read : Format.formatter -> read_op -> unit
+  val pp_value : Format.formatter -> value -> unit
+end

@@ -1,0 +1,56 @@
+(** What the universal construction needs from an execution trace.
+
+    Two implementations exist: the paper's lock-free tail-linked structure
+    (Listing 2, {!Trace} via {!Trace_adapter.Backward}) and a wait-free
+    variant in the Kogan–Petrank style ({!Wf_trace}), realising the §8
+    remark that the trace is the only non-wait-free component and can be
+    swapped for a wait-free one without touching the fence argument. *)
+
+exception Unsupported of string
+(** Raised by optional operations an implementation does not provide
+    (e.g. pruning on the wait-free trace). *)
+
+module type S = sig
+  type ('env, 'state) t
+  type ('env, 'state) node
+
+  val create : base_idx:int -> base_state:'state -> ('env, 'state) t
+
+  val insert : ('env, 'state) t -> 'env -> ('env, 'state) node
+  (** Append an operation, assigning it the next execution index. *)
+
+  val idx : ('env, 'state) node -> int
+  (** Only meaningful for nodes the caller inserted or that were observed
+      available. *)
+
+  val is_available : ('env, 'state) node -> bool
+  val set_available : ('env, 'state) node -> unit
+
+  val latest_available : ('env, 'state) t -> ('env, 'state) node
+
+  val fuzzy_envs : ('env, 'state) t -> ('env, 'state) node -> 'env list
+  (** [node]'s envelope plus the not-yet-available operations preceding it,
+      newest first, with contiguous descending execution indices. *)
+
+  val delta_from :
+    ?floor:('env, 'state) node * 'state ->
+    ('env, 'state) t ->
+    ('env, 'state) node ->
+    'state * (int * 'env) list
+  (** Starting state and the (index, envelope) list — oldest first — whose
+      application yields the state at [node] inclusive. [floor] is a
+      previously observed {e available} node with its known state; an
+      unusable floor (newer than [node]) is ignored. *)
+
+  val to_list : ('env, 'state) t -> (int * bool * 'env option) list
+  (** All reachable nodes, oldest first, for tests and recovery checks. *)
+
+  val base_of : ('env, 'state) t -> int * 'state
+
+  val prune :
+    ('env, 'state) t ->
+    below:int ->
+    state_before:(('env, 'state) node -> 'state) ->
+    unit
+  (** Reclaim nodes with index < [below] (§8). May raise {!Unsupported}. *)
+end

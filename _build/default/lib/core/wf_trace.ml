@@ -1,0 +1,262 @@
+(** Wait-free execution trace, after Kogan & Petrank (PPoPP'11).
+
+    The paper's §8 observes that the only non-wait-free component of ONLL
+    is the transient execution trace and that a wait-free queue construction
+    yields a wait-free ONLL. This module is that trace: a forward-linked
+    Michael–Scott structure whose insertion uses phase-numbered
+    announcements with helping — every insert completes within a bounded
+    number of the {e caller's} own steps, because any process that finishes
+    an insertion first helps all announced insertions with lower-or-equal
+    phases.
+
+    Differences from the backward trace dictated by wait-freedom:
+    {ul
+    {- links point {e forward} (insertion is a CAS on the last node's [next]
+       from [Null], which helpers can perform for a stalled announcer
+       without the write-after-publication races a backward [next] would
+       need);}
+    {- traversals therefore start from an older {e available} node and walk
+       forward. The trace keeps a per-process cursor (the newest available
+       node that process has seen) so steady-state scans cover only the
+       delta; execution indices are recomputed while walking, because a
+       node's stored index is only guaranteed once the node is available
+       (or owned by the caller);}
+    {- pruning is not supported ({!Trace_intf.Unsupported}) — combining
+       Kogan–Petrank helping with §8 reclamation is future work, as in the
+       paper.}} *)
+
+module Make (M : Onll_machine.Machine_sig.S) : Trace_intf.S = struct
+  type ('env, 'state) node = {
+    env : 'env option;  (* None only for the head sentinel *)
+    mutable idx : int;
+        (* written (with the same value) by every finishing helper, before
+           the owner's announcement is released *)
+    available : bool M.Tvar.t;
+    next : ('env, 'state) link M.Tvar.t;  (* towards NEWER operations *)
+    owner : int;  (* announcing process, for claim resolution *)
+  }
+
+  and ('env, 'state) link = Null | Node of ('env, 'state) node
+
+  (* A pending insertion request (Kogan–Petrank "operation descriptor").
+     Slots are replaced wholesale and compared physically by CAS. *)
+  type ('env, 'state) desc = {
+    phase : int;
+    req : ('env, 'state) node option;
+    pending : bool;
+  }
+
+  type ('env, 'state) t = {
+    head : ('env, 'state) node;
+    base_idx : int;
+    base_state : 'state;
+    tail : ('env, 'state) node M.Tvar.t;  (* may lag by one link *)
+    state : ('env, 'state) desc M.Tvar.t array;  (* per process *)
+    cursors : ('env, 'state) node array;
+        (* per process: newest available node it has observed; owner-only *)
+  }
+
+  let create ~base_idx ~base_state =
+    let head =
+      {
+        env = None;
+        idx = base_idx;
+        available = M.Tvar.make true;
+        next = M.Tvar.make Null;
+        owner = -1;
+      }
+    in
+    {
+      head;
+      base_idx;
+      base_state;
+      tail = M.Tvar.make head;
+      state =
+        Array.init M.max_processes (fun _ ->
+            M.Tvar.make { phase = 0; req = None; pending = false });
+      cursors = Array.make M.max_processes head;
+    }
+
+  let idx n = n.idx
+  let is_available n = M.Tvar.get n.available
+  let set_available n = M.Tvar.set n.available true
+
+  (* {2 Kogan–Petrank insertion} *)
+
+  let max_phase t =
+    let m = ref 0 in
+    Array.iter
+      (fun slot ->
+        let d = M.Tvar.get slot in
+        if d.phase > !m then m := d.phase)
+      t.state;
+    !m
+
+  let is_pending t q phase =
+    let d = M.Tvar.get t.state.(q) in
+    d.pending && d.phase <= phase
+
+  (* Complete the link at the tail: fix the new node's index, release its
+     owner's announcement, swing the tail. All three writes are idempotent
+     or CAS-guarded, so any number of helpers may run this concurrently. *)
+  let help_finish t =
+    let last = M.Tvar.get t.tail in
+    match M.Tvar.get last.next with
+    | Null -> ()
+    | Node node ->
+        node.idx <- last.idx + 1;
+        let q = node.owner in
+        if q >= 0 then begin
+          let d = M.Tvar.get t.state.(q) in
+          match d.req with
+          | Some n when n == node && d.pending ->
+              ignore
+                (M.Tvar.cas t.state.(q) ~expected:d
+                   ~desired:{ d with pending = false })
+          | Some _ | None -> ()
+        end;
+        ignore (M.Tvar.cas t.tail ~expected:last ~desired:node)
+
+  let help_insert t q phase =
+    let continue_ = ref (is_pending t q phase) in
+    while !continue_ do
+      let last = M.Tvar.get t.tail in
+      let next = M.Tvar.get last.next in
+      if last == M.Tvar.get t.tail then begin
+        match next with
+        | Null ->
+            if is_pending t q phase then begin
+              let d = M.Tvar.get t.state.(q) in
+              match d.req with
+              | Some node when d.pending ->
+                  if M.Tvar.cas last.next ~expected:Null ~desired:(Node node)
+                  then begin
+                    help_finish t;
+                    continue_ := false
+                  end
+              | Some _ | None -> ()
+            end
+        | Node _ -> help_finish t
+      end;
+      if !continue_ then continue_ := is_pending t q phase
+    done
+
+  let help t phase =
+    for q = 0 to Array.length t.state - 1 do
+      if is_pending t q phase then help_insert t q phase
+    done
+
+  let insert t env =
+    let p = M.self () in
+    let node =
+      {
+        env = Some env;
+        idx = 0;
+        available = M.Tvar.make false;
+        next = M.Tvar.make Null;
+        owner = p;
+      }
+    in
+    let phase = max_phase t + 1 in
+    M.Tvar.set t.state.(p) { phase; req = Some node; pending = true };
+    help t phase;
+    help_finish t;
+    (* pending = false implies help_finish assigned our index *)
+    node
+
+  (* {2 Forward traversals}
+
+     All scans start from an available node (a per-process cursor or the
+     head) and recompute indices while walking, so they never read the
+     mutable [idx] of a node that is not yet finished. *)
+
+  (* Fold [f] over the nodes strictly after [start], oldest first, carrying
+     the running index. *)
+  let fold_forward start start_idx ~init ~f =
+    let rec go curr curr_idx acc =
+      match M.Tvar.get curr.next with
+      | Null -> acc
+      | Node n ->
+          let n_idx = curr_idx + 1 in
+          go n n_idx (f acc n n_idx)
+    in
+    go start start_idx init
+
+  (* The caller's scan start: its cursor (always an available node). *)
+  let cursor t =
+    let p = M.self () in
+    t.cursors.(p)
+
+  let advance_cursor t node =
+    let p = M.self () in
+    if node.idx > t.cursors.(p).idx then t.cursors.(p) <- node
+
+  let latest_available t =
+    let start = cursor t in
+    let best =
+      fold_forward start start.idx ~init:start ~f:(fun best n _ ->
+          if M.Tvar.get n.available then n else best)
+    in
+    advance_cursor t best;
+    best
+
+  let fuzzy_envs t node =
+    let start = cursor t in
+    (* newest available node <= node, then the suffix after it up to node *)
+    let _, suffix_rev =
+      fold_forward start start.idx ~init:(start, [])
+        ~f:(fun (last_avail, suffix) n n_idx ->
+          if n_idx > node.idx then (last_avail, suffix)
+          else if M.Tvar.get n.available then (n, [])
+          else (last_avail, (n_idx, n) :: suffix))
+    in
+    match suffix_rev with
+    | [] ->
+        (* shielded: some available node at or above us already covers the
+           prefix; persist just ourselves (contiguity trivially holds) *)
+        [ (match node.env with Some e -> e | None -> assert false) ]
+    | suffix ->
+        List.map
+          (fun (_, n) ->
+            match n.env with Some e -> e | None -> assert false)
+          suffix
+
+  let delta_from ?floor t node =
+    let start, start_idx, state =
+      match floor with
+      | Some (fnode, fstate) when fnode.idx <= node.idx ->
+          (fnode, fnode.idx, fstate)
+      | Some _ | None -> (t.head, t.base_idx, t.base_state)
+    in
+    if start == node then (state, [])
+    else
+      let rec collect curr curr_idx acc =
+        match M.Tvar.get curr.next with
+        | Null ->
+            (* [node] must be reachable from any valid floor *)
+            assert false
+        | Node n ->
+            let n_idx = curr_idx + 1 in
+            let acc =
+              match n.env with
+              | Some e -> (n_idx, e) :: acc
+              | None -> acc
+            in
+            if n == node then List.rev acc else collect n n_idx acc
+      in
+      (state, collect start start_idx [])
+
+  let to_list t =
+    fold_forward t.head t.base_idx
+      ~init:[ (t.base_idx, M.Tvar.get t.head.available, t.head.env) ]
+      ~f:(fun acc n n_idx -> (n_idx, M.Tvar.get n.available, n.env) :: acc)
+    |> List.rev
+
+  let base_of t = (t.base_idx, t.base_state)
+
+  let prune _t ~below:_ ~state_before:_ =
+    raise
+      (Trace_intf.Unsupported
+         "Wf_trace.prune: reclamation on the wait-free trace is not \
+          supported (see DESIGN.md §7)")
+end

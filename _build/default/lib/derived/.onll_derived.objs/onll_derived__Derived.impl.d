@@ -1,0 +1,1 @@
+lib/derived/derived.ml: Machine_sig Onll_core Onll_machine Onll_specs

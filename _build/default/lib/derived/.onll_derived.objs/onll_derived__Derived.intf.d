@@ -1,0 +1,1 @@
+lib/derived/derived.mli: Machine_sig Onll_core Onll_machine

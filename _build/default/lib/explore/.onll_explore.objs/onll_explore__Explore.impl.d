@@ -1,0 +1,1 @@
+lib/explore/explore.ml: Array Format List Onll_machine Onll_sched Sched

@@ -1,0 +1,1 @@
+lib/explore/explore.mli: Format Onll_machine Onll_sched

@@ -1,0 +1,116 @@
+open Onll_sched
+
+type choice = Proc of int | Crash
+
+type stats = {
+  runs : int;
+  crashed_runs : int;
+  max_depth : int;
+  truncated : bool;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf "runs=%d crashed=%d max_depth=%d%s" s.runs
+    s.crashed_runs s.max_depth
+    (if s.truncated then " (truncated)" else "")
+
+(* One decision point of an execution: who was runnable, who had been
+   running, what was chosen. *)
+type decision = { d_enabled : int list; d_prev : int option; d_chosen : choice }
+
+let is_preemption d =
+  match (d.d_prev, d.d_chosen) with
+  | Some q, Proc p -> p <> q && List.mem q d.d_enabled
+  | _, Crash | None, _ -> false
+
+(* Execute once: replay [prefix], then continue with the default policy
+   (keep running the current process; else the smallest runnable). Returns
+   the decisions taken, oldest first, and the outcome. *)
+let run_one ~max_steps sim procs prefix =
+  let remaining = ref prefix in
+  let decisions = ref [] in
+  let prev = ref None in
+  let strategy view =
+    let enabled = view.Sched.Strategy.runnable () in
+    let chosen =
+      match !remaining with
+      | c :: rest ->
+          remaining := rest;
+          c
+      | [] -> (
+          match !prev with
+          | Some p when List.mem p enabled -> Proc p
+          | Some _ | None -> Proc (List.hd enabled))
+    in
+    decisions := { d_enabled = enabled; d_prev = !prev; d_chosen = chosen } :: !decisions;
+    match chosen with
+    | Proc p ->
+        prev := Some p;
+        Sched.Strategy.Schedule p
+    | Crash -> Sched.Strategy.Crash_now
+  in
+  let outcome = Onll_machine.Sim.run ~max_steps sim strategy procs in
+  (Array.of_list (List.rev !decisions), outcome)
+
+let run ?(max_preemptions = 2) ?(with_crashes = false) ?(max_steps = 100_000)
+    ?(max_runs = 200_000) ~mk () =
+  let runs = ref 0 in
+  let crashed_runs = ref 0 in
+  let max_depth = ref 0 in
+  let truncated = ref false in
+  let rec explore prefix =
+    if !runs >= max_runs then truncated := true
+    else begin
+      incr runs;
+      let sim, procs, chk = mk () in
+      let decisions, outcome = run_one ~max_steps sim procs prefix in
+      if outcome = Sched.World.Crashed then incr crashed_runs;
+      chk outcome;
+      let n = Array.length decisions in
+      if n > !max_depth then max_depth := n;
+      (* cumulative preemption counts: pcum.(i) = preemptions in [0, i) *)
+      let pcum = Array.make (n + 1) 0 in
+      for i = 0 to n - 1 do
+        pcum.(i + 1) <- pcum.(i) + if is_preemption decisions.(i) then 1 else 0
+      done;
+      let prefix_len = List.length prefix in
+      let chosen_prefix i =
+        Array.to_list (Array.sub decisions 0 i)
+        |> List.map (fun d -> d.d_chosen)
+      in
+      (* branch on every untried alternative at or beyond the frozen prefix,
+         deepest first *)
+      for i = n - 1 downto prefix_len do
+        let d = decisions.(i) in
+        match d.d_chosen with
+        | Crash -> ()  (* proc branches at this point belong to the parent *)
+        | Proc chosen ->
+            let alt_allowed p =
+              p <> chosen
+              &&
+              let preempts =
+                match d.d_prev with
+                | Some q when q <> p && List.mem q d.d_enabled -> true
+                | Some _ | None -> false
+              in
+              (not preempts) || pcum.(i) < max_preemptions
+            in
+            let alts =
+              List.filter_map
+                (fun p -> if alt_allowed p then Some (Proc p) else None)
+                d.d_enabled
+            in
+            let alts = if with_crashes then Crash :: alts else alts in
+            List.iter
+              (fun alt -> explore (chosen_prefix i @ [ alt ]))
+              alts
+      done
+    end
+  in
+  explore [];
+  {
+    runs = !runs;
+    crashed_runs = !crashed_runs;
+    max_depth = !max_depth;
+    truncated = !truncated;
+  }

@@ -1,0 +1,53 @@
+(** Systematic concurrency testing: stateless exploration of schedules
+    with a preemption bound (à la CHESS) and optional crash branching.
+
+    Where the fuzz campaigns sample random interleavings, this module
+    {e enumerates} them: every schedule of the program whose number of
+    preemptions (switching away from a process that could still run) is at
+    most a bound, and — when crash branching is on — additionally a
+    full-system crash at {e every} decision point of every such schedule.
+    For the small programs used as tests (2–3 processes, 1–2 operations
+    each) this is exhaustive enough to find any bug that random testing
+    might miss by luck, deterministically.
+
+    The exploration is stateless: each schedule re-runs the program from
+    scratch on a fresh machine built by the caller's [mk]. The program must
+    be deterministic given the schedule (true of everything built on the
+    simulator). *)
+
+type choice = Proc of int | Crash
+
+type stats = {
+  runs : int;  (** program executions performed *)
+  crashed_runs : int;  (** runs ending in an injected crash *)
+  max_depth : int;  (** longest schedule, in decisions *)
+  truncated : bool;  (** true if [max_runs] cut the exploration short *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val run :
+  ?max_preemptions:int ->
+  ?with_crashes:bool ->
+  ?max_steps:int ->
+  ?max_runs:int ->
+  mk:
+    (unit ->
+    Onll_machine.Sim.t
+    * (int -> unit) array
+    * (Onll_sched.Sched.World.outcome -> unit)) ->
+  unit ->
+  stats
+(** [run ~mk ()] explores the program.
+
+    [mk ()] must build a {e fresh} simulator, process array and a check
+    callback; the callback runs after each execution (with its outcome) and
+    should perform recovery plus whatever assertions define correctness —
+    raising on violation aborts the exploration with that exception.
+
+    [max_preemptions] (default 2) bounds involuntary context switches per
+    schedule. [with_crashes] (default false) adds a crash branch at every
+    decision point (the crash policy is whatever the simulator from [mk] is
+    configured with). [max_steps] (default 100_000) guards against
+    livelocking programs; [max_runs] (default 200_000) caps the exploration
+    size, setting [truncated] when hit. *)

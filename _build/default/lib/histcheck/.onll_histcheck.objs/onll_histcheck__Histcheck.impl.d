@@ -1,0 +1,1 @@
+lib/histcheck/histcheck.ml: Array Format Hashtbl List Mutex Onll_core Onll_util Printf String

@@ -1,0 +1,1 @@
+lib/histcheck/histcheck.mli: Format Onll_core

@@ -1,0 +1,314 @@
+module Make (S : Onll_core.Spec.S) = struct
+  type op_kind = Update of S.update_op | Read of S.read_op
+
+  type event =
+    | Invoke of { uid : int; proc : int; kind : op_kind }
+    | Return of { uid : int; value : S.value }
+    | Crash
+
+  let pp_kind ppf = function
+    | Update u -> S.pp_update ppf u
+    | Read r -> S.pp_read ppf r
+
+  let pp_event ppf = function
+    | Invoke { uid; proc; kind } ->
+        Format.fprintf ppf "inv  #%d p%d %a" uid proc pp_kind kind
+    | Return { uid; value } ->
+        Format.fprintf ppf "ret  #%d -> %a" uid S.pp_value value
+    | Crash -> Format.pp_print_string ppf "CRASH"
+
+  module Recorder = struct
+    type t = {
+      mutable events : event list;  (* newest first *)
+      mutable next_uid : int;
+      lock : Mutex.t;
+    }
+
+    let create () = { events = []; next_uid = 0; lock = Mutex.create () }
+
+    let push t e =
+      Mutex.lock t.lock;
+      t.events <- e :: t.events;
+      Mutex.unlock t.lock
+
+    let invoke t ~proc kind =
+      Mutex.lock t.lock;
+      let uid = t.next_uid in
+      t.next_uid <- uid + 1;
+      t.events <- Invoke { uid; proc; kind } :: t.events;
+      Mutex.unlock t.lock;
+      uid
+
+    let return_ t uid value = push t (Return { uid; value })
+    let crash t = push t Crash
+    let history t = List.rev t.events
+
+    let run_update t ~proc op f =
+      let uid = invoke t ~proc (Update op) in
+      let v = f op in
+      return_ t uid v;
+      v
+
+    let run_read t ~proc rop f =
+      let uid = invoke t ~proc (Read rop) in
+      let v = f rop in
+      return_ t uid v;
+      v
+  end
+
+  type verdict =
+    | Durably_linearizable of int list
+    | Violation of string
+    | Budget_exhausted
+
+  let pp_verdict ppf = function
+    | Durably_linearizable w ->
+        Format.fprintf ppf "durably linearizable (witness: %s)"
+          (String.concat " " (List.map string_of_int w))
+    | Violation msg -> Format.fprintf ppf "VIOLATION: %s" msg
+    | Budget_exhausted -> Format.pp_print_string ppf "budget exhausted"
+
+  type op_info = {
+    o_uid : int;
+    o_proc : int;
+    o_kind : op_kind;
+    o_era : int;
+    o_inv : int;  (* event position *)
+    o_ret : int option;  (* event position of the response *)
+    o_value : S.value option;
+  }
+
+  let parse events =
+    let tbl = Hashtbl.create 32 in
+    let order = ref [] in
+    let era = ref 0 in
+    let pending_by_proc = Hashtbl.create 8 in
+    List.iteri
+      (fun pos ev ->
+        match ev with
+        | Crash ->
+            incr era;
+            Hashtbl.reset pending_by_proc
+        | Invoke { uid; proc; kind } ->
+            if Hashtbl.mem tbl uid then
+              invalid_arg "Histcheck: duplicate operation uid";
+            if Hashtbl.mem pending_by_proc proc then
+              invalid_arg
+                (Printf.sprintf
+                   "Histcheck: process %d has two pending invocations" proc);
+            Hashtbl.replace pending_by_proc proc uid;
+            Hashtbl.replace tbl uid
+              {
+                o_uid = uid;
+                o_proc = proc;
+                o_kind = kind;
+                o_era = !era;
+                o_inv = pos;
+                o_ret = None;
+                o_value = None;
+              };
+            order := uid :: !order
+        | Return { uid; value } -> (
+            match Hashtbl.find_opt tbl uid with
+            | None -> invalid_arg "Histcheck: return without invocation"
+            | Some info ->
+                if info.o_ret <> None then
+                  invalid_arg "Histcheck: duplicate return";
+                if info.o_era <> !era then
+                  invalid_arg "Histcheck: response crosses a crash";
+                Hashtbl.remove pending_by_proc info.o_proc;
+                Hashtbl.replace tbl uid
+                  { info with o_ret = Some pos; o_value = Some value }))
+      events;
+    let uids = List.rev !order in
+    (List.map (Hashtbl.find tbl) uids, !era + 1)
+
+  let check ?(max_states = 2_000_000) events =
+    let ops, n_eras = parse events in
+    let n = List.length ops in
+    if n > 62 then
+      invalid_arg "Histcheck: more than 62 operations in one history";
+    let ops = Array.of_list ops in
+    (* Dense slot per op; build precedence masks: preds.(i) = ops that must
+       be linearized before op i (they responded before i's invocation). *)
+    let slot_of_uid = Hashtbl.create 16 in
+    Array.iteri (fun i o -> Hashtbl.replace slot_of_uid o.o_uid i) ops;
+    let preds = Array.make n 0 in
+    Array.iteri
+      (fun i oi ->
+        Array.iteri
+          (fun j oj ->
+            if i <> j then
+              match oj.o_ret with
+              | Some r when r < oi.o_inv -> preds.(i) <- preds.(i) lor (1 lsl j)
+              | Some _ | None -> ())
+          ops)
+      ops;
+    let era_mask = Array.make n_eras 0 in
+    let era_complete = Array.make n_eras 0 in
+    Array.iteri
+      (fun i o ->
+        era_mask.(o.o_era) <- era_mask.(o.o_era) lor (1 lsl i);
+        if o.o_ret <> None then
+          era_complete.(o.o_era) <- era_complete.(o.o_era) lor (1 lsl i))
+      ops;
+    let full = (1 lsl n) - 1 in
+    ignore full;
+    (* Memoise failed states: (era, done-mask, canonical state). A "done" op
+       is linearized or dropped; dropping is modelled by advancing the era
+       with pending operations unaccounted — they can never be linearized
+       once their era is over, which is exactly a drop. *)
+    let seen = Hashtbl.create 4096 in
+    let states = ref 0 in
+    let budget_hit = ref false in
+    let exception Found of int list in
+    let rec dfs era done_mask state acc_rev =
+      if !budget_hit then ()
+      else begin
+        let key =
+          (era, done_mask, Onll_util.Codec.encode S.state_codec state)
+        in
+        if Hashtbl.mem seen key then ()
+        else begin
+          incr states;
+          if !states > max_states then budget_hit := true
+          else begin
+            (if era = n_eras then begin
+               (* All eras processed; every complete op must be done (eras
+                  only advance when their complete ops are done). *)
+               raise (Found (List.rev acc_rev))
+             end);
+            if era < n_eras then begin
+              (* Option 1: advance the era (drop this era's still-pending
+                 operations) if every complete op of the era is done. *)
+              if era_complete.(era) land lnot done_mask = 0 then
+                dfs (era + 1)
+                  (done_mask lor era_mask.(era))
+                  state acc_rev;
+              (* Option 2: linearize a candidate from the current era. *)
+              let remaining = era_mask.(era) land lnot done_mask in
+              let rec try_slots m =
+                if m <> 0 then begin
+                  let i =
+                    (* lowest set bit index *)
+                    let b = m land -m in
+                    let rec log2 b acc = if b = 1 then acc else log2 (b lsr 1) (acc + 1) in
+                    log2 b 0
+                  in
+                  let o = ops.(i) in
+                  if preds.(i) land lnot done_mask = 0 then begin
+                    let state', value =
+                      match o.o_kind with
+                      | Update u -> S.apply state u
+                      | Read r -> (state, S.read state r)
+                    in
+                    let ok =
+                      match o.o_value with
+                      | None -> true  (* pending: any value is acceptable *)
+                      | Some recorded -> S.equal_value value recorded
+                    in
+                    if ok then
+                      dfs era (done_mask lor (1 lsl i)) state'
+                        (o.o_uid :: acc_rev)
+                  end;
+                  try_slots (m land (m - 1))
+                end
+              in
+              try_slots remaining
+            end;
+            Hashtbl.replace seen key ()
+          end
+        end
+      end
+    in
+    match dfs 0 0 S.initial [] with
+    | () ->
+        if !budget_hit then Budget_exhausted
+        else
+          Violation
+            (Printf.sprintf
+               "no legal linearization of %d operations across %d era(s)" n
+               n_eras)
+    | exception Found witness -> Durably_linearizable witness
+
+  let validate_witness events witness =
+    let ops, _ = parse events in
+    let by_uid = Hashtbl.create 16 in
+    List.iter (fun o -> Hashtbl.replace by_uid o.o_uid o) ops;
+    let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+    let rec dedup seen = function
+      | [] -> Ok ()
+      | u :: rest ->
+          if List.mem u seen then err "uid %d appears twice in the witness" u
+          else if not (Hashtbl.mem by_uid u) then
+            err "uid %d is not an operation of the history" u
+          else dedup (u :: seen) rest
+    in
+    match dedup [] witness with
+    | Error _ as e -> e
+    | Ok () ->
+        let complete_missing =
+          List.filter
+            (fun o -> o.o_ret <> None && not (List.mem o.o_uid witness))
+            ops
+        in
+        if complete_missing <> [] then
+          err "completed operation #%d missing from the witness"
+            (List.hd complete_missing).o_uid
+        else begin
+          (* eras must be non-decreasing along the witness *)
+          let rec eras last = function
+            | [] -> Ok ()
+            | u :: rest ->
+                let o = Hashtbl.find by_uid u in
+                if o.o_era < last then
+                  err "uid %d linearized after a later era" u
+                else eras o.o_era rest
+          in
+          match eras 0 witness with
+          | Error _ as e -> e
+          | Ok () ->
+              (* real-time precedence among included operations *)
+              let pos u =
+                let rec go i = function
+                  | [] -> -1
+                  | x :: r -> if x = u then i else go (i + 1) r
+                in
+                go 0 witness
+              in
+              let precedence_ok =
+                List.for_all
+                  (fun a ->
+                    List.for_all
+                      (fun b ->
+                        match a.o_ret with
+                        | Some r
+                          when r < b.o_inv
+                               && List.mem a.o_uid witness
+                               && List.mem b.o_uid witness ->
+                            pos a.o_uid < pos b.o_uid
+                        | Some _ | None -> true)
+                      ops)
+                  ops
+              in
+              if not precedence_ok then Error "witness violates precedence"
+              else begin
+                (* replay *)
+                let rec replay st = function
+                  | [] -> Ok ()
+                  | u :: rest -> (
+                      let o = Hashtbl.find by_uid u in
+                      let st', v =
+                        match o.o_kind with
+                        | Update op -> S.apply st op
+                        | Read r -> (st, S.read st r)
+                      in
+                      match o.o_value with
+                      | Some recorded when not (S.equal_value v recorded) ->
+                          err "uid %d replays to a different value" u
+                      | Some _ | None -> replay st' rest)
+                in
+                replay S.initial witness
+              end
+        end
+end

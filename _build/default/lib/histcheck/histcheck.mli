@@ -1,0 +1,77 @@
+(** Durable-linearizability checker (paper §5.2.1, Definitions 5.4–5.6).
+
+    Records concurrent histories — invocations, responses and full-system
+    crashes — and decides by exhaustive search whether a history is durably
+    linearizable with respect to a sequential specification: does there
+    exist a legal sequential order of the operations that
+    {ul
+    {- extends the real-time precedence order (L2),}
+    {- assigns every {e completed} operation its recorded return value,}
+    {- linearizes every completed operation within its own era (between two
+       crashes), and}
+    {- optionally includes or excludes operations left pending by a crash
+       (the consistent-cut freedom of Definition 5.6)?}}
+
+    The search is exponential in the worst case; it is meant as a test
+    oracle for small windows (≤ ~60 operations, a few processes). *)
+
+module Make (S : Onll_core.Spec.S) : sig
+  type op_kind = Update of S.update_op | Read of S.read_op
+
+  type event =
+    | Invoke of { uid : int; proc : int; kind : op_kind }
+    | Return of { uid : int; value : S.value }
+    | Crash
+
+  val pp_event : Format.formatter -> event -> unit
+
+  (** Accumulates events in execution order. Under the simulator, recorder
+      calls are not scheduling points, so instrumentation does not perturb
+      the schedule; under the native machine, calls are serialised by an
+      internal mutex. *)
+  module Recorder : sig
+    type t
+
+    val create : unit -> t
+
+    val invoke : t -> proc:int -> op_kind -> int
+    (** Returns the fresh operation uid to pass to {!return_}. *)
+
+    val return_ : t -> int -> S.value -> unit
+    val crash : t -> unit
+    val history : t -> event list
+
+    val run_update :
+      t -> proc:int -> S.update_op -> (S.update_op -> S.value) -> S.value
+    (** [run_update r ~proc op f] records the invocation, runs [f op],
+        records the response. *)
+
+    val run_read :
+      t -> proc:int -> S.read_op -> (S.read_op -> S.value) -> S.value
+  end
+
+  type verdict =
+    | Durably_linearizable of int list
+        (** witness: operation uids in linearization order (dropped pending
+            operations omitted) *)
+    | Violation of string
+    | Budget_exhausted
+        (** the search hit its state budget without a decision *)
+
+  val pp_verdict : Format.formatter -> verdict -> unit
+
+  val check : ?max_states:int -> event list -> verdict
+  (** [check history] decides durable linearizability. [max_states]
+      (default 2_000_000) bounds distinct memoised search states.
+      @raise Invalid_argument on malformed histories (return without
+      invocation, two pending invocations by one process, more than 62
+      operations). *)
+
+  val validate_witness : event list -> int list -> (unit, string) result
+  (** Independently verify a linearization witness against a history: the
+      order must include every completed operation exactly once, respect
+      real-time precedence and era boundaries, and replay to the recorded
+      return values. [check]'s positive verdicts are validated with this in
+      the test suite, so the searcher and the validator cross-check each
+      other. *)
+end

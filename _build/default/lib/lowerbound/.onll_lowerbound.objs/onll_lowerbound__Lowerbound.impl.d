@@ -1,0 +1,1 @@
+lib/lowerbound/lowerbound.ml: Array Format Fun List Onll_machine Onll_nvm Onll_sched Printf Sched Sim String

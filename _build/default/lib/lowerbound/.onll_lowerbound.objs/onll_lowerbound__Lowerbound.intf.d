@@ -1,0 +1,1 @@
+lib/lowerbound/lowerbound.mli: Format Onll_machine

@@ -1,0 +1,90 @@
+open Onll_sched
+open Onll_machine
+
+type outcome = Measured | Livelock of int | Completed_early
+
+type report = {
+  n : int;
+  per_proc_fences : int array;
+  outcome : outcome;
+  steps : int;
+}
+
+let all_at_least k r = Array.for_all (fun c -> c >= k) r.per_proc_fences
+let all_at_least_one r = all_at_least 1 r
+
+let pp_report ppf r =
+  let outcome =
+    match r.outcome with
+    | Measured -> "measured"
+    | Livelock p -> Printf.sprintf "livelock (process %d starved)" p
+    | Completed_early -> "completed before preemption point"
+  in
+  Format.fprintf ppf "n=%d fences=[%s] %s (%d steps)" r.n
+    (String.concat ";"
+       (Array.to_list (Array.map string_of_int r.per_proc_fences)))
+    outcome r.steps
+
+let run_chain ?(max_steps = 200_000) sim ~procs cmds =
+  let n = Array.length procs in
+  Sim.reset_stats sim;
+  let last_scheduled = ref 0 in
+  let inner =
+    Sched.Strategy.script ~fallback:(fun _ -> Sched.Strategy.Stop "measured")
+      cmds
+  in
+  let strategy view =
+    let d = inner view in
+    (match d with
+    | Sched.Strategy.Schedule p -> last_scheduled := p
+    | Sched.Strategy.Crash_now | Sched.Strategy.Stop _ -> ());
+    d
+  in
+  let outcome =
+    match Sim.run ~max_steps sim strategy procs with
+    | Sched.World.Stopped _ -> Measured
+    | Sched.World.Completed -> Completed_early
+    | Sched.World.Crashed -> assert false  (* no Crash_now in these scripts *)
+    | exception Sched.Stuck _ -> Livelock !last_scheduled
+  in
+  let mem = Sim.memory sim in
+  {
+    n;
+    per_proc_fences =
+      Array.init n (fun p -> Onll_nvm.Memory.persistent_fences_by mem ~proc:p);
+    outcome;
+    steps = Sched.World.steps_taken (Sim.world sim);
+  }
+
+(* Case 1: park every process just before its operation's response. *)
+let solo_chain ?max_steps sim ~procs =
+  let n = Array.length procs in
+  let cmds = List.init n (fun p -> Sched.Strategy.run_until_return p) in
+  run_chain ?max_steps sim ~procs cmds
+
+(* Rounds of Case 1: each process is run solo to just before its r-th
+   response; responses are then released one by one so the next round can
+   begin. The final round leaves everyone parked pre-response, where the
+   fence counters are read. *)
+let solo_chain_rounds ?max_steps ~rounds sim ~procs =
+  let n = Array.length procs in
+  let round r =
+    (* park everyone before their r-th response... *)
+    List.init n (fun p -> Sched.Strategy.run_until_return p)
+    @
+    (* ...then, except in the last round, let the responses happen *)
+    if r = rounds - 1 then []
+    else List.init n (fun p -> Sched.Strategy.Run_steps (p, 1))
+  in
+  run_chain ?max_steps sim ~procs (List.concat_map round (List.init rounds Fun.id))
+
+(* Case 2: park every process just before its first persistent fence, then
+   let each execute exactly that one instruction, in reverse order as in the
+   proof. *)
+let fence_chain ?max_steps sim ~procs =
+  let n = Array.length procs in
+  let park = List.init n (fun p -> Sched.Strategy.run_until_pfence p) in
+  let release =
+    List.init n (fun k -> Sched.Strategy.Run_steps (n - 1 - k, 1))
+  in
+  run_chain ?max_steps sim ~procs (park @ release)

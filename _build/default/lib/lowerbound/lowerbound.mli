@@ -1,0 +1,75 @@
+(** The lower-bound adversary (paper §6, Theorem 6.3).
+
+    Theorem 6.3: for any lock-free durably linearizable implementation of an
+    update operation, there is an execution in which [n] concurrent callers
+    {e each} perform at least one persistent fence. The proof constructs the
+    execution; this module builds the same schedules against a real
+    implementation running on the simulator and reports what actually
+    happened, fence by fence.
+
+    Two schedules are provided, mirroring the two proof cases:
+    {ul
+    {- {!solo_chain} (Case 1): run each process solo up to the instant just
+       before its operation responds, then preempt it and move to the next.
+       A correct lock-free implementation must have fenced by each
+       preemption point — otherwise a crash right after the (imminent)
+       response would lose a completed operation.}
+    {- {!fence_chain} (Case 2): run each process solo up to the instant just
+       before its {e first persistent fence}, preempt, move on; finally
+       resume each preempted process for exactly one step (the fence).
+       This realises the proof's count of one fence per process. A blocking
+       implementation (e.g. flat combining, §8) fails this schedule
+       honestly: once the first process is parked before its fence — for
+       flat combining, the combiner holding the lock — the others spin
+       forever and never reach a fence of their own, which the harness
+       reports as a livelock. That livelock {e is} the content of the
+       lower bound: the blocked processes pay the fence's price by waiting
+       instead of fencing.}} *)
+
+type outcome =
+  | Measured  (** the schedule ran to its measurement point *)
+  | Livelock of int
+      (** the schedule exceeded its step budget; the payload is the index
+          of the process that could not make progress *)
+  | Completed_early
+      (** some operation responded before the intended preemption point
+          (an implementation doing less work than the schedule expects) *)
+
+type report = {
+  n : int;
+  per_proc_fences : int array;
+      (** persistent fences executed by each process when measured *)
+  outcome : outcome;
+  steps : int;  (** scheduler steps consumed *)
+}
+
+val all_at_least_one : report -> bool
+(** The lower bound's claim, checked: every process fenced at least once. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val solo_chain :
+  ?max_steps:int -> Onll_machine.Sim.t -> procs:(int -> unit) array -> report
+(** Case 1 schedule. Each [procs.(p)] must invoke exactly one update
+    operation on the object under test. Resets the simulator's statistics
+    first. *)
+
+val fence_chain :
+  ?max_steps:int -> Onll_machine.Sim.t -> procs:(int -> unit) array -> report
+(** Case 2 schedule (see module doc). *)
+
+val solo_chain_rounds :
+  ?max_steps:int ->
+  rounds:int ->
+  Onll_machine.Sim.t ->
+  procs:(int -> unit) array ->
+  report
+(** The theorem counts fences {e per update operation invoked}: here each
+    [procs.(p)] must invoke [rounds] update operations, and the Case 1
+    schedule is applied round by round — every process is run solo up to
+    just before its r-th response before anyone starts its (r+1)-th. A
+    correct lock-free implementation shows at least [rounds] fences per
+    process at the measurement point ({!all_at_least} [rounds]). *)
+
+val all_at_least : int -> report -> bool
+(** Every process performed at least [k] persistent fences. *)

@@ -1,0 +1,1 @@
+lib/machine/native.ml: Array Atomic Bytes Domain Float Hashtbl List Machine_sig Mutex Printf String Sys Unix

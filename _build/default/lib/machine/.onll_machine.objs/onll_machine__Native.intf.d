@@ -1,0 +1,1 @@
+lib/machine/native.mli: Machine_sig

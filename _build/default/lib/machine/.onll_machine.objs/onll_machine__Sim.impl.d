@@ -1,0 +1,1 @@
+lib/machine/sim.ml: Array Crash_policy Machine_sig Memory Onll_nvm Onll_sched Sched

@@ -1,0 +1,1 @@
+lib/machine/sim.mli: Crash_policy Machine_sig Memory Onll_nvm Onll_sched Sched

@@ -1,0 +1,179 @@
+type proc_slot = {
+  mutable pending : int;  (* flushed-but-unfenced line count *)
+  mutable pfences : int;
+  _pad : int array;  (* keep slots on separate cache lines *)
+}
+
+type t = {
+  max_processes : int;
+  mutable fence_ns : int;
+  slots : proc_slot array;
+  next_id : int Atomic.t;
+  key : int option Domain.DLS.key;
+  region_names : (string, unit) Hashtbl.t;
+  names_lock : Mutex.t;
+}
+
+let iters_per_ns = ref 0.0
+
+let calibrate () =
+  if !iters_per_ns = 0.0 then begin
+    (* Measure a pure spin loop against the wall clock. The loop body matches
+       [spin] below. *)
+    let iters = 50_000_000 in
+    let t0 = Unix.gettimeofday () in
+    let x = ref 0 in
+    for i = 1 to iters do
+      if !x land 1 = 0 then incr x else x := !x + i land 1
+    done;
+    let t1 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity !x);
+    let ns = (t1 -. t0) *. 1e9 in
+    iters_per_ns := float_of_int iters /. Float.max ns 1.0
+  end;
+  !iters_per_ns
+
+let spin_iters ns = int_of_float (float_of_int ns *. calibrate ())
+
+let spin iters =
+  let x = ref 0 in
+  for i = 1 to iters do
+    if !x land 1 = 0 then incr x else x := !x + i land 1
+  done;
+  ignore (Sys.opaque_identity !x)
+
+let create ?(fence_ns = 500) ~max_processes () =
+  if max_processes < 1 then invalid_arg "Native.create: max_processes < 1";
+  ignore (calibrate ());
+  {
+    max_processes;
+    fence_ns;
+    slots =
+      Array.init max_processes (fun _ ->
+          { pending = 0; pfences = 0; _pad = Array.make 14 0 });
+    next_id = Atomic.make 0;
+    key = Domain.DLS.new_key (fun () -> None);
+    region_names = Hashtbl.create 8;
+    names_lock = Mutex.create ();
+  }
+
+let register t =
+  match Domain.DLS.get t.key with
+  | Some id -> id
+  | None ->
+      let id = Atomic.fetch_and_add t.next_id 1 in
+      if id >= t.max_processes then
+        failwith "Native.register: too many domains for max_processes";
+      Domain.DLS.set t.key (Some id);
+      id
+
+let self_exn t =
+  match Domain.DLS.get t.key with
+  | Some id -> id
+  | None -> failwith "Native: domain not registered (call Native.register)"
+
+let fence_ns t = t.fence_ns
+let set_fence_ns t ns = t.fence_ns <- ns
+
+let persistent_fences t =
+  Array.fold_left (fun acc s -> acc + s.pfences) 0 t.slots
+
+let reset_stats t =
+  Array.iter
+    (fun s ->
+      s.pending <- 0;
+      s.pfences <- 0)
+    t.slots
+
+let run_workers t bodies =
+  let domains =
+    List.map
+      (fun body ->
+        Domain.spawn (fun () ->
+            let id = register t in
+            body id))
+      bodies
+  in
+  List.map Domain.join domains
+
+module Make_machine (X : sig
+  val native : t
+end) : Machine_sig.S = struct
+  let n = X.native
+  let id = "native"
+  let max_processes = n.max_processes
+
+  module Tvar = struct
+    type 'a t = 'a Atomic.t
+
+    let make = Atomic.make
+    let get = Atomic.get
+    let set = Atomic.set
+    let cas v ~expected ~desired = Atomic.compare_and_set v expected desired
+  end
+
+  module Pm = struct
+    type t = { buf : Bytes.t; pm_size : int }
+
+    let line_size = 64
+
+    let create ~name ~size =
+      if size <= 0 then invalid_arg "Native.Pm.create: non-positive size";
+      Mutex.lock n.names_lock;
+      let dup = Hashtbl.mem n.region_names name in
+      if not dup then Hashtbl.replace n.region_names name ();
+      Mutex.unlock n.names_lock;
+      if dup then
+        invalid_arg (Printf.sprintf "Native.Pm.create: duplicate region %S" name);
+      { buf = Bytes.make size '\000'; pm_size = size }
+
+    let size r = r.pm_size
+
+    let check r off len what =
+      if off < 0 || len < 0 || off + len > r.pm_size then
+        invalid_arg (Printf.sprintf "Native.Pm.%s: range out of bounds" what)
+
+    let store r ~off data =
+      check r off (String.length data) "store";
+      Bytes.blit_string data 0 r.buf off (String.length data)
+
+    let load r ~off ~len =
+      check r off len "load";
+      Bytes.sub_string r.buf off len
+
+    let store_int64 r ~off v =
+      check r off 8 "store_int64";
+      Bytes.set_int64_le r.buf off v
+
+    let load_int64 r ~off =
+      check r off 8 "load_int64";
+      Bytes.get_int64_le r.buf off
+
+    let flush r ~off ~len =
+      check r off len "flush";
+      if len > 0 then begin
+        let slot = n.slots.(self_exn n) in
+        let lines = ((off + len - 1) / line_size) - (off / line_size) + 1 in
+        slot.pending <- slot.pending + lines
+      end
+  end
+
+  let fence () =
+    let slot = n.slots.(self_exn n) in
+    if slot.pending > 0 then begin
+      slot.pending <- 0;
+      slot.pfences <- slot.pfences + 1;
+      if n.fence_ns > 0 then spin (spin_iters n.fence_ns)
+    end
+
+  let self () = self_exn n
+  let return_point () = ()
+  let pause () = Domain.cpu_relax ()
+  let persistent_fences () = persistent_fences n
+  let persistent_fences_by ~proc = n.slots.(proc).pfences
+end
+
+let machine t : Machine_sig.t =
+  (module Make_machine (struct
+    let native = t
+  end))

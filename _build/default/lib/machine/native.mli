@@ -1,0 +1,41 @@
+(** The native machine: real OCaml 5 domains, emulated persistent fences.
+
+    For throughput experiments the construction runs on real hardware
+    parallelism: [Tvar] is [Atomic], persistent-memory regions are plain
+    byte buffers, and a persistent fence is emulated by a calibrated busy
+    spin of configurable duration (modelling the CPU stall while pending
+    write-backs drain to NVM, §2.1). Flushes are free, exactly as in the
+    cost model. Crashes are not supported on this machine — crash-recovery
+    correctness is the simulator's job; the native machine exists to measure
+    who wins and by how much as fence cost and core count vary.
+
+    Worker domains must call {!register} (or be started via {!run_workers})
+    before touching the machine, so that per-process state (pending flush
+    counts, fence statistics, per-process logs) can be indexed densely. *)
+
+type t
+
+val create : ?fence_ns:int -> max_processes:int -> unit -> t
+(** [fence_ns] (default 500, roughly published NVM write-back latencies) is
+    the emulated duration of a persistent fence. [fence_ns = 0] makes
+    persistent fences free (counting still happens). *)
+
+val machine : t -> Machine_sig.t
+
+val register : t -> int
+(** Claim a process id for the calling domain (also usable by the main
+    domain for single-threaded runs). @raise Failure when more than
+    [max_processes] domains register. *)
+
+val run_workers : t -> (int -> 'a) list -> 'a list
+(** [run_workers t bodies] spawns one domain per body, registers each,
+    runs them in parallel and joins, returning results in order. *)
+
+val fence_ns : t -> int
+val set_fence_ns : t -> int -> unit
+val persistent_fences : t -> int
+val reset_stats : t -> unit
+
+val calibrate : unit -> float
+(** Spin-loop iterations per nanosecond on this host; measured once and
+    cached. Exposed for reporting. *)

@@ -1,0 +1,110 @@
+open Onll_nvm
+open Onll_sched
+
+type t = {
+  mem : Memory.t;
+  world : Sched.World.t;
+  mutable policy : Crash_policy.t;
+  max_processes : int;
+}
+
+let create ?trace_log ?line_size ?(crash_policy = Crash_policy.Drop_all)
+    ~max_processes () =
+  let mem = Memory.create ?line_size ~max_processes () in
+  let world = Sched.World.create ?trace_log () in
+  let t = { mem; world; policy = crash_policy; max_processes } in
+  Sched.World.on_crash world (fun () -> Memory.crash mem ~policy:t.policy);
+  t
+
+let memory t = t.mem
+let world t = t.world
+let max_processes t = t.max_processes
+let set_crash_policy t p = t.policy <- p
+let stats t = Memory.stats t.mem
+let reset_stats t = Memory.reset_stats t.mem
+
+let run ?max_steps t strategy procs =
+  if Array.length procs > t.max_processes then
+    invalid_arg "Sim.run: more processes than max_processes";
+  Sched.World.run ?max_steps t.world strategy procs
+
+module Make_machine (X : sig
+  val sim : t
+end) : Machine_sig.S = struct
+  let id = "sim"
+  let max_processes = X.sim.max_processes
+  let mem = X.sim.mem
+
+  module Tvar = struct
+    type 'a t = { mutable value : 'a }
+
+    let make v = { value = v }
+
+    let get v =
+      Sched.step (Sched.Prim "tvar.get");
+      v.value
+
+    let set v x =
+      Sched.step (Sched.Prim "tvar.set");
+      v.value <- x
+
+    let cas v ~expected ~desired =
+      Sched.step (Sched.Prim "tvar.cas");
+      if v.value == expected then begin
+        v.value <- desired;
+        true
+      end
+      else false
+  end
+
+  module Pm = struct
+    type nonrec t = Memory.Region.t
+
+    let create ~name ~size = Memory.region mem ~name ~size
+    let size = Memory.Region.size
+
+    let store r ~off data =
+      Sched.step (Sched.Prim "pm.store");
+      Memory.Region.store r ~proc:(Sched.current_proc ()) ~off data
+
+    let load r ~off ~len =
+      Sched.step (Sched.Prim "pm.load");
+      Memory.Region.load r ~proc:(Sched.current_proc ()) ~off ~len
+
+    let store_int64 r ~off v =
+      Sched.step (Sched.Prim "pm.store64");
+      Memory.Region.store_int64 r ~proc:(Sched.current_proc ()) ~off v
+
+    let load_int64 r ~off =
+      Sched.step (Sched.Prim "pm.load64");
+      Memory.Region.load_int64 r ~proc:(Sched.current_proc ()) ~off
+
+    let flush r ~off ~len =
+      Sched.step (Sched.Prim "pm.flush");
+      Memory.Region.flush r ~proc:(Sched.current_proc ()) ~off ~len
+  end
+
+  let fence () =
+    (* The label must say whether this will be a persistent fence, so that
+       schedules can break "just before the persistent fence". Pending
+       write-backs are per-process, so the answer cannot change while this
+       process is paused. *)
+    let proc = Sched.current_proc () in
+    let label =
+      if Memory.pending_write_backs mem ~proc > 0 then Sched.Pfence
+      else Sched.Fence
+    in
+    Sched.step label;
+    Memory.fence mem ~proc:(Sched.current_proc ())
+
+  let self () = Sched.current_proc ()
+  let return_point () = Sched.step Sched.Return_point
+  let pause () = Sched.step (Sched.Prim "pause")
+  let persistent_fences () = (Memory.stats mem).Memory.Stats.persistent_fences
+  let persistent_fences_by ~proc = Memory.persistent_fences_by mem ~proc
+end
+
+let machine t : Machine_sig.t =
+  (module Make_machine (struct
+    let sim = t
+  end))

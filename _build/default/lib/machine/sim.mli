@@ -1,0 +1,59 @@
+(** The simulated machine: deterministic scheduler + simulated NVM.
+
+    A {!t} bundles an {!Onll_nvm.Memory.t}, a scheduler {!Onll_sched.Sched.World.t}
+    and a crash policy, and presents them as a {!Machine_sig.S} first-class
+    module. Crashing the world applies the crash policy to the memory
+    (registered as an [on_crash] hook) — transient [Tvar]s are simply
+    abandoned with the process continuations, exactly like cache contents.
+
+    Typical use:
+    {[
+      let sim = Sim.create ~max_processes:3 () in
+      let module M = (val Sim.machine sim) in
+      let module C = Onll_core.Onll.Make (M) (Counter) in
+      let obj = C.create () in
+      let outcome =
+        Sim.run sim (Sched.Strategy.random ~seed:42)
+          [| (fun _ -> ignore (C.update obj Counter.Increment)); ... |]
+      in
+      ...
+    ]} *)
+
+open Onll_nvm
+open Onll_sched
+
+type t
+
+val create :
+  ?trace_log:bool ->
+  ?line_size:int ->
+  ?crash_policy:Crash_policy.t ->
+  max_processes:int ->
+  unit ->
+  t
+(** Fresh simulated machine. [crash_policy] (default [Drop_all]) governs
+    what survives crashes; change it between runs with
+    {!set_crash_policy}. *)
+
+val machine : t -> Machine_sig.t
+(** The machine module backed by this simulator. All its operations perform
+    scheduler steps when executed inside {!run}; outside a run they execute
+    directly (recovery context, process 0). *)
+
+val memory : t -> Memory.t
+val world : t -> Sched.World.t
+val max_processes : t -> int
+val set_crash_policy : t -> Crash_policy.t -> unit
+
+val run :
+  ?max_steps:int ->
+  t ->
+  Sched.Strategy.t ->
+  (int -> unit) array ->
+  Sched.World.outcome
+(** Run one crash-free era of processes on this machine (see
+    {!Onll_sched.Sched.World.run}). The process array must not exceed
+    [max_processes]. *)
+
+val stats : t -> Memory.Stats.t
+val reset_stats : t -> unit

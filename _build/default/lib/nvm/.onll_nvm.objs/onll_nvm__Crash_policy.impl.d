@@ -1,0 +1,1 @@
+lib/nvm/crash_policy.ml: Format Printf

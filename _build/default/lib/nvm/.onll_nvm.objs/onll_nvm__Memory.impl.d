@@ -1,0 +1,1 @@
+lib/nvm/memory.ml: Array Bytes Crash_policy Format Fun Hashtbl List Onll_util Printf String

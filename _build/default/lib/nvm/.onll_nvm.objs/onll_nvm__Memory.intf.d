@@ -1,0 +1,1 @@
+lib/nvm/memory.mli: Crash_policy Format

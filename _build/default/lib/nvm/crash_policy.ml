@@ -1,0 +1,10 @@
+type t = Drop_all | Persist_all | Random of int
+
+let to_string = function
+  | Drop_all -> "drop-all"
+  | Persist_all -> "persist-all"
+  | Random seed -> Printf.sprintf "random(seed=%d)" seed
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let all_deterministic = [ Drop_all; Persist_all ]

@@ -1,0 +1,25 @@
+(** What happens to volatile cache contents at a full-system crash.
+
+    The NVM model (paper §2.1) guarantees only that writes separated by a
+    persistent fence reach NVM in order. Everything else — dirty lines that
+    were never flushed, and lines whose flush was issued but not yet fenced —
+    may or may not have been written back by the time power is lost (caches
+    evict lines spontaneously). A crash policy resolves this nondeterminism,
+    letting tests explore both adversarial extremes and randomized middles. *)
+
+type t =
+  | Drop_all
+      (** Nothing that was not covered by a persistent fence survives: the
+          adversarially *minimal* durable state. *)
+  | Persist_all
+      (** Every dirty line is written back just before the crash: the
+          adversarially *maximal* durable state (models lucky evictions). *)
+  | Random of int
+      (** Each dirty line and each pending (flushed-but-unfenced) write-back
+          independently survives with probability 1/2, using the given seed. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val all_deterministic : t list
+(** [Drop_all; Persist_all] — the two extremes, for exhaustive tests. *)

@@ -1,0 +1,339 @@
+module Stats = struct
+  type t = {
+    loads : int;
+    stores : int;
+    flushes : int;
+    fences : int;
+    persistent_fences : int;
+    crashes : int;
+  }
+
+  let zero =
+    { loads = 0; stores = 0; flushes = 0; fences = 0; persistent_fences = 0;
+      crashes = 0 }
+
+  let sub a b =
+    {
+      loads = a.loads - b.loads;
+      stores = a.stores - b.stores;
+      flushes = a.flushes - b.flushes;
+      fences = a.fences - b.fences;
+      persistent_fences = a.persistent_fences - b.persistent_fences;
+      crashes = a.crashes - b.crashes;
+    }
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "loads=%d stores=%d flushes=%d fences=%d persistent_fences=%d crashes=%d"
+      t.loads t.stores t.flushes t.fences t.persistent_fences t.crashes
+end
+
+type region = {
+  r_name : string;
+  r_size : int;
+  nvm : Bytes.t;  (* durable contents; length rounded up to full lines *)
+  overlay : (int, Bytes.t) Hashtbl.t;  (* dirty line -> volatile contents *)
+  r_mem : t;
+}
+
+and pending = { p_region : region; p_line : int; p_data : Bytes.t }
+
+and t = {
+  line_size : int;
+  max_processes : int;
+  regions : (string, region) Hashtbl.t;
+  pending : pending list ref array;  (* per process, newest first *)
+  mutable s_loads : int;
+  mutable s_stores : int;
+  mutable s_flushes : int;
+  mutable s_fences : int;
+  mutable s_persistent_fences : int;
+  mutable s_crashes : int;
+  pf_by_proc : int array;
+}
+
+let create ?(line_size = 64) ~max_processes () =
+  if line_size < 1 then invalid_arg "Memory.create: line_size < 1";
+  if max_processes < 1 then invalid_arg "Memory.create: max_processes < 1";
+  {
+    line_size;
+    max_processes;
+    regions = Hashtbl.create 8;
+    pending = Array.init max_processes (fun _ -> ref []);
+    s_loads = 0;
+    s_stores = 0;
+    s_flushes = 0;
+    s_fences = 0;
+    s_persistent_fences = 0;
+    s_crashes = 0;
+    pf_by_proc = Array.make max_processes 0;
+  }
+
+let line_size t = t.line_size
+let max_processes t = t.max_processes
+
+let check_proc t proc =
+  if proc < 0 || proc >= t.max_processes then
+    invalid_arg (Printf.sprintf "Memory: process id %d out of range" proc)
+
+let region t ~name ~size =
+  if size <= 0 then invalid_arg "Memory.region: non-positive size";
+  if Hashtbl.mem t.regions name then
+    invalid_arg (Printf.sprintf "Memory.region: duplicate region %S" name);
+  let lines = (size + t.line_size - 1) / t.line_size in
+  let r =
+    {
+      r_name = name;
+      r_size = size;
+      nvm = Bytes.make (lines * t.line_size) '\000';
+      overlay = Hashtbl.create 64;
+      r_mem = t;
+    }
+  in
+  Hashtbl.replace t.regions name r;
+  r
+
+let find_region t name = Hashtbl.find_opt t.regions name
+
+(* Current volatile contents of a line: the overlay if dirty, else NVM. *)
+let line_contents r line =
+  match Hashtbl.find_opt r.overlay line with
+  | Some b -> b
+  | None ->
+      let ls = r.r_mem.line_size in
+      Bytes.sub r.nvm (line * ls) ls
+
+let dirty_line_for_write r line =
+  match Hashtbl.find_opt r.overlay line with
+  | Some b -> b
+  | None ->
+      let ls = r.r_mem.line_size in
+      let b = Bytes.sub r.nvm (line * ls) ls in
+      Hashtbl.replace r.overlay line b;
+      b
+
+let write_back r line data =
+  let ls = r.r_mem.line_size in
+  Bytes.blit data 0 r.nvm (line * ls) ls;
+  (* If the cache copy is now identical to NVM the line is clean. *)
+  match Hashtbl.find_opt r.overlay line with
+  | Some b when Bytes.equal b data -> Hashtbl.remove r.overlay line
+  | Some _ | None -> ()
+
+module Region = struct
+  type nonrec t = region
+
+  let name r = r.r_name
+  let size r = r.r_size
+  let memory r = r.r_mem
+
+  let check_range r off len what =
+    if off < 0 || len < 0 || off + len > r.r_size then
+      invalid_arg
+        (Printf.sprintf "Region.%s: [%d, %d) out of bounds for %S (size %d)"
+           what off (off + len) r.r_name r.r_size)
+
+  let store r ~proc ~off data =
+    let mem = r.r_mem in
+    check_proc mem proc;
+    let len = String.length data in
+    check_range r off len "store";
+    mem.s_stores <- mem.s_stores + 1;
+    let ls = mem.line_size in
+    let pos = ref 0 in
+    while !pos < len do
+      let abs = off + !pos in
+      let line = abs / ls in
+      let in_line = abs mod ls in
+      let chunk = min (ls - in_line) (len - !pos) in
+      let b = dirty_line_for_write r line in
+      Bytes.blit_string data !pos b in_line chunk;
+      pos := !pos + chunk
+    done
+
+  let load r ~proc ~off ~len =
+    let mem = r.r_mem in
+    check_proc mem proc;
+    check_range r off len "load";
+    mem.s_loads <- mem.s_loads + 1;
+    let ls = mem.line_size in
+    let out = Bytes.create len in
+    let pos = ref 0 in
+    while !pos < len do
+      let abs = off + !pos in
+      let line = abs / ls in
+      let in_line = abs mod ls in
+      let chunk = min (ls - in_line) (len - !pos) in
+      let src = line_contents r line in
+      Bytes.blit src in_line out !pos chunk;
+      pos := !pos + chunk
+    done;
+    Bytes.unsafe_to_string out
+
+  let store_int64 r ~proc ~off v =
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 v;
+    store r ~proc ~off (Bytes.unsafe_to_string b)
+
+  let load_int64 r ~proc ~off =
+    String.get_int64_le (load r ~proc ~off ~len:8) 0
+
+  let flush r ~proc ~off ~len =
+    let mem = r.r_mem in
+    check_proc mem proc;
+    check_range r off len "flush";
+    if len > 0 then begin
+      let ls = mem.line_size in
+      let first = off / ls and last = (off + len - 1) / ls in
+      for line = first to last do
+        match Hashtbl.find_opt r.overlay line with
+        | None -> ()  (* clean line: nothing to write back *)
+        | Some b ->
+            mem.s_flushes <- mem.s_flushes + 1;
+            let snapshot = Bytes.copy b in
+            let q = mem.pending.(proc) in
+            q := { p_region = r; p_line = line; p_data = snapshot } :: !q
+      done
+    end
+
+  let durable_snapshot r = Bytes.sub_string r.nvm 0 r.r_size
+
+  let dirty_lines r =
+    Hashtbl.fold (fun line _ acc -> line :: acc) r.overlay []
+    |> List.sort compare
+end
+
+let region_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.regions []
+  |> List.sort compare
+
+(* Durable image format: [count] then per region [name][size][bytes], all
+   wrapped in a CRC-protected envelope via the codec library. *)
+let image_codec =
+  Onll_util.Codec.(list (pair string string))
+
+let save_image t ~path =
+  let payload =
+    Onll_util.Codec.encode image_codec
+      (List.map
+         (fun name ->
+           let r = Hashtbl.find t.regions name in
+           (name, Region.durable_snapshot r))
+         (region_names t))
+  in
+  let crc = Onll_util.Crc32.string payload in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        (Onll_util.Codec.encode
+           Onll_util.Codec.(pair int32 string)
+           (crc, payload)))
+
+let load_image t ~path =
+  let ic = open_in_bin path in
+  let raw =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let crc, payload =
+    try Onll_util.Codec.(decode (pair int32 string) raw)
+    with Onll_util.Codec.Decode_error m ->
+      invalid_arg ("Memory.load_image: malformed image: " ^ m)
+  in
+  if crc <> Onll_util.Crc32.string payload then
+    invalid_arg "Memory.load_image: checksum mismatch";
+  let regions =
+    try Onll_util.Codec.decode image_codec payload
+    with Onll_util.Codec.Decode_error m ->
+      invalid_arg ("Memory.load_image: malformed image: " ^ m)
+  in
+  List.iter
+    (fun (name, bytes) ->
+      match Hashtbl.find_opt t.regions name with
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Memory.load_image: image region %S not allocated here" name)
+      | Some r ->
+          (* snapshots cover [r_size] bytes; nvm is line-rounded *)
+          if String.length bytes <> r.r_size then
+            invalid_arg
+              (Printf.sprintf "Memory.load_image: size mismatch for %S" name);
+          Bytes.blit_string bytes 0 r.nvm 0 (String.length bytes);
+          Hashtbl.reset r.overlay)
+    regions
+
+let fence t ~proc =
+  check_proc t proc;
+  t.s_fences <- t.s_fences + 1;
+  let q = t.pending.(proc) in
+  match !q with
+  | [] -> ()
+  | entries ->
+      t.s_persistent_fences <- t.s_persistent_fences + 1;
+      t.pf_by_proc.(proc) <- t.pf_by_proc.(proc) + 1;
+      (* Apply in issue order (the list is newest-first). *)
+      List.iter
+        (fun p -> write_back p.p_region p.p_line p.p_data)
+        (List.rev entries);
+      q := []
+
+let pending_write_backs t ~proc =
+  check_proc t proc;
+  List.length !(t.pending.(proc))
+
+let crash t ~policy =
+  t.s_crashes <- t.s_crashes + 1;
+  let survives =
+    match policy with
+    | Crash_policy.Drop_all -> fun () -> false
+    | Crash_policy.Persist_all -> fun () -> true
+    | Crash_policy.Random seed ->
+        let rng = Onll_util.Splitmix.create seed in
+        fun () -> Onll_util.Splitmix.bool rng
+  in
+  (* Pending (flushed but unfenced) write-backs may have completed. *)
+  Array.iter
+    (fun q ->
+      List.iter
+        (fun p -> if survives () then write_back p.p_region p.p_line p.p_data)
+        (List.rev !q);
+      q := [])
+    t.pending;
+  (* Dirty lines may have been spontaneously evicted. *)
+  Hashtbl.iter
+    (fun _ r ->
+      let lines =
+        Hashtbl.fold (fun line b acc -> (line, b) :: acc) r.overlay []
+      in
+      List.iter
+        (fun (line, b) -> if survives () then write_back r line b)
+        (List.sort compare lines);
+      Hashtbl.reset r.overlay)
+    t.regions
+
+let stats t =
+  {
+    Stats.loads = t.s_loads;
+    stores = t.s_stores;
+    flushes = t.s_flushes;
+    fences = t.s_fences;
+    persistent_fences = t.s_persistent_fences;
+    crashes = t.s_crashes;
+  }
+
+let persistent_fences_by t ~proc =
+  check_proc t proc;
+  t.pf_by_proc.(proc)
+
+let reset_stats t =
+  t.s_loads <- 0;
+  t.s_stores <- 0;
+  t.s_flushes <- 0;
+  t.s_fences <- 0;
+  t.s_persistent_fences <- 0;
+  t.s_crashes <- 0;
+  Array.fill t.pf_by_proc 0 (Array.length t.pf_by_proc) 0

@@ -1,0 +1,136 @@
+(** Simulated byte-addressable non-volatile memory.
+
+    A {!t} models one machine's memory system: a durable NVM backing store
+    per region, a single coherent volatile cache shared by all processes
+    (a line overlay holding dirty contents), and per-process sets of pending
+    asynchronous write-backs.
+
+    The semantics follow paper §2.1 and Cohen et al. [12]:
+    {ul
+    {- [store] dirties cache lines; it never reaches NVM by itself.}
+    {- [flush] ([clwb]/[clflushopt]) snapshots the current contents of the
+       dirty lines in a range into the calling process's pending write-back
+       set. Flushes are asynchronous and cost nothing.}
+    {- [fence] drains the calling process's pending write-backs into NVM.
+       A fence with a non-empty pending set is a {e persistent fence} — the
+       expensive instruction this whole paper is about — and is counted as
+       such. A fence with no pending write-backs is an ordinary fence and is
+       counted separately.}
+    {- [crash] loses all volatile state. Write-backs not covered by a fence
+       may or may not have reached NVM; a {!Crash_policy.t} resolves that
+       nondeterminism. After a crash, loads see exactly the durable bytes.}}
+
+    The simulator is single-threaded by design: it is driven either directly
+    or by the deterministic scheduler, never by parallel domains. *)
+
+type t
+
+val create : ?line_size:int -> max_processes:int -> unit -> t
+(** [create ~max_processes ()] is a fresh memory system. [line_size]
+    (default 64) is the cache-line granularity of flushes, write-backs and
+    crash-time line survival. @raise Invalid_argument if [line_size < 1] or
+    [max_processes < 1]. *)
+
+val line_size : t -> int
+val max_processes : t -> int
+
+(** {1 Regions} *)
+
+module Region : sig
+  type memory := t
+
+  type t
+  (** A named, fixed-size span of NVM with its own address space. *)
+
+  val name : t -> string
+  val size : t -> int
+  val memory : t -> memory
+
+  val store : t -> proc:int -> off:int -> string -> unit
+  (** Write bytes at [off] (volatile until flushed and fenced). *)
+
+  val load : t -> proc:int -> off:int -> len:int -> string
+  (** Read through the cache: dirty lines shadow durable contents. *)
+
+  val store_int64 : t -> proc:int -> off:int -> int64 -> unit
+  val load_int64 : t -> proc:int -> off:int -> int64
+
+  val flush : t -> proc:int -> off:int -> len:int -> unit
+  (** Issue asynchronous write-backs for every line intersecting
+      [off, off+len) that is dirty. *)
+
+  val durable_snapshot : t -> string
+  (** The NVM contents, ignoring the cache — what a crash with
+      {!Crash_policy.Drop_all} would preserve. For tests and debugging. *)
+
+  val dirty_lines : t -> int list
+  (** Line numbers currently dirty in the cache, sorted. For tests. *)
+end
+
+val region : t -> name:string -> size:int -> Region.t
+(** Allocate a region. @raise Invalid_argument on non-positive size or
+    duplicate name. *)
+
+val find_region : t -> string -> Region.t option
+
+val region_names : t -> string list
+(** All allocated regions, sorted by name. *)
+
+(** {1 Durable images}
+
+    Snapshot the {e durable} contents (NVM only — never the cache) of every
+    region to a host file, and restore such a snapshot into a memory system
+    whose regions have been re-created with the same names and sizes. This
+    gives simulated NVM real persistence across OS processes: write in one
+    process, kill it, restore and recover in another (see
+    [examples/disk_persistence.ml]). *)
+
+val save_image : t -> path:string -> unit
+(** Write all regions' durable bytes to [path] (CRC-protected). *)
+
+val load_image : t -> path:string -> unit
+(** Restore a snapshot into this memory system's NVM.
+    @raise Invalid_argument if the file is corrupt, or mentions a region
+    this system does not have (regions must be re-created — same names,
+    same sizes — before loading). Extra local regions are left zeroed. *)
+
+(** {1 Fences and crashes} *)
+
+val fence : t -> proc:int -> unit
+(** Drain [proc]'s pending write-backs (see module doc). *)
+
+val pending_write_backs : t -> proc:int -> int
+(** Number of line write-backs issued by [proc] not yet covered by a
+    fence. *)
+
+val crash : t -> policy:Crash_policy.t -> unit
+(** Lose all volatile state as described in the module doc. Statistics
+    survive (they describe the whole experiment, not one epoch); the crash
+    count is incremented. *)
+
+(** {1 Statistics} *)
+
+module Stats : sig
+  type t = {
+    loads : int;
+    stores : int;
+    flushes : int;  (** line write-backs issued *)
+    fences : int;  (** all fence instructions *)
+    persistent_fences : int;  (** fences that had pending write-backs *)
+    crashes : int;
+  }
+
+  val zero : t
+  val sub : t -> t -> t
+  (** [sub a b] is the component-wise difference — statistics of the window
+      between two snapshots. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+val stats : t -> Stats.t
+val persistent_fences_by : t -> proc:int -> int
+(** Persistent fences executed by one process since creation or the last
+    [reset_stats]. *)
+
+val reset_stats : t -> unit

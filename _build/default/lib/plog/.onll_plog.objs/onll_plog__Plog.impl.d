@@ -1,0 +1,1 @@
+lib/plog/plog.ml: Bytes Crc32 Int64 List Onll_machine Onll_util String

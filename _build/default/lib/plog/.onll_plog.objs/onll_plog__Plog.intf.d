@@ -1,0 +1,1 @@
+lib/plog/plog.mli: Onll_machine

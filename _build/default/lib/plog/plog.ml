@@ -1,0 +1,140 @@
+open Onll_util
+
+let header_size = 64
+let slot_a = 0
+let slot_b = 32
+let slot_bytes = 24
+
+let crc_of_int64s a b =
+  let buf = Bytes.create 16 in
+  Bytes.set_int64_le buf 0 a;
+  Bytes.set_int64_le buf 8 b;
+  Crc32.bytes buf ~pos:0 ~len:16
+
+let crc_to_int64 c = Int64.logand (Int64.of_int32 c) 0xFFFFFFFFL
+
+exception Full
+
+let entry_crc payload =
+  let buf = Bytes.create (8 + String.length payload) in
+  Bytes.set_int64_le buf 0 (Int64.of_int (String.length payload));
+  Bytes.blit_string payload 0 buf 8 (String.length payload);
+  Crc32.bytes buf ~pos:0 ~len:(Bytes.length buf)
+
+module Make (M : Onll_machine.Machine_sig.S) = struct
+  type t = {
+    region : M.Pm.t;
+    log_name : string;
+    log_capacity : int;  (* entries area bytes *)
+    mutable tail : int;  (* next append offset (absolute) *)
+    mutable head : int;  (* first live entry offset (absolute) *)
+    mutable header_seq : int64;
+  }
+
+  let name t = t.log_name
+  let capacity t = t.log_capacity
+  let log_end t = header_size + t.log_capacity
+
+  (* Read one header slot; [Some (seq, head)] if its checksum validates and
+     the head is in range. *)
+  let read_slot t off =
+    let seq = M.Pm.load_int64 t.region ~off in
+    let head = M.Pm.load_int64 t.region ~off:(off + 8) in
+    let crc = M.Pm.load_int64 t.region ~off:(off + 16) in
+    if
+      crc = crc_to_int64 (crc_of_int64s seq head)
+      && head >= Int64.of_int header_size
+      && head <= Int64.of_int (log_end t)
+      && seq > 0L
+    then Some (seq, Int64.to_int head)
+    else None
+
+  let read_header t =
+    match (read_slot t slot_a, read_slot t slot_b) with
+    | None, None -> (0L, header_size)
+    | Some (s, h), None | None, Some (s, h) -> (s, h)
+    | Some (sa, ha), Some (sb, hb) ->
+        if sa >= sb then (sa, ha) else (sb, hb)
+
+  (* Scan the valid entries from [head]; returns (payload, offset) pairs in
+     order plus the end-of-valid-prefix offset. *)
+  let scan t head =
+    let stop = log_end t in
+    let rec loop pos acc =
+      if pos + 16 > stop then (List.rev acc, pos)
+      else
+        let len64 = M.Pm.load_int64 t.region ~off:pos in
+        let len = Int64.to_int len64 in
+        if len <= 0 || pos + 16 + len > stop then (List.rev acc, pos)
+        else
+          let stored = M.Pm.load_int64 t.region ~off:(pos + 8) in
+          let payload = M.Pm.load t.region ~off:(pos + 16) ~len in
+          if stored <> crc_to_int64 (entry_crc payload) then
+            (List.rev acc, pos)
+          else loop (pos + 16 + len) ((payload, pos) :: acc)
+    in
+    loop head []
+
+  let create ~name ~capacity =
+    if capacity <= 0 then invalid_arg "Plog.create: non-positive capacity";
+    let region = M.Pm.create ~name ~size:(header_size + capacity) in
+    {
+      region;
+      log_name = name;
+      log_capacity = capacity;
+      tail = header_size;
+      head = header_size;
+      header_seq = 0L;
+    }
+
+  let recover t =
+    let seq, head = read_header t in
+    let _, tail = scan t head in
+    t.header_seq <- seq;
+    t.head <- head;
+    t.tail <- tail
+
+  let append t payload =
+    let len = String.length payload in
+    if len = 0 then invalid_arg "Plog.append: empty payload";
+    let need = 16 + len in
+    if t.tail + need > log_end t then raise Full;
+    let off = t.tail in
+    M.Pm.store_int64 t.region ~off (Int64.of_int len);
+    M.Pm.store_int64 t.region ~off:(off + 8) (crc_to_int64 (entry_crc payload));
+    M.Pm.store t.region ~off:(off + 16) payload;
+    M.Pm.flush t.region ~off ~len:need;
+    M.fence ();
+    t.tail <- off + need
+
+  let entries t = List.map fst (fst (scan t t.head))
+
+  let entry_count t = List.length (entries t)
+
+  let set_head t n =
+    if n < 0 then invalid_arg "Plog.set_head: negative count";
+    if n > 0 then begin
+      let live, tail_off = scan t t.head in
+      if n > List.length live then
+        invalid_arg "Plog.set_head: fewer entries than requested";
+      let new_head =
+        if n = List.length live then tail_off
+        else snd (List.nth live n)
+      in
+      let seq = Int64.add t.header_seq 1L in
+      (* Alternate slots so a torn header write leaves the other slot
+         intact. *)
+      let slot = if Int64.rem seq 2L = 0L then slot_a else slot_b in
+      M.Pm.store_int64 t.region ~off:slot seq;
+      M.Pm.store_int64 t.region ~off:(slot + 8) (Int64.of_int new_head);
+      M.Pm.store_int64 t.region ~off:(slot + 16)
+        (crc_to_int64 (crc_of_int64s seq (Int64.of_int new_head)));
+      M.Pm.flush t.region ~off:slot ~len:slot_bytes;
+      M.fence ();
+      t.header_seq <- seq;
+      t.head <- new_head
+    end
+
+  let used_bytes t = t.tail - header_size
+  let live_bytes t = t.tail - t.head
+end

@@ -1,0 +1,67 @@
+(** Single-persistent-fence append-only log (after Cohen et al., OOPSLA'17).
+
+    The log ONLL builds on (paper §4.1.1): each {!Make.append} makes its
+    payload durable with exactly {e one} persistent fence. The trick is that
+    an entry carries a CRC over its length and payload, so no write ordering
+    between "data" and "commit record" is needed: an entry is committed iff
+    its checksum validates, and recovery simply scans the log and stops at
+    the first entry that does not. Only the last entry can be torn (appends
+    are fenced before the append call returns), so the valid prefix is
+    exactly the set of fenced appends plus possibly a lucky unfenced one —
+    either is a legal durable state.
+
+    The log also supports compaction (paper §8): {!Make.set_head} durably
+    advances a head pointer past entries made redundant by a checkpoint,
+    using a two-slot versioned header so that a crash during the head update
+    preserves one valid header.
+
+    Layout (byte offsets within the region):
+    {v
+    0   header slot A: seq:int64  head:int64  crc32(seq‖head):int64
+    32  header slot B: same
+    64  entries: [len:int64  crc32(len‖payload):int64  payload] ...
+    v} *)
+
+exception Full
+(** Raised by [append] when a log's entries area is exhausted. The
+    exception is shared by every [Make] instantiation. *)
+
+module Make (M : Onll_machine.Machine_sig.S) : sig
+  type t
+
+  val create : name:string -> capacity:int -> t
+  (** A fresh log in a new persistent region of [capacity] bytes (entries
+      area; header overhead is added on top). *)
+
+  val append : t -> string -> unit
+  (** Append a payload and make it durable: store, flush, one fence —
+      exactly one persistent fence. @raise Full if the entries area is
+      exhausted (compact or resize). *)
+
+  val entries : t -> string list
+  (** The durable valid entries from the current head, oldest first, read
+      back from (simulated) NVM. This is the recovery read path; it performs
+      no fences. *)
+
+  val recover : t -> unit
+  (** Reset the in-memory append cursor from the durable contents — call
+      after a crash before appending again. *)
+
+  val set_head : t -> int -> unit
+  (** [set_head t n] durably discards the oldest [n] valid entries (one
+      persistent fence for the header update). Appends are unaffected.
+      @raise Invalid_argument if fewer than [n] entries exist. *)
+
+  val entry_count : t -> int
+  (** Number of valid entries from the head (by durable scan). *)
+
+  val used_bytes : t -> int
+  (** Bytes of the entries area in use, including dead pre-head bytes
+      ([capacity] minus this is the space left for appends). *)
+
+  val live_bytes : t -> int
+  (** Bytes occupied by live (post-head) entries. *)
+
+  val capacity : t -> int
+  val name : t -> string
+end

@@ -1,0 +1,1 @@
+lib/scenarios/figure1.ml: Format List Onll_core Onll_machine Onll_sched Onll_specs Printf Sched Sim String

@@ -1,0 +1,1 @@
+lib/scenarios/figure1.mli:

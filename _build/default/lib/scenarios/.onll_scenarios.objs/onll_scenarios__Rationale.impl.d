@@ -1,0 +1,1 @@
+lib/scenarios/rationale.ml: Format List Onll_baselines Onll_core Onll_machine Onll_nvm Onll_sched Onll_specs Sched Sim

@@ -1,0 +1,1 @@
+lib/scenarios/rationale.mli:

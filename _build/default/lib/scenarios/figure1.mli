@@ -1,0 +1,46 @@
+(** Deterministic replays of the paper's Figure 1: four executions of a
+    shared counter implemented with ONLL, reproduced step by step with
+    scripted schedules. Each function builds a fresh simulated machine, runs
+    the schedule, and returns what the figure shows — operation return
+    values, trace/flag observations, and (for execution 4) the post-crash
+    recovered state.
+
+    Used three ways: asserted in the test suite, printed by
+    [bench/main.exe f1], and replayable from the CLI ([onll figure1]). *)
+
+type execution1 = {
+  e1_update_returned : int;  (** the increment's return value (1) *)
+  e1_read_returned : int;  (** the subsequent read (1) *)
+  e1_trace : (int * bool) list;
+      (** (execution index, available) for each trace node, oldest first *)
+}
+
+type execution2 = {
+  e2_r1 : int;  (** reader that ran before the available flag was set (1) *)
+  e2_r2 : int;  (** reader that ran after (2) *)
+  e2_update_returned : int;  (** the concurrent increment's return (2) *)
+}
+
+type execution3 = {
+  e3_p2_returned : int;  (** helper's increment observes both updates (3) *)
+  e3_p2_log_ops : int;  (** operations in p2's log entry: 2 (helped p1) *)
+  e3_reader_after_p2 : int;  (** reader sees 3 though n2's flag is unset *)
+  e3_p1_returned : int;  (** p1's own increment, finishing last (2) *)
+}
+
+type execution4 = {
+  e4_reader_during : int;  (** concurrent reader before the crash (0) *)
+  e4_recovered_value : int;  (** post-crash state: p1's and p2's updates (2) *)
+  e4_p1_linearized : bool;  (** true: persisted by p2's helping entry *)
+  e4_p2_linearized : bool;  (** true: persisted by its own entry *)
+  e4_p3_linearized : bool;  (** false: its log append never fenced *)
+}
+
+val execution1 : unit -> execution1
+val execution2 : unit -> execution2
+val execution3 : unit -> execution3
+val execution4 : unit -> execution4
+
+val print_all : unit -> unit
+(** Replay all four executions and print a narrative comparison with the
+    figure's expected outcomes. *)

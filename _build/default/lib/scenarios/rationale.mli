@@ -1,0 +1,22 @@
+(** The §3.1 case analysis, executed (see the implementation header).
+
+    Runs the same adversarial window — an updater parked just before its
+    persistent fence, a reader, a drop-all crash, recovery — against the
+    three designs the paper rules out and against ONLL, and reports what
+    each one did. *)
+
+type branch_result = {
+  b_name : string;
+  b_story : string;
+  b_reader_saw : int option;  (** [None]: the reader never returned *)
+  b_recovered : int;  (** counter value after recovery *)
+  b_verdict : string;
+      (** "DURABILITY VIOLATION ...", "LIVELOCK ...", or "consistent ..." *)
+}
+
+val run_all : unit -> branch_result list
+(** The four branches, in the paper's order: reader returns (violation),
+    reader waits (livelock), reader helps (consistent, reads fence), and
+    ONLL (consistent, fence-free reads). *)
+
+val print_all : unit -> unit

@@ -1,0 +1,1 @@
+lib/sched/sched.ml: Array Effect Format Hashtbl List Onll_util Printf

@@ -1,0 +1,1 @@
+lib/sched/sched.mli: Format

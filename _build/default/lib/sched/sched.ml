@@ -1,0 +1,325 @@
+type label =
+  | Prim of string
+  | Fence
+  | Pfence
+  | Return_point
+  | Custom of string
+
+let label_to_string = function
+  | Prim s -> s
+  | Fence -> "fence"
+  | Pfence -> "pfence"
+  | Return_point -> "return"
+  | Custom s -> s
+
+let pp_label ppf l = Format.pp_print_string ppf (label_to_string l)
+
+exception Stuck of string
+
+type _ Effect.t += Step : label -> unit Effect.t
+
+exception Preempted
+(* Used to discontinue fibers at a crash or when a run is abandoned. Process
+   code must not catch it (our simulated processes never do). *)
+
+(* Dynamic scheduling context. The simulator is single-threaded, so plain
+   refs are safe; [executing] is true exactly while a process body runs. *)
+let executing = ref false
+let cur_proc = ref 0
+
+let step lbl = if !executing then Effect.perform (Step lbl)
+let current_proc () = if !executing then !cur_proc else 0
+let in_scheduler () = !executing
+
+(* Result of resuming a process until its next pause. *)
+type resume =
+  | R_done
+  | R_paused of label * (unit, resume) Effect.Deep.continuation
+  | R_killed
+
+let handler : (unit, resume) Effect.Deep.handler =
+  {
+    retc = (fun () -> R_done);
+    exnc = (function Preempted -> R_killed | e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Step lbl ->
+            Some
+              (fun (k : (a, resume) Effect.Deep.continuation) ->
+                R_paused (lbl, k))
+        | _ -> None);
+  }
+
+module Strategy = struct
+  type view = {
+    runnable : unit -> int list;
+    label_of : int -> label option;
+    steps : unit -> int;
+    finished : int -> bool;
+  }
+
+  type decision = Schedule of int | Crash_now | Stop of string
+  type t = view -> decision
+
+  (* Stateless (keyed on the step counter) so the same strategy value can be
+     shared between runs without leaking rotation state. *)
+  let round_robin view =
+    match view.runnable () with
+    | [] -> Stop "round_robin: no runnable process"
+    | procs -> Schedule (List.nth procs (view.steps () mod List.length procs))
+
+  let random ~seed =
+    let rng = Onll_util.Splitmix.create seed in
+    fun view ->
+      match view.runnable () with
+      | [] -> Stop "random: no runnable process"
+      | procs -> Schedule (Onll_util.Splitmix.pick rng procs)
+
+  let random_with_crash ~seed ~crash_at_step =
+    let inner = random ~seed in
+    fun view ->
+      if view.steps () >= crash_at_step then Crash_now else inner view
+
+  (* PCT: random distinct priorities, highest-priority runnable process
+     runs; at each change point the current winner is demoted below all. *)
+  let pct ~seed ~depth ~expected_steps =
+    let rng = Onll_util.Splitmix.create seed in
+    let priorities = Hashtbl.create 8 in
+    let priority_of p =
+      match Hashtbl.find_opt priorities p with
+      | Some pr -> pr
+      | None ->
+          (* initial priorities: large positive, randomized, distinct *)
+          let pr = (Onll_util.Splitmix.int rng 1_000_000 * 64) + p + 1 in
+          Hashtbl.replace priorities p pr;
+          pr
+    in
+    let change_points =
+      List.init (max 0 (depth - 1)) (fun _ ->
+          Onll_util.Splitmix.int rng (max 1 expected_steps))
+    in
+    let demotions = ref 0 in
+    fun view ->
+      match view.runnable () with
+      | [] -> Stop "pct: no runnable process"
+      | procs ->
+          let best =
+            List.fold_left
+              (fun best p ->
+                if priority_of p > priority_of best then p else best)
+              (List.hd procs) procs
+          in
+          let step = view.steps () in
+          if List.mem step change_points then begin
+            (* demote the would-be winner below every priority so far *)
+            decr demotions;
+            Hashtbl.replace priorities best !demotions;
+            let best' =
+              List.fold_left
+                (fun b p -> if priority_of p > priority_of b then p else b)
+                (List.hd procs) procs
+            in
+            Schedule best'
+          end
+          else Schedule best
+
+  type cmd =
+    | Run_steps of int * int
+    | Run_until of int * (label -> bool)
+    | Run_to_completion of int
+    | Crash_here
+    | Round_robin_rest
+
+  let run_until_return p = Run_until (p, fun l -> l = Return_point)
+  let run_until_pfence p = Run_until (p, fun l -> l = Pfence)
+
+  let script ?(fallback = round_robin) cmds =
+    let cmds = ref cmds in
+    fun view ->
+      let rec next () =
+        match !cmds with
+        | [] -> fallback view
+        | Run_steps (p, k) :: rest ->
+            if k <= 0 || view.finished p then begin
+              cmds := rest;
+              next ()
+            end
+            else begin
+              cmds := Run_steps (p, k - 1) :: rest;
+              Schedule p
+            end
+        | Run_until (p, pred) :: rest ->
+            if view.finished p then begin
+              cmds := rest;
+              next ()
+            end
+            else begin
+              let at_target =
+                match view.label_of p with Some l -> pred l | None -> false
+              in
+              if at_target then begin
+                cmds := rest;
+                next ()
+              end
+              else Schedule p
+            end
+        | Run_to_completion p :: rest ->
+            if view.finished p then begin
+              cmds := rest;
+              next ()
+            end
+            else Schedule p
+        | Crash_here :: rest ->
+            cmds := rest;
+            Crash_now
+        | Round_robin_rest :: _ -> round_robin view
+      in
+      next ()
+end
+
+module World = struct
+  type outcome = Completed | Crashed | Stopped of string
+
+  type proc_state =
+    | Not_started of (int -> unit)
+    | Paused of label * (unit, resume) Effect.Deep.continuation
+    | Finished
+
+  type t = {
+    mutable crash_hooks : (unit -> unit) list;  (* reversed *)
+    mutable last_steps : int;
+    mutable last_trace : (int * label) list;  (* reversed *)
+    trace_log : bool;
+  }
+
+  let create ?(trace_log = false) () =
+    { crash_hooks = []; last_steps = 0; last_trace = []; trace_log }
+
+  let on_crash t hook = t.crash_hooks <- hook :: t.crash_hooks
+  let steps_taken t = t.last_steps
+  let trace t = List.rev t.last_trace
+
+  let resume_proc p action =
+    cur_proc := p;
+    executing := true;
+    let r =
+      match action () with
+      | r ->
+          executing := false;
+          r
+      | exception e ->
+          executing := false;
+          raise e
+    in
+    r
+
+  let kill_all states =
+    Array.iteri
+      (fun p st ->
+        match st with
+        | Paused (_, k) ->
+            states.(p) <- Finished;
+            (match resume_proc p (fun () -> Effect.Deep.discontinue k Preempted)
+             with
+            | R_done | R_killed -> ()
+            | R_paused _ ->
+                (* A process performed a step while unwinding from Preempted;
+                   simulated processes must not do that. *)
+                failwith "Sched: process performed a step during kill")
+        | Not_started _ -> states.(p) <- Finished
+        | Finished -> ())
+      states
+
+  let run ?(max_steps = 2_000_000) t strategy procs =
+    let n = Array.length procs in
+    let states = Array.init n (fun i -> Not_started procs.(i)) in
+    t.last_steps <- 0;
+    t.last_trace <- [];
+    let view =
+      {
+        Strategy.runnable =
+          (fun () ->
+            let acc = ref [] in
+            for p = n - 1 downto 0 do
+              match states.(p) with
+              | Not_started _ | Paused _ -> acc := p :: !acc
+              | Finished -> ()
+            done;
+            !acc);
+        label_of =
+          (fun p ->
+            match states.(p) with
+            | Paused (l, _) -> Some l
+            | Not_started _ | Finished -> None);
+        steps = (fun () -> t.last_steps);
+        finished = (fun p -> states.(p) = Finished);
+      }
+    in
+    let record p st =
+      if t.trace_log then
+        let performed =
+          match st with
+          | Paused (l, _) -> l
+          | Not_started _ -> Custom "start"
+          | Finished -> Custom "?"
+        in
+        t.last_trace <- (p, performed) :: t.last_trace
+    in
+    let rec loop () =
+      let all_done =
+        Array.for_all (function Finished -> true | _ -> false) states
+      in
+      if all_done then Completed
+      else begin
+        match strategy view with
+        | Strategy.Stop msg ->
+            kill_all states;
+            Stopped msg
+        | Strategy.Crash_now ->
+            kill_all states;
+            List.iter (fun h -> h ()) (List.rev t.crash_hooks);
+            Crashed
+        | Strategy.Schedule p ->
+            if p < 0 || p >= n then
+              invalid_arg (Printf.sprintf "Sched: scheduled bad process %d" p);
+            t.last_steps <- t.last_steps + 1;
+            if t.last_steps > max_steps then begin
+              kill_all states;
+              raise
+                (Stuck
+                   (Printf.sprintf "schedule exceeded %d steps (livelock?)"
+                      max_steps))
+            end;
+            let st = states.(p) in
+            record p st;
+            (match st with
+            | Finished ->
+                invalid_arg
+                  (Printf.sprintf "Sched: scheduled finished process %d" p)
+            | Not_started _ | Paused _ ->
+                (* Mark finished before resuming so that a process raising a
+                   real exception (e.g. a failed test assertion) leaves a
+                   consistent state for [kill_all]. *)
+                states.(p) <- Finished);
+            let r =
+              try
+                match st with
+                | Not_started fn ->
+                    resume_proc p (fun () ->
+                        Effect.Deep.match_with (fun () -> fn p) () handler)
+                | Paused (_, k) ->
+                    resume_proc p (fun () -> Effect.Deep.continue k ())
+                | Finished -> assert false
+              with e ->
+                kill_all states;
+                raise e
+            in
+            (match r with
+            | R_done | R_killed -> states.(p) <- Finished
+            | R_paused (l, k) -> states.(p) <- Paused (l, k));
+            loop ()
+      end
+    in
+    loop ()
+end

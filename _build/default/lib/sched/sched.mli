@@ -1,0 +1,152 @@
+(** Deterministic cooperative scheduler for simulated concurrent executions.
+
+    The paper's model (§2.2) is a set of processes with no assumptions on
+    relative speeds, subject to full-system crashes. This module realises
+    that model with OCaml 5 effect handlers: every shared-memory or NVM
+    primitive executed by a simulated process performs a {!step} effect, the
+    scheduler captures the process's continuation, and a {!Strategy.t}
+    decides who runs next — or that the system crashes now.
+
+    Key property: a process paused at a step has {e not yet executed} the
+    corresponding primitive; the primitive's action runs when (and only when)
+    the process is next scheduled. "Preempt p just before its persistent
+    fence" — the schedule used in the lower-bound proof — is therefore
+    expressed directly as {!Strategy.run_until} with a label predicate.
+
+    The scheduler is strictly single-threaded; determinism is total given a
+    strategy (and its seed). *)
+
+(** {1 Labels}
+
+    Each scheduling point is tagged so that strategies and execution traces
+    can recognise it. *)
+
+type label =
+  | Prim of string  (** a shared-memory primitive, e.g. ["tvar.cas"] *)
+  | Fence  (** a fence with no pending write-backs (cheap) *)
+  | Pfence  (** a fence with pending write-backs: a persistent fence *)
+  | Return_point  (** an operation is about to return to its caller *)
+  | Custom of string  (** user-defined breakpoint *)
+
+val pp_label : Format.formatter -> label -> unit
+val label_to_string : label -> string
+
+(** {1 Instrumentation points}
+
+    Called by the machine layer (and usable directly by test code). Outside
+    a running scheduler both are cheap no-ops, so the same code can run in a
+    plain single-threaded context (e.g. recovery routines in tests). *)
+
+val step : label -> unit
+(** Yield to the scheduler at a point labelled [label]. *)
+
+val current_proc : unit -> int
+(** Id of the currently scheduled process; [0] outside a run (recovery and
+    single-threaded test code are conventionally process 0). *)
+
+val in_scheduler : unit -> bool
+
+(** {1 Strategies} *)
+
+module Strategy : sig
+  type view = {
+    runnable : unit -> int list;
+        (** processes that can take a step, ascending *)
+    label_of : int -> label option;
+        (** label a process is paused at ([None] if not yet started) *)
+    steps : unit -> int;  (** scheduling decisions taken so far *)
+    finished : int -> bool;
+  }
+
+  type decision =
+    | Schedule of int
+    | Crash_now  (** full-system crash: kill everyone, fire crash hooks *)
+    | Stop of string  (** abandon the run (procs are discarded, no hooks) *)
+
+  type t = view -> decision
+
+  val round_robin : t
+  (** Fair rotation over runnable processes. *)
+
+  val random : seed:int -> t
+  (** Uniform choice among runnable processes; reproducible from the seed. *)
+
+  val random_with_crash : seed:int -> crash_at_step:int -> t
+  (** Random scheduling, crashing at the given step (or at the end if the
+      run finishes first — in which case the run completes normally). *)
+
+  val pct : seed:int -> depth:int -> expected_steps:int -> t
+  (** Probabilistic concurrency testing (Burckhardt et al., ASPLOS'10):
+      processes get random distinct priorities; the highest-priority
+      runnable process always runs; at [depth - 1] random change points
+      (drawn from [0, expected_steps)) the running process's priority drops
+      below everyone's. Finds any bug of depth [d] with probability
+      >= 1/(n * k^(d-1)) per seed — far better than uniform random for
+      ordering bugs. Deterministic per seed. *)
+
+  (** Scripted schedules, for proof executions and figure replays. *)
+  type cmd =
+    | Run_steps of int * int  (** [(p, k)]: schedule [p] for [k] steps *)
+    | Run_until of int * (label -> bool)
+        (** schedule [p] until it pauses at a matching label (the matching
+            primitive has {e not} executed yet) or finishes *)
+    | Run_to_completion of int
+    | Crash_here
+    | Round_robin_rest  (** finish everything fairly *)
+
+  val run_until_return : int -> cmd
+  (** [Run_until (p, fun l -> l = Return_point)] — pause [p] just before its
+      current operation responds. *)
+
+  val run_until_pfence : int -> cmd
+  (** Pause [p] just before its next persistent fence. *)
+
+  val script : ?fallback:t -> cmd list -> t
+  (** Execute commands in order; once exhausted, delegate to [fallback]
+      (default {!round_robin}). Commands targeting finished processes are
+      skipped. *)
+end
+
+(** {1 Worlds and runs} *)
+
+module World : sig
+  type t
+
+  type outcome =
+    | Completed  (** every process returned *)
+    | Crashed  (** the strategy decided [Crash_now] *)
+    | Stopped of string
+
+  val create : ?trace_log:bool -> unit -> t
+  (** [trace_log] records every scheduling decision for later inspection
+      (default false). *)
+
+  val on_crash : t -> (unit -> unit) -> unit
+  (** Register a hook fired on [Crash_now], after all processes have been
+      killed — e.g. [Memory.crash]. Hooks persist across runs (NVM outlives
+      crashes) and fire in registration order. *)
+
+  val run :
+    ?max_steps:int -> t -> Strategy.t -> (int -> unit) array -> outcome
+  (** [run t strategy procs] executes the processes (each applied to its own
+      id) to an outcome. A run is one crash-free era; model a crash-recovery
+      execution as a [run] ending in [Crashed], followed by recovery code,
+      followed by another [run] on the same world.
+
+      @raise Stuck if [max_steps] (default 2_000_000) scheduling decisions
+      are exceeded, which indicates a livelocked schedule.
+      Any exception raised by a process aborts the run (other processes are
+      discarded) and is re-raised. *)
+
+  val steps_taken : t -> int
+  (** Scheduling decisions in the most recent run. *)
+
+  val trace : t -> (int * label) list
+  (** Most recent run's executed (process, primitive-label) sequence, oldest
+      first; empty unless [trace_log] was set. The label of an entry is the
+      primitive the process {e performed} when scheduled (its pre-pause
+      label); a process's very first scheduling has no prior primitive and
+      is recorded as [Custom "start"]. *)
+end
+
+exception Stuck of string

@@ -1,0 +1,1 @@
+lib/specs/conformance_check.ml: Counter Deque Kv Ledger Onll_core Pqueue Queue_spec Register Set_spec Stack_spec

@@ -1,0 +1,1 @@
+lib/specs/counter.ml: Format Int Onll_util Printf

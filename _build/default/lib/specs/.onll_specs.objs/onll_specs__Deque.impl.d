@@ -1,0 +1,1 @@
+lib/specs/deque.ml: Format List Onll_util Printf

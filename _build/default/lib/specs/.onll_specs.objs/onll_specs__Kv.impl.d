@@ -1,0 +1,1 @@
+lib/specs/kv.ml: Format List Map Onll_util Printf String

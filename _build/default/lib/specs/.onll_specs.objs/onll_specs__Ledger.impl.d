@@ -1,0 +1,1 @@
+lib/specs/ledger.ml: Format Int List Map Onll_util Printf String

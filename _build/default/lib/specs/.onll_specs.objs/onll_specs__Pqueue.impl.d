@@ -1,0 +1,1 @@
+lib/specs/pqueue.ml: Format List Onll_util Printf

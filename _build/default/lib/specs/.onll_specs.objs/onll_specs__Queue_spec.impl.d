@@ -1,0 +1,1 @@
+lib/specs/queue_spec.ml: Format List Onll_util Printf

@@ -1,0 +1,1 @@
+lib/specs/register.ml: Format Int Onll_util

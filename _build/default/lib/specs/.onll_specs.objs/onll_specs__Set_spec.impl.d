@@ -1,0 +1,1 @@
+lib/specs/set_spec.ml: Format Int Onll_util Printf Set

@@ -1,0 +1,1 @@
+lib/specs/stack_spec.ml: Format List Onll_util Printf

@@ -1,0 +1,16 @@
+(* Compile-time proof that every stock specification satisfies
+   {!Onll_core.Spec.S}. Nothing is exported; a spec drifting from the
+   signature breaks the build here, with an error pointing at the spec
+   rather than at some distant functor application. *)
+
+module type S = Onll_core.Spec.S
+
+module Check_counter : S = Counter
+module Check_register : S = Register
+module Check_queue : S = Queue_spec
+module Check_stack : S = Stack_spec
+module Check_kv : S = Kv
+module Check_set : S = Set_spec
+module Check_ledger : S = Ledger
+module Check_pqueue : S = Pqueue
+module Check_deque : S = Deque

@@ -1,0 +1,39 @@
+(** The paper's running example (§3.3): a shared counter. [Increment]
+    returns the new value; [Add] generalises it; [Get] is the read. *)
+
+type state = int
+type update_op = Increment | Add of int
+type read_op = Get
+type value = int
+
+let name = "counter"
+let initial = 0
+
+let apply st = function
+  | Increment -> (st + 1, st + 1)
+  | Add k -> (st + k, st + k)
+
+let read st Get = st
+
+let update_codec =
+  let open Onll_util.Codec in
+  tagged
+    (function
+      | Increment -> (0, "")
+      | Add k -> (1, encode int k))
+    (fun tag body ->
+      match tag with
+      | 0 -> Increment
+      | 1 -> Add (decode int body)
+      | n -> raise (Decode_error (Printf.sprintf "counter op: bad tag %d" n)))
+
+let state_codec = Onll_util.Codec.int
+let equal_state = Int.equal
+let equal_value = Int.equal
+
+let pp_update ppf = function
+  | Increment -> Format.pp_print_string ppf "incr"
+  | Add k -> Format.fprintf ppf "add(%d)" k
+
+let pp_read ppf Get = Format.pp_print_string ppf "get"
+let pp_value = Format.pp_print_int

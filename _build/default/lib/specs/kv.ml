@@ -1,0 +1,60 @@
+(** A string key-value store — the shape of the indexing structures most
+    NVM data-structure work targets (§7). [Put]/[Delete] return the previous
+    binding, so clients can detect replays. *)
+
+module Smap = Map.Make (String)
+
+type state = string Smap.t
+type update_op = Put of string * string | Delete of string
+type read_op = Get of string | Size
+type value = Previous of string option | Found of string option | Count of int
+
+let name = "kv"
+let initial = Smap.empty
+
+let apply st = function
+  | Put (k, v) -> (Smap.add k v st, Previous (Smap.find_opt k st))
+  | Delete k -> (Smap.remove k st, Previous (Smap.find_opt k st))
+
+let read st = function
+  | Get k -> Found (Smap.find_opt k st)
+  | Size -> Count (Smap.cardinal st)
+
+let update_codec =
+  let open Onll_util.Codec in
+  tagged
+    (function
+      | Put (k, v) -> (0, encode (pair string string) (k, v))
+      | Delete k -> (1, encode string k))
+    (fun tag body ->
+      match tag with
+      | 0 ->
+          let k, v = decode (pair string string) body in
+          Put (k, v)
+      | 1 -> Delete (decode string body)
+      | n -> raise (Decode_error (Printf.sprintf "kv op: bad tag %d" n)))
+
+let state_codec =
+  let open Onll_util.Codec in
+  map
+    (fun bindings -> Smap.of_seq (List.to_seq bindings))
+    Smap.bindings
+    (list (pair string string))
+
+let equal_state = Smap.equal String.equal
+let equal_value (a : value) b = a = b
+
+let pp_update ppf = function
+  | Put (k, v) -> Format.fprintf ppf "put(%s=%s)" k v
+  | Delete k -> Format.fprintf ppf "del(%s)" k
+
+let pp_read ppf = function
+  | Get k -> Format.fprintf ppf "get(%s)" k
+  | Size -> Format.pp_print_string ppf "size"
+
+let pp_value ppf = function
+  | Previous None -> Format.pp_print_string ppf "prev=none"
+  | Previous (Some v) -> Format.fprintf ppf "prev=%s" v
+  | Found None -> Format.pp_print_string ppf "none"
+  | Found (Some v) -> Format.fprintf ppf "found=%s" v
+  | Count n -> Format.fprintf ppf "count=%d" n

@@ -1,0 +1,108 @@
+(** A bank ledger: named accounts with crash-consistent transfers. The
+    motivating shape for durable linearizability — once a transfer has
+    responded (money reported moved), no crash may un-move it, and no crash
+    may ever duplicate or lose money mid-transfer. *)
+
+module Smap = Map.Make (String)
+
+type state = int Smap.t
+type update_op =
+  | Open of string  (** create an account with balance 0 *)
+  | Deposit of string * int
+  | Withdraw of string * int
+  | Transfer of string * string * int
+
+type read_op = Balance of string | Total | Accounts
+type value =
+  | Ok_v
+  | Rejected of string
+  | Amount of int option
+  | Names of string list
+
+let name = "ledger"
+let initial = Smap.empty
+
+let apply st = function
+  | Open a ->
+      if Smap.mem a st then (st, Rejected "exists")
+      else (Smap.add a 0 st, Ok_v)
+  | Deposit (a, amt) -> (
+      if amt <= 0 then (st, Rejected "non-positive amount")
+      else
+        match Smap.find_opt a st with
+        | None -> (st, Rejected "no such account")
+        | Some bal -> (Smap.add a (bal + amt) st, Ok_v))
+  | Withdraw (a, amt) -> (
+      if amt <= 0 then (st, Rejected "non-positive amount")
+      else
+        match Smap.find_opt a st with
+        | None -> (st, Rejected "no such account")
+        | Some bal ->
+            if bal < amt then (st, Rejected "insufficient funds")
+            else (Smap.add a (bal - amt) st, Ok_v))
+  | Transfer (a, b, amt) -> (
+      if amt <= 0 then (st, Rejected "non-positive amount")
+      else if a = b then (st, Rejected "same account")
+      else
+        match (Smap.find_opt a st, Smap.find_opt b st) with
+        | None, _ | _, None -> (st, Rejected "no such account")
+        | Some ba, Some bb ->
+            if ba < amt then (st, Rejected "insufficient funds")
+            else
+              (Smap.add a (ba - amt) (Smap.add b (bb + amt) st), Ok_v))
+
+let read st = function
+  | Balance a -> Amount (Smap.find_opt a st)
+  | Total -> Amount (Some (Smap.fold (fun _ v acc -> acc + v) st 0))
+  | Accounts -> Names (List.map fst (Smap.bindings st))
+
+let update_codec =
+  let open Onll_util.Codec in
+  tagged
+    (function
+      | Open a -> (0, encode string a)
+      | Deposit (a, amt) -> (1, encode (pair string int) (a, amt))
+      | Withdraw (a, amt) -> (2, encode (pair string int) (a, amt))
+      | Transfer (a, b, amt) ->
+          (3, encode (triple string string int) (a, b, amt)))
+    (fun tag body ->
+      match tag with
+      | 0 -> Open (decode string body)
+      | 1 ->
+          let a, amt = decode (pair string int) body in
+          Deposit (a, amt)
+      | 2 ->
+          let a, amt = decode (pair string int) body in
+          Withdraw (a, amt)
+      | 3 ->
+          let a, b, amt = decode (triple string string int) body in
+          Transfer (a, b, amt)
+      | n -> raise (Decode_error (Printf.sprintf "ledger op: bad tag %d" n)))
+
+let state_codec =
+  let open Onll_util.Codec in
+  map
+    (fun bindings -> Smap.of_seq (List.to_seq bindings))
+    Smap.bindings
+    (list (pair string int))
+
+let equal_state = Smap.equal Int.equal
+let equal_value (a : value) b = a = b
+
+let pp_update ppf = function
+  | Open a -> Format.fprintf ppf "open(%s)" a
+  | Deposit (a, amt) -> Format.fprintf ppf "deposit(%s,%d)" a amt
+  | Withdraw (a, amt) -> Format.fprintf ppf "withdraw(%s,%d)" a amt
+  | Transfer (a, b, amt) -> Format.fprintf ppf "transfer(%s->%s,%d)" a b amt
+
+let pp_read ppf = function
+  | Balance a -> Format.fprintf ppf "balance(%s)" a
+  | Total -> Format.pp_print_string ppf "total"
+  | Accounts -> Format.pp_print_string ppf "accounts"
+
+let pp_value ppf = function
+  | Ok_v -> Format.pp_print_string ppf "ok"
+  | Rejected r -> Format.fprintf ppf "rejected(%s)" r
+  | Amount None -> Format.pp_print_string ppf "no-account"
+  | Amount (Some n) -> Format.fprintf ppf "%d" n
+  | Names l -> Format.fprintf ppf "[%s]" (String.concat ";" l)

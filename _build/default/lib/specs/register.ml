@@ -1,0 +1,23 @@
+(** A read-write register over integers. [Write] returns the overwritten
+    value, which makes it strongly non-commutative (the shape Attiya et
+    al.'s lower bound, discussed in §7, applies to). *)
+
+type state = int
+type update_op = Write of int
+type read_op = Read
+type value = int
+
+let name = "register"
+let initial = 0
+let apply st (Write v) = (v, st)
+let read st Read = st
+
+let update_codec =
+  Onll_util.Codec.map (fun v -> Write v) (fun (Write v) -> v) Onll_util.Codec.int
+
+let state_codec = Onll_util.Codec.int
+let equal_state = Int.equal
+let equal_value = Int.equal
+let pp_update ppf (Write v) = Format.fprintf ppf "write(%d)" v
+let pp_read ppf Read = Format.pp_print_string ppf "read"
+let pp_value = Format.pp_print_int

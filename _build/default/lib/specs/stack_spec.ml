@@ -1,0 +1,50 @@
+(** A LIFO stack of integers. *)
+
+type state = int list
+type update_op = Push of int | Pop
+type read_op = Top | Depth
+type value = Nothing | Taken of int option | Count of int
+
+let name = "stack"
+let initial = []
+
+let apply st = function
+  | Push v -> (v :: st, Nothing)
+  | Pop -> (
+      match st with
+      | [] -> ([], Taken None)
+      | x :: rest -> (rest, Taken (Some x)))
+
+let read st = function
+  | Top -> ( match st with [] -> Taken None | x :: _ -> Taken (Some x))
+  | Depth -> Count (List.length st)
+
+let update_codec =
+  let open Onll_util.Codec in
+  tagged
+    (function
+      | Push v -> (0, encode int v)
+      | Pop -> (1, ""))
+    (fun tag body ->
+      match tag with
+      | 0 -> Push (decode int body)
+      | 1 -> Pop
+      | n -> raise (Decode_error (Printf.sprintf "stack op: bad tag %d" n)))
+
+let state_codec = Onll_util.Codec.(list int)
+let equal_state (a : state) b = a = b
+let equal_value (a : value) b = a = b
+
+let pp_update ppf = function
+  | Push v -> Format.fprintf ppf "push(%d)" v
+  | Pop -> Format.pp_print_string ppf "pop"
+
+let pp_read ppf = function
+  | Top -> Format.pp_print_string ppf "top"
+  | Depth -> Format.pp_print_string ppf "depth"
+
+let pp_value ppf = function
+  | Nothing -> Format.pp_print_string ppf "()"
+  | Taken None -> Format.pp_print_string ppf "empty"
+  | Taken (Some v) -> Format.fprintf ppf "some(%d)" v
+  | Count n -> Format.fprintf ppf "depth=%d" n

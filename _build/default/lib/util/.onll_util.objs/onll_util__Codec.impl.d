@@ -1,0 +1,1 @@
+lib/util/codec.ml: Array Buffer Char Format Int64 List String

@@ -1,0 +1,1 @@
+lib/util/crc32.mli: Bytes

@@ -1,0 +1,1 @@
+lib/util/splitmix.ml: Array Int64 List

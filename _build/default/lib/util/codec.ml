@@ -1,0 +1,198 @@
+exception Decode_error of string
+
+type 'a t = {
+  write : Buffer.t -> 'a -> unit;
+  read : string -> pos:int -> 'a * int;
+}
+
+let fail fmt = Format.kasprintf (fun s -> raise (Decode_error s)) fmt
+
+let check_space s pos need what =
+  if pos < 0 || pos + need > String.length s then
+    fail "%s: truncated input (need %d bytes at offset %d, have %d)" what need
+      pos (String.length s - pos)
+
+let encode c v =
+  let b = Buffer.create 64 in
+  c.write b v;
+  Buffer.contents b
+
+let decode c s =
+  let v, stop = c.read s ~pos:0 in
+  if stop <> String.length s then
+    fail "decode: %d trailing bytes" (String.length s - stop);
+  v
+
+let write c buf v = c.write buf v
+let read c s ~pos = c.read s ~pos
+
+let unit =
+  { write = (fun _ () -> ()); read = (fun _ ~pos -> ((), pos)) }
+
+let char =
+  {
+    write = (fun b c -> Buffer.add_char b c);
+    read =
+      (fun s ~pos ->
+        check_space s pos 1 "char";
+        (s.[pos], pos + 1));
+  }
+
+let bool =
+  {
+    write = (fun b v -> Buffer.add_char b (if v then '\001' else '\000'));
+    read =
+      (fun s ~pos ->
+        check_space s pos 1 "bool";
+        (match s.[pos] with
+        | '\000' -> (false, pos + 1)
+        | '\001' -> (true, pos + 1)
+        | c -> fail "bool: invalid byte %d" (Char.code c)));
+  }
+
+let int64 =
+  {
+    write = (fun b v -> Buffer.add_int64_le b v);
+    read =
+      (fun s ~pos ->
+        check_space s pos 8 "int64";
+        (String.get_int64_le s pos, pos + 8));
+  }
+
+let int =
+  {
+    write = (fun b v -> Buffer.add_int64_le b (Int64.of_int v));
+    read =
+      (fun s ~pos ->
+        check_space s pos 8 "int";
+        (Int64.to_int (String.get_int64_le s pos), pos + 8));
+  }
+
+let int32 =
+  {
+    write = (fun b v -> Buffer.add_int32_le b v);
+    read =
+      (fun s ~pos ->
+        check_space s pos 4 "int32";
+        (String.get_int32_le s pos, pos + 4));
+  }
+
+let float =
+  {
+    write = (fun b v -> Buffer.add_int64_le b (Int64.bits_of_float v));
+    read =
+      (fun s ~pos ->
+        check_space s pos 8 "float";
+        (Int64.float_of_bits (String.get_int64_le s pos), pos + 8));
+  }
+
+let string =
+  {
+    write =
+      (fun b v ->
+        Buffer.add_int64_le b (Int64.of_int (String.length v));
+        Buffer.add_string b v);
+    read =
+      (fun s ~pos ->
+        check_space s pos 8 "string length";
+        let len = Int64.to_int (String.get_int64_le s pos) in
+        if len < 0 then fail "string: negative length %d" len;
+        check_space s (pos + 8) len "string body";
+        (String.sub s (pos + 8) len, pos + 8 + len));
+  }
+
+let pair ca cb =
+  {
+    write =
+      (fun b (x, y) ->
+        ca.write b x;
+        cb.write b y);
+    read =
+      (fun s ~pos ->
+        let x, pos = ca.read s ~pos in
+        let y, pos = cb.read s ~pos in
+        ((x, y), pos));
+  }
+
+let triple ca cb cc =
+  {
+    write =
+      (fun b (x, y, z) ->
+        ca.write b x;
+        cb.write b y;
+        cc.write b z);
+    read =
+      (fun s ~pos ->
+        let x, pos = ca.read s ~pos in
+        let y, pos = cb.read s ~pos in
+        let z, pos = cc.read s ~pos in
+        ((x, y, z), pos));
+  }
+
+let list c =
+  {
+    write =
+      (fun b l ->
+        Buffer.add_int64_le b (Int64.of_int (List.length l));
+        List.iter (c.write b) l);
+    read =
+      (fun s ~pos ->
+        check_space s pos 8 "list length";
+        let n = Int64.to_int (String.get_int64_le s pos) in
+        if n < 0 then fail "list: negative length %d" n;
+        let rec loop acc pos k =
+          if k = 0 then (List.rev acc, pos)
+          else
+            let v, pos = c.read s ~pos in
+            loop (v :: acc) pos (k - 1)
+        in
+        loop [] (pos + 8) n);
+  }
+
+let array c =
+  let l = list c in
+  {
+    write = (fun b a -> l.write b (Array.to_list a));
+    read =
+      (fun s ~pos ->
+        let xs, pos = l.read s ~pos in
+        (Array.of_list xs, pos));
+  }
+
+let option c =
+  {
+    write =
+      (fun b -> function
+        | None -> Buffer.add_char b '\000'
+        | Some v ->
+            Buffer.add_char b '\001';
+            c.write b v);
+    read =
+      (fun s ~pos ->
+        check_space s pos 1 "option tag";
+        match s.[pos] with
+        | '\000' -> (None, pos + 1)
+        | '\001' ->
+            let v, pos = c.read s ~pos:(pos + 1) in
+            (Some v, pos)
+        | ch -> fail "option: invalid tag %d" (Char.code ch));
+  }
+
+let map of_a to_a c =
+  {
+    write = (fun b v -> c.write b (to_a v));
+    read =
+      (fun s ~pos ->
+        let v, pos = c.read s ~pos in
+        (of_a v, pos));
+  }
+
+let tagged to_tag of_tag =
+  let payload = pair int string in
+  {
+    write = (fun b v -> payload.write b (to_tag v));
+    read =
+      (fun s ~pos ->
+        let (tag, body), pos = payload.read s ~pos in
+        (of_tag tag body, pos));
+  }

@@ -1,0 +1,58 @@
+(** Little binary serialization combinators.
+
+    Sequential specifications hand the construction opaque byte strings for
+    their operations and checkpointed states; these combinators build such
+    codecs without depending on [Marshal] (whose format is not stable and
+    whose failure mode on corrupt input is a segfault rather than an error,
+    which matters when decoding possibly-torn NVM contents). *)
+
+type 'a t
+(** A codec: a value of type ['a] to/from bytes. *)
+
+exception Decode_error of string
+(** Raised by [decode]/readers on malformed or truncated input. *)
+
+val encode : 'a t -> 'a -> string
+val decode : 'a t -> string -> 'a
+(** [decode c s] decodes [s] entirely; trailing bytes are a
+    {!Decode_error}. *)
+
+(** {1 Primitives} *)
+
+val unit : unit t
+val bool : bool t
+
+val int : int t
+(** 63-bit OCaml int, 8 bytes little-endian. *)
+
+val int32 : int32 t
+val int64 : int64 t
+val float : float t
+val char : char t
+
+val string : string t
+(** Length-prefixed. *)
+
+(** {1 Combinators} *)
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+val list : 'a t -> 'a list t
+val array : 'a t -> 'a array t
+val option : 'a t -> 'a option t
+
+val map : ('a -> 'b) -> ('b -> 'a) -> 'a t -> 'b t
+(** [map of_a to_a c] converts codec [c] via an isomorphism:
+    [of_a] decodes, [to_a] encodes. *)
+
+val tagged : ('a -> int * string) -> (int -> string -> 'a) -> 'a t
+(** [tagged to_tag of_tag] builds a variant codec: [to_tag v] yields a
+    constructor tag and an encoded payload; [of_tag tag payload] rebuilds the
+    value (raising {!Decode_error} on an unknown tag). *)
+
+(** {1 Low-level interface for incremental encoding} *)
+
+val write : 'a t -> Buffer.t -> 'a -> unit
+val read : 'a t -> string -> pos:int -> 'a * int
+(** [read c s ~pos] decodes at offset [pos], returning the value and the
+    offset one past its encoding. *)

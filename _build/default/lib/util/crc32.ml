@@ -1,0 +1,35 @@
+let table =
+  lazy
+    (let t = Array.make 256 0l in
+     for n = 0 to 255 do
+       let c = ref (Int32.of_int n) in
+       for _ = 0 to 7 do
+         if Int32.logand !c 1l <> 0l then
+           c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+         else c := Int32.shift_right_logical !c 1
+       done;
+       t.(n) <- !c
+     done;
+     t)
+
+let update_byte crc b =
+  let t = Lazy.force table in
+  let idx = Int32.to_int (Int32.logand (Int32.logxor crc (Int32.of_int b)) 0xFFl) in
+  Int32.logxor t.(idx) (Int32.shift_right_logical crc 8)
+
+let bytes ?(init = 0l) b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Crc32.bytes: range out of bounds";
+  let crc = ref (Int32.lognot init) in
+  for i = pos to pos + len - 1 do
+    crc := update_byte !crc (Char.code (Bytes.unsafe_get b i))
+  done;
+  Int32.lognot !crc
+
+let string ?init s =
+  bytes ?init (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+
+let int64 ?init x =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 x;
+  bytes ?init b ~pos:0 ~len:8

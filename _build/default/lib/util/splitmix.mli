@@ -1,0 +1,34 @@
+(** SplitMix64 pseudo-random number generator.
+
+    Deterministic, seedable and splittable; used everywhere a reproducible
+    stream of random choices is needed (schedules, crash points, workloads)
+    so that every randomized experiment can be replayed from its seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. Equal seeds give equal streams. *)
+
+val copy : t -> t
+(** Independent copy continuing from the current position. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a statistically independent child. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val bool : t -> bool
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice. @raise Invalid_argument on the empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

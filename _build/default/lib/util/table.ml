@@ -1,0 +1,84 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?align ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    match align with
+    | Some a when List.length a = ncols -> Array.of_list a
+    | _ -> Array.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let normalize row =
+    let n = List.length row in
+    if n >= ncols then row
+    else row @ List.init (ncols - n) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell ->
+        if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  measure header;
+  List.iter measure rows;
+  let line row =
+    let cells = List.mapi (fun i cell -> pad aligns.(i) widths.(i) cell) row in
+    let s = String.concat "  " cells in
+    let stop = ref (String.length s) in
+    while !stop > 0 && s.[!stop - 1] = ' ' do decr stop done;
+    String.sub s 0 !stop
+  in
+  let sep =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let out = Buffer.create 512 in
+  Buffer.add_string out (line header);
+  Buffer.add_char out '\n';
+  Buffer.add_string out sep;
+  Buffer.add_char out '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string out (line row);
+      Buffer.add_char out '\n')
+    rows;
+  Buffer.contents out
+
+let print ?align ~title ~header rows =
+  Printf.printf "\n== %s ==\n%s%!" title (render ?align ~header rows)
+
+let fmt_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else if Float.abs f >= 100. then Printf.sprintf "%.1f" f
+  else if Float.abs f >= 1. then Printf.sprintf "%.2f" f
+  else Printf.sprintf "%.4f" f
+
+let series ~title ~x_label curves =
+  let module FS = Set.Make (Float) in
+  let xs =
+    List.fold_left
+      (fun acc (_, pts) ->
+        List.fold_left (fun acc (x, _) -> FS.add x acc) acc pts)
+      FS.empty curves
+  in
+  let header = x_label :: List.map fst curves in
+  let rows =
+    FS.elements xs
+    |> List.map (fun x ->
+           fmt_float x
+           :: List.map
+                (fun (_, pts) ->
+                  match List.assoc_opt x pts with
+                  | Some y -> fmt_float y
+                  | None -> "-")
+                curves)
+  in
+  print ~title ~header rows

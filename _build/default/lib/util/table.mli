@@ -1,0 +1,30 @@
+(** ASCII table and data-series rendering for the benchmark harness.
+
+    Every experiment prints its result as either a table (rows of cells) or a
+    series (x, y pairs per curve) in a stable plain-text format so that
+    paper-vs-measured comparisons in EXPERIMENTS.md can quote the output
+    verbatim. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays the table out with a column width fitting the
+    widest cell. [align] defaults to [Left] for the first column and [Right]
+    for the rest. Rows shorter than the header are padded with empty cells. *)
+
+val print :
+  ?align:align list -> title:string -> header:string list ->
+  string list list -> unit
+(** [print ~title ~header rows] writes a titled table to stdout. *)
+
+val series :
+  title:string -> x_label:string ->
+  (string * (float * float) list) list -> unit
+(** [series ~title ~x_label curves] prints one row per x value with a column
+    per named curve — the textual equivalent of a line plot. X values are the
+    union of all curves' x values; missing points print as "-". *)
+
+val fmt_float : float -> string
+(** Compact float formatting: integers without decimals, otherwise 2–3
+    significant decimals. *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array List Onll_baselines Onll_machine Onll_nvm Onll_sched Onll_specs Sched Sim

@@ -1,0 +1,1 @@
+test/test_derived.ml: Alcotest List Onll_derived Onll_machine Onll_nvm Onll_sched Sim

@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Array Onll_baselines Onll_core Onll_explore Onll_histcheck Onll_machine Onll_sched Onll_specs Printf Sim

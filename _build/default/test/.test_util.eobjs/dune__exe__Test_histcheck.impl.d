@@ -1,0 +1,1 @@
+test/test_histcheck.ml: Alcotest Array List Onll_histcheck Onll_specs Onll_util QCheck QCheck_alcotest

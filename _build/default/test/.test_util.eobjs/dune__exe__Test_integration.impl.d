@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Fuzz Gen List Onll_histcheck Onll_nvm Onll_specs Option Printf Test_support

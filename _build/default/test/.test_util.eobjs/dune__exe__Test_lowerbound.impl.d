@@ -1,0 +1,1 @@
+test/test_lowerbound.ml: Alcotest Array Format List Onll_baselines Onll_core Onll_lowerbound Onll_machine Onll_specs Printf Sim String

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array List Native Onll_machine Onll_nvm Onll_sched Printf Sched Sim

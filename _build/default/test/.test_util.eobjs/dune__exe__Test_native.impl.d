@@ -1,0 +1,1 @@
+test/test_native.ml: Alcotest Domain Fun List Native Onll_core Onll_machine Onll_specs Printf Unix

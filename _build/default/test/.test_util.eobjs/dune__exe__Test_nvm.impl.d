@@ -1,0 +1,1 @@
+test/test_nvm.ml: Alcotest Bytes Char Crash_policy Filename Gen List Memory Onll_nvm Option QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_onll.ml: Alcotest Array Bytes Codec Crc32 Fun Int64 List Onll_core Onll_histcheck Onll_machine Onll_nvm Onll_plog Onll_scenarios Onll_sched Onll_specs Onll_util Sched Sim String

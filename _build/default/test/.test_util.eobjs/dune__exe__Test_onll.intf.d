@@ -1,0 +1,1 @@
+test/test_onll.mli:

@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Array List Onll_baselines Onll_core Onll_histcheck Onll_machine Onll_scenarios Onll_sched Onll_specs Printf Sched Sim String

@@ -1,0 +1,1 @@
+test/test_plog.ml: Alcotest Char List Onll_machine Onll_nvm Onll_plog Onll_sched Printf QCheck QCheck_alcotest Sched Sim String

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array List Onll_baselines Onll_core Onll_histcheck Onll_machine Onll_nvm Onll_sched Onll_specs Onll_util QCheck QCheck_alcotest Sim Splitmix Test_support

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Fun List Onll_sched Sched

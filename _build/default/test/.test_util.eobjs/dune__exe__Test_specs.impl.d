@@ -1,0 +1,1 @@
+test/test_specs.ml: Alcotest Codec Gen Hashtbl List Onll_core Onll_specs Onll_util Printf QCheck QCheck_alcotest Queue Splitmix Test_support

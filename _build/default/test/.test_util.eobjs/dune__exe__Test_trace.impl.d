@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array List Onll_core Onll_machine Onll_sched Sched Sim

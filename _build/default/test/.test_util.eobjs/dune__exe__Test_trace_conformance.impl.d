@@ -1,0 +1,1 @@
+test/test_trace_conformance.ml: Alcotest Array Hashtbl List Machine_sig Onll_core Onll_machine Onll_sched Onll_util Printf QCheck QCheck_alcotest Sched Sim

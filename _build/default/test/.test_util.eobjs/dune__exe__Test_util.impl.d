@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Char Codec Crc32 Float Fun Gen List Onll_util Printf QCheck QCheck_alcotest Splitmix String Table

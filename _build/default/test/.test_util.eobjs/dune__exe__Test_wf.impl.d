@@ -1,0 +1,1 @@
+test/test_wf.ml: Alcotest Array Fun List Onll_core Onll_lowerbound Onll_machine Onll_nvm Onll_sched Onll_specs Printf Sched Sim Test_support

@@ -1,0 +1,1 @@
+test/support/fuzz.ml: Array Format Hashtbl List Onll_core Onll_histcheck Onll_machine Onll_nvm Onll_sched Onll_util Sim Splitmix

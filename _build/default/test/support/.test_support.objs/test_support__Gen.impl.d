@@ -1,0 +1,1 @@
+test/support/gen.ml: Array Onll_specs Onll_util Printf Splitmix

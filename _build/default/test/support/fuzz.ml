@@ -1,0 +1,261 @@
+(** Generic crash-fuzz driver: run a randomized concurrent workload against
+    an ONLL object under a seeded random schedule, optionally crash it
+    mid-flight, recover, keep going — then audit everything we know must
+    hold:
+
+    - {b durability of completed operations}: every update that responded
+      before the crash is in the recovered history (detectability audit);
+    - {b precedence}: the recovered execution order extends the real-time
+      order of the recorded history;
+    - {b durable linearizability}: for small histories, the exhaustive
+      {!Onll_histcheck} oracle validates recorded return values across the
+      crash.
+
+    Every run is reproducible from its integer seed. *)
+
+open Onll_util
+open Onll_machine
+
+type plan = {
+  seed : int;
+  n_procs : int;
+  ops_per_proc : int;
+  read_ratio : float;  (** probability an operation is a read *)
+  crash_at : int option;  (** scheduler step of the crash, if any *)
+  use_pct : bool;
+      (** schedule with PCT (depth 3) instead of uniform random *)
+  policy : Onll_nvm.Crash_policy.t;
+  local_views : bool;
+  wait_free : bool;  (** use the Kogan–Petrank wait-free trace (§8) *)
+  post_ops : int;  (** single-process operations appended after recovery *)
+  log_capacity : int;
+  check_history : bool;  (** run the exhaustive checker when small enough *)
+}
+
+let default_plan =
+  {
+    seed = 1;
+    n_procs = 3;
+    ops_per_proc = 3;
+    read_ratio = 0.3;
+    crash_at = None;
+    use_pct = false;
+    policy = Onll_nvm.Crash_policy.Drop_all;
+    local_views = false;
+    wait_free = false;
+    post_ops = 2;
+    log_capacity = 1 lsl 16;
+    check_history = true;
+  }
+
+type result = {
+  crashed : bool;
+  recovered_count : int;  (** operations in the post-crash history *)
+  completed_count : int;  (** updates that responded pre-crash *)
+  verdict : string option;  (** checker verdict, when run *)
+  verdict_ok : bool;  (** true when the checker passed or was skipped *)
+  failures : string list;  (** audit failures; empty = pass *)
+  total_ops : int;
+}
+
+module Make (S : Onll_core.Spec.S) = struct
+  module H = Onll_histcheck.Histcheck.Make (S)
+
+  (* The object under test behind closures, so the same driver covers both
+     the lock-free and the wait-free construction. *)
+  type obj = {
+    o_update : S.update_op -> S.value;
+    o_update_detectable : seq:int -> S.update_op -> S.value;
+    o_read : S.read_op -> S.value;
+    o_recover : unit -> unit;
+    o_was_linearized : Onll_core.Onll.op_id -> bool;
+    o_recovered_ops : unit -> (Onll_core.Onll.op_id * int) list;
+  }
+
+  let make_obj (module M : Onll_machine.Machine_sig.S) plan =
+    if plan.wait_free then begin
+      let module C = Onll_core.Onll.Make_wait_free (M) (S) in
+      let obj =
+        C.create ~log_capacity:plan.log_capacity
+          ~local_views:plan.local_views ()
+      in
+      {
+        o_update = C.update obj;
+        o_update_detectable = (fun ~seq op -> C.update_detectable obj ~seq op);
+        o_read = C.read obj;
+        o_recover = (fun () -> C.recover obj);
+        o_was_linearized = C.was_linearized obj;
+        o_recovered_ops = (fun () -> C.recovered_ops obj);
+      }
+    end
+    else begin
+      let module C = Onll_core.Onll.Make (M) (S) in
+      let obj =
+        C.create ~log_capacity:plan.log_capacity
+          ~local_views:plan.local_views ()
+      in
+      {
+        o_update = C.update obj;
+        o_update_detectable = (fun ~seq op -> C.update_detectable obj ~seq op);
+        o_read = C.read obj;
+        o_recover = (fun () -> C.recover obj);
+        o_was_linearized = C.was_linearized obj;
+        o_recovered_ops = (fun () -> C.recovered_ops obj);
+      }
+    end
+
+  let run ~plan ~gen_update ~gen_read () =
+    let sim =
+      Sim.create ~max_processes:(max plan.n_procs 1)
+        ~crash_policy:plan.policy ()
+    in
+    let obj = make_obj (Sim.machine sim) plan in
+    let recorder = H.Recorder.create () in
+    (* (uid, op_id) of updates, as they are invoked / as they respond.
+       Mutated from inside simulated processes — plain refs, not shared
+       variables, so the mutation is not a scheduling point. *)
+    let invoked = ref [] in
+    let completed = ref [] in
+    let mk_proc p _ =
+      let rng = Splitmix.create ((plan.seed * 1_000_003) + p) in
+      let seq = ref 0 in
+      for _ = 1 to plan.ops_per_proc do
+        if Splitmix.float rng 1.0 < plan.read_ratio then begin
+          let rop = gen_read rng in
+          let uid = H.Recorder.invoke recorder ~proc:p (H.Read rop) in
+          let v = obj.o_read rop in
+          H.Recorder.return_ recorder uid v
+        end
+        else begin
+          let op = gen_update rng in
+          let uid = H.Recorder.invoke recorder ~proc:p (H.Update op) in
+          let id = { Onll_core.Onll.id_proc = p; id_seq = !seq } in
+          invoked := (uid, id) :: !invoked;
+          let v = obj.o_update_detectable ~seq:!seq op in
+          incr seq;
+          H.Recorder.return_ recorder uid v;
+          completed := (uid, id) :: !completed
+        end
+      done
+    in
+    let strategy =
+      let base =
+        if plan.use_pct then
+          Onll_sched.Sched.Strategy.pct ~seed:plan.seed ~depth:3
+            ~expected_steps:(plan.n_procs * plan.ops_per_proc * 30)
+        else Onll_sched.Sched.Strategy.random ~seed:plan.seed
+      in
+      match plan.crash_at with
+      | None -> base
+      | Some k ->
+          fun view ->
+            if view.Onll_sched.Sched.Strategy.steps () >= k then
+              Onll_sched.Sched.Strategy.Crash_now
+            else base view
+    in
+    let outcome =
+      Sim.run sim strategy (Array.init plan.n_procs (fun p -> mk_proc p))
+    in
+    let crashed = outcome = Onll_sched.Sched.World.Crashed in
+    let failures = ref [] in
+    let fail fmt = Format.kasprintf (fun s -> failures := s :: !failures) fmt in
+    if crashed then begin
+      H.Recorder.crash recorder;
+      obj.o_recover ();
+      (* Audit 1: completed updates survive. *)
+      List.iter
+        (fun (_, id) ->
+          if not (obj.o_was_linearized id) then
+            fail "completed update %a lost by recovery"
+              Onll_core.Onll.pp_op_id id)
+        !completed;
+      (* Audit 2: recovered order extends real-time precedence. *)
+      let times = Hashtbl.create 32 in
+      List.iteri
+        (fun pos ev ->
+          match ev with
+          | H.Invoke { uid; _ } -> Hashtbl.replace times uid (pos, max_int)
+          | H.Return { uid; _ } ->
+              let inv, _ = Hashtbl.find times uid in
+              Hashtbl.replace times uid (inv, pos)
+          | H.Crash -> ())
+        (H.Recorder.history recorder);
+      let recovered_idx = Hashtbl.create 32 in
+      List.iter
+        (fun (id, idx) -> Hashtbl.replace recovered_idx id idx)
+        (obj.o_recovered_ops ());
+      List.iter
+        (fun (uid1, id1) ->
+          List.iter
+            (fun (uid2, id2) ->
+              match
+                ( Hashtbl.find_opt times uid1,
+                  Hashtbl.find_opt times uid2,
+                  Hashtbl.find_opt recovered_idx id1,
+                  Hashtbl.find_opt recovered_idx id2 )
+              with
+              | Some (_, ret1), Some (inv2, _), Some i1, Some i2
+                when ret1 < inv2 && i1 >= i2 ->
+                  fail "recovered order violates precedence: %a (idx %d) \
+                        returned before %a (idx %d) was invoked"
+                    Onll_core.Onll.pp_op_id id1 i1 Onll_core.Onll.pp_op_id
+                    id2 i2
+              | _ -> ())
+            !invoked)
+        !invoked;
+      (* Post-crash era: a single fresh process exercises the recovered
+         object; its recorded values let the checker validate durability. *)
+      if plan.post_ops > 0 then begin
+        let rng = Splitmix.create (plan.seed + 777) in
+        let post _ =
+          for k = 1 to plan.post_ops do
+            if k mod 2 = 0 then begin
+              let rop = gen_read rng in
+              let uid = H.Recorder.invoke recorder ~proc:0 (H.Read rop) in
+              let v = obj.o_read rop in
+              H.Recorder.return_ recorder uid v
+            end
+            else begin
+              let op = gen_update rng in
+              let uid = H.Recorder.invoke recorder ~proc:0 (H.Update op) in
+              let v = obj.o_update op in
+              H.Recorder.return_ recorder uid v
+            end
+          done
+        in
+        match Sim.run sim Onll_sched.Sched.Strategy.round_robin [| post |] with
+        | Onll_sched.Sched.World.Completed -> ()
+        | _ -> fail "post-crash era did not complete"
+      end
+    end;
+    let history = H.Recorder.history recorder in
+    let total_ops =
+      List.length
+        (List.filter (function H.Invoke _ -> true | _ -> false) history)
+    in
+    let verdict, verdict_ok =
+      if plan.check_history && total_ops <= 14 then
+        match H.check history with
+        | H.Durably_linearizable w as v ->
+            (* cross-check the searcher with the independent validator *)
+            (match H.validate_witness history w with
+            | Ok () -> (Some (Format.asprintf "%a" H.pp_verdict v), true)
+            | Error m ->
+                (Some ("witness failed validation: " ^ m), false))
+        | H.Budget_exhausted as v ->
+            (Some (Format.asprintf "%a" H.pp_verdict v), true)
+        | H.Violation _ as v ->
+            (Some (Format.asprintf "%a" H.pp_verdict v), false)
+      else (None, true)
+    in
+    {
+      crashed;
+      recovered_count =
+        (if crashed then List.length (obj.o_recovered_ops ()) else 0);
+      completed_count = List.length !completed;
+      verdict;
+      verdict_ok;
+      failures = List.rev !failures;
+      total_ops;
+    }
+end

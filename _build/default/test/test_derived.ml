@@ -1,0 +1,187 @@
+(** The ergonomic wrappers in [Onll_derived]: typed operations over the
+    same ONLL objects, checked for semantics, fence counts and crash
+    recovery. *)
+
+open Onll_machine
+module D = Onll_derived.Derived
+
+let check = Alcotest.check
+
+let test_counter () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module C = D.Counter (M) in
+  let c = C.create () in
+  check Alcotest.int "incr" 1 (C.incr c);
+  check Alcotest.int "add" 6 (C.add c 5);
+  check Alcotest.int "get" 6 (C.get c);
+  check Alcotest.int "fences = updates" 2 (M.persistent_fences ());
+  Onll_nvm.Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
+  C.recover c;
+  check Alcotest.int "recovered" 6 (C.get c)
+
+let test_counter_wait_free () =
+  let sim = Sim.create ~max_processes:2 () in
+  let module M = (val Sim.machine sim) in
+  let module C = D.Counter (M) in
+  let c = C.create ~wait_free:true () in
+  check Alcotest.int "incr" 1 (C.incr c);
+  check Alcotest.int "checkpoint" 1 (C.checkpoint c);
+  Onll_nvm.Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
+  C.recover c;
+  check Alcotest.int "recovered from checkpoint" 1 (C.get c)
+
+let test_kv () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module K = D.Kv (M) in
+  let s = K.create () in
+  check Alcotest.(option string) "fresh put" None (K.put s "a" "1");
+  check Alcotest.(option string) "overwrite" (Some "1") (K.put s "a" "2");
+  check Alcotest.(option string) "get" (Some "2") (K.get s "a");
+  check Alcotest.int "size" 1 (K.size s);
+  check Alcotest.(option string) "delete" (Some "2") (K.delete s "a");
+  check Alcotest.(option string) "gone" None (K.get s "a");
+  Onll_nvm.Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
+  K.recover s;
+  check Alcotest.int "recovered size" 0 (K.size s)
+
+let test_queue () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module Q = D.Queue (M) in
+  let q = Q.create () in
+  Q.enqueue q 1;
+  Q.enqueue q 2;
+  check Alcotest.(option int) "peek" (Some 1) (Q.peek q);
+  check Alcotest.int "length" 2 (Q.length q);
+  check Alcotest.(option int) "deq" (Some 1) (Q.dequeue q);
+  Onll_nvm.Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
+  Q.recover q;
+  check Alcotest.(option int) "recovered head" (Some 2) (Q.dequeue q);
+  check Alcotest.(option int) "empty" None (Q.dequeue q)
+
+let test_stack () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module S = D.Stack (M) in
+  let s = S.create () in
+  S.push s 1;
+  S.push s 2;
+  check Alcotest.(option int) "top" (Some 2) (S.top s);
+  check Alcotest.int "depth" 2 (S.depth s);
+  check Alcotest.(option int) "pop" (Some 2) (S.pop s);
+  Onll_nvm.Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
+  S.recover s;
+  check Alcotest.(option int) "recovered" (Some 1) (S.pop s)
+
+let test_set () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module S = D.Set (M) in
+  let s = S.create () in
+  check Alcotest.bool "insert fresh" true (S.insert s 5);
+  check Alcotest.bool "insert dup" false (S.insert s 5);
+  check Alcotest.bool "mem" true (S.mem s 5);
+  check Alcotest.int "cardinal" 1 (S.cardinal s);
+  check Alcotest.bool "remove" true (S.remove s 5);
+  Onll_nvm.Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
+  S.recover s;
+  check Alcotest.bool "recovered empty" false (S.mem s 5)
+
+let test_pqueue () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = D.Pqueue (M) in
+  let p = P.create () in
+  P.insert p ~prio:5 50;
+  P.insert p ~prio:1 10;
+  check Alcotest.(option (pair int int)) "find min" (Some (1, 10))
+    (P.find_min p);
+  check Alcotest.int "size" 2 (P.size p);
+  check Alcotest.(option (pair int int)) "extract" (Some (1, 10))
+    (P.extract_min p);
+  Onll_nvm.Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
+  P.recover p;
+  check Alcotest.(option (pair int int)) "recovered" (Some (5, 50))
+    (P.extract_min p)
+
+let test_ledger () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module L = D.Ledger (M) in
+  let l = L.create () in
+  check Alcotest.bool "open" true (L.open_account l "a" = Ok ());
+  check Alcotest.bool "reopen" true (L.open_account l "a" = Error "exists");
+  check Alcotest.bool "deposit" true (L.deposit l "a" 100 = Ok ());
+  check Alcotest.bool "open b" true (L.open_account l "b" = Ok ());
+  check Alcotest.bool "transfer" true
+    (L.transfer l ~from_:"a" ~to_:"b" 40 = Ok ());
+  check Alcotest.(option int) "balance a" (Some 60) (L.balance l "a");
+  check Alcotest.(option int) "balance b" (Some 40) (L.balance l "b");
+  check Alcotest.int "total" 100 (L.total l);
+  check Alcotest.(list string) "accounts" [ "a"; "b" ] (L.accounts l);
+  check Alcotest.bool "overdraft" true
+    (L.withdraw l "a" 1000 = Error "insufficient funds");
+  Onll_nvm.Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
+  L.recover l;
+  check Alcotest.int "total conserved" 100 (L.total l)
+
+let test_concurrent_wrapper_use () =
+  let sim = Sim.create ~max_processes:3 () in
+  let module M = (val Sim.machine sim) in
+  let module Q = D.Queue (M) in
+  let q = Q.create () in
+  let taken = ref [] in
+  let procs =
+    [|
+      (fun _ ->
+        for k = 1 to 5 do
+          Q.enqueue q k
+        done);
+      (fun _ ->
+        for k = 11 to 15 do
+          Q.enqueue q k
+        done);
+      (fun _ ->
+        for _ = 1 to 6 do
+          match Q.dequeue q with
+          | Some x -> taken := x :: !taken
+          | None -> ()
+        done);
+    |]
+  in
+  ignore
+    (Sim.run sim (Onll_sched.Sched.Strategy.random ~seed:17) procs);
+  let drained = ref [] in
+  let drain _ =
+    let continue_ = ref true in
+    while !continue_ do
+      match Q.dequeue q with
+      | Some x -> drained := x :: !drained
+      | None -> continue_ := false
+    done
+  in
+  ignore (Sim.run sim Onll_sched.Sched.Strategy.round_robin [| drain |]);
+  check Alcotest.int "conservation" 10
+    (List.length !taken + List.length !drained)
+
+let () =
+  Alcotest.run "derived"
+    [
+      ( "wrappers",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "counter wait-free" `Quick test_counter_wait_free;
+          Alcotest.test_case "kv" `Quick test_kv;
+          Alcotest.test_case "queue" `Quick test_queue;
+          Alcotest.test_case "stack" `Quick test_stack;
+          Alcotest.test_case "set" `Quick test_set;
+          Alcotest.test_case "pqueue" `Quick test_pqueue;
+          Alcotest.test_case "ledger" `Quick test_ledger;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "wrapped queue" `Quick test_concurrent_wrapper_use;
+        ] );
+    ]

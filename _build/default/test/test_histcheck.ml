@@ -1,0 +1,318 @@
+module Cs = Onll_specs.Counter
+module H = Onll_histcheck.Histcheck.Make (Onll_specs.Counter)
+module Hq = Onll_histcheck.Histcheck.Make (Onll_specs.Queue_spec)
+
+let check = Alcotest.check
+
+let ok = function
+  | H.Durably_linearizable _ -> true
+  | H.Violation _ | H.Budget_exhausted -> false
+
+let okq = function
+  | Hq.Durably_linearizable _ -> true
+  | Hq.Violation _ | Hq.Budget_exhausted -> false
+
+let inv ?(proc = 0) uid kind = H.Invoke { uid; proc; kind }
+let ret uid value = H.Return { uid; value }
+let upd = H.Update Cs.Increment
+let get = H.Read Cs.Get
+
+(* {1 Crash-free linearizability} *)
+
+let test_empty_history () =
+  check Alcotest.bool "empty ok" true (ok (H.check []))
+
+let test_sequential_ok () =
+  let h = [ inv 0 upd; ret 0 1; inv 1 upd; ret 1 2; inv 2 get; ret 2 2 ] in
+  check Alcotest.bool "sequential" true (ok (H.check h))
+
+let test_wrong_value_rejected () =
+  let h = [ inv 0 upd; ret 0 2 ] in
+  check Alcotest.bool "wrong increment result" false (ok (H.check h))
+
+let test_stale_read_rejected () =
+  (* A read that starts after an increment completed cannot see 0. *)
+  let h = [ inv 0 upd; ret 0 1; inv 1 get; ret 1 0 ] in
+  check Alcotest.bool "stale read" false (ok (H.check h))
+
+let test_concurrent_read_may_see_either () =
+  (* A read overlapping an increment may return 0 or 1. *)
+  let before = [ inv 0 upd; inv 1 ~proc:1 get; ret 1 0; ret 0 1 ] in
+  let after = [ inv 0 upd; inv 1 ~proc:1 get; ret 1 1; ret 0 1 ] in
+  check Alcotest.bool "sees old" true (ok (H.check before));
+  check Alcotest.bool "sees new" true (ok (H.check after));
+  let impossible = [ inv 0 upd; inv 1 ~proc:1 get; ret 1 2; ret 0 1 ] in
+  check Alcotest.bool "sees the future" false (ok (H.check impossible))
+
+let test_concurrent_updates_any_order () =
+  (* Two overlapping increments: return values 1,2 in either assignment. *)
+  let h v0 v1 =
+    [ inv 0 upd; inv 1 ~proc:1 upd; ret 0 v0; ret 1 v1 ]
+  in
+  check Alcotest.bool "p0 first" true (ok (H.check (h 1 2)));
+  check Alcotest.bool "p1 first" true (ok (H.check (h 2 1)));
+  check Alcotest.bool "both 1 impossible" false (ok (H.check (h 1 1)))
+
+let test_precedence_enforced () =
+  (* Sequential increments by the same process must linearize in order:
+     returning 2 then 1 is impossible. *)
+  let h = [ inv 0 upd; ret 0 2; inv 1 upd; ret 1 1 ] in
+  check Alcotest.bool "order violation" false (ok (H.check h))
+
+let test_pending_op_optional () =
+  (* An invocation with no response may or may not take effect. *)
+  let dropped = [ inv 0 upd; inv 1 ~proc:1 get; ret 1 0 ] in
+  let applied = [ inv 0 upd; inv 1 ~proc:1 get; ret 1 1 ] in
+  check Alcotest.bool "dropped" true (ok (H.check dropped));
+  check Alcotest.bool "applied" true (ok (H.check applied))
+
+(* {1 Crashes (durable linearizability)} *)
+
+let test_completed_op_must_survive_crash () =
+  let h = [ inv 0 upd; ret 0 1; H.Crash; inv 1 get; ret 1 0 ] in
+  check Alcotest.bool "erased completed op" false (ok (H.check h));
+  let h' = [ inv 0 upd; ret 0 1; H.Crash; inv 1 get; ret 1 1 ] in
+  check Alcotest.bool "surviving op" true (ok (H.check h'))
+
+let test_pending_at_crash_either_way () =
+  let h v = [ inv 0 upd; H.Crash; inv 1 get; ret 1 v ] in
+  check Alcotest.bool "lost" true (ok (H.check (h 0)));
+  check Alcotest.bool "kept" true (ok (H.check (h 1)));
+  check Alcotest.bool "duplicated" false (ok (H.check (h 2)))
+
+let test_consistent_cut_enforced () =
+  (* p0's first op completed; its second is pending at the crash. Observing
+     value 1 is fine (second dropped), 2 is fine (second kept), but a
+     post-crash read of 0 erases a completed op. *)
+  let h v =
+    [ inv 0 upd; ret 0 1; inv 1 upd; H.Crash; inv 2 get; ret 2 v ]
+  in
+  check Alcotest.bool "drop pending" true (ok (H.check (h 1)));
+  check Alcotest.bool "keep pending" true (ok (H.check (h 2)));
+  check Alcotest.bool "erase completed" false (ok (H.check (h 0)))
+
+let test_multi_era () =
+  let h =
+    [
+      inv 0 upd; ret 0 1; H.Crash;
+      inv 1 upd; ret 1 2; H.Crash;
+      inv 2 get; ret 2 2;
+    ]
+  in
+  check Alcotest.bool "three eras" true (ok (H.check h))
+
+let test_cross_era_order () =
+  (* An operation from era 2 cannot linearize before one from era 1: a
+     counter that reads 1 in era 1 and then 1 again after another completed
+     increment is wrong. *)
+  let h =
+    [
+      inv 0 upd; ret 0 1; H.Crash;
+      inv 1 upd; ret 1 1;  (* must be 2: era-1 op is fixed *)
+    ]
+  in
+  check Alcotest.bool "cross-era violation" false (ok (H.check h))
+
+(* {1 Queue histories (value-rich)} *)
+
+let test_queue_fifo_violation_detected () =
+  let open Onll_specs.Queue_spec in
+  let h =
+    [
+      Hq.Invoke { uid = 0; proc = 0; kind = Hq.Update (Enqueue 1) };
+      Hq.Return { uid = 0; value = Nothing };
+      Hq.Invoke { uid = 1; proc = 0; kind = Hq.Update (Enqueue 2) };
+      Hq.Return { uid = 1; value = Nothing };
+      Hq.Invoke { uid = 2; proc = 0; kind = Hq.Update Dequeue };
+      Hq.Return { uid = 2; value = Taken (Some 2) };  (* must be 1 *)
+    ]
+  in
+  check Alcotest.bool "fifo violation" false (okq (Hq.check h))
+
+let test_queue_concurrent_enqueues () =
+  let open Onll_specs.Queue_spec in
+  (* two concurrent enqueues; a later dequeue may return either element *)
+  let h first =
+    [
+      Hq.Invoke { uid = 0; proc = 0; kind = Hq.Update (Enqueue 1) };
+      Hq.Invoke { uid = 1; proc = 1; kind = Hq.Update (Enqueue 2) };
+      Hq.Return { uid = 0; value = Nothing };
+      Hq.Return { uid = 1; value = Nothing };
+      Hq.Invoke { uid = 2; proc = 0; kind = Hq.Update Dequeue };
+      Hq.Return { uid = 2; value = Taken (Some first) };
+    ]
+  in
+  check Alcotest.bool "1 first" true (okq (Hq.check (h 1)));
+  check Alcotest.bool "2 first" true (okq (Hq.check (h 2)));
+  check Alcotest.bool "3 impossible" false (okq (Hq.check (h 3)))
+
+(* {1 Witness and malformed input} *)
+
+let test_witness_is_a_valid_order () =
+  let h = [ inv 0 upd; ret 0 1; inv 1 upd; ret 1 2 ] in
+  match H.check h with
+  | H.Durably_linearizable w -> check Alcotest.(list int) "order" [ 0; 1 ] w
+  | H.Violation _ | H.Budget_exhausted -> Alcotest.fail "expected success"
+
+let test_malformed_histories_rejected () =
+  let bad1 = [ ret 0 1 ] in
+  let bad2 = [ inv 0 upd; inv 1 upd ] (* same process, two pending *) in
+  let raises h =
+    match H.check h with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check Alcotest.bool "return without invoke" true (raises bad1);
+  check Alcotest.bool "two pending per proc" true (raises bad2)
+
+let test_budget () =
+  (* Six concurrent increments whose recorded values force the reverse
+     linearization order: the witness needs more search states than the
+     tiny budget allows. *)
+  let n = 6 in
+  let h =
+    List.init n (fun p -> inv p ~proc:p upd)
+    @ List.init n (fun p -> ret p (n - p))
+  in
+  match H.check ~max_states:3 h with
+  | H.Budget_exhausted -> ()
+  | H.Durably_linearizable _ | H.Violation _ ->
+      Alcotest.fail "expected budget exhaustion"
+
+(* {1 Witness validation: the searcher and the validator cross-check} *)
+
+let test_witness_validates () =
+  let h =
+    [ inv 0 upd; ret 0 1; inv 1 ~proc:1 upd; inv 2 ~proc:2 get;
+      ret 2 1; ret 1 2 ]
+  in
+  match H.check h with
+  | H.Durably_linearizable w ->
+      check Alcotest.bool "witness validates" true
+        (H.validate_witness h w = Ok ());
+      (* a shuffled witness that breaks precedence must be rejected *)
+      let broken = List.rev w in
+      check Alcotest.bool "reversed witness rejected" true
+        (H.validate_witness h broken <> Ok ())
+  | _ -> Alcotest.fail "expected success"
+
+let test_witness_rejects_missing_complete_op () =
+  let h = [ inv 0 upd; ret 0 1; inv 1 upd; ret 1 2 ] in
+  check Alcotest.bool "dropping a completed op rejected" true
+    (H.validate_witness h [ 0 ] <> Ok ());
+  check Alcotest.bool "duplicate rejected" true
+    (H.validate_witness h [ 0; 0; 1 ] <> Ok ());
+  check Alcotest.bool "foreign uid rejected" true
+    (H.validate_witness h [ 0; 1; 9 ] <> Ok ())
+
+let prop_checker_witnesses_always_validate =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"every positive verdict's witness validates"
+       ~count:120 QCheck.small_nat (fun seed ->
+         let rng = Onll_util.Splitmix.create seed in
+         (* random small concurrent histories of increments and reads over
+            2 processes, with possible pending tails and one crash *)
+         let events = ref [] in
+         let uid = ref 0 in
+         let pending = Array.make 2 None in
+         for _ = 1 to 10 do
+           let p = Onll_util.Splitmix.int rng 2 in
+           match pending.(p) with
+           | Some (u, is_upd) when Onll_util.Splitmix.bool rng ->
+               (* close it with a random (often wrong) value *)
+               let v = Onll_util.Splitmix.int rng 4 in
+               ignore is_upd;
+               events := H.Return { uid = u; value = v } :: !events;
+               pending.(p) <- None
+           | _ ->
+               if pending.(p) = None then begin
+                 let u = !uid in
+                 incr uid;
+                 let is_upd = Onll_util.Splitmix.bool rng in
+                 let kind = if is_upd then upd else get in
+                 events := H.Invoke { uid = u; proc = p; kind } :: !events;
+                 pending.(p) <- Some (u, is_upd)
+               end
+         done;
+         let h = List.rev !events in
+         match H.check h with
+         | H.Durably_linearizable w -> H.validate_witness h w = Ok ()
+         | H.Violation _ | H.Budget_exhausted -> true))
+
+(* {1 Recorder} *)
+
+let test_recorder_roundtrip () =
+  let r = H.Recorder.create () in
+  let u = H.Recorder.invoke r ~proc:0 upd in
+  H.Recorder.return_ r u 1;
+  H.Recorder.crash r;
+  let g = H.Recorder.invoke r ~proc:1 get in
+  H.Recorder.return_ r g 1;
+  let h = H.Recorder.history r in
+  check Alcotest.int "5 events" 5 (List.length h);
+  check Alcotest.bool "checks out" true (ok (H.check h))
+
+let test_recorder_run_helpers () =
+  let r = H.Recorder.create () in
+  let v =
+    H.Recorder.run_update r ~proc:0 Cs.Increment (fun _op -> 1)
+  in
+  check Alcotest.int "value passed through" 1 v;
+  let v = H.Recorder.run_read r ~proc:0 Cs.Get (fun _ -> 1) in
+  check Alcotest.int "read value" 1 v;
+  check Alcotest.bool "history valid" true (ok (H.check (H.Recorder.history r)))
+
+let () =
+  Alcotest.run "histcheck"
+    [
+      ( "linearizability",
+        [
+          Alcotest.test_case "empty" `Quick test_empty_history;
+          Alcotest.test_case "sequential" `Quick test_sequential_ok;
+          Alcotest.test_case "wrong value" `Quick test_wrong_value_rejected;
+          Alcotest.test_case "stale read" `Quick test_stale_read_rejected;
+          Alcotest.test_case "concurrent read" `Quick
+            test_concurrent_read_may_see_either;
+          Alcotest.test_case "concurrent updates" `Quick
+            test_concurrent_updates_any_order;
+          Alcotest.test_case "precedence" `Quick test_precedence_enforced;
+          Alcotest.test_case "pending optional" `Quick test_pending_op_optional;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "completed survives" `Quick
+            test_completed_op_must_survive_crash;
+          Alcotest.test_case "pending either way" `Quick
+            test_pending_at_crash_either_way;
+          Alcotest.test_case "consistent cut" `Quick
+            test_consistent_cut_enforced;
+          Alcotest.test_case "multi era" `Quick test_multi_era;
+          Alcotest.test_case "cross-era order" `Quick test_cross_era_order;
+        ] );
+      ( "queue",
+        [
+          Alcotest.test_case "fifo violation" `Quick
+            test_queue_fifo_violation_detected;
+          Alcotest.test_case "concurrent enqueues" `Quick
+            test_queue_concurrent_enqueues;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "witness" `Quick test_witness_is_a_valid_order;
+          Alcotest.test_case "malformed" `Quick
+            test_malformed_histories_rejected;
+          Alcotest.test_case "budget" `Quick test_budget;
+        ] );
+      ( "witness",
+        [
+          Alcotest.test_case "validates" `Quick test_witness_validates;
+          Alcotest.test_case "rejects bad witnesses" `Quick
+            test_witness_rejects_missing_complete_op;
+          prop_checker_witnesses_always_validate;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_recorder_roundtrip;
+          Alcotest.test_case "run helpers" `Quick test_recorder_run_helpers;
+        ] );
+    ]

@@ -1,0 +1,208 @@
+(** Native-machine tests: the same functorised ONLL code running on real
+    OCaml 5 domains with [Atomic] shared variables and emulated fence cost.
+    These validate that the construction is race-free under true parallelism
+    (return values form a permutation, final states are exact) — crash
+    testing stays on the simulator. *)
+
+open Onll_machine
+module Cs = Onll_specs.Counter
+
+let check = Alcotest.check
+let n_domains = max 2 (min 4 (Domain.recommended_domain_count () - 1))
+
+let test_parallel_increments () =
+  let native = Native.create ~max_processes:(n_domains + 1) ~fence_ns:0 () in
+  let module M = (val Native.machine native) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create ~log_capacity:(1 lsl 20) () in
+  ignore (Native.register native)  (* the main domain reads at the end *);
+  let per_domain = 200 in
+  let bodies =
+    List.init n_domains (fun _ ->
+        fun _ ->
+          List.init per_domain (fun _ -> C.update obj Cs.Increment))
+  in
+  let results = List.concat (Native.run_workers native bodies) in
+  let expected = List.init (n_domains * per_domain) (fun i -> i + 1) in
+  check
+    Alcotest.(list int)
+    "increments are a permutation of 1..n" expected
+    (List.sort compare results);
+  check Alcotest.int "final value" (n_domains * per_domain)
+    (C.read obj Cs.Get);
+  check Alcotest.int "one persistent fence per update"
+    (n_domains * per_domain)
+    (M.persistent_fences ())
+
+let test_parallel_mixed_reads () =
+  let native = Native.create ~max_processes:(n_domains + 1) ~fence_ns:0 () in
+  let module M = (val Native.machine native) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create ~log_capacity:(1 lsl 20) ~local_views:true () in
+  ignore (Native.register native);
+  let per_domain = 100 in
+  let monotone =
+    Native.run_workers native
+      (List.init n_domains (fun _ ->
+           fun _ ->
+             let last = ref (-1) in
+             let ok = ref true in
+             for _ = 1 to per_domain do
+               ignore (C.update obj Cs.Increment);
+               let v = C.read obj Cs.Get in
+               if v < !last then ok := false;
+               last := v
+             done;
+             !ok))
+  in
+  check Alcotest.bool "per-domain reads monotone" true
+    (List.for_all Fun.id monotone);
+  check Alcotest.int "final value" (n_domains * per_domain)
+    (C.read obj Cs.Get)
+
+let test_parallel_queue_fifo_per_producer () =
+  let native = Native.create ~max_processes:n_domains ~fence_ns:0 () in
+  let module M = (val Native.machine native) in
+  let module C = Onll_core.Onll.Make (M) (Onll_specs.Queue_spec) in
+  let obj = C.create ~log_capacity:(1 lsl 20) () in
+  let per_domain = 50 in
+  (* each producer enqueues p*1000, p*1000+1, ... — per-producer order must
+     be preserved in the final queue (FIFO + linearizability) *)
+  ignore
+    (Native.run_workers native
+       (List.init n_domains (fun _ ->
+            fun p ->
+              for k = 0 to per_domain - 1 do
+                ignore
+                  (C.update obj (Onll_specs.Queue_spec.Enqueue ((p * 1000) + k)))
+              done)));
+  let contents = Onll_specs.Queue_spec.to_list (C.current_state obj) in
+  check Alcotest.int "all enqueued" (n_domains * per_domain)
+    (List.length contents);
+  for p = 0 to n_domains - 1 do
+    let mine = List.filter (fun x -> x / 1000 = p) contents in
+    check
+      Alcotest.(list int)
+      (Printf.sprintf "producer %d order preserved" p)
+      (List.init per_domain (fun k -> (p * 1000) + k))
+      mine
+  done
+
+let test_native_fence_cost_slows_updates () =
+  (* Sanity for the cost model: the same workload takes measurably longer
+     with a large fence cost than with none. *)
+  let time_with fence_ns =
+    let native = Native.create ~max_processes:1 ~fence_ns () in
+    let module M = (val Native.machine native) in
+    let module C = Onll_core.Onll.Make (M) (Cs) in
+    let obj = C.create ~log_capacity:(1 lsl 20) () in
+    ignore (Native.register native);
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to 300 do
+      ignore (C.update obj Cs.Increment)
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let fast = time_with 0 in
+  let slow = time_with 100_000 (* 100µs per fence: 30ms total minimum *) in
+  check Alcotest.bool
+    (Printf.sprintf "fenced run slower (%.4fs vs %.4fs)" slow fast)
+    true (slow > fast)
+
+let test_parallel_wait_free_increments () =
+  (* the Kogan–Petrank trace under true parallelism *)
+  let native = Native.create ~max_processes:(n_domains + 1) ~fence_ns:0 () in
+  let module M = (val Native.machine native) in
+  let module C = Onll_core.Onll.Make_wait_free (M) (Cs) in
+  let obj = C.create ~log_capacity:(1 lsl 22) () in
+  ignore (Native.register native);
+  let per_domain = 100 in
+  let results =
+    List.concat
+      (Native.run_workers native
+         (List.init n_domains (fun _ ->
+              fun _ ->
+                List.init per_domain (fun _ -> C.update obj Cs.Increment))))
+  in
+  check
+    Alcotest.(list int)
+    "wait-free: permutation"
+    (List.init (n_domains * per_domain) (fun i -> i + 1))
+    (List.sort compare results);
+  check Alcotest.int "one fence per update" (n_domains * per_domain)
+    (M.persistent_fences ())
+
+let test_parallel_queue_conservation () =
+  (* producers and consumers racing on a native ONLL queue: everything
+     dequeued was enqueued, exactly once, and the leftovers account for the
+     difference *)
+  let native = Native.create ~max_processes:(n_domains + 1) ~fence_ns:0 () in
+  let module M = (val Native.machine native) in
+  let module C = Onll_core.Onll.Make (M) (Onll_specs.Queue_spec) in
+  let obj = C.create ~log_capacity:(1 lsl 22) ~local_views:true () in
+  ignore (Native.register native);
+  let producers = n_domains / 2 and consumers = n_domains - (n_domains / 2) in
+  let per = 80 in
+  let outs =
+    Native.run_workers native
+      (List.init producers (fun i ->
+           fun _ ->
+             for k = 0 to per - 1 do
+               ignore (C.update obj (Onll_specs.Queue_spec.Enqueue ((i * 1000) + k)))
+             done;
+             [])
+      @ List.init consumers (fun _ ->
+            fun _ ->
+              List.filter_map
+                (fun _ ->
+                  match C.update obj Onll_specs.Queue_spec.Dequeue with
+                  | Onll_specs.Queue_spec.Taken v -> v
+                  | _ -> None)
+                (List.init per Fun.id)))
+  in
+  let taken = List.concat outs in
+  let leftover = Onll_specs.Queue_spec.to_list (C.current_state obj) in
+  let enqueued = producers * per in
+  check Alcotest.int "conservation" enqueued
+    (List.length taken + List.length leftover);
+  check Alcotest.int "no duplicates" enqueued
+    (List.length (List.sort_uniq compare (taken @ leftover)))
+
+let test_native_detectable_ids () =
+  let native = Native.create ~max_processes:2 ~fence_ns:0 () in
+  let module M = (val Native.machine native) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create () in
+  let ids =
+    Native.run_workers native
+      (List.init 2 (fun _ ->
+           fun _ -> fst (C.update_with_id obj Cs.Increment)))
+  in
+  check Alcotest.int "distinct ids" 2
+    (List.length (List.sort_uniq compare ids))
+
+let () =
+  Alcotest.run "native"
+    [
+      ( "parallel",
+        [
+          Alcotest.test_case "increments permutation" `Quick
+            test_parallel_increments;
+          Alcotest.test_case "mixed reads monotone" `Quick
+            test_parallel_mixed_reads;
+          Alcotest.test_case "queue per-producer fifo" `Quick
+            test_parallel_queue_fifo_per_producer;
+          Alcotest.test_case "wait-free increments" `Quick
+            test_parallel_wait_free_increments;
+          Alcotest.test_case "queue conservation" `Quick
+            test_parallel_queue_conservation;
+        ] );
+      ( "cost model",
+        [
+          Alcotest.test_case "fence cost slows updates" `Slow
+            test_native_fence_cost_slows_updates;
+        ] );
+      ( "detectability",
+        [ Alcotest.test_case "ids distinct" `Quick test_native_detectable_ids ]
+      );
+    ]

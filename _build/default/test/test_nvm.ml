@@ -1,0 +1,477 @@
+open Onll_nvm
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let mem ?(line_size = 64) ?(mp = 4) () = Memory.create ~line_size ~max_processes:mp ()
+
+let region ?line_size ?mp ?(size = 1024) () =
+  let m = mem ?line_size ?mp () in
+  (m, Memory.region m ~name:"r" ~size)
+
+(* {1 Construction and bounds} *)
+
+let test_create_validation () =
+  Alcotest.check_raises "line_size < 1"
+    (Invalid_argument "Memory.create: line_size < 1") (fun () ->
+      ignore (Memory.create ~line_size:0 ~max_processes:1 ()));
+  Alcotest.check_raises "max_processes < 1"
+    (Invalid_argument "Memory.create: max_processes < 1") (fun () ->
+      ignore (Memory.create ~max_processes:0 ()))
+
+let test_region_validation () =
+  let m = mem () in
+  Alcotest.check_raises "non-positive size"
+    (Invalid_argument "Memory.region: non-positive size") (fun () ->
+      ignore (Memory.region m ~name:"x" ~size:0));
+  let _ = Memory.region m ~name:"dup" ~size:8 in
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Memory.region: duplicate region \"dup\"") (fun () ->
+      ignore (Memory.region m ~name:"dup" ~size:8))
+
+let test_bounds_checks () =
+  let _, r = region ~size:16 () in
+  Alcotest.check_raises "store out of bounds"
+    (Invalid_argument
+       "Region.store: [10, 20) out of bounds for \"r\" (size 16)") (fun () ->
+      Memory.Region.store r ~proc:0 ~off:10 "0123456789");
+  Alcotest.check_raises "load out of bounds"
+    (Invalid_argument "Region.load: [-1, 3) out of bounds for \"r\" (size 16)")
+    (fun () -> ignore (Memory.Region.load r ~proc:0 ~off:(-1) ~len:4))
+
+let test_bad_proc () =
+  let _, r = region ~mp:2 () in
+  Alcotest.check_raises "process id out of range"
+    (Invalid_argument "Memory: process id 2 out of range") (fun () ->
+      Memory.Region.store r ~proc:2 ~off:0 "x")
+
+let test_find_region () =
+  let m = mem () in
+  let r = Memory.region m ~name:"abc" ~size:8 in
+  (* physical equality: regions contain a back-pointer to the memory system,
+     so structural comparison would chase the cycle *)
+  check Alcotest.bool "found" true
+    (match Memory.find_region m "abc" with Some r' -> r' == r | None -> false);
+  check Alcotest.bool "absent" true
+    (Option.is_none (Memory.find_region m "zzz"))
+
+(* {1 Cache semantics} *)
+
+let test_store_load_through_cache () =
+  let _, r = region () in
+  Memory.Region.store r ~proc:0 ~off:10 "hello";
+  check Alcotest.string "load sees store" "hello"
+    (Memory.Region.load r ~proc:1 ~off:10 ~len:5)
+
+let test_store_not_durable_without_fence () =
+  let _, r = region () in
+  Memory.Region.store r ~proc:0 ~off:0 "hello";
+  let snap = Memory.Region.durable_snapshot r in
+  check Alcotest.string "NVM still zero" (String.make 5 '\000')
+    (String.sub snap 0 5)
+
+let test_flush_alone_not_durable () =
+  let _, r = region () in
+  Memory.Region.store r ~proc:0 ~off:0 "hello";
+  Memory.Region.flush r ~proc:0 ~off:0 ~len:5;
+  let snap = Memory.Region.durable_snapshot r in
+  check Alcotest.string "NVM still zero after flush" (String.make 5 '\000')
+    (String.sub snap 0 5)
+
+let test_flush_fence_durable () =
+  let m, r = region () in
+  Memory.Region.store r ~proc:0 ~off:0 "hello";
+  Memory.Region.flush r ~proc:0 ~off:0 ~len:5;
+  Memory.fence m ~proc:0;
+  check Alcotest.string "durable" "hello"
+    (String.sub (Memory.Region.durable_snapshot r) 0 5)
+
+let test_store_after_flush_keeps_snapshot () =
+  (* clwb semantics: the write-back carries the value at flush time; a later
+     store re-dirties the line and is not covered by the fence. *)
+  let m, r = region () in
+  Memory.Region.store r ~proc:0 ~off:0 "aaaa";
+  Memory.Region.flush r ~proc:0 ~off:0 ~len:4;
+  Memory.Region.store r ~proc:0 ~off:0 "bbbb";
+  Memory.fence m ~proc:0;
+  check Alcotest.string "fence persists the flushed value" "aaaa"
+    (String.sub (Memory.Region.durable_snapshot r) 0 4);
+  check Alcotest.string "cache still sees the newer value" "bbbb"
+    (Memory.Region.load r ~proc:0 ~off:0 ~len:4);
+  check Alcotest.bool "line still dirty" true
+    (Memory.Region.dirty_lines r <> [])
+
+let test_fence_cleans_lines () =
+  let m, r = region () in
+  Memory.Region.store r ~proc:0 ~off:0 "x";
+  check Alcotest.(list int) "dirty before" [ 0 ] (Memory.Region.dirty_lines r);
+  Memory.Region.flush r ~proc:0 ~off:0 ~len:1;
+  Memory.fence m ~proc:0;
+  check Alcotest.(list int) "clean after" [] (Memory.Region.dirty_lines r)
+
+let test_cross_line_store () =
+  let m, r = region ~line_size:8 ~size:64 () in
+  let data = "0123456789abcdef" in
+  Memory.Region.store r ~proc:0 ~off:4 data;
+  check Alcotest.string "read back across lines" data
+    (Memory.Region.load r ~proc:0 ~off:4 ~len:16);
+  check Alcotest.(list int) "three dirty lines" [ 0; 1; 2 ]
+    (Memory.Region.dirty_lines r);
+  Memory.Region.flush r ~proc:0 ~off:4 ~len:16;
+  Memory.fence m ~proc:0;
+  check Alcotest.string "durable across lines" data
+    (String.sub (Memory.Region.durable_snapshot r) 4 16)
+
+let test_partial_flush_range () =
+  let m, r = region ~line_size:8 ~size:64 () in
+  Memory.Region.store r ~proc:0 ~off:0 "AAAAAAAA";
+  Memory.Region.store r ~proc:0 ~off:16 "BBBBBBBB";
+  (* Flush only the first line. *)
+  Memory.Region.flush r ~proc:0 ~off:0 ~len:8;
+  Memory.fence m ~proc:0;
+  let snap = Memory.Region.durable_snapshot r in
+  check Alcotest.string "flushed line durable" "AAAAAAAA" (String.sub snap 0 8);
+  check Alcotest.string "unflushed line not durable" (String.make 8 '\000')
+    (String.sub snap 16 8)
+
+let test_int64_accessors () =
+  let m, r = region () in
+  Memory.Region.store_int64 r ~proc:0 ~off:8 0x1122334455667788L;
+  check Alcotest.int64 "int64 roundtrip" 0x1122334455667788L
+    (Memory.Region.load_int64 r ~proc:0 ~off:8);
+  Memory.Region.flush r ~proc:0 ~off:8 ~len:8;
+  Memory.fence m ~proc:0;
+  check Alcotest.int64 "durable int64" 0x1122334455667788L
+    (Memory.Region.load_int64 r ~proc:1 ~off:8)
+
+(* {1 Fences and per-process pending sets} *)
+
+let test_fence_without_pending_is_cheap () =
+  let m, _ = region () in
+  Memory.fence m ~proc:0;
+  let s = Memory.stats m in
+  check Alcotest.int "fences" 1 s.Memory.Stats.fences;
+  check Alcotest.int "persistent fences" 0 s.Memory.Stats.persistent_fences
+
+let test_pending_is_per_process () =
+  let m, r = region () in
+  Memory.Region.store r ~proc:0 ~off:0 "x";
+  Memory.Region.flush r ~proc:0 ~off:0 ~len:1;
+  check Alcotest.int "proc 0 pending" 1 (Memory.pending_write_backs m ~proc:0);
+  check Alcotest.int "proc 1 not pending" 0
+    (Memory.pending_write_backs m ~proc:1);
+  (* proc 1's fence does not drain proc 0's write-backs *)
+  Memory.fence m ~proc:1;
+  check Alcotest.string "still not durable" "\000"
+    (String.sub (Memory.Region.durable_snapshot r) 0 1);
+  Memory.fence m ~proc:0;
+  check Alcotest.string "durable after owner's fence" "x"
+    (String.sub (Memory.Region.durable_snapshot r) 0 1)
+
+let test_per_proc_fence_attribution () =
+  let m, r = region () in
+  Memory.Region.store r ~proc:2 ~off:0 "y";
+  Memory.Region.flush r ~proc:2 ~off:0 ~len:1;
+  Memory.fence m ~proc:2;
+  check Alcotest.int "proc 2 credited" 1 (Memory.persistent_fences_by m ~proc:2);
+  check Alcotest.int "proc 0 not credited" 0
+    (Memory.persistent_fences_by m ~proc:0)
+
+let test_flush_clean_line_is_noop () =
+  let m, r = region () in
+  Memory.Region.store r ~proc:0 ~off:0 "z";
+  Memory.Region.flush r ~proc:0 ~off:0 ~len:1;
+  Memory.fence m ~proc:0;
+  (* Line is now clean; flushing it again must not create pending work. *)
+  Memory.Region.flush r ~proc:0 ~off:0 ~len:1;
+  check Alcotest.int "no pending for clean line" 0
+    (Memory.pending_write_backs m ~proc:0);
+  Memory.fence m ~proc:0;
+  let s = Memory.stats m in
+  check Alcotest.int "second fence not persistent" 1
+    s.Memory.Stats.persistent_fences
+
+(* {1 Crash policies} *)
+
+let test_crash_drop_all () =
+  let m, r = region () in
+  Memory.Region.store r ~proc:0 ~off:0 "keep";
+  Memory.Region.flush r ~proc:0 ~off:0 ~len:4;
+  Memory.fence m ~proc:0;
+  Memory.Region.store r ~proc:0 ~off:8 "lost";
+  Memory.Region.store r ~proc:1 ~off:16 "gone";
+  Memory.Region.flush r ~proc:1 ~off:16 ~len:4;  (* flushed, not fenced *)
+  Memory.crash m ~policy:Crash_policy.Drop_all;
+  let snap = Memory.Region.durable_snapshot r in
+  check Alcotest.string "fenced survives" "keep" (String.sub snap 0 4);
+  check Alcotest.string "unflushed dropped" (String.make 4 '\000')
+    (String.sub snap 8 4);
+  check Alcotest.string "unfenced dropped" (String.make 4 '\000')
+    (String.sub snap 16 4);
+  check Alcotest.(list int) "cache empty after crash" []
+    (Memory.Region.dirty_lines r);
+  check Alcotest.string "loads read durable state" "keep"
+    (Memory.Region.load r ~proc:0 ~off:0 ~len:4)
+
+let test_crash_persist_all () =
+  let m, r = region () in
+  Memory.Region.store r ~proc:0 ~off:0 "aaaa";
+  Memory.Region.store r ~proc:1 ~off:8 "bbbb";
+  Memory.crash m ~policy:Crash_policy.Persist_all;
+  let snap = Memory.Region.durable_snapshot r in
+  check Alcotest.string "dirty line evicted-persisted" "aaaa"
+    (String.sub snap 0 4);
+  check Alcotest.string "other dirty line too" "bbbb" (String.sub snap 8 4)
+
+let test_crash_random_is_seeded () =
+  let run seed =
+    let m, r = region ~line_size:8 ~size:1024 () in
+    for i = 0 to 15 do
+      Memory.Region.store r ~proc:0 ~off:(i * 8) "DDDDDDDD"
+    done;
+    Memory.crash m ~policy:(Crash_policy.Random seed);
+    Memory.Region.durable_snapshot r
+  in
+  check Alcotest.string "same seed, same surviving lines" (run 42) (run 42);
+  (* With 16 lines the chance of two different seeds agreeing is 2^-16-ish;
+     this specific pair differs. *)
+  check Alcotest.bool "different seeds differ" true (run 1 <> run 2)
+
+let test_crash_preserves_stats_counts_crashes () =
+  let m, r = region () in
+  Memory.Region.store r ~proc:0 ~off:0 "x";
+  Memory.Region.flush r ~proc:0 ~off:0 ~len:1;
+  Memory.fence m ~proc:0;
+  Memory.crash m ~policy:Crash_policy.Drop_all;
+  let s = Memory.stats m in
+  check Alcotest.int "persistent fences kept" 1 s.Memory.Stats.persistent_fences;
+  check Alcotest.int "crash counted" 1 s.Memory.Stats.crashes
+
+let test_crash_clears_pending () =
+  let m, r = region () in
+  Memory.Region.store r ~proc:0 ~off:0 "x";
+  Memory.Region.flush r ~proc:0 ~off:0 ~len:1;
+  Memory.crash m ~policy:Crash_policy.Drop_all;
+  check Alcotest.int "pending cleared" 0 (Memory.pending_write_backs m ~proc:0);
+  (* A fence after the crash must not resurrect the write-back. *)
+  Memory.fence m ~proc:0;
+  check Alcotest.string "still not durable" "\000"
+    (String.sub (Memory.Region.durable_snapshot r) 0 1)
+
+(* {1 Durable images} *)
+
+let test_image_roundtrip () =
+  let path = Filename.temp_file "onll" ".img" in
+  let m, r = region () in
+  Memory.Region.store r ~proc:0 ~off:0 "durable!";
+  Memory.Region.flush r ~proc:0 ~off:0 ~len:8;
+  Memory.fence m ~proc:0;
+  Memory.save_image m ~path;
+  (* restore into a brand-new memory system with the same layout *)
+  let m2 = mem () in
+  let r2 = Memory.region m2 ~name:"r" ~size:1024 in
+  Memory.load_image m2 ~path;
+  check Alcotest.string "bytes restored" "durable!"
+    (Memory.Region.load r2 ~proc:0 ~off:0 ~len:8);
+  Sys.remove path
+
+let test_image_excludes_cache () =
+  (* only durable bytes are captured: an unfenced store must not leak into
+     the image *)
+  let path = Filename.temp_file "onll" ".img" in
+  let m, r = region () in
+  Memory.Region.store r ~proc:0 ~off:0 "volatile";
+  Memory.save_image m ~path;
+  let m2 = mem () in
+  let r2 = Memory.region m2 ~name:"r" ~size:1024 in
+  Memory.load_image m2 ~path;
+  check Alcotest.string "cache content absent" (String.make 8 '\000')
+    (Memory.Region.load r2 ~proc:0 ~off:0 ~len:8);
+  Sys.remove path
+
+let test_image_checksum_rejected () =
+  let path = Filename.temp_file "onll" ".img" in
+  let m, r = region () in
+  Memory.Region.store r ~proc:0 ~off:0 "x";
+  Memory.Region.flush r ~proc:0 ~off:0 ~len:1;
+  Memory.fence m ~proc:0;
+  Memory.save_image m ~path;
+  (* flip one payload byte *)
+  let ic = open_in_bin path in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let b = Bytes.of_string raw in
+  let pos = Bytes.length b - 1 in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 1));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc;
+  let m2 = mem () in
+  let _ = Memory.region m2 ~name:"r" ~size:1024 in
+  check Alcotest.bool "corrupt image rejected" true
+    (match Memory.load_image m2 ~path with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  Sys.remove path
+
+let test_image_missing_region_rejected () =
+  let path = Filename.temp_file "onll" ".img" in
+  let m, _ = region () in
+  Memory.save_image m ~path;
+  let m2 = mem () in
+  (* no regions allocated in m2 *)
+  check Alcotest.bool "unknown region rejected" true
+    (match Memory.load_image m2 ~path with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  Sys.remove path
+
+let test_region_names () =
+  let m = mem () in
+  let _ = Memory.region m ~name:"b" ~size:8 in
+  let _ = Memory.region m ~name:"a" ~size:8 in
+  check Alcotest.(list string) "sorted names" [ "a"; "b" ]
+    (Memory.region_names m)
+
+(* {1 Statistics} *)
+
+let test_stats_counting () =
+  let m, r = region () in
+  Memory.Region.store r ~proc:0 ~off:0 "a";
+  Memory.Region.store r ~proc:0 ~off:1 "b";
+  ignore (Memory.Region.load r ~proc:0 ~off:0 ~len:2);
+  Memory.Region.flush r ~proc:0 ~off:0 ~len:2;
+  Memory.fence m ~proc:0;
+  let s = Memory.stats m in
+  check Alcotest.int "stores" 2 s.Memory.Stats.stores;
+  check Alcotest.int "loads" 1 s.Memory.Stats.loads;
+  check Alcotest.int "flushes (1 line)" 1 s.Memory.Stats.flushes;
+  check Alcotest.int "fences" 1 s.Memory.Stats.fences;
+  check Alcotest.int "persistent" 1 s.Memory.Stats.persistent_fences
+
+let test_stats_sub_and_reset () =
+  let m, r = region () in
+  Memory.Region.store r ~proc:0 ~off:0 "a";
+  let before = Memory.stats m in
+  Memory.Region.store r ~proc:0 ~off:1 "b";
+  let diff = Memory.Stats.sub (Memory.stats m) before in
+  check Alcotest.int "window stores" 1 diff.Memory.Stats.stores;
+  Memory.reset_stats m;
+  check Alcotest.int "reset" 0 (Memory.stats m).Memory.Stats.stores;
+  check Alcotest.int "per-proc reset" 0 (Memory.persistent_fences_by m ~proc:0)
+
+(* {1 Properties} *)
+
+let prop_fenced_data_survives_any_policy =
+  qcheck
+    (QCheck.Test.make ~name:"fenced writes survive every crash policy"
+       ~count:100
+       QCheck.(pair small_nat (string_of_size Gen.(1 -- 100)))
+       (fun (seed, data) ->
+         List.for_all
+           (fun policy ->
+             let m = Memory.create ~line_size:16 ~max_processes:2 () in
+             let r = Memory.region m ~name:"r" ~size:256 in
+             let data = String.sub data 0 (min (String.length data) 100) in
+             Memory.Region.store r ~proc:0 ~off:3 data;
+             Memory.Region.flush r ~proc:0 ~off:3 ~len:(String.length data);
+             Memory.fence m ~proc:0;
+             Memory.crash m ~policy;
+             String.sub (Memory.Region.durable_snapshot r) 3
+               (String.length data)
+             = data)
+           [
+             Crash_policy.Drop_all;
+             Crash_policy.Persist_all;
+             Crash_policy.Random seed;
+           ]))
+
+let prop_load_equals_last_store =
+  qcheck
+    (QCheck.Test.make ~name:"load returns the last store (volatile view)"
+       ~count:100
+       QCheck.(small_list (pair (int_bound 200) (string_of_size Gen.(1 -- 20))))
+       (fun writes ->
+         let m = Memory.create ~max_processes:1 () in
+         let r = Memory.region m ~name:"r" ~size:256 in
+         let mirror = Bytes.make 256 '\000' in
+         List.iter
+           (fun (off, data) ->
+             let len = min (String.length data) (256 - off) in
+             let data = String.sub data 0 len in
+             if len > 0 then begin
+               Memory.Region.store r ~proc:0 ~off data;
+               Bytes.blit_string data 0 mirror off len
+             end)
+           writes;
+         Memory.Region.load r ~proc:0 ~off:0 ~len:256
+         = Bytes.to_string mirror))
+
+let () =
+  Alcotest.run "nvm"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "region validation" `Quick test_region_validation;
+          Alcotest.test_case "bounds checks" `Quick test_bounds_checks;
+          Alcotest.test_case "bad proc" `Quick test_bad_proc;
+          Alcotest.test_case "find region" `Quick test_find_region;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "store/load through cache" `Quick
+            test_store_load_through_cache;
+          Alcotest.test_case "store not durable" `Quick
+            test_store_not_durable_without_fence;
+          Alcotest.test_case "flush alone not durable" `Quick
+            test_flush_alone_not_durable;
+          Alcotest.test_case "flush+fence durable" `Quick
+            test_flush_fence_durable;
+          Alcotest.test_case "store after flush" `Quick
+            test_store_after_flush_keeps_snapshot;
+          Alcotest.test_case "fence cleans lines" `Quick
+            test_fence_cleans_lines;
+          Alcotest.test_case "cross-line store" `Quick test_cross_line_store;
+          Alcotest.test_case "partial flush range" `Quick
+            test_partial_flush_range;
+          Alcotest.test_case "int64 accessors" `Quick test_int64_accessors;
+        ] );
+      ( "fences",
+        [
+          Alcotest.test_case "fence without pending" `Quick
+            test_fence_without_pending_is_cheap;
+          Alcotest.test_case "pending per process" `Quick
+            test_pending_is_per_process;
+          Alcotest.test_case "per-proc attribution" `Quick
+            test_per_proc_fence_attribution;
+          Alcotest.test_case "flush clean line" `Quick
+            test_flush_clean_line_is_noop;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "drop-all" `Quick test_crash_drop_all;
+          Alcotest.test_case "persist-all" `Quick test_crash_persist_all;
+          Alcotest.test_case "random seeded" `Quick test_crash_random_is_seeded;
+          Alcotest.test_case "stats preserved" `Quick
+            test_crash_preserves_stats_counts_crashes;
+          Alcotest.test_case "pending cleared" `Quick test_crash_clears_pending;
+        ] );
+      ( "images",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_image_roundtrip;
+          Alcotest.test_case "excludes cache" `Quick test_image_excludes_cache;
+          Alcotest.test_case "checksum" `Quick test_image_checksum_rejected;
+          Alcotest.test_case "missing region" `Quick
+            test_image_missing_region_rejected;
+          Alcotest.test_case "region names" `Quick test_region_names;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "counting" `Quick test_stats_counting;
+          Alcotest.test_case "sub and reset" `Quick test_stats_sub_and_reset;
+        ] );
+      ( "properties",
+        [ prop_fenced_data_survives_any_policy; prop_load_equals_last_store ]
+      );
+    ]

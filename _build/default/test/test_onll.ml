@@ -1,0 +1,735 @@
+open Onll_machine
+open Onll_sched
+module Cs = Onll_specs.Counter
+module F1 = Onll_scenarios.Figure1
+
+let check = Alcotest.check
+
+(* Fresh counter object on a fresh simulated machine. Tests that need the
+   machine module instantiate inline instead. *)
+
+(* {1 Sequential semantics} *)
+
+let test_sequential_counter () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create () in
+  check Alcotest.int "read initial" 0 (C.read obj Cs.Get);
+  check Alcotest.int "first increment" 1 (C.update obj Cs.Increment);
+  check Alcotest.int "second increment" 2 (C.update obj Cs.Increment);
+  check Alcotest.int "add" 7 (C.update obj (Cs.Add 5));
+  check Alcotest.int "read" 7 (C.read obj Cs.Get)
+
+let test_sequential_kv () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Onll_specs.Kv) in
+  let obj = C.create () in
+  let open Onll_specs.Kv in
+  check Alcotest.bool "put fresh" true
+    (C.update obj (Put ("k", "v1")) = Previous None);
+  check Alcotest.bool "put replace" true
+    (C.update obj (Put ("k", "v2")) = Previous (Some "v1"));
+  check Alcotest.bool "get" true (C.read obj (Get "k") = Found (Some "v2"));
+  check Alcotest.bool "delete" true
+    (C.update obj (Delete "k") = Previous (Some "v2"));
+  check Alcotest.bool "get after delete" true
+    (C.read obj (Get "k") = Found None)
+
+let test_sequential_queue () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Onll_specs.Queue_spec) in
+  let obj = C.create () in
+  let open Onll_specs.Queue_spec in
+  check Alcotest.bool "deq empty" true (C.update obj Dequeue = Taken None);
+  ignore (C.update obj (Enqueue 1));
+  ignore (C.update obj (Enqueue 2));
+  check Alcotest.bool "peek" true (C.read obj Peek = Taken (Some 1));
+  check Alcotest.bool "fifo" true (C.update obj Dequeue = Taken (Some 1));
+  check Alcotest.bool "fifo 2" true (C.update obj Dequeue = Taken (Some 2))
+
+(* {1 Fence complexity (Theorem 5.1)} *)
+
+let test_one_fence_per_update_zero_per_read () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create () in
+  for i = 1 to 20 do
+    ignore (C.update obj Cs.Increment);
+    check Alcotest.int "updates: exactly one fence each" i
+      (M.persistent_fences ())
+  done;
+  for _ = 1 to 50 do
+    ignore (C.read obj Cs.Get)
+  done;
+  check Alcotest.int "reads: zero fences" 20 (M.persistent_fences ())
+
+let test_fence_bound_concurrent () =
+  (* Under any schedule, total persistent fences <= total updates (helping
+     can only reduce the count below 1 per op, never above). *)
+  for seed = 1 to 10 do
+    let sim = Sim.create ~max_processes:4 () in
+    let module M = (val Sim.machine sim) in
+    let module C = Onll_core.Onll.Make (M) (Cs) in
+    let obj = C.create () in
+    let procs =
+      Array.init 4 (fun _ ->
+          fun _ ->
+            for _ = 1 to 5 do
+              ignore (C.update obj Cs.Increment);
+              ignore (C.read obj Cs.Get)
+            done)
+    in
+    let outcome = Sim.run sim (Sched.Strategy.random ~seed) procs in
+    check Alcotest.bool "completed" true (outcome = Sched.World.Completed);
+    check Alcotest.int "one fence per update, none per read" 20
+      (M.persistent_fences ())
+  done
+
+(* {1 Concurrent correctness} *)
+
+let test_concurrent_increments_return_distinct_values () =
+  let sim = Sim.create ~max_processes:4 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create () in
+  let results = ref [] in
+  let procs =
+    Array.init 4 (fun _ ->
+        fun _ ->
+          for _ = 1 to 5 do
+            (* bind first: the ref read must happen after the update *)
+            let v = C.update obj Cs.Increment in
+            results := v :: !results
+          done)
+  in
+  ignore (Sim.run sim (Sched.Strategy.random ~seed:31) procs);
+  check
+    Alcotest.(list int)
+    "increments return 1..20 exactly once"
+    (List.init 20 (fun i -> i + 1))
+    (List.sort compare !results);
+  check Alcotest.int "final value" 20 (C.read obj Cs.Get)
+
+let test_reads_monotone_per_process () =
+  (* A process's successive reads can never observe the counter going
+     backwards. *)
+  let sim = Sim.create ~max_processes:4 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create () in
+  let violation = ref false in
+  let procs =
+    Array.init 4 (fun p ->
+        fun _ ->
+          if p = 0 then
+            for _ = 1 to 10 do
+              ignore (C.update obj Cs.Increment)
+            done
+          else begin
+            let last = ref (-1) in
+            for _ = 1 to 10 do
+              let v = C.read obj Cs.Get in
+              if v < !last then violation := true;
+              last := v
+            done
+          end)
+  in
+  for seed = 1 to 10 do
+    ignore (Sim.run sim (Sched.Strategy.random ~seed) procs)
+  done;
+  check Alcotest.bool "monotone reads" false !violation
+
+(* {1 Figure 1 executions} *)
+
+let test_figure1_execution1 () =
+  let e = F1.execution1 () in
+  check Alcotest.int "update" 1 e.F1.e1_update_returned;
+  check Alcotest.int "read" 1 e.F1.e1_read_returned;
+  check
+    Alcotest.(list (pair int bool))
+    "trace" [ (0, true); (1, true) ] e.F1.e1_trace
+
+let test_figure1_execution2 () =
+  let e = F1.execution2 () in
+  check Alcotest.int "r1 sees old state" 1 e.F1.e2_r1;
+  check Alcotest.int "r2 sees new state" 2 e.F1.e2_r2;
+  check Alcotest.int "update returns new value" 2 e.F1.e2_update_returned
+
+let test_figure1_execution3 () =
+  let e = F1.execution3 () in
+  check Alcotest.int "helper returns 3" 3 e.F1.e3_p2_returned;
+  check Alcotest.int "helper persisted two ops" 2 e.F1.e3_p2_log_ops;
+  check Alcotest.int "reader sees 3" 3 e.F1.e3_reader_after_p2;
+  check Alcotest.int "helped op returns 2" 2 e.F1.e3_p1_returned
+
+let test_figure1_execution4 () =
+  let e = F1.execution4 () in
+  check Alcotest.int "reader during: 0" 0 e.F1.e4_reader_during;
+  check Alcotest.int "recovered value: 2" 2 e.F1.e4_recovered_value;
+  check Alcotest.bool "p1 linearized" true e.F1.e4_p1_linearized;
+  check Alcotest.bool "p2 linearized" true e.F1.e4_p2_linearized;
+  check Alcotest.bool "p3 lost" false e.F1.e4_p3_linearized
+
+(* {1 Proposition 5.9: the read anomaly}
+
+   A reader traverses the live trace, not a snapshot: while it walks past
+   unavailable nodes, a later node's flag may get set behind it, so the
+   node it settles on may no longer be the newest available one by the time
+   it returns. Prop 5.9 places such a read's linearization point at its
+   traversal of the tail; the history stays linearizable. This test builds
+   exactly that race and checks both the anomalous return value and the
+   checker's acceptance. *)
+
+let test_prop59_read_anomaly () =
+  let sim = Sim.create ~max_processes:3 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let module H = Onll_histcheck.Histcheck.Make (Cs) in
+  let obj = C.create () in
+  let recorder = H.Recorder.create () in
+  let read_v = ref (-1) in
+  let procs =
+    [|
+      (fun _ ->
+        let uid = H.Recorder.invoke recorder ~proc:0 (H.Update Cs.Increment) in
+        let v = C.update obj Cs.Increment in
+        H.Recorder.return_ recorder uid v);
+      (fun _ ->
+        let uid = H.Recorder.invoke recorder ~proc:1 (H.Update Cs.Increment) in
+        let v = C.update obj Cs.Increment in
+        H.Recorder.return_ recorder uid v);
+      (fun _ ->
+        let uid = H.Recorder.invoke recorder ~proc:2 (H.Read Cs.Get) in
+        let v = C.read obj Cs.Get in
+        read_v := v;
+        H.Recorder.return_ recorder uid v);
+    |]
+  in
+  let script =
+    Sched.Strategy.script
+      [
+        (* p0 inserts n1 and parks before touching its log: n1 stays
+           unavailable *)
+        Sched.Strategy.Run_until (0, fun l -> l = Sched.Prim "pm.store64");
+        (* p1 inserts n2 and persists it (helping n1), parking just before
+           setting n2's available flag *)
+        Sched.Strategy.run_until_pfence 1;
+        Sched.Strategy.Run_steps (1, 1);
+        (* the reader walks past n2 (flag still unset): start, read tail,
+           read n2.available, read n2.next — paused before n1.available *)
+        Sched.Strategy.Run_steps (2, 4);
+        (* n2's flag is set BEHIND the reader *)
+        Sched.Strategy.Run_steps (1, 1);
+        (* the reader finishes its traversal: it settles on the sentinel *)
+        Sched.Strategy.Run_to_completion 2;
+        Sched.Strategy.Run_to_completion 1;
+        Sched.Strategy.Run_to_completion 0;
+      ]
+  in
+  let outcome = Sim.run sim script procs in
+  check Alcotest.bool "completed" true (outcome = Sched.World.Completed);
+  (* the anomaly: the read returned 0 (the sentinel) although value 2 was
+     available before it responded *)
+  check Alcotest.int "anomalous read" 0 !read_v;
+  check Alcotest.int "final value" 2 (C.read obj Cs.Get);
+  (* ... and the history is nonetheless durably linearizable *)
+  (match H.check (H.Recorder.history recorder) with
+  | H.Durably_linearizable _ -> ()
+  | H.Violation m -> Alcotest.fail ("prop 5.9 history rejected: " ^ m)
+  | H.Budget_exhausted -> Alcotest.fail "budget")
+
+(* {1 Recovery} *)
+
+let test_recover_empty () =
+  let sim = Sim.create ~max_processes:2 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create () in
+  C.recover obj;
+  check Alcotest.int "empty recovery = initial" 0 (C.read obj Cs.Get)
+
+let test_recover_idempotent () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create () in
+  for _ = 1 to 5 do
+    ignore (C.update obj Cs.Increment)
+  done;
+  Onll_nvm.Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
+  C.recover obj;
+  check Alcotest.int "after first recovery" 5 (C.read obj Cs.Get);
+  C.recover obj;
+  check Alcotest.int "recovery idempotent" 5 (C.read obj Cs.Get)
+
+let test_repeated_crashes () =
+  let sim = Sim.create ~max_processes:2 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create () in
+  let total = ref 0 in
+  for round = 1 to 5 do
+    let procs =
+      Array.init 2 (fun _ ->
+          fun _ ->
+            for _ = 1 to 10 do
+              ignore (C.update obj Cs.Increment)
+            done)
+    in
+    let outcome =
+      Sim.run sim
+        (Sched.Strategy.random_with_crash ~seed:round ~crash_at_step:50)
+        procs
+    in
+    check Alcotest.bool "crashed" true (outcome = Sched.World.Crashed);
+    C.recover obj;
+    let v = C.read obj Cs.Get in
+    check Alcotest.bool "value never decreases" true (v >= !total);
+    total := v
+  done
+
+let test_values_consistent_after_recovery () =
+  (* The value an update returned before the crash must match its position
+     in the recovered history: re-reading gives the number of recovered
+     increments, and every completed increment's return value is <= that. *)
+  let sim = Sim.create ~max_processes:3 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create () in
+  let returned = ref [] in
+  let procs =
+    Array.init 3 (fun _ ->
+        fun _ ->
+          for _ = 1 to 5 do
+            let v = C.update obj Cs.Increment in
+            returned := v :: !returned
+          done)
+  in
+  ignore
+    (Sim.run sim
+       (Sched.Strategy.random_with_crash ~seed:5 ~crash_at_step:120)
+       procs);
+  C.recover obj;
+  let v = C.read obj Cs.Get in
+  List.iter
+    (fun r -> check Alcotest.bool "completed value within range" true (r <= v))
+    !returned;
+  check Alcotest.bool "all completed counted" true
+    (List.length !returned <= v)
+
+let test_post_recovery_updates_continue () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create () in
+  ignore (C.update obj (Cs.Add 10));
+  Onll_nvm.Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
+  C.recover obj;
+  check Alcotest.int "recovered" 10 (C.read obj Cs.Get);
+  check Alcotest.int "continue" 11 (C.update obj Cs.Increment);
+  (* ... and that update is itself durable *)
+  Onll_nvm.Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
+  C.recover obj;
+  check Alcotest.int "second recovery" 11 (C.read obj Cs.Get)
+
+let test_recovery_under_persist_all () =
+  (* Persist_all means even unfenced appends may land; recovery must accept
+     any such prefix and produce a consistent state. *)
+  let sim =
+    Sim.create ~max_processes:3
+      ~crash_policy:Onll_nvm.Crash_policy.Persist_all ()
+  in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create () in
+  let procs =
+    Array.init 3 (fun _ ->
+        fun _ ->
+          for _ = 1 to 4 do
+            ignore (C.update obj Cs.Increment)
+          done)
+  in
+  ignore
+    (Sim.run sim
+       (Sched.Strategy.random_with_crash ~seed:9 ~crash_at_step:60)
+       procs);
+  C.recover obj;
+  let v = C.read obj Cs.Get in
+  check Alcotest.bool "recovered value sane" true (v >= 0 && v <= 12)
+
+(* {1 Detectability} *)
+
+let test_detectable_pre_append_op_is_lost () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create () in
+  let script =
+    Sched.Strategy.script
+      [
+        (* park before the op touches the log, then crash *)
+        Sched.Strategy.Run_until (0, fun l -> l = Sched.Prim "pm.store64");
+        Sched.Strategy.Crash_here;
+      ]
+  in
+  ignore
+    (Sim.run sim script
+       [| (fun _ -> ignore (C.update_detectable obj ~seq:0 Cs.Increment)) |]);
+  C.recover obj;
+  check Alcotest.bool "not linearized" false
+    (C.was_linearized obj { Onll_core.Onll.id_proc = 0; id_seq = 0 })
+
+let test_detectable_post_fence_op_survives () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create () in
+  let script =
+    Sched.Strategy.script
+      [
+        Sched.Strategy.run_until_pfence 0;
+        Sched.Strategy.Run_steps (0, 1);  (* fence executes *)
+        Sched.Strategy.Crash_here;  (* crash before the available flag *)
+      ]
+  in
+  ignore
+    (Sim.run sim script
+       [| (fun _ -> ignore (C.update_detectable obj ~seq:0 Cs.Increment)) |]);
+  C.recover obj;
+  check Alcotest.bool "linearized though never returned" true
+    (C.was_linearized obj { Onll_core.Onll.id_proc = 0; id_seq = 0 });
+  check Alcotest.int "effect visible" 1 (C.read obj Cs.Get)
+
+let test_detectable_seq_reuse_rejected () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create () in
+  ignore (C.update_detectable obj ~seq:0 Cs.Increment);
+  Alcotest.check_raises "reuse"
+    (Invalid_argument "Onll.update_detectable: sequence number reused")
+    (fun () -> ignore (C.update_detectable obj ~seq:0 Cs.Increment))
+
+let test_seq_numbers_advance_past_recovery () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create () in
+  let id1, _ = C.update_with_id obj Cs.Increment in
+  Onll_nvm.Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
+  C.recover obj;
+  let id2, _ = C.update_with_id obj Cs.Increment in
+  check Alcotest.bool "new id differs from recovered id" true (id1 <> id2)
+
+(* {1 Local views (§8)} *)
+
+let test_local_views_same_results () =
+  (* Views change how many shared reads a compute performs, so concurrent
+     schedules legitimately diverge; equivalence is therefore asserted on a
+     single process (identical sequential results) and, concurrently, on
+     schedule-independent facts: increments return a permutation of 1..n and
+     the final value is n. *)
+  let sequential ~local_views =
+    let sim = Sim.create ~max_processes:1 () in
+    let module M = (val Sim.machine sim) in
+    let module C = Onll_core.Onll.Make (M) (Cs) in
+    let obj = C.create ~local_views () in
+    List.concat_map
+      (fun _ -> [ C.update obj Cs.Increment; C.read obj Cs.Get ])
+      (List.init 10 Fun.id)
+  in
+  check
+    Alcotest.(list int)
+    "sequential results identical"
+    (sequential ~local_views:false)
+    (sequential ~local_views:true);
+  for seed = 1 to 8 do
+    let sim = Sim.create ~max_processes:3 () in
+    let module M = (val Sim.machine sim) in
+    let module C = Onll_core.Onll.Make (M) (Cs) in
+    let obj = C.create ~local_views:true () in
+    let results = ref [] in
+    let procs =
+      Array.init 3 (fun _ ->
+          fun _ ->
+            for _ = 1 to 5 do
+              let v = C.update obj Cs.Increment in
+              results := v :: !results
+            done)
+    in
+    ignore (Sim.run sim (Sched.Strategy.random ~seed) procs);
+    check
+      Alcotest.(list int)
+      "increments are a permutation of 1..15"
+      (List.init 15 (fun i -> i + 1))
+      (List.sort compare !results);
+    check Alcotest.int "final value" 15 (C.read obj Cs.Get)
+  done
+
+let test_local_views_survive_crash_reset () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create ~local_views:true () in
+  for _ = 1 to 5 do
+    ignore (C.update obj Cs.Increment)
+  done;
+  ignore (C.read obj Cs.Get);
+  Onll_nvm.Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
+  C.recover obj;
+  check Alcotest.int "views reset, state correct" 5 (C.read obj Cs.Get);
+  check Alcotest.int "updates continue" 6 (C.update obj Cs.Increment)
+
+(* {1 Checkpointing and reclamation (§8)} *)
+
+let test_checkpoint_compacts_log () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create () in
+  for _ = 1 to 20 do
+    ignore (C.update obj Cs.Increment)
+  done;
+  let live_before = List.fold_left (fun a (_, l, _) -> a + l) 0 (C.log_stats obj) in
+  let upto = C.checkpoint obj in
+  check Alcotest.int "checkpoint covers all" 20 upto;
+  let live_after = List.fold_left (fun a (_, l, _) -> a + l) 0 (C.log_stats obj) in
+  check Alcotest.bool "log shrank" true (live_after < live_before);
+  check Alcotest.int "state unchanged" 20 (C.read obj Cs.Get)
+
+let test_recovery_from_checkpoint () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create () in
+  for _ = 1 to 10 do
+    ignore (C.update obj Cs.Increment)
+  done;
+  ignore (C.checkpoint obj);
+  for _ = 1 to 3 do
+    ignore (C.update obj Cs.Increment)
+  done;
+  Onll_nvm.Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
+  C.recover obj;
+  check Alcotest.int "checkpoint + tail ops" 13 (C.read obj Cs.Get);
+  let base_idx, _ = C.trace_base obj in
+  check Alcotest.int "trace starts at the checkpoint" 10 base_idx;
+  check Alcotest.int "updates continue" 14 (C.update obj Cs.Increment)
+
+let test_detectability_past_checkpoint () =
+  (* Operations summarised by a checkpoint are still detectable via the
+     sequence floors carried in the materialised state. *)
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create () in
+  let id, _ = C.update_with_id obj Cs.Increment in
+  ignore (C.checkpoint obj);
+  Onll_nvm.Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
+  C.recover obj;
+  check Alcotest.bool "pre-checkpoint op detectable" true
+    (C.was_linearized obj id);
+  check Alcotest.bool "never-invoked op not detectable" false
+    (C.was_linearized obj { Onll_core.Onll.id_proc = 0; id_seq = 99 })
+
+let test_prune_keeps_reads_correct () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create () in
+  for _ = 1 to 10 do
+    ignore (C.update obj Cs.Increment)
+  done;
+  let nodes_before = List.length (C.trace_nodes obj) in
+  C.prune obj ~below:8;
+  let nodes_after = List.length (C.trace_nodes obj) in
+  check Alcotest.bool "trace shrank" true (nodes_after < nodes_before);
+  check Alcotest.int "reads correct after prune" 10 (C.read obj Cs.Get);
+  check Alcotest.int "updates correct after prune" 11
+    (C.update obj Cs.Increment)
+
+let test_checkpoint_prune_crash_cycle () =
+  let sim = Sim.create ~max_processes:2 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create () in
+  for round = 1 to 4 do
+    let procs =
+      Array.init 2 (fun _ ->
+          fun _ ->
+            for _ = 1 to 5 do
+              ignore (C.update obj Cs.Increment)
+            done)
+    in
+    ignore (Sim.run sim (Sched.Strategy.random ~seed:round) procs);
+    ignore (C.checkpoint obj);
+    C.prune obj ~below:(C.latest_available_idx obj);
+    Onll_nvm.Memory.crash (Sim.memory sim)
+      ~policy:Onll_nvm.Crash_policy.Drop_all;
+    C.recover obj;
+    check Alcotest.int "each round fully durable" (round * 10)
+      (C.read obj Cs.Get)
+  done
+
+(* {1 Misc} *)
+
+let test_two_objects_independent () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let a = C.create () in
+  let b = C.create () in
+  ignore (C.update a (Cs.Add 3));
+  ignore (C.update b (Cs.Add 4));
+  check Alcotest.int "a" 3 (C.read a Cs.Get);
+  check Alcotest.int "b" 4 (C.read b Cs.Get)
+
+let test_log_capacity_exhaustion_surfaces () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create ~log_capacity:256 () in
+  check Alcotest.bool "eventually Full" true
+    (match
+       for _ = 1 to 100 do
+         ignore (C.update obj Cs.Increment)
+       done
+     with
+    | exception Onll_plog.Plog.Full -> true
+    | () -> false)
+
+(* Forge a log entry claiming execution index 3 with no entries for 1..2:
+   recovery must refuse (Prop 5.10 says such logs cannot be produced by the
+   implementation, so this is corruption). The entry bytes are constructed
+   with the same codecs the implementation uses, then written straight into
+   the object's log region. *)
+let test_recovery_corrupt_on_forged_gap () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create () in
+  let open Onll_util in
+  (* envelope (proc 0, seq 0, Increment); the operation is encoded inline
+     (not length-prefixed) and Increment = tagged (0, "") *)
+  let env_c = Codec.(triple int int (pair int string)) in
+  let ops_body =
+    Codec.encode Codec.(pair int (list env_c)) (3, [ (0, 0, (0, "")) ])
+  in
+  let payload = Codec.encode Codec.(pair int Codec.string) (0, ops_body) in
+  (* plog entry framing: [len][crc32(len||payload)][payload] at offset 64 *)
+  let len = String.length payload in
+  let crc_input = Bytes.create (8 + len) in
+  Bytes.set_int64_le crc_input 0 (Int64.of_int len);
+  Bytes.blit_string payload 0 crc_input 8 len;
+  let crc =
+    Int64.logand
+      (Int64.of_int32 (Crc32.bytes crc_input ~pos:0 ~len:(8 + len)))
+      0xFFFFFFFFL
+  in
+  let mem = Sim.memory sim in
+  let region =
+    match Onll_nvm.Memory.find_region mem "counter.0.plog.0" with
+    | Some r -> r
+    | None -> Alcotest.fail "log region not found"
+  in
+  Onll_nvm.Memory.Region.store_int64 region ~proc:0 ~off:64 (Int64.of_int len);
+  Onll_nvm.Memory.Region.store_int64 region ~proc:0 ~off:72 crc;
+  Onll_nvm.Memory.Region.store region ~proc:0 ~off:80 payload;
+  Onll_nvm.Memory.Region.flush region ~proc:0 ~off:64 ~len:(16 + len);
+  Onll_nvm.Memory.fence mem ~proc:0;
+  check Alcotest.bool "recovery refuses the gap" true
+    (match C.recover obj with
+    | exception Onll_core.Onll.Recovery_corrupt _ -> true
+    | () -> false)
+
+let () =
+  Alcotest.run "onll"
+    [
+      ( "sequential",
+        [
+          Alcotest.test_case "counter" `Quick test_sequential_counter;
+          Alcotest.test_case "kv" `Quick test_sequential_kv;
+          Alcotest.test_case "queue" `Quick test_sequential_queue;
+        ] );
+      ( "fences",
+        [
+          Alcotest.test_case "1 per update, 0 per read" `Quick
+            test_one_fence_per_update_zero_per_read;
+          Alcotest.test_case "bound under concurrency" `Quick
+            test_fence_bound_concurrent;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "distinct increment values" `Quick
+            test_concurrent_increments_return_distinct_values;
+          Alcotest.test_case "monotone reads" `Quick
+            test_reads_monotone_per_process;
+        ] );
+      ( "figure1",
+        [
+          Alcotest.test_case "execution 1" `Quick test_figure1_execution1;
+          Alcotest.test_case "execution 2" `Quick test_figure1_execution2;
+          Alcotest.test_case "execution 3" `Quick test_figure1_execution3;
+          Alcotest.test_case "execution 4" `Quick test_figure1_execution4;
+        ] );
+      ( "prop 5.9",
+        [
+          Alcotest.test_case "read anomaly is linearizable" `Quick
+            test_prop59_read_anomaly;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "empty" `Quick test_recover_empty;
+          Alcotest.test_case "idempotent" `Quick test_recover_idempotent;
+          Alcotest.test_case "repeated crashes" `Quick test_repeated_crashes;
+          Alcotest.test_case "values consistent" `Quick
+            test_values_consistent_after_recovery;
+          Alcotest.test_case "updates continue" `Quick
+            test_post_recovery_updates_continue;
+          Alcotest.test_case "persist-all policy" `Quick
+            test_recovery_under_persist_all;
+          Alcotest.test_case "forged gap rejected" `Quick
+            test_recovery_corrupt_on_forged_gap;
+        ] );
+      ( "detectability",
+        [
+          Alcotest.test_case "pre-append lost" `Quick
+            test_detectable_pre_append_op_is_lost;
+          Alcotest.test_case "post-fence survives" `Quick
+            test_detectable_post_fence_op_survives;
+          Alcotest.test_case "seq reuse rejected" `Quick
+            test_detectable_seq_reuse_rejected;
+          Alcotest.test_case "seqs advance past recovery" `Quick
+            test_seq_numbers_advance_past_recovery;
+        ] );
+      ( "local views",
+        [
+          Alcotest.test_case "same results" `Quick test_local_views_same_results;
+          Alcotest.test_case "crash resets views" `Quick
+            test_local_views_survive_crash_reset;
+        ] );
+      ( "reclamation",
+        [
+          Alcotest.test_case "checkpoint compacts" `Quick
+            test_checkpoint_compacts_log;
+          Alcotest.test_case "recovery from checkpoint" `Quick
+            test_recovery_from_checkpoint;
+          Alcotest.test_case "detectability past checkpoint" `Quick
+            test_detectability_past_checkpoint;
+          Alcotest.test_case "prune keeps reads correct" `Quick
+            test_prune_keeps_reads_correct;
+          Alcotest.test_case "checkpoint+prune+crash cycle" `Quick
+            test_checkpoint_prune_crash_cycle;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "independent objects" `Quick
+            test_two_objects_independent;
+          Alcotest.test_case "log exhaustion" `Quick
+            test_log_capacity_exhaustion_surfaces;
+        ] );
+    ]

@@ -1,0 +1,311 @@
+open Onll_machine
+open Onll_sched
+
+let check = Alcotest.check
+
+let test_append_entries_roundtrip () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:4096 in
+  P.append log "alpha";
+  P.append log "beta";
+  P.append log "gamma";
+  check Alcotest.(list string) "entries in order" [ "alpha"; "beta"; "gamma" ]
+    (P.entries log);
+  check Alcotest.int "count" 3 (P.entry_count log)
+
+let test_one_persistent_fence_per_append () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:4096 in
+  for i = 1 to 10 do
+    P.append log (Printf.sprintf "entry-%d" i);
+    check Alcotest.int "fences = appends" i (M.persistent_fences ())
+  done
+
+let test_append_durable_across_crash () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:4096 in
+  P.append log "persisted";
+  Onll_nvm.Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
+  P.recover log;
+  check Alcotest.(list string) "entry survives" [ "persisted" ]
+    (P.entries log);
+  (* New appends continue after the recovered tail. *)
+  P.append log "after";
+  check Alcotest.(list string) "continues" [ "persisted"; "after" ]
+    (P.entries log)
+
+let test_torn_append_rejected () =
+  (* Crash mid-append under Persist_all: whatever bytes were stored do
+     persist, but the CRC does not validate, so recovery drops the torn
+     entry and keeps the fenced prefix. We cut the append after a few of its
+     stores using a scripted schedule. *)
+  let sim =
+    Sim.create ~max_processes:1
+      ~crash_policy:Onll_nvm.Crash_policy.Persist_all ()
+  in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:4096 in
+  P.append log "good";
+  let strategy =
+    Sched.Strategy.script
+      [ Sched.Strategy.Run_steps (0, 2); Sched.Strategy.Crash_here ]
+  in
+  let outcome =
+    Sim.run sim strategy [| (fun _ -> P.append log "interrupted") |]
+  in
+  check Alcotest.bool "crashed" true (outcome = Sched.World.Crashed);
+  P.recover log;
+  check Alcotest.(list string) "only the fenced entry" [ "good" ]
+    (P.entries log)
+
+let test_unfenced_append_may_survive_persist_all () =
+  (* Crash after all stores+flushes but before the fence, under Persist_all:
+     the entry is complete in the cache, the crash "evicts" it, recovery
+     accepts it (its CRC validates). Both outcomes are legal durable states;
+     this pins the simulator's behaviour. *)
+  let sim =
+    Sim.create ~max_processes:1
+      ~crash_policy:Onll_nvm.Crash_policy.Persist_all ()
+  in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:4096 in
+  let strategy =
+    Sched.Strategy.script
+      [
+        (* park just before the fence, then crash *)
+        Sched.Strategy.run_until_pfence 0;
+        Sched.Strategy.Crash_here;
+      ]
+  in
+  ignore (Sim.run sim strategy [| (fun _ -> P.append log "lucky") |]);
+  P.recover log;
+  check Alcotest.(list string) "lucky entry recovered" [ "lucky" ]
+    (P.entries log);
+  check Alcotest.int "no fence was executed" 0 (M.persistent_fences ())
+
+let test_unfenced_append_lost_drop_all () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:4096 in
+  let strategy =
+    Sched.Strategy.script
+      [ Sched.Strategy.run_until_pfence 0; Sched.Strategy.Crash_here ]
+  in
+  ignore (Sim.run sim strategy [| (fun _ -> P.append log "unlucky") |]);
+  P.recover log;
+  check Alcotest.(list string) "nothing recovered" [] (P.entries log)
+
+let test_full_raises () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:64 in
+  P.append log (String.make 40 'x');
+  check Alcotest.bool "full" true
+    (match P.append log (String.make 40 'y') with
+    | exception Onll_plog.Plog.Full -> true
+    | () -> false)
+
+let test_empty_payload_rejected () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:64 in
+  Alcotest.check_raises "empty payload"
+    (Invalid_argument "Plog.append: empty payload") (fun () ->
+      P.append log "")
+
+let test_used_and_live_bytes () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:4096 in
+  check Alcotest.int "empty used" 0 (P.used_bytes log);
+  P.append log "12345";  (* 16 header + 5 *)
+  check Alcotest.int "used" 21 (P.used_bytes log);
+  check Alcotest.int "live = used" 21 (P.live_bytes log)
+
+let test_set_head_compacts () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:4096 in
+  P.append log "one";
+  P.append log "two";
+  P.append log "three";
+  P.set_head log 2;
+  check Alcotest.(list string) "only the tail entries" [ "three" ]
+    (P.entries log);
+  check Alcotest.bool "live < used" true (P.live_bytes log < P.used_bytes log);
+  (* Appends continue normally. *)
+  P.append log "four";
+  check Alcotest.(list string) "append after compaction" [ "three"; "four" ]
+    (P.entries log)
+
+let test_set_head_durable_across_crash () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:4096 in
+  P.append log "a";
+  P.append log "b";
+  P.set_head log 1;
+  Onll_nvm.Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
+  P.recover log;
+  check Alcotest.(list string) "head survived" [ "b" ] (P.entries log)
+
+let test_set_head_zero_noop_and_errors () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:4096 in
+  P.append log "a";
+  P.set_head log 0;
+  check Alcotest.(list string) "0 is a no-op" [ "a" ] (P.entries log);
+  check Alcotest.bool "too many raises" true
+    (match P.set_head log 5 with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let test_set_head_all_entries () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:4096 in
+  P.append log "a";
+  P.append log "b";
+  P.set_head log 2;
+  check Alcotest.(list string) "empty after full compaction" []
+    (P.entries log);
+  P.append log "c";
+  check Alcotest.(list string) "append after full compaction" [ "c" ]
+    (P.entries log)
+
+let test_crash_during_set_head_keeps_a_valid_header () =
+  (* The header is two versioned slots; a torn header write must leave the
+     previous head intact. Park the set_head just before its fence and crash
+     with Drop_all: the new header never persists, the old one rules. *)
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:4096 in
+  P.append log "a";
+  P.append log "b";
+  P.set_head log 1;  (* durable head: entry "b" *)
+  let strategy =
+    Sched.Strategy.script
+      [ Sched.Strategy.run_until_pfence 0; Sched.Strategy.Crash_here ]
+  in
+  ignore (Sim.run sim strategy [| (fun _ -> P.set_head log 1) |]);
+  P.recover log;
+  check Alcotest.(list string) "previous head preserved" [ "b" ]
+    (P.entries log)
+
+let test_multiple_logs_independent () =
+  let sim = Sim.create ~max_processes:2 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let l0 = P.create ~name:"l0" ~capacity:1024 in
+  let l1 = P.create ~name:"l1" ~capacity:1024 in
+  P.append l0 "zero";
+  P.append l1 "one";
+  check Alcotest.(list string) "log 0" [ "zero" ] (P.entries l0);
+  check Alcotest.(list string) "log 1" [ "one" ] (P.entries l1)
+
+let test_binary_payloads () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:4096 in
+  let payload = String.init 256 Char.chr in
+  P.append log payload;
+  check Alcotest.(list string) "binary-safe" [ payload ] (P.entries log)
+
+(* Property: whatever single step the crash lands on, recovery yields a
+   prefix of the appended entries; completed appends always survive. *)
+let prop_recovery_is_prefix =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"crash anywhere -> recovered = prefix, fenced kept"
+       ~count:150
+       QCheck.(pair small_nat (int_bound 200))
+       (fun (seed, crash_at) ->
+         let policy =
+           if seed mod 2 = 0 then Onll_nvm.Crash_policy.Drop_all
+           else Onll_nvm.Crash_policy.Persist_all
+         in
+         let sim = Sim.create ~max_processes:1 ~crash_policy:policy () in
+         let module M = (val Sim.machine sim) in
+         let module P = Onll_plog.Plog.Make (M) in
+         let log = P.create ~name:"l" ~capacity:65536 in
+         let completed = ref 0 in
+         let all = List.init 8 (fun i -> Printf.sprintf "entry-%d-%d" seed i) in
+         let strategy =
+           Sched.Strategy.random_with_crash ~seed ~crash_at_step:crash_at
+         in
+         let proc _ =
+           List.iter
+             (fun e ->
+               P.append log e;
+               incr completed)
+             all
+         in
+         ignore (Sim.run sim strategy [| proc |]);
+         P.recover log;
+         let recovered = P.entries log in
+         let is_prefix =
+           List.length recovered <= List.length all
+           && List.for_all2
+                (fun a b -> a = b)
+                recovered
+                (List.filteri (fun i _ -> i < List.length recovered) all)
+         in
+         is_prefix && List.length recovered >= !completed))
+
+let () =
+  Alcotest.run "plog"
+    [
+      ( "append",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_append_entries_roundtrip;
+          Alcotest.test_case "one fence per append" `Quick
+            test_one_persistent_fence_per_append;
+          Alcotest.test_case "durable across crash" `Quick
+            test_append_durable_across_crash;
+          Alcotest.test_case "binary payloads" `Quick test_binary_payloads;
+          Alcotest.test_case "full raises" `Quick test_full_raises;
+          Alcotest.test_case "empty payload" `Quick test_empty_payload_rejected;
+          Alcotest.test_case "used/live bytes" `Quick test_used_and_live_bytes;
+          Alcotest.test_case "independent logs" `Quick
+            test_multiple_logs_independent;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "torn append rejected" `Quick
+            test_torn_append_rejected;
+          Alcotest.test_case "unfenced may survive (persist-all)" `Quick
+            test_unfenced_append_may_survive_persist_all;
+          Alcotest.test_case "unfenced lost (drop-all)" `Quick
+            test_unfenced_append_lost_drop_all;
+          prop_recovery_is_prefix;
+        ] );
+      ( "compaction",
+        [
+          Alcotest.test_case "set_head compacts" `Quick test_set_head_compacts;
+          Alcotest.test_case "head durable" `Quick
+            test_set_head_durable_across_crash;
+          Alcotest.test_case "zero and errors" `Quick
+            test_set_head_zero_noop_and_errors;
+          Alcotest.test_case "drop all entries" `Quick test_set_head_all_entries;
+          Alcotest.test_case "torn header harmless" `Quick
+            test_crash_during_set_head_keeps_a_valid_header;
+        ] );
+    ]

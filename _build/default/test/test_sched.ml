@@ -1,0 +1,472 @@
+open Onll_sched
+
+let check = Alcotest.check
+
+(* A tiny shared-memory abstraction over scheduler steps, standing in for
+   the machine layer: each access to [cell] is one scheduling point. *)
+let get cell =
+  Sched.step (Sched.Prim "get");
+  !cell
+
+let set cell v =
+  Sched.step (Sched.Prim "set");
+  cell := v
+
+(* {1 Basics} *)
+
+let test_single_proc_completes () =
+  let w = Sched.World.create () in
+  let cell = ref 0 in
+  let outcome =
+    Sched.World.run w Sched.Strategy.round_robin
+      [| (fun _ -> set cell (get cell + 1)) |]
+  in
+  check Alcotest.bool "completed" true (outcome = Sched.World.Completed);
+  check Alcotest.int "effect applied" 1 !cell
+
+let test_proc_receives_own_id () =
+  let w = Sched.World.create () in
+  let ids = ref [] in
+  let outcome =
+    Sched.World.run w Sched.Strategy.round_robin
+      (Array.init 3 (fun _ -> fun p -> ids := p :: !ids))
+  in
+  check Alcotest.bool "completed" true (outcome = Sched.World.Completed);
+  check Alcotest.(list int) "each proc got its id" [ 0; 1; 2 ]
+    (List.sort compare !ids)
+
+let test_current_proc_inside () =
+  let w = Sched.World.create () in
+  let seen = ref (-1) in
+  let procs =
+    [|
+      (fun _ ->
+        Sched.step (Sched.Prim "x");
+        seen := Sched.current_proc ());
+    |]
+  in
+  ignore (Sched.World.run w Sched.Strategy.round_robin procs);
+  check Alcotest.int "current_proc" 0 !seen
+
+let test_step_outside_scheduler_is_noop () =
+  (* Recovery code calls machine primitives outside any run. *)
+  Sched.step (Sched.Prim "outside");
+  check Alcotest.int "proc 0 by convention" 0 (Sched.current_proc ());
+  check Alcotest.bool "not in scheduler" false (Sched.in_scheduler ())
+
+let test_steps_counted () =
+  let w = Sched.World.create () in
+  let cell = ref 0 in
+  ignore
+    (Sched.World.run w Sched.Strategy.round_robin
+       [| (fun _ -> set cell 1) |]);
+  (* one Prim step + final resume to completion *)
+  check Alcotest.int "steps" 2 (Sched.World.steps_taken w)
+
+(* {1 Determinism} *)
+
+let interleaving seed =
+  let w = Sched.World.create ~trace_log:true () in
+  let cell = ref 0 in
+  let procs =
+    Array.init 3 (fun _ ->
+        fun _ ->
+          for _ = 1 to 5 do
+            set cell (get cell + 1)
+          done)
+  in
+  ignore (Sched.World.run w (Sched.Strategy.random ~seed) procs);
+  (!cell, Sched.World.trace w)
+
+let test_random_schedule_deterministic () =
+  let v1, t1 = interleaving 123 in
+  let v2, t2 = interleaving 123 in
+  check Alcotest.int "same result" v1 v2;
+  check Alcotest.bool "same trace" true (t1 = t2)
+
+let test_random_seeds_differ () =
+  (* With racy increments, different interleavings lose different updates;
+     at least the traces must differ. *)
+  let _, t1 = interleaving 1 in
+  let _, t2 = interleaving 5 in
+  check Alcotest.bool "different traces" true (t1 <> t2)
+
+let test_round_robin_is_fair () =
+  let w = Sched.World.create ~trace_log:true () in
+  let procs =
+    Array.init 2 (fun _ ->
+        fun _ ->
+          Sched.step (Sched.Prim "a");
+          Sched.step (Sched.Prim "b"))
+  in
+  ignore (Sched.World.run w Sched.Strategy.round_robin procs);
+  let trace = Sched.World.trace w in
+  let procs_seq = List.map fst trace in
+  (* strict alternation 0 1 0 1 ... *)
+  check Alcotest.(list int) "alternating" [ 0; 1; 0; 1; 0; 1 ] procs_seq
+
+(* {1 Racy counter: lost updates are observable} *)
+
+let test_interleaving_can_lose_updates () =
+  (* Find a seed where the racy read-modify-write loses an update — the
+     scheduler must be able to produce such interleavings. *)
+  let exists_lost =
+    List.exists
+      (fun seed ->
+        let v, _ = interleaving seed in
+        v < 15)
+      (List.init 50 Fun.id)
+  in
+  check Alcotest.bool "some schedule loses updates" true exists_lost
+
+let test_sequential_script_loses_nothing () =
+  let w = Sched.World.create () in
+  let cell = ref 0 in
+  let procs =
+    Array.init 3 (fun _ ->
+        fun _ ->
+          for _ = 1 to 5 do
+            set cell (get cell + 1)
+          done)
+  in
+  let strategy =
+    Sched.Strategy.script
+      [
+        Sched.Strategy.Run_to_completion 0;
+        Sched.Strategy.Run_to_completion 1;
+        Sched.Strategy.Run_to_completion 2;
+      ]
+  in
+  ignore (Sched.World.run w strategy procs);
+  check Alcotest.int "sequential runs keep all updates" 15 !cell
+
+(* {1 Scripts and breakpoints} *)
+
+let test_run_until_pauses_before_label () =
+  let w = Sched.World.create () in
+  let reached = ref false in
+  let procs =
+    [|
+      (fun _ ->
+        Sched.step (Sched.Prim "first");
+        Sched.step (Sched.Custom "target");
+        reached := true);
+    |]
+  in
+  let strategy =
+    Sched.Strategy.script
+      ~fallback:(fun _ -> Sched.Strategy.Stop "parked")
+      [ Sched.Strategy.Run_until (0, fun l -> l = Sched.Custom "target") ]
+  in
+  let outcome = Sched.World.run w strategy procs in
+  check Alcotest.bool "stopped" true
+    (outcome = Sched.World.Stopped "parked");
+  check Alcotest.bool "target instruction did not execute" false !reached
+
+let test_run_steps_exact () =
+  let w = Sched.World.create () in
+  let count = ref 0 in
+  let procs =
+    [|
+      (fun _ ->
+        for _ = 1 to 10 do
+          Sched.step (Sched.Prim "tick");
+          incr count
+        done);
+    |]
+  in
+  let strategy =
+    Sched.Strategy.script
+      ~fallback:(fun _ -> Sched.Strategy.Stop "done")
+      [ Sched.Strategy.Run_steps (0, 3) ]
+  in
+  ignore (Sched.World.run w strategy procs);
+  (* 3 scheduling steps: start (pauses at first tick), then 2 ticks run. *)
+  check Alcotest.int "exactly 2 increments" 2 !count
+
+let test_return_point_breakpoint () =
+  let w = Sched.World.create () in
+  let returned = ref false in
+  let procs =
+    [|
+      (fun _ ->
+        Sched.step (Sched.Prim "work");
+        Sched.step Sched.Return_point;
+        returned := true);
+    |]
+  in
+  let strategy =
+    Sched.Strategy.script
+      ~fallback:(fun _ -> Sched.Strategy.Stop "parked")
+      [ Sched.Strategy.run_until_return 0 ]
+  in
+  ignore (Sched.World.run w strategy procs);
+  check Alcotest.bool "parked before returning" false !returned
+
+let test_script_skips_finished_procs () =
+  let w = Sched.World.create () in
+  let order = ref [] in
+  let procs =
+    Array.init 2 (fun _ ->
+        fun p ->
+          Sched.step (Sched.Prim "x");
+          order := p :: !order)
+  in
+  let strategy =
+    Sched.Strategy.script
+      [
+        Sched.Strategy.Run_to_completion 0;
+        Sched.Strategy.Run_to_completion 0;  (* already finished: skipped *)
+        Sched.Strategy.Run_to_completion 1;
+      ]
+  in
+  let outcome = Sched.World.run w strategy procs in
+  check Alcotest.bool "completed" true (outcome = Sched.World.Completed);
+  check Alcotest.(list int) "both ran" [ 1; 0 ] !order
+
+(* {1 Crashes} *)
+
+let test_crash_kills_and_fires_hooks () =
+  let w = Sched.World.create () in
+  let hook_fired = ref false in
+  Sched.World.on_crash w (fun () -> hook_fired := true);
+  let survived = ref false in
+  let procs =
+    [|
+      (fun _ ->
+        Sched.step (Sched.Prim "a");
+        Sched.step (Sched.Prim "b");
+        survived := true);
+    |]
+  in
+  let strategy =
+    Sched.Strategy.script
+      [ Sched.Strategy.Run_steps (0, 1); Sched.Strategy.Crash_here ]
+  in
+  let outcome = Sched.World.run w strategy procs in
+  check Alcotest.bool "crashed" true (outcome = Sched.World.Crashed);
+  check Alcotest.bool "hook fired" true !hook_fired;
+  check Alcotest.bool "continuation discarded" false !survived
+
+let test_crash_hooks_persist_across_runs () =
+  let w = Sched.World.create () in
+  let crashes = ref 0 in
+  Sched.World.on_crash w (fun () -> incr crashes);
+  let proc = [| (fun _ -> Sched.step (Sched.Prim "x")) |] in
+  (* scripts are single-use (they consume their command list) *)
+  let crash_now () = Sched.Strategy.script [ Sched.Strategy.Crash_here ] in
+  ignore (Sched.World.run w (crash_now ()) proc);
+  ignore (Sched.World.run w (crash_now ()) proc);
+  check Alcotest.int "hook fired per crash" 2 !crashes
+
+let test_random_with_crash () =
+  let w = Sched.World.create () in
+  let procs =
+    Array.init 2 (fun _ ->
+        fun _ ->
+          for _ = 1 to 100 do
+            Sched.step (Sched.Prim "x")
+          done)
+  in
+  let outcome =
+    Sched.World.run w
+      (Sched.Strategy.random_with_crash ~seed:3 ~crash_at_step:10)
+      procs
+  in
+  check Alcotest.bool "crashed" true (outcome = Sched.World.Crashed);
+  check Alcotest.int "crashed at step 10" 10 (Sched.World.steps_taken w)
+
+let test_crash_before_completion_beats_completion () =
+  let w = Sched.World.create () in
+  let procs = [| (fun _ -> ()) |] in
+  (* crash_at_step 0: crash before anything runs *)
+  let outcome =
+    Sched.World.run w
+      (Sched.Strategy.random_with_crash ~seed:1 ~crash_at_step:0)
+      procs
+  in
+  check Alcotest.bool "crashed immediately" true
+    (outcome = Sched.World.Crashed)
+
+(* {1 PCT} *)
+
+let test_pct_deterministic () =
+  let run seed =
+    let w = Sched.World.create ~trace_log:true () in
+    let cell = ref 0 in
+    let procs =
+      Array.init 3 (fun _ ->
+          fun _ ->
+            for _ = 1 to 4 do
+              set cell (get cell + 1)
+            done)
+    in
+    ignore
+      (Sched.World.run w
+         (Sched.Strategy.pct ~seed ~depth:3 ~expected_steps:30)
+         procs);
+    (!cell, Sched.World.trace w)
+  in
+  check Alcotest.bool "same seed, same run" true (run 7 = run 7);
+  check Alcotest.bool "different seeds differ" true (run 1 <> run 9)
+
+let test_pct_completes () =
+  let w = Sched.World.create () in
+  let cell = ref 0 in
+  let procs =
+    Array.init 4 (fun _ -> fun _ -> set cell (get cell + 1))
+  in
+  let outcome =
+    Sched.World.run w
+      (Sched.Strategy.pct ~seed:3 ~depth:2 ~expected_steps:10)
+      procs
+  in
+  check Alcotest.bool "completed" true (outcome = Sched.World.Completed)
+
+let test_pct_finds_ordering_bug () =
+  (* The racy increment loses an update only if a preemption lands between
+     a get and the following set. PCT with depth 2 must find such a
+     schedule within a few seeds. *)
+  let found = ref false in
+  for seed = 1 to 30 do
+    let w = Sched.World.create () in
+    let cell = ref 0 in
+    let procs =
+      Array.init 2 (fun _ -> fun _ -> set cell (get cell + 1))
+    in
+    ignore
+      (Sched.World.run w
+         (Sched.Strategy.pct ~seed ~depth:2 ~expected_steps:8)
+         procs);
+    if !cell < 2 then found := true
+  done;
+  check Alcotest.bool "pct found the lost update" true !found
+
+(* {1 Livelock detection} *)
+
+let test_stuck_raises () =
+  let w = Sched.World.create () in
+  let flag = ref false in
+  let procs =
+    [|
+      (fun _ ->
+        while not (get flag) do
+          Sched.step (Sched.Prim "spin")
+        done);
+    |]
+  in
+  check Alcotest.bool "raises Stuck" true
+    (match Sched.World.run ~max_steps:1000 w Sched.Strategy.round_robin procs
+     with
+    | exception Sched.Stuck _ -> true
+    | _ -> false)
+
+(* {1 Exceptions from processes} *)
+
+exception Boom
+
+let test_proc_exception_propagates () =
+  let w = Sched.World.create () in
+  let procs =
+    Array.init 2 (fun i ->
+        fun _ ->
+          Sched.step (Sched.Prim "x");
+          if i = 0 then raise Boom;
+          Sched.step (Sched.Prim "y"))
+  in
+  check Alcotest.bool "exception escapes run" true
+    (match Sched.World.run w Sched.Strategy.round_robin procs with
+    | exception Boom -> true
+    | _ -> false);
+  (* The world must remain usable for a fresh run. *)
+  let outcome =
+    Sched.World.run w Sched.Strategy.round_robin [| (fun _ -> ()) |]
+  in
+  check Alcotest.bool "world reusable" true (outcome = Sched.World.Completed)
+
+(* {1 Trace log} *)
+
+let test_trace_records_performed_labels () =
+  let w = Sched.World.create ~trace_log:true () in
+  let procs =
+    [|
+      (fun _ ->
+        Sched.step (Sched.Prim "alpha");
+        Sched.step (Sched.Prim "beta"));
+    |]
+  in
+  ignore (Sched.World.run w Sched.Strategy.round_robin procs);
+  let labels = List.map (fun (_, l) -> Sched.label_to_string l) (Sched.World.trace w) in
+  check Alcotest.(list string) "start, then performed labels"
+    [ "start"; "alpha"; "beta" ] labels
+
+let test_trace_empty_without_flag () =
+  let w = Sched.World.create () in
+  ignore
+    (Sched.World.run w Sched.Strategy.round_robin
+       [| (fun _ -> Sched.step (Sched.Prim "x")) |]);
+  check Alcotest.int "no trace" 0 (List.length (Sched.World.trace w))
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "single proc" `Quick test_single_proc_completes;
+          Alcotest.test_case "proc ids" `Quick test_proc_receives_own_id;
+          Alcotest.test_case "current_proc" `Quick test_current_proc_inside;
+          Alcotest.test_case "outside scheduler" `Quick
+            test_step_outside_scheduler_is_noop;
+          Alcotest.test_case "steps counted" `Quick test_steps_counted;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed same run" `Quick
+            test_random_schedule_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_random_seeds_differ;
+          Alcotest.test_case "round robin fair" `Quick test_round_robin_is_fair;
+          Alcotest.test_case "lost updates exist" `Quick
+            test_interleaving_can_lose_updates;
+          Alcotest.test_case "sequential keeps all" `Quick
+            test_sequential_script_loses_nothing;
+        ] );
+      ( "scripts",
+        [
+          Alcotest.test_case "run_until pauses before" `Quick
+            test_run_until_pauses_before_label;
+          Alcotest.test_case "run_steps exact" `Quick test_run_steps_exact;
+          Alcotest.test_case "return point" `Quick test_return_point_breakpoint;
+          Alcotest.test_case "skips finished" `Quick
+            test_script_skips_finished_procs;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "kills and hooks" `Quick
+            test_crash_kills_and_fires_hooks;
+          Alcotest.test_case "hooks persist" `Quick
+            test_crash_hooks_persist_across_runs;
+          Alcotest.test_case "random with crash" `Quick test_random_with_crash;
+          Alcotest.test_case "crash at step 0" `Quick
+            test_crash_before_completion_beats_completion;
+        ] );
+      ( "pct",
+        [
+          Alcotest.test_case "deterministic" `Quick test_pct_deterministic;
+          Alcotest.test_case "completes" `Quick test_pct_completes;
+          Alcotest.test_case "finds ordering bug" `Quick
+            test_pct_finds_ordering_bug;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "stuck raises" `Quick test_stuck_raises;
+          Alcotest.test_case "proc exception" `Quick
+            test_proc_exception_propagates;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "records labels" `Quick
+            test_trace_records_performed_labels;
+          Alcotest.test_case "off by default" `Quick
+            test_trace_empty_without_flag;
+        ] );
+    ]

@@ -1,0 +1,304 @@
+(** Conformance suite for {!Onll_core.Trace_intf.S}: the same behavioural
+    contract checked against both implementations — the paper's lock-free
+    backward-linked trace and the Kogan–Petrank-style wait-free trace. Any
+    future trace implementation should pass this suite before being plugged
+    into [Onll.Make_generic]. *)
+
+open Onll_machine
+open Onll_sched
+
+let check = Alcotest.check
+
+module type FACTORY = sig
+  val name : string
+
+  module Make (M : Machine_sig.S) : Onll_core.Trace_intf.S
+end
+
+module Suite (F : FACTORY) = struct
+  let test_base_and_indices () =
+    let sim = Sim.create ~max_processes:4 () in
+    let module M = (val Sim.machine sim) in
+    let module T = F.Make (M) in
+    let t = T.create ~base_idx:7 ~base_state:"base" in
+    check Alcotest.bool "base" true (T.base_of t = (7, "base"));
+    let n1 = T.insert t "a" in
+    let n2 = T.insert t "b" in
+    check Alcotest.int "dense from base" 8 (T.idx n1);
+    check Alcotest.int "dense" 9 (T.idx n2)
+
+  let test_availability_lifecycle () =
+    let sim = Sim.create ~max_processes:4 () in
+    let module M = (val Sim.machine sim) in
+    let module T = F.Make (M) in
+    let t = T.create ~base_idx:0 ~base_state:() in
+    let n = T.insert t "x" in
+    check Alcotest.bool "fresh unavailable" false (T.is_available n);
+    T.set_available n;
+    check Alcotest.bool "available after set" true (T.is_available n)
+
+  let test_latest_available_out_of_order () =
+    let sim = Sim.create ~max_processes:4 () in
+    let module M = (val Sim.machine sim) in
+    let module T = F.Make (M) in
+    let t = T.create ~base_idx:0 ~base_state:() in
+    let n1 = T.insert t "a" in
+    let n3top =
+      let _ = T.insert t "b" in
+      T.insert t "c"
+    in
+    check Alcotest.int "sentinel rules" 0 (T.idx (T.latest_available t));
+    T.set_available n1;
+    check Alcotest.int "n1" 1 (T.idx (T.latest_available t));
+    (* flags can be set out of order *)
+    T.set_available n3top;
+    check Alcotest.int "n3 wins" 3 (T.idx (T.latest_available t))
+
+  let test_fuzzy_contiguous_newest_first () =
+    let sim = Sim.create ~max_processes:4 () in
+    let module M = (val Sim.machine sim) in
+    let module T = F.Make (M) in
+    let t = T.create ~base_idx:0 ~base_state:() in
+    let n1 = T.insert t "a" in
+    let _ = T.insert t "b" in
+    let n3 = T.insert t "c" in
+    check Alcotest.(list string) "full window" [ "c"; "b"; "a" ]
+      (T.fuzzy_envs t n3);
+    T.set_available n1;
+    check Alcotest.(list string) "window shrinks" [ "c"; "b" ]
+      (T.fuzzy_envs t n3)
+
+  let test_fuzzy_shielded_still_covers_node () =
+    (* Figure 2 continuity: an available node above the target shields
+       nothing the persist step needs beyond the target itself. Whatever
+       each implementation returns, it must be non-empty, contiguous,
+       newest-first, and headed by the target's envelope. *)
+    let sim = Sim.create ~max_processes:4 () in
+    let module M = (val Sim.machine sim) in
+    let module T = F.Make (M) in
+    let t = T.create ~base_idx:0 ~base_state:() in
+    let n1 = T.insert t "a" in
+    let n2 = T.insert t "b" in
+    T.set_available n2;
+    let w = T.fuzzy_envs t n1 in
+    check Alcotest.bool "non-empty" true (w <> []);
+    check Alcotest.string "headed by the target" "a" (List.hd w)
+
+  let test_delta_replay () =
+    let sim = Sim.create ~max_processes:4 () in
+    let module M = (val Sim.machine sim) in
+    let module T = F.Make (M) in
+    let t = T.create ~base_idx:0 ~base_state:"S" in
+    let _ = T.insert t "a" in
+    let _ = T.insert t "b" in
+    let n3 = T.insert t "c" in
+    let base, delta = T.delta_from t n3 in
+    check Alcotest.string "base" "S" base;
+    check
+      Alcotest.(list (pair int string))
+      "ascending delta"
+      [ (1, "a"); (2, "b"); (3, "c") ]
+      delta
+
+  let test_delta_with_floor () =
+    let sim = Sim.create ~max_processes:4 () in
+    let module M = (val Sim.machine sim) in
+    let module T = F.Make (M) in
+    let t = T.create ~base_idx:0 ~base_state:"S" in
+    let n1 = T.insert t "a" in
+    T.set_available n1;  (* floors must be available nodes *)
+    let _ = T.insert t "b" in
+    let n3 = T.insert t "c" in
+    let base, delta = T.delta_from ~floor:(n1, "cached") t n3 in
+    check Alcotest.string "floor state" "cached" base;
+    check
+      Alcotest.(list (pair int string))
+      "only newer" [ (2, "b"); (3, "c") ] delta;
+    (* an unusable floor (newer than the target) is ignored *)
+    let n4 = T.insert t "d" in
+    T.set_available n4;
+    let base, delta = T.delta_from ~floor:(n4, "newer") t n3 in
+    check Alcotest.string "fallback to base" "S" base;
+    check Alcotest.int "full delta" 3 (List.length delta)
+
+  let test_to_list () =
+    let sim = Sim.create ~max_processes:4 () in
+    let module M = (val Sim.machine sim) in
+    let module T = F.Make (M) in
+    let t = T.create ~base_idx:0 ~base_state:() in
+    let n1 = T.insert t "a" in
+    let _ = T.insert t "b" in
+    T.set_available n1;
+    check
+      Alcotest.(list (triple int bool (option string)))
+      "oldest first"
+      [ (0, true, None); (1, true, Some "a"); (2, false, Some "b") ]
+      (T.to_list t)
+
+  let test_concurrent_inserts () =
+    for seed = 1 to 8 do
+      let sim = Sim.create ~max_processes:3 () in
+      let module M = (val Sim.machine sim) in
+      let module T = F.Make (M) in
+      let t = T.create ~base_idx:0 ~base_state:() in
+      let procs =
+        Array.init 3 (fun p ->
+            fun _ ->
+              for k = 0 to 3 do
+                let n = T.insert t (Printf.sprintf "p%d.%d" p k) in
+                T.set_available n
+              done)
+      in
+      let outcome = Sim.run sim (Sched.Strategy.random ~seed) procs in
+      check Alcotest.bool "completed" true (outcome = Sched.World.Completed);
+      let nodes = T.to_list t in
+      check Alcotest.int "12 ops + sentinel" 13 (List.length nodes);
+      List.iteri
+        (fun i (idx, _, _) -> check Alcotest.int "dense" i idx)
+        nodes;
+      let envs =
+        List.filter_map (fun (_, _, e) -> e) nodes |> List.sort compare
+      in
+      check Alcotest.int "all distinct ops present" 12
+        (List.length (List.sort_uniq compare envs))
+    done
+
+  let tests =
+    [
+      Alcotest.test_case (F.name ^ ": base and indices") `Quick
+        test_base_and_indices;
+      Alcotest.test_case (F.name ^ ": availability") `Quick
+        test_availability_lifecycle;
+      Alcotest.test_case (F.name ^ ": latest available") `Quick
+        test_latest_available_out_of_order;
+      Alcotest.test_case (F.name ^ ": fuzzy window") `Quick
+        test_fuzzy_contiguous_newest_first;
+      Alcotest.test_case (F.name ^ ": fuzzy shielded") `Quick
+        test_fuzzy_shielded_still_covers_node;
+      Alcotest.test_case (F.name ^ ": delta replay") `Quick test_delta_replay;
+      Alcotest.test_case (F.name ^ ": delta floor") `Quick
+        test_delta_with_floor;
+      Alcotest.test_case (F.name ^ ": to_list") `Quick test_to_list;
+      Alcotest.test_case (F.name ^ ": concurrent inserts") `Quick
+        test_concurrent_inserts;
+    ]
+end
+
+module Backward_suite = Suite (struct
+  let name = "backward"
+
+  module Make = Onll_core.Trace_adapter.Backward
+end)
+
+module Wf_suite = Suite (struct
+  let name = "wait-free"
+
+  module Make = Onll_core.Wf_trace.Make
+end)
+
+(* {1 Model-based properties}
+
+   A trace is, logically, just the list of inserted envelopes plus a set of
+   available indices. Replay a random command sequence against both the
+   implementation and that trivial model and compare every observation. *)
+
+module Props (F : FACTORY) = struct
+  let qcheck = QCheck_alcotest.to_alcotest
+
+  let prop_matches_model =
+    qcheck
+      (QCheck.Test.make
+         ~name:(F.name ^ " trace matches the list model")
+         ~count:120 QCheck.small_nat
+         (fun seed ->
+           let rng = Onll_util.Splitmix.create seed in
+           let sim = Sim.create ~max_processes:1 () in
+           let module M = (val Sim.machine sim) in
+           let module T = F.Make (M) in
+           let t = T.create ~base_idx:0 ~base_state:"B" in
+           (* model: envelopes by index; available set *)
+           let envs = ref [] in  (* newest first: (idx, env) *)
+           let avail = ref [ 0 ] in
+           let nodes = Hashtbl.create 16 in
+           let ok = ref true in
+           let expect name c = if not c then (ok := false; ignore name) in
+           for step = 1 to 25 do
+             match Onll_util.Splitmix.int rng 4 with
+             | 0 | 1 ->
+                 (* insert *)
+                 let e = Printf.sprintf "e%d" step in
+                 let n = T.insert t e in
+                 let idx = List.length !envs + 1 in
+                 expect "idx" (T.idx n = idx);
+                 envs := (idx, e) :: !envs;
+                 Hashtbl.replace nodes idx n
+             | 2 ->
+                 (* make a random unavailable node available *)
+                 let unavailable =
+                   Hashtbl.fold
+                     (fun i n acc ->
+                       if T.is_available n then acc else (i, n) :: acc)
+                     nodes []
+                 in
+                 if unavailable <> [] then begin
+                   let _, n = Onll_util.Splitmix.pick rng unavailable in
+                   T.set_available n;
+                   avail := T.idx n :: !avail
+                 end
+             | _ ->
+                 (* observations *)
+                 let latest = T.latest_available t in
+                 let model_latest =
+                   List.fold_left max 0 !avail
+                 in
+                 expect "latest available" (T.idx latest = model_latest);
+                 let base, delta =
+                   match Hashtbl.fold (fun i n acc ->
+                             match acc with
+                             | Some (j, _) when j >= i -> acc
+                             | _ -> Some (i, n)) nodes None
+                   with
+                   | Some (_, newest) -> T.delta_from t newest
+                   | None -> T.delta_from t latest
+                 in
+                 expect "base" (base = "B");
+                 let model_delta =
+                   List.rev !envs
+                 in
+                 (* delta from the newest node covers everything *)
+                 if Hashtbl.length nodes > 0 then
+                   expect "delta replay" (delta = model_delta)
+           done;
+           (* final full check *)
+           let listing = T.to_list t in
+           let model_listing =
+             (0, true, None)
+             :: List.rev_map
+                  (fun (i, e) -> (i, List.mem i !avail, Some e))
+                  !envs
+           in
+           expect "to_list" (listing = model_listing);
+           !ok))
+
+  let tests = [ prop_matches_model ]
+end
+
+module Backward_props = Props (struct
+  let name = "backward"
+
+  module Make = Onll_core.Trace_adapter.Backward
+end)
+
+module Wf_props = Props (struct
+  let name = "wait-free"
+
+  module Make = Onll_core.Wf_trace.Make
+end)
+
+let () =
+  Alcotest.run "trace-conformance"
+    [
+      ("backward (Listing 2)", Backward_suite.tests);
+      ("wait-free (Kogan-Petrank)", Wf_suite.tests);
+      ("model-based properties", Backward_props.tests @ Wf_props.tests);
+    ]
