@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples fuzz explore soak doc clean outputs
+.PHONY: all build test check bench examples fuzz explore soak doc clean outputs
 
 all: build test
 
@@ -9,6 +9,14 @@ build:
 
 test:
 	dune runtest
+
+# The pre-merge gate: everything compiles (including docs, where odoc is
+# available) and every test passes.
+check:
+	dune build @all
+	dune runtest
+	@command -v odoc >/dev/null 2>&1 && dune build @doc \
+	  || echo "odoc not installed; skipping doc build"
 
 bench:
 	dune exec bench/main.exe

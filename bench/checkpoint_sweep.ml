@@ -11,10 +11,13 @@ open Onll_machine
 module Cs = Onll_specs.Counter
 
 let run_one ~history ~interval =
-  let sim = Sim.create ~max_processes:1 () in
+  let sink = Onll_obs.Sink.make () in
+  let sim = Sim.create ~sink ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create ~log_capacity:(1 lsl 22) () in
+  let obj =
+    C.make { Onll_core.Onll.Config.default with log_capacity = 1 lsl 22; sink }
+  in
   for k = 1 to history do
     ignore (C.update obj Cs.Increment);
     if interval > 0 && k mod interval = 0 then begin
@@ -23,23 +26,41 @@ let run_one ~history ~interval =
     end
   done;
   let fences = M.persistent_fences () in
+  (* The attributed split must account for every machine fence: H update
+     fences plus what the checkpoints paid. *)
+  let reg = Onll_obs.Sink.registry sink in
+  let ckpt_fences = Onll_obs.Metrics.counter_value reg "fences.checkpoint" in
+  assert (
+    Onll_obs.Metrics.counter_value reg "fences.update" + ckpt_fences = fences);
   Onll_nvm.Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
   let live =
     List.fold_left (fun a (_, l, _) -> a + l) 0 (C.log_stats obj)
   in
   let (), dt = Harness.time_it (fun () -> C.recover obj) in
   assert (C.read obj Cs.Get = history);
-  (fences, live, dt *. 1e6)
+  (fences, ckpt_fences, live, dt *. 1e6)
 
 let run () =
   let history = 2_000 in
+  let summary = Onll_obs.Metrics.create () in
   let rows =
     List.map
       (fun interval ->
-        let fences, live, rec_us = run_one ~history ~interval in
+        let fences, ckpt_fences, live, rec_us = run_one ~history ~interval in
+        let g name v =
+          Onll_obs.Metrics.set
+            (Onll_obs.Metrics.gauge summary
+               (Printf.sprintf "sweep.%s.i%d" name interval))
+            v
+        in
+        g "pfences" (float_of_int fences);
+        g "ckpt_fences" (float_of_int ckpt_fences);
+        g "live_bytes" (float_of_int live);
+        g "recovery_us" rec_us;
         [
           (if interval = 0 then "none" else string_of_int interval);
           string_of_int fences;
+          string_of_int ckpt_fences;
           Onll_util.Table.fmt_float
             (float_of_int fences /. float_of_int history);
           string_of_int live;
@@ -57,8 +78,15 @@ let run () =
       [
         "interval";
         "total pfences";
+        "ckpt pfences";
         "pfences/update";
         "live log bytes";
         "recovery µs";
       ]
-    rows
+    rows;
+  let path =
+    Harness.write_snapshot ~experiment:"e11"
+      ~meta:[ ("history", string_of_int history) ]
+      summary
+  in
+  Printf.printf "snapshot: %s\n" path

@@ -53,10 +53,21 @@ let explore ~procs ~ops ~max_preemptions ~with_crashes =
   E.run ~max_preemptions ~with_crashes ~max_runs:150_000 ~mk ()
 
 let run () =
+  let summary = Onll_obs.Metrics.create () in
   let rows =
     List.map
       (fun (procs, ops, k, crashes) ->
         let s = explore ~procs ~ops ~max_preemptions:k ~with_crashes:crashes in
+        let c name v =
+          Onll_obs.Metrics.add
+            (Onll_obs.Metrics.counter summary
+               (Printf.sprintf "explore.p%d.o%d.k%d.crash%d.%s" procs ops k
+                  (if crashes then 1 else 0)
+                  name))
+            v
+        in
+        c "executions" s.E.runs;
+        c "crash_points" s.E.crashed_runs;
         [
           Printf.sprintf "%d x %d" procs ops;
           string_of_int k;
@@ -81,4 +92,6 @@ let run () =
        unless TRUNCATED)"
     ~header:
       [ "procs x ops"; "k"; "crashes"; "executions"; "crash points"; "result" ]
-    rows
+    rows;
+  let path = Harness.write_snapshot ~experiment:"e9" summary in
+  Printf.printf "snapshot: %s\n" path

@@ -2,11 +2,17 @@
 
     For every object specification and every implementation, run (a) an
     update-only phase and (b) a mixed update/read phase under a random
-    schedule, and report persistent fences per update and the extra fences
-    attributable to reads. The paper's claim: ONLL costs exactly 1 per
-    update and 0 per read; the linearize-early variant charges reads; shadow
-    paging charges 2 per update; flat combining amortises below 1 by
-    blocking; volatile pays nothing (and persists nothing). *)
+    schedule, and report persistent fences per update and per read. The
+    paper's claim: ONLL costs exactly 1 per update and 0 per read; the
+    linearize-early variant charges reads; shadow paging charges 2 per
+    update; flat combining amortises below 1 by blocking; volatile pays
+    nothing (and persists nothing).
+
+    Attribution is direct: every implementation is built over an active
+    {!Onll_obs.Sink.t} and records the invoking process's persistent-fence
+    delta around each operation into ["fences.update"]/["fences.read"]
+    (see {!Onll_obs.Opstats}), so reads are charged exactly what they
+    executed — no subtraction heuristics against the update-only phase. *)
 
 open Onll_machine
 
@@ -16,135 +22,82 @@ let mixed_updates = 10
 let mixed_reads = 10
 
 module Audit (S : Onll_core.Spec.S) = struct
-  (* Measure one implementation through closures. [setup] builds a fresh
-     machine + object and returns (sim, update p, read p). *)
-  let measure setup =
+  module R = Onll_baselines.Registry.Make (S)
+
+  let build ~gen_update ~gen_read ~seed impl =
+    let sink = Onll_obs.Sink.make () in
+    let rng = Onll_util.Splitmix.create seed in
+    match
+      R.build ~sink ~log_capacity:(1 lsl 18) ~state_capacity:(1 lsl 14)
+        ~max_processes:n_procs
+        ~gen_update:(fun () -> gen_update rng)
+        ~gen_read:(fun () -> gen_read rng)
+        impl
+    with
+    | Some h -> h
+    | None -> invalid_arg ("fence_audit: unknown implementation " ^ impl)
+
+  let per_op registry ~fences ~ops =
+    let f = Onll_obs.Metrics.counter_value registry fences in
+    let n = Onll_obs.Metrics.counter_value registry ops in
+    if n = 0 then 0. else float_of_int f /. float_of_int n
+
+  (* Measure one implementation: (pf/update, pf/read). *)
+  let measure ~gen_update ~gen_read impl =
     (* Phase U: updates only. *)
-    let sim, update, _read = setup () in
-    let body _ p _ =
-      for _ = 1 to updates_phase do
-        update p
-      done
-    in
-    Sim.reset_stats sim;
+    let h = build ~gen_update ~gen_read ~seed:1 impl in
+    let open Onll_baselines.Registry in
     let outcome =
-      Sim.run sim
+      Sim.run h.sim
         (Onll_sched.Sched.Strategy.random ~seed:11)
-        (Array.init n_procs (fun p -> body () p))
+        (Array.init n_procs (fun _ _ ->
+             for _ = 1 to updates_phase do
+               h.update ()
+             done))
     in
     assert (outcome = Onll_sched.Sched.World.Completed);
-    let pf_updates =
-      (Sim.stats sim).Onll_nvm.Memory.Stats.persistent_fences
-    in
     let per_update =
-      float_of_int pf_updates /. float_of_int (n_procs * updates_phase)
+      per_op
+        (Onll_obs.Sink.registry h.sink)
+        ~fences:"fences.update" ~ops:"ops.update"
     in
     (* Phase M: mixed, on a fresh object (so histories are comparable). *)
-    let sim, update, read = setup () in
-    let mixed p _ =
-      for k = 1 to mixed_updates + mixed_reads do
-        if k mod 2 = 0 then read p else update p
-      done
-    in
-    Sim.reset_stats sim;
+    let h = build ~gen_update ~gen_read ~seed:2 impl in
     let outcome =
-      Sim.run sim
+      Sim.run h.sim
         (Onll_sched.Sched.Strategy.random ~seed:23)
-        (Array.init n_procs (fun p -> mixed p))
+        (Array.init n_procs (fun _ _ ->
+             for k = 1 to mixed_updates + mixed_reads do
+               if k mod 2 = 0 then h.read () else h.update ()
+             done))
     in
     assert (outcome = Onll_sched.Sched.World.Completed);
-    let pf_mixed = (Sim.stats sim).Onll_nvm.Memory.Stats.persistent_fences in
-    let expected_from_updates =
-      per_update *. float_of_int (n_procs * mixed_updates)
-    in
     let per_read =
-      Float.max 0.
-        ((float_of_int pf_mixed -. expected_from_updates)
-        /. float_of_int (n_procs * mixed_reads))
+      per_op
+        (Onll_obs.Sink.registry h.sink)
+        ~fences:"fences.read" ~ops:"ops.read"
     in
     (per_update, per_read)
 
-  let rows ~gen_update ~gen_read =
-    let open Onll_util in
-    let ops seed = Splitmix.create seed in
-    let onll ~views () =
-      let sim = Sim.create ~max_processes:n_procs () in
-      let module M = (val Sim.machine sim) in
-      let module C = Onll_core.Onll.Make (M) (S) in
-      let obj = C.create ~local_views:views ~log_capacity:(1 lsl 18) () in
-      let rng = ops 1 in
-      ( sim,
-        (fun _ -> ignore (C.update obj (gen_update rng))),
-        fun _ -> ignore (C.read obj (gen_read rng)) )
-    in
-    let onll_wf () =
-      let sim = Sim.create ~max_processes:n_procs () in
-      let module M = (val Sim.machine sim) in
-      let module C = Onll_core.Onll.Make_wait_free (M) (S) in
-      let obj = C.create ~log_capacity:(1 lsl 18) () in
-      let rng = ops 6 in
-      ( sim,
-        (fun _ -> ignore (C.update obj (gen_update rng))),
-        fun _ -> ignore (C.read obj (gen_read rng)) )
-    in
-    let por () =
-      let sim = Sim.create ~max_processes:n_procs () in
-      let module M = (val Sim.machine sim) in
-      let module P = Onll_baselines.Persist_on_read.Make (M) (S) in
-      let obj = P.create ~log_capacity:(1 lsl 18) () in
-      let rng = ops 2 in
-      ( sim,
-        (fun _ -> ignore (P.update obj (gen_update rng))),
-        fun _ -> ignore (P.read obj (gen_read rng)) )
-    in
-    let shadow () =
-      let sim = Sim.create ~max_processes:n_procs () in
-      let module M = (val Sim.machine sim) in
-      let module H = Onll_baselines.Shadow.Make (M) (S) in
-      let obj = H.create ~state_capacity:(1 lsl 14) () in
-      let rng = ops 3 in
-      ( sim,
-        (fun _ -> ignore (H.update obj (gen_update rng))),
-        fun _ -> ignore (H.read obj (gen_read rng)) )
-    in
-    let fc () =
-      let sim = Sim.create ~max_processes:n_procs () in
-      let module M = (val Sim.machine sim) in
-      let module F = Onll_baselines.Flat_combining.Make (M) (S) in
-      let obj = F.create ~log_capacity:(1 lsl 18) () in
-      let rng = ops 4 in
-      ( sim,
-        (fun _ -> ignore (F.update obj (gen_update rng))),
-        fun _ -> ignore (F.read obj (gen_read rng)) )
-    in
-    let volatile () =
-      let sim = Sim.create ~max_processes:n_procs () in
-      let module M = (val Sim.machine sim) in
-      let module V = Onll_baselines.Volatile.Make (M) (S) in
-      let obj = V.create () in
-      let rng = ops 5 in
-      ( sim,
-        (fun _ -> ignore (V.update obj (gen_update rng))),
-        fun _ -> ignore (V.read obj (gen_read rng)) )
-    in
+  let rows ~summary ~gen_update ~gen_read =
     List.map
-      (fun (impl, setup) ->
-        let per_update, per_read = measure setup in
+      (fun impl ->
+        let per_update, per_read = measure ~gen_update ~gen_read impl in
+        Onll_obs.Metrics.set
+          (Onll_obs.Metrics.gauge summary
+             (Printf.sprintf "pf_update.%s.%s" S.name impl))
+          per_update;
+        Onll_obs.Metrics.set
+          (Onll_obs.Metrics.gauge summary
+             (Printf.sprintf "pf_read.%s.%s" S.name impl))
+          per_read;
         [
           S.name;
           impl;
-          Table.fmt_float per_update;
-          Table.fmt_float per_read;
+          Onll_util.Table.fmt_float per_update;
+          Onll_util.Table.fmt_float per_read;
         ])
-      [
-        ("onll", onll ~views:false);
-        ("onll+views", onll ~views:true);
-        ("onll-wait-free", onll_wf);
-        ("persist-on-read", por);
-        ("shadow", shadow);
-        ("flat-combining", fc);
-        ("volatile", volatile);
-      ]
+      Onll_baselines.Registry.names
 end
 
 let run () =
@@ -156,15 +109,21 @@ let run () =
   let module A_set = Audit (Onll_specs.Set_spec) in
   let module A_ledger = Audit (Onll_specs.Ledger) in
   let open Test_support in
+  let summary = Onll_obs.Metrics.create () in
   let rows =
-    A_counter.rows ~gen_update:Gen.Counter.update ~gen_read:Gen.Counter.read
-    @ A_register.rows ~gen_update:Gen.Register.update
+    A_counter.rows ~summary ~gen_update:Gen.Counter.update
+      ~gen_read:Gen.Counter.read
+    @ A_register.rows ~summary ~gen_update:Gen.Register.update
         ~gen_read:Gen.Register.read
-    @ A_queue.rows ~gen_update:Gen.Queue.update ~gen_read:Gen.Queue.read
-    @ A_stack.rows ~gen_update:Gen.Stack.update ~gen_read:Gen.Stack.read
-    @ A_kv.rows ~gen_update:Gen.Kv.update ~gen_read:Gen.Kv.read
-    @ A_set.rows ~gen_update:Gen.Set_g.update ~gen_read:Gen.Set_g.read
-    @ A_ledger.rows ~gen_update:Gen.Ledger.update ~gen_read:Gen.Ledger.read
+    @ A_queue.rows ~summary ~gen_update:Gen.Queue.update
+        ~gen_read:Gen.Queue.read
+    @ A_stack.rows ~summary ~gen_update:Gen.Stack.update
+        ~gen_read:Gen.Stack.read
+    @ A_kv.rows ~summary ~gen_update:Gen.Kv.update ~gen_read:Gen.Kv.read
+    @ A_set.rows ~summary ~gen_update:Gen.Set_g.update
+        ~gen_read:Gen.Set_g.read
+    @ A_ledger.rows ~summary ~gen_update:Gen.Ledger.update
+        ~gen_read:Gen.Ledger.read
   in
   Onll_util.Table.print
     ~title:
@@ -183,4 +142,14 @@ let run () =
       | _ -> ())
     rows;
   print_endline
-    "(asserted: every onll row reads exactly 1 pf/update, 0 pf/read)"
+    "(asserted: every onll row reads exactly 1 pf/update, 0 pf/read)";
+  let path =
+    Harness.write_snapshot ~experiment:"e1"
+      ~meta:
+        [
+          ("processes", string_of_int n_procs);
+          ("updates_per_proc", string_of_int updates_phase);
+        ]
+      summary
+  in
+  Printf.printf "snapshot: %s\n" path

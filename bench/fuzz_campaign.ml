@@ -83,4 +83,25 @@ let run () =
   List.iter
     (fun row -> assert (List.nth row 4 = "0"))
     rows;
-  print_endline "(asserted: zero failures in every campaign)"
+  print_endline "(asserted: zero failures in every campaign)";
+  let summary = Onll_obs.Metrics.create () in
+  List.iter
+    (fun row ->
+      match row with
+      | [ name; runs; crashes; checked; failures ] ->
+          List.iter
+            (fun (k, v) ->
+              Onll_obs.Metrics.add
+                (Onll_obs.Metrics.counter summary
+                   (Printf.sprintf "fuzz.%s.%s" name k))
+                (int_of_string v))
+            [
+              ("runs", runs);
+              ("crashed", crashes);
+              ("checked", checked);
+              ("failures", failures);
+            ]
+      | _ -> assert false)
+    rows;
+  let path = Harness.write_snapshot ~experiment:"e8" summary in
+  Printf.printf "snapshot: %s\n" path

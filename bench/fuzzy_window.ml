@@ -1,20 +1,32 @@
 (** F2 — the fuzzy window (Figure 2 / Proposition 5.2).
 
-    Across many random schedules, record the largest fuzzy window any
-    persist step observed. Proposition 5.2 bounds it by MAX-PROCESSES; the
+    Across many random schedules, record the fuzzy windows the persist
+    steps observed. Proposition 5.2 bounds them by MAX-PROCESSES; the
     table shows the bound is both respected and approached (contention
-    genuinely produces windows larger than 1). *)
+    genuinely produces windows larger than 1).
+
+    Measured through the observability layer: each object is built with an
+    active {!Onll_obs.Sink.t} shared across all schedules for a process
+    count, so the sink's ["fuzzy.window"] histogram accumulates every
+    persist-step window; its max is cross-checked against the legacy
+    {!Onll_core.Onll.CONSTRUCTION.max_fuzzy_window} accessor. *)
 
 open Onll_machine
 module Cs = Onll_specs.Counter
 
+(* Worst window across [seeds] schedules, measured both ways: the sink
+   histogram and the legacy per-object accessor. *)
 let max_window ~n ~seeds ~ops =
-  let worst = ref 0 in
+  let sink = Onll_obs.Sink.make () in
+  let worst_legacy = ref 0 in
   for seed = 1 to seeds do
-    let sim = Sim.create ~max_processes:n () in
+    let sim = Sim.create ~sink ~max_processes:n () in
     let module M = (val Sim.machine sim) in
     let module C = Onll_core.Onll.Make (M) (Cs) in
-    let obj = C.create ~log_capacity:(1 lsl 20) () in
+    let obj =
+      C.make
+        { Onll_core.Onll.Config.default with log_capacity = 1 lsl 20; sink }
+    in
     let procs =
       Array.init n (fun _ ->
           fun _ ->
@@ -24,19 +36,36 @@ let max_window ~n ~seeds ~ops =
     in
     let outcome = Sim.run sim (Onll_sched.Sched.Strategy.random ~seed) procs in
     assert (outcome = Onll_sched.Sched.World.Completed);
-    worst := max !worst (C.max_fuzzy_window obj)
+    worst_legacy := max !worst_legacy (C.max_fuzzy_window obj)
   done;
-  !worst
+  let h =
+    Onll_obs.Metrics.(
+      summary (histogram (Onll_obs.Sink.registry sink) "fuzzy.window"))
+  in
+  (* The histogram and the legacy accessor must agree on the worst case. *)
+  assert (h.Onll_obs.Metrics.hs_max = !worst_legacy);
+  h
 
 let run () =
+  let summary = Onll_obs.Metrics.create () in
   let rows =
     List.map
       (fun n ->
-        let w = max_window ~n ~seeds:40 ~ops:8 in
+        let h = max_window ~n ~seeds:40 ~ops:8 in
+        let w = h.Onll_obs.Metrics.hs_max in
         assert (w <= n);
+        let g name v =
+          Onll_obs.Metrics.set
+            (Onll_obs.Metrics.gauge summary
+               (Printf.sprintf "window.%s.n%d" name n))
+            v
+        in
+        g "max" (float_of_int w);
+        g "mean" h.Onll_obs.Metrics.hs_mean;
         [
           string_of_int n;
           string_of_int w;
+          Onll_util.Table.fmt_float h.Onll_obs.Metrics.hs_mean;
           string_of_int n;
           (if w <= n then "holds" else "VIOLATED");
         ])
@@ -44,7 +73,10 @@ let run () =
   in
   Onll_util.Table.print
     ~title:
-      "F2 — largest fuzzy window over 40 random schedules (Prop 5.2 bound: \
+      "F2 — fuzzy windows over 40 random schedules (Prop 5.2 bound: \
        MAX-PROCESSES)"
-    ~header:[ "processes"; "max window seen"; "bound"; "Prop 5.2" ]
-    rows
+    ~header:
+      [ "processes"; "max window seen"; "mean window"; "bound"; "Prop 5.2" ]
+    rows;
+  let path = Harness.write_snapshot ~experiment:"f2" summary in
+  Printf.printf "snapshot: %s\n" path

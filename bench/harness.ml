@@ -19,6 +19,24 @@ let best_of n f =
   done;
   !best
 
+(** Write a metrics snapshot for [experiment] (e.g. ["e1"]) as
+    [BENCH_<experiment>.json] in [$ONLL_BENCH_DIR] (default: the current
+    directory), through the shared {!Onll_obs.Export} JSON exporter.
+    [meta] rows are prepended to the snapshot metadata; returns the path
+    written. *)
+let write_snapshot ~experiment ?(meta = []) registry =
+  let dir =
+    match Sys.getenv_opt "ONLL_BENCH_DIR" with
+    | Some d when d <> "" -> d
+    | _ -> "."
+  in
+  let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" experiment) in
+  let json =
+    Onll_obs.Export.json ~meta:(("experiment", experiment) :: meta) registry
+  in
+  Onll_obs.Export.write_file ~path json;
+  path
+
 (** A sim-driven workload: [procs] processes, each performing
     [updates_per_proc] updates (and optionally reads) against closures that
     hide the concrete object. Returns persistent fences consumed. *)

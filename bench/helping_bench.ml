@@ -43,17 +43,17 @@ let measure ~n ~seeds ~ops =
     in
     assert (outcome = Onll_sched.Sched.World.Completed);
     total_updates := !total_updates + (n * ops);
-    worst := max !worst (C.max_fuzzy_window obj);
-    for p = 0 to n - 1 do
-      List.iter
-        (fun k ->
-          incr total_entries;
-          total_envs := !total_envs + k)
-        (C.log_ops_per_entry obj ~proc:p)
-    done;
-    total_bytes :=
-      !total_bytes
-      + List.fold_left (fun a (_, _, used) -> a + used) 0 (C.log_stats obj)
+    (* One structured snapshot replaces the three legacy introspection
+       calls (max_fuzzy_window / log_ops_per_entry / log_stats). *)
+    let snap = C.snapshot obj in
+    let open Onll_core.Onll.Snapshot in
+    worst := max !worst snap.max_fuzzy_window;
+    List.iter
+      (fun l ->
+        total_entries := !total_entries + l.entry_count;
+        total_envs := !total_envs + List.fold_left ( + ) 0 l.ops_per_entry;
+        total_bytes := !total_bytes + l.used_bytes)
+      snap.logs
   done;
   {
     avg_ops_per_entry = float_of_int !total_envs /. float_of_int !total_entries;
@@ -64,10 +64,21 @@ let measure ~n ~seeds ~ops =
 
 let run () =
   let open Onll_util in
+  let summary = Onll_obs.Metrics.create () in
   let rows =
     List.map
       (fun n ->
         let s = measure ~n ~seeds:20 ~ops:10 in
+        let g name v =
+          Onll_obs.Metrics.set
+            (Onll_obs.Metrics.gauge summary
+               (Printf.sprintf "helping.%s.n%d" name n))
+            v
+        in
+        g "envs_per_entry" s.avg_ops_per_entry;
+        g "redundancy" s.redundancy;
+        g "bytes_per_update" s.bytes_per_update;
+        g "max_window" (float_of_int s.max_window);
         [
           string_of_int n;
           Table.fmt_float s.avg_ops_per_entry;
@@ -94,4 +105,6 @@ let run () =
     rows;
   print_endline
     "(redundancy = envelopes persisted / updates executed: 1.0 means no \
-     helping occurred; the worst case is MAX-PROCESSES)"
+     helping occurred; the worst case is MAX-PROCESSES)";
+  let path = Harness.write_snapshot ~experiment:"e10" summary in
+  Printf.printf "snapshot: %s\n" path

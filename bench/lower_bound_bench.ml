@@ -7,66 +7,31 @@
     shadow paging pays two); a non-durable object shows zero (it simply is
     not durable); blocking implementations starve instead of fencing. *)
 
-open Onll_machine
 module Lb = Onll_lowerbound.Lowerbound
 module Cs = Onll_specs.Counter
+module R = Onll_baselines.Registry.Make (Cs)
 
-let setups :
-    (string * (int -> Sim.t * (int -> unit) array)) list =
-  let onll n =
-    let sim = Sim.create ~max_processes:n () in
-    let module M = (val Sim.machine sim) in
-    let module C = Onll_core.Onll.Make (M) (Cs) in
-    let obj = C.create () in
-    (sim, Array.init n (fun _ -> fun _ -> ignore (C.update obj Cs.Increment)))
-  in
-  let onll_wf n =
-    let sim = Sim.create ~max_processes:n () in
-    let module M = (val Sim.machine sim) in
-    let module C = Onll_core.Onll.Make_wait_free (M) (Cs) in
-    let obj = C.create () in
-    (sim, Array.init n (fun _ -> fun _ -> ignore (C.update obj Cs.Increment)))
-  in
-  let por n =
-    let sim = Sim.create ~max_processes:n () in
-    let module M = (val Sim.machine sim) in
-    let module P = Onll_baselines.Persist_on_read.Make (M) (Cs) in
-    let obj = P.create () in
-    (sim, Array.init n (fun _ -> fun _ -> ignore (P.update obj Cs.Increment)))
-  in
-  let shadow n =
-    let sim = Sim.create ~max_processes:n () in
-    let module M = (val Sim.machine sim) in
-    let module H = Onll_baselines.Shadow.Make (M) (Cs) in
-    let obj = H.create () in
-    (sim, Array.init n (fun _ -> fun _ -> ignore (H.update obj Cs.Increment)))
-  in
-  let fc n =
-    let sim = Sim.create ~max_processes:n () in
-    let module M = (val Sim.machine sim) in
-    let module F = Onll_baselines.Flat_combining.Make (M) (Cs) in
-    let obj = F.create () in
-    (sim, Array.init n (fun _ -> fun _ -> ignore (F.update obj Cs.Increment)))
-  in
-  let volatile n =
-    let sim = Sim.create ~max_processes:n () in
-    let module M = (val Sim.machine sim) in
-    let module V = Onll_baselines.Volatile.Make (M) (Cs) in
-    let obj = V.create () in
-    (sim, Array.init n (fun _ -> fun _ -> ignore (V.update obj Cs.Increment)))
-  in
-  [
-    ("onll", onll);
-    ("onll-wait-free", onll_wf);
-    ("persist-on-read", por);
-    ("shadow", shadow);
-    ("flat-combining", fc);
-    ("volatile", volatile);
-  ]
+(* "onll+views" is excluded: local views only change the read path, which
+   the adversary never exercises. *)
+let impls =
+  List.filter (fun i -> i <> "onll+views") Onll_baselines.Registry.names
+
+let setup impl n =
+  match
+    R.build ~max_processes:n
+      ~gen_update:(fun () -> Cs.Increment)
+      ~gen_read:(fun () -> Cs.Get)
+      impl
+  with
+  | Some h -> h
+  | None -> invalid_arg ("lower_bound_bench: unknown implementation " ^ impl)
+
+let fence_stats r =
+  let a = r.Lb.per_proc_fences in
+  (Array.fold_left min max_int a, Array.fold_left max 0 a)
 
 let fence_summary r =
-  let a = r.Lb.per_proc_fences in
-  let mn = Array.fold_left min max_int a and mx = Array.fold_left max 0 a in
+  let mn, mx = fence_stats r in
   if mn = mx then string_of_int mn else Printf.sprintf "%d..%d" mn mx
 
 let outcome_str r =
@@ -76,15 +41,34 @@ let outcome_str r =
   | Lb.Completed_early -> "completed early"
 
 let run () =
+  let summary = Onll_obs.Metrics.create () in
+  let record name r =
+    let mn, mx = fence_stats r in
+    let g suffix v =
+      Onll_obs.Metrics.set
+        (Onll_obs.Metrics.gauge summary (name ^ suffix))
+        (float_of_int v)
+    in
+    g ".pf_min" mn;
+    g ".pf_max" mx
+  in
   let rows =
     List.concat_map
-      (fun (impl, setup) ->
+      (fun impl ->
         List.map
           (fun n ->
-            let sim, procs = setup n in
-            let solo = Lb.solo_chain ~max_steps:100_000 sim ~procs in
-            let sim, procs = setup n in
-            let chain = Lb.fence_chain ~max_steps:100_000 sim ~procs in
+            let open Onll_baselines.Registry in
+            let adversary h = Array.init n (fun _ _ -> h.update ()) in
+            let h = setup impl n in
+            let solo =
+              Lb.solo_chain ~max_steps:100_000 h.sim ~procs:(adversary h)
+            in
+            let h = setup impl n in
+            let chain =
+              Lb.fence_chain ~max_steps:100_000 h.sim ~procs:(adversary h)
+            in
+            record (Printf.sprintf "solo.%s.n%d" impl n) solo;
+            record (Printf.sprintf "chain.%s.n%d" impl n) chain;
             [
               impl;
               string_of_int n;
@@ -99,7 +83,7 @@ let run () =
                  | _ -> "NO");
             ])
           [ 2; 4; 8 ])
-      setups
+      impls
   in
   Onll_util.Table.print
     ~title:
@@ -121,18 +105,16 @@ let run () =
     List.map
       (fun rounds ->
         let n = 4 in
-        let sim = Sim.create ~max_processes:n () in
-        let module M = (val Sim.machine sim) in
-        let module C = Onll_core.Onll.Make (M) (Cs) in
-        let obj = C.create () in
+        let open Onll_baselines.Registry in
+        let h = setup "onll" n in
         let procs =
-          Array.init n (fun _ ->
-              fun _ ->
-                for _ = 1 to rounds do
-                  ignore (C.update obj Cs.Increment)
-                done)
+          Array.init n (fun _ _ ->
+              for _ = 1 to rounds do
+                h.update ()
+              done)
         in
-        let r = Lb.solo_chain_rounds ~rounds sim ~procs in
+        let r = Lb.solo_chain_rounds ~rounds h.sim ~procs in
+        record (Printf.sprintf "rounds.onll.k%d" rounds) r;
         [
           string_of_int rounds;
           fence_summary r;
@@ -145,4 +127,6 @@ let run () =
     ~title:
       "E2b — k updates per process under the repeated Case 1 schedule        (onll, n = 4): k fences each"
     ~header:[ "k"; "pf per process"; "outcome"; ">=k fences each" ]
-    round_rows
+    round_rows;
+  let path = Harness.write_snapshot ~experiment:"e2" summary in
+  Printf.printf "snapshot: %s\n" path

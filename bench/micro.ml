@@ -33,14 +33,14 @@ let make_tests () =
   ignore (Onll_machine.Native.register native);
   let module T = Onll_core.Trace.Make (M) in
   let trace_insert =
-    let t = T.create ~base_idx:0 ~base_state:() in
+    let t = T.create ~base_idx:0 ~base_state:() () in
     Test.make ~name:"trace insert (uncontended)"
       (Staged.stage (fun () ->
            let n = T.insert t 0 in
            M.Tvar.set n.T.available true))
   in
   let latest_available =
-    let t = T.create ~base_idx:0 ~base_state:() in
+    let t = T.create ~base_idx:0 ~base_state:() () in
     (* a realistic fuzzy suffix: 7 unavailable nodes over an available one *)
     let n0 = T.insert t 0 in
     M.Tvar.set n0.T.available true;
@@ -56,7 +56,7 @@ let make_tests () =
     let fresh () =
       incr counter;
       P.create ~name:(Printf.sprintf "bench.plog.%d" !counter)
-        ~capacity:(1 lsl 24)
+        ~capacity:(1 lsl 24) ()
     in
     let log = ref (fresh ()) in
     let payload = "12345678payload!" in
@@ -81,11 +81,18 @@ let run () =
   let raw = Benchmark.all cfg [ clock ] (make_tests ()) in
   let results = Analyze.all ols clock raw in
   let rows = ref [] in
+  let summary = Onll_obs.Metrics.create () in
   Hashtbl.iter
     (fun name ols_result ->
       let ns =
         match Analyze.OLS.estimates ols_result with
-        | Some (x :: _) -> Onll_util.Table.fmt_float x
+        | Some (x :: _) ->
+            Onll_obs.Metrics.set
+              (Onll_obs.Metrics.gauge summary
+                 ("ns_per_op."
+                 ^ String.map (fun c -> if c = ' ' then '_' else c) name))
+              x;
+            Onll_util.Table.fmt_float x
         | Some [] | None -> "-"
       in
       rows := [ name; ns ] :: !rows)
@@ -93,4 +100,6 @@ let run () =
   Onll_util.Table.print
     ~title:"E7 — substrate micro-benchmarks (bechamel, monotonic clock)"
     ~header:[ "operation"; "ns/op" ]
-    (List.sort compare !rows)
+    (List.sort compare !rows);
+  let path = Harness.write_snapshot ~experiment:"e7" summary in
+  Printf.printf "snapshot: %s\n" path

@@ -34,7 +34,23 @@ let run () =
       (fun h -> (float_of_int h, read_ns ~views ~history:h))
       histories
   in
+  let curves =
+    [ ("onll (full replay)", curve false); ("onll+views", curve true) ]
+  in
   Onll_util.Table.series
     ~title:"E4 — read latency vs history length (ns/read, counter, 1 domain)"
-    ~x_label:"history"
-    [ ("onll (full replay)", curve false); ("onll+views", curve true) ]
+    ~x_label:"history" curves;
+  let summary = Onll_obs.Metrics.create () in
+  List.iter
+    (fun (name, points) ->
+      let tag = if name = "onll+views" then "views" else "replay" in
+      List.iter
+        (fun (h, ns) ->
+          Onll_obs.Metrics.set
+            (Onll_obs.Metrics.gauge summary
+               (Printf.sprintf "read_ns.%s.h%d" tag (int_of_float h)))
+            ns)
+        points)
+    curves;
+  let path = Harness.write_snapshot ~experiment:"e4" summary in
+  Printf.printf "snapshot: %s\n" path

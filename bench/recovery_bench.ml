@@ -4,7 +4,12 @@
     and without periodic checkpoints: wall time, live log bytes scanned, and
     the size of the rebuilt execution trace. Expected shape: without
     checkpoints everything is O(H); with a checkpoint every k updates, all
-    three collapse to O(k). *)
+    three collapse to O(k).
+
+    Each run observes its own crash/recovery through an {!Onll_obs.Sink.t}:
+    the machine emits the crash event, [recover] emits a recovery event
+    carrying the number of replayed operations, and the replay count is
+    cross-checked against the rebuilt trace size. *)
 
 open Onll_machine
 module Cs = Onll_specs.Counter
@@ -13,14 +18,18 @@ type sample = {
   recovery_ms : float;
   live_log_bytes : int;
   trace_nodes : int;
+  replayed_ops : int;  (** from the sink's ["recovery.ops"] counter *)
   value : int;
 }
 
 let run_one ~history ~checkpoint_every =
-  let sim = Sim.create ~max_processes:1 () in
+  let sink = Onll_obs.Sink.make () in
+  let sim = Sim.create ~sink ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create ~log_capacity:(1 lsl 22) () in
+  let obj =
+    C.make { Onll_core.Onll.Config.default with log_capacity = 1 lsl 22; sink }
+  in
   for k = 1 to history do
     ignore (C.update obj Cs.Increment);
     if checkpoint_every > 0 && k mod checkpoint_every = 0 then begin
@@ -30,18 +39,26 @@ let run_one ~history ~checkpoint_every =
   done;
   Onll_nvm.Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
   let live_log_bytes =
-    List.fold_left (fun a (_, l, _) -> a + l) 0 (C.log_stats obj)
+    let snap = C.snapshot obj in
+    List.fold_left
+      (fun a l -> a + l.Onll_core.Onll.Snapshot.live_bytes)
+      0 snap.Onll_core.Onll.Snapshot.logs
   in
   let (), dt = Harness.time_it (fun () -> C.recover obj) in
+  let reg = Onll_obs.Sink.registry sink in
+  assert (Onll_obs.Metrics.counter_value reg "crashes" = 1);
+  assert (Onll_obs.Metrics.counter_value reg "recoveries" = 1);
   {
     recovery_ms = dt *. 1e3;
     live_log_bytes;
     trace_nodes = List.length (C.trace_nodes obj);
+    replayed_ops = Onll_obs.Metrics.counter_value reg "recovery.ops";
     value = C.read obj Cs.Get;
   }
 
 let run () =
   let histories = [ 200; 500; 1_000; 2_000; 4_000 ] in
+  let summary = Onll_obs.Metrics.create () in
   let rows =
     List.concat_map
       (fun h ->
@@ -49,12 +66,22 @@ let run () =
           (fun (label, every) ->
             let s = run_one ~history:h ~checkpoint_every:every in
             assert (s.value = h);
+            let g name v =
+              Onll_obs.Metrics.set
+                (Onll_obs.Metrics.gauge summary
+                   (Printf.sprintf "recovery.%s.h%d.ckpt%d" name h every))
+                v
+            in
+            g "ms" s.recovery_ms;
+            g "live_bytes" (float_of_int s.live_log_bytes);
+            g "replayed_ops" (float_of_int s.replayed_ops);
             [
               string_of_int h;
               label;
               Onll_util.Table.fmt_float s.recovery_ms;
               string_of_int s.live_log_bytes;
               string_of_int s.trace_nodes;
+              string_of_int s.replayed_ops;
             ])
           [ ("none", 0); ("every 200", 200) ])
       histories
@@ -65,5 +92,7 @@ let run () =
        updates; recovered value asserted = H)"
     ~header:
       [ "history"; "checkpoints"; "recovery ms"; "live log bytes";
-        "trace nodes" ]
-    rows
+        "trace nodes"; "replayed ops" ]
+    rows;
+  let path = Harness.write_snapshot ~experiment:"e6" summary in
+  Printf.printf "snapshot: %s\n" path

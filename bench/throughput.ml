@@ -110,6 +110,21 @@ let queue_impl ~views ~domains ~fence_ns ~total_ops =
               done)));
   Harness.ops_per_sec (per * domains) (Unix.gettimeofday () -. t0)
 
+(* Record a (name, [(x, mops)]) curve family as [<prefix>.<name>.<x_tag><x>]
+   gauges in [summary]. *)
+let record_curves summary ~prefix ~x_tag curves =
+  List.iter
+    (fun (name, points) ->
+      List.iter
+        (fun (x, mops) ->
+          Onll_obs.Metrics.set
+            (Onll_obs.Metrics.gauge summary
+               (Printf.sprintf "%s.%s.%s%d" prefix name x_tag
+                  (int_of_float x)))
+            mops)
+        points)
+    curves
+
 let run_e3 () =
   let total_ops = 40_000 in
   let fence_ns = 500 in
@@ -150,7 +165,16 @@ let run_e3 () =
   in
   Onll_util.Table.series
     ~title:"E3b — queue throughput vs domains (Mops/s, ONLL, fence = 500ns)"
-    ~x_label:"domains" qcurves
+    ~x_label:"domains" qcurves;
+  let summary = Onll_obs.Metrics.create () in
+  record_curves summary ~prefix:"mops.counter" ~x_tag:"d" curves;
+  record_curves summary ~prefix:"mops.queue" ~x_tag:"d" qcurves;
+  let path =
+    Harness.write_snapshot ~experiment:"e3"
+      ~meta:[ ("fence_ns", string_of_int fence_ns) ]
+      summary
+  in
+  Printf.printf "snapshot: %s\n" path
 
 let run_e5 () =
   let total_ops = 20_000 in
@@ -175,4 +199,12 @@ let run_e5 () =
          "E5 — counter throughput vs emulated fence latency (Mops/s, %d \
           domains)"
          domains)
-    ~x_label:"fence_ns" curves
+    ~x_label:"fence_ns" curves;
+  let summary = Onll_obs.Metrics.create () in
+  record_curves summary ~prefix:"mops.counter" ~x_tag:"ns" curves;
+  let path =
+    Harness.write_snapshot ~experiment:"e5"
+      ~meta:[ ("domains", string_of_int domains) ]
+      summary
+  in
+  Printf.printf "snapshot: %s\n" path

@@ -4,6 +4,7 @@
    onll lowerbound -n 4 -i onll        run the Theorem 6.3 adversary
    onll fuzz -s counter --seeds 50     crash-fuzz campaign with the checker
    onll fences -s kv                   fence audit for one object
+   onll stats -s counter -n 4         run a workload, print a JSON snapshot
 *)
 
 open Cmdliner
@@ -20,48 +21,24 @@ let figure1_cmd =
 
 (* {1 lowerbound} *)
 
-let impl_setups n = function
-  | "onll" ->
-      let sim = Sim.create ~max_processes:n () in
-      let module M = (val Sim.machine sim) in
-      let module C = Onll_core.Onll.Make (M) (Cs) in
-      let obj = C.create () in
-      ( sim,
-        Array.init n (fun _ -> fun _ -> ignore (C.update obj Cs.Increment)) )
-  | "persist-on-read" ->
-      let sim = Sim.create ~max_processes:n () in
-      let module M = (val Sim.machine sim) in
-      let module P = Onll_baselines.Persist_on_read.Make (M) (Cs) in
-      let obj = P.create () in
-      ( sim,
-        Array.init n (fun _ -> fun _ -> ignore (P.update obj Cs.Increment)) )
-  | "shadow" ->
-      let sim = Sim.create ~max_processes:n () in
-      let module M = (val Sim.machine sim) in
-      let module H = Onll_baselines.Shadow.Make (M) (Cs) in
-      let obj = H.create () in
-      ( sim,
-        Array.init n (fun _ -> fun _ -> ignore (H.update obj Cs.Increment)) )
-  | "flat-combining" ->
-      let sim = Sim.create ~max_processes:n () in
-      let module M = (val Sim.machine sim) in
-      let module F = Onll_baselines.Flat_combining.Make (M) (Cs) in
-      let obj = F.create () in
-      ( sim,
-        Array.init n (fun _ -> fun _ -> ignore (F.update obj Cs.Increment)) )
-  | "volatile" ->
-      let sim = Sim.create ~max_processes:n () in
-      let module M = (val Sim.machine sim) in
-      let module V = Onll_baselines.Volatile.Make (M) (Cs) in
-      let obj = V.create () in
-      ( sim,
-        Array.init n (fun _ -> fun _ -> ignore (V.update obj Cs.Increment)) )
-  | other ->
-      Printf.eprintf
-        "unknown implementation %S (try onll, persist-on-read, shadow, \
-         flat-combining, volatile)\n"
-        other;
-      exit 1
+let unknown_impl other : 'a =
+  Printf.eprintf "unknown implementation %S (try %s)\n" other
+    (String.concat ", " Onll_baselines.Registry.names);
+  exit 1
+
+module R_counter = Onll_baselines.Registry.Make (Cs)
+
+let impl_setups n impl =
+  match
+    R_counter.build ~max_processes:n
+      ~gen_update:(fun () -> Cs.Increment)
+      ~gen_read:(fun () -> Cs.Get)
+      impl
+  with
+  | Some h ->
+      let open Onll_baselines.Registry in
+      (h.sim, Array.init n (fun _ -> fun _ -> h.update ()))
+  | None -> unknown_impl impl
 
 let lowerbound n impl =
   let sim, procs = impl_setups n impl in
@@ -196,6 +173,149 @@ let fences_cmd =
       & info [ "u"; "updates" ] ~docv:"N" ~doc:"updates per process")
   in
   Cmd.v (Cmd.info "fences" ~doc) Term.(const fences $ updates)
+
+(* {1 stats} *)
+
+(* One workload shape for every spec: each process performs [updates]
+   updates with a read after each one, under a seeded random schedule,
+   against an implementation built with an active sink installed in both
+   the simulated machine and the object. The sink's registry is then the
+   run's metrics snapshot. *)
+module Stats_run (S : Onll_core.Spec.S) = struct
+  module R = Onll_baselines.Registry.Make (S)
+
+  let go ~impl ~procs ~updates ~seed ~gen_update ~gen_read =
+    let sink = Onll_obs.Sink.make () in
+    let rng = Onll_util.Splitmix.create seed in
+    match
+      R.build ~sink ~max_processes:procs
+        ~gen_update:(fun () -> gen_update rng)
+        ~gen_read:(fun () -> gen_read rng)
+        impl
+    with
+    | None -> unknown_impl impl
+    | Some h ->
+        let open Onll_baselines.Registry in
+        let outcome =
+          Sim.run h.sim
+            (Onll_sched.Sched.Strategy.random ~seed)
+            (Array.init procs (fun _ ->
+                 fun _ ->
+                  for _ = 1 to updates do
+                    h.update ();
+                    h.read ()
+                  done))
+        in
+        assert (outcome = Onll_sched.Sched.World.Completed);
+        sink
+end
+
+let stats spec impl procs updates seed csv output =
+  let open Test_support in
+  let finish sink =
+    let meta =
+      [
+        ("spec", spec);
+        ("impl", impl);
+        ("processes", string_of_int procs);
+        ("updates_per_proc", string_of_int updates);
+        ("reads_per_proc", string_of_int updates);
+        ("seed", string_of_int seed);
+      ]
+    in
+    let registry = Onll_obs.Sink.registry sink in
+    let rendered =
+      if csv then Onll_obs.Export.csv ~meta registry
+      else Onll_obs.Export.json ~meta registry
+    in
+    match output with
+    | None -> print_string rendered
+    | Some path ->
+        Onll_obs.Export.write_file ~path rendered;
+        Printf.printf "wrote %s\n" path
+  in
+  match spec with
+  | "counter" ->
+      let module W = Stats_run (Onll_specs.Counter) in
+      finish
+        (W.go ~impl ~procs ~updates ~seed ~gen_update:Gen.Counter.update
+           ~gen_read:Gen.Counter.read)
+  | "register" ->
+      let module W = Stats_run (Onll_specs.Register) in
+      finish
+        (W.go ~impl ~procs ~updates ~seed ~gen_update:Gen.Register.update
+           ~gen_read:Gen.Register.read)
+  | "queue" ->
+      let module W = Stats_run (Onll_specs.Queue_spec) in
+      finish
+        (W.go ~impl ~procs ~updates ~seed ~gen_update:Gen.Queue.update
+           ~gen_read:Gen.Queue.read)
+  | "kv" ->
+      let module W = Stats_run (Onll_specs.Kv) in
+      finish
+        (W.go ~impl ~procs ~updates ~seed ~gen_update:Gen.Kv.update
+           ~gen_read:Gen.Kv.read)
+  | "stack" ->
+      let module W = Stats_run (Onll_specs.Stack_spec) in
+      finish
+        (W.go ~impl ~procs ~updates ~seed ~gen_update:Gen.Stack.update
+           ~gen_read:Gen.Stack.read)
+  | "set" ->
+      let module W = Stats_run (Onll_specs.Set_spec) in
+      finish
+        (W.go ~impl ~procs ~updates ~seed ~gen_update:Gen.Set_g.update
+           ~gen_read:Gen.Set_g.read)
+  | "ledger" ->
+      let module W = Stats_run (Onll_specs.Ledger) in
+      finish
+        (W.go ~impl ~procs ~updates ~seed ~gen_update:Gen.Ledger.update
+           ~gen_read:Gen.Ledger.read)
+  | other ->
+      Printf.eprintf
+        "unknown spec %S (try counter, register, queue, kv, stack, set, \
+         ledger)\n"
+        other;
+      exit 1
+
+let stats_cmd =
+  let doc =
+    "Run a seeded workload against an implementation with the observability \
+     sink installed, then print the metrics snapshot (JSON by default) — \
+     per-operation fence attribution, fuzzy-window histogram, machine \
+     events."
+  in
+  let spec =
+    Arg.(
+      value & opt string "counter"
+      & info [ "s"; "spec" ] ~docv:"SPEC" ~doc:"object specification")
+  in
+  let impl =
+    Arg.(
+      value & opt string "onll"
+      & info [ "i"; "impl" ] ~docv:"IMPL" ~doc:"implementation under test")
+  in
+  let procs =
+    Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"process count")
+  in
+  let updates =
+    Arg.(
+      value & opt int 25
+      & info [ "u"; "updates" ] ~docv:"N" ~doc:"updates per process")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"schedule seed")
+  in
+  let csv =
+    Arg.(value & flag & info [ "csv" ] ~doc:"emit CSV instead of JSON")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"write to FILE, not stdout")
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const stats $ spec $ impl $ procs $ updates $ seed $ csv $ output)
 
 (* {1 explore} *)
 
@@ -355,5 +475,6 @@ let () =
             lowerbound_cmd;
             fuzz_cmd;
             fences_cmd;
+            stats_cmd;
             simulate_cmd;
           ]))

@@ -40,21 +40,25 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
         (* [available] abused to mean "persistent", as in Persist_on_read *)
     logs : L.t array;
     seqs : int array;
+    ostats : Onll_obs.Opstats.t;
   }
+
+  module A = Onll_core.Attribution.Make (M)
 
   let instances = ref 0
 
-  let create ?(log_capacity = 1 lsl 16) () =
+  let create ?(log_capacity = 1 lsl 16) ?(sink = Onll_obs.Sink.null) () =
     let n = !instances in
     incr instances;
     {
-      trace = T.create ~base_idx:0 ~base_state:();
+      trace = T.create ~sink ~base_idx:0 ~base_state:() ();
       logs =
         Array.init M.max_processes (fun p ->
-            L.create
+            L.create ~sink
               ~name:(Printf.sprintf "%s.%d.broken.%d" S.name n p)
-              ~capacity:log_capacity);
+              ~capacity:log_capacity ());
       seqs = Array.make M.max_processes 0;
+      ostats = Onll_obs.Opstats.make sink;
     }
 
   let state_at node =
@@ -67,30 +71,32 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
       delta
 
   let update t op =
-    let p = M.self () in
-    let seq = t.seqs.(p) in
-    t.seqs.(p) <- seq + 1;
-    (* linearized right here — visible before it is durable *)
-    let node = T.insert t.trace { e_proc = p; e_seq = seq; e_op = op } in
-    let fuzzy = T.fuzzy_envs node in
-    let payload =
-      Onll_util.Codec.encode record_codec
-        (Ops { exec_idx = node.T.idx; envs = fuzzy })
-    in
-    L.append t.logs.(p) payload;
-    M.Tvar.set node.T.available true;
-    let _, value = state_at node in
-    M.return_point ();
-    Option.get value
+    A.attributed t.ostats Onll_obs.Opstats.update_done (fun () ->
+        let p = M.self () in
+        let seq = t.seqs.(p) in
+        t.seqs.(p) <- seq + 1;
+        (* linearized right here — visible before it is durable *)
+        let node = T.insert t.trace { e_proc = p; e_seq = seq; e_op = op } in
+        let fuzzy = T.fuzzy_envs node in
+        let payload =
+          Onll_util.Codec.encode record_codec
+            (Ops { exec_idx = node.T.idx; envs = fuzzy })
+        in
+        L.append t.logs.(p) payload;
+        M.Tvar.set node.T.available true;
+        let _, value = state_at node in
+        M.return_point ();
+        Option.get value)
 
   (* THE BUG: the reader observes the raw tail — linearized but possibly
      unpersisted operations — and neither waits nor helps. *)
   let read t rop =
-    let node = T.tail t.trace in
-    let st, _ = state_at node in
-    let v = S.read st rop in
-    M.return_point ();
-    v
+    A.attributed t.ostats Onll_obs.Opstats.read_done (fun () ->
+        let node = T.tail t.trace in
+        let st, _ = state_at node in
+        let v = S.read st rop in
+        M.return_point ();
+        v)
 
   let recover t =
     Array.iter L.recover t.logs;
@@ -108,7 +114,10 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
           (L.entries log))
       t.logs;
     let max_idx = Hashtbl.fold (fun i _ acc -> max i acc) by_idx 0 in
-    let trace = T.create ~base_idx:0 ~base_state:() in
+    let trace =
+      T.create ~sink:(Onll_obs.Opstats.sink t.ostats) ~base_idx:0
+        ~base_state:() ()
+    in
     Array.fill t.seqs 0 (Array.length t.seqs) 0;
     (let rec rebuild idx =
        if idx <= max_idx then

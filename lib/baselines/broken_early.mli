@@ -10,7 +10,7 @@
 module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) : sig
   type t
 
-  val create : ?log_capacity:int -> unit -> t
+  val create : ?log_capacity:int -> ?sink:Onll_obs.Sink.t -> unit -> t
   val update : t -> S.update_op -> S.value
 
   val read : t -> S.read_op -> S.value

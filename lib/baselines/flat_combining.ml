@@ -39,11 +39,14 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
     mutable next_idx : int;  (** owned by the lock holder *)
     mutable batches : int;  (** statistics: batches appended *)
     mutable batched_ops : int;  (** statistics: operations covered *)
+    ostats : Onll_obs.Opstats.t;
   }
+
+  module A = Onll_core.Attribution.Make (M)
 
   let instances = ref 0
 
-  let create ?(log_capacity = 1 lsl 16) () =
+  let create ?(log_capacity = 1 lsl 16) ?(sink = Onll_obs.Sink.null) () =
     let n = !instances in
     incr instances;
     {
@@ -52,13 +55,14 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
       mirror = M.Tvar.make S.initial;
       logs =
         Array.init M.max_processes (fun p ->
-            L.create
+            L.create ~sink
               ~name:(Printf.sprintf "%s.%d.fc.%d" S.name n p)
-              ~capacity:log_capacity);
+              ~capacity:log_capacity ());
       tickets = Array.make M.max_processes 0;
       next_idx = 0;
       batches = 0;
       batched_ops = 0;
+      ostats = Onll_obs.Opstats.make sink;
     }
 
   let try_lock t = M.Tvar.cas t.lock ~expected:false ~desired:true
@@ -85,6 +89,12 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
       L.append t.logs.(proc) payload;
       t.batches <- t.batches + 1;
       t.batched_ops <- t.batched_ops + List.length requests;
+      (* The combiner persisted every other announcer's operation. *)
+      if List.length requests > 1 && Onll_obs.Opstats.active t.ostats then
+        Onll_obs.Sink.emit
+          (Onll_obs.Opstats.sink t.ostats)
+          ~proc
+          (Onll_obs.Event.Help { helped = List.length requests - 1 });
       t.next_idx <- t.next_idx + List.length requests;
       (* Apply and publish: first the new state, then the results (a waiter
          returning implies the state it observed is durable). *)
@@ -103,34 +113,36 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
     end
 
   let update t op =
-    let p = M.self () in
-    let ticket = t.tickets.(p) in
-    t.tickets.(p) <- ticket + 1;
-    M.Tvar.set t.slots.(p) (Req (ticket, op));
-    let rec wait () =
-      match M.Tvar.get t.slots.(p) with
-      | Done (tk, v) when tk = ticket ->
-          M.Tvar.set t.slots.(p) Empty;
-          v
-      | Done _ | Empty | Req _ ->
-          if try_lock t then begin
-            combine t ~proc:p;
-            unlock t;
-            wait ()
-          end
-          else begin
-            M.pause ();
-            wait ()
-          end
-    in
-    let v = wait () in
-    M.return_point ();
-    v
+    A.attributed t.ostats Onll_obs.Opstats.update_done (fun () ->
+        let p = M.self () in
+        let ticket = t.tickets.(p) in
+        t.tickets.(p) <- ticket + 1;
+        M.Tvar.set t.slots.(p) (Req (ticket, op));
+        let rec wait () =
+          match M.Tvar.get t.slots.(p) with
+          | Done (tk, v) when tk = ticket ->
+              M.Tvar.set t.slots.(p) Empty;
+              v
+          | Done _ | Empty | Req _ ->
+              if try_lock t then begin
+                combine t ~proc:p;
+                unlock t;
+                wait ()
+              end
+              else begin
+                M.pause ();
+                wait ()
+              end
+        in
+        let v = wait () in
+        M.return_point ();
+        v)
 
   let read t rop =
-    let v = S.read (M.Tvar.get t.mirror) rop in
-    M.return_point ();
-    v
+    A.attributed t.ostats Onll_obs.Opstats.read_done (fun () ->
+        let v = S.read (M.Tvar.get t.mirror) rop in
+        M.return_point ();
+        v)
 
   let recover t =
     Array.iter L.recover t.logs;

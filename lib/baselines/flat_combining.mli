@@ -12,7 +12,7 @@
 module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) : sig
   type t
 
-  val create : ?log_capacity:int -> unit -> t
+  val create : ?log_capacity:int -> ?sink:Onll_obs.Sink.t -> unit -> t
 
   val update : t -> S.update_op -> S.value
   (** Announce and either combine (if the lock is free) or spin until a

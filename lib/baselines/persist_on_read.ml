@@ -43,22 +43,26 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
     logs : L.t array;
     seqs : int array;
     mutable read_fences : int;  (** reads that had to fence (statistics) *)
+    ostats : Onll_obs.Opstats.t;
   }
+
+  module A = Onll_core.Attribution.Make (M)
 
   let instances = ref 0
 
-  let create ?(log_capacity = 1 lsl 16) () =
+  let create ?(log_capacity = 1 lsl 16) ?(sink = Onll_obs.Sink.null) () =
     let n = !instances in
     incr instances;
     {
-      trace = T.create ~base_idx:0 ~base_state:();
+      trace = T.create ~sink ~base_idx:0 ~base_state:() ();
       logs =
         Array.init M.max_processes (fun p ->
-            L.create
+            L.create ~sink
               ~name:(Printf.sprintf "%s.%d.por.%d" S.name n p)
-              ~capacity:log_capacity);
+              ~capacity:log_capacity ());
       seqs = Array.make M.max_processes 0;
       read_fences = 0;
+      ostats = Onll_obs.Opstats.make sink;
     }
 
   let state_at node =
@@ -82,29 +86,32 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
     M.Tvar.set node.T.available true
 
   let update t op =
-    let p = M.self () in
-    let seq = t.seqs.(p) in
-    t.seqs.(p) <- seq + 1;
-    (* Linearize now: visible to every reader from this insertion on. *)
-    let node = T.insert t.trace { e_proc = p; e_seq = seq; e_op = op } in
-    persist_window t ~proc:p node;
-    let _, value = state_at node in
-    M.return_point ();
-    Option.get value
+    A.attributed t.ostats Onll_obs.Opstats.update_done (fun () ->
+        let p = M.self () in
+        let seq = t.seqs.(p) in
+        t.seqs.(p) <- seq + 1;
+        (* Linearize now: visible to every reader from this insertion on. *)
+        let node = T.insert t.trace { e_proc = p; e_seq = seq; e_op = op } in
+        persist_window t ~proc:p node;
+        let _, value = state_at node in
+        M.return_point ();
+        Option.get value)
 
   let read t rop =
     (* Readers observe the very tail — every inserted update is linearized.
        If that prefix is not yet durable, the reader must make it durable
-       before responding (§3.1, branch three). *)
-    let node = T.tail t.trace in
-    if not (M.Tvar.get node.T.available) then begin
-      t.read_fences <- t.read_fences + 1;
-      persist_window t ~proc:(M.self ()) node
-    end;
-    let st, _ = state_at node in
-    let v = S.read st rop in
-    M.return_point ();
-    v
+       before responding (§3.1, branch three). The helping fence lands in
+       [fences.read] — the attribution the benchmarks exist to expose. *)
+    A.attributed t.ostats Onll_obs.Opstats.read_done (fun () ->
+        let node = T.tail t.trace in
+        if not (M.Tvar.get node.T.available) then begin
+          t.read_fences <- t.read_fences + 1;
+          persist_window t ~proc:(M.self ()) node
+        end;
+        let st, _ = state_at node in
+        let v = S.read st rop in
+        M.return_point ();
+        v)
 
   let read_fences t = t.read_fences
 
@@ -124,7 +131,10 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
           (L.entries log))
       t.logs;
     let max_idx = Hashtbl.fold (fun i _ acc -> max i acc) by_idx 0 in
-    let trace = T.create ~base_idx:0 ~base_state:() in
+    let trace =
+      T.create ~sink:(Onll_obs.Opstats.sink t.ostats) ~base_idx:0
+        ~base_state:() ()
+    in
     Array.fill t.seqs 0 (Array.length t.seqs) 0;
     for idx = 1 to max_idx do
       match Hashtbl.find_opt by_idx idx with

@@ -11,7 +11,10 @@
 module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) : sig
   type t
 
-  val create : ?log_capacity:int -> unit -> t
+  val create : ?log_capacity:int -> ?sink:Onll_obs.Sink.t -> unit -> t
+  (** [sink] receives trace and log events and hosts the per-operation
+      attribution metrics — helping fences land in ["fences.read"]. *)
+
   val update : t -> S.update_op -> S.value
 
   val read : t -> S.read_op -> S.value

@@ -1,0 +1,114 @@
+(** Name-indexed construction of every benchmarked implementation.
+
+    The CLI, the lower-bound adversary and the fence audit all need "build
+    implementation [name] on a fresh simulated machine and hand me opaque
+    update/read thunks" — previously each had its own copy of the
+    six-armed match. This registry is that match, once: {!Make.build}
+    instantiates the requested implementation over a fresh {!Sim.t} (the
+    given sink installed both in the machine and in the object, so machine
+    and object events interleave on one logical clock) and hides the
+    functor plumbing behind closures. *)
+
+type handle = {
+  sim : Onll_machine.Sim.t;
+  sink : Onll_obs.Sink.t;
+  update : unit -> unit;
+      (** one update by the calling (scheduled) process *)
+  read : unit -> unit;  (** one read-only operation *)
+}
+
+let names =
+  [
+    "onll";
+    "onll+views";
+    "onll-wait-free";
+    "persist-on-read";
+    "shadow";
+    "flat-combining";
+    "volatile";
+  ]
+
+module Make (S : Onll_core.Spec.S) = struct
+  let build ?(sink = Onll_obs.Sink.null) ?(log_capacity = 1 lsl 16)
+      ?(state_capacity = 4096) ~max_processes ~gen_update ~gen_read name =
+    let fresh_sim () = Onll_machine.Sim.create ~sink ~max_processes () in
+    let onll ~local_views ~wait_free =
+      let sim = fresh_sim () in
+      let module M = (val Onll_machine.Sim.machine sim) in
+      let cfg = { Onll_core.Onll.Config.log_capacity; local_views; sink } in
+      if wait_free then begin
+        let module C = Onll_core.Onll.Make_wait_free (M) (S) in
+        let obj = C.make cfg in
+        {
+          sim;
+          sink;
+          update = (fun () -> ignore (C.update obj (gen_update ())));
+          read = (fun () -> ignore (C.read obj (gen_read ())));
+        }
+      end
+      else begin
+        let module C = Onll_core.Onll.Make (M) (S) in
+        let obj = C.make cfg in
+        {
+          sim;
+          sink;
+          update = (fun () -> ignore (C.update obj (gen_update ())));
+          read = (fun () -> ignore (C.read obj (gen_read ())));
+        }
+      end
+    in
+    match name with
+    | "onll" -> Some (onll ~local_views:false ~wait_free:false)
+    | "onll+views" -> Some (onll ~local_views:true ~wait_free:false)
+    | "onll-wait-free" | "wait-free" ->
+        Some (onll ~local_views:false ~wait_free:true)
+    | "persist-on-read" ->
+        let sim = fresh_sim () in
+        let module M = (val Onll_machine.Sim.machine sim) in
+        let module P = Persist_on_read.Make (M) (S) in
+        let obj = P.create ~log_capacity ~sink () in
+        Some
+          {
+            sim;
+            sink;
+            update = (fun () -> ignore (P.update obj (gen_update ())));
+            read = (fun () -> ignore (P.read obj (gen_read ())));
+          }
+    | "shadow" ->
+        let sim = fresh_sim () in
+        let module M = (val Onll_machine.Sim.machine sim) in
+        let module H = Shadow.Make (M) (S) in
+        let obj = H.create ~state_capacity ~sink () in
+        Some
+          {
+            sim;
+            sink;
+            update = (fun () -> ignore (H.update obj (gen_update ())));
+            read = (fun () -> ignore (H.read obj (gen_read ())));
+          }
+    | "flat-combining" ->
+        let sim = fresh_sim () in
+        let module M = (val Onll_machine.Sim.machine sim) in
+        let module F = Flat_combining.Make (M) (S) in
+        let obj = F.create ~log_capacity ~sink () in
+        Some
+          {
+            sim;
+            sink;
+            update = (fun () -> ignore (F.update obj (gen_update ())));
+            read = (fun () -> ignore (F.read obj (gen_read ())));
+          }
+    | "volatile" ->
+        let sim = fresh_sim () in
+        let module M = (val Onll_machine.Sim.machine sim) in
+        let module V = Volatile.Make (M) (S) in
+        let obj = V.create ~sink () in
+        Some
+          {
+            sim;
+            sink;
+            update = (fun () -> ignore (V.update obj (gen_update ())));
+            read = (fun () -> ignore (V.read obj (gen_read ())));
+          }
+    | _ -> None
+end

@@ -1,0 +1,36 @@
+(** Name-indexed construction of every benchmarked implementation.
+
+    One place that knows how to build ["onll"], ["onll+views"],
+    ["onll-wait-free"] (alias ["wait-free"]), ["persist-on-read"],
+    ["shadow"], ["flat-combining"] and ["volatile"] over a fresh simulated
+    machine — used by the CLI ([onll lowerbound -i], [onll stats -i]), the
+    lower-bound benchmark and the fence audit instead of per-caller copies
+    of the same match. *)
+
+type handle = {
+  sim : Onll_machine.Sim.t;
+  sink : Onll_obs.Sink.t;  (** the sink the build installed *)
+  update : unit -> unit;
+      (** one update by the calling (scheduled) process *)
+  read : unit -> unit;  (** one read-only operation *)
+}
+
+val names : string list
+(** Canonical implementation names, in report order (aliases excluded). *)
+
+module Make (S : Onll_core.Spec.S) : sig
+  val build :
+    ?sink:Onll_obs.Sink.t ->
+    ?log_capacity:int ->
+    ?state_capacity:int ->
+    max_processes:int ->
+    gen_update:(unit -> S.update_op) ->
+    gen_read:(unit -> S.read_op) ->
+    string ->
+    handle option
+  (** Build the named implementation on a fresh {!Onll_machine.Sim.t},
+      installing [sink] (default {!Onll_obs.Sink.null}) in both the machine
+      and the object. [gen_update]/[gen_read] supply the operation each
+      thunk invocation performs (close over an RNG for random workloads).
+      [None] for an unknown name — see {!names}. *)
+end

@@ -22,7 +22,10 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
     region : M.Pm.t;
     state_capacity : int;
     mutable seq : int64;  (** owned by the lock holder *)
+    ostats : Onll_obs.Opstats.t;
   }
+
+  module A = Onll_core.Attribution.Make (M)
 
   let instances = ref 0
 
@@ -35,7 +38,7 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
 
   let slot_off t which = 64 + (which * t.state_capacity)
 
-  let create ?(state_capacity = 4096) () =
+  let create ?(state_capacity = 4096) ?(sink = Onll_obs.Sink.null) () =
     let n = !instances in
     incr instances;
     {
@@ -47,6 +50,7 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
           ~size:(64 + (2 * state_capacity));
       state_capacity;
       seq = 0L;
+      ostats = Onll_obs.Opstats.make sink;
     }
 
   let acquire t =
@@ -84,19 +88,21 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
     t.seq <- seq
 
   let update t op =
-    acquire t;
-    let s = M.Tvar.get t.mirror in
-    let s', v = S.apply s op in
-    persist t s';
-    M.Tvar.set t.mirror s';
-    release t;
-    M.return_point ();
-    v
+    A.attributed t.ostats Onll_obs.Opstats.update_done (fun () ->
+        acquire t;
+        let s = M.Tvar.get t.mirror in
+        let s', v = S.apply s op in
+        persist t s';
+        M.Tvar.set t.mirror s';
+        release t;
+        M.return_point ();
+        v)
 
   let read t rop =
-    let v = S.read (M.Tvar.get t.mirror) rop in
-    M.return_point ();
-    v
+    A.attributed t.ostats Onll_obs.Opstats.read_done (fun () ->
+        let v = S.read (M.Tvar.get t.mirror) rop in
+        M.return_point ();
+        v)
 
   let read_slot t hdr =
     let seq = M.Pm.load_int64 t.region ~off:hdr in

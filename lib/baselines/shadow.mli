@@ -11,9 +11,11 @@
 module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) : sig
   type t
 
-  val create : ?state_capacity:int -> unit -> t
+  val create : ?state_capacity:int -> ?sink:Onll_obs.Sink.t -> unit -> t
   (** [state_capacity] (default 4096) bounds the encoded state size.
-      @raise Invalid_argument from [update] if the state outgrows it. *)
+      [sink] hosts the per-operation attribution metrics (updates land 2
+      in ["fences.update"]). @raise Invalid_argument from [update] if the
+      state outgrows it. *)
 
   val update : t -> S.update_op -> S.value
   val read : t -> S.read_op -> S.value

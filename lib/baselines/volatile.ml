@@ -4,24 +4,37 @@
     and the floor for fence counts. *)
 
 module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
-  type t = { state : S.state M.Tvar.t }
+  type t = { state : S.state M.Tvar.t; ostats : Onll_obs.Opstats.t }
 
-  let create () = { state = M.Tvar.make S.initial }
+  module A = Onll_core.Attribution.Make (M)
+
+  let create ?(sink = Onll_obs.Sink.null) () =
+    { state = M.Tvar.make S.initial; ostats = Onll_obs.Opstats.make sink }
 
   let update t op =
-    let rec loop () =
-      let s = M.Tvar.get t.state in
-      let s', v = S.apply s op in
-      if M.Tvar.cas t.state ~expected:s ~desired:s' then v else loop ()
-    in
-    let v = loop () in
-    M.return_point ();
-    v
+    A.attributed t.ostats Onll_obs.Opstats.update_done (fun () ->
+        let rec loop () =
+          let s = M.Tvar.get t.state in
+          let s', v = S.apply s op in
+          if M.Tvar.cas t.state ~expected:s ~desired:s' then v
+          else begin
+            if Onll_obs.Opstats.active t.ostats then
+              Onll_obs.Sink.emit
+                (Onll_obs.Opstats.sink t.ostats)
+                ~proc:(M.self ())
+                (Onll_obs.Event.Cas_retry { site = "volatile.update" });
+            loop ()
+          end
+        in
+        let v = loop () in
+        M.return_point ();
+        v)
 
   let read t rop =
-    let v = S.read (M.Tvar.get t.state) rop in
-    M.return_point ();
-    v
+    A.attributed t.ostats Onll_obs.Opstats.read_done (fun () ->
+        let v = S.read (M.Tvar.get t.state) rop in
+        M.return_point ();
+        v)
 
   (* Nothing survives a crash: recovery is reinitialisation. *)
   let recover t = M.Tvar.set t.state S.initial

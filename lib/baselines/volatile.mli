@@ -8,7 +8,7 @@
 module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) : sig
   type t
 
-  val create : unit -> t
+  val create : ?sink:Onll_obs.Sink.t -> unit -> t
   val update : t -> S.update_op -> S.value
   val read : t -> S.read_op -> S.value
 

@@ -40,22 +40,26 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
     logs : L.t array;
     seqs : int array;
     mutable reader_waits : int;  (** reads that had to spin (statistics) *)
+    ostats : Onll_obs.Opstats.t;
   }
+
+  module A = Onll_core.Attribution.Make (M)
 
   let instances = ref 0
 
-  let create ?(log_capacity = 1 lsl 16) () =
+  let create ?(log_capacity = 1 lsl 16) ?(sink = Onll_obs.Sink.null) () =
     let n = !instances in
     incr instances;
     {
-      trace = T.create ~base_idx:0 ~base_state:();
+      trace = T.create ~sink ~base_idx:0 ~base_state:() ();
       logs =
         Array.init M.max_processes (fun p ->
-            L.create
+            L.create ~sink
               ~name:(Printf.sprintf "%s.%d.wor.%d" S.name n p)
-              ~capacity:log_capacity);
+              ~capacity:log_capacity ());
       seqs = Array.make M.max_processes 0;
       reader_waits = 0;
+      ostats = Onll_obs.Opstats.make sink;
     }
 
   let state_at node =
@@ -68,36 +72,38 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
       delta
 
   let update t op =
-    let p = M.self () in
-    let seq = t.seqs.(p) in
-    t.seqs.(p) <- seq + 1;
-    (* linearize now *)
-    let node = T.insert t.trace { e_proc = p; e_seq = seq; e_op = op } in
-    let fuzzy = T.fuzzy_envs node in
-    let payload =
-      Onll_util.Codec.encode record_codec
-        (Ops { exec_idx = node.T.idx; envs = fuzzy })
-    in
-    L.append t.logs.(p) payload;
-    M.Tvar.set node.T.available true;
-    let _, value = state_at node in
-    M.return_point ();
-    Option.get value
+    A.attributed t.ostats Onll_obs.Opstats.update_done (fun () ->
+        let p = M.self () in
+        let seq = t.seqs.(p) in
+        t.seqs.(p) <- seq + 1;
+        (* linearize now *)
+        let node = T.insert t.trace { e_proc = p; e_seq = seq; e_op = op } in
+        let fuzzy = T.fuzzy_envs node in
+        let payload =
+          Onll_util.Codec.encode record_codec
+            (Ops { exec_idx = node.T.idx; envs = fuzzy })
+        in
+        L.append t.logs.(p) payload;
+        M.Tvar.set node.T.available true;
+        let _, value = state_at node in
+        M.return_point ();
+        Option.get value)
 
   (* THE COST: the reader observes the raw tail and, if its observation is
      not yet durable, spins until the responsible updater persists it. *)
   let read t rop =
-    let node = T.tail t.trace in
-    if not (M.Tvar.get node.T.available) then begin
-      t.reader_waits <- t.reader_waits + 1;
-      while not (M.Tvar.get node.T.available) do
-        M.pause ()
-      done
-    end;
-    let st, _ = state_at node in
-    let v = S.read st rop in
-    M.return_point ();
-    v
+    A.attributed t.ostats Onll_obs.Opstats.read_done (fun () ->
+        let node = T.tail t.trace in
+        if not (M.Tvar.get node.T.available) then begin
+          t.reader_waits <- t.reader_waits + 1;
+          while not (M.Tvar.get node.T.available) do
+            M.pause ()
+          done
+        end;
+        let st, _ = state_at node in
+        let v = S.read st rop in
+        M.return_point ();
+        v)
 
   let reader_waits t = t.reader_waits
 
@@ -117,7 +123,10 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
           (L.entries log))
       t.logs;
     let max_idx = Hashtbl.fold (fun i _ acc -> max i acc) by_idx 0 in
-    let trace = T.create ~base_idx:0 ~base_state:() in
+    let trace =
+      T.create ~sink:(Onll_obs.Opstats.sink t.ostats) ~base_idx:0
+        ~base_state:() ()
+    in
     Array.fill t.seqs 0 (Array.length t.seqs) 0;
     for idx = 1 to max_idx do
       match Hashtbl.find_opt by_idx idx with

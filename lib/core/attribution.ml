@@ -1,0 +1,25 @@
+(** Per-operation fence attribution, shared by every object implementation.
+
+    The paper's statements are per-operation-kind fence counts — one
+    persistent fence per update (Thm 5.1), zero per read — which raw
+    machine totals cannot express once processes run concurrently.
+    {!Make.attributed} measures the {e invoking process's} persistent-fence
+    counter around an operation body, so a process's own fences during its
+    operation are exactly attributable no matter what other processes do
+    meanwhile. *)
+
+module Make (M : Onll_machine.Machine_sig.S) = struct
+  (* [attributed ostats record f] runs [f ()], then records the caller's
+     persistent-fence delta via [record] (one of [Opstats.update_done],
+     [read_done], [checkpoint_done]). A single boolean test when [ostats]
+     has no sink. *)
+  let attributed ostats record f =
+    if Onll_obs.Opstats.active ostats then begin
+      let p = M.self () in
+      let before = M.persistent_fences_by ~proc:p in
+      let v = f () in
+      record ostats ~fences:(M.persistent_fences_by ~proc:p - before);
+      v
+    end
+    else f ()
+end

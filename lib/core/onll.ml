@@ -40,6 +40,39 @@ exception Recovery_corrupt of string
     correctness argument of Prop. 5.10 rules out for crash-consistent logs,
     so this indicates actual corruption or a bug). *)
 
+(* Construction-time knobs; see onll.mli. *)
+module Config = struct
+  type t = {
+    log_capacity : int;
+    local_views : bool;
+    sink : Onll_obs.Sink.t;
+  }
+
+  let default =
+    {
+      log_capacity = 1 lsl 16;
+      local_views = false;
+      sink = Onll_obs.Sink.null;
+    }
+end
+
+(* One-call introspection bundle; see onll.mli. *)
+module Snapshot = struct
+  type log = {
+    log_name : string;
+    live_bytes : int;
+    used_bytes : int;
+    entry_count : int;
+    ops_per_entry : int list;
+  }
+
+  type t = {
+    latest_available_idx : int;
+    max_fuzzy_window : int;
+    logs : log list;
+  }
+end
+
 (* Duplicated (condensed) from onll.mli, which carries the documentation. *)
 module type CONSTRUCTION = sig
   type state
@@ -48,7 +81,9 @@ module type CONSTRUCTION = sig
   type value
   type t
 
+  val make : Config.t -> t
   val create : ?log_capacity:int -> ?local_views:bool -> unit -> t
+  val sink : t -> Onll_obs.Sink.t
   val update : t -> update_op -> value
   val update_with_id : t -> update_op -> op_id * value
   val update_detectable : t -> seq:int -> update_op -> value
@@ -66,6 +101,7 @@ module type CONSTRUCTION = sig
   val trace_nodes : t -> (int * bool * envelope option) list
   val trace_base : t -> int * state
   val current_state : t -> state
+  val snapshot : t -> Snapshot.t
   val latest_available_idx : t -> int
   val max_fuzzy_window : t -> int
   val log_stats : t -> (string * int * int) list
@@ -172,26 +208,39 @@ module Make_generic
     mutable max_fuzzy : int;
         (** largest fuzzy window observed at any persist step (Prop 5.2
             says this never exceeds MAX-PROCESSES) *)
+    ostats : Onll_obs.Opstats.t;
+        (** per-operation fence attribution; inert without a sink *)
   }
 
   let instances = ref 0
 
-  let create ?(log_capacity = 1 lsl 16) ?(local_views = false) () =
+  let make (cfg : Config.t) =
     let n = !instances in
     incr instances;
+    let sink = cfg.Config.sink in
     {
-      trace = T.create ~base_idx:0 ~base_state:(initial_istate ());
+      trace = T.create ~sink ~base_idx:0 ~base_state:(initial_istate ()) ();
       logs =
         Array.init M.max_processes (fun p ->
-            L.create
+            L.create ~sink
               ~name:(Printf.sprintf "%s.%d.plog.%d" S.name n p)
-              ~capacity:log_capacity);
+              ~capacity:cfg.Config.log_capacity ());
       seqs = Array.make M.max_processes 0;
       views = Array.make M.max_processes None;
-      use_views = local_views;
+      use_views = cfg.Config.local_views;
       recovered = Hashtbl.create 64;
       max_fuzzy = 0;
+      ostats = Onll_obs.Opstats.make sink;
     }
+
+  let create ?(log_capacity = 1 lsl 16) ?(local_views = false) () =
+    make { Config.default with Config.log_capacity; local_views }
+
+  let sink t = Onll_obs.Opstats.sink t.ostats
+
+  module A = Attribution.Make (M)
+
+  let attributed t record f = A.attributed t.ostats record f
 
   (* State of the object at [node] (after applying node's operation), plus
      the return value of node's own operation if it contributed to the
@@ -218,12 +267,22 @@ module Make_generic
     List.fold_left (fun is (_, env) -> fst (apply_env is env)) base delta
 
   (* Listing 3. *)
-  let update_env t env =
+  let update_env_body t env =
     let node = T.insert t.trace env in
     let fuzzy = T.fuzzy_envs t.trace node in
     let fuzzy_len = List.length fuzzy in
     assert (fuzzy_len <= M.max_processes);
     if fuzzy_len > t.max_fuzzy then t.max_fuzzy <- fuzzy_len;
+    if Onll_obs.Opstats.active t.ostats then begin
+      Onll_obs.Opstats.observe_fuzzy t.ostats fuzzy_len;
+      (* A window larger than 1 means this update persisted other
+         processes' not-yet-available operations: helping. *)
+      if fuzzy_len > 1 then
+        Onll_obs.Sink.emit
+          (Onll_obs.Opstats.sink t.ostats)
+          ~proc:env.e_proc
+          (Onll_obs.Event.Help { helped = fuzzy_len - 1 })
+    end;
     let payload =
       Onll_util.Codec.encode record_codec
         (Ops { exec_idx = T.idx node; envs = fuzzy })
@@ -235,6 +294,10 @@ module Make_generic
     match value with
     | Some v -> v
     | None -> assert false  (* node's own op is always in the delta *)
+
+  let update_env t env =
+    attributed t Onll_obs.Opstats.update_done (fun () ->
+        update_env_body t env)
 
   let next_id t =
     let p = M.self () in
@@ -263,11 +326,12 @@ module Make_generic
 
   (* Listing 4. *)
   let read t rop =
-    let node = T.latest_available t.trace in
-    let state, _ = compute t node in
-    let v = S.read state.st rop in
-    M.return_point ();
-    v
+    attributed t Onll_obs.Opstats.read_done (fun () ->
+        let node = T.latest_available t.trace in
+        let state, _ = compute t node in
+        let v = S.read state.st rop in
+        M.return_point ();
+        v)
 
   (* {2 Recovery — Listing 5} *)
 
@@ -311,7 +375,9 @@ module Make_generic
               envs)
       records;
     let max_idx = Hashtbl.fold (fun i _ acc -> max i acc) by_idx base_idx in
-    let trace = T.create ~base_idx ~base_state in
+    let trace =
+      T.create ~sink:(Onll_obs.Opstats.sink t.ostats) ~base_idx ~base_state ()
+    in
     Hashtbl.reset t.recovered;
     Array.blit base_state.floors 0 t.seqs 0 M.max_processes;
     Array.fill t.views 0 (Array.length t.views) None;
@@ -334,7 +400,12 @@ module Make_generic
           if env.e_seq >= t.seqs.(env.e_proc) then
             t.seqs.(env.e_proc) <- env.e_seq + 1
     done;
-    t.trace <- trace
+    t.trace <- trace;
+    if Onll_obs.Opstats.active t.ostats then
+      Onll_obs.Sink.emit
+        (Onll_obs.Opstats.sink t.ostats)
+        ~proc:(M.self ())
+        (Onll_obs.Event.Recovery { ops = max_idx - base_idx })
 
   (* {2 Detectable execution} *)
 
@@ -362,29 +433,35 @@ module Make_generic
      appended checkpoint and one for the durable head update. Returns the
      summarised index. *)
   let checkpoint t =
-    let p = M.self () in
-    let node = T.latest_available t.trace in
-    let state = istate_at t node in
-    let upto = T.idx node in
-    let payload =
-      Onll_util.Codec.encode record_codec
-        (Checkpoint { upto_idx = upto; state })
-    in
-    L.append t.logs.(p) payload;
-    let droppable =
-      (* Our own Ops entries have increasing exec_idx, so the droppable
-         entries form a prefix. *)
-      let rec count acc = function
-        | Ops { exec_idx; _ } :: rest when exec_idx <= upto ->
-            count (acc + 1) rest
-        | Checkpoint { upto_idx; _ } :: rest when upto_idx < upto ->
-            count (acc + 1) rest
-        | _ -> acc
-      in
-      count 0 (decode_entries t.logs.(p))
-    in
-    L.set_head t.logs.(p) droppable;
-    upto
+    attributed t Onll_obs.Opstats.checkpoint_done (fun () ->
+        let p = M.self () in
+        let node = T.latest_available t.trace in
+        let state = istate_at t node in
+        let upto = T.idx node in
+        let payload =
+          Onll_util.Codec.encode record_codec
+            (Checkpoint { upto_idx = upto; state })
+        in
+        L.append t.logs.(p) payload;
+        let droppable =
+          (* Our own Ops entries have increasing exec_idx, so the droppable
+             entries form a prefix. *)
+          let rec count acc = function
+            | Ops { exec_idx; _ } :: rest when exec_idx <= upto ->
+                count (acc + 1) rest
+            | Checkpoint { upto_idx; _ } :: rest when upto_idx < upto ->
+                count (acc + 1) rest
+            | _ -> acc
+          in
+          count 0 (decode_entries t.logs.(p))
+        in
+        L.set_head t.logs.(p) droppable;
+        if Onll_obs.Opstats.active t.ostats then
+          Onll_obs.Sink.emit
+            (Onll_obs.Opstats.sink t.ostats)
+            ~proc:p
+            (Onll_obs.Event.Checkpoint { upto });
+        upto)
 
   let prune t ~below =
     T.prune t.trace ~below ~state_before:(fun node -> istate_at t node)
@@ -398,25 +475,47 @@ module Make_generic
     (i, is.st)
 
   let current_state t = (istate_at t (T.latest_available t.trace)).st
+
+  (* One durable scan per log: entries are decoded once and every derived
+     statistic (counts, sizes, helping profile) comes from that pass. *)
+  let snapshot t =
+    let logs =
+      Array.to_list t.logs
+      |> List.map (fun l ->
+             let ops_per_entry =
+               decode_entries l
+               |> List.map (function
+                    | Ops { envs; _ } -> List.length envs
+                    | Checkpoint _ -> 0)
+             in
+             {
+               Snapshot.log_name = L.name l;
+               live_bytes = L.live_bytes l;
+               used_bytes = L.used_bytes l;
+               entry_count = List.length ops_per_entry;
+               ops_per_entry;
+             })
+    in
+    {
+      Snapshot.latest_available_idx = T.idx (T.latest_available t.trace);
+      max_fuzzy_window = t.max_fuzzy;
+      logs;
+    }
+
+  (* Legacy introspection: one-line projections of {!snapshot}. *)
   let latest_available_idx t = T.idx (T.latest_available t.trace)
-
-  let log_stats t =
-    Array.to_list t.logs
-    |> List.map (fun l -> (L.name l, L.live_bytes l, L.used_bytes l))
-
-  let log_entry_counts t =
-    Array.to_list t.logs |> List.map (fun l -> L.entry_count l)
-
-  (* Operations per entry of one process's log (0 for checkpoints) —
-     exposes helping: an entry with k > 1 operations persisted k-1
-     not-yet-available operations of other processes. *)
   let max_fuzzy_window t = t.max_fuzzy
 
+  let log_stats t =
+    (snapshot t).Snapshot.logs
+    |> List.map (fun l ->
+           Snapshot.(l.log_name, l.live_bytes, l.used_bytes))
+
+  let log_entry_counts t =
+    (snapshot t).Snapshot.logs |> List.map (fun l -> l.Snapshot.entry_count)
+
   let log_ops_per_entry t ~proc =
-    decode_entries t.logs.(proc)
-    |> List.map (function
-         | Ops { envs; _ } -> List.length envs
-         | Checkpoint _ -> 0)
+    (List.nth (snapshot t).Snapshot.logs proc).Snapshot.ops_per_entry
 end
 
 (** The paper's construction: ONLL over the lock-free Listing 2 trace. *)

@@ -32,6 +32,51 @@ exception Recovery_corrupt of string
     by this implementation surviving a crash (Prop. 5.10), so it indicates
     external corruption or a bug. *)
 
+(** Construction-time configuration — the one record every instantiation's
+    {!CONSTRUCTION.make} takes. Build it by functional update of
+    {!Config.default}:
+    {[
+      C.make { Onll.Config.default with sink; local_views = true }
+    ]} *)
+module Config : sig
+  type t = {
+    log_capacity : int;  (** per-process log entries area, bytes *)
+    local_views : bool;  (** §8 read acceleration *)
+    sink : Onll_obs.Sink.t;
+        (** receives the object-layer events ([Help], [Checkpoint],
+            [Recovery], [Cas_retry], [Log_append], …) and hosts the
+            per-operation attribution metrics ([ops.update],
+            [fences.update], [fuzzy.window], …). Install the same sink in
+            the machine (e.g. [Sim.create ~sink]) to interleave machine
+            events ([Fence], [Flush], [Crash]) on one logical clock. *)
+  }
+
+  val default : t
+  (** 64 KiB logs, no local views, {!Onll_obs.Sink.null}. *)
+end
+
+(** Everything the old one-question-per-call introspection functions
+    answered, gathered by a single durable scan per log. *)
+module Snapshot : sig
+  type log = {
+    log_name : string;  (** persistent region name *)
+    live_bytes : int;
+    used_bytes : int;
+    entry_count : int;  (** valid entries from the head *)
+    ops_per_entry : int list;
+        (** operations per entry (0 for checkpoints); an entry with more
+            than one operation exposes helping *)
+  }
+
+  type t = {
+    latest_available_idx : int;
+    max_fuzzy_window : int;
+        (** largest fuzzy window observed at any persist step (Prop. 5.2
+            bounds it by the machine's [max_processes]) *)
+    logs : log list;  (** per process, in process order *)
+  }
+end
+
 (** The interface every instantiation provides. *)
 module type CONSTRUCTION = sig
   type state
@@ -43,11 +88,25 @@ module type CONSTRUCTION = sig
   (** A durable object: a transient execution trace plus one persistent log
       per process. *)
 
+  val make : Config.t -> t
+  (** Allocate a fresh object with empty per-process logs. The
+      {!Config.t.sink} is threaded through every layer the object owns —
+      its execution trace (CAS retries, helping), its persistent logs
+      (appends, compaction) and its own lifecycle events — and hosts the
+      per-operation attribution metrics; with the default null sink every
+      instrumentation point is a single boolean test. *)
+
   val create : ?log_capacity:int -> ?local_views:bool -> unit -> t
   (** Allocate a fresh object with empty per-process logs of [log_capacity]
       bytes each (default 64 KiB). [local_views] (default false) enables the
       §8 read acceleration: each process caches the state at the newest
-      operation it has observed, so computes replay only the delta. *)
+      operation it has observed, so computes replay only the delta.
+      @deprecated Thin wrapper over {!make} — new code should build a
+      {!Config.t} (the only way to install a sink). *)
+
+  val sink : t -> Onll_obs.Sink.t
+  (** The sink this object was built with ({!Onll_obs.Sink.null} unless
+      {!make} installed one). *)
 
   (** {1 Operations} *)
 
@@ -121,18 +180,27 @@ module type CONSTRUCTION = sig
   val current_state : t -> state
   (** State at the newest available operation. *)
 
+  val snapshot : t -> Snapshot.t
+  (** Every introspection statistic in one call, decoding each log once.
+      Prefer this over the per-question functions below. *)
+
   val latest_available_idx : t -> int
+  (** @deprecated [(snapshot t).latest_available_idx]. *)
+
   val max_fuzzy_window : t -> int
-  (** Largest fuzzy window observed at any persist step (Prop. 5.2 bounds
-      it by the machine's [max_processes]). *)
+  (** @deprecated [(snapshot t).max_fuzzy_window]. *)
 
   val log_stats : t -> (string * int * int) list
-  (** Per process log: (region name, live bytes, used bytes). *)
+  (** Per process log: (region name, live bytes, used bytes).
+      @deprecated Projection of {!snapshot}. *)
 
   val log_entry_counts : t -> int list
+  (** @deprecated Projection of {!snapshot}. *)
+
   val log_ops_per_entry : t -> proc:int -> int list
   (** Operations per entry of one process's log (0 for checkpoints); an
-      entry with more than one operation exposes helping. *)
+      entry with more than one operation exposes helping.
+      @deprecated Projection of {!snapshot}. *)
 end
 
 module Make_generic

@@ -29,9 +29,12 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
     | Older of ('env, 'state) node
     | Base of int * 'state
 
-  type ('env, 'state) t = { tail : ('env, 'state) node M.Tvar.t }
+  type ('env, 'state) t = {
+    tail : ('env, 'state) node M.Tvar.t;
+    tr_sink : Onll_obs.Sink.t;
+  }
 
-  let create ~base_idx ~base_state =
+  let create ?(sink = Onll_obs.Sink.null) ~base_idx ~base_state () =
     let sentinel =
       {
         env = None;
@@ -40,13 +43,16 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
         next = M.Tvar.make (Base (base_idx, base_state));
       }
     in
-    { tail = M.Tvar.make sentinel }
+    { tail = M.Tvar.make sentinel; tr_sink = sink }
 
   (* Listing 2, [insert]: assign the next execution index and CAS the node
      in at the tail. The [idx] and [next] writes happen before publication,
      so they are safe plain writes. *)
   let insert t env =
     let rec loop node =
+      if Onll_obs.Sink.active t.tr_sink then
+        Onll_obs.Sink.emit t.tr_sink ~proc:(M.self ())
+          (Onll_obs.Event.Cas_retry { site = "trace.insert" });
       let ltail = M.Tvar.get t.tail in
       node.idx <- ltail.idx + 1;
       M.Tvar.set node.next (Older ltail);

@@ -14,7 +14,14 @@ module type S = sig
   type ('env, 'state) t
   type ('env, 'state) node
 
-  val create : base_idx:int -> base_state:'state -> ('env, 'state) t
+  val create :
+    ?sink:Onll_obs.Sink.t ->
+    base_idx:int ->
+    base_state:'state ->
+    unit ->
+    ('env, 'state) t
+  (** [sink] (default {!Onll_obs.Sink.null}) receives [Cas_retry] events
+      (and, on helping traces, [Help] events). *)
 
   val insert : ('env, 'state) t -> 'env -> ('env, 'state) node
   (** Append an operation, assigning it the next execution index. *)

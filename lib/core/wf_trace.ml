@@ -54,9 +54,10 @@ module Make (M : Onll_machine.Machine_sig.S) : Trace_intf.S = struct
     state : ('env, 'state) desc M.Tvar.t array;  (* per process *)
     cursors : ('env, 'state) node array;
         (* per process: newest available node it has observed; owner-only *)
+    sink : Onll_obs.Sink.t;
   }
 
-  let create ~base_idx ~base_state =
+  let create ?(sink = Onll_obs.Sink.null) ~base_idx ~base_state () =
     let head =
       {
         env = None;
@@ -75,6 +76,7 @@ module Make (M : Onll_machine.Machine_sig.S) : Trace_intf.S = struct
         Array.init M.max_processes (fun _ ->
             M.Tvar.make { phase = 0; req = None; pending = false });
       cursors = Array.make M.max_processes head;
+      sink;
     }
 
   let idx n = n.idx
@@ -134,6 +136,9 @@ module Make (M : Onll_machine.Machine_sig.S) : Trace_intf.S = struct
                     help_finish t;
                     continue_ := false
                   end
+                  else if Onll_obs.Sink.active t.sink then
+                    Onll_obs.Sink.emit t.sink ~proc:(M.self ())
+                      (Onll_obs.Event.Cas_retry { site = "wf_trace.insert" })
               | Some _ | None -> ()
             end
         | Node _ -> help_finish t
@@ -142,9 +147,17 @@ module Make (M : Onll_machine.Machine_sig.S) : Trace_intf.S = struct
     done
 
   let help t phase =
+    let p = M.self () in
+    let helped = ref 0 in
     for q = 0 to Array.length t.state - 1 do
-      if is_pending t q phase then help_insert t q phase
-    done
+      if is_pending t q phase then begin
+        if q <> p then incr helped;
+        help_insert t q phase
+      end
+    done;
+    if !helped > 0 && Onll_obs.Sink.active t.sink then
+      Onll_obs.Sink.emit t.sink ~proc:p
+        (Onll_obs.Event.Help { helped = !helped })
 
   let insert t env =
     let p = M.self () in

@@ -7,6 +7,7 @@ type proc_slot = {
 type t = {
   max_processes : int;
   mutable fence_ns : int;
+  mutable sink : Onll_obs.Sink.t;
   slots : proc_slot array;
   next_id : int Atomic.t;
   key : int option Domain.DLS.key;
@@ -42,12 +43,13 @@ let spin iters =
   done;
   ignore (Sys.opaque_identity !x)
 
-let create ?(fence_ns = 500) ~max_processes () =
+let create ?(fence_ns = 500) ?(sink = Onll_obs.Sink.null) ~max_processes () =
   if max_processes < 1 then invalid_arg "Native.create: max_processes < 1";
   ignore (calibrate ());
   {
     max_processes;
     fence_ns;
+    sink;
     slots =
       Array.init max_processes (fun _ ->
           { pending = 0; pfences = 0; _pad = Array.make 14 0 });
@@ -74,6 +76,8 @@ let self_exn t =
 
 let fence_ns t = t.fence_ns
 let set_fence_ns t ns = t.fence_ns <- ns
+let sink t = t.sink
+let set_sink t s = t.sink <- s
 
 let persistent_fences t =
   Array.fold_left (fun acc s -> acc + s.pfences) 0 t.slots
@@ -163,6 +167,9 @@ end) : Machine_sig.S = struct
     if slot.pending > 0 then begin
       slot.pending <- 0;
       slot.pfences <- slot.pfences + 1;
+      if Onll_obs.Sink.active n.sink then
+        Onll_obs.Sink.emit n.sink ~proc:(self_exn n)
+          (Onll_obs.Event.Fence { persistent = true });
       if n.fence_ns > 0 then spin (spin_iters n.fence_ns)
     end
 

@@ -15,10 +15,14 @@
 
 type t
 
-val create : ?fence_ns:int -> max_processes:int -> unit -> t
+val create :
+  ?fence_ns:int -> ?sink:Onll_obs.Sink.t -> max_processes:int -> unit -> t
 (** [fence_ns] (default 500, roughly published NVM write-back latencies) is
     the emulated duration of a persistent fence. [fence_ns = 0] makes
-    persistent fences free (counting still happens). *)
+    persistent fences free (counting still happens). [sink] (default
+    {!Onll_obs.Sink.null}) receives [Fence] events; sinks are not
+    synchronised, so under parallel domains counts are best-effort — for
+    exact attribution use the simulated machine. *)
 
 val machine : t -> Machine_sig.t
 
@@ -33,6 +37,8 @@ val run_workers : t -> (int -> 'a) list -> 'a list
 
 val fence_ns : t -> int
 val set_fence_ns : t -> int -> unit
+val sink : t -> Onll_obs.Sink.t
+val set_sink : t -> Onll_obs.Sink.t -> unit
 val persistent_fences : t -> int
 val reset_stats : t -> unit
 

@@ -8,15 +8,16 @@ type t = {
   max_processes : int;
 }
 
-let create ?trace_log ?line_size ?(crash_policy = Crash_policy.Drop_all)
-    ~max_processes () =
-  let mem = Memory.create ?line_size ~max_processes () in
+let create ?trace_log ?line_size ?sink
+    ?(crash_policy = Crash_policy.Drop_all) ~max_processes () =
+  let mem = Memory.create ?line_size ?sink ~max_processes () in
   let world = Sched.World.create ?trace_log () in
   let t = { mem; world; policy = crash_policy; max_processes } in
   Sched.World.on_crash world (fun () -> Memory.crash mem ~policy:t.policy);
   t
 
 let memory t = t.mem
+let sink t = Memory.sink t.mem
 let world t = t.world
 let max_processes t = t.max_processes
 let set_crash_policy t p = t.policy <- p

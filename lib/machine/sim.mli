@@ -27,13 +27,16 @@ type t
 val create :
   ?trace_log:bool ->
   ?line_size:int ->
+  ?sink:Onll_obs.Sink.t ->
   ?crash_policy:Crash_policy.t ->
   max_processes:int ->
   unit ->
   t
 (** Fresh simulated machine. [crash_policy] (default [Drop_all]) governs
     what survives crashes; change it between runs with
-    {!set_crash_policy}. *)
+    {!set_crash_policy}. [sink] (default {!Onll_obs.Sink.null}) is
+    installed in the underlying memory system and receives its [Fence],
+    [Flush] and [Crash] events. *)
 
 val machine : t -> Machine_sig.t
 (** The machine module backed by this simulator. All its operations perform
@@ -41,6 +44,7 @@ val machine : t -> Machine_sig.t
     directly (recovery context, process 0). *)
 
 val memory : t -> Memory.t
+val sink : t -> Onll_obs.Sink.t
 val world : t -> Sched.World.t
 val max_processes : t -> int
 val set_crash_policy : t -> Crash_policy.t -> unit

@@ -43,6 +43,7 @@ and t = {
   max_processes : int;
   regions : (string, region) Hashtbl.t;
   pending : pending list ref array;  (* per process, newest first *)
+  mutable sink : Onll_obs.Sink.t;
   mutable s_loads : int;
   mutable s_stores : int;
   mutable s_flushes : int;
@@ -52,7 +53,7 @@ and t = {
   pf_by_proc : int array;
 }
 
-let create ?(line_size = 64) ~max_processes () =
+let create ?(line_size = 64) ?(sink = Onll_obs.Sink.null) ~max_processes () =
   if line_size < 1 then invalid_arg "Memory.create: line_size < 1";
   if max_processes < 1 then invalid_arg "Memory.create: max_processes < 1";
   {
@@ -60,6 +61,7 @@ let create ?(line_size = 64) ~max_processes () =
     max_processes;
     regions = Hashtbl.create 8;
     pending = Array.init max_processes (fun _ -> ref []);
+    sink;
     s_loads = 0;
     s_stores = 0;
     s_flushes = 0;
@@ -68,6 +70,9 @@ let create ?(line_size = 64) ~max_processes () =
     s_crashes = 0;
     pf_by_proc = Array.make max_processes 0;
   }
+
+let sink t = t.sink
+let set_sink t s = t.sink <- s
 
 let line_size t = t.line_size
 let max_processes t = t.max_processes
@@ -185,15 +190,20 @@ module Region = struct
     if len > 0 then begin
       let ls = mem.line_size in
       let first = off / ls and last = (off + len - 1) / ls in
+      let queued = ref 0 in
       for line = first to last do
         match Hashtbl.find_opt r.overlay line with
         | None -> ()  (* clean line: nothing to write back *)
         | Some b ->
             mem.s_flushes <- mem.s_flushes + 1;
+            incr queued;
             let snapshot = Bytes.copy b in
             let q = mem.pending.(proc) in
             q := { p_region = r; p_line = line; p_data = snapshot } :: !q
-      done
+      done;
+      if !queued > 0 && Onll_obs.Sink.active mem.sink then
+        Onll_obs.Sink.emit mem.sink ~proc
+          (Onll_obs.Event.Flush { lines = !queued })
     end
 
   let durable_snapshot r = Bytes.sub_string r.nvm 0 r.r_size
@@ -270,16 +280,21 @@ let fence t ~proc =
   check_proc t proc;
   t.s_fences <- t.s_fences + 1;
   let q = t.pending.(proc) in
-  match !q with
-  | [] -> ()
-  | entries ->
-      t.s_persistent_fences <- t.s_persistent_fences + 1;
-      t.pf_by_proc.(proc) <- t.pf_by_proc.(proc) + 1;
-      (* Apply in issue order (the list is newest-first). *)
-      List.iter
-        (fun p -> write_back p.p_region p.p_line p.p_data)
-        (List.rev entries);
-      q := []
+  let persistent =
+    match !q with
+    | [] -> false
+    | entries ->
+        t.s_persistent_fences <- t.s_persistent_fences + 1;
+        t.pf_by_proc.(proc) <- t.pf_by_proc.(proc) + 1;
+        (* Apply in issue order (the list is newest-first). *)
+        List.iter
+          (fun p -> write_back p.p_region p.p_line p.p_data)
+          (List.rev entries);
+        q := [];
+        true
+  in
+  if Onll_obs.Sink.active t.sink then
+    Onll_obs.Sink.emit t.sink ~proc (Onll_obs.Event.Fence { persistent })
 
 let pending_write_backs t ~proc =
   check_proc t proc;
@@ -287,6 +302,8 @@ let pending_write_backs t ~proc =
 
 let crash t ~policy =
   t.s_crashes <- t.s_crashes + 1;
+  if Onll_obs.Sink.active t.sink then
+    Onll_obs.Sink.emit t.sink ~proc:(-1) Onll_obs.Event.Crash;
   let survives =
     match policy with
     | Crash_policy.Drop_all -> fun () -> false

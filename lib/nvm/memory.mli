@@ -25,11 +25,18 @@
 
 type t
 
-val create : ?line_size:int -> max_processes:int -> unit -> t
+val create :
+  ?line_size:int -> ?sink:Onll_obs.Sink.t -> max_processes:int -> unit -> t
 (** [create ~max_processes ()] is a fresh memory system. [line_size]
     (default 64) is the cache-line granularity of flushes, write-backs and
-    crash-time line survival. @raise Invalid_argument if [line_size < 1] or
-    [max_processes < 1]. *)
+    crash-time line survival. [sink] (default {!Onll_obs.Sink.null})
+    receives structured [Fence], [Flush] and [Crash] events; with the null
+    sink every emission point is a single boolean test.
+    @raise Invalid_argument if [line_size < 1] or [max_processes < 1]. *)
+
+val sink : t -> Onll_obs.Sink.t
+val set_sink : t -> Onll_obs.Sink.t -> unit
+(** Replace the event sink (e.g. to start observing mid-experiment). *)
 
 val line_size : t -> int
 val max_processes : t -> int

@@ -1,0 +1,63 @@
+(** Structured observability events.
+
+    The vocabulary of everything the stack reports while running: the
+    machine layer emits {!Fence}, {!Flush} and {!Crash}; the persistent
+    log emits {!Log_append} and {!Log_compact}; the execution traces emit
+    {!Cas_retry} and (wait-free helping) {!Help}; the universal
+    construction emits {!Help} (persist-stage helping), {!Checkpoint} and
+    {!Recovery}. Every event carries the emitting process id and a
+    logical timestamp stamped by the {!Sink} it is delivered to, so a
+    single sink installed across components yields one totally ordered
+    event stream. *)
+
+type kind =
+  | Fence of { persistent : bool }
+      (** A fence instruction; [persistent] iff write-backs were pending. *)
+  | Flush of { lines : int }
+      (** Asynchronous write-backs issued for [lines] dirty cache lines. *)
+  | Cas_retry of { site : string }
+      (** A CAS lost a race and the operation retried, at [site]. *)
+  | Help of { helped : int }
+      (** The emitting process completed [helped] other processes' work
+          (persist-stage fuzzy-window helping, or a wait-free trace
+          insertion finished on a peer's behalf). *)
+  | Checkpoint of { upto : int }
+      (** History up to execution index [upto] was summarised (§8). *)
+  | Recovery of { ops : int }
+      (** Post-crash recovery re-installed [ops] operations. *)
+  | Crash  (** Full-system crash: all volatile state lost. *)
+  | Log_append of { log : string; bytes : int }
+      (** One single-fence append of [bytes] payload bytes to [log]. *)
+  | Log_compact of { log : string; dropped : int }
+      (** [log]'s head durably advanced past [dropped] entries. *)
+
+type t = {
+  time : int;  (** logical timestamp, unique and monotone per sink *)
+  proc : int;  (** emitting process id; [-1] for whole-system events *)
+  kind : kind;
+}
+
+let kind_label = function
+  | Fence { persistent } -> if persistent then "pfence" else "fence"
+  | Flush _ -> "flush"
+  | Cas_retry _ -> "cas_retry"
+  | Help _ -> "help"
+  | Checkpoint _ -> "checkpoint"
+  | Recovery _ -> "recovery"
+  | Crash -> "crash"
+  | Log_append _ -> "log_append"
+  | Log_compact _ -> "log_compact"
+
+let pp ppf { time; proc; kind } =
+  let p ppf = Format.fprintf ppf in
+  p ppf "@[<h>%d p%d %s" time proc (kind_label kind);
+  (match kind with
+  | Fence _ | Crash -> ()
+  | Flush { lines } -> p ppf " lines=%d" lines
+  | Cas_retry { site } -> p ppf " site=%s" site
+  | Help { helped } -> p ppf " helped=%d" helped
+  | Checkpoint { upto } -> p ppf " upto=%d" upto
+  | Recovery { ops } -> p ppf " ops=%d" ops
+  | Log_append { log; bytes } -> p ppf " log=%s bytes=%d" log bytes
+  | Log_compact { log; dropped } -> p ppf " log=%s dropped=%d" log dropped);
+  p ppf "@]"

@@ -1,0 +1,101 @@
+(** Registry exporters (see export.mli). *)
+
+let buf_add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* %.17g round-trips every float; strip a trailing "." OCaml never emits
+   but be defensive about "inf"/"nan" (not valid JSON). *)
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else if Float.is_finite f then Printf.sprintf "%.17g" f
+  else "null"
+
+let add_value b = function
+  | Metrics.Int n -> Buffer.add_string b (string_of_int n)
+  | Metrics.Float f -> Buffer.add_string b (json_float f)
+  | Metrics.Summary s ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "{ \"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d, \
+            \"mean\": %s }"
+           s.Metrics.hs_count s.hs_sum s.hs_min s.hs_max
+           (json_float s.hs_mean))
+
+let json ?(meta = []) registry =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"meta\": {";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n    ";
+      buf_add_json_string b k;
+      Buffer.add_string b ": ";
+      buf_add_json_string b v)
+    meta;
+  if meta <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "},\n  \"metrics\": {";
+  let metrics = Metrics.dump registry in
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n    ";
+      buf_add_json_string b name;
+      Buffer.add_string b ": ";
+      add_value b v)
+    metrics;
+  if metrics <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "}\n}\n";
+  Buffer.contents b
+
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let csv_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let csv ?(meta = []) registry =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "# %s=%s\n" k v))
+    meta;
+  Buffer.add_string b "metric,value\n";
+  let row name v =
+    Buffer.add_string b (Printf.sprintf "%s,%s\n" (csv_cell name) v)
+  in
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Metrics.Int n -> row name (string_of_int n)
+      | Metrics.Float f -> row name (csv_float f)
+      | Metrics.Summary s ->
+          row (name ^ ".count") (string_of_int s.Metrics.hs_count);
+          row (name ^ ".sum") (string_of_int s.hs_sum);
+          row (name ^ ".min") (string_of_int s.hs_min);
+          row (name ^ ".max") (string_of_int s.hs_max);
+          row (name ^ ".mean") (csv_float s.hs_mean))
+    (Metrics.dump registry);
+  Buffer.contents b
+
+let write_file ~path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

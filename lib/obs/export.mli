@@ -1,0 +1,28 @@
+(** Snapshot exporters: serialise a {!Metrics.t} registry.
+
+    The JSON form is the repository's canonical metrics snapshot — the
+    benchmark harness writes one [BENCH_<experiment>.json] per run and
+    [onll stats] prints one to stdout:
+
+    {v
+    {
+      "meta": { "experiment": "e1", ... },
+      "metrics": {
+        "fences.update": 300,
+        "fences.read": 0,
+        "fuzzy.window": { "count": 300, "sum": 312, "min": 1, "max": 3,
+                          "mean": 1.04 }
+      }
+    }
+    v}
+
+    Counters export as integers, gauges as numbers, histograms as
+    [{count, sum, min, max, mean}] objects. The CSV form flattens
+    histograms into [name.count], [name.sum], … rows and renders [meta]
+    as [# key=value] comment lines. *)
+
+val json : ?meta:(string * string) list -> Metrics.t -> string
+val csv : ?meta:(string * string) list -> Metrics.t -> string
+
+val write_file : path:string -> string -> unit
+(** Write [contents] to [path], truncating. *)

@@ -1,0 +1,138 @@
+(** Lightweight in-process metrics registry (see metrics.mli). *)
+
+exception Kind_mismatch of string
+
+type counter = { c_name : string; mutable c_count : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+(* Fixed log2 bucketing: bucket [i] counts observations [v] with
+   [bits v = i], i.e. bucket 0 is v <= 0, bucket 1 is v = 1, bucket 2 is
+   2..3, bucket 3 is 4..7, ... Observed values are small structural
+   quantities (fuzzy-window sizes, pending line counts), so 32 buckets
+   cover every realistic input. *)
+let histogram_buckets = 32
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+  h_buckets : int array;
+}
+
+type histogram_summary = {
+  hs_count : int;
+  hs_sum : int;
+  hs_min : int;  (** 0 when empty *)
+  hs_max : int;  (** 0 when empty *)
+  hs_mean : float;  (** 0. when empty *)
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = { table : (string, metric) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 32 }
+
+let check_name name =
+  if name = "" then invalid_arg "Metrics: empty metric name"
+
+let counter t name =
+  check_name name;
+  match Hashtbl.find_opt t.table name with
+  | Some (Counter c) -> c
+  | Some _ -> raise (Kind_mismatch name)
+  | None ->
+      let c = { c_name = name; c_count = 0 } in
+      Hashtbl.replace t.table name (Counter c);
+      c
+
+let gauge t name =
+  check_name name;
+  match Hashtbl.find_opt t.table name with
+  | Some (Gauge g) -> g
+  | Some _ -> raise (Kind_mismatch name)
+  | None ->
+      let g = { g_name = name; g_value = 0. } in
+      Hashtbl.replace t.table name (Gauge g);
+      g
+
+let histogram t name =
+  check_name name;
+  match Hashtbl.find_opt t.table name with
+  | Some (Histogram h) -> h
+  | Some _ -> raise (Kind_mismatch name)
+  | None ->
+      let h =
+        {
+          h_name = name;
+          h_count = 0;
+          h_sum = 0;
+          h_min = 0;
+          h_max = 0;
+          h_buckets = Array.make histogram_buckets 0;
+        }
+      in
+      Hashtbl.replace t.table name (Histogram h);
+      h
+
+let counter_name c = c.c_name
+let gauge_name g = g.g_name
+let histogram_name h = h.h_name
+
+let incr c = c.c_count <- c.c_count + 1
+let add c n = c.c_count <- c.c_count + n
+let count c = c.c_count
+
+let set g v = g.g_value <- v
+let value g = g.g_value
+
+let bucket_of v =
+  if v <= 0 then 0
+  else
+    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+    min (histogram_buckets - 1) (bits 0 v)
+
+let observe h v =
+  if h.h_count = 0 then begin
+    h.h_min <- v;
+    h.h_max <- v
+  end
+  else begin
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+  end;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  let b = bucket_of v in
+  h.h_buckets.(b) <- h.h_buckets.(b) + 1
+
+let summary h =
+  {
+    hs_count = h.h_count;
+    hs_sum = h.h_sum;
+    hs_min = (if h.h_count = 0 then 0 else h.h_min);
+    hs_max = (if h.h_count = 0 then 0 else h.h_max);
+    hs_mean =
+      (if h.h_count = 0 then 0.
+       else float_of_int h.h_sum /. float_of_int h.h_count);
+  }
+
+type value = Int of int | Float of float | Summary of histogram_summary
+
+let value_of = function
+  | Counter c -> Int c.c_count
+  | Gauge g -> Float g.g_value
+  | Histogram h -> Summary (summary h)
+
+let find t name = Option.map value_of (Hashtbl.find_opt t.table name)
+
+let counter_value t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Counter c) -> c.c_count
+  | Some _ | None -> 0
+
+let dump t =
+  Hashtbl.fold (fun name m acc -> (name, value_of m) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

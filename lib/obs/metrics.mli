@@ -1,0 +1,75 @@
+(** Lightweight in-process metrics registry.
+
+    A registry holds named {e counters} (monotone integers), {e gauges}
+    (last-write-wins floats) and {e histograms} (log2-bucketed integer
+    observations). Metric handles are resolved once by name
+    (get-or-create) and then updated with plain field mutations, so the
+    instrumented hot paths pay one unguarded store per update — no
+    hashing, no allocation.
+
+    Registries are {b not} thread-safe: updates are plain mutations.
+    Under the deterministic simulator ({!Onll_machine.Sim}) this is
+    exact; under the multi-domain native machine concurrent increments
+    may race and counts are approximate (documented best-effort — fence
+    accounting there uses {!Onll_machine.Native}'s own atomics). *)
+
+exception Kind_mismatch of string
+(** A metric name is already registered with a different kind. *)
+
+type t
+(** A registry: a mutable name → metric table. *)
+
+type counter
+type gauge
+type histogram
+
+type histogram_summary = {
+  hs_count : int;
+  hs_sum : int;
+  hs_min : int;  (** 0 when empty *)
+  hs_max : int;  (** 0 when empty *)
+  hs_mean : float;  (** 0. when empty *)
+}
+
+val create : unit -> t
+
+(** {1 Handles (get-or-create)} *)
+
+val counter : t -> string -> counter
+(** @raise Kind_mismatch if [name] exists with a different kind.
+    @raise Invalid_argument on the empty name. *)
+
+val gauge : t -> string -> gauge
+val histogram : t -> string -> histogram
+
+val counter_name : counter -> string
+val gauge_name : gauge -> string
+val histogram_name : histogram -> string
+
+(** {1 Updates} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val count : counter -> int
+
+val set : gauge -> float -> unit
+val value : gauge -> float
+
+val observe : histogram -> int -> unit
+val summary : histogram -> histogram_summary
+
+(** {1 Reading a registry} *)
+
+type value =
+  | Int of int  (** counter *)
+  | Float of float  (** gauge *)
+  | Summary of histogram_summary  (** histogram *)
+
+val find : t -> string -> value option
+
+val counter_value : t -> string -> int
+(** The named counter's count, or [0] if absent or not a counter —
+    convenient for assertions over snapshots. *)
+
+val dump : t -> (string * value) list
+(** Every registered metric, sorted by name. *)

@@ -1,0 +1,42 @@
+(** Per-operation attribution bundle (see opstats.mli). *)
+
+type t = {
+  o_sink : Sink.t;
+  ops_update : Metrics.counter;
+  ops_read : Metrics.counter;
+  fences_update : Metrics.counter;
+  fences_read : Metrics.counter;
+  fences_checkpoint : Metrics.counter;
+  fuzzy : Metrics.histogram;
+}
+
+let make sink =
+  (* An inactive sink gets a private throwaway registry so that handle
+     resolution never mutates the shared [Sink.null] registry (which
+     would race when objects are created from multiple domains). *)
+  let r = if Sink.active sink then Sink.registry sink else Metrics.create () in
+  {
+    o_sink = sink;
+    ops_update = Metrics.counter r "ops.update";
+    ops_read = Metrics.counter r "ops.read";
+    fences_update = Metrics.counter r "fences.update";
+    fences_read = Metrics.counter r "fences.read";
+    fences_checkpoint = Metrics.counter r "fences.checkpoint";
+    fuzzy = Metrics.histogram r "fuzzy.window";
+  }
+
+let null = make Sink.null
+
+let active t = Sink.active t.o_sink
+let sink t = t.o_sink
+
+let update_done t ~fences =
+  Metrics.incr t.ops_update;
+  Metrics.add t.fences_update fences
+
+let read_done t ~fences =
+  Metrics.incr t.ops_read;
+  Metrics.add t.fences_read fences
+
+let checkpoint_done t ~fences = Metrics.add t.fences_checkpoint fences
+let observe_fuzzy t n = Metrics.observe t.fuzzy n

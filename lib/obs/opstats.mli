@@ -1,0 +1,40 @@
+(** Per-operation metric attribution for object implementations.
+
+    The paper's claims are {e per-operation-kind} fence counts — one
+    persistent fence per {e update} (Theorem 5.1), zero per {e read} —
+    which raw machine totals cannot express. This bundle pre-resolves the
+    standard attribution metrics in a sink's registry:
+
+    - ["ops.update"], ["ops.read"] — completed operations by kind;
+    - ["fences.update"], ["fences.read"] — persistent fences executed by
+      the invoking process {e during} operations of that kind (measured
+      by the implementations as a per-process fence-counter delta around
+      the operation body, so concurrent processes never pollute each
+      other's attribution);
+    - ["fences.checkpoint"] — fences spent on §8 checkpointing;
+    - ["fuzzy.window"] — histogram of persist-stage window sizes
+      (Prop. 5.2 bounds every observation by MAX-PROCESSES).
+
+    Implementations hold one [Opstats.t] per object and guard every
+    recording with {!active}, so an object built without a sink pays a
+    single boolean test per operation. *)
+
+type t
+
+val null : t
+(** Attribution over {!Sink.null}: never records. *)
+
+val make : Sink.t -> t
+(** Resolve the attribution metrics in [sink]'s registry (a private
+    throwaway registry when [sink] is inactive). *)
+
+val active : t -> bool
+val sink : t -> Sink.t
+
+val update_done : t -> fences:int -> unit
+(** One update completed, having executed [fences] persistent fences on
+    the invoking process. *)
+
+val read_done : t -> fences:int -> unit
+val checkpoint_done : t -> fences:int -> unit
+val observe_fuzzy : t -> int -> unit

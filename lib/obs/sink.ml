@@ -1,0 +1,96 @@
+(** Event sinks (see sink.mli). *)
+
+type t = {
+  s_active : bool;
+  mutable clock : int;
+  s_registry : Metrics.t;
+  handler : (Event.t -> unit) option;
+  (* Event-derived counters, resolved once at sink construction so [emit]
+     performs no name lookups. *)
+  c_fences : Metrics.counter;
+  c_pfences : Metrics.counter;
+  c_flushes : Metrics.counter;
+  c_flush_lines : Metrics.counter;
+  c_cas_retries : Metrics.counter;
+  c_help_events : Metrics.counter;
+  c_help_ops : Metrics.counter;
+  c_checkpoints : Metrics.counter;
+  c_recoveries : Metrics.counter;
+  c_recovered_ops : Metrics.counter;
+  c_crashes : Metrics.counter;
+  c_log_appends : Metrics.counter;
+  c_log_bytes : Metrics.counter;
+  c_log_compactions : Metrics.counter;
+  c_log_dropped : Metrics.counter;
+}
+
+let build ~active ~registry ~handler =
+  {
+    s_active = active;
+    clock = 0;
+    s_registry = registry;
+    handler;
+    c_fences = Metrics.counter registry "fences.total";
+    c_pfences = Metrics.counter registry "fences.persistent";
+    c_flushes = Metrics.counter registry "flushes";
+    c_flush_lines = Metrics.counter registry "flushes.lines";
+    c_cas_retries = Metrics.counter registry "cas.retries";
+    c_help_events = Metrics.counter registry "help.events";
+    c_help_ops = Metrics.counter registry "help.ops";
+    c_checkpoints = Metrics.counter registry "checkpoints";
+    c_recoveries = Metrics.counter registry "recoveries";
+    c_recovered_ops = Metrics.counter registry "recovery.ops";
+    c_crashes = Metrics.counter registry "crashes";
+    c_log_appends = Metrics.counter registry "log.appends";
+    c_log_bytes = Metrics.counter registry "log.bytes";
+    c_log_compactions = Metrics.counter registry "log.compactions";
+    c_log_dropped = Metrics.counter registry "log.dropped_entries";
+  }
+
+let make ?registry ?handler () =
+  let registry =
+    match registry with Some r -> r | None -> Metrics.create ()
+  in
+  build ~active:true ~registry ~handler
+
+let null = build ~active:false ~registry:(Metrics.create ()) ~handler:None
+
+let active t = t.s_active
+let registry t = t.s_registry
+let now t = t.clock
+
+let emit t ~proc kind =
+  if t.s_active then begin
+    let time = t.clock in
+    t.clock <- time + 1;
+    (match kind with
+    | Event.Fence { persistent } ->
+        Metrics.incr t.c_fences;
+        if persistent then Metrics.incr t.c_pfences
+    | Event.Flush { lines } ->
+        Metrics.incr t.c_flushes;
+        Metrics.add t.c_flush_lines lines
+    | Event.Cas_retry _ -> Metrics.incr t.c_cas_retries
+    | Event.Help { helped } ->
+        Metrics.incr t.c_help_events;
+        Metrics.add t.c_help_ops helped
+    | Event.Checkpoint _ -> Metrics.incr t.c_checkpoints
+    | Event.Recovery { ops } ->
+        Metrics.incr t.c_recoveries;
+        Metrics.add t.c_recovered_ops ops
+    | Event.Crash -> Metrics.incr t.c_crashes
+    | Event.Log_append { bytes; _ } ->
+        Metrics.incr t.c_log_appends;
+        Metrics.add t.c_log_bytes bytes
+    | Event.Log_compact { dropped; _ } ->
+        Metrics.incr t.c_log_compactions;
+        Metrics.add t.c_log_dropped dropped);
+    match t.handler with
+    | Some f -> f { Event.time; proc; kind }
+    | None -> ()
+  end
+
+let recording ?registry () =
+  let events = ref [] in
+  let t = make ?registry ~handler:(fun e -> events := e :: !events) () in
+  (t, fun () -> List.rev !events)

@@ -26,6 +26,7 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
     region : M.Pm.t;
     log_name : string;
     log_capacity : int;  (* entries area bytes *)
+    sink : Onll_obs.Sink.t;
     mutable tail : int;  (* next append offset (absolute) *)
     mutable head : int;  (* first live entry offset (absolute) *)
     mutable header_seq : int64;
@@ -75,13 +76,14 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
     in
     loop head []
 
-  let create ~name ~capacity =
+  let create ?(sink = Onll_obs.Sink.null) ~name ~capacity () =
     if capacity <= 0 then invalid_arg "Plog.create: non-positive capacity";
     let region = M.Pm.create ~name ~size:(header_size + capacity) in
     {
       region;
       log_name = name;
       log_capacity = capacity;
+      sink;
       tail = header_size;
       head = header_size;
       header_seq = 0L;
@@ -105,7 +107,10 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
     M.Pm.store t.region ~off:(off + 16) payload;
     M.Pm.flush t.region ~off ~len:need;
     M.fence ();
-    t.tail <- off + need
+    t.tail <- off + need;
+    if Onll_obs.Sink.active t.sink then
+      Onll_obs.Sink.emit t.sink ~proc:(M.self ())
+        (Onll_obs.Event.Log_append { log = t.log_name; bytes = need })
 
   let entries t = List.map fst (fst (scan t t.head))
 
@@ -132,7 +137,10 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
       M.Pm.flush t.region ~off:slot ~len:slot_bytes;
       M.fence ();
       t.header_seq <- seq;
-      t.head <- new_head
+      t.head <- new_head;
+      if Onll_obs.Sink.active t.sink then
+        Onll_obs.Sink.emit t.sink ~proc:(M.self ())
+          (Onll_obs.Event.Log_compact { log = t.log_name; dropped = n })
     end
 
   let used_bytes t = t.tail - header_size

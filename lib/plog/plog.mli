@@ -29,9 +29,12 @@ exception Full
 module Make (M : Onll_machine.Machine_sig.S) : sig
   type t
 
-  val create : name:string -> capacity:int -> t
+  val create :
+    ?sink:Onll_obs.Sink.t -> name:string -> capacity:int -> unit -> t
   (** A fresh log in a new persistent region of [capacity] bytes (entries
-      area; header overhead is added on top). *)
+      area; header overhead is added on top). [sink] (default
+      {!Onll_obs.Sink.null}) receives a [Log_append] event per append and a
+      [Log_compact] event per head advance. *)
 
   val append : t -> string -> unit
   (** Append a payload and make it durable: store, flush, one fence —

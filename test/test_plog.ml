@@ -7,7 +7,7 @@ let test_append_entries_roundtrip () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module P = Onll_plog.Plog.Make (M) in
-  let log = P.create ~name:"l" ~capacity:4096 in
+  let log = P.create ~name:"l" ~capacity:4096 () in
   P.append log "alpha";
   P.append log "beta";
   P.append log "gamma";
@@ -19,7 +19,7 @@ let test_one_persistent_fence_per_append () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module P = Onll_plog.Plog.Make (M) in
-  let log = P.create ~name:"l" ~capacity:4096 in
+  let log = P.create ~name:"l" ~capacity:4096 () in
   for i = 1 to 10 do
     P.append log (Printf.sprintf "entry-%d" i);
     check Alcotest.int "fences = appends" i (M.persistent_fences ())
@@ -29,7 +29,7 @@ let test_append_durable_across_crash () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module P = Onll_plog.Plog.Make (M) in
-  let log = P.create ~name:"l" ~capacity:4096 in
+  let log = P.create ~name:"l" ~capacity:4096 () in
   P.append log "persisted";
   Onll_nvm.Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
   P.recover log;
@@ -51,7 +51,7 @@ let test_torn_append_rejected () =
   in
   let module M = (val Sim.machine sim) in
   let module P = Onll_plog.Plog.Make (M) in
-  let log = P.create ~name:"l" ~capacity:4096 in
+  let log = P.create ~name:"l" ~capacity:4096 () in
   P.append log "good";
   let strategy =
     Sched.Strategy.script
@@ -76,7 +76,7 @@ let test_unfenced_append_may_survive_persist_all () =
   in
   let module M = (val Sim.machine sim) in
   let module P = Onll_plog.Plog.Make (M) in
-  let log = P.create ~name:"l" ~capacity:4096 in
+  let log = P.create ~name:"l" ~capacity:4096 () in
   let strategy =
     Sched.Strategy.script
       [
@@ -95,7 +95,7 @@ let test_unfenced_append_lost_drop_all () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module P = Onll_plog.Plog.Make (M) in
-  let log = P.create ~name:"l" ~capacity:4096 in
+  let log = P.create ~name:"l" ~capacity:4096 () in
   let strategy =
     Sched.Strategy.script
       [ Sched.Strategy.run_until_pfence 0; Sched.Strategy.Crash_here ]
@@ -108,7 +108,7 @@ let test_full_raises () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module P = Onll_plog.Plog.Make (M) in
-  let log = P.create ~name:"l" ~capacity:64 in
+  let log = P.create ~name:"l" ~capacity:64 () in
   P.append log (String.make 40 'x');
   check Alcotest.bool "full" true
     (match P.append log (String.make 40 'y') with
@@ -119,7 +119,7 @@ let test_empty_payload_rejected () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module P = Onll_plog.Plog.Make (M) in
-  let log = P.create ~name:"l" ~capacity:64 in
+  let log = P.create ~name:"l" ~capacity:64 () in
   Alcotest.check_raises "empty payload"
     (Invalid_argument "Plog.append: empty payload") (fun () ->
       P.append log "")
@@ -128,7 +128,7 @@ let test_used_and_live_bytes () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module P = Onll_plog.Plog.Make (M) in
-  let log = P.create ~name:"l" ~capacity:4096 in
+  let log = P.create ~name:"l" ~capacity:4096 () in
   check Alcotest.int "empty used" 0 (P.used_bytes log);
   P.append log "12345";  (* 16 header + 5 *)
   check Alcotest.int "used" 21 (P.used_bytes log);
@@ -138,7 +138,7 @@ let test_set_head_compacts () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module P = Onll_plog.Plog.Make (M) in
-  let log = P.create ~name:"l" ~capacity:4096 in
+  let log = P.create ~name:"l" ~capacity:4096 () in
   P.append log "one";
   P.append log "two";
   P.append log "three";
@@ -155,7 +155,7 @@ let test_set_head_durable_across_crash () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module P = Onll_plog.Plog.Make (M) in
-  let log = P.create ~name:"l" ~capacity:4096 in
+  let log = P.create ~name:"l" ~capacity:4096 () in
   P.append log "a";
   P.append log "b";
   P.set_head log 1;
@@ -167,7 +167,7 @@ let test_set_head_zero_noop_and_errors () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module P = Onll_plog.Plog.Make (M) in
-  let log = P.create ~name:"l" ~capacity:4096 in
+  let log = P.create ~name:"l" ~capacity:4096 () in
   P.append log "a";
   P.set_head log 0;
   check Alcotest.(list string) "0 is a no-op" [ "a" ] (P.entries log);
@@ -180,7 +180,7 @@ let test_set_head_all_entries () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module P = Onll_plog.Plog.Make (M) in
-  let log = P.create ~name:"l" ~capacity:4096 in
+  let log = P.create ~name:"l" ~capacity:4096 () in
   P.append log "a";
   P.append log "b";
   P.set_head log 2;
@@ -197,7 +197,7 @@ let test_crash_during_set_head_keeps_a_valid_header () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module P = Onll_plog.Plog.Make (M) in
-  let log = P.create ~name:"l" ~capacity:4096 in
+  let log = P.create ~name:"l" ~capacity:4096 () in
   P.append log "a";
   P.append log "b";
   P.set_head log 1;  (* durable head: entry "b" *)
@@ -214,8 +214,8 @@ let test_multiple_logs_independent () =
   let sim = Sim.create ~max_processes:2 () in
   let module M = (val Sim.machine sim) in
   let module P = Onll_plog.Plog.Make (M) in
-  let l0 = P.create ~name:"l0" ~capacity:1024 in
-  let l1 = P.create ~name:"l1" ~capacity:1024 in
+  let l0 = P.create ~name:"l0" ~capacity:1024 () in
+  let l1 = P.create ~name:"l1" ~capacity:1024 () in
   P.append l0 "zero";
   P.append l1 "one";
   check Alcotest.(list string) "log 0" [ "zero" ] (P.entries l0);
@@ -225,7 +225,7 @@ let test_binary_payloads () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module P = Onll_plog.Plog.Make (M) in
-  let log = P.create ~name:"l" ~capacity:4096 in
+  let log = P.create ~name:"l" ~capacity:4096 () in
   let payload = String.init 256 Char.chr in
   P.append log payload;
   check Alcotest.(list string) "binary-safe" [ payload ] (P.entries log)
@@ -245,7 +245,7 @@ let prop_recovery_is_prefix =
          let sim = Sim.create ~max_processes:1 ~crash_policy:policy () in
          let module M = (val Sim.machine sim) in
          let module P = Onll_plog.Plog.Make (M) in
-         let log = P.create ~name:"l" ~capacity:65536 in
+         let log = P.create ~name:"l" ~capacity:65536 () in
          let completed = ref 0 in
          let all = List.init 8 (fun i -> Printf.sprintf "entry-%d-%d" seed i) in
          let strategy =

@@ -12,7 +12,7 @@ let test_sentinel () =
   let sim = Sim.create ~max_processes:2 () in
   let module M = (val Sim.machine sim) in
   let module T = Onll_core.Trace.Make (M) in
-  let t = T.create ~base_idx:0 ~base_state:"init" in
+  let t = T.create ~base_idx:0 ~base_state:"init" () in
   let tail = T.tail t in
   check Alcotest.int "sentinel idx" 0 tail.T.idx;
   check Alcotest.bool "sentinel available" true (M.Tvar.get tail.T.available);
@@ -23,7 +23,7 @@ let test_insert_assigns_dense_indices () =
   let sim = Sim.create ~max_processes:2 () in
   let module M = (val Sim.machine sim) in
   let module T = Onll_core.Trace.Make (M) in
-  let t = T.create ~base_idx:0 ~base_state:"init" in
+  let t = T.create ~base_idx:0 ~base_state:"init" () in
   let n1 = T.insert t 100 in
   let n2 = T.insert t 200 in
   let n3 = T.insert t 300 in
@@ -35,7 +35,7 @@ let test_insert_respects_base_idx () =
   let sim = Sim.create ~max_processes:2 () in
   let module M = (val Sim.machine sim) in
   let module T = Onll_core.Trace.Make (M) in
-  let t = T.create ~base_idx:41 ~base_state:"mid" in
+  let t = T.create ~base_idx:41 ~base_state:"mid" () in
   let n = T.insert t 1 in
   check Alcotest.int "continues from base" 42 n.T.idx
 
@@ -43,7 +43,7 @@ let test_latest_available () =
   let sim = Sim.create ~max_processes:4 () in
   let module M = (val Sim.machine sim) in
   let module T = Onll_core.Trace.Make (M) in
-  let t = T.create ~base_idx:0 ~base_state:"init" in
+  let t = T.create ~base_idx:0 ~base_state:"init" () in
   let n1 = T.insert t 1 in
   let n2 = T.insert t 2 in
   let n3 = T.insert t 3 in
@@ -61,7 +61,7 @@ let test_fuzzy_envs () =
   let sim = Sim.create ~max_processes:4 () in
   let module M = (val Sim.machine sim) in
   let module T = Onll_core.Trace.Make (M) in
-  let t = T.create ~base_idx:0 ~base_state:"init" in
+  let t = T.create ~base_idx:0 ~base_state:"init" () in
   let n1 = T.insert t 1 in
   let n2 = T.insert t 2 in
   let n3 = T.insert t 3 in
@@ -79,7 +79,7 @@ let test_fuzzy_window_is_continuous () =
   let sim = Sim.create ~max_processes:4 () in
   let module M = (val Sim.machine sim) in
   let module T = Onll_core.Trace.Make (M) in
-  let t = T.create ~base_idx:0 ~base_state:"init" in
+  let t = T.create ~base_idx:0 ~base_state:"init" () in
   let _n1 = T.insert t 1 in
   let n2 = T.insert t 2 in
   let n3 = T.insert t 3 in
@@ -94,7 +94,7 @@ let test_delta_from () =
   let sim = Sim.create ~max_processes:4 () in
   let module M = (val Sim.machine sim) in
   let module T = Onll_core.Trace.Make (M) in
-  let t = T.create ~base_idx:0 ~base_state:"init" in
+  let t = T.create ~base_idx:0 ~base_state:"init" () in
   let _ = T.insert t 10 in
   let _ = T.insert t 20 in
   let n3 = T.insert t 30 in
@@ -108,7 +108,7 @@ let test_delta_from_floor () =
   let sim = Sim.create ~max_processes:4 () in
   let module M = (val Sim.machine sim) in
   let module T = Onll_core.Trace.Make (M) in
-  let t = T.create ~base_idx:0 ~base_state:"init" in
+  let t = T.create ~base_idx:0 ~base_state:"init" () in
   let _ = T.insert t 10 in
   let _ = T.insert t 20 in
   let n3 = T.insert t 30 in
@@ -124,7 +124,7 @@ let test_to_list () =
   let sim = Sim.create ~max_processes:4 () in
   let module M = (val Sim.machine sim) in
   let module T = Onll_core.Trace.Make (M) in
-  let t = T.create ~base_idx:0 ~base_state:"init" in
+  let t = T.create ~base_idx:0 ~base_state:"init" () in
   let _ = T.insert t 10 in
   let n2 = T.insert t 20 in
   M.Tvar.set n2.T.available true;
@@ -140,7 +140,7 @@ let test_prune () =
   let sim = Sim.create ~max_processes:4 () in
   let module M = (val Sim.machine sim) in
   let module T = Onll_core.Trace.Make (M) in
-  let t = T.create ~base_idx:0 ~base_state:"s0" in
+  let t = T.create ~base_idx:0 ~base_state:"s0" () in
   let n1 = T.insert t 10 in
   let n2 = T.insert t 20 in
   let n3 = T.insert t 30 in
@@ -168,7 +168,7 @@ let test_prune_errors () =
   let sim = Sim.create ~max_processes:4 () in
   let module M = (val Sim.machine sim) in
   let module T = Onll_core.Trace.Make (M) in
-  let t = T.create ~base_idx:0 ~base_state:"s0" in
+  let t = T.create ~base_idx:0 ~base_state:"s0" () in
   let n1 = T.insert t 10 in
   check Alcotest.bool "unavailable node rejected" true
     (match T.prune t ~below:1 ~state_before:(fun _ -> "x") with
@@ -186,7 +186,7 @@ let test_concurrent_inserts_dense_and_complete () =
   let sim = Sim.create ~max_processes:4 () in
   let module M = (val Sim.machine sim) in
   let module T = Onll_core.Trace.Make (M) in
-  let t = T.create ~base_idx:0 ~base_state:"init" in
+  let t = T.create ~base_idx:0 ~base_state:"init" () in
   let procs =
     Array.init 4 (fun p ->
         fun _ ->
@@ -221,7 +221,7 @@ let test_insert_retries_under_contention () =
     let sim = Sim.create ~max_processes:3 () in
     let module M = (val Sim.machine sim) in
     let module T = Onll_core.Trace.Make (M) in
-    let t = T.create ~base_idx:0 ~base_state:() in
+    let t = T.create ~base_idx:0 ~base_state:() () in
     let procs =
       Array.init 3 (fun p ->
           fun _ ->
@@ -243,7 +243,7 @@ let test_fuzzy_bound_under_random_schedules () =
     let sim = Sim.create ~max_processes:3 () in
     let module M = (val Sim.machine sim) in
     let module T = Onll_core.Trace.Make (M) in
-    let t = T.create ~base_idx:0 ~base_state:() in
+    let t = T.create ~base_idx:0 ~base_state:() () in
     let procs =
       Array.init 3 (fun p ->
           fun _ ->

@@ -20,7 +20,7 @@ module Suite (F : FACTORY) = struct
     let sim = Sim.create ~max_processes:4 () in
     let module M = (val Sim.machine sim) in
     let module T = F.Make (M) in
-    let t = T.create ~base_idx:7 ~base_state:"base" in
+    let t = T.create ~base_idx:7 ~base_state:"base" () in
     check Alcotest.bool "base" true (T.base_of t = (7, "base"));
     let n1 = T.insert t "a" in
     let n2 = T.insert t "b" in
@@ -31,7 +31,7 @@ module Suite (F : FACTORY) = struct
     let sim = Sim.create ~max_processes:4 () in
     let module M = (val Sim.machine sim) in
     let module T = F.Make (M) in
-    let t = T.create ~base_idx:0 ~base_state:() in
+    let t = T.create ~base_idx:0 ~base_state:() () in
     let n = T.insert t "x" in
     check Alcotest.bool "fresh unavailable" false (T.is_available n);
     T.set_available n;
@@ -41,7 +41,7 @@ module Suite (F : FACTORY) = struct
     let sim = Sim.create ~max_processes:4 () in
     let module M = (val Sim.machine sim) in
     let module T = F.Make (M) in
-    let t = T.create ~base_idx:0 ~base_state:() in
+    let t = T.create ~base_idx:0 ~base_state:() () in
     let n1 = T.insert t "a" in
     let n3top =
       let _ = T.insert t "b" in
@@ -58,7 +58,7 @@ module Suite (F : FACTORY) = struct
     let sim = Sim.create ~max_processes:4 () in
     let module M = (val Sim.machine sim) in
     let module T = F.Make (M) in
-    let t = T.create ~base_idx:0 ~base_state:() in
+    let t = T.create ~base_idx:0 ~base_state:() () in
     let n1 = T.insert t "a" in
     let _ = T.insert t "b" in
     let n3 = T.insert t "c" in
@@ -76,7 +76,7 @@ module Suite (F : FACTORY) = struct
     let sim = Sim.create ~max_processes:4 () in
     let module M = (val Sim.machine sim) in
     let module T = F.Make (M) in
-    let t = T.create ~base_idx:0 ~base_state:() in
+    let t = T.create ~base_idx:0 ~base_state:() () in
     let n1 = T.insert t "a" in
     let n2 = T.insert t "b" in
     T.set_available n2;
@@ -88,7 +88,7 @@ module Suite (F : FACTORY) = struct
     let sim = Sim.create ~max_processes:4 () in
     let module M = (val Sim.machine sim) in
     let module T = F.Make (M) in
-    let t = T.create ~base_idx:0 ~base_state:"S" in
+    let t = T.create ~base_idx:0 ~base_state:"S" () in
     let _ = T.insert t "a" in
     let _ = T.insert t "b" in
     let n3 = T.insert t "c" in
@@ -104,7 +104,7 @@ module Suite (F : FACTORY) = struct
     let sim = Sim.create ~max_processes:4 () in
     let module M = (val Sim.machine sim) in
     let module T = F.Make (M) in
-    let t = T.create ~base_idx:0 ~base_state:"S" in
+    let t = T.create ~base_idx:0 ~base_state:"S" () in
     let n1 = T.insert t "a" in
     T.set_available n1;  (* floors must be available nodes *)
     let _ = T.insert t "b" in
@@ -125,7 +125,7 @@ module Suite (F : FACTORY) = struct
     let sim = Sim.create ~max_processes:4 () in
     let module M = (val Sim.machine sim) in
     let module T = F.Make (M) in
-    let t = T.create ~base_idx:0 ~base_state:() in
+    let t = T.create ~base_idx:0 ~base_state:() () in
     let n1 = T.insert t "a" in
     let _ = T.insert t "b" in
     T.set_available n1;
@@ -140,7 +140,7 @@ module Suite (F : FACTORY) = struct
       let sim = Sim.create ~max_processes:3 () in
       let module M = (val Sim.machine sim) in
       let module T = F.Make (M) in
-      let t = T.create ~base_idx:0 ~base_state:() in
+      let t = T.create ~base_idx:0 ~base_state:() () in
       let procs =
         Array.init 3 (fun p ->
             fun _ ->
@@ -215,7 +215,7 @@ module Props (F : FACTORY) = struct
            let sim = Sim.create ~max_processes:1 () in
            let module M = (val Sim.machine sim) in
            let module T = F.Make (M) in
-           let t = T.create ~base_idx:0 ~base_state:"B" in
+           let t = T.create ~base_idx:0 ~base_state:"B" () in
            (* model: envelopes by index; available set *)
            let envs = ref [] in  (* newest first: (idx, env) *)
            let avail = ref [ 0 ] in
