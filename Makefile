@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench examples fuzz explore soak doc clean outputs
+.PHONY: all build test check chaos-smoke bench examples fuzz explore soak doc clean outputs
 
 all: build test
 
@@ -11,12 +11,21 @@ test:
 	dune runtest
 
 # The pre-merge gate: everything compiles (including docs, where odoc is
-# available) and every test passes.
+# available), every test passes, and a quick chaos campaign stays clean.
 check:
 	dune build @all
 	dune runtest
+	$(MAKE) chaos-smoke
 	@command -v odoc >/dev/null 2>&1 && dune build @doc \
 	  || echo "odoc not installed; skipping doc build"
+
+# A fast slice of the E12 chaos campaign: media faults + nested recovery
+# crashes on two objects, plus the unhardened calibration baseline (which
+# must be caught losing data). Full campaign: dune exec bench/main.exe e12
+chaos-smoke:
+	dune exec bin/onll_cli.exe -- chaos -s kv --seeds 15
+	dune exec bin/onll_cli.exe -- chaos -s counter --seeds 15
+	dune exec bin/onll_cli.exe -- chaos -s kv --seeds 15 --unhardened
 
 bench:
 	dune exec bench/main.exe

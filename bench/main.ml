@@ -19,6 +19,8 @@ let experiments =
     ("e10", "helping overhead vs process count (ablation)", Helping_bench.run);
     ("e11", "checkpoint-interval tuning curve (ablation)",
      Checkpoint_sweep.run);
+    ("e12", "media-fault chaos campaign (hardened recovery + calibration)",
+     Chaos_campaign.run);
     ("f1", "Figure 1: the four counter executions, replayed",
      Onll_scenarios.Figure1.print_all);
     ("f2", "Figure 2 / Prop 5.2: fuzzy-window bound", Fuzzy_window.run);

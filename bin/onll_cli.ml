@@ -3,6 +3,7 @@
    onll figure1                        replay the paper's Figure 1
    onll lowerbound -n 4 -i onll        run the Theorem 6.3 adversary
    onll fuzz -s counter --seeds 50     crash-fuzz campaign with the checker
+   onll chaos -s kv --seeds 30         media-fault chaos campaign (E12)
    onll fences -s kv                   fence audit for one object
    onll stats -s counter -n 4         run a workload, print a JSON snapshot
 *)
@@ -140,6 +141,93 @@ let fuzz_cmd =
           ~doc:"crash step is drawn from [5, 5+STEPS)")
   in
   Cmd.v (Cmd.info "fuzz" ~doc) Term.(const fuzz $ spec $ seeds $ window)
+
+(* {1 chaos} *)
+
+let chaos spec seeds unhardened =
+  let open Test_support in
+  let campaign (type u r) (run : plan:Chaos.plan -> gen_update:_ -> gen_read:_ -> unit -> _)
+      (gen_update : Onll_util.Splitmix.t -> u)
+      (gen_read : Onll_util.Splitmix.t -> r) =
+    let violations = ref 0 and crashed = ref 0 in
+    let media = ref 0 and transients = ref 0 and nested = ref 0 in
+    let lost = ref 0 and ambiguous = ref 0 in
+    for seed = 1 to seeds do
+      let plan =
+        let p = Chaos_harness.plan_of_seed seed in
+        if unhardened then { p with Chaos.hardened = false } else p
+      in
+      let r = run ~plan ~gen_update ~gen_read () in
+      let f = r.Chaos.faults in
+      if r.Chaos.crashed then incr crashed;
+      media := !media + f.Onll_faults.Faults.bit_flips + f.torn_spans;
+      transients := !transients + f.flush_transients + f.fence_transients;
+      nested := !nested + r.Chaos.nested_fired;
+      lost := !lost + r.Chaos.lost_reported;
+      ambiguous := !ambiguous + r.Chaos.tail_ambiguous;
+      if r.Chaos.violations <> [] then begin
+        incr violations;
+        Printf.printf "seed %d VIOLATIONS:\n" seed;
+        List.iter (fun v -> Printf.printf "  %s\n" v) r.Chaos.violations
+      end
+    done;
+    Printf.printf
+      "%s%s: %d runs, %d crashed, %d media faults, %d transients, %d nested \
+       recovery crashes, %d reported-lost, %d tail-ambiguous, %d runs with \
+       violations\n"
+      spec
+      (if unhardened then " (unhardened calibration)" else "")
+      seeds !crashed !media !transients !nested !lost !ambiguous !violations;
+    (* hardened must be clean; the unhardened baseline must be caught *)
+    if unhardened then begin
+      if !violations = 0 then begin
+        Printf.printf
+          "calibration FAILED: the unhardened recovery was never caught\n";
+        exit 1
+      end
+    end
+    else if !violations > 0 then exit 1
+  in
+  match spec with
+  | "counter" ->
+      let module C = Chaos.Make (Onll_specs.Counter) in
+      campaign C.run Gen.Counter.update Gen.Counter.read
+  | "queue" ->
+      let module C = Chaos.Make (Onll_specs.Queue_spec) in
+      campaign C.run Gen.Queue.update Gen.Queue.read
+  | "kv" ->
+      let module C = Chaos.Make (Onll_specs.Kv) in
+      campaign C.run Gen.Kv.update Gen.Kv.read
+  | "stack" ->
+      let module C = Chaos.Make (Onll_specs.Stack_spec) in
+      campaign C.run Gen.Stack.update Gen.Stack.read
+  | other ->
+      Printf.eprintf "unknown spec %S (try counter, queue, kv, stack)\n" other;
+      exit 1
+
+let chaos_cmd =
+  let doc =
+    "Chaos-fuzz an ONLL object: crashes with media faults (bit flips, torn \
+     spans), transient flush/fence failures, and nested crashes during \
+     recovery — auditing that recovery is durably linearizable or reports \
+     the exact loss. With $(b,--unhardened), run the calibration baseline \
+     instead, which must be caught losing data."
+  in
+  let spec =
+    Arg.(
+      value & opt string "kv"
+      & info [ "s"; "spec" ] ~docv:"SPEC" ~doc:"object specification")
+  in
+  let seeds =
+    Arg.(value & opt int 30 & info [ "seeds" ] ~docv:"N" ~doc:"seed count")
+  in
+  let unhardened =
+    Arg.(
+      value & flag
+      & info [ "unhardened" ]
+          ~doc:"run the deliberately broken calibration recovery")
+  in
+  Cmd.v (Cmd.info "chaos" ~doc) Term.(const chaos $ spec $ seeds $ unhardened)
 
 (* {1 fences} *)
 
@@ -474,6 +562,7 @@ let () =
             explore_cmd;
             lowerbound_cmd;
             fuzz_cmd;
+            chaos_cmd;
             fences_cmd;
             stats_cmd;
             simulate_cmd;

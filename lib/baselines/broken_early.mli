@@ -12,6 +12,9 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) : sig
 
   val create : ?log_capacity:int -> ?sink:Onll_obs.Sink.t -> unit -> t
   val update : t -> S.update_op -> S.value
+  (** @raise Onll_plog.Plog.Full when the caller's log fills — baselines
+      deliberately do not compact (cost comparisons only; size logs for the
+      workload). *)
 
   val read : t -> S.read_op -> S.value
   (** Unsafely observes linearized-but-unpersisted operations. *)

@@ -145,7 +145,7 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
         v)
 
   let recover t =
-    Array.iter L.recover t.logs;
+    Array.iter (fun l -> ignore (L.recover l)) t.logs;
     let batches = ref [] in
     Array.iter
       (fun log ->

@@ -16,7 +16,10 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) : sig
 
   val update : t -> S.update_op -> S.value
   (** Announce and either combine (if the lock is free) or spin until a
-      combiner serves the announcement. *)
+      combiner serves the announcement.
+      @raise Onll_plog.Plog.Full when the combiner's log fills — baselines
+      deliberately do not compact (cost comparisons only; size logs for the
+      workload). *)
 
   val read : t -> S.read_op -> S.value
   (** Served from the mirror, which is published only after the batch

@@ -116,7 +116,7 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
   let read_fences t = t.read_fences
 
   let recover t =
-    Array.iter L.recover t.logs;
+    Array.iter (fun l -> ignore (L.recover l)) t.logs;
     let by_idx = Hashtbl.create 64 in
     Array.iter
       (fun log ->

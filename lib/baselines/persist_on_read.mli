@@ -16,6 +16,9 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) : sig
       attribution metrics — helping fences land in ["fences.read"]. *)
 
   val update : t -> S.update_op -> S.value
+  (** @raise Onll_plog.Plog.Full when the caller's log fills — baselines
+      deliberately do not compact (cost comparisons only; size logs for the
+      workload). *)
 
   val read : t -> S.read_op -> S.value
   (** May issue a persistent fence (helping an in-flight update persist). *)

@@ -83,6 +83,8 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
           Onll_util.Codec.encode record_codec
             (Ops { exec_idx = node.T.idx; envs = fuzzy })
         in
+        (* Full propagates: baselines deliberately do not compact (cost
+           comparisons only; size logs for the workload). *)
         L.append t.logs.(p) payload;
         M.Tvar.set node.T.available true;
         let _, value = state_at node in
@@ -108,7 +110,7 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
   let reader_waits t = t.reader_waits
 
   let recover t =
-    Array.iter L.recover t.logs;
+    Array.iter (fun l -> ignore (L.recover l)) t.logs;
     let by_idx = Hashtbl.create 64 in
     Array.iter
       (fun log ->

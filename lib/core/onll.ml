@@ -40,6 +40,51 @@ exception Recovery_corrupt of string
     correctness argument of Prop. 5.10 rules out for crash-consistent logs,
     so this indicates actual corruption or a bug). *)
 
+exception Log_full of string
+(** Raised (with the log's region name) when an update or checkpoint record
+    cannot be made durable even after auto-compaction: the live history
+    alone exceeds the log's capacity. Unlike {!Onll_plog.Plog.Full}, this
+    is terminal for the configured capacity. *)
+
+(* What a hardened recovery found and did; see onll.mli. *)
+module Recovery_report = struct
+  type t = {
+    recovered_ops : int;
+    base_idx : int;
+    gap_indices : int list;
+    dropped : op_id list;
+    disagreements : int list;
+    decode_failures : int;
+    salvage : (string * Onll_plog.Plog.salvage_report) list;
+  }
+
+  let detected_loss r =
+    r.gap_indices <> [] || r.dropped <> [] || r.disagreements <> []
+    || r.decode_failures > 0
+    || List.exists
+         (fun (_, s) -> s.Onll_plog.Plog.quarantined_spans > 0)
+         r.salvage
+
+  let clean r = not (detected_loss r)
+
+  let pp ppf r =
+    Format.fprintf ppf
+      "@[<v>recovered_ops=%d base_idx=%d gaps=%d dropped=%d disagreements=%d \
+       decode_failures=%d@,"
+      r.recovered_ops r.base_idx
+      (List.length r.gap_indices)
+      (List.length r.dropped)
+      (List.length r.disagreements)
+      r.decode_failures;
+    List.iter
+      (fun (name, s) ->
+        if s <> Onll_plog.Plog.clean_report then
+          Format.fprintf ppf "%s: %a@," name Onll_plog.Plog.pp_salvage_report
+            s)
+      r.salvage;
+    Format.fprintf ppf "detected_loss=%b@]" (detected_loss r)
+end
+
 (* Construction-time knobs; see onll.mli. *)
 module Config = struct
   type t = {
@@ -89,6 +134,8 @@ module type CONSTRUCTION = sig
   val update_detectable : t -> seq:int -> update_op -> value
   val read : t -> read_op -> value
   val recover : t -> unit
+  val recover_report : t -> Recovery_report.t
+  val recover_unhardened : t -> unit
   val was_linearized : t -> op_id -> bool
   val recovered_ops : t -> (op_id * int) list
   val checkpoint : t -> int
@@ -266,6 +313,85 @@ module Make_generic
     let base, delta = T.delta_from t.trace node in
     List.fold_left (fun is (_, env) -> fst (apply_env is env)) base delta
 
+  let decode_entries log =
+    List.map (Onll_util.Codec.decode record_codec) (L.entries log)
+
+  (* Summarise the history up to the newest available operation into
+     process [p]'s log, then drop (and, on demand, physically reclaim) the
+     log prefix this makes redundant. Body shared by the public
+     [checkpoint] (attributed) and by auto-compaction inside the update
+     path (where the fences are already attributed to the update). *)
+  let checkpoint_body t p =
+    let node = T.latest_available t.trace in
+    let state = istate_at t node in
+    let upto = T.idx node in
+    let payload =
+      Onll_util.Codec.encode record_codec (Checkpoint { upto_idx = upto; state })
+    in
+    (match L.try_append t.logs.(p) payload with
+    | Ok () -> ()
+    | Error `Full -> (
+        (* an earlier compaction may have left reclaimable dead space *)
+        L.relocate t.logs.(p);
+        match L.try_append t.logs.(p) payload with
+        | Ok () -> ()
+        | Error `Full -> raise (Log_full (L.name t.logs.(p)))));
+    let droppable =
+      (* Our own Ops entries have increasing exec_idx, so the droppable
+         entries form a prefix. *)
+      let rec count acc = function
+        | Ops { exec_idx; _ } :: rest when exec_idx <= upto ->
+            count (acc + 1) rest
+        | Checkpoint { upto_idx; _ } :: rest when upto_idx < upto ->
+            count (acc + 1) rest
+        | _ -> acc
+      in
+      count 0 (decode_entries t.logs.(p))
+    in
+    L.set_head t.logs.(p) droppable;
+    if Onll_obs.Opstats.active t.ostats then
+      Onll_obs.Sink.emit
+        (Onll_obs.Opstats.sink t.ostats)
+        ~proc:p
+        (Onll_obs.Event.Checkpoint { upto });
+    upto
+
+  (* Persist-stage append with graceful [Full] degradation: when the log
+     runs low, summarise our history (checkpoint), physically compact the
+     log, and retry; only if the record still does not fit does the typed
+     [Log_full] escape.
+
+     The headroom check is what keeps compaction possible at all: the
+     checkpoint record must itself be appended before the prefix it
+     summarises can be dropped, so a log allowed to fill to the last byte
+     with no checkpoint below it could never be compacted. We therefore
+     compact while there is still room for the checkpoint record — its
+     exact encoded size, computed only when the log is nearly full. *)
+  let entry_overhead = 16 (* plog [len][crc] framing *)
+
+  let ckpt_payload t =
+    let node = T.latest_available t.trace in
+    Onll_util.Codec.encode record_codec
+      (Checkpoint { upto_idx = T.idx node; state = istate_at t node })
+
+  let append_record t p payload =
+    let log = t.logs.(p) in
+    let need = String.length payload + entry_overhead in
+    (if L.free_bytes log < 2 * need + 64 then
+       let ckpt = ckpt_payload t in
+       if L.free_bytes log < need + String.length ckpt + entry_overhead then begin
+         (try ignore (checkpoint_body t p) with Log_full _ -> ());
+         L.relocate log
+       end);
+    match L.try_append log payload with
+    | Ok () -> ()
+    | Error `Full -> (
+        ignore (checkpoint_body t p);
+        L.relocate log;
+        match L.try_append log payload with
+        | Ok () -> ()
+        | Error `Full -> raise (Log_full (L.name log)))
+
   (* Listing 3. *)
   let update_env_body t env =
     let node = T.insert t.trace env in
@@ -287,7 +413,7 @@ module Make_generic
       Onll_util.Codec.encode record_codec
         (Ops { exec_idx = T.idx node; envs = fuzzy })
     in
-    L.append t.logs.(env.e_proc) payload;
+    append_record t env.e_proc payload;
     T.set_available node;
     let _, value = compute t node in
     M.return_point ();
@@ -333,14 +459,42 @@ module Make_generic
         M.return_point ();
         v)
 
-  (* {2 Recovery — Listing 5} *)
+  (* {2 Recovery — Listing 5, hardened} *)
 
-  let decode_entries log =
-    List.map (Onll_util.Codec.decode record_codec) (L.entries log)
+  (* Tolerant decode: a CRC-valid entry whose payload nevertheless fails to
+     decode (requires forged or astronomically unlucky bytes) is dropped
+     and counted rather than aborting recovery. *)
+  let decode_entries_tolerant log failures =
+    List.filter_map
+      (fun e ->
+        match Onll_util.Codec.decode record_codec e with
+        | r -> Some r
+        | exception _ ->
+            incr failures;
+            None)
+      (L.entries log)
 
-  let recover t =
-    Array.iter L.recover t.logs;
-    let records = Array.to_list t.logs |> List.concat_map decode_entries in
+  (* The one recovery routine. [hardened] selects the log-level recovery
+     (salvaging vs. silently truncating); the trace rebuild is tolerant in
+     both cases — it adopts the longest contiguous prefix above the deepest
+     checkpoint — and the report says exactly what could not be adopted.
+     The strict [recover] entry point turns a lossy report into
+     [Recovery_corrupt]; the unhardened one discards it (the calibration
+     baseline the chaos campaign must catch). *)
+  let recover_core t ~hardened =
+    let salvage =
+      if hardened then
+        Array.to_list t.logs |> List.map (fun l -> (L.name l, L.recover l))
+      else begin
+        Array.iter L.recover_unhardened t.logs;
+        []
+      end
+    in
+    let decode_failures = ref 0 in
+    let records =
+      Array.to_list t.logs
+      |> List.concat_map (fun l -> decode_entries_tolerant l decode_failures)
+    in
     (* Best checkpoint = deepest summarised prefix. *)
     let base_idx, base_state =
       List.fold_left
@@ -356,6 +510,7 @@ module Make_generic
        fine (helping stores the same operation in several logs); they must
        agree on the operation id. *)
     let by_idx = Hashtbl.create 64 in
+    let disagreements = ref [] in
     List.iter
       (function
         | Checkpoint _ -> ()
@@ -367,45 +522,86 @@ module Make_generic
                 | None -> Hashtbl.replace by_idx idx env
                 | Some prior ->
                     if prior.e_proc <> env.e_proc || prior.e_seq <> env.e_seq
-                    then
-                      raise
-                        (Recovery_corrupt
-                           (Printf.sprintf
-                              "logs disagree on operation at index %d" idx)))
+                    then disagreements := idx :: !disagreements)
               envs)
       records;
     let max_idx = Hashtbl.fold (fun i _ acc -> max i acc) by_idx base_idx in
+    (* Under the clean crash model a gap below a persisted operation is
+       impossible (Prop 5.10); under media faults it means the operation's
+       every durable copy was corrupted. Only the contiguous prefix below
+       the first gap can be adopted — anything above it cannot be replayed
+       without fabricating the missing operation, so it is reported as
+       dropped instead. *)
+    let gaps = ref [] in
+    for idx = max_idx downto base_idx + 1 do
+      if not (Hashtbl.mem by_idx idx) then gaps := idx :: !gaps
+    done;
+    let gaps = !gaps in
+    let stop_idx = match gaps with [] -> max_idx | g :: _ -> g - 1 in
     let trace =
       T.create ~sink:(Onll_obs.Opstats.sink t.ostats) ~base_idx ~base_state ()
     in
     Hashtbl.reset t.recovered;
     Array.blit base_state.floors 0 t.seqs 0 M.max_processes;
     Array.fill t.views 0 (Array.length t.views) None;
-    for idx = base_idx + 1 to max_idx do
+    (* Bump sequence allocation past every id recovery has seen — including
+       ids above a gap that cannot be replayed — so no post-recovery update
+       can reuse a pre-crash identity. *)
+    Hashtbl.iter
+      (fun _ env ->
+        if env.e_seq >= t.seqs.(env.e_proc) then
+          t.seqs.(env.e_proc) <- env.e_seq + 1)
+      by_idx;
+    for idx = base_idx + 1 to stop_idx do
+      let env = Hashtbl.find by_idx idx in
+      let node = T.insert trace env in
+      assert (T.idx node = idx);
+      T.set_available node;
+      Hashtbl.replace t.recovered
+        { id_proc = env.e_proc; id_seq = env.e_seq }
+        idx
+    done;
+    let dropped = ref [] in
+    for idx = max_idx downto stop_idx + 1 do
       match Hashtbl.find_opt by_idx idx with
-      | None ->
-          (* Prop 5.10: a gap below a persisted operation is impossible for
-             logs produced by this implementation. *)
-          raise
-            (Recovery_corrupt
-               (Printf.sprintf "operation at index %d missing from all logs"
-                  idx))
       | Some env ->
-          let node = T.insert trace env in
-          assert (T.idx node = idx);
-          T.set_available node;
-          Hashtbl.replace t.recovered
-            { id_proc = env.e_proc; id_seq = env.e_seq }
-            idx;
-          if env.e_seq >= t.seqs.(env.e_proc) then
-            t.seqs.(env.e_proc) <- env.e_seq + 1
+          dropped := { id_proc = env.e_proc; id_seq = env.e_seq } :: !dropped
+      | None -> ()
     done;
     t.trace <- trace;
     if Onll_obs.Opstats.active t.ostats then
       Onll_obs.Sink.emit
         (Onll_obs.Opstats.sink t.ostats)
         ~proc:(M.self ())
-        (Onll_obs.Event.Recovery { ops = max_idx - base_idx })
+        (Onll_obs.Event.Recovery { ops = stop_idx - base_idx });
+    {
+      Recovery_report.recovered_ops = stop_idx - base_idx;
+      base_idx;
+      gap_indices = gaps;
+      dropped = !dropped;
+      disagreements = List.sort_uniq compare !disagreements;
+      decode_failures = !decode_failures;
+      salvage;
+    }
+
+  let recover_report t = recover_core t ~hardened:true
+
+  let recover t =
+    let r = recover_core t ~hardened:true in
+    match (r.Recovery_report.disagreements, r.Recovery_report.gap_indices) with
+    | d :: _, _ ->
+        raise
+          (Recovery_corrupt
+             (Printf.sprintf "logs disagree on operation at index %d" d))
+    | [], g :: _ ->
+        raise
+          (Recovery_corrupt
+             (Printf.sprintf "operation at index %d missing from all logs" g))
+    | [], [] ->
+        if r.Recovery_report.decode_failures > 0 then
+          raise (Recovery_corrupt "undecodable log entry")
+
+  let recover_unhardened t = ignore (recover_core t ~hardened:false)
 
   (* {2 Detectable execution} *)
 
@@ -426,42 +622,12 @@ module Make_generic
 
   (* {2 §8: checkpointing, log compaction, trace pruning} *)
 
-  (* Summarise the history up to the newest available operation into the
-     calling process's log, then drop the log prefix this makes redundant
-     (entries of ours whose operations all have execution index <= the
-     checkpoint, and older checkpoints). Costs one persistent fence for the
-     appended checkpoint and one for the durable head update. Returns the
-     summarised index. *)
+  (* Costs one persistent fence for the appended checkpoint and one for the
+     durable head update (plus relocation fences only when the log was
+     full). Returns the summarised index. *)
   let checkpoint t =
     attributed t Onll_obs.Opstats.checkpoint_done (fun () ->
-        let p = M.self () in
-        let node = T.latest_available t.trace in
-        let state = istate_at t node in
-        let upto = T.idx node in
-        let payload =
-          Onll_util.Codec.encode record_codec
-            (Checkpoint { upto_idx = upto; state })
-        in
-        L.append t.logs.(p) payload;
-        let droppable =
-          (* Our own Ops entries have increasing exec_idx, so the droppable
-             entries form a prefix. *)
-          let rec count acc = function
-            | Ops { exec_idx; _ } :: rest when exec_idx <= upto ->
-                count (acc + 1) rest
-            | Checkpoint { upto_idx; _ } :: rest when upto_idx < upto ->
-                count (acc + 1) rest
-            | _ -> acc
-          in
-          count 0 (decode_entries t.logs.(p))
-        in
-        L.set_head t.logs.(p) droppable;
-        if Onll_obs.Opstats.active t.ostats then
-          Onll_obs.Sink.emit
-            (Onll_obs.Opstats.sink t.ostats)
-            ~proc:p
-            (Onll_obs.Event.Checkpoint { upto });
-        upto)
+        checkpoint_body t (M.self ()))
 
   let prune t ~below =
     T.prune t.trace ~below ~state_before:(fun node -> istate_at t node)

@@ -30,7 +30,52 @@ val pp_op_id : Format.formatter -> op_id -> unit
 exception Recovery_corrupt of string
 (** Recovery found mutually inconsistent logs — impossible for logs written
     by this implementation surviving a crash (Prop. 5.10), so it indicates
-    external corruption or a bug. *)
+    external corruption or a bug. Raised by the strict
+    {!CONSTRUCTION.recover}; the hardened {!CONSTRUCTION.recover_report}
+    reports the damage instead. *)
+
+exception Log_full of string
+(** Raised (with the log's region name) when an update or checkpoint record
+    cannot be made durable even after auto-compaction — the live history
+    alone exceeds the log's capacity, so this is terminal for the
+    configured size. The transient {!Onll_plog.Plog.Full} no longer escapes
+    the construction: a full log is first checkpointed and physically
+    compacted ({!Onll_plog.Plog.Make.relocate}), and the append retried. *)
+
+(** What a hardened recovery found and did — the precise detected-loss
+    set the chaos campaign (E12) audits against. *)
+module Recovery_report : sig
+  type t = {
+    recovered_ops : int;  (** operations replayed into the trace *)
+    base_idx : int;  (** deepest surviving checkpoint *)
+    gap_indices : int list;
+        (** execution indices missing from every log (all durable copies
+            corrupted), ascending; only the prefix below the first gap is
+            adopted *)
+    dropped : op_id list;
+        (** operations that survived in some log but sit above the first
+            gap, so they could not be replayed *)
+    disagreements : int list;
+        (** indices where two logs named different operations *)
+    decode_failures : int;
+        (** CRC-valid entries whose payload did not decode *)
+    salvage : (string * Onll_plog.Plog.salvage_report) list;
+        (** per-log media repairs (log region name, report) *)
+  }
+
+  val detected_loss : t -> bool
+  (** Did recovery detect any durable-data loss? True iff there are gaps,
+      dropped operations, disagreements, decode failures, or a log
+      quarantined interior corruption. Torn-tail truncation alone is {e
+      not} loss: a torn final entry was never acknowledged. Conservative:
+      a quarantined span whose records were helped into other logs loses
+      no operation but still reports [true]. *)
+
+  val clean : t -> bool
+  (** [not (detected_loss r)]. *)
+
+  val pp : Format.formatter -> t -> unit
+end
 
 (** Construction-time configuration — the one record every instantiation's
     {!CONSTRUCTION.make} takes. Build it by functional update of
@@ -112,9 +157,11 @@ module type CONSTRUCTION = sig
 
   val update : t -> update_op -> value
   (** Apply an update. Linearizable, durable on response, exactly one
-      persistent fence.
-      @raise Onll_plog.Plog.Full when the caller's log is exhausted
-      (checkpoint, or size logs for the workload). *)
+      persistent fence on the common path. When the caller's log fills,
+      the construction degrades gracefully instead of failing: it
+      checkpoints, physically compacts the log and retries the append.
+      @raise Onll.Log_full when even that cannot make room (the live
+      history alone exceeds the log's capacity). *)
 
   val update_with_id : t -> update_op -> op_id * value
   (** Like {!update}, also returning the operation's identity. *)
@@ -137,8 +184,30 @@ module type CONSTRUCTION = sig
       after a crash, before the first post-crash operation. Idempotent.
       The recovered history contains every operation whose log append was
       fenced (in particular every update that responded), in execution
-      order, starting from the deepest checkpoint.
-      @raise Recovery_corrupt on inconsistent logs. *)
+      order, starting from the deepest checkpoint. Runs the same hardened
+      path as {!recover_report} (including durable log salvage), then
+      insists the result was loss-free.
+      @raise Recovery_corrupt if any durable data loss was detected. *)
+
+  val recover_report : t -> Recovery_report.t
+  (** Hardened recovery for media-faulted logs: salvages each log
+      (quarantining interior corruption, truncating torn tails — see
+      {!Onll_plog.Plog.Make.recover}), then adopts the longest contiguous
+      history prefix above the deepest surviving checkpoint, and reports
+      exactly what was lost instead of raising. Idempotent and
+      re-entrant: interrupted by a crash at any durable operation, a
+      re-run converges — every repair it performs is idempotent, and a
+      final uninterrupted run yields the same adopted history. Sequence
+      allocation is bumped past {e every} identity seen in any log —
+      including unadoptable ones — so post-recovery updates never reuse a
+      pre-crash id. *)
+
+  val recover_unhardened : t -> unit
+  (** The pre-hardening recovery: per-log truncating scan, first-wins on
+      disagreements, silent stop at the first gap — no salvage, no report,
+      no error. The deliberately broken calibration baseline for the chaos
+      campaign (E12), which must catch it silently losing data; never use
+      it otherwise. *)
 
   val was_linearized : t -> op_id -> bool
   (** Detectable execution: did this operation take effect? For operations
@@ -156,7 +225,10 @@ module type CONSTRUCTION = sig
   (** Summarise the history up to the newest available operation into the
       caller's log and drop the log prefix this makes redundant. Two
       persistent fences (the checkpoint append and the durable head
-      update). Returns the summarised execution index. *)
+      update); a handful more only if the log was full and had to be
+      physically compacted first. Returns the summarised execution index.
+      @raise Onll.Log_full if the checkpoint record cannot fit even after
+      compaction. *)
 
   val prune : t -> below:int -> unit
   (** Make trace nodes with execution index < [below] unreachable,

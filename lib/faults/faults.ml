@@ -1,0 +1,204 @@
+(* Deterministic media-fault injection. See faults.mli for the model. *)
+
+module Memory = Onll_nvm.Memory
+module Splitmix = Onll_util.Splitmix
+module Event = Onll_obs.Event
+module Sink = Onll_obs.Sink
+
+module Plan = struct
+  type t = {
+    seed : int;
+    bit_flips_per_crash : int;
+    torn_spans_per_crash : int;
+    torn_span_max_bytes : int;
+    media_window : int;
+    media_fault_crashes : int;
+    flush_fail_prob : float;
+    fence_fail_prob : float;
+    max_consecutive_transients : int;
+    target : string -> bool;
+  }
+
+  let none =
+    {
+      seed = 0;
+      bit_flips_per_crash = 0;
+      torn_spans_per_crash = 0;
+      torn_span_max_bytes = 0;
+      media_window = max_int;
+      media_fault_crashes = 0;
+      flush_fail_prob = 0.;
+      fence_fail_prob = 0.;
+      max_consecutive_transients = 0;
+      target = (fun _ -> true);
+    }
+
+  let default ~seed =
+    {
+      seed;
+      bit_flips_per_crash = 2;
+      torn_spans_per_crash = 1;
+      torn_span_max_bytes = 48;
+      media_window = 512;
+      media_fault_crashes = 1;
+      flush_fail_prob = 0.05;
+      fence_fail_prob = 0.05;
+      max_consecutive_transients = 2;
+      target = (fun _ -> true);
+    }
+end
+
+type t = {
+  plan : Plan.t;
+  mem : Memory.t;
+  rng : Splitmix.t;
+  mutable bit_flips : int;
+  mutable torn_spans : int;
+  mutable flush_transients : int;
+  mutable fence_transients : int;
+  mutable recovery_crashes : int;
+  mutable crashes_seen : int;
+  mutable consecutive : int;  (* back-to-back transient failures *)
+  mutable fuse : int option;  (* armed nested crash: ops until it fires *)
+  mutable armed_at : int;  (* the at_op value the fuse was armed with *)
+}
+
+let emit t fault =
+  let sink = Memory.sink t.mem in
+  if Sink.active sink then
+    Sink.emit sink ~proc:(-1) (Event.Fault_injected { fault })
+
+(* Transient failures: fail with the plan's probability, but never more
+   than [max_consecutive_transients] in a row, so a bounded retry loop is
+   guaranteed to make progress. *)
+let transient t prob =
+  prob > 0.
+  && t.consecutive < t.plan.max_consecutive_transients
+  && Splitmix.float t.rng 1.0 < prob
+
+let corrupt_media t =
+  let regions =
+    List.filter t.plan.target (Memory.region_names t.mem)
+    |> List.filter_map (Memory.find_region t.mem)
+  in
+  List.iter
+    (fun r ->
+      let window = min t.plan.media_window (Memory.Region.size r) in
+      if window > 0 then begin
+        for _ = 1 to t.plan.bit_flips_per_crash do
+          let off = Splitmix.int t.rng window in
+          let bit = Splitmix.int t.rng 8 in
+          Memory.Region.corrupt r ~off ~len:1 ~f:(fun _ c ->
+              Char.chr (Char.code c lxor (1 lsl bit)));
+          t.bit_flips <- t.bit_flips + 1;
+          emit t "bitflip"
+        done;
+        for _ = 1 to t.plan.torn_spans_per_crash do
+          let len = 1 + Splitmix.int t.rng (max 1 t.plan.torn_span_max_bytes) in
+          let len = min len window in
+          let off = Splitmix.int t.rng (window - len + 1) in
+          Memory.Region.corrupt r ~off ~len ~f:(fun _ _ ->
+              Char.chr (Splitmix.int t.rng 256));
+          t.torn_spans <- t.torn_spans + 1;
+          emit t "torn"
+        done
+      end)
+    regions
+
+let install mem plan =
+  let t =
+    {
+      plan;
+      mem;
+      rng = Splitmix.create plan.Plan.seed;
+      bit_flips = 0;
+      torn_spans = 0;
+      flush_transients = 0;
+      fence_transients = 0;
+      recovery_crashes = 0;
+      crashes_seen = 0;
+      consecutive = 0;
+      fuse = None;
+      armed_at = 0;
+    }
+  in
+  let h_op (_ : Memory.op_kind) =
+    match t.fuse with
+    | None -> ()
+    | Some 0 ->
+        t.fuse <- None;
+        t.recovery_crashes <- t.recovery_crashes + 1;
+        let sink = Memory.sink t.mem in
+        if Sink.active sink then begin
+          Sink.emit sink ~proc:(-1)
+            (Event.Fault_injected { fault = "recovery_crash" });
+          Sink.emit sink ~proc:(-1)
+            (Event.Recovery_interrupted { at_op = t.armed_at })
+        end;
+        raise Memory.Injected_crash
+    | Some n -> t.fuse <- Some (n - 1)
+  in
+  (* Only an instruction that could have failed resets the consecutive
+     counter: a prob-0 hook firing between two failing ones (the flush
+     between a failing fence's retries) must not defeat the cap. *)
+  let h_flush ~proc:_ ~region:_ =
+    if transient t plan.Plan.flush_fail_prob then begin
+      t.flush_transients <- t.flush_transients + 1;
+      t.consecutive <- t.consecutive + 1;
+      emit t "flush_transient";
+      raise (Memory.Transient_fault "flush")
+    end
+    else if plan.Plan.flush_fail_prob > 0. then t.consecutive <- 0
+  in
+  let h_fence ~proc:_ ~pending:_ =
+    if transient t plan.Plan.fence_fail_prob then begin
+      t.fence_transients <- t.fence_transients + 1;
+      t.consecutive <- t.consecutive + 1;
+      emit t "fence_transient";
+      raise (Memory.Transient_fault "fence")
+    end
+    else if plan.Plan.fence_fail_prob > 0. then t.consecutive <- 0
+  in
+  let h_crash () =
+    t.crashes_seen <- t.crashes_seen + 1;
+    if t.crashes_seen <= plan.Plan.media_fault_crashes then corrupt_media t
+  in
+  Memory.set_hooks mem (Some { Memory.h_op; h_flush; h_fence; h_crash });
+  t
+
+let remove t = Memory.set_hooks t.mem None
+let arm_recovery_crash t ~at_op =
+  if at_op < 0 then invalid_arg "Faults.arm_recovery_crash: at_op < 0";
+  t.fuse <- Some at_op;
+  t.armed_at <- at_op
+
+let disarm t = t.fuse <- None
+let armed t = t.fuse <> None
+
+type counters = {
+  bit_flips : int;
+  torn_spans : int;
+  flush_transients : int;
+  fence_transients : int;
+  recovery_crashes : int;
+}
+
+let counters (t : t) : counters =
+  {
+    bit_flips = t.bit_flips;
+    torn_spans = t.torn_spans;
+    flush_transients = t.flush_transients;
+    fence_transients = t.fence_transients;
+    recovery_crashes = t.recovery_crashes;
+  }
+
+let total c =
+  c.bit_flips + c.torn_spans + c.flush_transients + c.fence_transients
+  + c.recovery_crashes
+
+let pp_counters ppf c =
+  Format.fprintf ppf
+    "@[<h>bit_flips=%d torn_spans=%d flush_transients=%d fence_transients=%d \
+     recovery_crashes=%d@]"
+    c.bit_flips c.torn_spans c.flush_transients c.fence_transients
+    c.recovery_crashes

@@ -1,0 +1,103 @@
+(** Deterministic, seedable media-fault injection for the simulated NVM.
+
+    The clean crash model ({!Onll_nvm.Crash_policy}) resolves only cache
+    nondeterminism: fenced bytes are always intact and only the log tail
+    can be torn. Real persistent-memory systems additionally suffer
+
+    {ul
+    {- {b bit rot}: durable bytes flipping, anywhere — including the
+       middle of a log, not just its tail;}
+    {- {b torn media writes}: a span of durable bytes replaced by garbage
+       (a multi-line write cut mid-way at power loss);}
+    {- {b transient flush/fence failures}: the instruction faults without
+       effect and must be retried;}
+    {- {b crashes during recovery}: power lost again while recovery is
+       repairing the previous crash.}}
+
+    A {!Plan.t} describes how much of each to inject; {!install} compiles
+    it into {!Onll_nvm.Memory.hooks} driven by a SplitMix stream, so a
+    given (plan, program) pair replays byte-for-byte. Media corruption is
+    applied at crash time (inside {!Onll_nvm.Memory.crash}), which is when
+    real media tears; transient faults fire on the flush/fence hot path;
+    nested crashes are {e armed} explicitly by the recovery harness with
+    {!arm_recovery_crash} and fire as {!Onll_nvm.Memory.Injected_crash}
+    after a chosen number of durable-memory operations.
+
+    Every injection emits a {!Onll_obs.Event.Fault_injected} event to the
+    memory's sink and bumps a handle counter, so campaigns can report
+    exactly what they subjected the system to. *)
+
+module Plan : sig
+  type t = {
+    seed : int;  (** drives every random choice below *)
+    bit_flips_per_crash : int;
+        (** random single-bit flips in durable bytes at each media-faulty
+            crash *)
+    torn_spans_per_crash : int;
+        (** random garbage spans in durable bytes at each media-faulty
+            crash *)
+    torn_span_max_bytes : int;  (** max length of one torn span *)
+    media_window : int;
+        (** corruption offsets are drawn from [0, min media_window size) of
+            each region — biases faults into the populated prefix of large,
+            mostly-empty regions; [max_int] for whole-region faults *)
+    media_fault_crashes : int;
+        (** only the first [n] crashes corrupt media (lets nested-crash
+            loops converge instead of degrading forever) *)
+    flush_fail_prob : float;  (** transient failure probability per flush *)
+    fence_fail_prob : float;  (** transient failure probability per fence *)
+    max_consecutive_transients : int;
+        (** cap on back-to-back transient failures, so bounded retry always
+            eventually succeeds *)
+    target : string -> bool;  (** regions eligible for media corruption *)
+  }
+
+  val none : t
+  (** Injects nothing; the identity plan to override from. *)
+
+  val default : seed:int -> t
+  (** A moderate chaos plan: 2 bit flips + 1 torn span (≤ 48 bytes) within
+      the first 512 bytes of every eligible region on the first crash, 5%
+      transient flush/fence failures (≤ 2 consecutive), all regions
+      eligible. *)
+end
+
+type t
+(** An installed fault injector: the handle for arming nested crashes and
+    reading injection counters. *)
+
+val install : Onll_nvm.Memory.t -> Plan.t -> t
+(** Compile [plan] and install it as the memory system's fault hooks
+    (replacing any previous hooks). *)
+
+val remove : t -> unit
+(** Uninstall the hooks (the handle's counters remain readable). *)
+
+val arm_recovery_crash : t -> at_op:int -> unit
+(** Arm a one-shot nested crash: the [at_op]-th durable-memory operation
+    from now (0 = the very next one) raises
+    {!Onll_nvm.Memory.Injected_crash} after emitting a
+    [Recovery_interrupted] event. Re-arming replaces the previous arming.
+    The caller is responsible for actually calling
+    {!Onll_nvm.Memory.crash} when it catches the exception — the raise
+    models the power cut, the catch models the reboot. *)
+
+val disarm : t -> unit
+(** Cancel a pending armed crash, if any. *)
+
+val armed : t -> bool
+
+(** {1 Injection counters} *)
+
+type counters = {
+  bit_flips : int;
+  torn_spans : int;
+  flush_transients : int;
+  fence_transients : int;
+  recovery_crashes : int;  (** armed nested crashes that fired *)
+}
+
+val counters : t -> counters
+val total : counters -> int
+
+val pp_counters : Format.formatter -> counters -> unit

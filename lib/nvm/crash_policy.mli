@@ -16,7 +16,19 @@ type t =
           adversarially *maximal* durable state (models lucky evictions). *)
   | Random of int
       (** Each dirty line and each pending (flushed-but-unfenced) write-back
-          independently survives with probability 1/2, using the given seed. *)
+          independently survives with probability 1/2, using the given seed.
+
+          {b Seed contract.} The surviving set is a pure function of the
+          seed and the memory system's state at the crash: a fresh SplitMix
+          stream is created from the seed at each crash, and one coin is
+          drawn per candidate in a fixed order — every process's pending
+          write-backs in issue order (processes ascending), then every
+          region's dirty lines in ascending line order. Replaying the same
+          program to the same crash point with the same seed therefore
+          reproduces the same durable image, byte for byte (pinned by
+          [test_nvm]'s determinism test). Distinct crashes in one run reuse
+          the same seed but generally see different candidate sets; vary the
+          seed to vary a specific crash's outcome. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -28,6 +28,11 @@ module Stats = struct
       t.loads t.stores t.flushes t.fences t.persistent_fences t.crashes
 end
 
+exception Transient_fault of string
+exception Injected_crash
+
+type op_kind = Op_load | Op_store | Op_flush | Op_fence
+
 type region = {
   r_name : string;
   r_size : int;
@@ -38,12 +43,20 @@ type region = {
 
 and pending = { p_region : region; p_line : int; p_data : Bytes.t }
 
+and hooks = {
+  h_op : op_kind -> unit;
+  h_flush : proc:int -> region:string -> unit;
+  h_fence : proc:int -> pending:int -> unit;
+  h_crash : unit -> unit;
+}
+
 and t = {
   line_size : int;
   max_processes : int;
   regions : (string, region) Hashtbl.t;
   pending : pending list ref array;  (* per process, newest first *)
   mutable sink : Onll_obs.Sink.t;
+  mutable hooks : hooks option;
   mutable s_loads : int;
   mutable s_stores : int;
   mutable s_flushes : int;
@@ -52,6 +65,9 @@ and t = {
   mutable s_crashes : int;
   pf_by_proc : int array;
 }
+
+let op_hook t kind =
+  match t.hooks with None -> () | Some h -> h.h_op kind
 
 let create ?(line_size = 64) ?(sink = Onll_obs.Sink.null) ~max_processes () =
   if line_size < 1 then invalid_arg "Memory.create: line_size < 1";
@@ -62,6 +78,7 @@ let create ?(line_size = 64) ?(sink = Onll_obs.Sink.null) ~max_processes () =
     regions = Hashtbl.create 8;
     pending = Array.init max_processes (fun _ -> ref []);
     sink;
+    hooks = None;
     s_loads = 0;
     s_stores = 0;
     s_flushes = 0;
@@ -73,6 +90,7 @@ let create ?(line_size = 64) ?(sink = Onll_obs.Sink.null) ~max_processes () =
 
 let sink t = t.sink
 let set_sink t s = t.sink <- s
+let set_hooks t h = t.hooks <- h
 
 let line_size t = t.line_size
 let max_processes t = t.max_processes
@@ -143,6 +161,7 @@ module Region = struct
     check_proc mem proc;
     let len = String.length data in
     check_range r off len "store";
+    op_hook mem Op_store;
     mem.s_stores <- mem.s_stores + 1;
     let ls = mem.line_size in
     let pos = ref 0 in
@@ -160,6 +179,7 @@ module Region = struct
     let mem = r.r_mem in
     check_proc mem proc;
     check_range r off len "load";
+    op_hook mem Op_load;
     mem.s_loads <- mem.s_loads + 1;
     let ls = mem.line_size in
     let out = Bytes.create len in
@@ -187,6 +207,12 @@ module Region = struct
     let mem = r.r_mem in
     check_proc mem proc;
     check_range r off len "flush";
+    op_hook mem Op_flush;
+    (* A transient flush failure faults the whole instruction before any
+       line is queued: all-or-nothing, so a retry re-issues every line. *)
+    (match mem.hooks with
+    | Some h -> h.h_flush ~proc ~region:r.r_name
+    | None -> ());
     if len > 0 then begin
       let ls = mem.line_size in
       let first = off / ls and last = (off + len - 1) / ls in
@@ -211,6 +237,12 @@ module Region = struct
   let dirty_lines r =
     Hashtbl.fold (fun line _ acc -> line :: acc) r.overlay []
     |> List.sort compare
+
+  let corrupt r ~off ~len ~f =
+    check_range r off len "corrupt";
+    for i = 0 to len - 1 do
+      Bytes.set r.nvm (off + i) (f i (Bytes.get r.nvm (off + i)))
+    done
 end
 
 let region_names t =
@@ -278,6 +310,12 @@ let load_image t ~path =
 
 let fence t ~proc =
   check_proc t proc;
+  op_hook t Op_fence;
+  (* A transient fence failure leaves the pending set intact: the fence
+     simply did not happen, and a retry drains everything. *)
+  (match t.hooks with
+  | Some h -> h.h_fence ~proc ~pending:(List.length !(t.pending.(proc)))
+  | None -> ());
   t.s_fences <- t.s_fences + 1;
   let q = t.pending.(proc) in
   let persistent =
@@ -330,7 +368,10 @@ let crash t ~policy =
         (fun (line, b) -> if survives () then write_back r line b)
         (List.sort compare lines);
       Hashtbl.reset r.overlay)
-    t.regions
+    t.regions;
+  (* Media degradation at power loss: the fault layer may now corrupt
+     durable bytes (bit rot, torn multi-line writes) via {!Region.corrupt}. *)
+  match t.hooks with Some h -> h.h_crash () | None -> ()
 
 let stats t =
   {

@@ -25,6 +25,43 @@
 
 type t
 
+exception Transient_fault of string
+(** Raised by an installed fault hook to make a [flush] or [fence] fail
+    {e transiently}: the instruction had no effect (no lines queued, no
+    write-backs drained) and retrying it may succeed. Consumers that care
+    about durability (the persistent log) retry with bounded backoff. *)
+
+exception Injected_crash
+(** Raised by an installed fault hook to cut execution mid-operation —
+    the fault layer's way of scheduling a nested crash at an exact
+    durable-memory operation (e.g. "the 17th memory access of recovery").
+    The raiser has not modified anything; the catcher is expected to call
+    {!crash} and restart whatever it was doing. *)
+
+type op_kind = Op_load | Op_store | Op_flush | Op_fence
+
+type hooks = {
+  h_op : op_kind -> unit;
+      (** Called at the start of every durable-memory operation (loads,
+          stores, flushes, fences). May raise {!Injected_crash}. *)
+  h_flush : proc:int -> region:string -> unit;
+      (** Called by [flush] before any line is queued. May raise
+          {!Transient_fault} to fail the whole instruction. *)
+  h_fence : proc:int -> pending:int -> unit;
+      (** Called by [fence] before draining; [pending] is the size of the
+          caller's pending set. May raise {!Transient_fault} (the pending
+          set is left intact). *)
+  h_crash : unit -> unit;
+      (** Called at the end of {!crash}, after crash-policy resolution —
+          the hook may corrupt durable bytes via {!Region.corrupt} to
+          model bit rot and torn media writes. *)
+}
+
+val set_hooks : t -> hooks option -> unit
+(** Install (or remove, with [None]) the fault hooks. Installed by
+    [Onll_faults]; [None] by default, in which case every hook point is a
+    single match on an immediate. *)
+
 val create :
   ?line_size:int -> ?sink:Onll_obs.Sink.t -> max_processes:int -> unit -> t
 (** [create ~max_processes ()] is a fresh memory system. [line_size]
@@ -72,6 +109,13 @@ module Region : sig
 
   val dirty_lines : t -> int list
   (** Line numbers currently dirty in the cache, sorted. For tests. *)
+
+  val corrupt : t -> off:int -> len:int -> f:(int -> char -> char) -> unit
+  (** [corrupt r ~off ~len ~f] transforms the {e durable} bytes
+      [off, off+len) in place: byte [off+i] becomes [f i old]. This models
+      media damage — it bypasses the cache, statistics and hooks entirely
+      and is meant for fault injection and tests, never for programs.
+      @raise Invalid_argument if the range is out of bounds. *)
 end
 
 val region : t -> name:string -> size:int -> Region.t

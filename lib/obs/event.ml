@@ -5,7 +5,9 @@
     log emits {!Log_append} and {!Log_compact}; the execution traces emit
     {!Cas_retry} and (wait-free helping) {!Help}; the universal
     construction emits {!Help} (persist-stage helping), {!Checkpoint} and
-    {!Recovery}. Every event carries the emitting process id and a
+    {!Recovery}; the fault-injection layer and the hardened recovery
+    paths emit {!Fault_injected}, {!Retry}, {!Salvage} and
+    {!Recovery_interrupted}. Every event carries the emitting process id and a
     logical timestamp stamped by the {!Sink} it is delivered to, so a
     single sink installed across components yields one totally ordered
     event stream. *)
@@ -30,6 +32,20 @@ type kind =
       (** One single-fence append of [bytes] payload bytes to [log]. *)
   | Log_compact of { log : string; dropped : int }
       (** [log]'s head durably advanced past [dropped] entries. *)
+  | Fault_injected of { fault : string }
+      (** The fault-injection layer perturbed the system: ["bitflip"],
+          ["torn"], ["flush_transient"], ["fence_transient"] or
+          ["recovery_crash"]. *)
+  | Retry of { site : string; attempt : int }
+      (** A component retried a transiently failed durable operation
+          (bounded retry with backoff); [attempt] counts from 1. *)
+  | Salvage of { log : string; quarantined : int; bytes_lost : int }
+      (** Recovery of [log] skipped [quarantined] corrupt interior spans
+          and/or truncated a torn tail, losing [bytes_lost] durable
+          bytes. *)
+  | Recovery_interrupted of { at_op : int }
+      (** A scheduled nested crash fired [at_op] durable-memory operations
+          into a recovery attempt. *)
 
 type t = {
   time : int;  (** logical timestamp, unique and monotone per sink *)
@@ -47,6 +63,10 @@ let kind_label = function
   | Crash -> "crash"
   | Log_append _ -> "log_append"
   | Log_compact _ -> "log_compact"
+  | Fault_injected _ -> "fault_injected"
+  | Retry _ -> "retry"
+  | Salvage _ -> "salvage"
+  | Recovery_interrupted _ -> "recovery_interrupted"
 
 let pp ppf { time; proc; kind } =
   let p ppf = Format.fprintf ppf in
@@ -59,5 +79,10 @@ let pp ppf { time; proc; kind } =
   | Checkpoint { upto } -> p ppf " upto=%d" upto
   | Recovery { ops } -> p ppf " ops=%d" ops
   | Log_append { log; bytes } -> p ppf " log=%s bytes=%d" log bytes
-  | Log_compact { log; dropped } -> p ppf " log=%s dropped=%d" log dropped);
+  | Log_compact { log; dropped } -> p ppf " log=%s dropped=%d" log dropped
+  | Fault_injected { fault } -> p ppf " fault=%s" fault
+  | Retry { site; attempt } -> p ppf " site=%s attempt=%d" site attempt
+  | Salvage { log; quarantined; bytes_lost } ->
+      p ppf " log=%s quarantined=%d bytes_lost=%d" log quarantined bytes_lost
+  | Recovery_interrupted { at_op } -> p ppf " at_op=%d" at_op);
   p ppf "@]"

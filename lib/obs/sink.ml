@@ -22,6 +22,12 @@ type t = {
   c_log_bytes : Metrics.counter;
   c_log_compactions : Metrics.counter;
   c_log_dropped : Metrics.counter;
+  c_faults : Metrics.counter;
+  c_retries : Metrics.counter;
+  c_salvages : Metrics.counter;
+  c_salvage_quarantined : Metrics.counter;
+  c_salvage_bytes_lost : Metrics.counter;
+  c_recovery_interruptions : Metrics.counter;
 }
 
 let build ~active ~registry ~handler =
@@ -45,6 +51,13 @@ let build ~active ~registry ~handler =
     c_log_bytes = Metrics.counter registry "log.bytes";
     c_log_compactions = Metrics.counter registry "log.compactions";
     c_log_dropped = Metrics.counter registry "log.dropped_entries";
+    c_faults = Metrics.counter registry "faults.injected";
+    c_retries = Metrics.counter registry "retries";
+    c_salvages = Metrics.counter registry "salvages";
+    c_salvage_quarantined = Metrics.counter registry "salvage.quarantined";
+    c_salvage_bytes_lost = Metrics.counter registry "salvage.bytes_lost";
+    c_recovery_interruptions =
+      Metrics.counter registry "recovery.interruptions";
   }
 
 let make ?registry ?handler () =
@@ -84,7 +97,15 @@ let emit t ~proc kind =
         Metrics.add t.c_log_bytes bytes
     | Event.Log_compact { dropped; _ } ->
         Metrics.incr t.c_log_compactions;
-        Metrics.add t.c_log_dropped dropped);
+        Metrics.add t.c_log_dropped dropped
+    | Event.Fault_injected _ -> Metrics.incr t.c_faults
+    | Event.Retry _ -> Metrics.incr t.c_retries
+    | Event.Salvage { quarantined; bytes_lost; _ } ->
+        Metrics.incr t.c_salvages;
+        Metrics.add t.c_salvage_quarantined quarantined;
+        Metrics.add t.c_salvage_bytes_lost bytes_lost
+    | Event.Recovery_interrupted _ ->
+        Metrics.incr t.c_recovery_interruptions);
     match t.handler with
     | Some f -> f { Event.time; proc; kind }
     | None -> ()

@@ -7,7 +7,10 @@
     ["help.events"]/["help.ops"], checkpoint → ["checkpoints"], recovery
     → ["recoveries"]/["recovery.ops"], crash → ["crashes"], log_append →
     ["log.appends"]/["log.bytes"], log_compact → ["log.compactions"]/
-    ["log.dropped_entries"]), and optionally a handler that receives the
+    ["log.dropped_entries"], fault_injected → ["faults.injected"], retry →
+    ["retries"], salvage → ["salvages"]/["salvage.quarantined"]/
+    ["salvage.bytes_lost"], recovery_interrupted →
+    ["recovery.interruptions"]), and optionally a handler that receives the
     full structured stream. Events are stamped with a per-sink logical
     clock, so one sink threaded through several components yields a
     single totally ordered history.

@@ -5,6 +5,19 @@ let slot_a = 0
 let slot_b = 32
 let slot_bytes = 24
 
+(* Salvage skip markers: a 16-byte pseudo-entry [neg_span:int64
+   crc32(neg_span‖magic):int64] written over the start of a quarantined
+   corrupt span. Negative length distinguishes it from real entries; the
+   CRC distinguishes it from garbage. Any quarantined span is >= 17 bytes
+   (a real entry is 16 bytes of header plus a non-empty payload), so the
+   marker always fits. *)
+let skip_magic = 0x534B49504D41524BL (* "SKIPMARK" *)
+
+(* Bounded retry budget for transiently failing flush/fence pairs. Fault
+   plans cap consecutive transient failures well below this, so a durable
+   operation always eventually lands. *)
+let retry_budget = 8
+
 let crc_of_int64s a b =
   let buf = Bytes.create 16 in
   Bytes.set_int64_le buf 0 a;
@@ -21,6 +34,28 @@ let entry_crc payload =
   Bytes.blit_string payload 0 buf 8 (String.length payload);
   Crc32.bytes buf ~pos:0 ~len:(Bytes.length buf)
 
+type salvage_report = {
+  torn_tail_bytes : int;
+  quarantined_spans : int;
+  quarantined_bytes : int;
+  skip_markers : int;
+}
+
+let clean_report =
+  {
+    torn_tail_bytes = 0;
+    quarantined_spans = 0;
+    quarantined_bytes = 0;
+    skip_markers = 0;
+  }
+
+let report_lost r = r.torn_tail_bytes + r.quarantined_bytes
+
+let pp_salvage_report ppf r =
+  Format.fprintf ppf
+    "@[<h>torn_tail=%dB quarantined=%d spans (%dB) markers=%d@]"
+    r.torn_tail_bytes r.quarantined_spans r.quarantined_bytes r.skip_markers
+
 module Make (M : Onll_machine.Machine_sig.S) = struct
   type t = {
     region : M.Pm.t;
@@ -35,6 +70,29 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
   let name t = t.log_name
   let capacity t = t.log_capacity
   let log_end t = header_size + t.log_capacity
+
+  let emit_retry t ~site ~attempt =
+    if Onll_obs.Sink.active t.sink then
+      Onll_obs.Sink.emit t.sink ~proc:(M.self ())
+        (Onll_obs.Event.Retry { site; attempt })
+
+  (* Make [off, off+len) durable: flush then one fence, retrying the pair
+     on transient faults. A failed flush queued nothing and a failed fence
+     left the pending set intact; re-flushing re-queues snapshots of the
+     same dirty lines, so retrying the whole pair is idempotent. *)
+  let persist t ~site ~off ~len =
+    let rec go attempt =
+      match
+        M.Pm.flush t.region ~off ~len;
+        M.fence ()
+      with
+      | () -> ()
+      | exception Onll_nvm.Memory.Transient_fault _
+        when attempt <= retry_budget ->
+          emit_retry t ~site ~attempt;
+          go (attempt + 1)
+    in
+    go 1
 
   (* Read one header slot; [Some (seq, head)] if its checksum validates and
      the head is in range. *)
@@ -57,24 +115,47 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
     | Some (sa, ha), Some (sb, hb) ->
         if sa >= sb then (sa, ha) else (sb, hb)
 
-  (* Scan the valid entries from [head]; returns (payload, offset) pairs in
-     order plus the end-of-valid-prefix offset. *)
+  (* A valid skip marker at [pos]? Returns the span it quarantines. *)
+  let read_skip t pos =
+    let stop = log_end t in
+    if pos + 16 > stop then None
+    else
+      let len64 = M.Pm.load_int64 t.region ~off:pos in
+      if Int64.compare len64 0L >= 0 then None
+      else
+        let span = Int64.to_int (Int64.neg len64) in
+        let stored = M.Pm.load_int64 t.region ~off:(pos + 8) in
+        if
+          stored = crc_to_int64 (crc_of_int64s len64 skip_magic)
+          && span >= 16
+          && pos + span <= stop
+        then Some span
+        else None
+
+  (* Scan the valid entries from [head], transparently stepping over valid
+     skip markers left by salvage; returns (payload, offset) pairs in
+     order, the end-of-valid-prefix offset, and the markers stepped
+     over. *)
   let scan t head =
     let stop = log_end t in
-    let rec loop pos acc =
-      if pos + 16 > stop then (List.rev acc, pos)
+    let rec loop pos acc markers =
+      if pos + 16 > stop then (List.rev acc, pos, markers)
       else
         let len64 = M.Pm.load_int64 t.region ~off:pos in
         let len = Int64.to_int len64 in
-        if len <= 0 || pos + 16 + len > stop then (List.rev acc, pos)
+        if len <= 0 then
+          match read_skip t pos with
+          | Some span -> loop (pos + span) acc (markers + 1)
+          | None -> (List.rev acc, pos, markers)
+        else if pos + 16 + len > stop then (List.rev acc, pos, markers)
         else
           let stored = M.Pm.load_int64 t.region ~off:(pos + 8) in
           let payload = M.Pm.load t.region ~off:(pos + 16) ~len in
           if stored <> crc_to_int64 (entry_crc payload) then
-            (List.rev acc, pos)
-          else loop (pos + 16 + len) ((payload, pos) :: acc)
+            (List.rev acc, pos, markers)
+          else loop (pos + 16 + len) ((payload, pos) :: acc) markers
     in
-    loop head []
+    loop head [] 0
 
   let create ?(sink = Onll_obs.Sink.null) ~name ~capacity () =
     if capacity <= 0 then invalid_arg "Plog.create: non-positive capacity";
@@ -89,12 +170,135 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
       header_seq = 0L;
     }
 
+  (* What lies at the end of the valid prefix [pos]:
+     - [Clean]: zeros to the end of the region — a well-formed log end.
+     - [Torn n]: [n] bytes of garbage with no valid entry anywhere after —
+       a torn final write (or tail-only media damage). Truncation loses
+       nothing that was ever acknowledged durable by a clean append, so
+       the span is zeroed and the log ends at [pos].
+     - [Corrupt_span span]: a CRC-valid entry (or marker) resumes [span]
+       bytes further on — interior media corruption. The span is
+       quarantined behind a skip marker; the entries after it survive. *)
+  type tail_class = Clean | Torn of int | Corrupt_span of int
+
+  let classify t pos =
+    let stop = log_end t in
+    if pos >= stop then Clean
+    else begin
+      let rest = M.Pm.load t.region ~off:pos ~len:(stop - pos) in
+      (* Last nonzero byte bounds the search: an entry has a nonzero
+         length field, so none can start in the all-zero suffix. *)
+      let last_nz = ref (-1) in
+      String.iteri (fun i c -> if c <> '\000' then last_nz := i) rest;
+      if !last_nz < 0 then Clean
+      else begin
+        (* Resync search. The corrupted entry at [pos] originally occupied
+           >= 17 bytes, so the next real boundary is at pos+17 or later —
+           which also guarantees a quarantined span can hold the 16-byte
+           marker. *)
+        let n = String.length rest in
+        let valid_at r =
+          if r + 16 > n then false
+          else
+            let len64 = String.get_int64_le rest r in
+            let len = Int64.to_int len64 in
+            if len >= 1 then
+              r + 16 + len <= n
+              && String.get_int64_le rest (r + 8)
+                 = crc_to_int64
+                     (entry_crc (String.sub rest (r + 16) len))
+            else if Int64.compare len64 0L < 0 then
+              (* an earlier salvage's marker is a valid resync point *)
+              let span = Int64.to_int (Int64.neg len64) in
+              span >= 16
+              && r + span <= n
+              && String.get_int64_le rest (r + 8)
+                 = crc_to_int64 (crc_of_int64s len64 skip_magic)
+            else false
+        in
+        let resync = ref None in
+        let r = ref 17 in
+        while !resync = None && !r <= !last_nz do
+          if valid_at !r then resync := Some !r;
+          incr r
+        done;
+        match !resync with
+        | Some r -> Corrupt_span r
+        | None -> Torn (!last_nz + 1)
+      end
+    end
+
+  let write_skip_marker t ~off ~span =
+    let len64 = Int64.neg (Int64.of_int span) in
+    M.Pm.store_int64 t.region ~off len64;
+    M.Pm.store_int64 t.region ~off:(off + 8)
+      (crc_to_int64 (crc_of_int64s len64 skip_magic));
+    persist t ~site:"plog.salvage" ~off ~len:16
+
+  let zero_span t ~off ~len =
+    M.Pm.store t.region ~off (String.make len '\000');
+    persist t ~site:"plog.salvage" ~off ~len
+
   let recover t =
     let seq, head = read_header t in
-    let _, tail = scan t head in
     t.header_seq <- seq;
     t.head <- head;
-    t.tail <- tail
+    let torn = ref 0 and qspans = ref 0 and qbytes = ref 0 in
+    (* Settle the log: repeatedly extend the valid prefix by repairing
+       whatever stops it. Every repair is idempotent — rewriting a marker
+       is byte-identical and re-zeroing zeros is a no-op — so a crash at
+       any point during salvage converges on the next recovery. *)
+    let rec settle pos =
+      let _, stop_pos, _ = scan t pos in
+      match classify t stop_pos with
+      | Clean -> ()
+      | Torn n ->
+          zero_span t ~off:stop_pos ~len:n;
+          torn := !torn + n
+      | Corrupt_span span ->
+          write_skip_marker t ~off:stop_pos ~span;
+          incr qspans;
+          qbytes := !qbytes + span;
+          settle (stop_pos + span)
+    in
+    settle head;
+    let _, tail, markers = scan t head in
+    t.tail <- tail;
+    if (!torn > 0 || !qspans > 0) && Onll_obs.Sink.active t.sink then
+      Onll_obs.Sink.emit t.sink ~proc:(M.self ())
+        (Onll_obs.Event.Salvage
+           {
+             log = t.log_name;
+             quarantined = !qspans;
+             bytes_lost = !torn + !qbytes;
+           });
+    {
+      torn_tail_bytes = !torn;
+      quarantined_spans = !qspans;
+      quarantined_bytes = !qbytes;
+      skip_markers = markers;
+    }
+
+  (* The pre-hardening recovery: truncate at the first invalid entry, no
+     resync, no repair, no report. Kept as the calibration baseline the
+     chaos campaign must catch silently losing interior entries. *)
+  let recover_unhardened t =
+    let seq, head = read_header t in
+    let stop = log_end t in
+    let rec loop pos =
+      if pos + 16 > stop then pos
+      else
+        let len = Int64.to_int (M.Pm.load_int64 t.region ~off:pos) in
+        if len <= 0 || pos + 16 + len > stop then pos
+        else
+          let stored = M.Pm.load_int64 t.region ~off:(pos + 8) in
+          let payload = M.Pm.load t.region ~off:(pos + 16) ~len in
+          if stored <> crc_to_int64 (entry_crc payload) then pos
+          else loop (pos + 16 + len)
+    in
+    t.header_seq <- seq;
+    t.head <- head;
+    t.tail <- loop head
 
   let append t payload =
     let len = String.length payload in
@@ -105,21 +309,27 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
     M.Pm.store_int64 t.region ~off (Int64.of_int len);
     M.Pm.store_int64 t.region ~off:(off + 8) (crc_to_int64 (entry_crc payload));
     M.Pm.store t.region ~off:(off + 16) payload;
-    M.Pm.flush t.region ~off ~len:need;
-    M.fence ();
+    persist t ~site:"plog.append" ~off ~len:need;
     t.tail <- off + need;
     if Onll_obs.Sink.active t.sink then
       Onll_obs.Sink.emit t.sink ~proc:(M.self ())
         (Onll_obs.Event.Log_append { log = t.log_name; bytes = need })
 
-  let entries t = List.map fst (fst (scan t t.head))
+  let try_append t payload =
+    match append t payload with
+    | () -> Ok ()
+    | exception Full -> Error `Full
+
+  let entries t =
+    let es, _, _ = scan t t.head in
+    List.map fst es
 
   let entry_count t = List.length (entries t)
 
   let set_head t n =
     if n < 0 then invalid_arg "Plog.set_head: negative count";
     if n > 0 then begin
-      let live, tail_off = scan t t.head in
+      let live, tail_off, _ = scan t t.head in
       if n > List.length live then
         invalid_arg "Plog.set_head: fewer entries than requested";
       let new_head =
@@ -134,8 +344,7 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
       M.Pm.store_int64 t.region ~off:(slot + 8) (Int64.of_int new_head);
       M.Pm.store_int64 t.region ~off:(slot + 16)
         (crc_to_int64 (crc_of_int64s seq (Int64.of_int new_head)));
-      M.Pm.flush t.region ~off:slot ~len:slot_bytes;
-      M.fence ();
+      persist t ~site:"plog.set_head" ~off:slot ~len:slot_bytes;
       t.header_seq <- seq;
       t.head <- new_head;
       if Onll_obs.Sink.active t.sink then
@@ -145,4 +354,44 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
 
   let used_bytes t = t.tail - header_size
   let live_bytes t = t.tail - t.head
+  let free_bytes t = log_end t - t.tail
+
+  (* Physically move the live span to the front of the entries area,
+     reclaiming the dead pre-head bytes for appends (set_head only advances
+     a pointer; appends never wrap, so without this the area fills for
+     good). Crash-atomic: the live bytes are first durably copied into the
+     dead zone at the start of the entries area — strictly below [head], so
+     the source is untouched — and only then does a two-slot header update
+     switch the head to the front. A crash before the switch leaves the old
+     header and the old live span intact (the partial copy sits in dead
+     bytes recovery never reads). The stale old span beyond the new tail is
+     zeroed last; a crash before that zeroing leaves stale CRC-valid
+     records past the tail, which the next recovery either ignores (their
+     content predates the checkpoint the live span starts with) or
+     quarantines — both converge. *)
+  let relocate t =
+    let live = t.tail - t.head in
+    if t.head > header_size && header_size + live <= t.head then begin
+      if live > 0 then begin
+        let span = M.Pm.load t.region ~off:t.head ~len:live in
+        M.Pm.store t.region ~off:header_size span;
+        persist t ~site:"plog.relocate" ~off:header_size ~len:live
+      end;
+      let seq = Int64.add t.header_seq 1L in
+      let slot = if Int64.rem seq 2L = 0L then slot_a else slot_b in
+      M.Pm.store_int64 t.region ~off:slot seq;
+      M.Pm.store_int64 t.region ~off:(slot + 8) (Int64.of_int header_size);
+      M.Pm.store_int64 t.region ~off:(slot + 16)
+        (crc_to_int64 (crc_of_int64s seq (Int64.of_int header_size)));
+      persist t ~site:"plog.relocate" ~off:slot ~len:slot_bytes;
+      let old_tail = t.tail in
+      t.header_seq <- seq;
+      t.head <- header_size;
+      t.tail <- header_size + live;
+      let stale = old_tail - t.tail in
+      if stale > 0 then begin
+        M.Pm.store t.region ~off:t.tail (String.make stale '\000');
+        persist t ~site:"plog.relocate" ~off:t.tail ~len:stale
+      end
+    end
 end

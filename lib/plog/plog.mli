@@ -15,16 +15,53 @@
     using a two-slot versioned header so that a crash during the head update
     preserves one valid header.
 
+    {b Media-fault hardening.} Under the fault model of [Onll_faults],
+    durable bytes can rot {e anywhere}, not just at the tail. {!Make.recover}
+    therefore runs a {e salvage scan}: where the valid prefix stops, it
+    searches forward for a resync point (the next CRC-valid entry). If one
+    exists, the bytes in between are interior corruption — they are
+    quarantined behind a durable, CRC-protected {e skip marker} and the
+    entries beyond survive; the loss is reported precisely. If none exists,
+    the garbage is a torn tail — it is zeroed and the log truncated, which
+    loses nothing a completed append ever acknowledged. All repairs are
+    idempotent (rewriting a marker is byte-identical; re-zeroing zeros is a
+    no-op), so recovery interrupted by a nested crash at any point converges.
+    Transiently failing flushes/fences ({!Onll_nvm.Memory.Transient_fault})
+    are retried with a bounded budget, emitting [Retry] events.
+
     Layout (byte offsets within the region):
     {v
     0   header slot A: seq:int64  head:int64  crc32(seq‖head):int64
     32  header slot B: same
     64  entries: [len:int64  crc32(len‖payload):int64  payload] ...
+        skip marker: [-span:int64  crc32(-span‖magic):int64]  (16 bytes)
     v} *)
 
 exception Full
 (** Raised by [append] when a log's entries area is exhausted. The
     exception is shared by every [Make] instantiation. *)
+
+type salvage_report = {
+  torn_tail_bytes : int;
+      (** garbage bytes zeroed and truncated at the tail (no valid entry
+          followed them); torn unacknowledged appends land here, so a
+          nonzero value after a clean crash is normal and not data loss *)
+  quarantined_spans : int;
+      (** interior corrupt spans newly quarantined behind skip markers
+          this recovery — each one is durable data loss *)
+  quarantined_bytes : int;  (** total bytes in those spans *)
+  skip_markers : int;
+      (** skip markers present in the log after recovery, including ones
+          left by earlier recoveries *)
+}
+
+val clean_report : salvage_report
+(** All zeros — what a recovery of an uncorrupted log reports. *)
+
+val report_lost : salvage_report -> int
+(** Durable bytes discarded by this recovery (torn + quarantined). *)
+
+val pp_salvage_report : Format.formatter -> salvage_report -> unit
 
 module Make (M : Onll_machine.Machine_sig.S) : sig
   type t
@@ -33,22 +70,36 @@ module Make (M : Onll_machine.Machine_sig.S) : sig
     ?sink:Onll_obs.Sink.t -> name:string -> capacity:int -> unit -> t
   (** A fresh log in a new persistent region of [capacity] bytes (entries
       area; header overhead is added on top). [sink] (default
-      {!Onll_obs.Sink.null}) receives a [Log_append] event per append and a
-      [Log_compact] event per head advance. *)
+      {!Onll_obs.Sink.null}) receives a [Log_append] event per append, a
+      [Log_compact] event per head advance, a [Retry] event per transient
+      fault retried and a [Salvage] event per repairing recovery. *)
 
   val append : t -> string -> unit
   (** Append a payload and make it durable: store, flush, one fence —
-      exactly one persistent fence. @raise Full if the entries area is
-      exhausted (compact or resize). *)
+      exactly one persistent fence (transient fault retries excepted).
+      @raise Full if the entries area is exhausted (compact or resize). *)
+
+  val try_append : t -> string -> (unit, [ `Full ]) result
+  (** [append] with a typed full condition instead of an exception. *)
 
   val entries : t -> string list
   (** The durable valid entries from the current head, oldest first, read
-      back from (simulated) NVM. This is the recovery read path; it performs
-      no fences. *)
+      back from (simulated) NVM, stepping over skip markers. This is the
+      recovery read path; it performs no fences. *)
 
-  val recover : t -> unit
-  (** Reset the in-memory append cursor from the durable contents — call
-      after a crash before appending again. *)
+  val recover : t -> salvage_report
+  (** Reset the in-memory cursors from the durable contents — call after a
+      crash before appending again. Runs the salvage scan described in the
+      module doc, durably repairing interior corruption (skip markers) and
+      torn tails (zeroed and truncated); the report says exactly what was
+      lost. A recovery that itself crashes mid-repair converges when
+      re-run: repairs are idempotent. *)
+
+  val recover_unhardened : t -> unit
+  (** The pre-hardening recovery: truncate at the first invalid entry —
+      silently dropping every entry after an interior corruption, with no
+      repair and no report. Calibration baseline for the chaos campaign
+      (E12), which must catch it losing data; never use it otherwise. *)
 
   val set_head : t -> int -> unit
   (** [set_head t n] durably discards the oldest [n] valid entries (one
@@ -64,6 +115,18 @@ module Make (M : Onll_machine.Machine_sig.S) : sig
 
   val live_bytes : t -> int
   (** Bytes occupied by live (post-head) entries. *)
+
+  val free_bytes : t -> int
+  (** Bytes left for appends before {!Full}. *)
+
+  val relocate : t -> unit
+  (** Physically move the live span (head to tail) to the front of the
+      entries area, reclaiming the dead pre-head bytes for appends —
+      {!set_head} alone only advances a pointer and never frees append
+      space. Durable and crash-atomic (copy below the old head first, then
+      switch the two-slot header, then zero the stale span). No-op when
+      there is nothing to reclaim or the live span would overlap its
+      destination; call after a checkpoint has shrunk the live set. *)
 
   val capacity : t -> int
   val name : t -> string

@@ -1,0 +1,229 @@
+(** The E12 chaos campaign, shared by the bench experiment and the [onll
+    chaos] subcommand: many {!Chaos} runs per object — schedules × crash
+    policies × media-fault plans × nested recovery crashes — plus a
+    calibration pass that re-runs a slice of the same plans against the
+    {e unhardened} recovery and must catch it silently losing data (a
+    campaign whose detector never fires proves nothing). *)
+
+open Onll_util
+module Faults = Onll_faults.Faults
+
+(* The per-seed plan grid. Every knob is a pure function of the seed so a
+   row reproduces from (object, seed) alone. *)
+let plan_of_seed seed =
+  let fault =
+    {
+      (Faults.Plan.default ~seed) with
+      Faults.Plan.bit_flips_per_crash = 1 + (seed mod 3);
+      torn_spans_per_crash = (if seed mod 4 = 0 then 1 else 0);
+      torn_span_max_bytes = 40;
+      media_window = 512;
+      (* corrupt media on the first crash and the first nested crash, then
+         stop, so crash-recover-crash loops converge *)
+      media_fault_crashes = 2;
+      flush_fail_prob = (if seed mod 2 = 0 then 0.05 else 0.);
+      fence_fail_prob = (if seed mod 2 = 0 then 0.05 else 0.);
+      max_consecutive_transients = 2;
+    }
+  in
+  {
+    Chaos.default_plan with
+    Chaos.seed;
+    n_procs = 3;
+    ops_per_proc = 4;
+    crash_at = 20 + (seed * 17 mod 160);
+    policy =
+      (match seed mod 3 with
+      | 0 -> Onll_nvm.Crash_policy.Persist_all
+      | 1 -> Onll_nvm.Crash_policy.Drop_all
+      | _ -> Onll_nvm.Crash_policy.Random seed);
+    wait_free = seed mod 5 = 0;
+    local_views = seed mod 2 = 0;
+    fault;
+    nested_crashes = seed mod 3;
+    hardened = true;
+  }
+
+type row = {
+  obj_name : string;
+  runs : int;
+  crashed : int;
+  media_faults : int;  (** bit flips + torn spans injected *)
+  transients : int;  (** transient flush/fence failures injected *)
+  nested : int;  (** nested recovery crashes that fired *)
+  lost_reported : int;
+  tail_ambiguous : int;
+  violations : int;
+  metrics : (string * int) list;  (** summed tracked sink counters *)
+}
+
+type calibration = {
+  cal_runs : int;
+  cal_caught : int;  (** unhardened runs the audit flagged (must be > 0) *)
+}
+
+type summary = {
+  rows : row list;
+  calibration : calibration;
+  messages : string list;  (** concrete violation messages, if any *)
+}
+
+let total_violations s =
+  List.fold_left (fun acc r -> acc + r.violations) 0 s.rows
+
+module Drive (S : Onll_core.Spec.S) = struct
+  module C = Chaos.Make (S)
+
+  let campaign ~name ~gen_update ~gen_read ~seeds ~messages =
+    let zero k = (k, 0) in
+    let acc =
+      ref
+        {
+          obj_name = name;
+          runs = 0;
+          crashed = 0;
+          media_faults = 0;
+          transients = 0;
+          nested = 0;
+          lost_reported = 0;
+          tail_ambiguous = 0;
+          violations = 0;
+          metrics = List.map zero Chaos.tracked_counters;
+        }
+    in
+    for seed = 1 to seeds do
+      let r = C.run ~plan:(plan_of_seed seed) ~gen_update ~gen_read () in
+      let a = !acc in
+      let f = r.Chaos.faults in
+      List.iter
+        (fun m -> messages := Printf.sprintf "%s seed %d: %s" name seed m :: !messages)
+        r.Chaos.violations;
+      acc :=
+        {
+          a with
+          runs = a.runs + 1;
+          crashed = (a.crashed + if r.Chaos.crashed then 1 else 0);
+          media_faults =
+            a.media_faults + f.Faults.bit_flips + f.Faults.torn_spans;
+          transients =
+            a.transients + f.Faults.flush_transients
+            + f.Faults.fence_transients;
+          nested = a.nested + r.Chaos.nested_fired;
+          lost_reported = a.lost_reported + r.Chaos.lost_reported;
+          tail_ambiguous = a.tail_ambiguous + r.Chaos.tail_ambiguous;
+          violations = a.violations + List.length r.Chaos.violations;
+          metrics =
+            List.map2
+              (fun (k, v) (k', v') ->
+                assert (k = k');
+                (k, v + v'))
+              a.metrics r.Chaos.metrics;
+        }
+    done;
+    !acc
+
+  (* Calibration: the same plans, unhardened recovery. A run is "caught"
+     when the audit flags it — which it must, for silent truncation under
+     media faults, on at least one seed. *)
+  let calibrate ~gen_update ~gen_read ~seeds =
+    let caught = ref 0 in
+    for seed = 1 to seeds do
+      let plan = { (plan_of_seed seed) with Chaos.hardened = false } in
+      let r = C.run ~plan ~gen_update ~gen_read () in
+      if r.Chaos.violations <> [] then incr caught
+    done;
+    (seeds, !caught)
+end
+
+let run ~seeds_per_object ~calibration_seeds =
+  let messages = ref [] in
+  let module D_counter = Drive (Onll_specs.Counter) in
+  let module D_queue = Drive (Onll_specs.Queue_spec) in
+  let module D_kv = Drive (Onll_specs.Kv) in
+  let module D_stack = Drive (Onll_specs.Stack_spec) in
+  let rows =
+    [
+      D_counter.campaign ~name:"counter" ~gen_update:Gen.Counter.update
+        ~gen_read:Gen.Counter.read ~seeds:seeds_per_object ~messages;
+      D_queue.campaign ~name:"queue" ~gen_update:Gen.Queue.update
+        ~gen_read:Gen.Queue.read ~seeds:seeds_per_object ~messages;
+      D_kv.campaign ~name:"kv" ~gen_update:Gen.Kv.update ~gen_read:Gen.Kv.read
+        ~seeds:seeds_per_object ~messages;
+      D_stack.campaign ~name:"stack" ~gen_update:Gen.Stack.update
+        ~gen_read:Gen.Stack.read ~seeds:seeds_per_object ~messages;
+    ]
+  in
+  (* Calibration on the kv object: rich payloads make silent truncation
+     bite fast. *)
+  let cal_runs, cal_caught =
+    D_kv.calibrate ~gen_update:Gen.Kv.update ~gen_read:Gen.Kv.read
+      ~seeds:calibration_seeds
+  in
+  {
+    rows;
+    calibration = { cal_runs; cal_caught };
+    messages = List.rev !messages;
+  }
+
+let print s =
+  Table.print
+    ~title:
+      "E12 — chaos campaign (media faults × transient flush/fence failures \
+       × nested recovery crashes; violations must be 0)"
+    ~header:
+      [
+        "object";
+        "runs";
+        "crashed";
+        "media";
+        "transient";
+        "nested";
+        "reported-lost";
+        "tail-ambig";
+        "violations";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.obj_name;
+           string_of_int r.runs;
+           string_of_int r.crashed;
+           string_of_int r.media_faults;
+           string_of_int r.transients;
+           string_of_int r.nested;
+           string_of_int r.lost_reported;
+           string_of_int r.tail_ambiguous;
+           string_of_int r.violations;
+         ])
+       s.rows);
+  List.iter (fun m -> Printf.printf "  VIOLATION %s\n" m) s.messages;
+  Printf.printf
+    "calibration (unhardened recovery): %d/%d runs caught losing data %s\n"
+    s.calibration.cal_caught s.calibration.cal_runs
+    (if s.calibration.cal_caught > 0 then "(detector fires)"
+     else "(DETECTOR NEVER FIRED — campaign proves nothing)")
+
+(* Fold a summary into a metrics registry for the BENCH_e12.json snapshot
+   (satellite: fault/retry/salvage/recovery counters are first-class
+   metrics). *)
+let to_metrics s =
+  let reg = Onll_obs.Metrics.create () in
+  let add name v = Onll_obs.Metrics.add (Onll_obs.Metrics.counter reg name) v in
+  List.iter
+    (fun r ->
+      let p fmt = Printf.sprintf fmt r.obj_name in
+      add (p "chaos.%s.runs") r.runs;
+      add (p "chaos.%s.crashed") r.crashed;
+      add (p "chaos.%s.media_faults") r.media_faults;
+      add (p "chaos.%s.transients") r.transients;
+      add (p "chaos.%s.nested_crashes") r.nested;
+      add (p "chaos.%s.reported_lost") r.lost_reported;
+      add (p "chaos.%s.tail_ambiguous") r.tail_ambiguous;
+      add (p "chaos.%s.violations") r.violations;
+      List.iter
+        (fun (k, v) -> add (Printf.sprintf "chaos.%s.%s" r.obj_name k) v)
+        r.metrics)
+    s.rows;
+  add "chaos.calibration.runs" s.calibration.cal_runs;
+  add "chaos.calibration.caught" s.calibration.cal_caught;
+  reg

@@ -1,0 +1,265 @@
+(* The fault-injection layer (Onll_faults) and the hardened recovery it
+   exists to exercise: deterministic media corruption, capped transient
+   failures, the armed nested-crash fuse — and the PR's central acceptance
+   property, recovery idempotence under a crash at EVERY recovery step. *)
+
+open Onll_machine
+module Faults = Onll_faults.Faults
+module Memory = Onll_nvm.Memory
+module Cs = Onll_specs.Counter
+
+let check = Alcotest.check
+
+(* {1 Determinism} *)
+
+let test_media_corruption_deterministic () =
+  (* Same seed -> byte-identical corrupted image and identical counters;
+     different seed -> a different image. *)
+  let durable seed =
+    let sim = Sim.create ~max_processes:1 () in
+    let module M = (val Sim.machine sim) in
+    let module C = Onll_core.Onll.Make (M) (Cs) in
+    let obj = C.create ~log_capacity:4096 () in
+    for _ = 1 to 5 do ignore (C.update obj Cs.Increment) done;
+    let mem = Sim.memory sim in
+    let plan =
+      { (Faults.Plan.default ~seed) with
+        Faults.Plan.flush_fail_prob = 0.; fence_fail_prob = 0. }
+    in
+    let h = Faults.install mem plan in
+    Memory.crash mem ~policy:Onll_nvm.Crash_policy.Drop_all;
+    Faults.remove h;
+    let snap =
+      (* max_processes = 1: the object owns exactly one log region *)
+      match Memory.region_names mem with
+      | [ name ] ->
+          Memory.Region.durable_snapshot
+            (Option.get (Memory.find_region mem name))
+      | names ->
+          Alcotest.failf "expected one region, got %d" (List.length names)
+    in
+    (snap, Faults.counters h)
+  in
+  let s1, c1 = durable 42 in
+  let s2, c2 = durable 42 in
+  let s3, _ = durable 43 in
+  check Alcotest.bool "same seed, same corrupted image" true (s1 = s2);
+  check Alcotest.bool "same seed, same counters" true (c1 = c2);
+  check Alcotest.bool "different seed, different image" true (s1 <> s3);
+  check Alcotest.int "plan's bit flips landed" 2 c1.Faults.bit_flips;
+  check Alcotest.int "plan's torn span landed" 1 c1.Faults.torn_spans
+
+let test_crash_policy_random_deterministic () =
+  (* The Crash_policy.Random seed contract (crash_policy.mli): the
+     surviving set is a pure function of the seed and the crash-time
+     memory state — including PENDING (flushed-but-unfenced) write-backs,
+     not just dirty lines. *)
+  let durable seed =
+    let m = Memory.create ~line_size:8 ~max_processes:2 () in
+    let r = Memory.region m ~name:"r" ~size:512 in
+    for i = 0 to 7 do
+      Memory.Region.store r ~proc:0 ~off:(i * 8) "DDDDDDDD"
+    done;
+    (* half flushed (pending at the crash), half left dirty *)
+    Memory.Region.flush r ~proc:0 ~off:0 ~len:32;
+    Memory.Region.store r ~proc:1 ~off:256 "dddddddd";
+    Memory.crash m ~policy:(Onll_nvm.Crash_policy.Random seed);
+    Memory.Region.durable_snapshot r
+  in
+  check Alcotest.string "same seed, same durable image" (durable 9) (durable 9);
+  check Alcotest.bool "different seeds differ" true (durable 1 <> durable 2)
+
+(* {1 Transient failures} *)
+
+let test_transient_failures_capped_and_retried () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:4096 () in
+  let plan =
+    { Faults.Plan.none with
+      Faults.Plan.fence_fail_prob = 1.0; max_consecutive_transients = 2 }
+  in
+  let h = Faults.install (Sim.memory sim) plan in
+  (* Every fence fails with probability 1 — but never more than twice in a
+     row, so the bounded retry inside the log's persist must succeed. *)
+  P.append log "payload";
+  Faults.remove h;
+  check Alcotest.(list string) "append survived the transients" [ "payload" ]
+    (P.entries log);
+  let c = Faults.counters h in
+  check Alcotest.int "exactly the cap worth of fence failures" 2
+    c.Faults.fence_transients;
+  (* The flush hook (probability 0) must not have reset the cap. *)
+  check Alcotest.int "no flush failures" 0 c.Faults.flush_transients
+
+(* {1 The nested-crash fuse} *)
+
+let test_armed_fuse_fires_at_exact_op () =
+  let m = Memory.create ~max_processes:1 () in
+  let r = Memory.region m ~name:"r" ~size:256 in
+  let h = Faults.install m Faults.Plan.none in
+  Memory.Region.store r ~proc:0 ~off:0 "x";
+  check Alcotest.bool "not armed" false (Faults.armed h);
+  Faults.arm_recovery_crash h ~at_op:2;
+  check Alcotest.bool "armed" true (Faults.armed h);
+  Memory.Region.store r ~proc:0 ~off:1 "y" (* fuse: 2 -> 1 *);
+  Memory.Region.store r ~proc:0 ~off:2 "z" (* fuse: 1 -> 0 *);
+  check Alcotest.bool "third op crashes" true
+    (match Memory.Region.store r ~proc:0 ~off:3 "w" with
+    | exception Memory.Injected_crash -> true
+    | () -> false);
+  (* the fuse is spent: the next op proceeds *)
+  check Alcotest.bool "disarmed after firing" false (Faults.armed h);
+  Memory.Region.store r ~proc:0 ~off:4 "v";
+  check Alcotest.int "one recovery crash counted" 1
+    (Faults.counters h).Faults.recovery_crashes;
+  Faults.remove h
+
+(* {1 Recovery idempotence, exhaustively} *)
+
+(* The acceptance property: starting from one crashed (and media-faulted)
+   durable image, crash the hardened recovery at EVERY durable-memory
+   operation in turn; after each interruption a re-run must adopt exactly
+   the recovered history and state of an uninterrupted recovery. The
+   durable image is reset from a saved snapshot before every trial, so the
+   trials are independent and the reference is fixed. *)
+let recovery_idempotence_exhaustive ~media () =
+  let path = Filename.temp_file "onll_faults" ".img" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let sim = Sim.create ~max_processes:2 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create ~log_capacity:4096 () in
+  let mem = Sim.memory sim in
+  let body _ = for _ = 1 to 6 do ignore (C.update obj Cs.Increment) done in
+  let h0 =
+    Faults.install mem
+      (if media then
+         { (Faults.Plan.default ~seed:7) with
+           Faults.Plan.flush_fail_prob = 0.; fence_fail_prob = 0. }
+       else Faults.Plan.none)
+  in
+  let outcome =
+    Sim.run sim
+      (Onll_sched.Sched.Strategy.random_with_crash ~seed:3 ~crash_at_step:50)
+      [| body; body |]
+  in
+  Faults.remove h0;
+  check Alcotest.bool "workload crashed" true
+    (outcome = Onll_sched.Sched.World.Crashed);
+  Memory.save_image mem ~path;
+  (* Reference: two uninterrupted recoveries (the second pins plain
+     idempotence on an already-repaired image). *)
+  Memory.load_image mem ~path;
+  let ref_report = C.recover_report obj in
+  let ref_ops = C.recovered_ops obj in
+  let ref_val = C.read obj Cs.Get in
+  let r2 = C.recover_report obj in
+  check Alcotest.bool "second recovery adopts the same ops" true
+    (C.recovered_ops obj = ref_ops);
+  check Alcotest.int "second recovery, same state" ref_val (C.read obj Cs.Get);
+  check Alcotest.bool "second recovery repairs nothing" true
+    (List.for_all
+       (fun (_, s) -> s.Onll_plog.Plog.quarantined_spans = 0)
+       r2.Onll_core.Onll.Recovery_report.salvage);
+  ignore ref_report;
+  (* Exhaustive interruption sweep. *)
+  let h = Faults.install mem Faults.Plan.none in
+  let trials = ref 0 in
+  let fired = ref true in
+  while !fired do
+    Memory.load_image mem ~path;
+    Faults.arm_recovery_crash h ~at_op:!trials;
+    (match C.recover_report obj with
+    | _ ->
+        (* recovery finished in fewer ops than the fuse: sweep complete *)
+        Faults.disarm h;
+        fired := false
+    | exception Memory.Injected_crash ->
+        Memory.crash mem ~policy:Onll_nvm.Crash_policy.Drop_all;
+        let _second = C.recover_report obj in
+        if C.recovered_ops obj <> ref_ops then
+          Alcotest.failf
+            "crash at recovery op %d: re-recovery adopted %d ops, reference \
+             %d"
+            !trials
+            (List.length (C.recovered_ops obj))
+            (List.length ref_ops);
+        check Alcotest.int
+          (Printf.sprintf "crash at recovery op %d: same state" !trials)
+          ref_val (C.read obj Cs.Get));
+    incr trials
+  done;
+  Faults.remove h;
+  check Alcotest.bool
+    (Printf.sprintf "sweep covered every recovery step (%d)" !trials)
+    true
+    (!trials > 5)
+
+let test_recovery_idempotent_exhaustive_clean () =
+  recovery_idempotence_exhaustive ~media:false ()
+
+let test_recovery_idempotent_exhaustive_media () =
+  recovery_idempotence_exhaustive ~media:true ()
+
+(* {1 One full chaos run in the tier-1 suite} *)
+
+let test_chaos_run_hardened_and_calibration () =
+  let module Ch = Test_support.Chaos.Make (Onll_specs.Kv) in
+  let plan = Test_support.Chaos_harness.plan_of_seed 4 in
+  let r =
+    Ch.run ~plan ~gen_update:Test_support.Gen.Kv.update
+      ~gen_read:Test_support.Gen.Kv.read ()
+  in
+  check Alcotest.(list string) "hardened run has no violations" []
+    r.Test_support.Chaos.violations;
+  (* seed 4's plan injects media faults on the calibration path too; the
+     audit must catch the unhardened recovery on at least one nearby seed *)
+  let caught = ref false in
+  for seed = 1 to 8 do
+    let plan =
+      { (Test_support.Chaos_harness.plan_of_seed seed) with
+        Test_support.Chaos.hardened = false }
+    in
+    let r =
+      Ch.run ~plan ~gen_update:Test_support.Gen.Kv.update
+        ~gen_read:Test_support.Gen.Kv.read ()
+    in
+    if r.Test_support.Chaos.violations <> [] then caught := true
+  done;
+  check Alcotest.bool "unhardened baseline caught" true !caught
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "media corruption is seeded" `Quick
+            test_media_corruption_deterministic;
+          Alcotest.test_case "Crash_policy.Random contract" `Quick
+            test_crash_policy_random_deterministic;
+        ] );
+      ( "transients",
+        [
+          Alcotest.test_case "capped and retried" `Quick
+            test_transient_failures_capped_and_retried;
+        ] );
+      ( "fuse",
+        [
+          Alcotest.test_case "fires at the armed op" `Quick
+            test_armed_fuse_fires_at_exact_op;
+        ] );
+      ( "idempotence",
+        [
+          Alcotest.test_case "crash at every recovery step (clean logs)"
+            `Quick test_recovery_idempotent_exhaustive_clean;
+          Alcotest.test_case "crash at every recovery step (media faults)"
+            `Quick test_recovery_idempotent_exhaustive_media;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "hardened clean, unhardened caught" `Quick
+            test_chaos_run_hardened_and_calibration;
+        ] );
+    ]

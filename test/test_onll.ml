@@ -588,19 +588,39 @@ let test_two_objects_independent () =
   check Alcotest.int "a" 3 (C.read a Cs.Get);
   check Alcotest.int "b" 4 (C.read b Cs.Get)
 
-let test_log_capacity_exhaustion_surfaces () =
+(* A full log no longer surfaces Plog.Full: the update checkpoints,
+   physically compacts the log (Plog relocate) and retries, so a workload
+   far exceeding the raw capacity completes — and the result is still
+   durable across a crash. *)
+let test_log_full_auto_compacts () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
   let obj = C.create ~log_capacity:256 () in
-  check Alcotest.bool "eventually Full" true
+  for _ = 1 to 100 do
+    ignore (C.update obj Cs.Increment)
+  done;
+  check Alcotest.int "all updates applied" 100 (C.read obj Cs.Get);
+  Onll_nvm.Memory.crash (Sim.memory sim)
+    ~policy:Onll_nvm.Crash_policy.Drop_all;
+  C.recover obj;
+  check Alcotest.int "durable across compactions" 100 (C.read obj Cs.Get)
+
+(* When even a checkpoint record cannot fit, degradation is graceful but
+   terminal: the typed Onll.Log_full, not the transient Plog.Full. *)
+let test_log_full_terminal_when_checkpoint_cannot_fit () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.create ~log_capacity:80 () in
+  check Alcotest.bool "typed Log_full" true
     (match
        for _ = 1 to 100 do
          ignore (C.update obj Cs.Increment)
        done
      with
-    | exception Onll_plog.Plog.Full -> true
-    | () -> false)
+    | exception Onll_core.Onll.Log_full _ -> true
+    | _ -> false)
 
 (* Forge a log entry claiming execution index 3 with no entries for 1..2:
    recovery must refuse (Prop 5.10 says such logs cannot be produced by the
@@ -729,7 +749,9 @@ let () =
         [
           Alcotest.test_case "independent objects" `Quick
             test_two_objects_independent;
-          Alcotest.test_case "log exhaustion" `Quick
-            test_log_capacity_exhaustion_surfaces;
+          Alcotest.test_case "full log auto-compacts" `Quick
+            test_log_full_auto_compacts;
+          Alcotest.test_case "Log_full when terminal" `Quick
+            test_log_full_terminal_when_checkpoint_cannot_fit;
         ] );
     ]

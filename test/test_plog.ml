@@ -32,7 +32,7 @@ let test_append_durable_across_crash () =
   let log = P.create ~name:"l" ~capacity:4096 () in
   P.append log "persisted";
   Onll_nvm.Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
-  P.recover log;
+  ignore (P.recover log);
   check Alcotest.(list string) "entry survives" [ "persisted" ]
     (P.entries log);
   (* New appends continue after the recovered tail. *)
@@ -61,7 +61,7 @@ let test_torn_append_rejected () =
     Sim.run sim strategy [| (fun _ -> P.append log "interrupted") |]
   in
   check Alcotest.bool "crashed" true (outcome = Sched.World.Crashed);
-  P.recover log;
+  ignore (P.recover log);
   check Alcotest.(list string) "only the fenced entry" [ "good" ]
     (P.entries log)
 
@@ -86,7 +86,7 @@ let test_unfenced_append_may_survive_persist_all () =
       ]
   in
   ignore (Sim.run sim strategy [| (fun _ -> P.append log "lucky") |]);
-  P.recover log;
+  ignore (P.recover log);
   check Alcotest.(list string) "lucky entry recovered" [ "lucky" ]
     (P.entries log);
   check Alcotest.int "no fence was executed" 0 (M.persistent_fences ())
@@ -101,7 +101,7 @@ let test_unfenced_append_lost_drop_all () =
       [ Sched.Strategy.run_until_pfence 0; Sched.Strategy.Crash_here ]
   in
   ignore (Sim.run sim strategy [| (fun _ -> P.append log "unlucky") |]);
-  P.recover log;
+  ignore (P.recover log);
   check Alcotest.(list string) "nothing recovered" [] (P.entries log)
 
 let test_full_raises () =
@@ -160,7 +160,7 @@ let test_set_head_durable_across_crash () =
   P.append log "b";
   P.set_head log 1;
   Onll_nvm.Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
-  P.recover log;
+  ignore (P.recover log);
   check Alcotest.(list string) "head survived" [ "b" ] (P.entries log)
 
 let test_set_head_zero_noop_and_errors () =
@@ -206,8 +206,126 @@ let test_crash_during_set_head_keeps_a_valid_header () =
       [ Sched.Strategy.run_until_pfence 0; Sched.Strategy.Crash_here ]
   in
   ignore (Sim.run sim strategy [| (fun _ -> P.set_head log 1) |]);
-  P.recover log;
+  ignore (P.recover log);
   check Alcotest.(list string) "previous head preserved" [ "b" ]
+    (P.entries log)
+
+let test_crash_during_set_head_newer_header_wins () =
+  (* Same cut as above, but under Persist_all the stored (unfenced) header
+     slot is evicted-persisted: both slots are now valid and recovery must
+     pick the one with the higher sequence number — the new head. *)
+  let sim =
+    Sim.create ~max_processes:1
+      ~crash_policy:Onll_nvm.Crash_policy.Persist_all ()
+  in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:4096 () in
+  P.append log "a";
+  P.append log "b";
+  let strategy =
+    Sched.Strategy.script
+      [ Sched.Strategy.run_until_pfence 0; Sched.Strategy.Crash_here ]
+  in
+  ignore (Sim.run sim strategy [| (fun _ -> P.set_head log 1) |]);
+  ignore (P.recover log);
+  check Alcotest.(list string) "newer valid header wins" [ "b" ]
+    (P.entries log)
+
+(* {1 Salvage: media faults in durable bytes} *)
+
+(* Three 8-byte entries occupy [64,88), [88,112), [112,136). *)
+let flip region ~off =
+  Onll_nvm.Memory.Region.corrupt region ~off ~len:1 ~f:(fun _ c ->
+      Char.chr (Char.code c lxor 0x10))
+
+let test_salvage_quarantines_interior_corruption () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:4096 () in
+  P.append log "aaaaaaaa";
+  P.append log "bbbbbbbb";
+  P.append log "cccccccc";
+  let region =
+    Option.get (Onll_nvm.Memory.find_region (Sim.memory sim) "l")
+  in
+  (* rot a payload byte of the MIDDLE entry: its CRC no longer validates,
+     but the entry after it does — interior corruption, not a torn tail *)
+  flip region ~off:(88 + 16 + 3);
+  Onll_nvm.Memory.crash (Sim.memory sim)
+    ~policy:Onll_nvm.Crash_policy.Drop_all;
+  let r = P.recover log in
+  check Alcotest.(list string) "entries beyond the rot survive"
+    [ "aaaaaaaa"; "cccccccc" ] (P.entries log);
+  check Alcotest.int "one quarantined span" 1
+    r.Onll_plog.Plog.quarantined_spans;
+  check Alcotest.int "span = the whole middle entry" 24
+    r.Onll_plog.Plog.quarantined_bytes;
+  check Alcotest.int "no torn tail" 0 r.Onll_plog.Plog.torn_tail_bytes;
+  check Alcotest.bool "reported as loss" true
+    (Onll_plog.Plog.report_lost r > 0);
+  (* Salvage is idempotent: a second recovery finds a clean log whose only
+     scar is the durable skip marker. *)
+  let r2 = P.recover log in
+  check Alcotest.(list string) "stable" [ "aaaaaaaa"; "cccccccc" ]
+    (P.entries log);
+  check Alcotest.int "nothing newly quarantined" 0
+    r2.Onll_plog.Plog.quarantined_spans;
+  check Alcotest.int "the old marker is still counted" 1
+    r2.Onll_plog.Plog.skip_markers;
+  (* And the log is still writable. *)
+  P.append log "dddddddd";
+  check Alcotest.(list string) "appends continue"
+    [ "aaaaaaaa"; "cccccccc"; "dddddddd" ] (P.entries log)
+
+let test_salvage_truncates_corrupt_tail () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:4096 () in
+  P.append log "aaaaaaaa";
+  P.append log "bbbbbbbb";
+  P.append log "cccccccc";
+  let region =
+    Option.get (Onll_nvm.Memory.find_region (Sim.memory sim) "l")
+  in
+  (* rot the LAST entry: no valid entry follows, so this is
+     indistinguishable from a torn append and must be truncated, not
+     quarantined *)
+  flip region ~off:(112 + 16 + 3);
+  Onll_nvm.Memory.crash (Sim.memory sim)
+    ~policy:Onll_nvm.Crash_policy.Drop_all;
+  let r = P.recover log in
+  check Alcotest.(list string) "prefix survives" [ "aaaaaaaa"; "bbbbbbbb" ]
+    (P.entries log);
+  check Alcotest.int "tail zeroed" 24 r.Onll_plog.Plog.torn_tail_bytes;
+  check Alcotest.int "nothing quarantined" 0
+    r.Onll_plog.Plog.quarantined_spans;
+  (* the truncated space is reusable *)
+  P.append log "dddddddd";
+  check Alcotest.(list string) "appends continue"
+    [ "aaaaaaaa"; "bbbbbbbb"; "dddddddd" ] (P.entries log)
+
+let test_unhardened_recover_silently_truncates () =
+  (* The calibration baseline: same interior rot as the quarantine test,
+     but the pre-hardening scan stops dead at the first bad CRC — the valid
+     entry beyond it is silently thrown away and nothing is reported. *)
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:4096 () in
+  P.append log "aaaaaaaa";
+  P.append log "bbbbbbbb";
+  P.append log "cccccccc";
+  let region =
+    Option.get (Onll_nvm.Memory.find_region (Sim.memory sim) "l")
+  in
+  flip region ~off:(88 + 16 + 3);
+  Onll_nvm.Memory.crash (Sim.memory sim)
+    ~policy:Onll_nvm.Crash_policy.Drop_all;
+  P.recover_unhardened log;
+  check Alcotest.(list string) "fenced entry c silently gone" [ "aaaaaaaa" ]
     (P.entries log)
 
 let test_multiple_logs_independent () =
@@ -259,7 +377,7 @@ let prop_recovery_is_prefix =
              all
          in
          ignore (Sim.run sim strategy [| proc |]);
-         P.recover log;
+         ignore (P.recover log);
          let recovered = P.entries log in
          let is_prefix =
            List.length recovered <= List.length all
@@ -307,5 +425,16 @@ let () =
           Alcotest.test_case "drop all entries" `Quick test_set_head_all_entries;
           Alcotest.test_case "torn header harmless" `Quick
             test_crash_during_set_head_keeps_a_valid_header;
+          Alcotest.test_case "newer header wins (persist-all)" `Quick
+            test_crash_during_set_head_newer_header_wins;
+        ] );
+      ( "salvage",
+        [
+          Alcotest.test_case "interior corruption quarantined" `Quick
+            test_salvage_quarantines_interior_corruption;
+          Alcotest.test_case "corrupt tail truncated" `Quick
+            test_salvage_truncates_corrupt_tail;
+          Alcotest.test_case "unhardened silently truncates" `Quick
+            test_unhardened_recover_silently_truncates;
         ] );
     ]
