@@ -19,13 +19,17 @@ check:
 	@command -v odoc >/dev/null 2>&1 && dune build @doc \
 	  || echo "odoc not installed; skipping doc build"
 
-# A fast slice of the E12 chaos campaign: media faults + nested recovery
-# crashes on two objects, plus the unhardened calibration baseline (which
-# must be caught losing data). Full campaign: dune exec bench/main.exe e12
+# A fast slice of the E12/E13 chaos campaigns: media faults + nested
+# recovery crashes on two objects, the unhardened calibration baseline
+# (which must be caught losing data), and a mirrored slice where
+# primary-only faults must cost nothing (zero losses, zero ambiguity).
+# Full campaigns: dune exec bench/main.exe e12 e13
 chaos-smoke:
 	dune exec bin/onll_cli.exe -- chaos -s kv --seeds 15
 	dune exec bin/onll_cli.exe -- chaos -s counter --seeds 15
 	dune exec bin/onll_cli.exe -- chaos -s kv --seeds 15 --unhardened
+	dune exec bin/onll_cli.exe -- chaos -s kv --seeds 10 --mirrored
+	dune exec bin/onll_cli.exe -- scrub
 
 bench:
 	dune exec bench/main.exe

@@ -137,12 +137,13 @@ let run () =
       match row with
       | [ _; impl; pu; pr ]
         when impl = "onll" || impl = "onll+views" || impl = "onll-wait-free"
-        ->
+             || impl = "onll-mirrored" ->
           assert (pu = "1" && pr = "0")
       | _ -> ())
     rows;
   print_endline
-    "(asserted: every onll row reads exactly 1 pf/update, 0 pf/read)";
+    "(asserted: every onll row reads exactly 1 pf/update, 0 pf/read — \
+     mirroring included: both replica flushes drain under one fence)";
   let path =
     Harness.write_snapshot ~experiment:"e1"
       ~meta:

@@ -1,0 +1,39 @@
+(** E13 — durable redundancy and online self-healing.
+
+    The E12 fault grid against two-way mirrored logs. Three arms:
+
+    - {b mirrored} (4 objects × 110 seeds): faults confined to primaries,
+      online rot healed by periodic scrubs. The bar is strictly above
+      E12's: zero violations AND zero reported loss AND zero torn-tail
+      ambiguity — every primary-only fault has an intact mirror copy, so
+      hardened recovery must repair, not report.
+    - {b dual-fault}: the same grid with faults allowed into every
+      replica. Losses reappear (both copies of a span can die) and must
+      be named exactly — zero violations, nonzero reported-lost allowed.
+    - {b unmirrored calibration}: the E12 plans re-run hardened and
+      unmirrored, reproducing the reported-loss scale that mirroring
+      removed (if this arm shows no losses the grid stopped biting and
+      the mirrored zeros prove nothing). *)
+
+open Test_support
+
+let run () =
+  (* 4 objects x 110 seeds = 440 mirrored runs, + 40 dual + 40 unmirrored. *)
+  let s =
+    Chaos_harness.run_e13 ~seeds_per_object:110 ~dual_seeds:40
+      ~unmirrored_seeds:40
+  in
+  Chaos_harness.print_e13 s;
+  assert (Chaos_harness.e13_violations s = 0);
+  print_endline "(asserted: zero violations, mirrored and dual arms)";
+  assert (Chaos_harness.e13_mirrored_lost s = 0);
+  print_endline
+    "(asserted: primary-only faults cost nothing — zero reported-lost and \
+     zero tail-ambiguous across every mirrored run)";
+  assert (Chaos_harness.e13_unmirrored_lost s > 0);
+  print_endline
+    "(asserted: the unmirrored calibration arm reproduces E12-scale losses)";
+  let path =
+    Harness.write_snapshot ~experiment:"e13" (Chaos_harness.e13_to_metrics s)
+  in
+  Printf.printf "snapshot: %s\n" path

@@ -4,6 +4,9 @@
    onll lowerbound -n 4 -i onll        run the Theorem 6.3 adversary
    onll fuzz -s counter --seeds 50     crash-fuzz campaign with the checker
    onll chaos -s kv --seeds 30         media-fault chaos campaign (E12)
+   onll chaos -s kv --mirrored         the E13 mirrored grid: faults on
+                                       primaries must cost nothing
+   onll scrub                          online rot healed live by the scrubber
    onll fences -s kv                   fence audit for one object
    onll stats -s counter -n 4         run a workload, print a JSON snapshot
 *)
@@ -144,7 +147,7 @@ let fuzz_cmd =
 
 (* {1 chaos} *)
 
-let chaos spec seeds unhardened =
+let chaos spec seeds unhardened mirrored =
   let open Test_support in
   let campaign (type u r) (run : plan:Chaos.plan -> gen_update:_ -> gen_read:_ -> unit -> _)
       (gen_update : Onll_util.Splitmix.t -> u)
@@ -154,7 +157,10 @@ let chaos spec seeds unhardened =
     let lost = ref 0 and ambiguous = ref 0 in
     for seed = 1 to seeds do
       let plan =
-        let p = Chaos_harness.plan_of_seed seed in
+        let p =
+          if mirrored then Chaos_harness.mirrored_plan_of_seed seed
+          else Chaos_harness.plan_of_seed seed
+        in
         if unhardened then { p with Chaos.hardened = false } else p
       in
       let r = run ~plan ~gen_update ~gen_read () in
@@ -172,10 +178,11 @@ let chaos spec seeds unhardened =
       end
     done;
     Printf.printf
-      "%s%s: %d runs, %d crashed, %d media faults, %d transients, %d nested \
+      "%s%s%s: %d runs, %d crashed, %d media faults, %d transients, %d nested \
        recovery crashes, %d reported-lost, %d tail-ambiguous, %d runs with \
        violations\n"
       spec
+      (if mirrored then " (mirrored, primary-only faults)" else "")
       (if unhardened then " (unhardened calibration)" else "")
       seeds !crashed !media !transients !nested !lost !ambiguous !violations;
     (* hardened must be clean; the unhardened baseline must be caught *)
@@ -187,6 +194,14 @@ let chaos spec seeds unhardened =
       end
     end
     else if !violations > 0 then exit 1
+    else if mirrored && !lost + !ambiguous > 0 then begin
+      (* primary-only faults against a mirror must cost NOTHING *)
+      Printf.printf
+        "MIRRORED LOSS: %d reported-lost + %d tail-ambiguous should all \
+         have been repaired from the intact replica\n"
+        !lost !ambiguous;
+      exit 1
+    end
   in
   match spec with
   | "counter" ->
@@ -211,7 +226,11 @@ let chaos_cmd =
      spans), transient flush/fence failures, and nested crashes during \
      recovery — auditing that recovery is durably linearizable or reports \
      the exact loss. With $(b,--unhardened), run the calibration baseline \
-     instead, which must be caught losing data."
+     instead, which must be caught losing data. With $(b,--mirrored), run \
+     the E13 grid: two-way replicated logs with faults confined to \
+     primaries plus online rot and periodic scrubs — where loss of any \
+     kind (even reported) is a failure, since every fault has an intact \
+     mirror copy."
   in
   let spec =
     Arg.(
@@ -227,7 +246,106 @@ let chaos_cmd =
       & info [ "unhardened" ]
           ~doc:"run the deliberately broken calibration recovery")
   in
-  Cmd.v (Cmd.info "chaos" ~doc) Term.(const chaos $ spec $ seeds $ unhardened)
+  let mirrored =
+    Arg.(
+      value & flag
+      & info [ "mirrored" ]
+          ~doc:"two-way mirrored logs, faults on primaries only (E13)")
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const chaos $ spec $ seeds $ unhardened $ mirrored)
+
+(* {1 scrub} *)
+
+(* A deterministic end-to-end demonstration of online self-healing: a
+   mirrored kv object under continuous bit rot confined to the primary
+   replica, scrubbed every [interval] updates, then crashed and recovered
+   — the recovery must come back clean because every rotted byte had an
+   intact mirror copy (healed live by the scrubber, or at recovery for rot
+   landing after the last scrub). *)
+let scrub_demo updates interval seed =
+  let registry = Onll_obs.Metrics.create () in
+  let sink = Onll_obs.Sink.make ~registry () in
+  let sim = Sim.create ~sink ~max_processes:1 () in
+  let mem = Sim.memory sim in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Onll_specs.Kv) in
+  let obj =
+    C.make { Onll_core.Onll.Config.default with sink; replicas = 2 }
+  in
+  let fault =
+    {
+      Onll_faults.Faults.Plan.none with
+      seed;
+      rot_ops_interval = 25;
+      media_window = 2048;
+      target = (fun n -> not (Onll_plog.Plog.is_mirror_region n));
+    }
+  in
+  let handle = Onll_faults.Faults.install mem fault in
+  let rng = Onll_util.Splitmix.create seed in
+  let total = ref Onll_plog.Plog.clean_scrub in
+  let body _ =
+    for k = 1 to updates do
+      ignore (C.update obj (Test_support.Gen.Kv.update rng));
+      if k mod interval = 0 then
+        total := Onll_plog.Plog.add_scrub !total (C.scrub obj)
+    done
+  in
+  (match Sim.run sim Onll_sched.Sched.Strategy.round_robin [| body |] with
+  | Onll_sched.Sched.World.Completed -> ()
+  | _ -> assert false);
+  Onll_faults.Faults.set_rot handle false;
+  Format.printf "workload: %d mirrored kv updates, scrub every %d@." updates
+    interval;
+  Format.printf "injected: %a@." Onll_faults.Faults.pp_counters
+    (Onll_faults.Faults.counters handle);
+  Format.printf "scrubs:   %a@." Onll_plog.Plog.pp_scrub_report !total;
+  Format.printf "degraded: %b@." (C.degraded obj);
+  Format.printf
+    "scrub fences: %d across %d passes (attributed to fences.scrub, never \
+     to updates: pf/update stays %g)@."
+    (Onll_obs.Metrics.counter_value registry "fences.scrub")
+    (Onll_obs.Metrics.counter_value registry "ops.scrub")
+    (float_of_int (Onll_obs.Metrics.counter_value registry "fences.update")
+    /. float_of_int
+         (max 1 (Onll_obs.Metrics.counter_value registry "ops.update")));
+  Onll_nvm.Memory.crash mem ~policy:Onll_nvm.Crash_policy.Drop_all;
+  let r = C.recover_report obj in
+  Onll_faults.Faults.remove handle;
+  Format.printf "post-crash recovery: %a@."
+    Onll_core.Onll.Recovery_report.pp r;
+  if not (Onll_core.Onll.Recovery_report.clean r) then begin
+    Format.printf
+      "FAILED: primary-only rot should always be repairable from the \
+       mirror@.";
+    exit 1
+  end;
+  Format.printf
+    "clean: every rotted byte was healed (online by the scrubber, or from \
+     the mirror at recovery)@."
+
+let scrub_cmd =
+  let doc =
+    "Demonstrate online self-healing: a mirrored object under continuous \
+     primary-replica bit rot, CRC-scrubbed while live, then crashed — \
+     recovery must come back loss-free."
+  in
+  let updates =
+    Arg.(
+      value & opt int 200
+      & info [ "u"; "updates" ] ~docv:"N" ~doc:"updates to run")
+  in
+  let interval =
+    Arg.(
+      value & opt int 10
+      & info [ "every" ] ~docv:"N" ~doc:"scrub every N updates")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"rot seed")
+  in
+  Cmd.v (Cmd.info "scrub" ~doc)
+    Term.(const scrub_demo $ updates $ interval $ seed)
 
 (* {1 fences} *)
 
@@ -272,7 +390,7 @@ let fences_cmd =
 module Stats_run (S : Onll_core.Spec.S) = struct
   module R = Onll_baselines.Registry.Make (S)
 
-  let go ~impl ~procs ~updates ~seed ~gen_update ~gen_read =
+  let go ~impl ~procs ~updates ~seed ~scrub_every ~gen_update ~gen_read =
     let sink = Onll_obs.Sink.make () in
     let rng = Onll_util.Splitmix.create seed in
     match
@@ -284,21 +402,27 @@ module Stats_run (S : Onll_core.Spec.S) = struct
     | None -> unknown_impl impl
     | Some h ->
         let open Onll_baselines.Registry in
+        (if scrub_every > 0 && h.scrub = None then begin
+           Printf.eprintf "implementation %S has no online scrubber\n" impl;
+           exit 1
+         end);
         let outcome =
           Sim.run h.sim
             (Onll_sched.Sched.Strategy.random ~seed)
             (Array.init procs (fun _ ->
                  fun _ ->
-                  for _ = 1 to updates do
+                  for k = 1 to updates do
                     h.update ();
-                    h.read ()
+                    h.read ();
+                    if scrub_every > 0 && k mod scrub_every = 0 then
+                      Option.iter (fun f -> f ()) h.scrub
                   done))
         in
         assert (outcome = Onll_sched.Sched.World.Completed);
         sink
 end
 
-let stats spec impl procs updates seed csv output =
+let stats spec impl procs updates seed scrub_every csv output =
   let open Test_support in
   let finish sink =
     let meta =
@@ -309,6 +433,7 @@ let stats spec impl procs updates seed csv output =
         ("updates_per_proc", string_of_int updates);
         ("reads_per_proc", string_of_int updates);
         ("seed", string_of_int seed);
+        ("scrub_every", string_of_int scrub_every);
       ]
     in
     let registry = Onll_obs.Sink.registry sink in
@@ -326,37 +451,37 @@ let stats spec impl procs updates seed csv output =
   | "counter" ->
       let module W = Stats_run (Onll_specs.Counter) in
       finish
-        (W.go ~impl ~procs ~updates ~seed ~gen_update:Gen.Counter.update
+        (W.go ~impl ~procs ~updates ~seed ~scrub_every ~gen_update:Gen.Counter.update
            ~gen_read:Gen.Counter.read)
   | "register" ->
       let module W = Stats_run (Onll_specs.Register) in
       finish
-        (W.go ~impl ~procs ~updates ~seed ~gen_update:Gen.Register.update
+        (W.go ~impl ~procs ~updates ~seed ~scrub_every ~gen_update:Gen.Register.update
            ~gen_read:Gen.Register.read)
   | "queue" ->
       let module W = Stats_run (Onll_specs.Queue_spec) in
       finish
-        (W.go ~impl ~procs ~updates ~seed ~gen_update:Gen.Queue.update
+        (W.go ~impl ~procs ~updates ~seed ~scrub_every ~gen_update:Gen.Queue.update
            ~gen_read:Gen.Queue.read)
   | "kv" ->
       let module W = Stats_run (Onll_specs.Kv) in
       finish
-        (W.go ~impl ~procs ~updates ~seed ~gen_update:Gen.Kv.update
+        (W.go ~impl ~procs ~updates ~seed ~scrub_every ~gen_update:Gen.Kv.update
            ~gen_read:Gen.Kv.read)
   | "stack" ->
       let module W = Stats_run (Onll_specs.Stack_spec) in
       finish
-        (W.go ~impl ~procs ~updates ~seed ~gen_update:Gen.Stack.update
+        (W.go ~impl ~procs ~updates ~seed ~scrub_every ~gen_update:Gen.Stack.update
            ~gen_read:Gen.Stack.read)
   | "set" ->
       let module W = Stats_run (Onll_specs.Set_spec) in
       finish
-        (W.go ~impl ~procs ~updates ~seed ~gen_update:Gen.Set_g.update
+        (W.go ~impl ~procs ~updates ~seed ~scrub_every ~gen_update:Gen.Set_g.update
            ~gen_read:Gen.Set_g.read)
   | "ledger" ->
       let module W = Stats_run (Onll_specs.Ledger) in
       finish
-        (W.go ~impl ~procs ~updates ~seed ~gen_update:Gen.Ledger.update
+        (W.go ~impl ~procs ~updates ~seed ~scrub_every ~gen_update:Gen.Ledger.update
            ~gen_read:Gen.Ledger.read)
   | other ->
       Printf.eprintf
@@ -393,6 +518,14 @@ let stats_cmd =
   let seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"schedule seed")
   in
+  let scrub_every =
+    Arg.(
+      value & opt int 0
+      & info [ "scrub-every" ] ~docv:"N"
+          ~doc:
+            "run an online scrub step every N updates per process (0 = \
+             never; onll implementations only)")
+  in
   let csv =
     Arg.(value & flag & info [ "csv" ] ~doc:"emit CSV instead of JSON")
   in
@@ -403,7 +536,9 @@ let stats_cmd =
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"write to FILE, not stdout")
   in
   Cmd.v (Cmd.info "stats" ~doc)
-    Term.(const stats $ spec $ impl $ procs $ updates $ seed $ csv $ output)
+    Term.(
+      const stats $ spec $ impl $ procs $ updates $ seed $ scrub_every $ csv
+      $ output)
 
 (* {1 explore} *)
 
@@ -563,6 +698,7 @@ let () =
             lowerbound_cmd;
             fuzz_cmd;
             chaos_cmd;
+            scrub_cmd;
             fences_cmd;
             stats_cmd;
             simulate_cmd;

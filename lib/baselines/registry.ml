@@ -15,6 +15,9 @@ type handle = {
   update : unit -> unit;
       (** one update by the calling (scheduled) process *)
   read : unit -> unit;  (** one read-only operation *)
+  scrub : (unit -> unit) option;
+      (** one cooperative online-scrub step; [None] for implementations
+          without one (everything but the ONLL family) *)
 }
 
 let names =
@@ -22,6 +25,7 @@ let names =
     "onll";
     "onll+views";
     "onll-wait-free";
+    "onll-mirrored";
     "persist-on-read";
     "shadow";
     "flat-combining";
@@ -32,10 +36,12 @@ module Make (S : Onll_core.Spec.S) = struct
   let build ?(sink = Onll_obs.Sink.null) ?(log_capacity = 1 lsl 16)
       ?(state_capacity = 4096) ~max_processes ~gen_update ~gen_read name =
     let fresh_sim () = Onll_machine.Sim.create ~sink ~max_processes () in
-    let onll ~local_views ~wait_free =
+    let onll ~replicas ~local_views ~wait_free =
       let sim = fresh_sim () in
       let module M = (val Onll_machine.Sim.machine sim) in
-      let cfg = { Onll_core.Onll.Config.log_capacity; local_views; sink } in
+      let cfg =
+        { Onll_core.Onll.Config.log_capacity; replicas; local_views; sink }
+      in
       if wait_free then begin
         let module C = Onll_core.Onll.Make_wait_free (M) (S) in
         let obj = C.make cfg in
@@ -44,6 +50,7 @@ module Make (S : Onll_core.Spec.S) = struct
           sink;
           update = (fun () -> ignore (C.update obj (gen_update ())));
           read = (fun () -> ignore (C.read obj (gen_read ())));
+          scrub = Some (fun () -> ignore (C.scrub obj));
         }
       end
       else begin
@@ -54,14 +61,18 @@ module Make (S : Onll_core.Spec.S) = struct
           sink;
           update = (fun () -> ignore (C.update obj (gen_update ())));
           read = (fun () -> ignore (C.read obj (gen_read ())));
+          scrub = Some (fun () -> ignore (C.scrub obj));
         }
       end
     in
     match name with
-    | "onll" -> Some (onll ~local_views:false ~wait_free:false)
-    | "onll+views" -> Some (onll ~local_views:true ~wait_free:false)
+    | "onll" -> Some (onll ~replicas:1 ~local_views:false ~wait_free:false)
+    | "onll+views" ->
+        Some (onll ~replicas:1 ~local_views:true ~wait_free:false)
     | "onll-wait-free" | "wait-free" ->
-        Some (onll ~local_views:false ~wait_free:true)
+        Some (onll ~replicas:1 ~local_views:false ~wait_free:true)
+    | "onll-mirrored" | "mirrored" ->
+        Some (onll ~replicas:2 ~local_views:false ~wait_free:false)
     | "persist-on-read" ->
         let sim = fresh_sim () in
         let module M = (val Onll_machine.Sim.machine sim) in
@@ -73,6 +84,7 @@ module Make (S : Onll_core.Spec.S) = struct
             sink;
             update = (fun () -> ignore (P.update obj (gen_update ())));
             read = (fun () -> ignore (P.read obj (gen_read ())));
+            scrub = None;
           }
     | "shadow" ->
         let sim = fresh_sim () in
@@ -85,6 +97,7 @@ module Make (S : Onll_core.Spec.S) = struct
             sink;
             update = (fun () -> ignore (H.update obj (gen_update ())));
             read = (fun () -> ignore (H.read obj (gen_read ())));
+            scrub = None;
           }
     | "flat-combining" ->
         let sim = fresh_sim () in
@@ -97,6 +110,7 @@ module Make (S : Onll_core.Spec.S) = struct
             sink;
             update = (fun () -> ignore (F.update obj (gen_update ())));
             read = (fun () -> ignore (F.read obj (gen_read ())));
+            scrub = None;
           }
     | "volatile" ->
         let sim = fresh_sim () in
@@ -109,6 +123,7 @@ module Make (S : Onll_core.Spec.S) = struct
             sink;
             update = (fun () -> ignore (V.update obj (gen_update ())));
             read = (fun () -> ignore (V.read obj (gen_read ())));
+            scrub = None;
           }
     | _ -> None
 end

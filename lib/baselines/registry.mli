@@ -1,11 +1,12 @@
 (** Name-indexed construction of every benchmarked implementation.
 
     One place that knows how to build ["onll"], ["onll+views"],
-    ["onll-wait-free"] (alias ["wait-free"]), ["persist-on-read"],
-    ["shadow"], ["flat-combining"] and ["volatile"] over a fresh simulated
-    machine — used by the CLI ([onll lowerbound -i], [onll stats -i]), the
-    lower-bound benchmark and the fence audit instead of per-caller copies
-    of the same match. *)
+    ["onll-wait-free"] (alias ["wait-free"]), ["onll-mirrored"] (alias
+    ["mirrored"]; two-way replicated logs, still one fence per update),
+    ["persist-on-read"], ["shadow"], ["flat-combining"] and ["volatile"]
+    over a fresh simulated machine — used by the CLI ([onll lowerbound -i],
+    [onll stats -i]), the lower-bound benchmark and the fence audit instead
+    of per-caller copies of the same match. *)
 
 type handle = {
   sim : Onll_machine.Sim.t;
@@ -13,6 +14,9 @@ type handle = {
   update : unit -> unit;
       (** one update by the calling (scheduled) process *)
   read : unit -> unit;  (** one read-only operation *)
+  scrub : (unit -> unit) option;
+      (** one cooperative online-scrub step ({!Onll_core.Onll.CONSTRUCTION.scrub});
+          [None] for implementations without one *)
 }
 
 val names : string list

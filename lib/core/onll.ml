@@ -89,6 +89,7 @@ end
 module Config = struct
   type t = {
     log_capacity : int;
+    replicas : int;
     local_views : bool;
     sink : Onll_obs.Sink.t;
   }
@@ -96,6 +97,7 @@ module Config = struct
   let default =
     {
       log_capacity = 1 lsl 16;
+      replicas = 1;
       local_views = false;
       sink = Onll_obs.Sink.null;
     }
@@ -114,6 +116,7 @@ module Snapshot = struct
   type t = {
     latest_available_idx : int;
     max_fuzzy_window : int;
+    degraded : bool;
     logs : log list;
   }
 end
@@ -136,6 +139,8 @@ module type CONSTRUCTION = sig
   val recover : t -> unit
   val recover_report : t -> Recovery_report.t
   val recover_unhardened : t -> unit
+  val scrub : t -> Onll_plog.Plog.scrub_report
+  val degraded : t -> bool
   val was_linearized : t -> op_id -> bool
   val recovered_ops : t -> (op_id * int) list
   val checkpoint : t -> int
@@ -255,6 +260,9 @@ module Make_generic
     mutable max_fuzzy : int;
         (** largest fuzzy window observed at any persist step (Prop 5.2
             says this never exceeds MAX-PROCESSES) *)
+    mutable degraded : bool;
+        (** sticky: recovery or scrub found durable data this object could
+            not repair — it keeps serving, but with admitted loss *)
     ostats : Onll_obs.Opstats.t;
         (** per-operation fence attribution; inert without a sink *)
   }
@@ -269,7 +277,7 @@ module Make_generic
       trace = T.create ~sink ~base_idx:0 ~base_state:(initial_istate ()) ();
       logs =
         Array.init M.max_processes (fun p ->
-            L.create ~sink
+            L.create ~sink ~replicas:cfg.Config.replicas
               ~name:(Printf.sprintf "%s.%d.plog.%d" S.name n p)
               ~capacity:cfg.Config.log_capacity ());
       seqs = Array.make M.max_processes 0;
@@ -277,6 +285,7 @@ module Make_generic
       use_views = cfg.Config.local_views;
       recovered = Hashtbl.create 64;
       max_fuzzy = 0;
+      degraded = false;
       ostats = Onll_obs.Opstats.make sink;
     }
 
@@ -574,15 +583,22 @@ module Make_generic
         (Onll_obs.Opstats.sink t.ostats)
         ~proc:(M.self ())
         (Onll_obs.Event.Recovery { ops = stop_idx - base_idx });
-    {
-      Recovery_report.recovered_ops = stop_idx - base_idx;
-      base_idx;
-      gap_indices = gaps;
-      dropped = !dropped;
-      disagreements = List.sort_uniq compare !disagreements;
-      decode_failures = !decode_failures;
-      salvage;
-    }
+    let report =
+      {
+        Recovery_report.recovered_ops = stop_idx - base_idx;
+        base_idx;
+        gap_indices = gaps;
+        dropped = !dropped;
+        disagreements = List.sort_uniq compare !disagreements;
+        decode_failures = !decode_failures;
+        salvage;
+      }
+    in
+    (* The degraded-mode policy: detected loss never stops the object, but
+       it is admitted, stickily, until the object is rebuilt. *)
+    if hardened && Recovery_report.detected_loss report then
+      t.degraded <- true;
+    report
 
   let recover_report t = recover_core t ~hardened:true
 
@@ -602,6 +618,22 @@ module Make_generic
           raise (Recovery_corrupt "undecodable log entry")
 
   let recover_unhardened t = ignore (recover_core t ~hardened:false)
+
+  (* Online self-healing (cooperative step): CRC-walk every process's log
+     across its replicas, repairing divergence in place and quarantining
+     double-fault spans. Fences are attributed to ["fences.scrub"], never
+     to the per-update Theorem 5.1 accounting. *)
+  let scrub t =
+    attributed t Onll_obs.Opstats.scrub_done (fun () ->
+        let r =
+          Array.fold_left
+            (fun acc l -> Onll_plog.Plog.add_scrub acc (L.scrub l))
+            Onll_plog.Plog.clean_scrub t.logs
+        in
+        if r.Onll_plog.Plog.unrepairable_spans > 0 then t.degraded <- true;
+        r)
+
+  let degraded t = t.degraded
 
   (* {2 Detectable execution} *)
 
@@ -665,6 +697,7 @@ module Make_generic
     {
       Snapshot.latest_available_idx = T.idx (T.latest_available t.trace);
       max_fuzzy_window = t.max_fuzzy;
+      degraded = t.degraded;
       logs;
     }
 

@@ -86,6 +86,13 @@ end
 module Config : sig
   type t = {
     log_capacity : int;  (** per-process log entries area, bytes *)
+    replicas : int;
+        (** durable redundancy: each per-process log is mirrored over this
+            many independent NVM regions (default 1 = unmirrored). All
+            replica flushes of an append drain under one persistent fence,
+            so Theorem 5.1's one-fence-per-update bound is unchanged;
+            recovery and {!CONSTRUCTION.scrub} repair single-replica damage
+            from an intact copy instead of losing it. *)
     local_views : bool;  (** §8 read acceleration *)
     sink : Onll_obs.Sink.t;
         (** receives the object-layer events ([Help], [Checkpoint],
@@ -97,7 +104,7 @@ module Config : sig
   }
 
   val default : t
-  (** 64 KiB logs, no local views, {!Onll_obs.Sink.null}. *)
+  (** 64 KiB logs, unmirrored, no local views, {!Onll_obs.Sink.null}. *)
 end
 
 (** Everything the old one-question-per-call introspection functions
@@ -118,6 +125,10 @@ module Snapshot : sig
     max_fuzzy_window : int;
         (** largest fuzzy window observed at any persist step (Prop. 5.2
             bounds it by the machine's [max_processes]) *)
+    degraded : bool;
+        (** sticky degraded-mode flag: a recovery or scrub of this object
+            detected durable data it could not repair. The object keeps
+            serving — the loss is admitted, never silent. *)
     logs : log list;  (** per process, in process order *)
   }
 end
@@ -208,6 +219,25 @@ module type CONSTRUCTION = sig
       no error. The deliberately broken calibration baseline for the chaos
       campaign (E12), which must catch it silently losing data; never use
       it otherwise. *)
+
+  val scrub : t -> Onll_plog.Plog.scrub_report
+  (** Online self-healing (E13): CRC-walk every process's log across its
+      replicas {e while the object is live}, durably repairing any replica
+      divergence from an intact copy and quarantining spans corrupt in
+      every replica (which also sets {!degraded}). A cooperative step —
+      call it from any process between operations, e.g. every N scheduler
+      steps or from the [onll scrub] CLI verb. Returns the aggregated
+      per-log report; fences are recorded under ["ops.scrub"]/
+      ["fences.scrub"], never against the per-update Theorem 5.1
+      attribution. With [replicas = 1] it still detects (and quarantines)
+      rot early, it just cannot repair it. *)
+
+  val degraded : t -> bool
+  (** Sticky degraded-mode flag (also surfaced in {!Snapshot.t}): did any
+      recovery or scrub of this object detect durable data it could not
+      repair? The object keeps serving after such loss — degraded mode is
+      the policy that loss is admitted and named, never silent and never
+      fatal. *)
 
   val was_linearized : t -> op_id -> bool
   (** Detectable execution: did this operation take effect? For operations

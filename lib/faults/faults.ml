@@ -16,6 +16,7 @@ module Plan = struct
     flush_fail_prob : float;
     fence_fail_prob : float;
     max_consecutive_transients : int;
+    rot_ops_interval : int;
     target : string -> bool;
   }
 
@@ -30,6 +31,7 @@ module Plan = struct
       flush_fail_prob = 0.;
       fence_fail_prob = 0.;
       max_consecutive_transients = 0;
+      rot_ops_interval = 0;
       target = (fun _ -> true);
     }
 
@@ -44,6 +46,7 @@ module Plan = struct
       flush_fail_prob = 0.05;
       fence_fail_prob = 0.05;
       max_consecutive_transients = 2;
+      rot_ops_interval = 0;
       target = (fun _ -> true);
     }
 end
@@ -54,10 +57,13 @@ type t = {
   rng : Splitmix.t;
   mutable bit_flips : int;
   mutable torn_spans : int;
+  mutable rot_flips : int;
   mutable flush_transients : int;
   mutable fence_transients : int;
   mutable recovery_crashes : int;
   mutable crashes_seen : int;
+  mutable ops_seen : int;  (* durable-memory ops, drives rot *)
+  mutable rot_enabled : bool;  (* harnesses pause rot around recovery *)
   mutable consecutive : int;  (* back-to-back transient failures *)
   mutable fuse : int option;  (* armed nested crash: ops until it fires *)
   mutable armed_at : int;  (* the at_op value the fuse was armed with *)
@@ -105,6 +111,30 @@ let corrupt_media t =
       end)
     regions
 
+(* Online bit rot: one random bit flip in one eligible region, fired while
+   the system is RUNNING (not at crash time) — the damage the online
+   scrubber exists to heal before a crash forces recovery to. Corruption
+   goes straight to durable bytes behind the cache, so a dirty cached line
+   can still overwrite it: exactly real rot's semantics. *)
+let rot_media t =
+  let regions =
+    List.filter t.plan.Plan.target (Memory.region_names t.mem)
+    |> List.filter_map (Memory.find_region t.mem)
+  in
+  match regions with
+  | [] -> ()
+  | _ ->
+      let r = List.nth regions (Splitmix.int t.rng (List.length regions)) in
+      let window = min t.plan.Plan.media_window (Memory.Region.size r) in
+      if window > 0 then begin
+        let off = Splitmix.int t.rng window in
+        let bit = Splitmix.int t.rng 8 in
+        Memory.Region.corrupt r ~off ~len:1 ~f:(fun _ c ->
+            Char.chr (Char.code c lxor (1 lsl bit)));
+        t.rot_flips <- t.rot_flips + 1;
+        emit t "rot"
+      end
+
 let install mem plan =
   let t =
     {
@@ -113,16 +143,23 @@ let install mem plan =
       rng = Splitmix.create plan.Plan.seed;
       bit_flips = 0;
       torn_spans = 0;
+      rot_flips = 0;
       flush_transients = 0;
       fence_transients = 0;
       recovery_crashes = 0;
       crashes_seen = 0;
+      ops_seen = 0;
+      rot_enabled = true;
       consecutive = 0;
       fuse = None;
       armed_at = 0;
     }
   in
   let h_op (_ : Memory.op_kind) =
+    if plan.Plan.rot_ops_interval > 0 && t.rot_enabled then begin
+      t.ops_seen <- t.ops_seen + 1;
+      if t.ops_seen mod plan.Plan.rot_ops_interval = 0 then rot_media t
+    end;
     match t.fuse with
     | None -> ()
     | Some 0 ->
@@ -174,10 +211,12 @@ let arm_recovery_crash t ~at_op =
 
 let disarm t = t.fuse <- None
 let armed t = t.fuse <> None
+let set_rot t enabled = t.rot_enabled <- enabled
 
 type counters = {
   bit_flips : int;
   torn_spans : int;
+  rot_flips : int;
   flush_transients : int;
   fence_transients : int;
   recovery_crashes : int;
@@ -187,18 +226,19 @@ let counters (t : t) : counters =
   {
     bit_flips = t.bit_flips;
     torn_spans = t.torn_spans;
+    rot_flips = t.rot_flips;
     flush_transients = t.flush_transients;
     fence_transients = t.fence_transients;
     recovery_crashes = t.recovery_crashes;
   }
 
 let total c =
-  c.bit_flips + c.torn_spans + c.flush_transients + c.fence_transients
-  + c.recovery_crashes
+  c.bit_flips + c.torn_spans + c.rot_flips + c.flush_transients
+  + c.fence_transients + c.recovery_crashes
 
 let pp_counters ppf c =
   Format.fprintf ppf
-    "@[<h>bit_flips=%d torn_spans=%d flush_transients=%d fence_transients=%d \
-     recovery_crashes=%d@]"
-    c.bit_flips c.torn_spans c.flush_transients c.fence_transients
-    c.recovery_crashes
+    "@[<h>bit_flips=%d torn_spans=%d rot_flips=%d flush_transients=%d \
+     fence_transients=%d recovery_crashes=%d@]"
+    c.bit_flips c.torn_spans c.rot_flips c.flush_transients
+    c.fence_transients c.recovery_crashes

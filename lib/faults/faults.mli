@@ -49,7 +49,17 @@ module Plan : sig
     max_consecutive_transients : int;
         (** cap on back-to-back transient failures, so bounded retry always
             eventually succeeds *)
-    target : string -> bool;  (** regions eligible for media corruption *)
+    rot_ops_interval : int;
+        (** online bit rot: every [n]-th durable-memory operation flips one
+            random bit in one eligible region {e while the system runs}
+            (crash-time corruption never exercises the online scrubber);
+            [0] disables *)
+    target : string -> bool;
+        (** regions eligible for media corruption. Mirrored logs name their
+            replicas with {!Onll_plog.Plog.replica_region_name}, so
+            per-replica fault scopes are name predicates — e.g.
+            [fun n -> not (Onll_plog.Plog.is_mirror_region n)] confines
+            damage to primaries, the scope mirrors provably heal *)
   }
 
   val none : t
@@ -87,11 +97,20 @@ val disarm : t -> unit
 
 val armed : t -> bool
 
+val set_rot : t -> bool -> unit
+(** Enable/disable the online-rot injector at runtime (enabled on
+    install). Harnesses pause it around recovery: runtime rot is the
+    {e scrubber's} regime, while recovery adversity is modelled by
+    crash-time corruption, transient flush/fence failures and armed nested
+    crashes — rot landing in the instants between a log's salvage and its
+    replay would make any strict zero-loss claim vacuous. *)
+
 (** {1 Injection counters} *)
 
 type counters = {
   bit_flips : int;
   torn_spans : int;
+  rot_flips : int;  (** online rot flips injected while running *)
   flush_transients : int;
   fence_transients : int;
   recovery_crashes : int;  (** armed nested crashes that fired *)

@@ -46,6 +46,14 @@ type kind =
   | Recovery_interrupted of { at_op : int }
       (** A scheduled nested crash fired [at_op] durable-memory operations
           into a recovery attempt. *)
+  | Repair of { log : string; entries : int; bytes : int }
+      (** Recovery (or a scrub) of a mirrored [log] restored [entries]
+          diverged entries ([bytes] durable bytes) from an intact replica —
+          damage healed with no data loss. *)
+  | Scrub of { log : string; entries : int; repaired : int; unrepairable : int }
+      (** An online scrub CRC-walked [entries] live entries of [log],
+          repairing [repaired] cross-replica divergences and quarantining
+          [unrepairable] spans corrupt in every replica. *)
 
 type t = {
   time : int;  (** logical timestamp, unique and monotone per sink *)
@@ -67,6 +75,8 @@ let kind_label = function
   | Retry _ -> "retry"
   | Salvage _ -> "salvage"
   | Recovery_interrupted _ -> "recovery_interrupted"
+  | Repair _ -> "repair"
+  | Scrub _ -> "scrub"
 
 let pp ppf { time; proc; kind } =
   let p ppf = Format.fprintf ppf in
@@ -84,5 +94,10 @@ let pp ppf { time; proc; kind } =
   | Retry { site; attempt } -> p ppf " site=%s attempt=%d" site attempt
   | Salvage { log; quarantined; bytes_lost } ->
       p ppf " log=%s quarantined=%d bytes_lost=%d" log quarantined bytes_lost
-  | Recovery_interrupted { at_op } -> p ppf " at_op=%d" at_op);
+  | Recovery_interrupted { at_op } -> p ppf " at_op=%d" at_op
+  | Repair { log; entries; bytes } ->
+      p ppf " log=%s entries=%d bytes=%d" log entries bytes
+  | Scrub { log; entries; repaired; unrepairable } ->
+      p ppf " log=%s entries=%d repaired=%d unrepairable=%d" log entries
+        repaired unrepairable);
   p ppf "@]"

@@ -7,6 +7,8 @@ type t = {
   fences_update : Metrics.counter;
   fences_read : Metrics.counter;
   fences_checkpoint : Metrics.counter;
+  ops_scrub : Metrics.counter;
+  fences_scrub : Metrics.counter;
   fuzzy : Metrics.histogram;
 }
 
@@ -22,6 +24,8 @@ let make sink =
     fences_update = Metrics.counter r "fences.update";
     fences_read = Metrics.counter r "fences.read";
     fences_checkpoint = Metrics.counter r "fences.checkpoint";
+    ops_scrub = Metrics.counter r "ops.scrub";
+    fences_scrub = Metrics.counter r "fences.scrub";
     fuzzy = Metrics.histogram r "fuzzy.window";
   }
 
@@ -39,4 +43,8 @@ let read_done t ~fences =
   Metrics.add t.fences_read fences
 
 let checkpoint_done t ~fences = Metrics.add t.fences_checkpoint fences
+
+let scrub_done t ~fences =
+  Metrics.incr t.ops_scrub;
+  Metrics.add t.fences_scrub fences
 let observe_fuzzy t n = Metrics.observe t.fuzzy n

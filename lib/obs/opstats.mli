@@ -37,4 +37,11 @@ val update_done : t -> fences:int -> unit
 
 val read_done : t -> fences:int -> unit
 val checkpoint_done : t -> fences:int -> unit
+
+val scrub_done : t -> fences:int -> unit
+(** One online scrub pass completed, having executed [fences] persistent
+    fences on the invoking process — recorded under ["ops.scrub"]/
+    ["fences.scrub"], so scrub fences never pollute the per-update
+    Theorem 5.1 attribution. *)
+
 val observe_fuzzy : t -> int -> unit

@@ -28,6 +28,13 @@ type t = {
   c_salvage_quarantined : Metrics.counter;
   c_salvage_bytes_lost : Metrics.counter;
   c_recovery_interruptions : Metrics.counter;
+  c_repairs : Metrics.counter;
+  c_repair_entries : Metrics.counter;
+  c_repair_bytes : Metrics.counter;
+  c_scrubs : Metrics.counter;
+  c_scrub_entries : Metrics.counter;
+  c_scrub_repaired : Metrics.counter;
+  c_scrub_unrepairable : Metrics.counter;
 }
 
 let build ~active ~registry ~handler =
@@ -58,6 +65,13 @@ let build ~active ~registry ~handler =
     c_salvage_bytes_lost = Metrics.counter registry "salvage.bytes_lost";
     c_recovery_interruptions =
       Metrics.counter registry "recovery.interruptions";
+    c_repairs = Metrics.counter registry "repairs";
+    c_repair_entries = Metrics.counter registry "repair.entries";
+    c_repair_bytes = Metrics.counter registry "repair.bytes";
+    c_scrubs = Metrics.counter registry "scrubs";
+    c_scrub_entries = Metrics.counter registry "scrub.entries";
+    c_scrub_repaired = Metrics.counter registry "scrub.repaired";
+    c_scrub_unrepairable = Metrics.counter registry "scrub.unrepairable";
   }
 
 let make ?registry ?handler () =
@@ -105,7 +119,16 @@ let emit t ~proc kind =
         Metrics.add t.c_salvage_quarantined quarantined;
         Metrics.add t.c_salvage_bytes_lost bytes_lost
     | Event.Recovery_interrupted _ ->
-        Metrics.incr t.c_recovery_interruptions);
+        Metrics.incr t.c_recovery_interruptions
+    | Event.Repair { entries; bytes; _ } ->
+        Metrics.incr t.c_repairs;
+        Metrics.add t.c_repair_entries entries;
+        Metrics.add t.c_repair_bytes bytes
+    | Event.Scrub { entries; repaired; unrepairable; _ } ->
+        Metrics.incr t.c_scrubs;
+        Metrics.add t.c_scrub_entries entries;
+        Metrics.add t.c_scrub_repaired repaired;
+        Metrics.add t.c_scrub_unrepairable unrepairable);
     match t.handler with
     | Some f -> f { Event.time; proc; kind }
     | None -> ()

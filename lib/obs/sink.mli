@@ -10,7 +10,9 @@
     ["log.dropped_entries"], fault_injected → ["faults.injected"], retry →
     ["retries"], salvage → ["salvages"]/["salvage.quarantined"]/
     ["salvage.bytes_lost"], recovery_interrupted →
-    ["recovery.interruptions"]), and optionally a handler that receives the
+    ["recovery.interruptions"], repair → ["repairs"]/["repair.entries"]/
+    ["repair.bytes"], scrub → ["scrubs"]/["scrub.entries"]/
+    ["scrub.repaired"]/["scrub.unrepairable"]), and optionally a handler that receives the
     full structured stream. Events are stamped with a per-sink logical
     clock, so one sink threaded through several components yields a
     single totally ordered history.

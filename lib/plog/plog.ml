@@ -18,6 +18,17 @@ let skip_magic = 0x534B49504D41524BL (* "SKIPMARK" *)
    operation always eventually lands. *)
 let retry_budget = 8
 
+(* Mirror replicas live in sibling regions named with a '~' separator,
+   which never appears in caller-chosen log names (ONLL names its logs
+   "spec.N.plog.P"). Fault plans target one side of a mirrored log by
+   region name. *)
+let mirror_sep = '~'
+
+let replica_region_name name r =
+  if r = 0 then name else Printf.sprintf "%s%c%d" name mirror_sep r
+
+let is_mirror_region name = String.contains name mirror_sep
+
 let crc_of_int64s a b =
   let buf = Bytes.create 16 in
   Bytes.set_int64_le buf 0 a;
@@ -39,6 +50,8 @@ type salvage_report = {
   quarantined_spans : int;
   quarantined_bytes : int;
   skip_markers : int;
+  repaired_entries : int;
+  repaired_bytes : int;
 }
 
 let clean_report =
@@ -47,20 +60,53 @@ let clean_report =
     quarantined_spans = 0;
     quarantined_bytes = 0;
     skip_markers = 0;
+    repaired_entries = 0;
+    repaired_bytes = 0;
   }
 
 let report_lost r = r.torn_tail_bytes + r.quarantined_bytes
 
 let pp_salvage_report ppf r =
   Format.fprintf ppf
-    "@[<h>torn_tail=%dB quarantined=%d spans (%dB) markers=%d@]"
+    "@[<h>torn_tail=%dB quarantined=%d spans (%dB) markers=%d repaired=%d \
+     (%dB)@]"
     r.torn_tail_bytes r.quarantined_spans r.quarantined_bytes r.skip_markers
+    r.repaired_entries r.repaired_bytes
+
+type scrub_report = {
+  scrubbed_entries : int;
+  scrub_repaired_entries : int;
+  scrub_repaired_bytes : int;
+  unrepairable_spans : int;
+}
+
+let clean_scrub =
+  {
+    scrubbed_entries = 0;
+    scrub_repaired_entries = 0;
+    scrub_repaired_bytes = 0;
+    unrepairable_spans = 0;
+  }
+
+let add_scrub a b =
+  {
+    scrubbed_entries = a.scrubbed_entries + b.scrubbed_entries;
+    scrub_repaired_entries =
+      a.scrub_repaired_entries + b.scrub_repaired_entries;
+    scrub_repaired_bytes = a.scrub_repaired_bytes + b.scrub_repaired_bytes;
+    unrepairable_spans = a.unrepairable_spans + b.unrepairable_spans;
+  }
+
+let pp_scrub_report ppf r =
+  Format.fprintf ppf
+    "@[<h>scrubbed=%d repaired=%d (%dB) unrepairable=%d@]" r.scrubbed_entries
+    r.scrub_repaired_entries r.scrub_repaired_bytes r.unrepairable_spans
 
 module Make (M : Onll_machine.Machine_sig.S) = struct
   type t = {
-    region : M.Pm.t;
+    regions : M.Pm.t array;  (* replica 0 is the primary *)
     log_name : string;
-    log_capacity : int;  (* entries area bytes *)
+    log_capacity : int;  (* entries area bytes, per replica *)
     sink : Onll_obs.Sink.t;
     mutable tail : int;  (* next append offset (absolute) *)
     mutable head : int;  (* first live entry offset (absolute) *)
@@ -69,21 +115,30 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
 
   let name t = t.log_name
   let capacity t = t.log_capacity
+  let replicas t = Array.length t.regions
   let log_end t = header_size + t.log_capacity
+  let primary t = t.regions.(0)
+
+  let region_names t =
+    Array.to_list
+      (Array.mapi (fun r _ -> replica_region_name t.log_name r) t.regions)
 
   let emit_retry t ~site ~attempt =
     if Onll_obs.Sink.active t.sink then
       Onll_obs.Sink.emit t.sink ~proc:(M.self ())
         (Onll_obs.Event.Retry { site; attempt })
 
-  (* Make [off, off+len) durable: flush then one fence, retrying the pair
-     on transient faults. A failed flush queued nothing and a failed fence
-     left the pending set intact; re-flushing re-queues snapshots of the
-     same dirty lines, so retrying the whole pair is idempotent. *)
+  (* Make [off, off+len) durable in every replica: flush each replica's
+     range, then ONE fence — pending write-backs are per process, so all
+     replica flushes drain under the same persistent fence and mirroring
+     never costs an extra one. Transient faults retry the whole sequence:
+     a failed flush queued nothing, a failed fence left the pending set
+     intact, and re-flushing re-queues snapshots of the same dirty lines,
+     so the retry is idempotent. *)
   let persist t ~site ~off ~len =
     let rec go attempt =
       match
-        M.Pm.flush t.region ~off ~len;
+        Array.iter (fun r -> M.Pm.flush r ~off ~len) t.regions;
         M.fence ()
       with
       | () -> ()
@@ -94,12 +149,18 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
     in
     go 1
 
-  (* Read one header slot; [Some (seq, head)] if its checksum validates and
-     the head is in range. *)
-  let read_slot t off =
-    let seq = M.Pm.load_int64 t.region ~off in
-    let head = M.Pm.load_int64 t.region ~off:(off + 8) in
-    let crc = M.Pm.load_int64 t.region ~off:(off + 16) in
+  (* Store the same bytes at [off] in every replica. *)
+  let store_all t ~off s = Array.iter (fun r -> M.Pm.store r ~off s) t.regions
+
+  let store_int64_all t ~off v =
+    Array.iter (fun r -> M.Pm.store_int64 r ~off v) t.regions
+
+  (* Read one header slot of one replica; [Some (seq, head)] if its
+     checksum validates and the head is in range. *)
+  let read_slot t region off =
+    let seq = M.Pm.load_int64 region ~off in
+    let head = M.Pm.load_int64 region ~off:(off + 8) in
+    let crc = M.Pm.load_int64 region ~off:(off + 16) in
     if
       crc = crc_to_int64 (crc_of_int64s seq head)
       && head >= Int64.of_int header_size
@@ -108,60 +169,164 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
     then Some (seq, Int64.to_int head)
     else None
 
-  let read_header t =
-    match (read_slot t slot_a, read_slot t slot_b) with
+  let read_header_of t region =
+    match (read_slot t region slot_a, read_slot t region slot_b) with
     | None, None -> (0L, header_size)
     | Some (s, h), None | None, Some (s, h) -> (s, h)
     | Some (sa, ha), Some (sb, hb) ->
         if sa >= sb then (sa, ha) else (sb, hb)
 
-  (* A valid skip marker at [pos]? Returns the span it quarantines. *)
-  let read_skip t pos =
+  (* The newest valid header across every replica and both slots. *)
+  let read_header t =
+    Array.fold_left
+      (fun ((bs, _) as best) region ->
+        let s, h = read_header_of t region in
+        if s > bs then (s, h) else best)
+      (0L, header_size) t.regions
+
+  (* What a replica holds at [pos]. *)
+  type probe = P_entry of int  (* payload length *) | P_skip of int | P_nothing
+
+  let probe t region pos =
     let stop = log_end t in
-    if pos + 16 > stop then None
+    if pos + 16 > stop then P_nothing
     else
-      let len64 = M.Pm.load_int64 t.region ~off:pos in
-      if Int64.compare len64 0L >= 0 then None
-      else
+      let len64 = M.Pm.load_int64 region ~off:pos in
+      let len = Int64.to_int len64 in
+      if len >= 1 then
+        if pos + 16 + len > stop then P_nothing
+        else
+          let stored = M.Pm.load_int64 region ~off:(pos + 8) in
+          let payload = M.Pm.load region ~off:(pos + 16) ~len in
+          if stored = crc_to_int64 (entry_crc payload) then P_entry len
+          else P_nothing
+      else if Int64.compare len64 0L < 0 then
         let span = Int64.to_int (Int64.neg len64) in
-        let stored = M.Pm.load_int64 t.region ~off:(pos + 8) in
+        let stored = M.Pm.load_int64 region ~off:(pos + 8) in
         if
           stored = crc_to_int64 (crc_of_int64s len64 skip_magic)
           && span >= 16
           && pos + span <= stop
-        then Some span
-        else None
+        then P_skip span
+        else P_nothing
+      else P_nothing
 
-  (* Scan the valid entries from [head], transparently stepping over valid
-     skip markers left by salvage; returns (payload, offset) pairs in
-     order, the end-of-valid-prefix offset, and the markers stepped
-     over. *)
-  let scan t head =
-    let stop = log_end t in
-    let rec loop pos acc markers =
-      if pos + 16 > stop then (List.rev acc, pos, markers)
+  (* First replica holding a valid entry (resp. marker) at [pos]. Entries
+     are checked before markers everywhere: an entry can never reappear
+     under a marker (quarantine only happens when no replica had one), so
+     preferring the entry is safe and can only resurrect real data. *)
+  let find_entry t pos =
+    let n = Array.length t.regions in
+    let rec go r =
+      if r >= n then None
       else
-        let len64 = M.Pm.load_int64 t.region ~off:pos in
-        let len = Int64.to_int len64 in
-        if len <= 0 then
-          match read_skip t pos with
-          | Some span -> loop (pos + span) acc (markers + 1)
-          | None -> (List.rev acc, pos, markers)
-        else if pos + 16 + len > stop then (List.rev acc, pos, markers)
-        else
-          let stored = M.Pm.load_int64 t.region ~off:(pos + 8) in
-          let payload = M.Pm.load t.region ~off:(pos + 16) ~len in
-          if stored <> crc_to_int64 (entry_crc payload) then
-            (List.rev acc, pos, markers)
-          else loop (pos + 16 + len) ((payload, pos) :: acc) markers
+        match probe t t.regions.(r) pos with
+        | P_entry len -> Some (r, len)
+        | P_skip _ | P_nothing -> go (r + 1)
+    in
+    go 0
+
+  let find_skip t pos =
+    let n = Array.length t.regions in
+    let rec go r =
+      if r >= n then None
+      else
+        match probe t t.regions.(r) pos with
+        | P_skip span -> Some (r, span)
+        | P_entry _ | P_nothing -> go (r + 1)
+    in
+    go 0
+
+  (* Durably restore [off, off+len) in every replica that differs from
+     replica [src]'s (CRC-valid) copy. Returns the number of replica
+     ranges rewritten; 0 when all replicas already agree (no fence paid).
+     Idempotent: re-running copies identical bytes. *)
+  (* Is [blob] a byte-exact valid log record (a whole entry or a whole
+     skip marker)? A copy source must be revalidated on the very bytes
+     about to be propagated: media rot can strike between the probe that
+     validated a replica and the load below (the scrubber runs under
+     ACTIVE rot), and copying an unchecked canon would spread the fresh
+     damage onto the intact replicas — turning a repairable single-copy
+     fault into an unrepairable all-copy one. Checking the loaded bytes
+     themselves closes that window: whatever is stored is exactly what
+     was checked. *)
+  let valid_record blob =
+    let n = String.length blob in
+    if n < 16 then false
+    else
+      let len64 = String.get_int64_le blob 0 in
+      let stored = String.get_int64_le blob 8 in
+      if Int64.compare len64 0L > 0 then
+        Int64.to_int len64 = n - 16
+        && stored = crc_to_int64 (entry_crc (String.sub blob 16 (n - 16)))
+      else
+        n = 16 && stored = crc_to_int64 (crc_of_int64s len64 skip_magic)
+
+  let heal_from t ~src ~off ~len =
+    let canon = M.Pm.load t.regions.(src) ~off ~len in
+    if not (valid_record canon) then 0
+    else begin
+      let healed = ref 0 in
+      Array.iteri
+        (fun j r ->
+          if j <> src && M.Pm.load r ~off ~len <> canon then begin
+            M.Pm.store r ~off canon;
+            incr healed
+          end)
+        t.regions;
+      if !healed > 0 then persist t ~site:"plog.repair" ~off ~len;
+      !healed
+    end
+
+  (* Re-converge replica headers on the merged (seq, head): rewrite the
+     canonical slot of every replica whose slot disagrees. The replicas
+     holding the merged header are never written, so the merged header
+     survives a crash mid-heal; rewriting is byte-identical, hence
+     idempotent. *)
+  let heal_headers t ~seq ~head =
+    if seq > 0L then begin
+      let slot = if Int64.rem seq 2L = 0L then slot_a else slot_b in
+      let dirty = ref false in
+      Array.iter
+        (fun r ->
+          if read_slot t r slot <> Some (seq, head) then begin
+            M.Pm.store_int64 r ~off:slot seq;
+            M.Pm.store_int64 r ~off:(slot + 8) (Int64.of_int head);
+            M.Pm.store_int64 r ~off:(slot + 16)
+              (crc_to_int64 (crc_of_int64s seq (Int64.of_int head)));
+            dirty := true
+          end)
+        t.regions;
+      if !dirty then persist t ~site:"plog.repair" ~off:slot ~len:slot_bytes
+    end
+
+  (* Scan the valid entries from [head] in the primary, transparently
+     stepping over valid skip markers left by salvage; returns (payload,
+     offset) pairs in order, the end-of-valid-prefix offset, and the
+     markers stepped over. The primary is canonical after any
+     recovery/scrub, so the ordinary read path never consults mirrors. *)
+  let scan t head =
+    let region = primary t in
+    let rec loop pos acc markers =
+      match probe t region pos with
+      | P_entry len ->
+          let payload = M.Pm.load region ~off:(pos + 16) ~len in
+          loop (pos + 16 + len) ((payload, pos) :: acc) markers
+      | P_skip span -> loop (pos + span) acc (markers + 1)
+      | P_nothing -> (List.rev acc, pos, markers)
     in
     loop head [] 0
 
-  let create ?(sink = Onll_obs.Sink.null) ~name ~capacity () =
+  let create ?(sink = Onll_obs.Sink.null) ?(replicas = 1) ~name ~capacity ()
+      =
     if capacity <= 0 then invalid_arg "Plog.create: non-positive capacity";
-    let region = M.Pm.create ~name ~size:(header_size + capacity) in
+    if replicas < 1 then invalid_arg "Plog.create: replicas < 1";
     {
-      region;
+      regions =
+        Array.init replicas (fun r ->
+            M.Pm.create
+              ~name:(replica_region_name name r)
+              ~size:(header_size + capacity));
       log_name = name;
       log_capacity = capacity;
       sink;
@@ -170,34 +335,45 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
       header_seq = 0L;
     }
 
-  (* What lies at the end of the valid prefix [pos]:
-     - [Clean]: zeros to the end of the region — a well-formed log end.
-     - [Torn n]: [n] bytes of garbage with no valid entry anywhere after —
-       a torn final write (or tail-only media damage). Truncation loses
-       nothing that was ever acknowledged durable by a clean append, so
-       the span is zeroed and the log ends at [pos].
+  (* What lies at the end of the valid prefix [pos], judged across EVERY
+     replica:
+     - [Clean]: zeros to the end of each replica — a well-formed log end.
+     - [Torn n]: [n] bytes of garbage with no valid entry anywhere after,
+       in any replica — a torn final write (every replica's tail tore,
+       because no copy of the unacknowledged append was ever fenced), or
+       media damage that hit all copies. Truncation loses nothing a clean
+       append acknowledged; the span is zeroed everywhere.
      - [Corrupt_span span]: a CRC-valid entry (or marker) resumes [span]
-       bytes further on — interior media corruption. The span is
-       quarantined behind a skip marker; the entries after it survive. *)
+       bytes further on in some replica — interior corruption with no
+       intact copy of the span itself. The span is quarantined behind a
+       skip marker in every replica; the entries after it survive. *)
   type tail_class = Clean | Torn of int | Corrupt_span of int
 
   let classify t pos =
     let stop = log_end t in
     if pos >= stop then Clean
     else begin
-      let rest = M.Pm.load t.region ~off:pos ~len:(stop - pos) in
-      (* Last nonzero byte bounds the search: an entry has a nonzero
-         length field, so none can start in the all-zero suffix. *)
+      let rests =
+        Array.map (fun r -> M.Pm.load r ~off:pos ~len:(stop - pos)) t.regions
+      in
+      (* Last nonzero byte (across replicas) bounds the search: an entry
+         has a nonzero length field, so none can start in the all-zero
+         suffix. *)
       let last_nz = ref (-1) in
-      String.iteri (fun i c -> if c <> '\000' then last_nz := i) rest;
+      Array.iter
+        (fun rest ->
+          String.iteri
+            (fun i c -> if c <> '\000' then last_nz := max !last_nz i)
+            rest)
+        rests;
       if !last_nz < 0 then Clean
       else begin
         (* Resync search. The corrupted entry at [pos] originally occupied
            >= 17 bytes, so the next real boundary is at pos+17 or later —
            which also guarantees a quarantined span can hold the 16-byte
            marker. *)
-        let n = String.length rest in
-        let valid_at r =
+        let n = stop - pos in
+        let valid_at rest r =
           if r + 16 > n then false
           else
             let len64 = String.get_int64_le rest r in
@@ -219,7 +395,8 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
         let resync = ref None in
         let r = ref 17 in
         while !resync = None && !r <= !last_nz do
-          if valid_at !r then resync := Some !r;
+          if Array.exists (fun rest -> valid_at rest !r) rests then
+            resync := Some !r;
           incr r
         done;
         match !resync with
@@ -230,69 +407,102 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
 
   let write_skip_marker t ~off ~span =
     let len64 = Int64.neg (Int64.of_int span) in
-    M.Pm.store_int64 t.region ~off len64;
-    M.Pm.store_int64 t.region ~off:(off + 8)
+    store_int64_all t ~off len64;
+    store_int64_all t ~off:(off + 8)
       (crc_to_int64 (crc_of_int64s len64 skip_magic));
     persist t ~site:"plog.salvage" ~off ~len:16
 
   let zero_span t ~off ~len =
-    M.Pm.store t.region ~off (String.make len '\000');
+    store_all t ~off (String.make len '\000');
     persist t ~site:"plog.salvage" ~off ~len
 
   let recover t =
     let seq, head = read_header t in
+    heal_headers t ~seq ~head;
     t.header_seq <- seq;
     t.head <- head;
     let torn = ref 0 and qspans = ref 0 and qbytes = ref 0 in
-    (* Settle the log: repeatedly extend the valid prefix by repairing
-       whatever stops it. Every repair is idempotent — rewriting a marker
-       is byte-identical and re-zeroing zeros is a no-op — so a crash at
-       any point during salvage converges on the next recovery. *)
-    let rec settle pos =
-      let _, stop_pos, _ = scan t pos in
-      match classify t stop_pos with
-      | Clean -> ()
-      | Torn n ->
-          zero_span t ~off:stop_pos ~len:n;
-          torn := !torn + n
-      | Corrupt_span span ->
-          write_skip_marker t ~off:stop_pos ~span;
-          incr qspans;
-          qbytes := !qbytes + span;
-          settle (stop_pos + span)
+    let repaired = ref 0 and rep_bytes = ref 0 in
+    let markers = ref 0 in
+    (* Settle the log: walk the entries, healing replica divergence from
+       any intact copy, quarantining spans corrupt everywhere, truncating
+       a tail no replica can vouch for. Every repair is idempotent —
+       healing copies CRC-valid canonical bytes, rewriting a marker is
+       byte-identical and re-zeroing zeros is a no-op — so a crash at any
+       point during salvage converges on the next recovery. *)
+    let stop = log_end t in
+    let rec walk pos =
+      if pos + 16 > stop then pos
+      else
+        match find_entry t pos with
+        | Some (src, len) ->
+            let healed = heal_from t ~src ~off:pos ~len:(16 + len) in
+            if healed > 0 then begin
+              repaired := !repaired + healed;
+              rep_bytes := !rep_bytes + (healed * (16 + len))
+            end;
+            walk (pos + 16 + len)
+        | None -> (
+            match find_skip t pos with
+            | Some (src, span) ->
+                (* propagate the marker (not counted as a data repair) *)
+                ignore (heal_from t ~src ~off:pos ~len:16);
+                incr markers;
+                walk (pos + span)
+            | None -> (
+                match classify t pos with
+                | Clean -> pos
+                | Torn n ->
+                    zero_span t ~off:pos ~len:n;
+                    torn := !torn + n;
+                    pos
+                | Corrupt_span span ->
+                    write_skip_marker t ~off:pos ~span;
+                    incr qspans;
+                    incr markers;
+                    qbytes := !qbytes + span;
+                    walk (pos + span)))
     in
-    settle head;
-    let _, tail, markers = scan t head in
-    t.tail <- tail;
-    if (!torn > 0 || !qspans > 0) && Onll_obs.Sink.active t.sink then
-      Onll_obs.Sink.emit t.sink ~proc:(M.self ())
-        (Onll_obs.Event.Salvage
-           {
-             log = t.log_name;
-             quarantined = !qspans;
-             bytes_lost = !torn + !qbytes;
-           });
+    t.tail <- walk head;
+    if Onll_obs.Sink.active t.sink then begin
+      if !torn > 0 || !qspans > 0 then
+        Onll_obs.Sink.emit t.sink ~proc:(M.self ())
+          (Onll_obs.Event.Salvage
+             {
+               log = t.log_name;
+               quarantined = !qspans;
+               bytes_lost = !torn + !qbytes;
+             });
+      if !repaired > 0 then
+        Onll_obs.Sink.emit t.sink ~proc:(M.self ())
+          (Onll_obs.Event.Repair
+             { log = t.log_name; entries = !repaired; bytes = !rep_bytes })
+    end;
     {
       torn_tail_bytes = !torn;
       quarantined_spans = !qspans;
       quarantined_bytes = !qbytes;
-      skip_markers = markers;
+      skip_markers = !markers;
+      repaired_entries = !repaired;
+      repaired_bytes = !rep_bytes;
     }
 
-  (* The pre-hardening recovery: truncate at the first invalid entry, no
-     resync, no repair, no report. Kept as the calibration baseline the
-     chaos campaign must catch silently losing interior entries. *)
+  (* The pre-hardening recovery: truncate the primary at the first invalid
+     entry — no resync, no mirror consultation, no repair, no report. Kept
+     as the calibration baseline the chaos campaigns must catch silently
+     losing interior entries. *)
   let recover_unhardened t =
-    let seq, head = read_header t in
+    let region = primary t in
+    let seq, head = read_header_of t region in
     let stop = log_end t in
     let rec loop pos =
       if pos + 16 > stop then pos
       else
-        let len = Int64.to_int (M.Pm.load_int64 t.region ~off:pos) in
+        let len = Int64.to_int (M.Pm.load_int64 region ~off:pos) in
         if len <= 0 || pos + 16 + len > stop then pos
         else
-          let stored = M.Pm.load_int64 t.region ~off:(pos + 8) in
-          let payload = M.Pm.load t.region ~off:(pos + 16) ~len in
+          let stored = M.Pm.load_int64 region ~off:(pos + 8) in
+          let payload = M.Pm.load region ~off:(pos + 16) ~len in
           if stored <> crc_to_int64 (entry_crc payload) then pos
           else loop (pos + 16 + len)
     in
@@ -300,15 +510,81 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
     t.head <- head;
     t.tail <- loop head
 
+  (* Online self-healing: CRC-walk the live span [head, tail) across all
+     replicas while the log is in use — the in-memory cursors are
+     authoritative, so unlike recovery the walk knows exactly where the
+     acknowledged entries end. Divergence with an intact copy is healed in
+     place; a span corrupt in every replica is quarantined immediately
+     (the data is already gone from the media — naming it now beats
+     letting a later crash find it). Fences are paid only for actual
+     repairs. *)
+  let scrub t =
+    heal_headers t ~seq:t.header_seq ~head:t.head;
+    let scrubbed = ref 0 and repaired = ref 0 and rep_bytes = ref 0 in
+    let unrep = ref 0 in
+    let rec walk pos =
+      if pos >= t.tail then ()
+      else
+        match find_entry t pos with
+        | Some (src, len) ->
+            incr scrubbed;
+            let healed = heal_from t ~src ~off:pos ~len:(16 + len) in
+            if healed > 0 then begin
+              repaired := !repaired + healed;
+              rep_bytes := !rep_bytes + (healed * (16 + len))
+            end;
+            walk (pos + 16 + len)
+        | None -> (
+            match find_skip t pos with
+            | Some (src, span) ->
+                ignore (heal_from t ~src ~off:pos ~len:16);
+                walk (pos + span)
+            | None ->
+                (* Corrupt in every replica: resync at the next offset some
+                   replica validates (bounded by the live tail), else the
+                   rest of the live span is gone. Either way the span is >=
+                   17 bytes (whole entries), so the marker fits. *)
+                let resync = ref None in
+                let r = ref (pos + 17) in
+                while !resync = None && !r < t.tail do
+                  if
+                    Array.exists
+                      (fun region -> probe t region !r <> P_nothing)
+                      t.regions
+                  then resync := Some !r;
+                  incr r
+                done;
+                let upto = match !resync with Some r -> r | None -> t.tail in
+                write_skip_marker t ~off:pos ~span:(upto - pos);
+                incr unrep;
+                walk upto)
+    in
+    walk t.head;
+    if Onll_obs.Sink.active t.sink then
+      Onll_obs.Sink.emit t.sink ~proc:(M.self ())
+        (Onll_obs.Event.Scrub
+           {
+             log = t.log_name;
+             entries = !scrubbed;
+             repaired = !repaired;
+             unrepairable = !unrep;
+           });
+    {
+      scrubbed_entries = !scrubbed;
+      scrub_repaired_entries = !repaired;
+      scrub_repaired_bytes = !rep_bytes;
+      unrepairable_spans = !unrep;
+    }
+
   let append t payload =
     let len = String.length payload in
     if len = 0 then invalid_arg "Plog.append: empty payload";
     let need = 16 + len in
     if t.tail + need > log_end t then raise Full;
     let off = t.tail in
-    M.Pm.store_int64 t.region ~off (Int64.of_int len);
-    M.Pm.store_int64 t.region ~off:(off + 8) (crc_to_int64 (entry_crc payload));
-    M.Pm.store t.region ~off:(off + 16) payload;
+    store_int64_all t ~off (Int64.of_int len);
+    store_int64_all t ~off:(off + 8) (crc_to_int64 (entry_crc payload));
+    store_all t ~off:(off + 16) payload;
     persist t ~site:"plog.append" ~off ~len:need;
     t.tail <- off + need;
     if Onll_obs.Sink.active t.sink then
@@ -340,9 +616,9 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
       (* Alternate slots so a torn header write leaves the other slot
          intact. *)
       let slot = if Int64.rem seq 2L = 0L then slot_a else slot_b in
-      M.Pm.store_int64 t.region ~off:slot seq;
-      M.Pm.store_int64 t.region ~off:(slot + 8) (Int64.of_int new_head);
-      M.Pm.store_int64 t.region ~off:(slot + 16)
+      store_int64_all t ~off:slot seq;
+      store_int64_all t ~off:(slot + 8) (Int64.of_int new_head);
+      store_int64_all t ~off:(slot + 16)
         (crc_to_int64 (crc_of_int64s seq (Int64.of_int new_head)));
       persist t ~site:"plog.set_head" ~off:slot ~len:slot_bytes;
       t.header_seq <- seq;
@@ -364,24 +640,26 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
      the source is untouched — and only then does a two-slot header update
      switch the head to the front. A crash before the switch leaves the old
      header and the old live span intact (the partial copy sits in dead
-     bytes recovery never reads). The stale old span beyond the new tail is
-     zeroed last; a crash before that zeroing leaves stale CRC-valid
-     records past the tail, which the next recovery either ignores (their
-     content predates the checkpoint the live span starts with) or
-     quarantines — both converge. *)
+     bytes recovery never reads); replicas that diverge mid-copy or
+     mid-switch re-converge on the next recovery's header heal and entry
+     walk. The stale old span beyond the new tail is zeroed last; a crash
+     before that zeroing leaves stale CRC-valid records past the tail,
+     which the next recovery either ignores (their content predates the
+     checkpoint the live span starts with) or quarantines — both
+     converge. *)
   let relocate t =
     let live = t.tail - t.head in
     if t.head > header_size && header_size + live <= t.head then begin
       if live > 0 then begin
-        let span = M.Pm.load t.region ~off:t.head ~len:live in
-        M.Pm.store t.region ~off:header_size span;
+        let span = M.Pm.load (primary t) ~off:t.head ~len:live in
+        store_all t ~off:header_size span;
         persist t ~site:"plog.relocate" ~off:header_size ~len:live
       end;
       let seq = Int64.add t.header_seq 1L in
       let slot = if Int64.rem seq 2L = 0L then slot_a else slot_b in
-      M.Pm.store_int64 t.region ~off:slot seq;
-      M.Pm.store_int64 t.region ~off:(slot + 8) (Int64.of_int header_size);
-      M.Pm.store_int64 t.region ~off:(slot + 16)
+      store_int64_all t ~off:slot seq;
+      store_int64_all t ~off:(slot + 8) (Int64.of_int header_size);
+      store_int64_all t ~off:(slot + 16)
         (crc_to_int64 (crc_of_int64s seq (Int64.of_int header_size)));
       persist t ~site:"plog.relocate" ~off:slot ~len:slot_bytes;
       let old_tail = t.tail in
@@ -390,7 +668,7 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
       t.tail <- header_size + live;
       let stale = old_tail - t.tail in
       if stale > 0 then begin
-        M.Pm.store t.region ~off:t.tail (String.make stale '\000');
+        store_all t ~off:t.tail (String.make stale '\000');
         persist t ~site:"plog.relocate" ~off:t.tail ~len:stale
       end
     end

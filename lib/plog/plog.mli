@@ -29,7 +29,26 @@
     Transiently failing flushes/fences ({!Onll_nvm.Memory.Transient_fault})
     are retried with a bounded budget, emitting [Retry] events.
 
-    Layout (byte offsets within the region):
+    {b Durable redundancy (mirroring).} {!Make.create} takes [replicas]
+    (default 1): with [replicas = R], every append, head update and repair
+    is written identically to [R] independent NVM regions, and {e all}
+    replica flushes drain under a {e single} persistent fence (pending
+    write-backs are per process, not per region), so the one-fence append
+    economy is unchanged. Recovery then becomes {e repair-aware}: where one
+    replica's CRC scan stops, the other replicas are consulted at the same
+    offset, and an intact copy is restored in place (durably, idempotently)
+    and counted as [repaired] — not lost. Only a span corrupt in {e every}
+    replica is quarantined, and a tail with no valid copy anywhere is
+    truncated as torn. This disambiguates the single-copy tail ambiguity:
+    an ordinary torn append tears {e all} replica tails (no copy was ever
+    fenced), while a media fault hits one — which the mirror heals.
+    {!Make.scrub} is the online half of the same mechanism: a cooperative
+    CRC-walk over the live entries (callable between operations like any
+    process step) that heals cross-replica divergence {e before} a crash
+    forces recovery to, and quarantines double-fault spans it cannot.
+
+    Layout (byte offsets within each replica region; replicas are
+    byte-identical when healthy):
     {v
     0   header slot A: seq:int64  head:int64  crc32(seq‖head):int64
     32  header slot B: same
@@ -41,42 +60,90 @@ exception Full
 (** Raised by [append] when a log's entries area is exhausted. The
     exception is shared by every [Make] instantiation. *)
 
+val replica_region_name : string -> int -> string
+(** [replica_region_name name r] is the NVM region name of replica [r] of a
+    log created as [name]: [name] itself for [r = 0] (the primary),
+    ["name~r"] for mirrors. *)
+
+val is_mirror_region : string -> bool
+(** Does this region name denote a mirror replica (contains ['~'])? Fault
+    plans use this to target one side of a mirrored log —
+    e.g. [target = (fun n -> not (is_mirror_region n))] corrupts primaries
+    only. *)
+
 type salvage_report = {
   torn_tail_bytes : int;
-      (** garbage bytes zeroed and truncated at the tail (no valid entry
-          followed them); torn unacknowledged appends land here, so a
-          nonzero value after a clean crash is normal and not data loss *)
+      (** garbage bytes zeroed and truncated at the tail (no valid entry —
+          in any replica — followed them); torn unacknowledged appends land
+          here, so a nonzero value after a clean crash is normal and not
+          data loss *)
   quarantined_spans : int;
-      (** interior corrupt spans newly quarantined behind skip markers
-          this recovery — each one is durable data loss *)
+      (** interior spans corrupt in {e every} replica, newly quarantined
+          behind skip markers this recovery — each one is durable data
+          loss *)
   quarantined_bytes : int;  (** total bytes in those spans *)
   skip_markers : int;
       (** skip markers present in the log after recovery, including ones
           left by earlier recoveries *)
+  repaired_entries : int;
+      (** entries restored from an intact replica this recovery — damage
+          healed, {e not} loss *)
+  repaired_bytes : int;  (** durable bytes rewritten by those repairs *)
 }
 
 val clean_report : salvage_report
 (** All zeros — what a recovery of an uncorrupted log reports. *)
 
 val report_lost : salvage_report -> int
-(** Durable bytes discarded by this recovery (torn + quarantined). *)
+(** Durable bytes discarded by this recovery (torn + quarantined);
+    repaired bytes are {e not} lost. *)
 
 val pp_salvage_report : Format.formatter -> salvage_report -> unit
+
+type scrub_report = {
+  scrubbed_entries : int;  (** live entries CRC-walked *)
+  scrub_repaired_entries : int;
+      (** diverged entries healed from an intact replica *)
+  scrub_repaired_bytes : int;
+  unrepairable_spans : int;
+      (** spans corrupt in every replica — quarantined and counted; the
+          data is gone and the log is degraded *)
+}
+
+val clean_scrub : scrub_report
+val add_scrub : scrub_report -> scrub_report -> scrub_report
+(** Component-wise sum, for aggregating per-log scrubs. *)
+
+val pp_scrub_report : Format.formatter -> scrub_report -> unit
 
 module Make (M : Onll_machine.Machine_sig.S) : sig
   type t
 
   val create :
-    ?sink:Onll_obs.Sink.t -> name:string -> capacity:int -> unit -> t
-  (** A fresh log in a new persistent region of [capacity] bytes (entries
-      area; header overhead is added on top). [sink] (default
+    ?sink:Onll_obs.Sink.t ->
+    ?replicas:int ->
+    name:string ->
+    capacity:int ->
+    unit ->
+    t
+  (** A fresh log over [replicas] (default 1) independent persistent
+      regions of [capacity] bytes each (entries area; header overhead is
+      added on top), named {!replica_region_name}[ name r]. [sink] (default
       {!Onll_obs.Sink.null}) receives a [Log_append] event per append, a
       [Log_compact] event per head advance, a [Retry] event per transient
-      fault retried and a [Salvage] event per repairing recovery. *)
+      fault retried, a [Salvage] event per repairing recovery, a [Repair]
+      event when recovery heals replica divergence and a [Scrub] event per
+      {!scrub} pass. @raise Invalid_argument if [replicas < 1]. *)
+
+  val replicas : t -> int
+
+  val region_names : t -> string list
+  (** The replica region names, primary first. *)
 
   val append : t -> string -> unit
-  (** Append a payload and make it durable: store, flush, one fence —
-      exactly one persistent fence (transient fault retries excepted).
+  (** Append a payload and make it durable in every replica: store to all
+      replicas, flush all, one fence — exactly one persistent fence
+      regardless of the replica count (transient fault retries excepted).
       @raise Full if the entries area is exhausted (compact or resize). *)
 
   val try_append : t -> string -> (unit, [ `Full ]) result
@@ -90,20 +157,33 @@ module Make (M : Onll_machine.Machine_sig.S) : sig
   val recover : t -> salvage_report
   (** Reset the in-memory cursors from the durable contents — call after a
       crash before appending again. Runs the salvage scan described in the
-      module doc, durably repairing interior corruption (skip markers) and
-      torn tails (zeroed and truncated); the report says exactly what was
+      module doc, consulting every replica at each stop: an entry with an
+      intact copy anywhere is durably restored in place ([repaired]), a
+      span corrupt everywhere is quarantined ([skip markers]), a tail with
+      no valid copy anywhere is zeroed and truncated; replica headers are
+      re-converged. The report says exactly what was repaired and what was
       lost. A recovery that itself crashes mid-repair converges when
-      re-run: repairs are idempotent. *)
+      re-run: every repair is idempotent. *)
 
   val recover_unhardened : t -> unit
-  (** The pre-hardening recovery: truncate at the first invalid entry —
-      silently dropping every entry after an interior corruption, with no
-      repair and no report. Calibration baseline for the chaos campaign
-      (E12), which must catch it losing data; never use it otherwise. *)
+  (** The pre-hardening recovery: truncate the primary at the first invalid
+      entry — silently dropping every entry after an interior corruption,
+      consulting no mirror, with no repair and no report. Calibration
+      baseline for the chaos campaigns (E12/E13); never use it otherwise. *)
+
+  val scrub : t -> scrub_report
+  (** Online self-healing: CRC-walk the live entries (head to tail) across
+      all replicas {e while the log is in use}, durably repairing any
+      replica divergence from an intact copy and quarantining spans corrupt
+      in every replica. Also re-converges diverged replica headers. Safe to
+      call between operations from any process (it is a cooperative step:
+      every access is an ordinary machine operation); costs persistent
+      fences only for actual repairs. Idempotent: a second scrub of an
+      unchanged log reports all-clean. *)
 
   val set_head : t -> int -> unit
   (** [set_head t n] durably discards the oldest [n] valid entries (one
-      persistent fence for the header update). Appends are unaffected.
+      persistent fence for the header update, covering every replica).
       @raise Invalid_argument if fewer than [n] entries exist. *)
 
   val entry_count : t -> int
@@ -121,12 +201,12 @@ module Make (M : Onll_machine.Machine_sig.S) : sig
 
   val relocate : t -> unit
   (** Physically move the live span (head to tail) to the front of the
-      entries area, reclaiming the dead pre-head bytes for appends —
-      {!set_head} alone only advances a pointer and never frees append
-      space. Durable and crash-atomic (copy below the old head first, then
-      switch the two-slot header, then zero the stale span). No-op when
-      there is nothing to reclaim or the live span would overlap its
-      destination; call after a checkpoint has shrunk the live set. *)
+      entries area in every replica, reclaiming the dead pre-head bytes for
+      appends — {!set_head} alone only advances a pointer and never frees
+      append space. Durable and crash-atomic (copy below the old head
+      first, then switch the two-slot header, then zero the stale span).
+      No-op when there is nothing to reclaim or the live span would overlap
+      its destination; call after a checkpoint has shrunk the live set. *)
 
   val capacity : t -> int
   val name : t -> string

@@ -29,7 +29,17 @@
     reported as loss. So when a plan injects media faults, a missing
     completed operation is excused if some recovery attempt salvaged torn
     bytes (counted separately as [tail_ambiguous]); without media faults
-    a fenced entry cannot tear and the excuse is off. *)
+    a fenced entry cannot tear and the excuse is off.
+
+    {b Mirroring disambiguates it (E13).} With [replicas >= 2] and faults
+    confined to primaries ([fault_scope = `Primary_only]), the ambiguity
+    is {e gone}: an ordinary torn append tears every replica's tail (no
+    copy of an unfenced append is ever durable), while a media fault hits
+    one replica and leaves the mirror intact for salvage to restore. A
+    mirrored primary-scoped run therefore gets {e no} excuse — any missing
+    completed operation is a hard violation. Only [`All]-scope faults
+    (both replicas hit — a genuine double fault) keep the excuse, and
+    their losses must still be named by the report. *)
 
 open Onll_util
 open Onll_machine
@@ -45,6 +55,14 @@ type plan = {
   wait_free : bool;
   local_views : bool;
   log_capacity : int;
+  replicas : int;  (** log replication factor (1 = unmirrored) *)
+  fault_scope : [ `All | `Primary_only ];
+      (** which replicas media faults may hit; [`Primary_only] composes
+          [Plog.is_mirror_region] into the fault plan's target, modelling
+          independent media (mirrors provably heal) *)
+  scrub_every : int;
+      (** run an online scrub step every [n] operations per process
+          (0 = never) *)
   fault : Faults.Plan.t;  (** media/transient fault plan *)
   nested_crashes : int;  (** nested crashes armed during recovery *)
   hardened : bool;  (** hardened recovery vs. calibration baseline *)
@@ -62,6 +80,9 @@ let default_plan =
     wait_free = false;
     local_views = false;
     log_capacity = 1 lsl 16;
+    replicas = 1;
+    fault_scope = `All;
+    scrub_every = 0;
     fault = Faults.Plan.none;
     nested_crashes = 0;
     hardened = true;
@@ -90,6 +111,11 @@ let tracked_counters =
     "salvages";
     "salvage.quarantined";
     "salvage.bytes_lost";
+    "repairs";
+    "repair.entries";
+    "scrubs";
+    "scrub.repaired";
+    "scrub.unrepairable";
     "recovery.interruptions";
     "recoveries";
     "crashes";
@@ -102,6 +128,7 @@ module Make (S : Onll_core.Spec.S) = struct
     o_read : S.read_op -> S.value;
     o_recover_report : unit -> Onll_core.Onll.Recovery_report.t;
     o_recover_unhardened : unit -> unit;
+    o_scrub : unit -> unit;
     o_was_linearized : Onll_core.Onll.op_id -> bool;
     o_recovered_ops : unit -> (Onll_core.Onll.op_id * int) list;
   }
@@ -110,6 +137,7 @@ module Make (S : Onll_core.Spec.S) = struct
     let cfg =
       {
         Onll_core.Onll.Config.log_capacity = plan.log_capacity;
+        replicas = plan.replicas;
         local_views = plan.local_views;
         sink;
       }
@@ -123,6 +151,7 @@ module Make (S : Onll_core.Spec.S) = struct
         o_read = C.read obj;
         o_recover_report = (fun () -> C.recover_report obj);
         o_recover_unhardened = (fun () -> C.recover_unhardened obj);
+        o_scrub = (fun () -> ignore (C.scrub obj));
         o_was_linearized = C.was_linearized obj;
         o_recovered_ops = (fun () -> C.recovered_ops obj);
       }
@@ -136,6 +165,7 @@ module Make (S : Onll_core.Spec.S) = struct
         o_read = C.read obj;
         o_recover_report = (fun () -> C.recover_report obj);
         o_recover_unhardened = (fun () -> C.recover_unhardened obj);
+        o_scrub = (fun () -> ignore (C.scrub obj));
         o_was_linearized = C.was_linearized obj;
         o_recovered_ops = (fun () -> C.recovered_ops obj);
       }
@@ -150,7 +180,19 @@ module Make (S : Onll_core.Spec.S) = struct
     in
     let mem = Sim.memory sim in
     let obj = make_obj (Sim.machine sim) plan sink in
-    let handle = Faults.install mem plan.fault in
+    let fault_plan =
+      match plan.fault_scope with
+      | `All -> plan.fault
+      | `Primary_only ->
+          let base = plan.fault.Faults.Plan.target in
+          {
+            plan.fault with
+            Faults.Plan.target =
+              (fun n ->
+                base n && not (Onll_plog.Plog.is_mirror_region n));
+          }
+    in
+    let handle = Faults.install mem fault_plan in
     (* Real-time bookkeeping: ids with invocation/response stamps from a
        logical clock. Plain refs mutated inside simulated processes — not
        shared variables, so not scheduling points. *)
@@ -164,7 +206,7 @@ module Make (S : Onll_core.Spec.S) = struct
     let mk_proc p _ =
       let rng = Splitmix.create ((plan.seed * 1_000_003) + p) in
       let seq = ref 0 in
-      for _ = 1 to plan.ops_per_proc do
+      for k = 1 to plan.ops_per_proc do
         if Splitmix.float rng 1.0 < plan.read_ratio then
           ignore (obj.o_read (gen_read rng))
         else begin
@@ -175,7 +217,11 @@ module Make (S : Onll_core.Spec.S) = struct
           let _v = obj.o_update_detectable ~seq:!seq op in
           incr seq;
           completed := (id, inv, tick ()) :: !completed
-        end
+        end;
+        (* Online scrubbing as a cooperative scheduler step: the crash can
+           land mid-scrub, which is part of what the audit must survive. *)
+        if plan.scrub_every > 0 && k mod plan.scrub_every = 0 then
+          obj.o_scrub ()
       done
     in
     let strategy =
@@ -197,6 +243,10 @@ module Make (S : Onll_core.Spec.S) = struct
     let tail_ambiguous = ref 0 in
     let nested_fired = ref 0 in
     if crashed then begin
+      (* Runtime rot is the online scrubber's regime; pause it for the
+         recovery/audit phase (recovery adversity is modelled by crash-time
+         corruption, transients and nested crashes instead). *)
+      Faults.set_rot handle false;
       (* Recover under chaos: nested crashes are armed to fire a random
          number of durable-memory operations into the attempt; each firing
          is followed by a real crash (media may corrupt again, per the
@@ -243,6 +293,13 @@ module Make (S : Onll_core.Spec.S) = struct
       let salvaged_bytes =
         Onll_obs.Metrics.counter_value registry "salvage.bytes_lost"
       in
+      (* The torn-tail excuse only stands while it is genuinely ambiguous:
+         with faults allowed into every replica (or no mirror at all) a
+         fault on the final entry is indistinguishable from an ordinary
+         torn append. With a mirror and primary-scoped faults it is not —
+         the intact mirror tail must have been restored — so the excuse is
+         withdrawn and any missing completed op is a hard violation. *)
+      let excusable = plan.replicas = 1 || plan.fault_scope = `All in
       let reported id =
         match report with
         | None -> `No
@@ -251,7 +308,8 @@ module Make (S : Onll_core.Spec.S) = struct
               List.mem id r.Onll_core.Onll.Recovery_report.dropped
               || Onll_core.Onll.Recovery_report.detected_loss r
             then `Reported
-            else if media && salvaged_bytes > 0 then `Tail_ambiguous
+            else if media && salvaged_bytes > 0 && excusable then
+              `Tail_ambiguous
             else `No
       in
       List.iter

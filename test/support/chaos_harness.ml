@@ -1,9 +1,19 @@
-(** The E12 chaos campaign, shared by the bench experiment and the [onll
-    chaos] subcommand: many {!Chaos} runs per object — schedules × crash
-    policies × media-fault plans × nested recovery crashes — plus a
+(** The E12/E13 chaos campaigns, shared by the bench experiments and the
+    [onll chaos] subcommand: many {!Chaos} runs per object — schedules ×
+    crash policies × media-fault plans × nested recovery crashes — plus a
     calibration pass that re-runs a slice of the same plans against the
     {e unhardened} recovery and must catch it silently losing data (a
-    campaign whose detector never fires proves nothing). *)
+    campaign whose detector never fires proves nothing).
+
+    E13 escalates E12 with durable redundancy: the same fault grid against
+    {e mirrored} logs (two replicas, faults confined to primaries, online
+    rot healed by periodic scrubs), where the bar is strictly higher — not
+    just zero silent loss but zero {e reported} loss and zero torn-tail
+    ambiguity, since every primary-only fault has an intact mirror copy to
+    restore. A dual-fault arm lets faults into both replicas (losses
+    reappear but must be named exactly), and an unmirrored arm re-runs the
+    E12 plans as the scale calibration the mirrored rows are compared
+    against. *)
 
 open Onll_util
 module Faults = Onll_faults.Faults
@@ -44,6 +54,32 @@ let plan_of_seed seed =
     hardened = true;
   }
 
+(* The E13 grid: the same per-seed adversity as E12, but against two-way
+   mirrored logs with media faults confined to primaries — the scope a
+   mirror provably heals — plus, on even seeds, online rot with a periodic
+   scrub to heal it before the crash. *)
+let mirrored_plan_of_seed seed =
+  let p = plan_of_seed seed in
+  {
+    p with
+    Chaos.replicas = 2;
+    fault_scope = `Primary_only;
+    scrub_every = (if seed mod 2 = 0 then 1 else 0);
+    fault =
+      {
+        p.Chaos.fault with
+        (* dense enough that rot lands between two scrub steps, so the
+           online heal path (not just recovery) does real work *)
+        Faults.Plan.rot_ops_interval = (if seed mod 2 = 0 then 40 else 0);
+      };
+  }
+
+(* The double-fault arm: mirrored logs, faults allowed into every replica.
+   Losses reappear (both copies of a span can die) — the audit requires
+   them named exactly, never silent. *)
+let dual_fault_plan_of_seed seed =
+  { (mirrored_plan_of_seed seed) with Chaos.fault_scope = `All }
+
 type row = {
   obj_name : string;
   runs : int;
@@ -74,7 +110,8 @@ let total_violations s =
 module Drive (S : Onll_core.Spec.S) = struct
   module C = Chaos.Make (S)
 
-  let campaign ~name ~gen_update ~gen_read ~seeds ~messages =
+  let campaign ?(plan_of = plan_of_seed) ~name ~gen_update ~gen_read ~seeds
+      ~messages () =
     let zero k = (k, 0) in
     let acc =
       ref
@@ -92,7 +129,7 @@ module Drive (S : Onll_core.Spec.S) = struct
         }
     in
     for seed = 1 to seeds do
-      let r = C.run ~plan:(plan_of_seed seed) ~gen_update ~gen_read () in
+      let r = C.run ~plan:(plan_of seed) ~gen_update ~gen_read () in
       let a = !acc in
       let f = r.Chaos.faults in
       List.iter
@@ -144,13 +181,13 @@ let run ~seeds_per_object ~calibration_seeds =
   let rows =
     [
       D_counter.campaign ~name:"counter" ~gen_update:Gen.Counter.update
-        ~gen_read:Gen.Counter.read ~seeds:seeds_per_object ~messages;
+        ~gen_read:Gen.Counter.read ~seeds:seeds_per_object ~messages ();
       D_queue.campaign ~name:"queue" ~gen_update:Gen.Queue.update
-        ~gen_read:Gen.Queue.read ~seeds:seeds_per_object ~messages;
+        ~gen_read:Gen.Queue.read ~seeds:seeds_per_object ~messages ();
       D_kv.campaign ~name:"kv" ~gen_update:Gen.Kv.update ~gen_read:Gen.Kv.read
-        ~seeds:seeds_per_object ~messages;
+        ~seeds:seeds_per_object ~messages ();
       D_stack.campaign ~name:"stack" ~gen_update:Gen.Stack.update
-        ~gen_read:Gen.Stack.read ~seeds:seeds_per_object ~messages;
+        ~gen_read:Gen.Stack.read ~seeds:seeds_per_object ~messages ();
     ]
   in
   (* Calibration on the kv object: rich payloads make silent truncation
@@ -202,6 +239,139 @@ let print s =
     s.calibration.cal_caught s.calibration.cal_runs
     (if s.calibration.cal_caught > 0 then "(detector fires)"
      else "(DETECTOR NEVER FIRED — campaign proves nothing)")
+
+(* {2 E13 — mirrored logs, scrubbing, repair-aware recovery} *)
+
+type e13_summary = {
+  mirrored : row list;
+      (** 2-way mirrored, faults on primaries only: zero violations AND
+          zero reported-lost AND zero tail-ambiguous required *)
+  dual : row list;
+      (** mirrored, faults on every replica: zero violations required;
+          double-fault losses reappear but must be named *)
+  unmirrored : row list;
+      (** the E12 plans re-run hardened and unmirrored — the calibration
+          scale mirrored rows are compared against (must show losses) *)
+  e13_messages : string list;
+}
+
+let e13_violations s =
+  List.fold_left (fun acc r -> acc + r.violations) 0 (s.mirrored @ s.dual)
+
+let e13_mirrored_lost s =
+  List.fold_left
+    (fun acc r -> acc + r.lost_reported + r.tail_ambiguous)
+    0 s.mirrored
+
+let e13_unmirrored_lost s =
+  List.fold_left
+    (fun acc r -> acc + r.lost_reported + r.tail_ambiguous)
+    0 s.unmirrored
+
+let run_e13 ~seeds_per_object ~dual_seeds ~unmirrored_seeds =
+  let messages = ref [] in
+  let module D_counter = Drive (Onll_specs.Counter) in
+  let module D_queue = Drive (Onll_specs.Queue_spec) in
+  let module D_kv = Drive (Onll_specs.Kv) in
+  let module D_stack = Drive (Onll_specs.Stack_spec) in
+  let arm plan_of suffix seeds =
+    [
+      D_counter.campaign ~plan_of ~name:("counter" ^ suffix)
+        ~gen_update:Gen.Counter.update ~gen_read:Gen.Counter.read ~seeds
+        ~messages ();
+      D_queue.campaign ~plan_of ~name:("queue" ^ suffix)
+        ~gen_update:Gen.Queue.update ~gen_read:Gen.Queue.read ~seeds
+        ~messages ();
+      D_kv.campaign ~plan_of ~name:("kv" ^ suffix)
+        ~gen_update:Gen.Kv.update ~gen_read:Gen.Kv.read ~seeds ~messages ();
+      D_stack.campaign ~plan_of ~name:("stack" ^ suffix)
+        ~gen_update:Gen.Stack.update ~gen_read:Gen.Stack.read ~seeds
+        ~messages ();
+    ]
+  in
+  let mirrored = arm mirrored_plan_of_seed "" seeds_per_object in
+  let dual =
+    [
+      D_kv.campaign ~plan_of:dual_fault_plan_of_seed ~name:"kv/dual"
+        ~gen_update:Gen.Kv.update ~gen_read:Gen.Kv.read ~seeds:dual_seeds
+        ~messages ();
+    ]
+  in
+  let unmirrored =
+    [
+      D_kv.campaign ~plan_of:plan_of_seed ~name:"kv/unmirrored"
+        ~gen_update:Gen.Kv.update ~gen_read:Gen.Kv.read
+        ~seeds:unmirrored_seeds ~messages ();
+    ]
+  in
+  { mirrored; dual; unmirrored; e13_messages = List.rev !messages }
+
+let print_e13 s =
+  let render rows =
+    List.map
+      (fun r ->
+        [
+          r.obj_name;
+          string_of_int r.runs;
+          string_of_int r.crashed;
+          string_of_int r.media_faults;
+          string_of_int (List.assoc "scrubs" r.metrics);
+          string_of_int (List.assoc "repairs" r.metrics);
+          string_of_int (List.assoc "scrub.repaired" r.metrics);
+          string_of_int r.lost_reported;
+          string_of_int r.tail_ambiguous;
+          string_of_int r.violations;
+        ])
+      rows
+  in
+  Table.print
+    ~title:
+      "E13 — mirrored chaos campaign (2 replicas; primary-only faults must \
+       cost NOTHING: reported-lost, tail-ambig and violations all 0; the \
+       dual arm may lose but must say so; the unmirrored arm shows the \
+       E12-scale losses mirroring removed)"
+    ~header:
+      [
+        "object";
+        "runs";
+        "crashed";
+        "media";
+        "scrubs";
+        "repairs";
+        "scrub-fix";
+        "reported-lost";
+        "tail-ambig";
+        "violations";
+      ]
+    (render (s.mirrored @ s.dual @ s.unmirrored));
+  List.iter (fun m -> Printf.printf "  VIOLATION %s\n" m) s.e13_messages;
+  Printf.printf
+    "mirrored losses: %d (must be 0) | unmirrored calibration losses: %d %s\n"
+    (e13_mirrored_lost s) (e13_unmirrored_lost s)
+    (if e13_unmirrored_lost s > 0 then "(faults were real)"
+     else "(NO LOSSES UNMIRRORED — the grid stopped biting; tighten it)")
+
+let e13_to_metrics s =
+  let reg = Onll_obs.Metrics.create () in
+  let add name v = Onll_obs.Metrics.add (Onll_obs.Metrics.counter reg name) v in
+  let fold prefix r =
+    let p fmt = Printf.sprintf fmt prefix r.obj_name in
+    add (p "%s.%s.runs") r.runs;
+    add (p "%s.%s.crashed") r.crashed;
+    add (p "%s.%s.media_faults") r.media_faults;
+    add (p "%s.%s.transients") r.transients;
+    add (p "%s.%s.nested_crashes") r.nested;
+    add (p "%s.%s.reported_lost") r.lost_reported;
+    add (p "%s.%s.tail_ambiguous") r.tail_ambiguous;
+    add (p "%s.%s.violations") r.violations;
+    List.iter
+      (fun (k, v) -> add (Printf.sprintf "%s.%s.%s" prefix r.obj_name k) v)
+      r.metrics
+  in
+  List.iter (fold "e13.mirrored") s.mirrored;
+  List.iter (fold "e13.dual") s.dual;
+  List.iter (fold "e13.unmirrored") s.unmirrored;
+  reg
 
 (* Fold a summary into a metrics registry for the BENCH_e12.json snapshot
    (satellite: fault/retry/salvage/recovery counters are first-class

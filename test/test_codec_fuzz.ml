@@ -1,0 +1,228 @@
+(* Fuzz/property tests for the decode paths that face possibly-corrupt
+   durable bytes. The contract under test: arbitrary garbage must surface
+   as a TYPED outcome — [Codec.Decode_error] from the serialization layer,
+   a salvage report (never an exception) from [Plog.recover] — because a
+   segfault or an untyped exception during recovery would turn recoverable
+   media damage into an unrecoverable crash loop. Everything is
+   Splitmix-seeded, so any failure replays from its trial number. *)
+
+open Onll_machine
+module Codec = Onll_util.Codec
+module Sm = Onll_util.Splitmix
+
+let check = Alcotest.check
+let rand_bytes rng len = String.init len (fun _ -> Char.chr (Sm.int rng 256))
+
+(* The codec battery: every primitive and combinator, plus the codecs the
+   object specifications actually persist through the logs. *)
+type packed = P : string * 'a Codec.t -> packed
+
+let codecs =
+  [
+    P ("unit", Codec.unit);
+    P ("bool", Codec.bool);
+    P ("int", Codec.int);
+    P ("int32", Codec.int32);
+    P ("int64", Codec.int64);
+    P ("float", Codec.float);
+    P ("char", Codec.char);
+    P ("string", Codec.string);
+    P ("pair", Codec.pair Codec.int Codec.string);
+    P ("triple", Codec.triple Codec.bool Codec.int Codec.string);
+    P ("list", Codec.list Codec.string);
+    P ("array", Codec.array Codec.int);
+    P ("option", Codec.option Codec.string);
+    P ("counter-update", Onll_specs.Counter.update_codec);
+    P ("counter-state", Onll_specs.Counter.state_codec);
+    P ("queue-update", Onll_specs.Queue_spec.update_codec);
+    P ("queue-state", Onll_specs.Queue_spec.state_codec);
+    P ("kv-update", Onll_specs.Kv.update_codec);
+    P ("kv-state", Onll_specs.Kv.state_codec);
+    P ("stack-update", Onll_specs.Stack_spec.update_codec);
+    P ("set-update", Onll_specs.Set_spec.update_codec);
+    P ("ledger-update", Onll_specs.Ledger.update_codec);
+    P ("ledger-state", Onll_specs.Ledger.state_codec);
+  ]
+
+let decode_is_typed name c s =
+  match Codec.decode c s with
+  | _ -> ()
+  | exception Codec.Decode_error _ -> ()
+  | exception e ->
+      Alcotest.failf "%s: untyped exception %s decoding %d bytes %S" name
+        (Printexc.to_string e) (String.length s) s
+
+let test_decode_arbitrary_bytes () =
+  let rng = Sm.create 0xC0DEC in
+  List.iter
+    (fun (P (name, c)) ->
+      for _ = 1 to 400 do
+        decode_is_typed name c (rand_bytes rng (Sm.int rng 64))
+      done)
+    codecs
+
+let test_decode_mutated_valid_encodings () =
+  (* Harder inputs than pure noise: start from REAL encodings (as a torn or
+     rotted log entry would) and truncate, extend or bit-flip them. *)
+  let rng = Sm.create 0xBADF00D in
+  let mutate s =
+    match Sm.int rng 3 with
+    | 0 -> String.sub s 0 (Sm.int rng (String.length s + 1)) (* truncate *)
+    | 1 -> s ^ rand_bytes rng (1 + Sm.int rng 8) (* trailing garbage *)
+    | _ ->
+        if s = "" then s
+        else
+          String.mapi
+            (fun i c ->
+              if i = Sm.int rng (String.length s) then
+                Char.chr (Char.code c lxor (1 lsl Sm.int rng 8))
+              else c)
+            s
+  in
+  let exercise : type a. string -> a Codec.t -> a -> unit =
+   fun name c v ->
+    let enc = Codec.encode c v in
+    for _ = 1 to 200 do
+      decode_is_typed name c (mutate enc)
+    done
+  in
+  exercise "int" Codec.int 12345678;
+  exercise "string" Codec.string "the quick brown fox";
+  exercise "pair" (Codec.pair Codec.int Codec.string) (42, "payload");
+  exercise "list" (Codec.list Codec.string) [ "a"; "bb"; "ccc" ];
+  exercise "array" (Codec.array Codec.int) [| 1; 2; 3; 4 |];
+  exercise "option" (Codec.option Codec.string) (Some "present");
+  exercise "kv-update" Onll_specs.Kv.update_codec
+    (Onll_specs.Kv.Put ("key", "value"));
+  exercise "ledger-update" Onll_specs.Ledger.update_codec
+    (Onll_specs.Ledger.Deposit ("acct", 100))
+
+let test_roundtrip_still_holds () =
+  (* the fuzz must not have been vacuous: honest encodings still decode *)
+  let rng = Sm.create 0x5EED in
+  for _ = 1 to 200 do
+    let v = (Sm.int rng 1000, rand_bytes rng (Sm.int rng 32)) in
+    let c = Codec.pair Codec.int Codec.string in
+    check
+      Alcotest.(pair int string)
+      "roundtrip" v
+      (Codec.decode c (Codec.encode c v))
+  done
+
+(* {1 Plog salvage under arbitrary corruption} *)
+
+(* Property: whatever bytes media damage leaves in the regions — headers
+   included, every replica included — [recover] returns a report rather
+   than raising, [entries] then succeeds, and a second recovery is a fixed
+   point (no new quarantine, repair or truncation). *)
+let test_plog_salvage_never_raises () =
+  let rng = Sm.create 0xFA175 in
+  for trial = 1 to 120 do
+    let replicas = 1 + (trial mod 2) in
+    let sim = Sim.create ~max_processes:1 () in
+    let module M = (val Sim.machine sim) in
+    let module P = Onll_plog.Plog.Make (M) in
+    let log = P.create ~name:"l" ~capacity:1024 ~replicas () in
+    for _ = 1 to Sm.int rng 6 do
+      P.append log (rand_bytes rng (1 + Sm.int rng 24))
+    done;
+    List.iter
+      (fun name ->
+        let r =
+          Option.get (Onll_nvm.Memory.find_region (Sim.memory sim) name)
+        in
+        let size = Onll_nvm.Memory.Region.size r in
+        for _ = 1 to Sm.int rng 24 do
+          Onll_nvm.Memory.Region.corrupt r ~off:(Sm.int rng size) ~len:1
+            ~f:(fun _ _ -> Char.chr (Sm.int rng 256))
+        done)
+      (P.region_names log);
+    Onll_nvm.Memory.crash (Sim.memory sim)
+      ~policy:Onll_nvm.Crash_policy.Drop_all;
+    (match P.recover log with
+    | _ -> ()
+    | exception e ->
+        Alcotest.failf "trial %d: recover raised %s" trial
+          (Printexc.to_string e));
+    let entries1 =
+      match P.entries log with
+      | e -> e
+      | exception e ->
+          Alcotest.failf "trial %d: entries raised %s" trial
+            (Printexc.to_string e)
+    in
+    let r2 = P.recover log in
+    check Alcotest.(list string)
+      (Printf.sprintf "trial %d: recovery is a fixed point" trial)
+      entries1 (P.entries log);
+    check Alcotest.int
+      (Printf.sprintf "trial %d: nothing newly quarantined" trial)
+      0 r2.Onll_plog.Plog.quarantined_spans;
+    check Alcotest.int
+      (Printf.sprintf "trial %d: nothing newly repaired" trial)
+      0 r2.Onll_plog.Plog.repaired_entries;
+    check Alcotest.int
+      (Printf.sprintf "trial %d: nothing newly truncated" trial)
+      0 r2.Onll_plog.Plog.torn_tail_bytes;
+    (* and the log still accepts appends *)
+    P.append log "after-salvage";
+    check Alcotest.bool
+      (Printf.sprintf "trial %d: appends continue" trial)
+      true
+      (List.exists (( = ) "after-salvage") (P.entries log))
+  done
+
+let test_plog_scrub_never_raises () =
+  (* the same property for the ONLINE half: scrub a live corrupted log *)
+  let rng = Sm.create 0x5C12B in
+  for trial = 1 to 60 do
+    let sim = Sim.create ~max_processes:1 () in
+    let module M = (val Sim.machine sim) in
+    let module P = Onll_plog.Plog.Make (M) in
+    let log = P.create ~name:"l" ~capacity:1024 ~replicas:2 () in
+    for _ = 1 to 1 + Sm.int rng 5 do
+      P.append log (rand_bytes rng (1 + Sm.int rng 24))
+    done;
+    List.iter
+      (fun name ->
+        let r =
+          Option.get (Onll_nvm.Memory.find_region (Sim.memory sim) name)
+        in
+        let size = Onll_nvm.Memory.Region.size r in
+        for _ = 1 to Sm.int rng 12 do
+          Onll_nvm.Memory.Region.corrupt r ~off:(Sm.int rng size) ~len:1
+            ~f:(fun _ _ -> Char.chr (Sm.int rng 256))
+        done)
+      (P.region_names log);
+    (match P.scrub log with
+    | _ -> ()
+    | exception e ->
+        Alcotest.failf "trial %d: scrub raised %s" trial
+          (Printexc.to_string e));
+    (* a second scrub of the (now repaired or quarantined) log is clean *)
+    let s2 = P.scrub log in
+    check Alcotest.int
+      (Printf.sprintf "trial %d: second scrub repairs nothing" trial)
+      0 s2.Onll_plog.Plog.scrub_repaired_entries
+  done
+
+let () =
+  Alcotest.run "codec_fuzz"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "arbitrary bytes -> typed errors only" `Quick
+            test_decode_arbitrary_bytes;
+          Alcotest.test_case "mutated encodings -> typed errors only" `Quick
+            test_decode_mutated_valid_encodings;
+          Alcotest.test_case "honest roundtrip unharmed" `Quick
+            test_roundtrip_still_holds;
+        ] );
+      ( "salvage",
+        [
+          Alcotest.test_case "recover never raises, converges" `Quick
+            test_plog_salvage_never_raises;
+          Alcotest.test_case "scrub never raises, converges" `Quick
+            test_plog_scrub_never_raises;
+        ] );
+    ]

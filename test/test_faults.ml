@@ -124,13 +124,17 @@ let test_armed_fuse_fires_at_exact_op () =
    the recovered history and state of an uninterrupted recovery. The
    durable image is reset from a saved snapshot before every trial, so the
    trials are independent and the reference is fixed. *)
-let recovery_idempotence_exhaustive ~media () =
+let recovery_idempotence_exhaustive ~media ?(replicas = 1) () =
   let path = Filename.temp_file "onll_faults" ".img" in
   Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
   let sim = Sim.create ~max_processes:2 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create ~log_capacity:4096 () in
+  let obj =
+    C.make
+      { Onll_core.Onll.Config.default with
+        Onll_core.Onll.Config.log_capacity = 4096; replicas }
+  in
   let mem = Sim.memory sim in
   let body _ = for _ = 1 to 6 do ignore (C.update obj Cs.Increment) done in
   let h0 =
@@ -203,6 +207,16 @@ let test_recovery_idempotent_exhaustive_clean () =
 let test_recovery_idempotent_exhaustive_media () =
   recovery_idempotence_exhaustive ~media:true ()
 
+(* The E13 acceptance half: the same sweep over a MIRRORED object, where
+   recovery additionally heals cross-replica divergence — every repair
+   (header re-convergence, byte copies from the intact replica, marker
+   propagation) must itself be crash-safe at every durable step. *)
+let test_recovery_idempotent_exhaustive_mirrored_clean () =
+  recovery_idempotence_exhaustive ~media:false ~replicas:2 ()
+
+let test_recovery_idempotent_exhaustive_mirrored_media () =
+  recovery_idempotence_exhaustive ~media:true ~replicas:2 ()
+
 (* {1 One full chaos run in the tier-1 suite} *)
 
 let test_chaos_run_hardened_and_calibration () =
@@ -230,6 +244,84 @@ let test_chaos_run_hardened_and_calibration () =
   done;
   check Alcotest.bool "unhardened baseline caught" true !caught
 
+(* {1 Scrubbing under active rot} *)
+
+let test_scrub_under_active_rot_never_spreads_damage () =
+  (* Regression: the scrubber runs while rot keeps striking, so a replica
+     can be corrupted BETWEEN the probe that validated it and the load of
+     the bytes to copy. An unvalidated copy would spread that fresh damage
+     onto the intact mirror — turning a repairable single-copy fault into
+     an unrepairable all-copy loss. heal_from revalidates the loaded bytes
+     themselves; with rot on the primary only, no scrub may ever
+     quarantine and recovery must be loss-free. *)
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:65536 ~replicas:2 () in
+  let plan =
+    { Faults.Plan.none with
+      Faults.Plan.seed = 1;
+      rot_ops_interval = 2;
+      media_window = 2048;
+      target = (fun n -> not (Onll_plog.Plog.is_mirror_region n)) }
+  in
+  let h = Faults.install (Sim.memory sim) plan in
+  let unrepairable = ref 0 in
+  for i = 1 to 120 do
+    P.append log (Printf.sprintf "entry-%04d" i);
+    let s = P.scrub log in
+    unrepairable := !unrepairable + s.Onll_plog.Plog.unrepairable_spans
+  done;
+  Faults.set_rot h false;
+  check Alcotest.int "no scrub ever quarantined (mirror stayed intact)" 0
+    !unrepairable;
+  check Alcotest.bool "rot actually fired, heavily" true
+    ((Faults.counters h).Faults.rot_flips > 100);
+  Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
+  let r = P.recover log in
+  Faults.remove h;
+  check Alcotest.int "recovery lost nothing" 0 (Onll_plog.Plog.report_lost r);
+  check Alcotest.int "every entry survived" 120 (P.entry_count log)
+
+(* {1 Tail-ambiguity disambiguation (E12 -> E13)} *)
+
+let test_mirroring_disambiguates_tail_faults () =
+  (* E12's residual excuse: on a single-copy log, a media fault on the last
+     entry is indistinguishable from a torn append, so the audit lets a
+     missing completed op pass as `Tail_ambiguous`. Find seeds where the
+     unmirrored campaign actually claims that excuse, then re-run the SAME
+     seeds mirrored with primary-only faults: the excuse is revoked there
+     (chaos.ml tightens it to replicas = 1 or all-replica fault scopes) and
+     every such op must instead be repaired from the mirror — zero losses,
+     zero ambiguity, zero violations. *)
+  let module Ch = Test_support.Chaos.Make (Onll_specs.Kv) in
+  let run plan =
+    Ch.run ~plan ~gen_update:Test_support.Gen.Kv.update
+      ~gen_read:Test_support.Gen.Kv.read ()
+  in
+  let ambiguous_seeds = ref [] in
+  for seed = 1 to 60 do
+    let r = run (Test_support.Chaos_harness.plan_of_seed seed) in
+    if r.Test_support.Chaos.tail_ambiguous > 0 then
+      ambiguous_seeds := seed :: !ambiguous_seeds
+  done;
+  check Alcotest.bool "found genuinely ambiguous unmirrored seeds" true
+    (!ambiguous_seeds <> []);
+  List.iter
+    (fun seed ->
+      let plan = Test_support.Chaos_harness.mirrored_plan_of_seed seed in
+      let r = run plan in
+      check Alcotest.(list string)
+        (Printf.sprintf "seed %d mirrored: no violations" seed)
+        [] r.Test_support.Chaos.violations;
+      check Alcotest.int
+        (Printf.sprintf "seed %d mirrored: nothing reported lost" seed)
+        0 r.Test_support.Chaos.lost_reported;
+      check Alcotest.int
+        (Printf.sprintf "seed %d mirrored: no ambiguity left" seed)
+        0 r.Test_support.Chaos.tail_ambiguous)
+    !ambiguous_seeds
+
 let () =
   Alcotest.run "faults"
     [
@@ -256,10 +348,19 @@ let () =
             `Quick test_recovery_idempotent_exhaustive_clean;
           Alcotest.test_case "crash at every recovery step (media faults)"
             `Quick test_recovery_idempotent_exhaustive_media;
+          Alcotest.test_case "crash at every recovery step (mirrored)" `Quick
+            test_recovery_idempotent_exhaustive_mirrored_clean;
+          Alcotest.test_case
+            "crash at every recovery step (mirrored + media)" `Quick
+            test_recovery_idempotent_exhaustive_mirrored_media;
         ] );
       ( "chaos",
         [
           Alcotest.test_case "hardened clean, unhardened caught" `Quick
             test_chaos_run_hardened_and_calibration;
+          Alcotest.test_case "mirroring disambiguates tail faults" `Quick
+            test_mirroring_disambiguates_tail_faults;
+          Alcotest.test_case "scrub under active rot never spreads damage"
+            `Quick test_scrub_under_active_rot_never_spreads_damage;
         ] );
     ]

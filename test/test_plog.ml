@@ -328,6 +328,207 @@ let test_unhardened_recover_silently_truncates () =
   check Alcotest.(list string) "fenced entry c silently gone" [ "aaaaaaaa" ]
     (P.entries log)
 
+(* {1 Mirroring: durable redundancy and repair} *)
+
+let test_mirrored_roundtrip () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:4096 ~replicas:2 () in
+  check Alcotest.int "replicas" 2 (P.replicas log);
+  check Alcotest.(list string) "region names" [ "l"; "l~1" ]
+    (P.region_names log);
+  P.append log "alpha";
+  P.append log "beta";
+  check Alcotest.(list string) "entries" [ "alpha"; "beta" ] (P.entries log);
+  (* both replica regions really exist in NVM *)
+  check Alcotest.bool "mirror region exists" true
+    (Onll_nvm.Memory.find_region (Sim.memory sim) "l~1" <> None);
+  check Alcotest.bool "mirror marker" true
+    (Onll_plog.Plog.is_mirror_region "l~1");
+  check Alcotest.bool "primary is not a mirror" false
+    (Onll_plog.Plog.is_mirror_region "l")
+
+let test_mirrored_one_fence_per_append () =
+  (* the tentpole invariant: both replica flushes drain under ONE fence *)
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:4096 ~replicas:2 () in
+  for i = 1 to 10 do
+    P.append log (Printf.sprintf "entry-%d" i);
+    check Alcotest.int "fences = appends despite 2 replicas" i
+      (M.persistent_fences ())
+  done
+
+let test_mirrored_repairs_interior_rot () =
+  (* same rot as the quarantine test, but the mirror holds an intact copy:
+     recovery must restore the entry in place and lose NOTHING *)
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:4096 ~replicas:2 () in
+  P.append log "aaaaaaaa";
+  P.append log "bbbbbbbb";
+  P.append log "cccccccc";
+  let primary =
+    Option.get (Onll_nvm.Memory.find_region (Sim.memory sim) "l")
+  in
+  flip primary ~off:(88 + 16 + 3);
+  Onll_nvm.Memory.crash (Sim.memory sim)
+    ~policy:Onll_nvm.Crash_policy.Drop_all;
+  let r = P.recover log in
+  check Alcotest.(list string) "nothing lost"
+    [ "aaaaaaaa"; "bbbbbbbb"; "cccccccc" ] (P.entries log);
+  check Alcotest.int "one entry repaired" 1 r.Onll_plog.Plog.repaired_entries;
+  check Alcotest.int "nothing quarantined" 0
+    r.Onll_plog.Plog.quarantined_spans;
+  check Alcotest.int "no loss reported" 0 (Onll_plog.Plog.report_lost r);
+  (* the repair was durable and byte-exact: a second recovery is clean *)
+  let r2 = P.recover log in
+  check Alcotest.int "idempotent: no re-repair" 0
+    r2.Onll_plog.Plog.repaired_entries;
+  check Alcotest.(list string) "stable"
+    [ "aaaaaaaa"; "bbbbbbbb"; "cccccccc" ] (P.entries log)
+
+let test_mirrored_tail_fault_disambiguated () =
+  (* E12's tail ambiguity, resolved: a media fault on the LAST entry hits
+     one replica, so the mirror proves it was a completed append and heals
+     it — where the single-copy log had to truncate and shrug. *)
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:4096 ~replicas:2 () in
+  P.append log "aaaaaaaa";
+  P.append log "bbbbbbbb";
+  P.append log "cccccccc";
+  let primary =
+    Option.get (Onll_nvm.Memory.find_region (Sim.memory sim) "l")
+  in
+  flip primary ~off:(112 + 16 + 3);
+  Onll_nvm.Memory.crash (Sim.memory sim)
+    ~policy:Onll_nvm.Crash_policy.Drop_all;
+  let r = P.recover log in
+  check Alcotest.(list string) "tail entry healed, not truncated"
+    [ "aaaaaaaa"; "bbbbbbbb"; "cccccccc" ] (P.entries log);
+  check Alcotest.int "repaired" 1 r.Onll_plog.Plog.repaired_entries;
+  check Alcotest.int "no torn tail" 0 r.Onll_plog.Plog.torn_tail_bytes
+
+let test_mirrored_torn_append_tears_all_replicas () =
+  (* the other side of the disambiguation: a genuinely torn append never
+     completed its single fence, so NO replica holds a valid copy — the
+     tail is truncated in all of them and nothing acknowledged is lost *)
+  let sim =
+    Sim.create ~max_processes:1
+      ~crash_policy:Onll_nvm.Crash_policy.Persist_all ()
+  in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:4096 ~replicas:2 () in
+  P.append log "good";
+  let strategy =
+    Sched.Strategy.script
+      [ Sched.Strategy.Run_steps (0, 2); Sched.Strategy.Crash_here ]
+  in
+  let outcome =
+    Sim.run sim strategy [| (fun _ -> P.append log "interrupted") |]
+  in
+  check Alcotest.bool "crashed" true (outcome = Sched.World.Crashed);
+  let r = P.recover log in
+  check Alcotest.(list string) "only the fenced entry" [ "good" ]
+    (P.entries log);
+  check Alcotest.int "no repair possible (no intact copy exists)" 0
+    r.Onll_plog.Plog.repaired_entries
+
+let test_mirrored_double_fault_quarantined () =
+  (* a span corrupt in EVERY replica is genuine loss: quarantined and
+     reported, with the entries beyond it still saved *)
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:4096 ~replicas:2 () in
+  P.append log "aaaaaaaa";
+  P.append log "bbbbbbbb";
+  P.append log "cccccccc";
+  let primary =
+    Option.get (Onll_nvm.Memory.find_region (Sim.memory sim) "l")
+  in
+  let mirror =
+    Option.get (Onll_nvm.Memory.find_region (Sim.memory sim) "l~1")
+  in
+  flip primary ~off:(88 + 16 + 3);
+  flip mirror ~off:(88 + 16 + 4);
+  Onll_nvm.Memory.crash (Sim.memory sim)
+    ~policy:Onll_nvm.Crash_policy.Drop_all;
+  let r = P.recover log in
+  check Alcotest.(list string) "both-replica hit is lost, rest survives"
+    [ "aaaaaaaa"; "cccccccc" ] (P.entries log);
+  check Alcotest.int "quarantined" 1 r.Onll_plog.Plog.quarantined_spans;
+  check Alcotest.int "reported as loss" 24 (Onll_plog.Plog.report_lost r)
+
+let test_scrub_heals_divergence_online () =
+  (* no crash at all: rot the primary while the log is live, scrub, and the
+     divergence is gone before recovery ever sees it *)
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:4096 ~replicas:2 () in
+  P.append log "aaaaaaaa";
+  P.append log "bbbbbbbb";
+  P.append log "cccccccc";
+  let primary =
+    Option.get (Onll_nvm.Memory.find_region (Sim.memory sim) "l")
+  in
+  flip primary ~off:(88 + 16 + 3);
+  let s = P.scrub log in
+  check Alcotest.int "walked all live entries" 3
+    s.Onll_plog.Plog.scrubbed_entries;
+  check Alcotest.int "healed one" 1 s.Onll_plog.Plog.scrub_repaired_entries;
+  check Alcotest.int "nothing unrepairable" 0
+    s.Onll_plog.Plog.unrepairable_spans;
+  (* idempotent: nothing left to do *)
+  let s2 = P.scrub log in
+  check Alcotest.int "second pass clean" 0
+    s2.Onll_plog.Plog.scrub_repaired_entries;
+  (* the log keeps working and a crash later finds nothing to repair *)
+  P.append log "dddddddd";
+  Onll_nvm.Memory.crash (Sim.memory sim)
+    ~policy:Onll_nvm.Crash_policy.Drop_all;
+  let r = P.recover log in
+  check Alcotest.(list string) "all four entries"
+    [ "aaaaaaaa"; "bbbbbbbb"; "cccccccc"; "dddddddd" ] (P.entries log);
+  check Alcotest.int "recovery had nothing to heal" 0
+    r.Onll_plog.Plog.repaired_entries
+
+let test_scrub_quarantines_double_fault () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:4096 ~replicas:2 () in
+  P.append log "aaaaaaaa";
+  P.append log "bbbbbbbb";
+  P.append log "cccccccc";
+  let primary =
+    Option.get (Onll_nvm.Memory.find_region (Sim.memory sim) "l")
+  in
+  let mirror =
+    Option.get (Onll_nvm.Memory.find_region (Sim.memory sim) "l~1")
+  in
+  flip primary ~off:(88 + 16 + 3);
+  flip mirror ~off:(88 + 16 + 4);
+  let s = P.scrub log in
+  check Alcotest.int "unrepairable" 1 s.Onll_plog.Plog.unrepairable_spans;
+  check Alcotest.(list string) "survivors still served"
+    [ "aaaaaaaa"; "cccccccc" ] (P.entries log);
+  (* the quarantine is durable: still stable after crash+recover *)
+  Onll_nvm.Memory.crash (Sim.memory sim)
+    ~policy:Onll_nvm.Crash_policy.Drop_all;
+  let r = P.recover log in
+  check Alcotest.(list string) "stable" [ "aaaaaaaa"; "cccccccc" ]
+    (P.entries log);
+  check Alcotest.int "nothing NEWLY quarantined" 0
+    r.Onll_plog.Plog.quarantined_spans
+
 let test_multiple_logs_independent () =
   let sim = Sim.create ~max_processes:2 () in
   let module M = (val Sim.machine sim) in
@@ -427,6 +628,25 @@ let () =
             test_crash_during_set_head_keeps_a_valid_header;
           Alcotest.test_case "newer header wins (persist-all)" `Quick
             test_crash_during_set_head_newer_header_wins;
+        ] );
+      ( "mirror",
+        [
+          Alcotest.test_case "roundtrip + region names" `Quick
+            test_mirrored_roundtrip;
+          Alcotest.test_case "one fence per mirrored append" `Quick
+            test_mirrored_one_fence_per_append;
+          Alcotest.test_case "interior rot repaired from mirror" `Quick
+            test_mirrored_repairs_interior_rot;
+          Alcotest.test_case "tail fault disambiguated and healed" `Quick
+            test_mirrored_tail_fault_disambiguated;
+          Alcotest.test_case "torn append tears all replicas" `Quick
+            test_mirrored_torn_append_tears_all_replicas;
+          Alcotest.test_case "double fault quarantined" `Quick
+            test_mirrored_double_fault_quarantined;
+          Alcotest.test_case "scrub heals divergence online" `Quick
+            test_scrub_heals_divergence_online;
+          Alcotest.test_case "scrub quarantines double fault" `Quick
+            test_scrub_quarantines_double_fault;
         ] );
       ( "salvage",
         [
