@@ -211,45 +211,15 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
         else P_nothing
       else P_nothing
 
-  (* First replica holding a valid entry (resp. marker) at [pos]. Entries
-     are checked before markers everywhere: an entry can never reappear
-     under a marker (quarantine only happens when no replica had one), so
-     preferring the entry is safe and can only resurrect real data. *)
-  let find_entry t pos =
-    let n = Array.length t.regions in
-    let rec go r =
-      if r >= n then None
-      else
-        match probe t t.regions.(r) pos with
-        | P_entry len -> Some (r, len)
-        | P_skip _ | P_nothing -> go (r + 1)
-    in
-    go 0
-
-  let find_skip t pos =
-    let n = Array.length t.regions in
-    let rec go r =
-      if r >= n then None
-      else
-        match probe t t.regions.(r) pos with
-        | P_skip span -> Some (r, span)
-        | P_entry _ | P_nothing -> go (r + 1)
-    in
-    go 0
-
-  (* Durably restore [off, off+len) in every replica that differs from
-     replica [src]'s (CRC-valid) copy. Returns the number of replica
-     ranges rewritten; 0 when all replicas already agree (no fence paid).
-     Idempotent: re-running copies identical bytes. *)
   (* Is [blob] a byte-exact valid log record (a whole entry or a whole
      skip marker)? A copy source must be revalidated on the very bytes
      about to be propagated: media rot can strike between the probe that
-     validated a replica and the load below (the scrubber runs under
-     ACTIVE rot), and copying an unchecked canon would spread the fresh
-     damage onto the intact replicas — turning a repairable single-copy
-     fault into an unrepairable all-copy one. Checking the loaded bytes
-     themselves closes that window: whatever is stored is exactly what
-     was checked. *)
+     validated a replica and the load of its bytes (the scrubber runs
+     under ACTIVE rot), and copying an unchecked canon would spread the
+     fresh damage onto the intact replicas — turning a repairable
+     single-copy fault into an unrepairable all-copy one. Checking the
+     loaded bytes themselves closes that window: whatever is stored is
+     exactly what was checked. *)
   let valid_record blob =
     let n = String.length blob in
     if n < 16 then false
@@ -262,21 +232,59 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
       else
         n = 16 && stored = crc_to_int64 (crc_of_int64s len64 skip_magic)
 
-  let heal_from t ~src ~off ~len =
-    let canon = M.Pm.load t.regions.(src) ~off ~len in
-    if not (valid_record canon) then 0
-    else begin
-      let healed = ref 0 in
-      Array.iteri
-        (fun j r ->
-          if j <> src && M.Pm.load r ~off ~len <> canon then begin
-            M.Pm.store r ~off canon;
-            incr healed
-          end)
-        t.regions;
-      if !healed > 0 then persist t ~site:"plog.repair" ~off ~len;
-      !healed
-    end
+  (* A validated record loaded from some replica: the payload length
+     (resp. quarantine span) plus the canonical bytes every replica should
+     hold at that offset. *)
+  type record = R_entry of int * string | R_skip of int * string
+
+  (* The record at [pos] from the first replica whose copy both probes
+     valid and revalidates on the loaded bytes ([valid_record]). A source
+     that fails revalidation — rot struck between probe and load — is
+     passed over, not trusted and not allowed to end the search: another
+     replica may still hold an intact copy, and only when none does may
+     the caller fall through to quarantine/classify. Entries are checked
+     before markers across every replica: an entry can never reappear
+     under a marker (quarantine only happens when no replica had one), so
+     preferring the entry is safe and can only resurrect real data. *)
+  let load_record t pos =
+    let n = Array.length t.regions in
+    let rec entry r =
+      if r >= n then skip 0
+      else
+        match probe t t.regions.(r) pos with
+        | P_entry len ->
+            let blob = M.Pm.load t.regions.(r) ~off:pos ~len:(16 + len) in
+            if valid_record blob then Some (R_entry (len, blob))
+            else entry (r + 1)
+        | P_skip _ | P_nothing -> entry (r + 1)
+    and skip r =
+      if r >= n then None
+      else
+        match probe t t.regions.(r) pos with
+        | P_skip span ->
+            let blob = M.Pm.load t.regions.(r) ~off:pos ~len:16 in
+            if valid_record blob then Some (R_skip (span, blob))
+            else skip (r + 1)
+        | P_entry _ | P_nothing -> skip (r + 1)
+    in
+    entry 0
+
+  (* Durably propagate a record's validated canonical bytes over every
+     replica that differs at [off]. Returns the number of replica ranges
+     rewritten; 0 when all replicas already agree (no fence paid).
+     Idempotent: re-running copies identical bytes. *)
+  let heal_with t ~off canon =
+    let len = String.length canon in
+    let healed = ref 0 in
+    Array.iter
+      (fun r ->
+        if M.Pm.load r ~off ~len <> canon then begin
+          M.Pm.store r ~off canon;
+          incr healed
+        end)
+      t.regions;
+    if !healed > 0 then persist t ~site:"plog.repair" ~off ~len;
+    !healed
 
   (* Re-converge replica headers on the merged (seq, head): rewrite the
      canonical slot of every replica whose slot disagrees. The replicas
@@ -349,6 +357,30 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
        skip marker in every replica; the entries after it survive. *)
   type tail_class = Clean | Torn of int | Corrupt_span of int
 
+  (* Is there a whole CRC-valid record (an entry, or an earlier salvage's
+     skip marker — equally good as a resync point) at offset [r] of the
+     buffered span copy [rest]? The resync searches work over ONE bulk
+     load per replica rather than per-byte [Pm] probes: every durable
+     load ticks the fault hooks, so a byte-wise probe of a long corrupt
+     span would itself accelerate rot injection mid-scan. *)
+  let buffer_valid_at rest r =
+    let n = String.length rest in
+    if r + 16 > n then false
+    else
+      let len64 = String.get_int64_le rest r in
+      let len = Int64.to_int len64 in
+      if len >= 1 then
+        r + 16 + len <= n
+        && String.get_int64_le rest (r + 8)
+           = crc_to_int64 (entry_crc (String.sub rest (r + 16) len))
+      else if Int64.compare len64 0L < 0 then
+        let span = Int64.to_int (Int64.neg len64) in
+        span >= 16
+        && r + span <= n
+        && String.get_int64_le rest (r + 8)
+           = crc_to_int64 (crc_of_int64s len64 skip_magic)
+      else false
+
   let classify t pos =
     let stop = log_end t in
     if pos >= stop then Clean
@@ -372,30 +404,10 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
            >= 17 bytes, so the next real boundary is at pos+17 or later —
            which also guarantees a quarantined span can hold the 16-byte
            marker. *)
-        let n = stop - pos in
-        let valid_at rest r =
-          if r + 16 > n then false
-          else
-            let len64 = String.get_int64_le rest r in
-            let len = Int64.to_int len64 in
-            if len >= 1 then
-              r + 16 + len <= n
-              && String.get_int64_le rest (r + 8)
-                 = crc_to_int64
-                     (entry_crc (String.sub rest (r + 16) len))
-            else if Int64.compare len64 0L < 0 then
-              (* an earlier salvage's marker is a valid resync point *)
-              let span = Int64.to_int (Int64.neg len64) in
-              span >= 16
-              && r + span <= n
-              && String.get_int64_le rest (r + 8)
-                 = crc_to_int64 (crc_of_int64s len64 skip_magic)
-            else false
-        in
         let resync = ref None in
         let r = ref 17 in
         while !resync = None && !r <= !last_nz do
-          if Array.exists (fun rest -> valid_at rest !r) rests then
+          if Array.exists (fun rest -> buffer_valid_at rest !r) rests then
             resync := Some !r;
           incr r
         done;
@@ -404,6 +416,27 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
         | None -> Torn (!last_nz + 1)
       end
     end
+
+  (* The next offset in (pos, stop) at which some replica holds a whole
+     CRC-valid record — the resync point bounding a span corrupt in every
+     replica — or [None] if no record revalidates before [stop]. Searches
+     buffered copies, one bulk load per replica (see [buffer_valid_at]).
+     The corrupted record at [pos] originally occupied >= 17 bytes, so
+     the search starts at pos+17 — which also guarantees the quarantined
+     span can hold the 16-byte skip marker. *)
+  let resync_offset t ~pos ~stop =
+    let rests =
+      Array.map (fun r -> M.Pm.load r ~off:pos ~len:(stop - pos)) t.regions
+    in
+    let n = stop - pos in
+    let found = ref None in
+    let r = ref 17 in
+    while !found = None && !r + 16 <= n do
+      if Array.exists (fun rest -> buffer_valid_at rest !r) rests then
+        found := Some (pos + !r);
+      incr r
+    done;
+    !found
 
   let write_skip_marker t ~off ~span =
     let len64 = Int64.neg (Int64.of_int span) in
@@ -425,8 +458,12 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
     let repaired = ref 0 and rep_bytes = ref 0 in
     let markers = ref 0 in
     (* Settle the log: walk the entries, healing replica divergence from
-       any intact copy, quarantining spans corrupt everywhere, truncating
-       a tail no replica can vouch for. Every repair is idempotent —
+       any copy that revalidates on load, quarantining spans corrupt
+       everywhere, truncating a tail no replica can vouch for. A record
+       whose every replica fails revalidation falls through to
+       classify/quarantine — the walk never advances past an offset it
+       could neither vouch for nor heal, so the primary is always either
+       intact or the span is named as lost. Every repair is idempotent —
        healing copies CRC-valid canonical bytes, rewriting a marker is
        byte-identical and re-zeroing zeros is a no-op — so a crash at any
        point during salvage converges on the next recovery. *)
@@ -434,34 +471,32 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
     let rec walk pos =
       if pos + 16 > stop then pos
       else
-        match find_entry t pos with
-        | Some (src, len) ->
-            let healed = heal_from t ~src ~off:pos ~len:(16 + len) in
+        match load_record t pos with
+        | Some (R_entry (len, canon)) ->
+            let healed = heal_with t ~off:pos canon in
             if healed > 0 then begin
               repaired := !repaired + healed;
               rep_bytes := !rep_bytes + (healed * (16 + len))
             end;
             walk (pos + 16 + len)
+        | Some (R_skip (span, canon)) ->
+            (* propagate the marker (not counted as a data repair) *)
+            ignore (heal_with t ~off:pos canon);
+            incr markers;
+            walk (pos + span)
         | None -> (
-            match find_skip t pos with
-            | Some (src, span) ->
-                (* propagate the marker (not counted as a data repair) *)
-                ignore (heal_from t ~src ~off:pos ~len:16);
+            match classify t pos with
+            | Clean -> pos
+            | Torn n ->
+                zero_span t ~off:pos ~len:n;
+                torn := !torn + n;
+                pos
+            | Corrupt_span span ->
+                write_skip_marker t ~off:pos ~span;
+                incr qspans;
                 incr markers;
-                walk (pos + span)
-            | None -> (
-                match classify t pos with
-                | Clean -> pos
-                | Torn n ->
-                    zero_span t ~off:pos ~len:n;
-                    torn := !torn + n;
-                    pos
-                | Corrupt_span span ->
-                    write_skip_marker t ~off:pos ~span;
-                    incr qspans;
-                    incr markers;
-                    qbytes := !qbytes + span;
-                    walk (pos + span)))
+                qbytes := !qbytes + span;
+                walk (pos + span))
     in
     t.tail <- walk head;
     if Onll_obs.Sink.active t.sink then begin
@@ -525,39 +560,31 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
     let rec walk pos =
       if pos >= t.tail then ()
       else
-        match find_entry t pos with
-        | Some (src, len) ->
+        match load_record t pos with
+        | Some (R_entry (len, canon)) ->
             incr scrubbed;
-            let healed = heal_from t ~src ~off:pos ~len:(16 + len) in
+            let healed = heal_with t ~off:pos canon in
             if healed > 0 then begin
               repaired := !repaired + healed;
               rep_bytes := !rep_bytes + (healed * (16 + len))
             end;
             walk (pos + 16 + len)
-        | None -> (
-            match find_skip t pos with
-            | Some (src, span) ->
-                ignore (heal_from t ~src ~off:pos ~len:16);
-                walk (pos + span)
-            | None ->
-                (* Corrupt in every replica: resync at the next offset some
-                   replica validates (bounded by the live tail), else the
-                   rest of the live span is gone. Either way the span is >=
-                   17 bytes (whole entries), so the marker fits. *)
-                let resync = ref None in
-                let r = ref (pos + 17) in
-                while !resync = None && !r < t.tail do
-                  if
-                    Array.exists
-                      (fun region -> probe t region !r <> P_nothing)
-                      t.regions
-                  then resync := Some !r;
-                  incr r
-                done;
-                let upto = match !resync with Some r -> r | None -> t.tail in
-                write_skip_marker t ~off:pos ~span:(upto - pos);
-                incr unrep;
-                walk upto)
+        | Some (R_skip (span, canon)) ->
+            ignore (heal_with t ~off:pos canon);
+            walk (pos + span)
+        | None ->
+            (* Corrupt in every replica: resync at the next offset some
+               replica holds a valid record (bounded by the live tail),
+               else the rest of the live span is gone. Either way the span
+               is >= 17 bytes (whole entries), so the marker fits. *)
+            let upto =
+              match resync_offset t ~pos ~stop:t.tail with
+              | Some r -> r
+              | None -> t.tail
+            in
+            write_skip_marker t ~off:pos ~span:(upto - pos);
+            incr unrep;
+            walk upto
     in
     walk t.head;
     if Onll_obs.Sink.active t.sink then
@@ -635,12 +662,24 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
   (* Physically move the live span to the front of the entries area,
      reclaiming the dead pre-head bytes for appends (set_head only advances
      a pointer; appends never wrap, so without this the area fills for
-     good). Crash-atomic: the live bytes are first durably copied into the
-     dead zone at the start of the entries area — strictly below [head], so
-     the source is untouched — and only then does a two-slot header update
-     switch the head to the front. A crash before the switch leaves the old
-     header and the old live span intact (the partial copy sits in dead
-     bytes recovery never reads); replicas that diverge mid-copy or
+     good). The copy walks the live span record by record, sourcing each
+     record from whichever replica's copy revalidates on load
+     ([load_record]) — a bulk primary-only copy would propagate a rotted
+     primary record onto every mirror while the zeroing below destroys the
+     mirrors' intact copy at the old offsets, converting a repairable
+     single-replica fault into unrepairable loss. A span corrupt in every
+     replica is rewritten at the destination as a skip marker — exactly
+     the quarantine an in-place scrub would perform — and reported with a
+     Salvage event. Every byte landing at the destination was therefore
+     validated (or is a fresh CRC-protected marker) at copy time, so the
+     old span is dead weight by the time it is zeroed.
+
+     Crash-atomic: the live records are first durably copied into the dead
+     zone at the start of the entries area — strictly below [head], so the
+     source is untouched — and only then does a two-slot header update
+     switch the head to the front. A crash before the switch leaves the
+     old header and the old live span intact (the partial copy sits in
+     dead bytes recovery never reads); replicas that diverge mid-copy or
      mid-switch re-converge on the next recovery's header heal and entry
      walk. The stale old span beyond the new tail is zeroed last; a crash
      before that zeroing leaves stale CRC-valid records past the tail,
@@ -650,9 +689,37 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
   let relocate t =
     let live = t.tail - t.head in
     if t.head > header_size && header_size + live <= t.head then begin
+      let quarantined = ref 0 and qbytes = ref 0 in
       if live > 0 then begin
-        let span = M.Pm.load (primary t) ~off:t.head ~len:live in
-        store_all t ~off:header_size span;
+        let rec copy pos =
+          if pos >= t.tail then ()
+          else
+            let dst = header_size + (pos - t.head) in
+            match load_record t pos with
+            | Some (R_entry (len, canon)) ->
+                store_all t ~off:dst canon;
+                copy (pos + 16 + len)
+            | Some (R_skip (span, canon)) ->
+                (* the marker's span is relative, so it covers the same
+                   bytes at the destination *)
+                store_all t ~off:dst canon;
+                copy (pos + span)
+            | None ->
+                let upto =
+                  match resync_offset t ~pos ~stop:t.tail with
+                  | Some r -> r
+                  | None -> t.tail
+                in
+                let span = upto - pos in
+                let len64 = Int64.neg (Int64.of_int span) in
+                store_int64_all t ~off:dst len64;
+                store_int64_all t ~off:(dst + 8)
+                  (crc_to_int64 (crc_of_int64s len64 skip_magic));
+                incr quarantined;
+                qbytes := !qbytes + span;
+                copy upto
+        in
+        copy t.head;
         persist t ~site:"plog.relocate" ~off:header_size ~len:live
       end;
       let seq = Int64.add t.header_seq 1L in
@@ -670,6 +737,14 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
       if stale > 0 then begin
         store_all t ~off:t.tail (String.make stale '\000');
         persist t ~site:"plog.relocate" ~off:t.tail ~len:stale
-      end
+      end;
+      if !quarantined > 0 && Onll_obs.Sink.active t.sink then
+        Onll_obs.Sink.emit t.sink ~proc:(M.self ())
+          (Onll_obs.Event.Salvage
+             {
+               log = t.log_name;
+               quarantined = !quarantined;
+               bytes_lost = !qbytes;
+             })
     end
 end

@@ -205,6 +205,12 @@ module Make (M : Onll_machine.Machine_sig.S) : sig
       appends — {!set_head} alone only advances a pointer and never frees
       append space. Durable and crash-atomic (copy below the old head
       first, then switch the two-slot header, then zero the stale span).
+      The copy is repair-aware: each record is sourced from whichever
+      replica's copy revalidates on load, so a record rotted on the
+      primary is restored from its mirror rather than propagated (and the
+      mirrors' intact copy is never zeroed away); a span corrupt in every
+      replica is quarantined behind a skip marker at the destination and
+      reported with a [Salvage] event, exactly as {!scrub} would in place.
       No-op when there is nothing to reclaim or the live span would overlap
       its destination; call after a checkpoint has shrunk the live set. *)
 

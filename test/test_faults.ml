@@ -251,9 +251,9 @@ let test_scrub_under_active_rot_never_spreads_damage () =
      can be corrupted BETWEEN the probe that validated it and the load of
      the bytes to copy. An unvalidated copy would spread that fresh damage
      onto the intact mirror — turning a repairable single-copy fault into
-     an unrepairable all-copy loss. heal_from revalidates the loaded bytes
-     themselves; with rot on the primary only, no scrub may ever
-     quarantine and recovery must be loss-free. *)
+     an unrepairable all-copy loss. The repair path revalidates the loaded
+     bytes themselves before propagating them; with rot on the primary
+     only, no scrub may ever quarantine and recovery must be loss-free. *)
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module P = Onll_plog.Plog.Make (M) in
@@ -282,6 +282,64 @@ let test_scrub_under_active_rot_never_spreads_damage () =
   Faults.remove h;
   check Alcotest.int "recovery lost nothing" 0 (Onll_plog.Plog.report_lost r);
   check Alcotest.int "every entry survived" 120 (P.entry_count log)
+
+let test_relocate_under_active_rot_never_loses () =
+  (* Regression: relocate used to bulk-copy the live span from the primary
+     with no CRC check and then zero the old offsets in every replica —
+     under primary-only rot that propagates fresh damage onto the mirror
+     AND destroys the mirror's only intact copy. With the record-by-record
+     validated copy, a scrub+compact cycle run under ACTIVE primary rot
+     must never lose an acknowledged entry: interior damage is always
+     healed from the mirror, never quarantined. *)
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:65536 ~replicas:2 () in
+  let plan =
+    { Faults.Plan.none with
+      Faults.Plan.seed = 7;
+      rot_ops_interval = 2;
+      media_window = 2048;
+      target = (fun n -> not (Onll_plog.Plog.is_mirror_region n)) }
+  in
+  let h = Faults.install (Sim.memory sim) plan in
+  (* Slide a 4-entry live window: every drop is followed by a relocate,
+     so the copy keeps crossing freshly rotted territory. Scrub first, as
+     the compaction discipline does, but rot keeps striking between the
+     scrub and the copy — exactly the window the validated copy closes. *)
+  let live = Queue.create () in
+  for i = 1 to 80 do
+    let e = Printf.sprintf "entry-%04d" i in
+    P.append log e;
+    Queue.add e live;
+    if Queue.length live > 4 then begin
+      ignore (Queue.take live);
+      (* Pause rot for the head advance — set_head's scan reads the
+         primary only and is not the repair path under test — then run
+         the relocate itself under active rot: its record loads tick the
+         fault hooks, so rot strikes mid-copy, exactly the window the
+         validated per-record copy must close. *)
+      Faults.set_rot h false;
+      ignore (P.scrub log);
+      P.set_head log 1;
+      Faults.set_rot h true;
+      P.relocate log
+    end
+  done;
+  Faults.set_rot h false;
+  check Alcotest.bool "rot actually fired, heavily" true
+    ((Faults.counters h).Faults.rot_flips > 50);
+  Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
+  let r = P.recover log in
+  Faults.remove h;
+  (* rot beyond the tail may be truncated as torn garbage (it never held
+     data), but no interior span may ever be quarantined: the mirror
+     always has the intact copy *)
+  check Alcotest.int "nothing quarantined" 0
+    r.Onll_plog.Plog.quarantined_spans;
+  check Alcotest.(list string) "the exact live window survives"
+    (List.of_seq (Queue.to_seq live))
+    (P.entries log)
 
 (* {1 Tail-ambiguity disambiguation (E12 -> E13)} *)
 
@@ -362,5 +420,7 @@ let () =
             test_mirroring_disambiguates_tail_faults;
           Alcotest.test_case "scrub under active rot never spreads damage"
             `Quick test_scrub_under_active_rot_never_spreads_damage;
+          Alcotest.test_case "relocate under active rot never loses" `Quick
+            test_relocate_under_active_rot_never_loses;
         ] );
     ]

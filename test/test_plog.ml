@@ -529,6 +529,76 @@ let test_scrub_quarantines_double_fault () =
   check Alcotest.int "nothing NEWLY quarantined" 0
     r.Onll_plog.Plog.quarantined_spans
 
+let test_relocate_sources_from_intact_replica () =
+  (* Regression: relocate used to bulk-copy the live span from the primary
+     with no CRC check, then overwrite every replica and zero the old
+     offsets — propagating a rotted primary record onto the mirror AND
+     destroying the mirror's intact copy, converting a repairable
+     single-replica fault into unrepairable loss. The copy must source
+     each record from whichever replica's copy revalidates. *)
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:4096 ~replicas:2 () in
+  P.append log "aaaaaaaa";
+  P.append log "bbbbbbbb";
+  P.append log "cccccccc";
+  P.append log "dddddddd";
+  P.set_head log 2;  (* live span: entries c, d at [112,160) *)
+  let primary =
+    Option.get (Onll_nvm.Memory.find_region (Sim.memory sim) "l")
+  in
+  (* rot a live payload byte on the primary ONLY, then compact *)
+  flip primary ~off:(112 + 16 + 3);
+  P.relocate log;
+  check Alcotest.(list string) "rotted record restored from the mirror"
+    [ "cccccccc"; "dddddddd" ] (P.entries log);
+  check Alcotest.int "live span compacted to the front" 48 (P.used_bytes log);
+  (* the relocated copy is durable, byte-identical across replicas and
+     loss-free: a crash finds nothing to repair and nothing to report *)
+  Onll_nvm.Memory.crash (Sim.memory sim)
+    ~policy:Onll_nvm.Crash_policy.Drop_all;
+  let r = P.recover log in
+  check Alcotest.int "no loss" 0 (Onll_plog.Plog.report_lost r);
+  check Alcotest.int "nothing left to repair" 0
+    r.Onll_plog.Plog.repaired_entries;
+  check Alcotest.(list string) "stable after recovery"
+    [ "cccccccc"; "dddddddd" ] (P.entries log)
+
+let test_relocate_quarantines_double_fault () =
+  (* A live record corrupt in EVERY replica cannot be copied; relocate
+     must quarantine it at the destination behind a skip marker — exactly
+     what an in-place scrub would do — and keep the records beyond it. *)
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module P = Onll_plog.Plog.Make (M) in
+  let log = P.create ~name:"l" ~capacity:4096 ~replicas:2 () in
+  List.iter (P.append log)
+    [ "aaaaaaaa"; "bbbbbbbb"; "cccccccc"; "dddddddd"; "eeeeeeee"; "ffffffff" ];
+  P.set_head log 4;  (* live span: entries e, f at [160,208) *)
+  let primary =
+    Option.get (Onll_nvm.Memory.find_region (Sim.memory sim) "l")
+  in
+  let mirror =
+    Option.get (Onll_nvm.Memory.find_region (Sim.memory sim) "l~1")
+  in
+  flip primary ~off:(160 + 16 + 3);
+  flip mirror ~off:(160 + 16 + 4);  (* entry e dead in both replicas *)
+  P.relocate log;
+  check Alcotest.(list string) "survivor beyond the double fault kept"
+    [ "ffffffff" ] (P.entries log);
+  (* the quarantine is already settled: scrub and recovery find nothing
+     new to repair, quarantine or report *)
+  let s = P.scrub log in
+  check Alcotest.int "scrub: nothing unrepairable left" 0
+    s.Onll_plog.Plog.unrepairable_spans;
+  Onll_nvm.Memory.crash (Sim.memory sim)
+    ~policy:Onll_nvm.Crash_policy.Drop_all;
+  let r = P.recover log in
+  check Alcotest.int "nothing NEWLY quarantined" 0
+    r.Onll_plog.Plog.quarantined_spans;
+  check Alcotest.(list string) "stable" [ "ffffffff" ] (P.entries log)
+
 let test_multiple_logs_independent () =
   let sim = Sim.create ~max_processes:2 () in
   let module M = (val Sim.machine sim) in
@@ -647,6 +717,10 @@ let () =
             test_scrub_heals_divergence_online;
           Alcotest.test_case "scrub quarantines double fault" `Quick
             test_scrub_quarantines_double_fault;
+          Alcotest.test_case "relocate sources from intact replica" `Quick
+            test_relocate_sources_from_intact_replica;
+          Alcotest.test_case "relocate quarantines double fault" `Quick
+            test_relocate_quarantines_double_fault;
         ] );
       ( "salvage",
         [
