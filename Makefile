@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check chaos-smoke bench examples fuzz explore soak doc clean outputs
+.PHONY: all build test check gate chaos-smoke bench examples fuzz explore soak doc clean outputs
 
 all: build test
 
@@ -11,25 +11,41 @@ test:
 	dune runtest
 
 # The pre-merge gate: everything compiles (including docs, where odoc is
-# available), every test passes, and a quick chaos campaign stays clean.
+# available), every test passes, a quick chaos campaign stays clean, and
+# the bench-regression gate matches the committed snapshots.
 check:
 	dune build @all
 	dune runtest
 	$(MAKE) chaos-smoke
+	$(MAKE) gate
 	@command -v odoc >/dev/null 2>&1 && dune build @doc \
 	  || echo "odoc not installed; skipping doc build"
 
-# A fast slice of the E12/E13 chaos campaigns: media faults + nested
+# The bench-regression gate: re-run the asserted sim invariants (E1 fence
+# bounds, F2, the deterministic E14 slices) and diff the fresh snapshots
+# against the committed goldens in bench/snapshots/. --self-test first
+# proves the gate is still capable of failing.
+gate:
+	dune build bench/bench_gate.exe
+	./_build/default/bench/bench_gate.exe --self-test
+
+# A fast slice of the E12/E13/E14 chaos campaigns: media faults + nested
 # recovery crashes on two objects, the unhardened calibration baseline
-# (which must be caught losing data), and a mirrored slice where
-# primary-only faults must cost nothing (zero losses, zero ambiguity).
-# Full campaigns: dune exec bench/main.exe e12 e13
+# (which must be caught losing data), a mirrored slice where primary-only
+# faults must cost nothing (zero losses, zero ambiguity), and the same
+# pair against the 4-shard partitioned construction. Built once up front:
+# the five runs reuse one set of artifacts instead of five dune exec
+# rebuild checks. Full campaigns: dune exec bench/main.exe e12 e13 e14
+ONLL_CLI := ./_build/default/bin/onll_cli.exe
 chaos-smoke:
-	dune exec bin/onll_cli.exe -- chaos -s kv --seeds 15
-	dune exec bin/onll_cli.exe -- chaos -s counter --seeds 15
-	dune exec bin/onll_cli.exe -- chaos -s kv --seeds 15 --unhardened
-	dune exec bin/onll_cli.exe -- chaos -s kv --seeds 10 --mirrored
-	dune exec bin/onll_cli.exe -- scrub
+	dune build bin/onll_cli.exe
+	$(ONLL_CLI) chaos -s kv --seeds 15
+	$(ONLL_CLI) chaos -s counter --seeds 15
+	$(ONLL_CLI) chaos -s kv --seeds 15 --unhardened
+	$(ONLL_CLI) chaos -s kv --seeds 10 --mirrored
+	$(ONLL_CLI) chaos -s kv --seeds 10 --sharded
+	$(ONLL_CLI) chaos -s kv --seeds 10 --sharded --mirrored
+	$(ONLL_CLI) scrub
 
 bench:
 	dune exec bench/main.exe

@@ -1,0 +1,192 @@
+(** The CI bench-regression gate.
+
+    Re-runs the cheap {e asserted} invariants in-process — E1 fence bounds
+    (every onll-family row exactly 1 pf/update, 0 pf/read, ["onll-sharded"]
+    included), the F2 fuzzy-window bound, and the deterministic E14 slices
+    (sharded fence accounting + sharded chaos, zero violations) — then
+    diffs the freshly produced snapshots against the committed goldens in
+    [bench/snapshots/]:
+
+    - [BENCH_e1.json]: every [pf_update.*] / [pf_read.*] key must match
+      the golden {e exactly} (the sim is deterministic, so any drift in a
+      fence count is a real change in the construction's cost, in either
+      direction — cheaper is a claim to re-review, not a free pass);
+    - [BENCH_e14.json]: every [e14.*] key (fence accounting, routing,
+      chaos violation counters) must match exactly. Native [mops.*]
+      gauges are measurements, not invariants — never gated;
+    - every committed golden: any key ending in [.violations] must be 0.
+
+    Exit status 0 = gate passes; 1 = regression (each one named on
+    stdout). [--self-test] proves the gate can fail: it re-compares
+    against a golden with one fence counter bumped and requires the
+    comparison to flag it.
+
+    Usage: [bench_gate.exe [--snapshots DIR] [--self-test]] (default DIR:
+    [bench/snapshots], resolved from the repo root or [$ONLL_GATE_DIR]). *)
+
+let failures = ref []
+
+let faili fmt =
+  Printf.ksprintf (fun s -> failures := s :: !failures) fmt
+
+(* {2 Snapshot comparison} *)
+
+let load path =
+  try Some (Onll_obs.Export.read_scalars ~path) with
+  | Sys_error e ->
+      faili "cannot read snapshot %s: %s" path e;
+      None
+  | Failure e ->
+      faili "cannot parse snapshot %s: %s" path e;
+      None
+
+(* Compare [fresh] to [golden] on every key matching [gated]: exact float
+   equality (both sides are deterministic sim runs serialised by the same
+   exporter), missing and extra gated keys both count. Returns the number
+   of gated keys checked. *)
+let compare_gated ~label ~gated ~golden ~fresh =
+  let g = List.filter (fun (k, _) -> gated k) golden in
+  let f = List.filter (fun (k, _) -> gated k) fresh in
+  List.iter
+    (fun (k, gv) ->
+      match List.assoc_opt k f with
+      | None -> faili "%s: gated key %s vanished from the fresh run" label k
+      | Some fv ->
+          if fv <> gv then
+            faili "%s: %s changed: golden %.17g, fresh %.17g" label k gv fv)
+    g;
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem_assoc k g) then
+        faili
+          "%s: new gated key %s is absent from the golden (regenerate \
+           bench/snapshots and review the diff)"
+          label k)
+    f;
+  List.length g
+
+let zero_violations ~path metrics =
+  List.iter
+    (fun (k, v) ->
+      let n = String.length k in
+      let suffix = ".violations" in
+      let sn = String.length suffix in
+      if n >= sn && String.sub k (n - sn) sn = suffix && v <> 0. then
+        faili "%s: %s = %g (must be 0)" (Filename.basename path) k v)
+    metrics
+
+(* {2 Main} *)
+
+let () =
+  let snapshots_dir = ref "" in
+  let self_test = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--snapshots" :: d :: rest ->
+        snapshots_dir := d;
+        parse rest
+    | "--self-test" :: rest ->
+        self_test := true;
+        parse rest
+    | a :: _ ->
+        prerr_endline ("bench_gate: unknown argument " ^ a);
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let snapshots_dir =
+    if !snapshots_dir <> "" then !snapshots_dir
+    else
+      match Sys.getenv_opt "ONLL_GATE_DIR" with
+      | Some d when d <> "" -> d
+      | _ ->
+          (* dune exec runs from the project root; fall back to the
+             source-relative location when run from bench/. *)
+          if Sys.file_exists "bench/snapshots" then "bench/snapshots"
+          else "snapshots"
+  in
+  let golden exp =
+    Filename.concat snapshots_dir (Printf.sprintf "BENCH_%s.json" exp)
+  in
+  (* 1. Fresh runs of the asserted invariants, snapshots to a temp dir.
+     Any assert inside these is itself a gate failure (uncaught here on
+     purpose: the backtrace names the violated invariant). *)
+  let tmp = Filename.temp_file "onll-gate" "" in
+  Sys.remove tmp;
+  Unix.mkdir tmp 0o755;
+  Unix.putenv "ONLL_BENCH_DIR" tmp;
+  print_endline "bench gate: re-running asserted invariants (sim only)";
+  Printf.printf "== E1 fence bounds ==\n%!";
+  Fence_audit.run ();
+  Printf.printf "== F2 fuzzy-window bound ==\n%!";
+  Fuzzy_window.run ();
+  Printf.printf "== E14 deterministic slices ==\n%!";
+  let e14 = Onll_obs.Metrics.create () in
+  Shard_scaling.fence_accounting e14;
+  Shard_scaling.chaos_slices e14;
+  ignore (Harness.write_snapshot ~experiment:"e14" e14);
+  (* 2. Diff fresh vs golden on the gated keys. *)
+  let prefixed p k =
+    String.length k >= String.length p && String.sub k 0 (String.length p) = p
+  in
+  (match (load (golden "e1"), load (Filename.concat tmp "BENCH_e1.json"))
+   with
+  | Some g, Some f ->
+      let gated k = prefixed "pf_update." k || prefixed "pf_read." k in
+      let n = compare_gated ~label:"e1" ~gated ~golden:g ~fresh:f in
+      Printf.printf "e1: %d gated fence-count keys compared\n" n
+  | _ -> ());
+  (match (load (golden "e14"), load (Filename.concat tmp "BENCH_e14.json"))
+   with
+  | Some g, Some f ->
+      let n =
+        compare_gated ~label:"e14" ~gated:(prefixed "e14.") ~golden:g
+          ~fresh:f
+      in
+      Printf.printf "e14: %d gated accounting/chaos keys compared\n" n
+  | _ -> ());
+  (* 3. Every committed golden must carry zero violation counters. *)
+  Array.iter
+    (fun name ->
+      if Filename.check_suffix name ".json" then
+        let path = Filename.concat snapshots_dir name in
+        match load path with
+        | Some m -> zero_violations ~path m
+        | None -> ())
+    (try Sys.readdir snapshots_dir with Sys_error _ -> [||]);
+  (* 4. Self-test: the gate must be able to fail. Bump one golden fence
+     counter in memory and require the comparison to flag it. *)
+  if !self_test then begin
+    match load (golden "e1") with
+    | None -> faili "self-test: no e1 golden to perturb"
+    | Some g ->
+        let bumped =
+          List.map
+            (fun (k, v) ->
+              if k = "pf_update.kv.onll-sharded" then (k, v +. 1.) else (k, v))
+            g
+        in
+        let before = List.length !failures in
+        ignore
+          (compare_gated ~label:"self-test" ~gated:(prefixed "pf_")
+             ~golden:bumped
+             ~fresh:(Option.get (load (golden "e1"))));
+        if List.length !failures > before then begin
+          (* expected: drop the synthetic failure, record the proof *)
+          failures :=
+            List.filteri
+              (fun i _ -> i >= List.length !failures - before)
+              !failures;
+          print_endline
+            "self-test: synthetic +1 on pf_update.kv.onll-sharded was \
+             caught (the gate can fail)"
+        end
+        else faili "self-test: a bumped fence counter was NOT caught"
+  end;
+  match List.rev !failures with
+  | [] ->
+      print_endline "bench gate: PASS";
+      exit 0
+  | fs ->
+      List.iter (fun f -> Printf.printf "bench gate: FAIL: %s\n" f) fs;
+      Printf.printf "bench gate: %d regression(s)\n" (List.length fs);
+      exit 1

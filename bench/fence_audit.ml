@@ -137,13 +137,15 @@ let run () =
       match row with
       | [ _; impl; pu; pr ]
         when impl = "onll" || impl = "onll+views" || impl = "onll-wait-free"
-             || impl = "onll-mirrored" ->
+             || impl = "onll-mirrored" || impl = "onll-sharded" ->
           assert (pu = "1" && pr = "0")
       | _ -> ())
     rows;
   print_endline
     "(asserted: every onll row reads exactly 1 pf/update, 0 pf/read — \
-     mirroring included: both replica flushes drain under one fence)";
+     mirroring included: both replica flushes drain under one fence; \
+     sharding included: an update runs on exactly one shard, and global \
+     reads fan out fence-free)";
   let path =
     Harness.write_snapshot ~experiment:"e1"
       ~meta:

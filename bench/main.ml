@@ -23,6 +23,8 @@ let experiments =
      Chaos_campaign.run);
     ("e13", "mirrored logs + scrubbing: repair-aware chaos campaign",
      Mirror_campaign.run);
+    ("e14", "shard scaling: partitioned construction, throughput + invariants",
+     Shard_scaling.run);
     ("f1", "Figure 1: the four counter executions, replayed",
      Onll_scenarios.Figure1.print_all);
     ("f2", "Figure 2 / Prop 5.2: fuzzy-window bound", Fuzzy_window.run);

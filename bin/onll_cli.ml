@@ -6,9 +6,12 @@
    onll chaos -s kv --seeds 30         media-fault chaos campaign (E12)
    onll chaos -s kv --mirrored         the E13 mirrored grid: faults on
                                        primaries must cost nothing
+   onll chaos -s kv --sharded          same grid against the partitioned
+                                       construction (E14)
    onll scrub                          online rot healed live by the scrubber
    onll fences -s kv                   fence audit for one object
-   onll stats -s counter -n 4         run a workload, print a JSON snapshot
+   onll stats -s counter -n 4          run a workload, print a JSON snapshot
+   onll stats -i onll-sharded --shards 8   ... against an 8-shard object
 *)
 
 open Cmdliner
@@ -147,7 +150,7 @@ let fuzz_cmd =
 
 (* {1 chaos} *)
 
-let chaos spec seeds unhardened mirrored =
+let chaos spec seeds unhardened mirrored sharded =
   let open Test_support in
   let campaign (type u r) (run : plan:Chaos.plan -> gen_update:_ -> gen_read:_ -> unit -> _)
       (gen_update : Onll_util.Splitmix.t -> u)
@@ -158,8 +161,11 @@ let chaos spec seeds unhardened mirrored =
     for seed = 1 to seeds do
       let plan =
         let p =
-          if mirrored then Chaos_harness.mirrored_plan_of_seed seed
-          else Chaos_harness.plan_of_seed seed
+          match (sharded, mirrored) with
+          | false, false -> Chaos_harness.plan_of_seed seed
+          | false, true -> Chaos_harness.mirrored_plan_of_seed seed
+          | true, false -> Chaos_harness.sharded_plan_of_seed seed
+          | true, true -> Chaos_harness.sharded_mirrored_plan_of_seed seed
         in
         if unhardened then { p with Chaos.hardened = false } else p
       in
@@ -181,7 +187,7 @@ let chaos spec seeds unhardened mirrored =
       "%s%s%s: %d runs, %d crashed, %d media faults, %d transients, %d nested \
        recovery crashes, %d reported-lost, %d tail-ambiguous, %d runs with \
        violations\n"
-      spec
+      (spec ^ if sharded then "/sharded" else "")
       (if mirrored then " (mirrored, primary-only faults)" else "")
       (if unhardened then " (unhardened calibration)" else "")
       seeds !crashed !media !transients !nested !lost !ambiguous !violations;
@@ -230,7 +236,8 @@ let chaos_cmd =
      the E13 grid: two-way replicated logs with faults confined to \
      primaries plus online rot and periodic scrubs — where loss of any \
      kind (even reported) is a failure, since every fault has an intact \
-     mirror copy."
+     mirror copy. With $(b,--sharded), the same grids run against the E14 \
+     partitioned construction (4 shards), composable with $(b,--mirrored)."
   in
   let spec =
     Arg.(
@@ -252,8 +259,14 @@ let chaos_cmd =
       & info [ "mirrored" ]
           ~doc:"two-way mirrored logs, faults on primaries only (E13)")
   in
+  let sharded =
+    Arg.(
+      value & flag
+      & info [ "sharded" ]
+          ~doc:"run against the 4-shard partitioned construction (E14)")
+  in
   Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const chaos $ spec $ seeds $ unhardened $ mirrored)
+    Term.(const chaos $ spec $ seeds $ unhardened $ mirrored $ sharded)
 
 (* {1 scrub} *)
 
@@ -390,11 +403,12 @@ let fences_cmd =
 module Stats_run (S : Onll_core.Spec.S) = struct
   module R = Onll_baselines.Registry.Make (S)
 
-  let go ~impl ~procs ~updates ~seed ~scrub_every ~gen_update ~gen_read =
+  let go ~impl ~shards ~procs ~updates ~seed ~scrub_every ~gen_update
+      ~gen_read =
     let sink = Onll_obs.Sink.make () in
     let rng = Onll_util.Splitmix.create seed in
     match
-      R.build ~sink ~max_processes:procs
+      R.build ~sink ~shards ~max_processes:procs
         ~gen_update:(fun () -> gen_update rng)
         ~gen_read:(fun () -> gen_read rng)
         impl
@@ -422,13 +436,14 @@ module Stats_run (S : Onll_core.Spec.S) = struct
         sink
 end
 
-let stats spec impl procs updates seed scrub_every csv output =
+let stats spec impl shards procs updates seed scrub_every csv output =
   let open Test_support in
   let finish sink =
     let meta =
       [
         ("spec", spec);
         ("impl", impl);
+        ("shards", string_of_int shards);
         ("processes", string_of_int procs);
         ("updates_per_proc", string_of_int updates);
         ("reads_per_proc", string_of_int updates);
@@ -451,38 +466,38 @@ let stats spec impl procs updates seed scrub_every csv output =
   | "counter" ->
       let module W = Stats_run (Onll_specs.Counter) in
       finish
-        (W.go ~impl ~procs ~updates ~seed ~scrub_every ~gen_update:Gen.Counter.update
-           ~gen_read:Gen.Counter.read)
+        (W.go ~impl ~shards ~procs ~updates ~seed ~scrub_every
+           ~gen_update:Gen.Counter.update ~gen_read:Gen.Counter.read)
   | "register" ->
       let module W = Stats_run (Onll_specs.Register) in
       finish
-        (W.go ~impl ~procs ~updates ~seed ~scrub_every ~gen_update:Gen.Register.update
-           ~gen_read:Gen.Register.read)
+        (W.go ~impl ~shards ~procs ~updates ~seed ~scrub_every
+           ~gen_update:Gen.Register.update ~gen_read:Gen.Register.read)
   | "queue" ->
       let module W = Stats_run (Onll_specs.Queue_spec) in
       finish
-        (W.go ~impl ~procs ~updates ~seed ~scrub_every ~gen_update:Gen.Queue.update
-           ~gen_read:Gen.Queue.read)
+        (W.go ~impl ~shards ~procs ~updates ~seed ~scrub_every
+           ~gen_update:Gen.Queue.update ~gen_read:Gen.Queue.read)
   | "kv" ->
       let module W = Stats_run (Onll_specs.Kv) in
       finish
-        (W.go ~impl ~procs ~updates ~seed ~scrub_every ~gen_update:Gen.Kv.update
-           ~gen_read:Gen.Kv.read)
+        (W.go ~impl ~shards ~procs ~updates ~seed ~scrub_every
+           ~gen_update:Gen.Kv.update ~gen_read:Gen.Kv.read)
   | "stack" ->
       let module W = Stats_run (Onll_specs.Stack_spec) in
       finish
-        (W.go ~impl ~procs ~updates ~seed ~scrub_every ~gen_update:Gen.Stack.update
-           ~gen_read:Gen.Stack.read)
+        (W.go ~impl ~shards ~procs ~updates ~seed ~scrub_every
+           ~gen_update:Gen.Stack.update ~gen_read:Gen.Stack.read)
   | "set" ->
       let module W = Stats_run (Onll_specs.Set_spec) in
       finish
-        (W.go ~impl ~procs ~updates ~seed ~scrub_every ~gen_update:Gen.Set_g.update
-           ~gen_read:Gen.Set_g.read)
+        (W.go ~impl ~shards ~procs ~updates ~seed ~scrub_every
+           ~gen_update:Gen.Set_g.update ~gen_read:Gen.Set_g.read)
   | "ledger" ->
       let module W = Stats_run (Onll_specs.Ledger) in
       finish
-        (W.go ~impl ~procs ~updates ~seed ~scrub_every ~gen_update:Gen.Ledger.update
-           ~gen_read:Gen.Ledger.read)
+        (W.go ~impl ~shards ~procs ~updates ~seed ~scrub_every
+           ~gen_update:Gen.Ledger.update ~gen_read:Gen.Ledger.read)
   | other ->
       Printf.eprintf
         "unknown spec %S (try counter, register, queue, kv, stack, set, \
@@ -506,6 +521,12 @@ let stats_cmd =
     Arg.(
       value & opt string "onll"
       & info [ "i"; "impl" ] ~docv:"IMPL" ~doc:"implementation under test")
+  in
+  let shards =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"S"
+          ~doc:"shard count (onll-sharded only; others ignore it)")
   in
   let procs =
     Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"process count")
@@ -537,8 +558,8 @@ let stats_cmd =
   in
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(
-      const stats $ spec $ impl $ procs $ updates $ seed $ scrub_every $ csv
-      $ output)
+      const stats $ spec $ impl $ shards $ procs $ updates $ seed
+      $ scrub_every $ csv $ output)
 
 (* {1 explore} *)
 

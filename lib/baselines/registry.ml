@@ -26,6 +26,7 @@ let names =
     "onll+views";
     "onll-wait-free";
     "onll-mirrored";
+    "onll-sharded";
     "persist-on-read";
     "shadow";
     "flat-combining";
@@ -34,13 +35,20 @@ let names =
 
 module Make (S : Onll_core.Spec.S) = struct
   let build ?(sink = Onll_obs.Sink.null) ?(log_capacity = 1 lsl 16)
-      ?(state_capacity = 4096) ~max_processes ~gen_update ~gen_read name =
+      ?(state_capacity = 4096) ?(shards = 4) ~max_processes ~gen_update
+      ~gen_read name =
     let fresh_sim () = Onll_machine.Sim.create ~sink ~max_processes () in
     let onll ~replicas ~local_views ~wait_free =
       let sim = fresh_sim () in
       let module M = (val Onll_machine.Sim.machine sim) in
       let cfg =
-        { Onll_core.Onll.Config.log_capacity; replicas; local_views; sink }
+        {
+          Onll_core.Onll.Config.log_capacity;
+          replicas;
+          local_views;
+          region_suffix = "";
+          sink;
+        }
       in
       if wait_free then begin
         let module C = Onll_core.Onll.Make_wait_free (M) (S) in
@@ -73,6 +81,28 @@ module Make (S : Onll_core.Spec.S) = struct
         Some (onll ~replicas:1 ~local_views:false ~wait_free:true)
     | "onll-mirrored" | "mirrored" ->
         Some (onll ~replicas:2 ~local_views:false ~wait_free:false)
+    | "onll-sharded" | "sharded" ->
+        let sim = fresh_sim () in
+        let module M = (val Onll_machine.Sim.machine sim) in
+        let module C = Onll_sharded.Make (M) (S) in
+        let obj =
+          C.make ~shards
+            {
+              Onll_core.Onll.Config.log_capacity;
+              replicas = 1;
+              local_views = false;
+              region_suffix = "";
+              sink;
+            }
+        in
+        Some
+          {
+            sim;
+            sink;
+            update = (fun () -> ignore (C.update obj (gen_update ())));
+            read = (fun () -> ignore (C.read obj (gen_read ())));
+            scrub = Some (fun () -> ignore (C.scrub obj));
+          }
     | "persist-on-read" ->
         let sim = fresh_sim () in
         let module M = (val Onll_machine.Sim.machine sim) in

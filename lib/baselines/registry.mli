@@ -3,7 +3,10 @@
     One place that knows how to build ["onll"], ["onll+views"],
     ["onll-wait-free"] (alias ["wait-free"]), ["onll-mirrored"] (alias
     ["mirrored"]; two-way replicated logs, still one fence per update),
-    ["persist-on-read"], ["shadow"], ["flat-combining"] and ["volatile"]
+    ["onll-sharded"] (alias ["sharded"]; the E14 partitioned construction —
+    each op routed to one of [shards] independent ONLL instances, still one
+    fence per update), ["persist-on-read"], ["shadow"], ["flat-combining"]
+    and ["volatile"]
     over a fresh simulated machine — used by the CLI ([onll lowerbound -i],
     [onll stats -i]), the lower-bound benchmark and the fence audit instead
     of per-caller copies of the same match. *)
@@ -27,6 +30,7 @@ module Make (S : Onll_core.Spec.S) : sig
     ?sink:Onll_obs.Sink.t ->
     ?log_capacity:int ->
     ?state_capacity:int ->
+    ?shards:int ->
     max_processes:int ->
     gen_update:(unit -> S.update_op) ->
     gen_read:(unit -> S.read_op) ->
@@ -36,5 +40,6 @@ module Make (S : Onll_core.Spec.S) : sig
       installing [sink] (default {!Onll_obs.Sink.null}) in both the machine
       and the object. [gen_update]/[gen_read] supply the operation each
       thunk invocation performs (close over an RNG for random workloads).
-      [None] for an unknown name — see {!names}. *)
+      [shards] (default 4) only affects ["onll-sharded"]. [None] for an
+      unknown name — see {!names}. *)
 end

@@ -91,6 +91,7 @@ module Config = struct
     log_capacity : int;
     replicas : int;
     local_views : bool;
+    region_suffix : string;
     sink : Onll_obs.Sink.t;
   }
 
@@ -99,6 +100,7 @@ module Config = struct
       log_capacity = 1 lsl 16;
       replicas = 1;
       local_views = false;
+      region_suffix = "";
       sink = Onll_obs.Sink.null;
     }
 end
@@ -278,7 +280,9 @@ module Make_generic
       logs =
         Array.init M.max_processes (fun p ->
             L.create ~sink ~replicas:cfg.Config.replicas
-              ~name:(Printf.sprintf "%s.%d.plog.%d" S.name n p)
+              ~name:
+                (Printf.sprintf "%s%s.%d.plog.%d" S.name
+                   cfg.Config.region_suffix n p)
               ~capacity:cfg.Config.log_capacity ());
       seqs = Array.make M.max_processes 0;
       views = Array.make M.max_processes None;

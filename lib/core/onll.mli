@@ -94,6 +94,11 @@ module Config : sig
             recovery and {!CONSTRUCTION.scrub} repair single-replica damage
             from an intact copy instead of losing it. *)
     local_views : bool;  (** §8 read acceleration *)
+    region_suffix : string;
+        (** appended to the spec name in every persistent region name
+            (default [""]). The sharded construction ({!Onll_sharded})
+            names shard [i]'s logs ["<spec>.s<i>..."] through this, so
+            per-shard durable state is self-describing on media. *)
     sink : Onll_obs.Sink.t;
         (** receives the object-layer events ([Help], [Checkpoint],
             [Recovery], [Cas_retry], [Log_append], …) and hosts the

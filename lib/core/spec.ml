@@ -21,6 +21,26 @@ module type S = sig
   val name : string
   (** Short identifier, used in region names and reports. *)
 
+  val shard_of_update : shards:int -> update_op -> int
+  (** Partitioning interface (E14): the shard, in [0 .. shards-1], this
+      update routes to. Must be a pure function of the operation — the
+      router is consulted again after a crash, so [shard_of_update] {e is}
+      the durable placement function. Specifications without a natural key
+      (counter, queue, stack, …) return [0]: the sharded construction then
+      degenerates to a single active shard, which is always correct. *)
+
+  val shard_of_read : shards:int -> read_op -> int option
+  (** [Some s] routes the read-only operation to shard [s] alone (e.g. a
+      kv [Get] routes to its key's shard); [None] marks a {e global} read
+      that must consult every shard, with the per-shard answers combined
+      by {!merge_read}. *)
+
+  val merge_read : read_op -> value list -> value
+  (** Combine the per-shard answers of a global read ([shard_of_read] =
+      [None]), given in shard order. Must be associative-friendly for the
+      operation's semantics (sums of sizes, unions of answers, …); only
+      ever called with [shards >= 1] answers. *)
+
   val initial : state
   (** The state produced by INITIALIZE. *)
 
@@ -43,3 +63,19 @@ module type S = sig
   val pp_read : Format.formatter -> read_op -> unit
   val pp_value : Format.formatter -> value -> unit
 end
+
+(** Deterministic, OCaml-version-independent string shard router (FNV-1a):
+    the same key maps to the same shard on every run, every compiler and
+    every post-crash recovery — [Hashtbl.hash] promises none of that. *)
+let string_shard ~shards key =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := (!h lxor Char.code c) * 0x01000193 land 0x3FFFFFFF)
+    key;
+  !h mod max shards 1
+
+(** Integer shard router: folded multiplicative hash, so adjacent keys do
+    not all land on adjacent shards. *)
+let int_shard ~shards k =
+  (k * 0x2545F491 land 0x3FFFFFFF) mod max shards 1

@@ -54,6 +54,10 @@ type kind =
       (** An online scrub CRC-walked [entries] live entries of [log],
           repairing [repaired] cross-replica divergences and quarantining
           [unrepairable] spans corrupt in every replica. *)
+  | Route of { shard : int; global : bool }
+      (** The sharded construction (E14) routed an operation: to [shard]
+          when [global] is [false], or fanned a global read out across
+          every shard (in which case [shard] is the shard count). *)
 
 type t = {
   time : int;  (** logical timestamp, unique and monotone per sink *)
@@ -77,6 +81,7 @@ let kind_label = function
   | Recovery_interrupted _ -> "recovery_interrupted"
   | Repair _ -> "repair"
   | Scrub _ -> "scrub"
+  | Route _ -> "route"
 
 let pp ppf { time; proc; kind } =
   let p ppf = Format.fprintf ppf in
@@ -99,5 +104,8 @@ let pp ppf { time; proc; kind } =
       p ppf " log=%s entries=%d bytes=%d" log entries bytes
   | Scrub { log; entries; repaired; unrepairable } ->
       p ppf " log=%s entries=%d repaired=%d unrepairable=%d" log entries
-        repaired unrepairable);
+        repaired unrepairable
+  | Route { shard; global } ->
+      if global then p ppf " global shards=%d" shard
+      else p ppf " shard=%d" shard);
   p ppf "@]"

@@ -99,3 +99,60 @@ let write_file ~path contents =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc contents)
+
+(* Loader for [json]'s own fixed layout: inside the "metrics" object every
+   scalar is one line, [    "name": value,?]. Histogram values open a
+   ["{"] on the same line and are skipped. *)
+let read_scalars ~path =
+  let ic = open_in path in
+  let lines = ref [] in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          lines := input_line ic :: !lines
+        done
+      with End_of_file -> ());
+  let metrics = ref [] in
+  let in_metrics = ref false in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "\"metrics\": {" then in_metrics := true
+      else if !in_metrics && (line = "}" || line = "},") then
+        in_metrics := false
+      else if !in_metrics && String.length line > 0 && line.[0] = '"' then
+        match String.index_opt (String.sub line 1 (String.length line - 1)) '"'
+        with
+        | None -> failwith (path ^ ": malformed snapshot line: " ^ line)
+        | Some close ->
+            let name = String.sub line 1 close in
+            let rest =
+              (* skip the closing quote, then a colon and spacing *)
+              String.trim
+                (String.sub line (close + 2) (String.length line - close - 2))
+            in
+            let rest =
+              match String.length rest with
+              | 0 -> failwith (path ^ ": malformed snapshot line: " ^ line)
+              | _ when rest.[0] = ':' ->
+                  String.trim (String.sub rest 1 (String.length rest - 1))
+              | _ -> failwith (path ^ ": malformed snapshot line: " ^ line)
+            in
+            if String.length rest > 0 && rest.[0] = '{' then
+              () (* histogram summary: not a scalar *)
+            else
+              let rest =
+                match String.length rest with
+                | n when n > 0 && rest.[n - 1] = ',' ->
+                    String.sub rest 0 (n - 1)
+                | _ -> rest
+              in
+              match float_of_string_opt rest with
+              | Some v -> metrics := (name, v) :: !metrics
+              | None when rest = "null" -> () (* non-finite gauge *)
+              | None ->
+                  failwith (path ^ ": non-numeric metric value: " ^ line))
+    (List.rev !lines);
+  List.rev !metrics

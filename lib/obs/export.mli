@@ -26,3 +26,13 @@ val csv : ?meta:(string * string) list -> Metrics.t -> string
 
 val write_file : path:string -> string -> unit
 (** Write [contents] to [path], truncating. *)
+
+val read_scalars : path:string -> (string * float) list
+(** Load the scalar metrics of a snapshot previously written by {!json}
+    (counters and gauges; histogram-valued entries are skipped), in file
+    order. A loader for {e this exporter's own output} — the bench
+    regression gate round-trips committed [BENCH_*.json] snapshots through
+    it — not a general JSON parser: it reads the exporter's fixed
+    one-["name": value]-per-line layout.
+    @raise Sys_error if the file cannot be read.
+    @raise Failure on a line that is not in the exporter's layout. *)

@@ -35,6 +35,8 @@ type t = {
   c_scrub_entries : Metrics.counter;
   c_scrub_repaired : Metrics.counter;
   c_scrub_unrepairable : Metrics.counter;
+  c_routes : Metrics.counter;
+  c_routes_global : Metrics.counter;
 }
 
 let build ~active ~registry ~handler =
@@ -72,6 +74,8 @@ let build ~active ~registry ~handler =
     c_scrub_entries = Metrics.counter registry "scrub.entries";
     c_scrub_repaired = Metrics.counter registry "scrub.repaired";
     c_scrub_unrepairable = Metrics.counter registry "scrub.unrepairable";
+    c_routes = Metrics.counter registry "routes";
+    c_routes_global = Metrics.counter registry "routes.global";
   }
 
 let make ?registry ?handler () =
@@ -128,7 +132,10 @@ let emit t ~proc kind =
         Metrics.incr t.c_scrubs;
         Metrics.add t.c_scrub_entries entries;
         Metrics.add t.c_scrub_repaired repaired;
-        Metrics.add t.c_scrub_unrepairable unrepairable);
+        Metrics.add t.c_scrub_unrepairable unrepairable
+    | Event.Route { global; _ } ->
+        Metrics.incr t.c_routes;
+        if global then Metrics.incr t.c_routes_global);
     match t.handler with
     | Some f -> f { Event.time; proc; kind }
     | None -> ()

@@ -1,0 +1,149 @@
+(** Sharded ONLL (see onll_sharded.mli). *)
+
+module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
+  module Shard = Onll_core.Onll.Make (M) (S)
+  module Report = Onll_core.Onll.Recovery_report
+
+  type t = {
+    insts : Shard.t array;
+    n : int;
+    t_sink : Onll_obs.Sink.t;
+    (* per-shard routed-op counters ["shard.<i>.ops"], resolved once *)
+    c_shard_ops : Onll_obs.Metrics.counter array;
+  }
+
+  let make ~shards cfg =
+    if shards < 1 then
+      invalid_arg (Printf.sprintf "Onll_sharded.make: shards = %d" shards);
+    let sink = cfg.Onll_core.Onll.Config.sink in
+    let registry = Onll_obs.Sink.registry sink in
+    {
+      insts =
+        Array.init shards (fun i ->
+            Shard.make
+              {
+                cfg with
+                Onll_core.Onll.Config.region_suffix =
+                  Printf.sprintf "%s.s%d"
+                    cfg.Onll_core.Onll.Config.region_suffix i;
+              });
+      n = shards;
+      t_sink = sink;
+      c_shard_ops =
+        Array.init shards (fun i ->
+            Onll_obs.Metrics.counter registry
+              (Printf.sprintf "shard.%d.ops" i));
+    }
+
+  let create ?(shards = 4) ?log_capacity ?local_views () =
+    let d = Onll_core.Onll.Config.default in
+    make ~shards
+      {
+        d with
+        Onll_core.Onll.Config.log_capacity =
+          Option.value log_capacity
+            ~default:d.Onll_core.Onll.Config.log_capacity;
+        local_views =
+          Option.value local_views
+            ~default:d.Onll_core.Onll.Config.local_views;
+      }
+
+  let shards t = t.n
+  let sink t = t.t_sink
+
+  let shard t i =
+    if i < 0 || i >= t.n then
+      invalid_arg (Printf.sprintf "Onll_sharded.shard: %d (of %d)" i t.n);
+    t.insts.(i)
+
+  let shard_of_update t op = S.shard_of_update ~shards:t.n op
+
+  let route_update t op =
+    let s = shard_of_update t op in
+    Onll_obs.Metrics.incr t.c_shard_ops.(s);
+    Onll_obs.Sink.emit t.t_sink ~proc:(M.self ())
+      (Onll_obs.Event.Route { shard = s; global = false });
+    s
+
+  let update t op = Shard.update t.insts.(route_update t op) op
+  let update_with_id t op = Shard.update_with_id t.insts.(route_update t op) op
+
+  let update_detectable t ~seq op =
+    Shard.update_detectable t.insts.(route_update t op) ~seq op
+
+  let read t op =
+    match S.shard_of_read ~shards:t.n op with
+    | Some s ->
+        Onll_obs.Metrics.incr t.c_shard_ops.(s);
+        Onll_obs.Sink.emit t.t_sink ~proc:(M.self ())
+          (Onll_obs.Event.Route { shard = s; global = false });
+        Shard.read t.insts.(s) op
+    | None ->
+        Onll_obs.Sink.emit t.t_sink ~proc:(M.self ())
+          (Onll_obs.Event.Route { shard = t.n; global = true });
+        S.merge_read op
+          (Array.to_list (Array.map (fun c -> Shard.read c op) t.insts))
+
+  let recover t = Array.iter Shard.recover t.insts
+  let recover_reports t = Array.to_list (Array.map Shard.recover_report t.insts)
+
+  let recover_report t =
+    let rs = recover_reports t in
+    {
+      Report.recovered_ops =
+        List.fold_left (fun a r -> a + r.Report.recovered_ops) 0 rs;
+      base_idx = List.fold_left (fun a r -> a + r.Report.base_idx) 0 rs;
+      gap_indices = List.concat_map (fun r -> r.Report.gap_indices) rs;
+      dropped = List.concat_map (fun r -> r.Report.dropped) rs;
+      disagreements = List.concat_map (fun r -> r.Report.disagreements) rs;
+      decode_failures =
+        List.fold_left (fun a r -> a + r.Report.decode_failures) 0 rs;
+      salvage = List.concat_map (fun r -> r.Report.salvage) rs;
+    }
+
+  let recover_unhardened t = Array.iter Shard.recover_unhardened t.insts
+
+  let scrub t =
+    Array.fold_left
+      (fun acc c -> Onll_plog.Plog.add_scrub acc (Shard.scrub c))
+      Onll_plog.Plog.clean_scrub t.insts
+
+  let degraded t = Array.exists Shard.degraded t.insts
+  let was_linearized t op id = Shard.was_linearized t.insts.(shard_of_update t op) id
+
+  let recovered_ops t =
+    List.concat
+      (List.mapi
+         (fun s c -> List.map (fun (id, idx) -> (s, id, idx)) (Shard.recovered_ops c))
+         (Array.to_list t.insts))
+
+  let checkpoint t =
+    Array.fold_left (fun acc c -> acc + Shard.checkpoint c) 0 t.insts
+
+  let compact t =
+    Array.iter
+      (fun c ->
+        let upto = Shard.checkpoint c in
+        if upto > 0 then
+          (* A concurrent compact may have pruned deeper between our
+             checkpoint and here, unlinking the node at [upto] — its goal
+             is ours, so a lost race is success, not an error. *)
+          try Shard.prune c ~below:upto with Invalid_argument _ -> ())
+      t.insts
+
+  let snapshot t =
+    let snaps = Array.to_list (Array.map Shard.snapshot t.insts) in
+    {
+      Onll_core.Onll.Snapshot.latest_available_idx =
+        List.fold_left
+          (fun a s -> a + s.Onll_core.Onll.Snapshot.latest_available_idx)
+          0 snaps;
+      max_fuzzy_window =
+        List.fold_left
+          (fun a s -> max a s.Onll_core.Onll.Snapshot.max_fuzzy_window)
+          0 snaps;
+      degraded =
+        List.exists (fun s -> s.Onll_core.Onll.Snapshot.degraded) snaps;
+      logs = List.concat_map (fun s -> s.Onll_core.Onll.Snapshot.logs) snaps;
+    }
+end

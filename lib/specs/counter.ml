@@ -37,3 +37,10 @@ let pp_update ppf = function
 
 let pp_read ppf Get = Format.pp_print_string ppf "get"
 let pp_value = Format.pp_print_int
+
+(* No natural partition key — a counter is one cell of global state.
+   Single-shard fallback: the sharded construction degenerates to one
+   active shard, which is always correct (E14). *)
+let shard_of_update ~shards:_ _ = 0
+let shard_of_read ~shards:_ _ = Some 0
+let merge_read _ = function v :: _ -> v | [] -> invalid_arg "merge_read"

@@ -20,6 +20,25 @@ let read st = function
   | Get k -> Found (Smap.find_opt k st)
   | Size -> Count (Smap.cardinal st)
 
+(* Partitioning (E14): every operation on key [k] — updates and [Get]s —
+   routes to [k]'s shard, so disjoint-key workloads touch disjoint shards.
+   [Size] is a global read: each shard counts its own keys and the counts
+   sum (shards hold disjoint key sets by construction of the router). *)
+let shard_of_update ~shards = function
+  | Put (k, _) | Delete k -> Onll_core.Spec.string_shard ~shards k
+
+let shard_of_read ~shards = function
+  | Get k -> Some (Onll_core.Spec.string_shard ~shards k)
+  | Size -> None
+
+let merge_read _ values =
+  Count
+    (List.fold_left
+       (fun acc -> function
+         | Count n -> acc + n
+         | Previous _ | Found _ -> assert false)
+       0 values)
+
 let update_codec =
   let open Onll_util.Codec in
   tagged

@@ -86,3 +86,10 @@ let pp_value ppf = function
   | Min None -> Format.pp_print_string ppf "empty"
   | Min (Some (p, x)) -> Format.fprintf ppf "min(%d,%d)" p x
   | Count n -> Format.fprintf ppf "size=%d" n
+
+(* No natural partition key — the minimum is a global property of the whole heap.
+   Single-shard fallback: the sharded construction degenerates to one
+   active shard, which is always correct (E14). *)
+let shard_of_update ~shards:_ _ = 0
+let shard_of_read ~shards:_ _ = Some 0
+let merge_read _ = function v :: _ -> v | [] -> invalid_arg "merge_read"

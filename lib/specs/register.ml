@@ -21,3 +21,10 @@ let equal_value = Int.equal
 let pp_update ppf (Write v) = Format.fprintf ppf "write(%d)" v
 let pp_read ppf Read = Format.pp_print_string ppf "read"
 let pp_value = Format.pp_print_int
+
+(* No natural partition key — a register is one cell of global state.
+   Single-shard fallback: the sharded construction degenerates to one
+   active shard, which is always correct (E14). *)
+let shard_of_update ~shards:_ _ = 0
+let shard_of_read ~shards:_ _ = Some 0
+let merge_read _ = function v :: _ -> v | [] -> invalid_arg "merge_read"

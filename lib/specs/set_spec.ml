@@ -22,6 +22,24 @@ let read st = function
   | Contains x -> Member (Iset.mem x st)
   | Cardinal -> Count (Iset.cardinal st)
 
+(* Partitioning (E14): element-keyed — [Insert]/[Remove]/[Contains] route
+   to the element's shard; [Cardinal] is a global read summing disjoint
+   per-shard cardinalities. *)
+let shard_of_update ~shards = function
+  | Insert x | Remove x -> Onll_core.Spec.int_shard ~shards x
+
+let shard_of_read ~shards = function
+  | Contains x -> Some (Onll_core.Spec.int_shard ~shards x)
+  | Cardinal -> None
+
+let merge_read _ values =
+  Count
+    (List.fold_left
+       (fun acc -> function
+         | Count n -> acc + n
+         | Changed _ | Member _ -> assert false)
+       0 values)
+
 let update_codec =
   let open Onll_util.Codec in
   tagged

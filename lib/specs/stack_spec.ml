@@ -48,3 +48,10 @@ let pp_value ppf = function
   | Taken None -> Format.pp_print_string ppf "empty"
   | Taken (Some v) -> Format.fprintf ppf "some(%d)" v
   | Count n -> Format.fprintf ppf "depth=%d" n
+
+(* No natural partition key — LIFO order is global: every pop depends on every push.
+   Single-shard fallback: the sharded construction degenerates to one
+   active shard, which is always correct (E14). *)
+let shard_of_update ~shards:_ _ = 0
+let shard_of_read ~shards:_ _ = Some 0
+let merge_read _ = function v :: _ -> v | [] -> invalid_arg "merge_read"

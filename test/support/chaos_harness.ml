@@ -80,6 +80,20 @@ let mirrored_plan_of_seed seed =
 let dual_fault_plan_of_seed seed =
   { (mirrored_plan_of_seed seed) with Chaos.fault_scope = `All }
 
+(* The E14 arms: the same per-seed adversity against the {e sharded}
+   construction (4 shards; wait_free off — sharding composes the lock-free
+   trace construction). The crash lands mid-update on whichever shard the
+   schedule was driving while the other shards proceed; per-shard recovery
+   must compose back into one loss-free history. *)
+let sharded_plan_of_seed seed =
+  { (plan_of_seed seed) with Chaos.shards = 4; wait_free = false }
+
+(* Sharded over mirrored logs with primary-scoped faults: the no-excuse
+   arm of E13 composed with partitioning — zero violations, zero reported
+   loss, zero tail ambiguity, on every shard. *)
+let sharded_mirrored_plan_of_seed seed =
+  { (mirrored_plan_of_seed seed) with Chaos.shards = 4; wait_free = false }
+
 type row = {
   obj_name : string;
   runs : int;

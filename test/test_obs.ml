@@ -100,6 +100,32 @@ let test_export_json_and_csv () =
   check Alcotest.bool "csv counter" true (contains csv "fences.update,7");
   check Alcotest.bool "csv hist row" true (contains csv "fuzzy.window.max,2")
 
+let test_read_scalars_roundtrips_json () =
+  (* The bench gate trusts read_scalars to reload exactly the scalars the
+     JSON exporter wrote (histograms skipped), so the pair must roundtrip
+     — including gauges that only survive %.17g printing. *)
+  let r = Obs.Metrics.create () in
+  Obs.Metrics.add (Obs.Metrics.counter r "fences.update") 300;
+  Obs.Metrics.set (Obs.Metrics.gauge r "mops.kv.s4") 1.2345678901234567;
+  Obs.Metrics.set (Obs.Metrics.gauge r "speedup") 2.;
+  Obs.Metrics.observe (Obs.Metrics.histogram r "fuzzy.window") 3;
+  let path = Filename.temp_file "onll-obs" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.Export.write_file ~path
+        (Obs.Export.json ~meta:[ ("experiment", "t") ] r);
+      let scalars = Obs.Export.read_scalars ~path in
+      check
+        Alcotest.(list (pair string (float 0.)))
+        "scalars roundtrip, histogram skipped, file order kept"
+        [
+          ("fences.update", 300.);
+          ("mops.kv.s4", 1.2345678901234567);
+          ("speedup", 2.);
+        ]
+        scalars)
+
 (* {1 Config / Snapshot — the unified construction API} *)
 
 let test_config_make_agrees_with_legacy_create () =
@@ -349,7 +375,11 @@ let () =
             test_sink_folds_and_stamps;
         ] );
       ( "export",
-        [ Alcotest.test_case "json and csv" `Quick test_export_json_and_csv ] );
+        [
+          Alcotest.test_case "json and csv" `Quick test_export_json_and_csv;
+          Alcotest.test_case "read_scalars roundtrips json" `Quick
+            test_read_scalars_roundtrips_json;
+        ] );
       ( "api",
         [
           Alcotest.test_case "Config.make agrees with create" `Quick
