@@ -45,7 +45,9 @@ chaos-smoke:
 	$(ONLL_CLI) chaos -s kv --seeds 10 --mirrored
 	$(ONLL_CLI) chaos -s kv --seeds 10 --sharded
 	$(ONLL_CLI) chaos -s kv --seeds 10 --sharded --mirrored
+	$(ONLL_CLI) chaos --session --seeds 10
 	$(ONLL_CLI) scrub
+	$(ONLL_CLI) session
 
 bench:
 	dune exec bench/main.exe

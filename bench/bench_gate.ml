@@ -2,8 +2,11 @@
 
     Re-runs the cheap {e asserted} invariants in-process — E1 fence bounds
     (every onll-family row exactly 1 pf/update, 0 pf/read, ["onll-sharded"]
-    included), the F2 fuzzy-window bound, and the deterministic E14 slices
-    (sharded fence accounting + sharded chaos, zero violations) — then
+    and ["onll-session"] included), the F2 fuzzy-window bound, the
+    deterministic E14 slices (sharded fence accounting + sharded chaos,
+    zero violations), a deterministic E13 mirrored slice (primary-only
+    faults must cost nothing) and a deterministic E15 session slice
+    (exactly-once under crash-fuzz; the naive arm must duplicate) — then
     diffs the freshly produced snapshots against the committed goldens in
     [bench/snapshots/]:
 
@@ -14,6 +17,9 @@
     - [BENCH_e14.json]: every [e14.*] key (fence accounting, routing,
       chaos violation counters) must match exactly. Native [mops.*]
       gauges are measurements, not invariants — never gated;
+    - [BENCH_e13.json] / [BENCH_e15.json]: every [e13.*] / [e15.*] key
+      (loss, duplicate, lost-ack, violation and fault counters of the
+      deterministic slices) must match exactly;
     - every committed golden: any key ending in [.violations] must be 0.
 
     Exit status 0 = gate passes; 1 = regression (each one named on
@@ -21,8 +27,11 @@
     against a golden with one fence counter bumped and requires the
     comparison to flag it.
 
-    Usage: [bench_gate.exe [--snapshots DIR] [--self-test]] (default DIR:
-    [bench/snapshots], resolved from the repo root or [$ONLL_GATE_DIR]). *)
+    Usage: [bench_gate.exe [--snapshots DIR] [--self-test] [--regen]]
+    (default DIR: [bench/snapshots], resolved from the repo root or
+    [$ONLL_GATE_DIR]). [--regen] overwrites the gated goldens (e1, e13,
+    e14, e15) with the fresh run instead of diffing — review the diff
+    before committing it. *)
 
 let failures = ref []
 
@@ -80,6 +89,7 @@ let zero_violations ~path metrics =
 let () =
   let snapshots_dir = ref "" in
   let self_test = ref false in
+  let regen = ref false in
   let rec parse = function
     | [] -> ()
     | "--snapshots" :: d :: rest ->
@@ -87,6 +97,9 @@ let () =
         parse rest
     | "--self-test" :: rest ->
         self_test := true;
+        parse rest
+    | "--regen" :: rest ->
+        regen := true;
         parse rest
     | a :: _ ->
         prerr_endline ("bench_gate: unknown argument " ^ a);
@@ -124,6 +137,43 @@ let () =
   Shard_scaling.fence_accounting e14;
   Shard_scaling.chaos_slices e14;
   ignore (Harness.write_snapshot ~experiment:"e14" e14);
+  Printf.printf "== E13 deterministic mirrored slice ==\n%!";
+  let e13 =
+    Test_support.Chaos_harness.run_e13 ~seeds_per_object:4 ~dual_seeds:3
+      ~unmirrored_seeds:3
+  in
+  assert (Test_support.Chaos_harness.e13_violations e13 = 0);
+  assert (Test_support.Chaos_harness.e13_mirrored_lost e13 = 0);
+  ignore
+    (Harness.write_snapshot ~experiment:"e13"
+       (Test_support.Chaos_harness.e13_to_metrics e13));
+  Printf.printf "== E15 deterministic session slice ==\n%!";
+  let e15 = Test_support.Session_chaos.run_e15 ~seeds_per_arm:6 in
+  assert (Test_support.Session_chaos.e15_violations e15 = 0);
+  assert (Test_support.Session_chaos.e15_session_duplicates e15 = 0);
+  assert (Test_support.Session_chaos.e15_session_lost_acks e15 = 0);
+  assert (Test_support.Session_chaos.e15_naive_duplicates e15 > 0);
+  ignore
+    (Harness.write_snapshot ~experiment:"e15"
+       (Test_support.Session_chaos.to_metrics e15));
+  (* [--regen]: adopt the fresh snapshots as the new goldens and stop. *)
+  if !regen then begin
+    List.iter
+      (fun exp ->
+        let src = Filename.concat tmp (Printf.sprintf "BENCH_%s.json" exp) in
+        let dst = golden exp in
+        let ic = open_in_bin src in
+        let len = in_channel_length ic in
+        let body = really_input_string ic len in
+        close_in ic;
+        let oc = open_out_bin dst in
+        output_string oc body;
+        close_out oc;
+        Printf.printf "regenerated %s\n" dst)
+      [ "e1"; "e13"; "e14"; "e15" ];
+    print_endline "bench gate: goldens regenerated (review the diff)";
+    exit 0
+  end;
   (* 2. Diff fresh vs golden on the gated keys. *)
   let prefixed p k =
     String.length k >= String.length p && String.sub k 0 (String.length p) = p
@@ -143,6 +193,24 @@ let () =
           ~fresh:f
       in
       Printf.printf "e14: %d gated accounting/chaos keys compared\n" n
+  | _ -> ());
+  (match (load (golden "e13"), load (Filename.concat tmp "BENCH_e13.json"))
+   with
+  | Some g, Some f ->
+      let n =
+        compare_gated ~label:"e13" ~gated:(prefixed "e13.") ~golden:g
+          ~fresh:f
+      in
+      Printf.printf "e13: %d gated mirrored-slice keys compared\n" n
+  | _ -> ());
+  (match (load (golden "e15"), load (Filename.concat tmp "BENCH_e15.json"))
+   with
+  | Some g, Some f ->
+      let n =
+        compare_gated ~label:"e15" ~gated:(prefixed "e15.") ~golden:g
+          ~fresh:f
+      in
+      Printf.printf "e15: %d gated session-slice keys compared\n" n
   | _ -> ());
   (* 3. Every committed golden must carry zero violation counters. *)
   Array.iter

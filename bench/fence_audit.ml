@@ -61,6 +61,14 @@ module Audit (S : Onll_core.Spec.S) = struct
         (Onll_obs.Sink.registry h.sink)
         ~fences:"fences.update" ~ops:"ops.update"
     in
+    (* The session layer's own durable cost: its client-record append,
+       attributed to fences.session/ops.session — zero for every other
+       implementation (they never touch those counters). *)
+    let per_session =
+      per_op
+        (Onll_obs.Sink.registry h.sink)
+        ~fences:"fences.session" ~ops:"ops.session"
+    in
     (* Phase M: mixed, on a fresh object (so histories are comparable). *)
     let h = build ~gen_update ~gen_read ~seed:2 impl in
     let outcome =
@@ -77,12 +85,14 @@ module Audit (S : Onll_core.Spec.S) = struct
         (Onll_obs.Sink.registry h.sink)
         ~fences:"fences.read" ~ops:"ops.read"
     in
-    (per_update, per_read)
+    (per_update, per_read, per_session)
 
   let rows ~summary ~gen_update ~gen_read =
     List.map
       (fun impl ->
-        let per_update, per_read = measure ~gen_update ~gen_read impl in
+        let per_update, per_read, per_session =
+          measure ~gen_update ~gen_read impl
+        in
         Onll_obs.Metrics.set
           (Onll_obs.Metrics.gauge summary
              (Printf.sprintf "pf_update.%s.%s" S.name impl))
@@ -91,11 +101,17 @@ module Audit (S : Onll_core.Spec.S) = struct
           (Onll_obs.Metrics.gauge summary
              (Printf.sprintf "pf_read.%s.%s" S.name impl))
           per_read;
+        if impl = "onll-session" then
+          Onll_obs.Metrics.set
+            (Onll_obs.Metrics.gauge summary
+               (Printf.sprintf "pf_session.%s.%s" S.name impl))
+            per_session;
         [
           S.name;
           impl;
           Onll_util.Table.fmt_float per_update;
           Onll_util.Table.fmt_float per_read;
+          Onll_util.Table.fmt_float per_session;
         ])
       Onll_baselines.Registry.names
 end
@@ -129,23 +145,31 @@ let run () =
     ~title:
       "E1 — persistent fences per operation (Theorem 5.1: ONLL = 1 per \
        update, 0 per read)"
-    ~header:[ "object"; "implementation"; "pf/update"; "pf/read" ]
+    ~header:
+      [ "object"; "implementation"; "pf/update"; "pf/read"; "pf/session" ]
     rows;
   (* Hard assertions for the headline claim. *)
   List.iter
     (fun row ->
       match row with
-      | [ _; impl; pu; pr ]
+      | [ _; impl; pu; pr; ps ]
         when impl = "onll" || impl = "onll+views" || impl = "onll-wait-free"
              || impl = "onll-mirrored" || impl = "onll-sharded" ->
-          assert (pu = "1" && pr = "0")
+          assert (pu = "1" && pr = "0" && ps = "0")
+      | [ _; "onll-session"; pu; pr; ps ] ->
+          (* Theorem 5.1 per layer: the object still pays exactly 1
+             pf/update and 0 pf/read; the session adds exactly 1 pf for
+             its client-record append and nothing else. *)
+          assert (pu = "1" && pr = "0" && ps = "1")
       | _ -> ())
     rows;
   print_endline
     "(asserted: every onll row reads exactly 1 pf/update, 0 pf/read — \
      mirroring included: both replica flushes drain under one fence; \
      sharding included: an update runs on exactly one shard, and global \
-     reads fan out fence-free)";
+     reads fan out fence-free; sessions included: exactly-once submission \
+     adds exactly 1 pf for the durable client record and 0 to the \
+     object\'s update path)";
   let path =
     Harness.write_snapshot ~experiment:"e1"
       ~meta:

@@ -25,6 +25,8 @@ let experiments =
      Mirror_campaign.run);
     ("e14", "shard scaling: partitioned construction, throughput + invariants",
      Shard_scaling.run);
+    ("e15", "durable client sessions: exactly-once chaos campaign",
+     Session_campaign.run);
     ("f1", "Figure 1: the four counter executions, replayed",
      Onll_scenarios.Figure1.print_all);
     ("f2", "Figure 2 / Prop 5.2: fuzzy-window bound", Fuzzy_window.run);

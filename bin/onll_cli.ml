@@ -8,10 +8,16 @@
                                        primaries must cost nothing
    onll chaos -s kv --sharded          same grid against the partitioned
                                        construction (E14)
+   onll chaos --session --seeds 40     the E15 exactly-once session grid
+                                       (counter+ledger x all backends +
+                                       the naive calibration arm)
    onll scrub                          online rot healed live by the scrubber
+   onll session                        exactly-once crash-restart, narrated
    onll fences -s kv                   fence audit for one object
    onll stats -s counter -n 4          run a workload, print a JSON snapshot
    onll stats -i onll-sharded --shards 8   ... against an 8-shard object
+   onll stats --crash 120              ... crash mid-workload and fold the
+                                       recovery report into the snapshot
 *)
 
 open Cmdliner
@@ -150,7 +156,24 @@ let fuzz_cmd =
 
 (* {1 chaos} *)
 
-let chaos spec seeds unhardened mirrored sharded =
+(* [--session]: the E15 grid instead — every (spec, arm) campaign of the
+   exactly-once session audit, [seeds] seeds per arm. The session arms
+   must be perfect; the naive at-least-once arm must duplicate, or the
+   detector proved nothing. *)
+let session_chaos seeds =
+  let open Test_support in
+  let s = Session_chaos.run_e15 ~seeds_per_arm:seeds in
+  Session_chaos.print s;
+  if
+    Session_chaos.e15_violations s > 0
+    || Session_chaos.e15_session_duplicates s > 0
+    || Session_chaos.e15_session_lost_acks s > 0
+    || Session_chaos.e15_naive_duplicates s = 0
+  then exit 1
+
+let chaos spec seeds unhardened mirrored sharded session =
+  if session then session_chaos seeds
+  else
   let open Test_support in
   let campaign (type u r) (run : plan:Chaos.plan -> gen_update:_ -> gen_read:_ -> unit -> _)
       (gen_update : Onll_util.Splitmix.t -> u)
@@ -237,7 +260,12 @@ let chaos_cmd =
      primaries plus online rot and periodic scrubs — where loss of any \
      kind (even reported) is a failure, since every fault has an intact \
      mirror copy. With $(b,--sharded), the same grids run against the E14 \
-     partitioned construction (4 shards), composable with $(b,--mirrored)."
+     partitioned construction (4 shards), composable with $(b,--mirrored). \
+     With $(b,--session), run the E15 exactly-once session grid instead \
+     (counter and ledger workloads through durable client sessions over \
+     the plain, mirrored and sharded backends, plus the naive \
+     at-least-once calibration arm, $(i,SEEDS) seeds per arm); the other \
+     flags are ignored."
   in
   let spec =
     Arg.(
@@ -265,8 +293,17 @@ let chaos_cmd =
       & info [ "sharded" ]
           ~doc:"run against the 4-shard partitioned construction (E14)")
   in
+  let session =
+    Arg.(
+      value & flag
+      & info [ "session" ]
+          ~doc:
+            "run the E15 exactly-once durable-session grid (all arms, \
+             SEEDS seeds each) instead")
+  in
   Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const chaos $ spec $ seeds $ unhardened $ mirrored $ sharded)
+    Term.(
+      const chaos $ spec $ seeds $ unhardened $ mirrored $ sharded $ session)
 
 (* {1 scrub} *)
 
@@ -360,6 +397,165 @@ let scrub_cmd =
   Cmd.v (Cmd.info "scrub" ~doc)
     Term.(const scrub_demo $ updates $ interval $ seed)
 
+(* {1 session} *)
+
+(* A deterministic end-to-end narration of exactly-once submission (E15):
+   one client driving a durable session over a plain counter, crashed
+   twice. Crash 1 lands after the last update linearized but before its
+   acknowledgement became durable — recovery must answer Was_applied and
+   must NOT re-invoke (an at-least-once client re-invokes here and double
+   counts). Crash 2 cuts a submission that a transient-flush storm pinned
+   to the object's regions kept from ever reaching the object — the
+   intent is durable, the operation is not, and recovery must re-invoke
+   it under a fresh identity. The final value is checked against
+   exactly-once counting. *)
+let session_demo updates seed =
+  let updates = max 1 updates in
+  let registry = Onll_obs.Metrics.create () in
+  let sink = Onll_obs.Sink.make ~registry () in
+  let sim = Sim.create ~sink ~max_processes:1 () in
+  let mem = Sim.memory sim in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.make { Onll_core.Onll.Config.default with sink } in
+  let module Sess = Onll_session.Make (M) (Cs) in
+  let module Over = Sess.Over (C) in
+  let session = Sess.attach ~sink ~client:0 (Over.backend obj) in
+  let run body =
+    match Sim.run sim Onll_sched.Sched.Strategy.round_robin [| body |] with
+    | Onll_sched.Sched.World.Completed -> ()
+    | _ -> assert false
+  in
+  let pp_id = Onll_core.Onll.pp_op_id in
+  let failed = ref false in
+  Format.printf
+    "era 1: %d increments through the durable session (each submission: 1 \
+     fence for the intent record, 1 for the update)@."
+    updates;
+  run (fun _ ->
+      for k = 1 to updates do
+        match Sess.submit session Cs.Increment with
+        | Ok v -> Format.printf "  submit #%d -> ok, counter = %d@." k v
+        | Error e ->
+            Format.printf "  submit #%d -> %a@." k Onll_session.pp_error e;
+            failed := true
+      done);
+  Format.printf
+    "@.crash 1: power loss after update #%d linearized, before its \
+     acknowledgement became durable@."
+    updates;
+  Onll_nvm.Memory.crash mem ~policy:Onll_nvm.Crash_policy.Persist_all;
+  ignore (C.recover_report obj);
+  run (fun _ ->
+      (match Sess.recover session with
+      | Sess.Was_applied id ->
+          Format.printf
+            "  recover -> Was_applied %a: the in-doubt operation is in the \
+             adopted history; NOT re-invoked@."
+            pp_id id
+      | r ->
+          Format.printf "  recover -> %a (unexpected)@." Sess.pp_resolution r;
+          failed := true);
+      Format.printf
+        "  counter = %d  (an at-least-once client re-invokes here: %d)@."
+        (Sess.read session Cs.Get) (updates + 1));
+  (* A flush storm pinned to the object's plog regions (fence faults are
+     machine-global, so only flushes are scoped): the client record stays
+     writable, the intent append succeeds, and the object invocation is
+     what times out — the interesting in-doubt shape. *)
+  let storm =
+    Onll_faults.Faults.install mem
+      {
+        Onll_faults.Faults.Plan.none with
+        seed;
+        flush_fail_prob = 1.0;
+        max_consecutive_transients = 1_000_000;
+        target = (fun n -> n <> Sess.log_name session);
+      }
+  in
+  Format.printf
+    "@.era 2: a transient flush storm pinned to the object's regions@.";
+  run (fun _ ->
+      match Sess.submit session Cs.Increment with
+      | Error Onll_session.Timeout -> (
+          match Sess.pending session with
+          | Some (id, _) ->
+              Format.printf
+                "  submit -> Timeout after bounded backoff; in doubt as %a \
+                 (intent durable, object never reached)@."
+                pp_id id
+          | None ->
+              Format.printf "  submit -> Timeout with no durable intent@.";
+              failed := true)
+      | Ok v ->
+          Format.printf "  submit -> ok %d (storm never bit?)@." v;
+          failed := true
+      | Error e ->
+          Format.printf "  submit -> %a@." Onll_session.pp_error e;
+          failed := true);
+  Onll_faults.Faults.remove storm;
+  Format.printf
+    "@.crash 2: restart, losing everything the storm kept from \
+     persisting@.";
+  (* Drop_all, not Persist_all: the storm-blocked log record is sitting
+     unfenced in the volatile buffer, and a Persist_all crash would
+     persist it — turning the in-doubt operation into a survivor. *)
+  Onll_nvm.Memory.crash mem ~policy:Onll_nvm.Crash_policy.Drop_all;
+  ignore (C.recover_report obj);
+  let final = ref 0 in
+  run (fun _ ->
+      (match Sess.recover session with
+      | Sess.Reinvoked (old_id, fresh, v) ->
+          Format.printf
+            "  recover -> Reinvoked: %a never linearized; re-invoked as %a, \
+             counter = %d@."
+            pp_id old_id pp_id fresh v
+      | r ->
+          Format.printf "  recover -> %a (unexpected)@." Sess.pp_resolution r;
+          failed := true);
+      for _ = 1 to 2 do
+        match Sess.submit session Cs.Increment with
+        | Ok v -> Format.printf "  submit -> ok, counter = %d@." v
+        | Error e ->
+            Format.printf "  submit -> %a@." Onll_session.pp_error e;
+            failed := true
+      done;
+      final := Sess.read session Cs.Get);
+  let expect = updates + 3 in
+  Format.printf
+    "@.final: counter = %d, expected %d — %d logical operations, each \
+     applied exactly once across both crashes@."
+    !final expect expect;
+  Format.printf
+    "sequence numbers 0..%d were allocated and never reused; resolutions: \
+     %d applied-without-reinvoke, %d reinvoked@."
+    (Sess.next_seq session - 1)
+    (Onll_obs.Metrics.counter_value registry "session.resolved.applied")
+    (Onll_obs.Metrics.counter_value registry "session.resolved.reinvoked");
+  if !final <> expect || !failed then begin
+    Format.printf "FAILED: the narration above diverged from exactly-once@.";
+    exit 1
+  end;
+  Format.printf "exactly-once held@."
+
+let session_cmd =
+  let doc =
+    "Narrate exactly-once submission end to end: a durable client session \
+     over a counter, crashed once after an unacknowledged update (recovery \
+     detects it survived and does not re-invoke) and once mid-submission \
+     under a transient-flush storm (recovery re-invokes under a fresh \
+     identity), with the final value checked against exactly-once counting."
+  in
+  let updates =
+    Arg.(
+      value & opt int 4
+      & info [ "u"; "updates" ] ~docv:"N" ~doc:"era-1 updates to run")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"storm seed")
+  in
+  Cmd.v (Cmd.info "session" ~doc) Term.(const session_demo $ updates $ seed)
+
 (* {1 fences} *)
 
 let fences updates =
@@ -399,12 +595,16 @@ let fences_cmd =
    updates with a read after each one, under a seeded random schedule,
    against an implementation built with an active sink installed in both
    the simulated machine and the object. The sink's registry is then the
-   run's metrics snapshot. *)
+   run's metrics snapshot. With [crash_at = Some step], the schedule cuts
+   at that step and the implementation's hardened recovery runs; its
+   {!Onll_core.Onll.Recovery_report} is folded into the same registry
+   (the [recovery.*] keys of the snapshot) and pretty-printed to stderr,
+   keeping stdout pure JSON/CSV. *)
 module Stats_run (S : Onll_core.Spec.S) = struct
   module R = Onll_baselines.Registry.Make (S)
 
-  let go ~impl ~shards ~procs ~updates ~seed ~scrub_every ~gen_update
-      ~gen_read =
+  let go ~impl ~shards ~procs ~updates ~seed ~scrub_every ~crash_at
+      ~gen_update ~gen_read =
     let sink = Onll_obs.Sink.make () in
     let rng = Onll_util.Splitmix.create seed in
     match
@@ -420,9 +620,19 @@ module Stats_run (S : Onll_core.Spec.S) = struct
            Printf.eprintf "implementation %S has no online scrubber\n" impl;
            exit 1
          end);
+        (if crash_at <> None && h.recover = None then begin
+           Printf.eprintf "implementation %S has no hardened recovery\n" impl;
+           exit 1
+         end);
+        let strategy =
+          match crash_at with
+          | None -> Onll_sched.Sched.Strategy.random ~seed
+          | Some n ->
+              Onll_sched.Sched.Strategy.random_with_crash ~seed
+                ~crash_at_step:n
+        in
         let outcome =
-          Sim.run h.sim
-            (Onll_sched.Sched.Strategy.random ~seed)
+          Sim.run h.sim strategy
             (Array.init procs (fun _ ->
                  fun _ ->
                   for k = 1 to updates do
@@ -432,11 +642,26 @@ module Stats_run (S : Onll_core.Spec.S) = struct
                       Option.iter (fun f -> f ()) h.scrub
                   done))
         in
-        assert (outcome = Onll_sched.Sched.World.Completed);
+        (match outcome with
+        | Onll_sched.Sched.World.Completed ->
+            if crash_at <> None then
+              Printf.eprintf
+                "note: the workload completed before step %d; nothing \
+                 crashed\n"
+                (Option.get crash_at)
+        | Onll_sched.Sched.World.Crashed ->
+            let report = (Option.get h.recover) () in
+            Onll_core.Onll.Recovery_report.to_metrics
+              (Onll_obs.Sink.registry sink)
+              report;
+            Format.eprintf "post-crash recovery: %a@."
+              Onll_core.Onll.Recovery_report.pp report
+        | Onll_sched.Sched.World.Stopped _ -> assert false);
         sink
 end
 
-let stats spec impl shards procs updates seed scrub_every csv output =
+let stats spec impl shards procs updates seed scrub_every crash_at csv
+    output =
   let open Test_support in
   let finish sink =
     let meta =
@@ -450,6 +675,10 @@ let stats spec impl shards procs updates seed scrub_every csv output =
         ("seed", string_of_int seed);
         ("scrub_every", string_of_int scrub_every);
       ]
+      @
+      match crash_at with
+      | None -> []
+      | Some n -> [ ("crash_at", string_of_int n) ]
     in
     let registry = Onll_obs.Sink.registry sink in
     let rendered =
@@ -466,37 +695,37 @@ let stats spec impl shards procs updates seed scrub_every csv output =
   | "counter" ->
       let module W = Stats_run (Onll_specs.Counter) in
       finish
-        (W.go ~impl ~shards ~procs ~updates ~seed ~scrub_every
+        (W.go ~impl ~shards ~procs ~updates ~seed ~scrub_every ~crash_at
            ~gen_update:Gen.Counter.update ~gen_read:Gen.Counter.read)
   | "register" ->
       let module W = Stats_run (Onll_specs.Register) in
       finish
-        (W.go ~impl ~shards ~procs ~updates ~seed ~scrub_every
+        (W.go ~impl ~shards ~procs ~updates ~seed ~scrub_every ~crash_at
            ~gen_update:Gen.Register.update ~gen_read:Gen.Register.read)
   | "queue" ->
       let module W = Stats_run (Onll_specs.Queue_spec) in
       finish
-        (W.go ~impl ~shards ~procs ~updates ~seed ~scrub_every
+        (W.go ~impl ~shards ~procs ~updates ~seed ~scrub_every ~crash_at
            ~gen_update:Gen.Queue.update ~gen_read:Gen.Queue.read)
   | "kv" ->
       let module W = Stats_run (Onll_specs.Kv) in
       finish
-        (W.go ~impl ~shards ~procs ~updates ~seed ~scrub_every
+        (W.go ~impl ~shards ~procs ~updates ~seed ~scrub_every ~crash_at
            ~gen_update:Gen.Kv.update ~gen_read:Gen.Kv.read)
   | "stack" ->
       let module W = Stats_run (Onll_specs.Stack_spec) in
       finish
-        (W.go ~impl ~shards ~procs ~updates ~seed ~scrub_every
+        (W.go ~impl ~shards ~procs ~updates ~seed ~scrub_every ~crash_at
            ~gen_update:Gen.Stack.update ~gen_read:Gen.Stack.read)
   | "set" ->
       let module W = Stats_run (Onll_specs.Set_spec) in
       finish
-        (W.go ~impl ~shards ~procs ~updates ~seed ~scrub_every
+        (W.go ~impl ~shards ~procs ~updates ~seed ~scrub_every ~crash_at
            ~gen_update:Gen.Set_g.update ~gen_read:Gen.Set_g.read)
   | "ledger" ->
       let module W = Stats_run (Onll_specs.Ledger) in
       finish
-        (W.go ~impl ~shards ~procs ~updates ~seed ~scrub_every
+        (W.go ~impl ~shards ~procs ~updates ~seed ~scrub_every ~crash_at
            ~gen_update:Gen.Ledger.update ~gen_read:Gen.Ledger.read)
   | other ->
       Printf.eprintf
@@ -547,6 +776,17 @@ let stats_cmd =
             "run an online scrub step every N updates per process (0 = \
              never; onll implementations only)")
   in
+  let crash_at =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash" ] ~docv:"STEP"
+          ~doc:
+            "crash the machine at this scheduler step, run the hardened \
+             recovery, and fold its report into the snapshot (the \
+             recovery.* keys; the report is also pretty-printed to \
+             stderr)")
+  in
   let csv =
     Arg.(value & flag & info [ "csv" ] ~doc:"emit CSV instead of JSON")
   in
@@ -559,7 +799,7 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(
       const stats $ spec $ impl $ shards $ procs $ updates $ seed
-      $ scrub_every $ csv $ output)
+      $ scrub_every $ crash_at $ csv $ output)
 
 (* {1 explore} *)
 
@@ -720,6 +960,7 @@ let () =
             fuzz_cmd;
             chaos_cmd;
             scrub_cmd;
+            session_cmd;
             fences_cmd;
             stats_cmd;
             simulate_cmd;

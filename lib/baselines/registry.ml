@@ -18,6 +18,9 @@ type handle = {
   scrub : (unit -> unit) option;
       (** one cooperative online-scrub step; [None] for implementations
           without one (everything but the ONLL family) *)
+  recover : (unit -> Onll_core.Onll.Recovery_report.t) option;
+      (** hardened post-crash recovery; [None] for implementations
+          without one (everything but the ONLL family) *)
 }
 
 let names =
@@ -27,6 +30,7 @@ let names =
     "onll-wait-free";
     "onll-mirrored";
     "onll-sharded";
+    "onll-session";
     "persist-on-read";
     "shadow";
     "flat-combining";
@@ -59,6 +63,7 @@ module Make (S : Onll_core.Spec.S) = struct
           update = (fun () -> ignore (C.update obj (gen_update ())));
           read = (fun () -> ignore (C.read obj (gen_read ())));
           scrub = Some (fun () -> ignore (C.scrub obj));
+          recover = Some (fun () -> C.recover_report obj);
         }
       end
       else begin
@@ -70,6 +75,7 @@ module Make (S : Onll_core.Spec.S) = struct
           update = (fun () -> ignore (C.update obj (gen_update ())));
           read = (fun () -> ignore (C.read obj (gen_read ())));
           scrub = Some (fun () -> ignore (C.scrub obj));
+          recover = Some (fun () -> C.recover_report obj);
         }
       end
     in
@@ -102,6 +108,54 @@ module Make (S : Onll_core.Spec.S) = struct
             update = (fun () -> ignore (C.update obj (gen_update ())));
             read = (fun () -> ignore (C.read obj (gen_read ())));
             scrub = Some (fun () -> ignore (C.scrub obj));
+            recover = Some (fun () -> C.recover_report obj);
+          }
+    | "onll-session" | "session" ->
+        (* The plain construction behind a durable per-client session
+           (E15): every update is an exactly-once [Onll_session.submit].
+           Sessions are attached eagerly, one per process, because region
+           creation must happen once (outside any run); the E1 audit uses
+           this arm to assert the session adds exactly one fence (its
+           client-record append) on top of the object's one. *)
+        let sim = fresh_sim () in
+        let module M = (val Onll_machine.Sim.machine sim) in
+        let module C = Onll_core.Onll.Make (M) (S) in
+        let obj =
+          C.make
+            {
+              Onll_core.Onll.Config.log_capacity;
+              replicas = 1;
+              local_views = false;
+              region_suffix = "";
+              sink;
+            }
+        in
+        let module Sess = Onll_session.Make (M) (S) in
+        let module Over = Sess.Over (C) in
+        let backend = Over.backend ~log_capacity obj in
+        let config =
+          {
+            Onll_session.default_config with
+            log_capacity = 16384;
+            high_watermark = 1.0;
+          }
+        in
+        let sessions =
+          Array.init max_processes (fun client ->
+              Sess.attach ~config ~sink ~client backend)
+        in
+        Some
+          {
+            sim;
+            sink;
+            update =
+              (fun () ->
+                ignore (Sess.submit sessions.(M.self ()) (gen_update ())));
+            read =
+              (fun () ->
+                ignore (Sess.read sessions.(M.self ()) (gen_read ())));
+            scrub = Some (fun () -> ignore (C.scrub obj));
+            recover = Some (fun () -> C.recover_report obj);
           }
     | "persist-on-read" ->
         let sim = fresh_sim () in
@@ -115,6 +169,7 @@ module Make (S : Onll_core.Spec.S) = struct
             update = (fun () -> ignore (P.update obj (gen_update ())));
             read = (fun () -> ignore (P.read obj (gen_read ())));
             scrub = None;
+            recover = None;
           }
     | "shadow" ->
         let sim = fresh_sim () in
@@ -128,6 +183,7 @@ module Make (S : Onll_core.Spec.S) = struct
             update = (fun () -> ignore (H.update obj (gen_update ())));
             read = (fun () -> ignore (H.read obj (gen_read ())));
             scrub = None;
+            recover = None;
           }
     | "flat-combining" ->
         let sim = fresh_sim () in
@@ -141,6 +197,7 @@ module Make (S : Onll_core.Spec.S) = struct
             update = (fun () -> ignore (F.update obj (gen_update ())));
             read = (fun () -> ignore (F.read obj (gen_read ())));
             scrub = None;
+            recover = None;
           }
     | "volatile" ->
         let sim = fresh_sim () in
@@ -154,6 +211,7 @@ module Make (S : Onll_core.Spec.S) = struct
             update = (fun () -> ignore (V.update obj (gen_update ())));
             read = (fun () -> ignore (V.read obj (gen_read ())));
             scrub = None;
+            recover = None;
           }
     | _ -> None
 end

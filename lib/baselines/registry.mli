@@ -5,7 +5,11 @@
     ["mirrored"]; two-way replicated logs, still one fence per update),
     ["onll-sharded"] (alias ["sharded"]; the E14 partitioned construction —
     each op routed to one of [shards] independent ONLL instances, still one
-    fence per update), ["persist-on-read"], ["shadow"], ["flat-combining"]
+    fence per update), ["onll-session"] (alias ["session"]; the plain
+    construction driven through per-client {!Onll_session} exactly-once
+    sessions — one extra fence per update for the durable client record,
+    attributed to ["fences.session"], none added to the object's path),
+    ["persist-on-read"], ["shadow"], ["flat-combining"]
     and ["volatile"]
     over a fresh simulated machine — used by the CLI ([onll lowerbound -i],
     [onll stats -i]), the lower-bound benchmark and the fence audit instead
@@ -20,6 +24,10 @@ type handle = {
   scrub : (unit -> unit) option;
       (** one cooperative online-scrub step ({!Onll_core.Onll.CONSTRUCTION.scrub});
           [None] for implementations without one *)
+  recover : (unit -> Onll_core.Onll.Recovery_report.t) option;
+      (** hardened post-crash recovery
+          ({!Onll_core.Onll.CONSTRUCTION.recover_report}); [None] for
+          implementations without one — [onll stats --crash] uses this *)
 }
 
 val names : string list

@@ -30,6 +30,8 @@
     allocation survive even when the operations themselves have been
     reclaimed. *)
 
+module Metrics = Onll_obs.Metrics
+
 type op_id = { id_proc : int; id_seq : int }
 
 let pp_op_id ppf { id_proc; id_seq } =
@@ -83,6 +85,37 @@ module Recovery_report = struct
             s)
       r.salvage;
     Format.fprintf ppf "detected_loss=%b@]" (detected_loss r)
+
+  let to_metrics ?(prefix = "recovery.") reg r =
+    let c name v = Metrics.add (Metrics.counter reg (prefix ^ name)) v in
+    let g name v = Metrics.set (Metrics.gauge reg (prefix ^ name)) v in
+    c "recovered_ops" r.recovered_ops;
+    c "gaps" (List.length r.gap_indices);
+    c "dropped" (List.length r.dropped);
+    c "disagreements" (List.length r.disagreements);
+    c "decode_failures" r.decode_failures;
+    g "base_idx" (float_of_int r.base_idx);
+    g "detected_loss" (if detected_loss r then 1. else 0.);
+    let torn, quarantined, lost_bytes, repaired, repaired_bytes =
+      List.fold_left
+        (fun (t, q, lb, re, rb) (_, s) ->
+          ( t + s.Onll_plog.Plog.torn_tail_bytes,
+            q + s.Onll_plog.Plog.quarantined_spans,
+            lb + Onll_plog.Plog.report_lost s,
+            re + s.Onll_plog.Plog.repaired_entries,
+            rb + s.Onll_plog.Plog.repaired_bytes ))
+        (0, 0, 0, 0, 0) r.salvage
+    in
+    c "salvage.torn_tail_bytes" torn;
+    c "salvage.quarantined_spans" quarantined;
+    c "salvage.bytes_lost" lost_bytes;
+    c "salvage.repaired_entries" repaired;
+    c "salvage.repaired_bytes" repaired_bytes
+
+  let to_json ?(meta = []) r =
+    let reg = Metrics.create () in
+    to_metrics reg r;
+    Onll_obs.Export.json ~meta:(("report", "recovery") :: meta) reg
 end
 
 (* Construction-time knobs; see onll.mli. *)

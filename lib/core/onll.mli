@@ -75,6 +75,20 @@ module Recovery_report : sig
   (** [not (detected_loss r)]. *)
 
   val pp : Format.formatter -> t -> unit
+
+  val to_metrics : ?prefix:string -> Onll_obs.Metrics.t -> t -> unit
+  (** Fold the report into a registry under [prefix] (default
+      ["recovery."]): counters [recovered_ops]/[gaps]/[dropped]/
+      [disagreements]/[decode_failures] and the salvage aggregates
+      ([salvage.torn_tail_bytes], [salvage.quarantined_spans],
+      [salvage.bytes_lost], [salvage.repaired_entries],
+      [salvage.repaired_bytes]), gauges [base_idx] and [detected_loss]
+      (0/1). The shape [onll stats] and the chaos campaigns export. *)
+
+  val to_json : ?meta:(string * string) list -> t -> string
+  (** The report as a canonical {!Onll_obs.Export.json} snapshot (a fresh
+      registry folded via {!to_metrics}, tagged [report=recovery] plus
+      [meta]). *)
 end
 
 (** Construction-time configuration — the one record every instantiation's
@@ -186,8 +200,20 @@ module type CONSTRUCTION = sig
   (** Like {!update} with a {e client-chosen} sequence number, so the
       client can interrogate {!was_linearized} about this exact invocation
       after a crash even though the call never returned. Sequence numbers
-      must be fresh (strictly above any previously used by this process).
-      @raise Invalid_argument on reuse. *)
+      must be fresh (strictly above any previously used by this process —
+      including numbers consumed by {!update}/{!update_with_id}, which
+      allocate from the same per-process counter).
+
+      {b Reuse is rejected before any effect}: a duplicate [seq] — whether
+      with the same payload (an at-least-once retry) or a different one
+      (an identity collision) — raises [Invalid_argument] {e before} the
+      operation is ordered, appended or applied; the object's state,
+      logs and the reused identity's {!was_linearized} answer are
+      untouched. Detectability depends on identities being unique, so
+      the construction refuses rather than guesses. Pinned by
+      [test/test_onll.ml]; {!Onll_session} builds the exactly-once retry
+      protocol this guarantee makes possible.
+      @raise Invalid_argument on reuse, with no state change. *)
 
   val read : t -> read_op -> value
   (** Apply a read-only operation: no shared-memory writes, no NVM

@@ -178,14 +178,18 @@ let install mem plan =
   (* Only an instruction that could have failed resets the consecutive
      counter: a prob-0 hook firing between two failing ones (the flush
      between a failing fence's retries) must not defeat the cap. *)
-  let h_flush ~proc:_ ~region:_ =
-    if transient t plan.Plan.flush_fail_prob then begin
-      t.flush_transients <- t.flush_transients + 1;
-      t.consecutive <- t.consecutive + 1;
-      emit t "flush_transient";
-      raise (Memory.Transient_fault "flush")
-    end
-    else if plan.Plan.flush_fail_prob > 0. then t.consecutive <- 0
+  let h_flush ~proc:_ ~region =
+    (* [target] scopes flush transients like media faults; an untargeted
+       region's flush could not have failed, so (per the comment above) it
+       must not reset the consecutive counter either. *)
+    if plan.Plan.target region then
+      if transient t plan.Plan.flush_fail_prob then begin
+        t.flush_transients <- t.flush_transients + 1;
+        t.consecutive <- t.consecutive + 1;
+        emit t "flush_transient";
+        raise (Memory.Transient_fault "flush")
+      end
+      else if plan.Plan.flush_fail_prob > 0. then t.consecutive <- 0
   in
   let h_fence ~proc:_ ~pending:_ =
     if transient t plan.Plan.fence_fail_prob then begin

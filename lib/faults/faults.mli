@@ -55,9 +55,12 @@ module Plan : sig
             (crash-time corruption never exercises the online scrubber);
             [0] disables *)
     target : string -> bool;
-        (** regions eligible for media corruption. Mirrored logs name their
-            replicas with {!Onll_plog.Plog.replica_region_name}, so
-            per-replica fault scopes are name predicates — e.g.
+        (** regions eligible for media corruption {e and} transient flush
+            failures (fence transients are machine-global: a fence drains
+            every pending line, so it has no single region to scope by).
+            Mirrored logs name their replicas with
+            {!Onll_plog.Plog.replica_region_name}, so per-replica fault
+            scopes are name predicates — e.g.
             [fun n -> not (Onll_plog.Plog.is_mirror_region n)] confines
             damage to primaries, the scope mirrors provably heal *)
   }

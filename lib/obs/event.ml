@@ -12,6 +12,18 @@
     single sink installed across components yields one totally ordered
     event stream. *)
 
+(** How a durable client session (E15) disposed of a submission or of the
+    post-crash in-doubt resolution. *)
+type session_outcome =
+  | Sess_ok  (** submission acknowledged *)
+  | Sess_timeout  (** deadline expired retrying transients; in doubt *)
+  | Sess_shed  (** admission control refused before any durable work *)
+  | Sess_refused  (** degradation policy refused the write path *)
+  | Sess_applied  (** recovery found the in-doubt op applied; not re-run *)
+  | Sess_reinvoked
+      (** recovery found the in-doubt op lost and re-invoked it under a
+          fresh identity *)
+
 type kind =
   | Fence of { persistent : bool }
       (** A fence instruction; [persistent] iff write-backs were pending. *)
@@ -58,12 +70,23 @@ type kind =
       (** The sharded construction (E14) routed an operation: to [shard]
           when [global] is [false], or fanned a global read out across
           every shard (in which case [shard] is the shard count). *)
+  | Session of { client : int; seq : int; outcome : session_outcome }
+      (** A durable client session (E15) disposed of [client]'s operation
+          [seq]: see {!session_outcome}. *)
 
 type t = {
   time : int;  (** logical timestamp, unique and monotone per sink *)
   proc : int;  (** emitting process id; [-1] for whole-system events *)
   kind : kind;
 }
+
+let session_outcome_label = function
+  | Sess_ok -> "ok"
+  | Sess_timeout -> "timeout"
+  | Sess_shed -> "shed"
+  | Sess_refused -> "refused"
+  | Sess_applied -> "applied"
+  | Sess_reinvoked -> "reinvoked"
 
 let kind_label = function
   | Fence { persistent } -> if persistent then "pfence" else "fence"
@@ -82,6 +105,7 @@ let kind_label = function
   | Repair _ -> "repair"
   | Scrub _ -> "scrub"
   | Route _ -> "route"
+  | Session _ -> "session"
 
 let pp ppf { time; proc; kind } =
   let p ppf = Format.fprintf ppf in
@@ -107,5 +131,8 @@ let pp ppf { time; proc; kind } =
         repaired unrepairable
   | Route { shard; global } ->
       if global then p ppf " global shards=%d" shard
-      else p ppf " shard=%d" shard);
+      else p ppf " shard=%d" shard
+  | Session { client; seq; outcome } ->
+      p ppf " client=%d seq=%d outcome=%s" client seq
+        (session_outcome_label outcome));
   p ppf "@]"

@@ -37,6 +37,13 @@ type t = {
   c_scrub_unrepairable : Metrics.counter;
   c_routes : Metrics.counter;
   c_routes_global : Metrics.counter;
+  c_session_ops : Metrics.counter;
+  c_session_ok : Metrics.counter;
+  c_session_timeouts : Metrics.counter;
+  c_session_sheds : Metrics.counter;
+  c_session_refused : Metrics.counter;
+  c_session_applied : Metrics.counter;
+  c_session_reinvoked : Metrics.counter;
 }
 
 let build ~active ~registry ~handler =
@@ -76,6 +83,14 @@ let build ~active ~registry ~handler =
     c_scrub_unrepairable = Metrics.counter registry "scrub.unrepairable";
     c_routes = Metrics.counter registry "routes";
     c_routes_global = Metrics.counter registry "routes.global";
+    c_session_ops = Metrics.counter registry "session.ops";
+    c_session_ok = Metrics.counter registry "session.ok";
+    c_session_timeouts = Metrics.counter registry "session.timeouts";
+    c_session_sheds = Metrics.counter registry "session.sheds";
+    c_session_refused = Metrics.counter registry "session.refused";
+    c_session_applied = Metrics.counter registry "session.resolved.applied";
+    c_session_reinvoked =
+      Metrics.counter registry "session.resolved.reinvoked";
   }
 
 let make ?registry ?handler () =
@@ -135,7 +150,16 @@ let emit t ~proc kind =
         Metrics.add t.c_scrub_unrepairable unrepairable
     | Event.Route { global; _ } ->
         Metrics.incr t.c_routes;
-        if global then Metrics.incr t.c_routes_global);
+        if global then Metrics.incr t.c_routes_global
+    | Event.Session { outcome; _ } -> (
+        Metrics.incr t.c_session_ops;
+        match outcome with
+        | Event.Sess_ok -> Metrics.incr t.c_session_ok
+        | Event.Sess_timeout -> Metrics.incr t.c_session_timeouts
+        | Event.Sess_shed -> Metrics.incr t.c_session_sheds
+        | Event.Sess_refused -> Metrics.incr t.c_session_refused
+        | Event.Sess_applied -> Metrics.incr t.c_session_applied
+        | Event.Sess_reinvoked -> Metrics.incr t.c_session_reinvoked));
     match t.handler with
     | Some f -> f { Event.time; proc; kind }
     | None -> ()

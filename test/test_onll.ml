@@ -414,6 +414,47 @@ let test_detectable_seq_reuse_rejected () =
     (Invalid_argument "Onll.update_detectable: sequence number reused")
     (fun () -> ignore (C.update_detectable obj ~seq:0 Cs.Increment))
 
+let test_detectable_seq_reuse_no_side_effects () =
+  (* The documented misuse contract: a duplicate [seq] — same payload (an
+     at-least-once retry) or a different one (an identity collision) — is
+     rejected before any effect. State, logs, the reused identity's
+     was_linearized answer and the fence count must all be exactly as if
+     the call never happened, and a fresh seq must still be accepted. *)
+  let module Kv = Onll_specs.Kv in
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Kv) in
+  let obj = C.create () in
+  ignore (C.update_detectable obj ~seq:0 (Kv.Put ("k", "original")));
+  let live_bytes () =
+    List.map
+      (fun (l : Onll_core.Onll.Snapshot.log) -> l.live_bytes)
+      (C.snapshot obj).Onll_core.Onll.Snapshot.logs
+  in
+  let logs_before = live_bytes () in
+  let fences_before = (Sim.stats sim).Onll_nvm.Memory.Stats.persistent_fences in
+  let reuse payload =
+    Alcotest.check_raises "reuse rejected"
+      (Invalid_argument "Onll.update_detectable: sequence number reused")
+      (fun () -> ignore (C.update_detectable obj ~seq:0 payload))
+  in
+  reuse (Kv.Put ("k", "original"));
+  (* same payload: a retry *)
+  reuse (Kv.Put ("k", "forged"));
+  (* different payload: a collision *)
+  reuse (Kv.Delete "k");
+  check Alcotest.bool "state untouched" true
+    (C.read obj (Kv.Get "k") = Kv.Found (Some "original"));
+  check Alcotest.(list int) "logs untouched" logs_before (live_bytes ());
+  check Alcotest.int "no persistence work spent on rejections" fences_before
+    (Sim.stats sim).Onll_nvm.Memory.Stats.persistent_fences;
+  check Alcotest.bool "the reused identity's answer is unchanged" true
+    (C.was_linearized obj { Onll_core.Onll.id_proc = 0; id_seq = 0 });
+  (* the process is not wedged: the next fresh seq is accepted *)
+  ignore (C.update_detectable obj ~seq:1 (Kv.Put ("k2", "v2")));
+  check Alcotest.bool "fresh seq applied" true
+    (C.read obj (Kv.Get "k2") = Kv.Found (Some "v2"))
+
 let test_seq_numbers_advance_past_recovery () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
@@ -721,6 +762,8 @@ let () =
             test_detectable_pre_append_op_is_lost;
           Alcotest.test_case "post-fence survives" `Quick
             test_detectable_post_fence_op_survives;
+          Alcotest.test_case "seq reuse is effect-free" `Quick
+            test_detectable_seq_reuse_no_side_effects;
           Alcotest.test_case "seq reuse rejected" `Quick
             test_detectable_seq_reuse_rejected;
           Alcotest.test_case "seqs advance past recovery" `Quick

@@ -1,0 +1,409 @@
+(* Deterministic unit tests for the durable client session (E15's
+   protocol layer): exactly-once crash resolution on both branches,
+   deterministic Timeout and Overloaded, sequence durability across the
+   session log's own compaction, degradation policies, and misuse. The
+   randomized/adversarial coverage lives in the E15 chaos campaign
+   ([test_support/session_chaos.ml]); these are the pinned, single-world
+   specimens of each contract clause. *)
+
+open Onll_machine
+module Cs = Onll_specs.Counter
+module Faults = Onll_faults.Faults
+module Sess_t = Onll_session
+
+let check = Alcotest.check
+
+let run sim body =
+  match Sim.run sim Onll_sched.Sched.Strategy.round_robin [| body |] with
+  | Onll_sched.Sched.World.Completed -> ()
+  | _ -> Alcotest.fail "simulated body did not complete"
+
+(* A flush storm pinned to every region except [spare]: transient faults
+   rage until removed ([max_consecutive_transients] far above any retry
+   budget), so whatever durable step touches a targeted region times out
+   deterministically. *)
+let storm ?(spare = fun _ -> false) mem =
+  Faults.install mem
+    {
+      Faults.Plan.none with
+      seed = 7;
+      flush_fail_prob = 1.0;
+      max_consecutive_transients = 1_000_000;
+      target = (fun n -> not (spare n));
+    }
+
+(* {1 Exactly-once: the Was_applied branch} *)
+
+let test_was_applied () =
+  (* A crash after the last update linearized but before its ack became
+     durable: recovery must answer Was_applied and must NOT re-invoke. *)
+  let registry = Onll_obs.Metrics.create () in
+  let sink = Onll_obs.Sink.make ~registry () in
+  let sim = Sim.create ~sink ~max_processes:1 () in
+  let mem = Sim.memory sim in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.make { Onll_core.Onll.Config.default with sink } in
+  let module Sess = Onll_session.Make (M) (Cs) in
+  let module Over = Sess.Over (C) in
+  let s = Sess.attach ~sink ~client:0 (Over.backend obj) in
+  run sim (fun _ ->
+      for _ = 1 to 4 do
+        match Sess.submit s Cs.Increment with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "submit: %a" Sess_t.pp_error e
+      done);
+  let seq_before = Sess.next_seq s in
+  Onll_nvm.Memory.crash mem ~policy:Onll_nvm.Crash_policy.Persist_all;
+  ignore (C.recover_report obj);
+  run sim (fun _ ->
+      (match Sess.recover s with
+      | Sess.Was_applied id ->
+          check Alcotest.int "the in-doubt op is the last submitted one"
+            (seq_before - 1) id.Onll_core.Onll.id_seq
+      | r -> Alcotest.failf "expected Was_applied, got %a" Sess.pp_resolution r);
+      check Alcotest.int "not re-invoked: the counter is unchanged" 4
+        (Sess.read s Cs.Get);
+      (* idempotence: an immediate second recovery resolves nothing new *)
+      (match Sess.recover s with
+      | Sess.No_pending | Sess.Was_applied _ -> ()
+      | r -> Alcotest.failf "second recover: %a" Sess.pp_resolution r);
+      (* the session keeps working, sequence numbers never reused *)
+      (match Sess.submit s Cs.Increment with
+      | Ok v -> check Alcotest.int "post-recovery submit applies once" 5 v
+      | Error e -> Alcotest.failf "post-recovery submit: %a" Sess_t.pp_error e);
+      check Alcotest.bool "next_seq advanced past every pre-crash seq" true
+        (Sess.next_seq s > seq_before))
+
+(* {1 Exactly-once: the Reinvoked branch} *)
+
+let test_reinvoked () =
+  (* A flush storm pinned to the object's regions (the client record
+     stays writable): the intent becomes durable, the object is never
+     reached, the submission times out in doubt — and after a Drop_all
+     restart, recovery must re-invoke under a fresh identity, exactly
+     once. *)
+  let sink = Onll_obs.Sink.make () in
+  let sim = Sim.create ~sink ~max_processes:1 () in
+  let mem = Sim.memory sim in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.make { Onll_core.Onll.Config.default with sink } in
+  let module Sess = Onll_session.Make (M) (Cs) in
+  let module Over = Sess.Over (C) in
+  let s = Sess.attach ~sink ~client:0 (Over.backend obj) in
+  run sim (fun _ ->
+      for _ = 1 to 2 do
+        match Sess.submit s Cs.Increment with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "submit: %a" Sess_t.pp_error e
+      done);
+  let h = storm ~spare:(fun n -> n = Sess.log_name s) mem in
+  run sim (fun _ ->
+      match Sess.submit s Cs.Increment with
+      | Error Sess_t.Timeout ->
+          check Alcotest.bool "the timed-out op is pending (in doubt)" true
+            (Sess.pending s <> None)
+      | Ok _ -> Alcotest.fail "the storm never bit"
+      | Error e -> Alcotest.failf "expected Timeout, got %a" Sess_t.pp_error e);
+  Faults.remove h;
+  (* Drop_all: the storm-blocked object record was never fenced, so the
+     restart discards it — the fenced intent survives. *)
+  Onll_nvm.Memory.crash mem ~policy:Onll_nvm.Crash_policy.Drop_all;
+  ignore (C.recover_report obj);
+  run sim (fun _ ->
+      (match Sess.recover s with
+      | Sess.Reinvoked (old_id, fresh, v) ->
+          check Alcotest.bool "fresh identity, same process" true
+            (old_id.Onll_core.Onll.id_proc = fresh.Onll_core.Onll.id_proc
+            && fresh.Onll_core.Onll.id_seq > old_id.Onll_core.Onll.id_seq);
+          check Alcotest.int "re-invocation applied the op once" 3 v
+      | r -> Alcotest.failf "expected Reinvoked, got %a" Sess.pp_resolution r);
+      check Alcotest.int "exactly once across the crash" 3 (Sess.read s Cs.Get))
+
+(* {1 Deterministic Timeout + misuse: submit over an unresolved pending} *)
+
+let test_timeout_then_submit_raises () =
+  let registry = Onll_obs.Metrics.create () in
+  let sink = Onll_obs.Sink.make ~registry () in
+  let sim = Sim.create ~sink ~max_processes:1 () in
+  let mem = Sim.memory sim in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.make { Onll_core.Onll.Config.default with sink } in
+  let module Sess = Onll_session.Make (M) (Cs) in
+  let module Over = Sess.Over (C) in
+  let s = Sess.attach ~sink ~client:0 (Over.backend obj) in
+  let h = storm mem in
+  run sim (fun _ ->
+      (match Sess.submit s Cs.Increment with
+      | Error Sess_t.Timeout -> ()
+      | Ok _ -> Alcotest.fail "a total flush storm let a submission through"
+      | Error e -> Alcotest.failf "expected Timeout, got %a" Sess_t.pp_error e);
+      check Alcotest.bool "the deadline was reached through retries" true
+        (Onll_obs.Metrics.counter_value registry "session.retries" > 0);
+      (* the operation is unresolved; submitting over it is misuse *)
+      match Sess.submit s Cs.Increment with
+      | exception Invalid_argument _ -> ()
+      | Ok _ | Error _ ->
+          Alcotest.fail "submit over an unresolved pending did not raise");
+  Faults.remove h
+
+(* {1 Deterministic Overloaded} *)
+
+let test_overloaded () =
+  (* Admission control: a watermark below any live history sheds the next
+     submission before it does durable work. Client 0 (watermark off)
+     seeds one update; client 1 samples pressure on every submission
+     against an impossible watermark and must be refused without the
+     counter moving. *)
+  let registry = Onll_obs.Metrics.create () in
+  let sink = Onll_obs.Sink.make ~registry () in
+  let sim = Sim.create ~sink ~max_processes:2 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.make { Onll_core.Onll.Config.default with sink } in
+  let module Sess = Onll_session.Make (M) (Cs) in
+  let module Over = Sess.Over (C) in
+  let backend = Over.backend obj in
+  let s0 = Sess.attach ~sink ~client:0 backend in
+  let shed_cfg =
+    {
+      Onll_session.default_config with
+      high_watermark = 1e-9;
+      check_pressure_every = 1;
+    }
+  in
+  let s1 = Sess.attach ~config:shed_cfg ~sink ~client:1 backend in
+  let outcome =
+    Sim.run sim Onll_sched.Sched.Strategy.round_robin
+      [|
+        (fun _ ->
+          match Sess.submit s0 Cs.Increment with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "seed submit: %a" Sess_t.pp_error e);
+        (fun _ ->
+          (* yield until client 0's update is live, then get shed *)
+          let tries = ref 0 in
+          while Sess.read s1 Cs.Get = 0 && !tries < 10_000 do
+            incr tries
+          done;
+          check Alcotest.bool "client 0's update is live" true
+            (Sess.read s1 Cs.Get = 1);
+          match Sess.submit s1 Cs.Increment with
+          | Error Sess_t.Overloaded ->
+              check Alcotest.bool "pressure sample exceeded the watermark"
+                true
+                (Sess.pressure s1 > shed_cfg.Onll_session.high_watermark)
+          | Ok _ -> Alcotest.fail "an impossible watermark admitted a write"
+          | Error e ->
+              Alcotest.failf "expected Overloaded, got %a" Sess_t.pp_error e);
+      |]
+  in
+  check Alcotest.bool "completed" true
+    (outcome = Onll_sched.Sched.World.Completed);
+  check Alcotest.int "shed before any durable work: value unchanged" 1
+    (C.read obj Cs.Get);
+  check Alcotest.bool "the shed was counted" true
+    (Onll_obs.Metrics.counter_value registry "session.sheds" > 0)
+
+(* {1 Sequence durability across session-log compaction} *)
+
+let test_seq_across_compaction () =
+  (* A session log too small for the workload forces the summary-first
+     compaction mid-run; sequence numbers must keep ascending across both
+     the compactions and a crash-restart over the compacted log. *)
+  let registry = Onll_obs.Metrics.create () in
+  let sink = Onll_obs.Sink.make ~registry () in
+  let sim = Sim.create ~sink ~max_processes:1 () in
+  let mem = Sim.memory sim in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.make { Onll_core.Onll.Config.default with sink } in
+  let module Sess = Onll_session.Make (M) (Cs) in
+  let module Over = Sess.Over (C) in
+  let cfg = { Onll_session.default_config with log_capacity = 640 } in
+  let s = Sess.attach ~config:cfg ~sink ~client:0 (Over.backend obj) in
+  let n = 40 in
+  run sim (fun _ ->
+      for _ = 1 to n do
+        match Sess.submit s Cs.Increment with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "submit: %a" Sess_t.pp_error e
+      done);
+  check Alcotest.bool "the session log compacted at least once" true
+    (Onll_obs.Metrics.counter_value registry "session.compactions" > 0);
+  let seq_before = Sess.next_seq s in
+  check Alcotest.int "sequence numbers stayed dense" n seq_before;
+  Onll_nvm.Memory.crash mem ~policy:Onll_nvm.Crash_policy.Persist_all;
+  ignore (C.recover_report obj);
+  run sim (fun _ ->
+      (match Sess.recover s with
+      | Sess.No_pending | Sess.Was_applied _ -> ()
+      | r -> Alcotest.failf "recover: %a" Sess.pp_resolution r);
+      check Alcotest.bool
+        "next_seq refolded from the compacted log, never reused" true
+        (Sess.next_seq s >= seq_before);
+      check Alcotest.int "no duplicates across the restart" n
+        (Sess.read s Cs.Get))
+
+(* {1 Degradation policies} *)
+
+(* A backend whose sticky degraded flag the test controls: the real
+   counter backend with [b_degraded] swapped for a ref — the record of
+   closures exists exactly so policy logic is testable against a
+   synthetic flag without manufacturing real unrepairable media loss. *)
+let test_degradation_fail_writes_and_best_effort () =
+  let registry = Onll_obs.Metrics.create () in
+  let sink = Onll_obs.Sink.make ~registry () in
+  let sim = Sim.create ~sink ~max_processes:2 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.make { Onll_core.Onll.Config.default with sink } in
+  let module Sess = Onll_session.Make (M) (Cs) in
+  let module Over = Sess.Over (C) in
+  let degraded = ref false in
+  let backend =
+    { (Over.backend obj) with Sess.b_degraded = (fun () -> !degraded) }
+  in
+  (* client 0: Fail_writes (the default); client 1: Best_effort *)
+  let s0 = Sess.attach ~sink ~client:0 backend in
+  let be_cfg =
+    { Onll_session.default_config with degradation = Sess_t.Best_effort }
+  in
+  let s1 = Sess.attach ~config:be_cfg ~sink ~client:1 backend in
+  run sim (fun _ ->
+      (match Sess.submit s0 Cs.Increment with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "healthy submit: %a" Sess_t.pp_error e);
+      degraded := true;
+      (match Sess.submit s0 Cs.Increment with
+      | Error Sess_t.Degraded -> ()
+      | Ok _ -> Alcotest.fail "Fail_writes accepted a degraded write"
+      | Error e ->
+          Alcotest.failf "expected Degraded, got %a" Sess_t.pp_error e);
+      check Alcotest.int "reads are served under every policy" 1
+        (Sess.read s0 Cs.Get);
+      check Alcotest.bool "degraded reads are counted" true
+        (Onll_obs.Metrics.counter_value registry "session.degraded_reads" > 0));
+  (match
+     Sim.run sim Onll_sched.Sched.Strategy.round_robin
+       [|
+         (fun _ -> ());
+         (fun _ ->
+           match Sess.submit s1 Cs.Increment with
+           | Ok v ->
+               check Alcotest.int "Best_effort keeps writing" 2 v;
+               check Alcotest.bool "and counts it" true
+                 (Onll_obs.Metrics.counter_value registry
+                    "session.degraded_writes"
+                 > 0)
+           | Error e ->
+               Alcotest.failf "Best_effort refused: %a" Sess_t.pp_error e);
+       |]
+   with
+  | Onll_sched.Sched.World.Completed -> ()
+  | _ -> Alcotest.fail "second era did not complete")
+
+let test_degradation_read_only_refuses_reinvocation () =
+  (* Read_only is the strictest policy: even the promised re-invocation
+     of the in-doubt operation is withheld (Refused), and the operation
+     stays pending for a later policy to resolve. *)
+  let sink = Onll_obs.Sink.make () in
+  let sim = Sim.create ~sink ~max_processes:1 () in
+  let mem = Sim.memory sim in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.make { Onll_core.Onll.Config.default with sink } in
+  let module Sess = Onll_session.Make (M) (Cs) in
+  let module Over = Sess.Over (C) in
+  let degraded = ref false in
+  let backend =
+    { (Over.backend obj) with Sess.b_degraded = (fun () -> !degraded) }
+  in
+  let ro_cfg =
+    { Onll_session.default_config with degradation = Sess_t.Read_only }
+  in
+  let s = Sess.attach ~config:ro_cfg ~sink ~client:0 backend in
+  let h = storm ~spare:(fun n -> n = Sess.log_name s) mem in
+  run sim (fun _ ->
+      match Sess.submit s Cs.Increment with
+      | Error Sess_t.Timeout -> ()
+      | Ok _ -> Alcotest.fail "the storm never bit"
+      | Error e -> Alcotest.failf "expected Timeout, got %a" Sess_t.pp_error e);
+  Faults.remove h;
+  degraded := true;
+  Onll_nvm.Memory.crash mem ~policy:Onll_nvm.Crash_policy.Drop_all;
+  ignore (C.recover_report obj);
+  run sim (fun _ ->
+      (match Sess.recover s with
+      | Sess.Refused _ -> ()
+      | r -> Alcotest.failf "expected Refused, got %a" Sess.pp_resolution r);
+      check Alcotest.bool "the operation stays pending" true
+        (Sess.pending s <> None);
+      check Alcotest.int "no write of any kind happened" 0
+        (Sess.read s Cs.Get))
+
+(* {1 Misuse: a foreign process on an owned session} *)
+
+let test_foreign_process_raises () =
+  let sink = Onll_obs.Sink.make () in
+  let sim = Sim.create ~sink ~max_processes:2 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.make { Onll_core.Onll.Config.default with sink } in
+  let module Sess = Onll_session.Make (M) (Cs) in
+  let module Over = Sess.Over (C) in
+  let s = Sess.attach ~sink ~client:0 (Over.backend obj) in
+  match
+    Sim.run sim Onll_sched.Sched.Strategy.round_robin
+      [|
+        (fun _ -> ());
+        (fun _ ->
+          (match Sess.submit s Cs.Increment with
+          | exception Invalid_argument _ -> ()
+          | Ok _ | Error _ ->
+              Alcotest.fail "a foreign process drove client 0's session");
+          match Sess.recover s with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.fail "a foreign process recovered client 0's session");
+      |]
+  with
+  | Onll_sched.Sched.World.Completed -> ()
+  | _ -> Alcotest.fail "did not complete"
+
+let () =
+  Alcotest.run "session"
+    [
+      ( "exactly-once",
+        [
+          Alcotest.test_case "crash resolves Was_applied, no re-invoke" `Quick
+            test_was_applied;
+          Alcotest.test_case "crash resolves Reinvoked, fresh identity" `Quick
+            test_reinvoked;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "deterministic Timeout + pending misuse" `Quick
+            test_timeout_then_submit_raises;
+          Alcotest.test_case "deterministic Overloaded shed" `Quick
+            test_overloaded;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "seqs survive session-log compaction + crash"
+            `Quick test_seq_across_compaction;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "Fail_writes refuses, Best_effort counts" `Quick
+            test_degradation_fail_writes_and_best_effort;
+          Alcotest.test_case "Read_only withholds re-invocation" `Quick
+            test_degradation_read_only_refuses_reinvocation;
+        ] );
+      ( "misuse",
+        [
+          Alcotest.test_case "foreign process raises" `Quick
+            test_foreign_process_raises;
+        ] );
+    ]

@@ -237,6 +237,81 @@ let test_was_linearized_routes_by_operation () =
   check Alcotest.bool "still linearized after recovery" true
     (C.was_linearized obj op_a !id)
 
+let test_recovered_ops_shard_major_after_cross_shard_crash () =
+  (* A workload interleaved across every shard, cut by a crash that spans
+     them all: [recovered_ops] must come back shard-major (not in the
+     interleaved execution order), oldest first within each shard, and
+     every completed update must still answer [was_linearized] when
+     routed by its operation — and only there. *)
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_sharded.Make (M) (Kv) in
+  let obj = C.create ~shards:4 () in
+  let route op = C.shard_of_update obj op in
+  let keys_for s n =
+    let rec go i acc =
+      if List.length acc = n then List.rev acc
+      else
+        let k = Printf.sprintf "key-%d" i in
+        if route (Kv.Put (k, "")) = s then go (i + 1) (k :: acc)
+        else go (i + 1) acc
+    in
+    go 0 []
+  in
+  let rounds = 3 in
+  let per_shard = Array.init 4 (fun s -> keys_for s rounds) in
+  (* round-robin over shards: 0,1,2,3,0,1,2,3,... *)
+  let ops =
+    List.concat
+      (List.init rounds (fun r ->
+           List.init 4 (fun s ->
+               Kv.Put (List.nth per_shard.(s) r, Printf.sprintf "v%d" r))))
+  in
+  let ids = ref [] in
+  ignore
+    (Sim.run sim Sched.Strategy.round_robin
+       [|
+         (fun _ ->
+           List.iter
+             (fun op ->
+               let id, _ = C.update_with_id obj op in
+               ids := (op, id) :: !ids)
+             ops);
+       |]);
+  Onll_nvm.Memory.crash (Sim.memory sim)
+    ~policy:Onll_nvm.Crash_policy.Drop_all;
+  ignore (C.recover_report obj);
+  let ro = C.recovered_ops obj in
+  check Alcotest.int "every completed update recovered" (List.length ops)
+    (List.length ro);
+  let shard_seq = List.map (fun (s, _, _) -> s) ro in
+  check
+    Alcotest.(list int)
+    "shard-major, not execution-interleaved"
+    (List.sort compare shard_seq) shard_seq;
+  List.iter
+    (fun s ->
+      let idxs =
+        List.filter_map (fun (s', _, i) -> if s' = s then Some i else None) ro
+      in
+      check Alcotest.(list int) "oldest first within the shard"
+        (List.sort_uniq compare idxs)
+        idxs;
+      (* the composed list is exactly the per-shard lists, tagged *)
+      check Alcotest.int "agrees with the shard's own recovered_ops"
+        (List.length (C.Shard.recovered_ops (C.shard obj s)))
+        (List.length idxs))
+    [ 0; 1; 2; 3 ];
+  List.iter
+    (fun (op, id) ->
+      check Alcotest.bool "listed on its own shard" true
+        (List.exists (fun (s, i, _) -> s = route op && i = id) ro);
+      (* post-recovery answers may be floor-coarsened, but never in the
+         false-negative direction: each op's own shard still says yes *)
+      check Alcotest.bool "was_linearized after the cross-shard crash" true
+        (C.was_linearized obj op id))
+    !ids
+
 let () =
   Alcotest.run "sharded"
     [
@@ -264,5 +339,11 @@ let () =
         [
           Alcotest.test_case "was_linearized routes by operation" `Quick
             test_was_linearized_routes_by_operation;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case
+            "recovered_ops is shard-major after a cross-shard crash" `Quick
+            test_recovered_ops_shard_major_after_cross_shard_crash;
         ] );
     ]
