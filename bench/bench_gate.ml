@@ -5,10 +5,13 @@
     and ["onll-session"] included), the F2 fuzzy-window bound, the
     deterministic E14 slices (sharded fence accounting + sharded chaos,
     zero violations), a deterministic E13 mirrored slice (primary-only
-    faults must cost nothing) and a deterministic E15 session slice
-    (exactly-once under crash-fuzz; the naive arm must duplicate) — then
-    diffs the freshly produced snapshots against the committed goldens in
-    [bench/snapshots/]:
+    faults must cost nothing), a deterministic E15 session slice
+    (exactly-once under crash-fuzz; the naive arm must duplicate) and the
+    deterministic E16 slices (group-commit amortisation below 1/2
+    pf/update, the solo adversary pinned at exactly 1 pf/update, batched
+    chaos incl. crash-mid-batch over mirrored logs, zero violations) —
+    then diffs the freshly produced snapshots against the committed
+    goldens in [bench/snapshots/]:
 
     - [BENCH_e1.json]: every [pf_update.*] / [pf_read.*] key must match
       the golden {e exactly} (the sim is deterministic, so any drift in a
@@ -17,8 +20,9 @@
     - [BENCH_e14.json]: every [e14.*] key (fence accounting, routing,
       chaos violation counters) must match exactly. Native [mops.*]
       gauges are measurements, not invariants — never gated;
-    - [BENCH_e13.json] / [BENCH_e15.json]: every [e13.*] / [e15.*] key
-      (loss, duplicate, lost-ack, violation and fault counters of the
+    - [BENCH_e13.json] / [BENCH_e15.json] / [BENCH_e16.json]: every
+      [e13.*] / [e15.*] / [e16.*] key (loss, duplicate, lost-ack,
+      violation, fence-amortisation and fault counters of the
       deterministic slices) must match exactly;
     - every committed golden: any key ending in [.violations] must be 0.
 
@@ -30,8 +34,8 @@
     Usage: [bench_gate.exe [--snapshots DIR] [--self-test] [--regen]]
     (default DIR: [bench/snapshots], resolved from the repo root or
     [$ONLL_GATE_DIR]). [--regen] overwrites the gated goldens (e1, e13,
-    e14, e15) with the fresh run instead of diffing — review the diff
-    before committing it. *)
+    e14, e15, e16) with the fresh run instead of diffing — review the
+    diff before committing it. *)
 
 let failures = ref []
 
@@ -156,6 +160,12 @@ let () =
   ignore
     (Harness.write_snapshot ~experiment:"e15"
        (Test_support.Session_chaos.to_metrics e15));
+  Printf.printf "== E16 deterministic slices ==\n%!";
+  let e16 = Onll_obs.Metrics.create () in
+  Group_commit.amortization e16;
+  Group_commit.adversarial e16;
+  Group_commit.chaos_slices e16;
+  ignore (Harness.write_snapshot ~experiment:"e16" e16);
   (* [--regen]: adopt the fresh snapshots as the new goldens and stop. *)
   if !regen then begin
     List.iter
@@ -170,7 +180,7 @@ let () =
         output_string oc body;
         close_out oc;
         Printf.printf "regenerated %s\n" dst)
-      [ "e1"; "e13"; "e14"; "e15" ];
+      [ "e1"; "e13"; "e14"; "e15"; "e16" ];
     print_endline "bench gate: goldens regenerated (review the diff)";
     exit 0
   end;
@@ -211,6 +221,15 @@ let () =
           ~fresh:f
       in
       Printf.printf "e15: %d gated session-slice keys compared\n" n
+  | _ -> ());
+  (match (load (golden "e16"), load (Filename.concat tmp "BENCH_e16.json"))
+   with
+  | Some g, Some f ->
+      let n =
+        compare_gated ~label:"e16" ~gated:(prefixed "e16.") ~golden:g
+          ~fresh:f
+      in
+      Printf.printf "e16: %d gated group-commit keys compared\n" n
   | _ -> ());
   (* 3. Every committed golden must carry zero violation counters. *)
   Array.iter

@@ -22,7 +22,7 @@ let run_one ~history ~interval =
     ignore (C.update obj Cs.Increment);
     if interval > 0 && k mod interval = 0 then begin
       ignore (C.checkpoint obj);
-      C.prune obj ~below:(C.latest_available_idx obj)
+      C.prune obj ~below:((C.snapshot obj).Onll_core.Onll.Snapshot.latest_available_idx)
     end
   done;
   let fences = M.persistent_fences () in
@@ -34,7 +34,7 @@ let run_one ~history ~interval =
     Onll_obs.Metrics.counter_value reg "fences.update" + ckpt_fences = fences);
   Onll_nvm.Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
   let live =
-    List.fold_left (fun a (_, l, _) -> a + l) 0 (C.log_stats obj)
+    List.fold_left (fun a (_, l, _) -> a + l) 0 ((List.map (fun l -> Onll_core.Onll.Snapshot.(l.log_name, l.live_bytes, l.used_bytes)) (C.snapshot obj).Onll_core.Onll.Snapshot.logs))
   in
   let (), dt = Harness.time_it (fun () -> C.recover obj) in
   assert (C.read obj Cs.Get = history);

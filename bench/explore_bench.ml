@@ -17,7 +17,7 @@ let explore ~procs ~ops ~max_preemptions ~with_crashes =
     let sim = Sim.create ~max_processes:procs () in
     let module M = (val Sim.machine sim) in
     let module C = Onll_core.Onll.Make (M) (Cs) in
-    let obj = C.create ~log_capacity:8192 () in
+    let obj = C.make { Onll_core.Onll.Config.default with log_capacity = 8192 } in
     let completed = ref 0 in
     let work =
       Array.init procs (fun p ->

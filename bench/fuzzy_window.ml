@@ -36,7 +36,7 @@ let max_window ~n ~seeds ~ops =
     in
     let outcome = Sim.run sim (Onll_sched.Sched.Strategy.random ~seed) procs in
     assert (outcome = Onll_sched.Sched.World.Completed);
-    worst_legacy := max !worst_legacy (C.max_fuzzy_window obj)
+    worst_legacy := max !worst_legacy ((C.snapshot obj).Onll_core.Onll.Snapshot.max_fuzzy_window)
   done;
   let h =
     Onll_obs.Metrics.(

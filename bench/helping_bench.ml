@@ -30,7 +30,7 @@ let measure ~n ~seeds ~ops =
     let sim = Sim.create ~max_processes:n () in
     let module M = (val Sim.machine sim) in
     let module C = Onll_core.Onll.Make (M) (Cs) in
-    let obj = C.create ~log_capacity:(1 lsl 20) () in
+    let obj = C.make { Onll_core.Onll.Config.default with log_capacity = (1 lsl 20) } in
     let procs =
       Array.init n (fun _ ->
           fun _ ->

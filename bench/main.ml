@@ -27,6 +27,8 @@ let experiments =
      Shard_scaling.run);
     ("e15", "durable client sessions: exactly-once chaos campaign",
      Session_campaign.run);
+    ("e16", "fence batching / group commit: amortisation + degeneration",
+     Group_commit.run);
     ("f1", "Figure 1: the four counter executions, replayed",
      Onll_scenarios.Figure1.print_all);
     ("f2", "Figure 2 / Prop 5.2: fuzzy-window bound", Fuzzy_window.run);

@@ -14,7 +14,7 @@ let read_ns ~views ~history =
   let module M = (val Native.machine native) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
   ignore (Native.register native);
-  let obj = C.create ~local_views:views ~log_capacity:(1 lsl 25) () in
+  let obj = C.make { Onll_core.Onll.Config.default with local_views = views; log_capacity = (1 lsl 25) } in
   for _ = 1 to history do
     ignore (C.update obj Cs.Increment)
   done;

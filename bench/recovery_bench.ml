@@ -34,7 +34,7 @@ let run_one ~history ~checkpoint_every =
     ignore (C.update obj Cs.Increment);
     if checkpoint_every > 0 && k mod checkpoint_every = 0 then begin
       ignore (C.checkpoint obj);
-      C.prune obj ~below:(C.latest_available_idx obj)
+      C.prune obj ~below:((C.snapshot obj).Onll_core.Onll.Snapshot.latest_available_idx)
     end
   done;
   Onll_nvm.Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;

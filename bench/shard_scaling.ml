@@ -44,7 +44,13 @@ let fence_accounting summary =
   let module R = Onll_baselines.Registry.Make (Kv) in
   let h =
     match
-      R.build ~sink ~log_capacity:(1 lsl 18) ~shards:acct_shards
+      R.build ~sink
+        ~options:
+          {
+            Onll_baselines.Registry.default_options with
+            log_capacity = 1 lsl 18;
+            shards = acct_shards;
+          }
         ~max_processes:n_procs
         ~gen_update:(fun () -> Test_support.Gen.Kv.update rng)
         ~gen_read:(fun () -> Test_support.Gen.Kv.read rng)
@@ -231,14 +237,22 @@ let throughput_grid summary =
           domains)"
          sweep_domains)
     ~x_label:"fence_ns" sweep;
+  (* Aggregate Mops and per-domain goodput, both as gauges: the d2-vs-d1
+     collapse (and its E16 fix) hides inside the aggregate — goodput is
+     what each submitting domain actually gets. *)
   List.iter
     (fun (name, points) ->
       List.iter
         (fun (x, mops) ->
+          let d = int_of_float x in
           Onll_obs.Metrics.set
             (Onll_obs.Metrics.gauge summary
-               (Printf.sprintf "mops.kv.%s.d%d" name (int_of_float x)))
-            mops)
+               (Printf.sprintf "mops.kv.%s.d%d" name d))
+            mops;
+          Onll_obs.Metrics.set
+            (Onll_obs.Metrics.gauge summary
+               (Printf.sprintf "goodput.kv.%s.d%d" name d))
+            (mops /. float_of_int d))
         points)
     curves;
   List.iter

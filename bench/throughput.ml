@@ -26,7 +26,7 @@ let counter_impls : (string * (domains:int -> fence_ns:int -> total_ops:int -> f
     let native = Native.create ~max_processes:domains ~fence_ns () in
     let module M = (val Native.machine native) in
     let module C = Onll_core.Onll.Make (M) (Cs) in
-    let obj = C.create ~local_views:views ~log_capacity:(1 lsl 24) () in
+    let obj = C.make { Onll_core.Onll.Config.default with local_views = views; log_capacity = (1 lsl 24) } in
     let per = total_ops / domains in
     let elapsed =
       measure native
@@ -97,7 +97,7 @@ let queue_impl ~views ~domains ~fence_ns ~total_ops =
   let native = Native.create ~max_processes:domains ~fence_ns () in
   let module M = (val Native.machine native) in
   let module C = Onll_core.Onll.Make (M) (Onll_specs.Queue_spec) in
-  let obj = C.create ~local_views:views ~log_capacity:(1 lsl 24) () in
+  let obj = C.make { Onll_core.Onll.Config.default with local_views = views; log_capacity = (1 lsl 24) } in
   let per = total_ops / domains in
   let t0 = Unix.gettimeofday () in
   ignore

@@ -171,8 +171,12 @@ let session_chaos seeds =
     || Session_chaos.e15_naive_duplicates s = 0
   then exit 1
 
-let chaos spec seeds unhardened mirrored sharded session =
+let chaos spec seeds unhardened mirrored sharded batched session =
   if session then session_chaos seeds
+  else if batched && sharded then begin
+    Printf.eprintf "chaos: --batched does not compose with --sharded\n";
+    exit 1
+  end
   else
   let open Test_support in
   let campaign (type u r) (run : plan:Chaos.plan -> gen_update:_ -> gen_read:_ -> unit -> _)
@@ -184,11 +188,13 @@ let chaos spec seeds unhardened mirrored sharded session =
     for seed = 1 to seeds do
       let plan =
         let p =
-          match (sharded, mirrored) with
-          | false, false -> Chaos_harness.plan_of_seed seed
-          | false, true -> Chaos_harness.mirrored_plan_of_seed seed
-          | true, false -> Chaos_harness.sharded_plan_of_seed seed
-          | true, true -> Chaos_harness.sharded_mirrored_plan_of_seed seed
+          match (batched, sharded, mirrored) with
+          | true, _, false -> Chaos_harness.batched_plan_of_seed seed
+          | true, _, true -> Chaos_harness.batched_mirrored_plan_of_seed seed
+          | false, false, false -> Chaos_harness.plan_of_seed seed
+          | false, false, true -> Chaos_harness.mirrored_plan_of_seed seed
+          | false, true, false -> Chaos_harness.sharded_plan_of_seed seed
+          | false, true, true -> Chaos_harness.sharded_mirrored_plan_of_seed seed
         in
         if unhardened then { p with Chaos.hardened = false } else p
       in
@@ -210,7 +216,9 @@ let chaos spec seeds unhardened mirrored sharded session =
       "%s%s%s: %d runs, %d crashed, %d media faults, %d transients, %d nested \
        recovery crashes, %d reported-lost, %d tail-ambiguous, %d runs with \
        violations\n"
-      (spec ^ if sharded then "/sharded" else "")
+      (spec
+      ^ (if sharded then "/sharded" else "")
+      ^ if batched then "/batched" else "")
       (if mirrored then " (mirrored, primary-only faults)" else "")
       (if unhardened then " (unhardened calibration)" else "")
       seeds !crashed !media !transients !nested !lost !ambiguous !violations;
@@ -261,6 +269,10 @@ let chaos_cmd =
      kind (even reported) is a failure, since every fault has an intact \
      mirror copy. With $(b,--sharded), the same grids run against the E14 \
      partitioned construction (4 shards), composable with $(b,--mirrored). \
+     With $(b,--batched), they run against the E16 group-commit \
+     construction — the crash grid lands mid-batch, before or after the \
+     shared fence — also composable with $(b,--mirrored) but not with \
+     $(b,--sharded). \
      With $(b,--session), run the E15 exactly-once session grid instead \
      (counter and ledger workloads through durable client sessions over \
      the plain, mirrored and sharded backends, plus the naive \
@@ -293,6 +305,14 @@ let chaos_cmd =
       & info [ "sharded" ]
           ~doc:"run against the 4-shard partitioned construction (E14)")
   in
+  let batched =
+    Arg.(
+      value & flag
+      & info [ "batched" ]
+          ~doc:
+            "run against the E16 group-commit construction (crash lands \
+             mid-batch)")
+  in
   let session =
     Arg.(
       value & flag
@@ -303,7 +323,8 @@ let chaos_cmd =
   in
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
-      const chaos $ spec $ seeds $ unhardened $ mirrored $ sharded $ session)
+      const chaos $ spec $ seeds $ unhardened $ mirrored $ sharded $ batched
+      $ session)
 
 (* {1 scrub} *)
 
@@ -562,7 +583,7 @@ let fences updates =
   let sim = Sim.create ~max_processes:3 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   let procs =
     Array.init 3 (fun _ ->
         fun _ ->
@@ -608,7 +629,9 @@ module Stats_run (S : Onll_core.Spec.S) = struct
     let sink = Onll_obs.Sink.make () in
     let rng = Onll_util.Splitmix.create seed in
     match
-      R.build ~sink ~shards ~max_processes:procs
+      R.build ~sink
+        ~options:{ Onll_baselines.Registry.default_options with shards }
+        ~max_processes:procs
         ~gen_update:(fun () -> gen_update rng)
         ~gen_read:(fun () -> gen_read rng)
         impl
@@ -808,7 +831,7 @@ let explore procs ops k with_crashes =
     let sim = Sim.create ~max_processes:procs () in
     let module M = (val Sim.machine sim) in
     let module C = Onll_core.Onll.Make (M) (Cs) in
-    let obj = C.create ~log_capacity:8192 () in
+    let obj = C.make { Onll_core.Onll.Config.default with log_capacity = 8192 } in
     let completed = ref 0 in
     let work =
       Array.init procs (fun _ ->
@@ -880,7 +903,7 @@ let simulate procs ops seed crash_at =
   let sim = Sim.create ~max_processes:procs ~trace_log:true () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   let events = ref [] in
   let body p _ =
     for k = 1 to ops do

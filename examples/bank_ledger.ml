@@ -24,7 +24,7 @@ let () =
   let sim = Sim.create ~max_processes:n_tellers () in
   let module M = (val Sim.machine sim) in
   let module Bank = Onll_core.Onll.Make (M) (Ledger) in
-  let bank = Bank.create ~log_capacity:(1 lsl 18) () in
+  let bank = Bank.make { Onll_core.Onll.Config.default with log_capacity = (1 lsl 18) } in
 
   (* Open the books: three accounts, 1000 each. *)
   let accounts = [ "alice"; "bob"; "carol" ] in

@@ -32,7 +32,7 @@ let build () =
   let sim = Sim.create ~max_processes:2 () in
   let module M = (val Sim.machine sim) in
   let module Store = Onll_core.Onll.Make (M) (Kv) in
-  let store = Store.create ~log_capacity:(1 lsl 16) () in
+  let store = Store.make { Onll_core.Onll.Config.default with log_capacity = (1 lsl 16) } in
   {
     put = (fun k v -> ignore (Store.update store (Kv.Put (k, v))));
     get =

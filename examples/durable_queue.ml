@@ -21,7 +21,7 @@ let () =
   let sim = Sim.create ~max_processes:4 () in
   let module M = (val Sim.machine sim) in
   let module Queue_ = Onll_core.Onll.Make (M) (Q) in
-  let q = Queue_.create ~log_capacity:(1 lsl 18) () in
+  let q = Queue_.make { Onll_core.Onll.Config.default with log_capacity = (1 lsl 18) } in
 
   (* Era 1: two producers enqueue 10 jobs each; two consumers drain. Jobs
      are numbered producer*100+k. *)
@@ -83,12 +83,12 @@ let () =
   (* Era 2: drain the queue dry on the recovered object, with a checkpoint
      to compact the logs first. *)
   let live_before =
-    List.fold_left (fun a (_, l, _) -> a + l) 0 (Queue_.log_stats q)
+    List.fold_left (fun a (_, l, _) -> a + l) 0 ((List.map (fun l -> Onll_core.Onll.Snapshot.(l.log_name, l.live_bytes, l.used_bytes)) (Queue_.snapshot q).Onll_core.Onll.Snapshot.logs))
   in
   ignore (Queue_.checkpoint q);
-  Queue_.prune q ~below:(Queue_.latest_available_idx q);
+  Queue_.prune q ~below:((Queue_.snapshot q).Onll_core.Onll.Snapshot.latest_available_idx);
   let live_after =
-    List.fold_left (fun a (_, l, _) -> a + l) 0 (Queue_.log_stats q)
+    List.fold_left (fun a (_, l, _) -> a + l) 0 ((List.map (fun l -> Onll_core.Onll.Snapshot.(l.log_name, l.live_bytes, l.used_bytes)) (Queue_.snapshot q).Onll_core.Onll.Snapshot.logs))
   in
   Printf.printf "checkpoint compacted logs: %d -> %d live bytes\n" live_before
     live_after;

@@ -22,7 +22,7 @@ let () =
   let sim = Sim.create ~max_processes:n_clients () in
   let module M = (val Sim.machine sim) in
   let module Store = Onll_core.Onll.Make (M) (Kv) in
-  let store = Store.create () in
+  let store = Store.make Onll_core.Onll.Config.default in
 
   (* Each client plans a batch of writes; it tracks which sequence numbers
      it used so it can interrogate the store after a crash. *)

@@ -17,7 +17,7 @@ let () =
   let module M = (val Sim.machine sim) in
   (* The universal construction: sequential spec in, durable object out. *)
   let module C = Onll_core.Onll.Make (M) (Counter) in
-  let counter = C.create () in
+  let counter = C.make Onll_core.Onll.Config.default in
 
   (* Era 1: three processes, five increments each, random interleaving. *)
   let workload _ =

@@ -22,7 +22,7 @@ let () =
   let sim = Sim.create ~max_processes:4 () in
   let module M = (val Sim.machine sim) in
   let module Sched_q = Onll_core.Onll.Make (M) (Pq) in
-  let q = Sched_q.create ~log_capacity:(1 lsl 18) () in
+  let q = Sched_q.make { Onll_core.Onll.Config.default with log_capacity = (1 lsl 18) } in
 
   let submitted = ref [] and started = ref [] in
   let submitter id _ =

@@ -3,11 +3,13 @@
     The CLI, the lower-bound adversary and the fence audit all need "build
     implementation [name] on a fresh simulated machine and hand me opaque
     update/read thunks" — previously each had its own copy of the
-    six-armed match. This registry is that match, once: {!Make.build}
+    many-armed match. This registry is that match, once: {!Make.build}
     instantiates the requested implementation over a fresh {!Sim.t} (the
     given sink installed both in the machine and in the object, so machine
     and object events interleave on one logical clock) and hides the
-    functor plumbing behind closures. *)
+    functor plumbing behind closures. Composition — mirrored logs, shard
+    routing, session fronting, group commit — is one {!options} record
+    instead of an optional argument per axis. *)
 
 type handle = {
   sim : Onll_machine.Sim.t;
@@ -23,6 +25,46 @@ type handle = {
           without one (everything but the ONLL family) *)
 }
 
+type options = {
+  log_capacity : int;
+  state_capacity : int;
+  shards : int;
+  replicas : int;
+  batched : bool;
+  session : bool;
+  local_views : bool;
+  wait_free : bool;
+}
+
+let default_options =
+  {
+    log_capacity = 1 lsl 16;
+    state_capacity = 4096;
+    shards = 1;
+    replicas = 1;
+    batched = false;
+    session = false;
+    local_views = false;
+    wait_free = false;
+  }
+
+let pp_options ppf o =
+  let d = default_options in
+  let parts = ref [] in
+  let p fmt = Printf.ksprintf (fun s -> parts := s :: !parts) fmt in
+  if o.wait_free then p "wait-free";
+  if o.local_views then p "views";
+  if o.session then p "session";
+  if o.batched then p "batched";
+  if o.replicas <> d.replicas then p "replicas=%d" o.replicas;
+  if o.shards <> d.shards then p "shards=%d" o.shards;
+  if o.state_capacity <> d.state_capacity then
+    p "state=%dB" o.state_capacity;
+  if o.log_capacity <> d.log_capacity then p "log=%dB" o.log_capacity;
+  match !parts with
+  | [] -> Format.pp_print_string ppf "defaults"
+  | parts -> Format.pp_print_string ppf (String.concat " " parts)
+
 let names =
   [
     "onll";
@@ -31,108 +73,72 @@ let names =
     "onll-mirrored";
     "onll-sharded";
     "onll-session";
+    "onll-batched";
     "persist-on-read";
     "shadow";
     "flat-combining";
     "volatile";
   ]
 
+(* What a family name implies, applied on top of the caller's record —
+   ["onll-mirrored"] with [{ o with batched = true }] is the mirrored
+   group-commit object, uniformly for every caller. *)
+let family name o =
+  match name with
+  | "onll" -> Some o
+  | "onll+views" | "views" -> Some { o with local_views = true }
+  | "onll-wait-free" | "wait-free" -> Some { o with wait_free = true }
+  | "onll-mirrored" | "mirrored" -> Some { o with replicas = max 2 o.replicas }
+  | "onll-sharded" | "sharded" ->
+      Some { o with shards = (if o.shards > 1 then o.shards else 4) }
+  | "onll-session" | "session" -> Some { o with session = true }
+  | "onll-batched" | "batched" -> Some { o with batched = true }
+  | _ -> None
+
 module Make (S : Onll_core.Spec.S) = struct
-  let build ?(sink = Onll_obs.Sink.null) ?(log_capacity = 1 lsl 16)
-      ?(state_capacity = 4096) ?(shards = 4) ~max_processes ~gen_update
-      ~gen_read name =
+  module type C =
+    Onll_core.Onll.CONSTRUCTION
+      with type state = S.state
+       and type update_op = S.update_op
+       and type read_op = S.read_op
+       and type value = S.value
+
+  let build ?(sink = Onll_obs.Sink.null) ?(options = default_options)
+      ~max_processes ~gen_update ~gen_read name =
     let fresh_sim () = Onll_machine.Sim.create ~sink ~max_processes () in
-    let onll ~replicas ~local_views ~wait_free =
+    let onll o =
+      if o.batched && o.wait_free then
+        invalid_arg "Registry.build: batched and wait_free are exclusive";
+      if o.session && o.shards > 1 then
+        invalid_arg "Registry.build: session composes over an unsharded object";
       let sim = fresh_sim () in
       let module M = (val Onll_machine.Sim.machine sim) in
       let cfg =
         {
-          Onll_core.Onll.Config.log_capacity;
-          replicas;
-          local_views;
+          Onll_core.Onll.Config.log_capacity = o.log_capacity;
+          replicas = o.replicas;
+          local_views = o.local_views;
           region_suffix = "";
           sink;
         }
       in
-      if wait_free then begin
-        let module C = Onll_core.Onll.Make_wait_free (M) (S) in
+      let base : (module C) =
+        if o.batched then (module Onll_batched.Make (M) (S))
+        else if o.wait_free then (module Onll_core.Onll.Make_wait_free (M) (S))
+        else (module Onll_core.Onll.Make (M) (S))
+      in
+      let module C = (val base) in
+      if o.session then begin
+        (* The object behind durable per-client sessions (E15): every
+           update is an exactly-once [Onll_session.submit]. Sessions are
+           attached eagerly, one per process, because region creation must
+           happen once (outside any run); the E1 audit uses this arm to
+           assert the session adds exactly one fence (its client-record
+           append) on top of the object's own cost. *)
         let obj = C.make cfg in
-        {
-          sim;
-          sink;
-          update = (fun () -> ignore (C.update obj (gen_update ())));
-          read = (fun () -> ignore (C.read obj (gen_read ())));
-          scrub = Some (fun () -> ignore (C.scrub obj));
-          recover = Some (fun () -> C.recover_report obj);
-        }
-      end
-      else begin
-        let module C = Onll_core.Onll.Make (M) (S) in
-        let obj = C.make cfg in
-        {
-          sim;
-          sink;
-          update = (fun () -> ignore (C.update obj (gen_update ())));
-          read = (fun () -> ignore (C.read obj (gen_read ())));
-          scrub = Some (fun () -> ignore (C.scrub obj));
-          recover = Some (fun () -> C.recover_report obj);
-        }
-      end
-    in
-    match name with
-    | "onll" -> Some (onll ~replicas:1 ~local_views:false ~wait_free:false)
-    | "onll+views" ->
-        Some (onll ~replicas:1 ~local_views:true ~wait_free:false)
-    | "onll-wait-free" | "wait-free" ->
-        Some (onll ~replicas:1 ~local_views:false ~wait_free:true)
-    | "onll-mirrored" | "mirrored" ->
-        Some (onll ~replicas:2 ~local_views:false ~wait_free:false)
-    | "onll-sharded" | "sharded" ->
-        let sim = fresh_sim () in
-        let module M = (val Onll_machine.Sim.machine sim) in
-        let module C = Onll_sharded.Make (M) (S) in
-        let obj =
-          C.make ~shards
-            {
-              Onll_core.Onll.Config.log_capacity;
-              replicas = 1;
-              local_views = false;
-              region_suffix = "";
-              sink;
-            }
-        in
-        Some
-          {
-            sim;
-            sink;
-            update = (fun () -> ignore (C.update obj (gen_update ())));
-            read = (fun () -> ignore (C.read obj (gen_read ())));
-            scrub = Some (fun () -> ignore (C.scrub obj));
-            recover = Some (fun () -> C.recover_report obj);
-          }
-    | "onll-session" | "session" ->
-        (* The plain construction behind a durable per-client session
-           (E15): every update is an exactly-once [Onll_session.submit].
-           Sessions are attached eagerly, one per process, because region
-           creation must happen once (outside any run); the E1 audit uses
-           this arm to assert the session adds exactly one fence (its
-           client-record append) on top of the object's one. *)
-        let sim = fresh_sim () in
-        let module M = (val Onll_machine.Sim.machine sim) in
-        let module C = Onll_core.Onll.Make (M) (S) in
-        let obj =
-          C.make
-            {
-              Onll_core.Onll.Config.log_capacity;
-              replicas = 1;
-              local_views = false;
-              region_suffix = "";
-              sink;
-            }
-        in
         let module Sess = Onll_session.Make (M) (S) in
         let module Over = Sess.Over (C) in
-        let backend = Over.backend ~log_capacity obj in
+        let backend = Over.backend ~log_capacity:o.log_capacity obj in
         let config =
           {
             Onll_session.default_config with
@@ -144,74 +150,103 @@ module Make (S : Onll_core.Spec.S) = struct
           Array.init max_processes (fun client ->
               Sess.attach ~config ~sink ~client backend)
         in
-        Some
-          {
-            sim;
-            sink;
-            update =
-              (fun () ->
-                ignore (Sess.submit sessions.(M.self ()) (gen_update ())));
-            read =
-              (fun () ->
-                ignore (Sess.read sessions.(M.self ()) (gen_read ())));
-            scrub = Some (fun () -> ignore (C.scrub obj));
-            recover = Some (fun () -> C.recover_report obj);
-          }
-    | "persist-on-read" ->
-        let sim = fresh_sim () in
-        let module M = (val Onll_machine.Sim.machine sim) in
-        let module P = Persist_on_read.Make (M) (S) in
-        let obj = P.create ~log_capacity ~sink () in
-        Some
-          {
-            sim;
-            sink;
-            update = (fun () -> ignore (P.update obj (gen_update ())));
-            read = (fun () -> ignore (P.read obj (gen_read ())));
-            scrub = None;
-            recover = None;
-          }
-    | "shadow" ->
-        let sim = fresh_sim () in
-        let module M = (val Onll_machine.Sim.machine sim) in
-        let module H = Shadow.Make (M) (S) in
-        let obj = H.create ~state_capacity ~sink () in
-        Some
-          {
-            sim;
-            sink;
-            update = (fun () -> ignore (H.update obj (gen_update ())));
-            read = (fun () -> ignore (H.read obj (gen_read ())));
-            scrub = None;
-            recover = None;
-          }
-    | "flat-combining" ->
-        let sim = fresh_sim () in
-        let module M = (val Onll_machine.Sim.machine sim) in
-        let module F = Flat_combining.Make (M) (S) in
-        let obj = F.create ~log_capacity ~sink () in
-        Some
-          {
-            sim;
-            sink;
-            update = (fun () -> ignore (F.update obj (gen_update ())));
-            read = (fun () -> ignore (F.read obj (gen_read ())));
-            scrub = None;
-            recover = None;
-          }
-    | "volatile" ->
-        let sim = fresh_sim () in
-        let module M = (val Onll_machine.Sim.machine sim) in
-        let module V = Volatile.Make (M) (S) in
-        let obj = V.create ~sink () in
-        Some
-          {
-            sim;
-            sink;
-            update = (fun () -> ignore (V.update obj (gen_update ())));
-            read = (fun () -> ignore (V.read obj (gen_read ())));
-            scrub = None;
-            recover = None;
-          }
-    | _ -> None
+        {
+          sim;
+          sink;
+          update =
+            (fun () ->
+              ignore (Sess.submit sessions.(M.self ()) (gen_update ())));
+          read =
+            (fun () -> ignore (Sess.read sessions.(M.self ()) (gen_read ())));
+          scrub = Some (fun () -> ignore (C.scrub obj));
+          recover = Some (fun () -> C.recover_report obj);
+        }
+      end
+      else if o.shards > 1 then begin
+        let module Sh = Onll_sharded.Make_over (M) (S) (C) in
+        let obj = Sh.make ~shards:o.shards cfg in
+        {
+          sim;
+          sink;
+          update = (fun () -> ignore (Sh.update obj (gen_update ())));
+          read = (fun () -> ignore (Sh.read obj (gen_read ())));
+          scrub = Some (fun () -> ignore (Sh.scrub obj));
+          recover = Some (fun () -> Sh.recover_report obj);
+        }
+      end
+      else begin
+        let obj = C.make cfg in
+        {
+          sim;
+          sink;
+          update = (fun () -> ignore (C.update obj (gen_update ())));
+          read = (fun () -> ignore (C.read obj (gen_read ())));
+          scrub = Some (fun () -> ignore (C.scrub obj));
+          recover = Some (fun () -> C.recover_report obj);
+        }
+      end
+    in
+    match family name options with
+    | Some o -> Some (onll o)
+    | None -> (
+        match name with
+        | "persist-on-read" ->
+            let sim = fresh_sim () in
+            let module M = (val Onll_machine.Sim.machine sim) in
+            let module P = Persist_on_read.Make (M) (S) in
+            let obj = P.create ~log_capacity:options.log_capacity ~sink () in
+            Some
+              {
+                sim;
+                sink;
+                update = (fun () -> ignore (P.update obj (gen_update ())));
+                read = (fun () -> ignore (P.read obj (gen_read ())));
+                scrub = None;
+                recover = None;
+              }
+        | "shadow" ->
+            let sim = fresh_sim () in
+            let module M = (val Onll_machine.Sim.machine sim) in
+            let module H = Shadow.Make (M) (S) in
+            let obj =
+              H.create ~state_capacity:options.state_capacity ~sink ()
+            in
+            Some
+              {
+                sim;
+                sink;
+                update = (fun () -> ignore (H.update obj (gen_update ())));
+                read = (fun () -> ignore (H.read obj (gen_read ())));
+                scrub = None;
+                recover = None;
+              }
+        | "flat-combining" ->
+            let sim = fresh_sim () in
+            let module M = (val Onll_machine.Sim.machine sim) in
+            let module F = Flat_combining.Make (M) (S) in
+            let obj = F.create ~log_capacity:options.log_capacity ~sink () in
+            Some
+              {
+                sim;
+                sink;
+                update = (fun () -> ignore (F.update obj (gen_update ())));
+                read = (fun () -> ignore (F.read obj (gen_read ())));
+                scrub = None;
+                recover = None;
+              }
+        | "volatile" ->
+            let sim = fresh_sim () in
+            let module M = (val Onll_machine.Sim.machine sim) in
+            let module V = Volatile.Make (M) (S) in
+            let obj = V.create ~sink () in
+            Some
+              {
+                sim;
+                sink;
+                update = (fun () -> ignore (V.update obj (gen_update ())));
+                read = (fun () -> ignore (V.read obj (gen_read ())));
+                scrub = None;
+                recover = None;
+              }
+        | _ -> None)
 end

@@ -9,11 +9,21 @@
     construction driven through per-client {!Onll_session} exactly-once
     sessions — one extra fence per update for the durable client record,
     attributed to ["fences.session"], none added to the object's path),
-    ["persist-on-read"], ["shadow"], ["flat-combining"]
-    and ["volatile"]
-    over a fresh simulated machine — used by the CLI ([onll lowerbound -i],
-    [onll stats -i]), the lower-bound benchmark and the fence audit instead
-    of per-caller copies of the same match. *)
+    ["onll-batched"] (alias ["batched"]; the E16 group-commit construction —
+    concurrent updates share one batch fence, amortised below 1 pf/update,
+    degenerating to exactly 1 solo), ["persist-on-read"], ["shadow"],
+    ["flat-combining"] and ["volatile"] over a fresh simulated machine —
+    used by the CLI ([onll lowerbound -i], [onll stats -i]), the
+    lower-bound benchmark and the fence audit instead of per-caller copies
+    of the same match.
+
+    Compositions are not new names: they are {!options}. ["onll"] with
+    [{ default_options with replicas = 2; batched = true }] is the
+    mirrored group-commit object; every flag the CLI spells
+    [--mirrored --sharded --session --batched] maps onto one field of the
+    record, uniformly for every caller. A family name is shorthand for
+    the base options it implies (["onll-mirrored"] = [replicas = 2], …)
+    and composes with whatever else the record requests. *)
 
 type handle = {
   sim : Onll_machine.Sim.t;
@@ -30,15 +40,51 @@ type handle = {
           implementations without one — [onll stats --crash] uses this *)
 }
 
+type options = {
+  log_capacity : int;  (** bytes per persistent log (default 64 KiB) *)
+  state_capacity : int;
+      (** bytes per shadow-state region (["shadow"] only; default 4096) *)
+  shards : int;
+      (** > 1 routes every operation through {!Onll_sharded} with this
+          many independent instances (default 1; the ["onll-sharded"]
+          family name implies 4 unless the record already asks for more) *)
+  replicas : int;
+      (** log copies, all drained under the update's one fence
+          (default 1; ["onll-mirrored"] implies 2) *)
+  batched : bool;
+      (** group-commit construction ({!Onll_batched}) instead of the
+          per-process-log one (default false; ["onll-batched"] implies
+          it) *)
+  session : bool;
+      (** drive updates through per-client exactly-once
+          {!Onll_session} sessions (default false; ["onll-session"]
+          implies it); composes with [batched]/[replicas], not with
+          [shards] *)
+  local_views : bool;
+      (** §8 read acceleration (default false; ["onll+views"] implies
+          it) *)
+  wait_free : bool;
+      (** wait-free trace variant (default false; ["onll-wait-free"]
+          implies it); mutually exclusive with [batched] *)
+}
+(** How to build an ONLL-family object: every axis the registry knows,
+    with {!default_options} as the neutral point. Only the ONLL family
+    reads these (baselines take [log_capacity]/[state_capacity] and
+    ignore the rest). *)
+
+val default_options : options
+
+val pp_options : Format.formatter -> options -> unit
+(** One line, only the non-default fields (["defaults"] when none) —
+    benches embed it in row labels. *)
+
 val names : string list
 (** Canonical implementation names, in report order (aliases excluded). *)
 
 module Make (S : Onll_core.Spec.S) : sig
   val build :
     ?sink:Onll_obs.Sink.t ->
-    ?log_capacity:int ->
-    ?state_capacity:int ->
-    ?shards:int ->
+    ?options:options ->
     max_processes:int ->
     gen_update:(unit -> S.update_op) ->
     gen_read:(unit -> S.read_op) ->
@@ -48,6 +94,7 @@ module Make (S : Onll_core.Spec.S) : sig
       installing [sink] (default {!Onll_obs.Sink.null}) in both the machine
       and the object. [gen_update]/[gen_read] supply the operation each
       thunk invocation performs (close over an RNG for random workloads).
-      [shards] (default 4) only affects ["onll-sharded"]. [None] for an
-      unknown name — see {!names}. *)
+      [options] (default {!default_options}) selects capacities and the
+      composition; the family name's own implication (see {!options}) is
+      applied on top of it. [None] for an unknown name — see {!names}. *)
 end

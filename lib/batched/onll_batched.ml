@@ -1,0 +1,636 @@
+(** Group-commit ONLL (see onll_batched.mli). *)
+
+open Onll_core
+
+module Make (M : Onll_machine.Machine_sig.S) (S : Spec.S) = struct
+  module L = Onll_plog.Plog.Make (M)
+
+  type state = S.state
+  type update_op = S.update_op
+  type read_op = S.read_op
+  type value = S.value
+
+  type envelope = { e_proc : int; e_seq : int; e_op : S.update_op }
+
+  let envelope_id e = { Onll.id_proc = e.e_proc; id_seq = e.e_seq }
+  let envelope_op e = e.e_op
+
+  (* Materialised state with per-process sequence floors, exactly as the
+     core construction: floors keep detectability across compaction. *)
+  type istate = { st : S.state; floors : int array }
+
+  let initial_istate () =
+    { st = S.initial; floors = Array.make M.max_processes 0 }
+
+  let apply_env is env =
+    let st, v = S.apply is.st env.e_op in
+    let floors =
+      if env.e_seq >= is.floors.(env.e_proc) then begin
+        let f = Array.copy is.floors in
+        f.(env.e_proc) <- env.e_seq + 1;
+        f
+      end
+      else is.floors
+    in
+    ({ st; floors }, v)
+
+  (* The shared log's records. [Batch] is the group commit: envelopes in
+     linearization order, with contiguous execution indices ascending from
+     [start_idx]. One CRC frame per batch makes a torn batch
+     all-or-nothing on recovery. *)
+  type record =
+    | Batch of { start_idx : int; envs : envelope list }
+    | Checkpoint of { upto_idx : int; state : istate }
+
+  let envelope_codec =
+    let open Onll_util.Codec in
+    map
+      (fun (e_proc, e_seq, e_op) -> { e_proc; e_seq; e_op })
+      (fun { e_proc; e_seq; e_op } -> (e_proc, e_seq, e_op))
+      (triple int int S.update_codec)
+
+  let istate_codec =
+    let open Onll_util.Codec in
+    map
+      (fun (st, floors) -> { st; floors })
+      (fun { st; floors } -> (st, floors))
+      (pair S.state_codec (array int))
+
+  let record_codec =
+    let open Onll_util.Codec in
+    let batch_c = pair int (list envelope_codec) in
+    let ckpt_c = pair int istate_codec in
+    tagged
+      (function
+        | Batch { start_idx; envs } -> (0, encode batch_c (start_idx, envs))
+        | Checkpoint { upto_idx; state } ->
+            (1, encode ckpt_c (upto_idx, state)))
+      (fun tag body ->
+        match tag with
+        | 0 ->
+            let start_idx, envs = decode batch_c body in
+            Batch { start_idx; envs }
+        | 1 ->
+            let upto_idx, state = decode ckpt_c body in
+            Checkpoint { upto_idx; state }
+        | n -> raise (Decode_error (Printf.sprintf "record: bad tag %d" n)))
+
+  type slot =
+    | Empty
+    | Req of envelope * string
+        (** announced, not yet durable; the submitter pre-encodes its
+            envelope so the serialisation work runs in parallel and the
+            leader's critical section is a concatenation *)
+    | Done of { d_seq : int; d_value : S.value }
+        (** result for the announcer's operation [d_seq]; published only
+            after the batch's fence *)
+
+  type t = {
+    lock : bool M.Tvar.t;  (** leader election: CAS false->true *)
+    slots : slot M.Tvar.t array;  (** per-process announce slots *)
+    log : L.t;  (** ONE shared log for all processes *)
+    mirror : istate M.Tvar.t;
+        (** state at the durable watermark; published only after a batch's
+            fence, so readers never observe unfenced updates *)
+    durable : int M.Tvar.t;
+        (** watermark: highest execution index whose batch fence completed *)
+    seqs : int array;  (** next per-process sequence number; owner-only *)
+    mutable next_idx : int;  (** next execution index; owned by the leader *)
+    mutable base : int * istate;  (** deepest materialised point *)
+    mutable hist : (int * envelope) list;
+        (** applied envelopes above [base], newest first; leader-owned *)
+    applied : (Onll.op_id, int) Hashtbl.t;
+        (** id -> execution index for every durable operation above the
+            base floors; leader-owned writes *)
+    recovered : (Onll.op_id, int) Hashtbl.t;  (** rebuilt by recovery *)
+    covers : int Queue.t;
+        (** coverage key of every record currently in the log, in log
+            order (batch: last execution index; checkpoint: [upto_idx +
+            1]) — a record is droppable under a checkpoint at [upto] iff
+            its key is [<= upto], and keys are non-decreasing, so the
+            droppable prefix pops off the front without decoding the log.
+            Leader-owned (mutated under the lock). *)
+    mutable covers_valid : bool;
+        (** false after a recovery that saw undecodable entries: the
+            account no longer matches the log record-for-record, so the
+            next checkpoint falls back to decoding *)
+    mutable ckpt_hint : int;
+        (** last observed checkpoint-record footprint, in bytes — the
+            emergency-compaction trigger in [append_record] needs a size
+            estimate {e before} paying the full state encode *)
+    mutable batches : int;  (** batch fences paid since build/recovery *)
+    mutable batched_ops : int;  (** updates those fences covered *)
+    mutable max_occupancy : int;  (** largest batch observed *)
+    mutable degraded : bool;  (** sticky admitted-loss flag *)
+    ostats : Onll_obs.Opstats.t;
+    c_batch_fences : Onll_obs.Metrics.counter;  (** ["fences.batched"] *)
+    h_occupancy : Onll_obs.Metrics.histogram;  (** ["batch.occupancy"] *)
+  }
+
+  let instances = ref 0
+
+  let make (cfg : Onll.Config.t) =
+    let n = !instances in
+    incr instances;
+    let sink = cfg.Onll.Config.sink in
+    let registry = Onll_obs.Sink.registry sink in
+    {
+      lock = M.Tvar.make false;
+      slots = Array.init M.max_processes (fun _ -> M.Tvar.make Empty);
+      log =
+        L.create ~sink ~replicas:cfg.Onll.Config.replicas
+          ~name:
+            (Printf.sprintf "%s%s.%d.gc.plog" S.name
+               cfg.Onll.Config.region_suffix n)
+          ~capacity:cfg.Onll.Config.log_capacity ();
+      mirror = M.Tvar.make (initial_istate ());
+      durable = M.Tvar.make 0;
+      seqs = Array.make M.max_processes 0;
+      next_idx = 1;
+      base = (0, initial_istate ());
+      hist = [];
+      applied = Hashtbl.create 64;
+      recovered = Hashtbl.create 64;
+      covers = Queue.create ();
+      covers_valid = true;
+      ckpt_hint = 1024;
+      batches = 0;
+      batched_ops = 0;
+      max_occupancy = 0;
+      degraded = false;
+      ostats = Onll_obs.Opstats.make sink;
+      c_batch_fences = Onll_obs.Metrics.counter registry "fences.batched";
+      h_occupancy = Onll_obs.Metrics.histogram registry "batch.occupancy";
+    }
+
+  let sink t = Onll_obs.Opstats.sink t.ostats
+
+  module A = Attribution.Make (M)
+
+  let attributed t record f = A.attributed t.ostats record f
+
+  (* Test-and-test-and-set: spinners read the lock (shared cache state)
+     and only attempt the CAS when it was observed free, so waiters do
+     not steal the line from the leader on every pause. *)
+  let try_lock t =
+    (not (M.Tvar.get t.lock))
+    && M.Tvar.cas t.lock ~expected:false ~desired:true
+
+  let unlock t = M.Tvar.set t.lock false
+
+  let decode_entries log =
+    List.map (Onll_util.Codec.decode record_codec) (L.entries log)
+
+  let cover_key = function
+    | Batch { start_idx; envs } -> start_idx + List.length envs - 1
+    | Checkpoint { upto_idx; _ } -> upto_idx + 1
+
+  (* {2 Checkpointing and log space (must hold the lock)} *)
+
+  let entry_overhead = 16 (* plog [len][crc] framing *)
+
+  let checkpoint_body t =
+    let upto = M.Tvar.get t.durable in
+    let state = M.Tvar.get t.mirror in
+    let payload =
+      Onll_util.Codec.encode record_codec (Checkpoint { upto_idx = upto; state })
+    in
+    t.ckpt_hint <- String.length payload + entry_overhead;
+    (match L.try_append t.log payload with
+    | Ok () -> ()
+    | Error `Full -> (
+        L.relocate t.log;
+        match L.try_append t.log payload with
+        | Ok () -> ()
+        | Error `Full -> raise (Onll.Log_full (L.name t.log))));
+    if t.covers_valid then Queue.push (upto + 1) t.covers
+    else begin
+      (* a recovery saw entries it could not account for: rebuild the
+         account by decoding once (the new checkpoint is in the log
+         already, so a full rebuild covers it too) *)
+      Queue.clear t.covers;
+      let records = decode_entries t.log in
+      List.iter (fun r -> Queue.push (cover_key r) t.covers) records;
+      t.covers_valid <- true
+    end;
+    let droppable =
+      let n = ref 0 in
+      while (not (Queue.is_empty t.covers)) && Queue.peek t.covers <= upto do
+        ignore (Queue.pop t.covers);
+        incr n
+      done;
+      !n
+    in
+    L.set_head t.log droppable;
+    t.base <- (upto, state);
+    t.hist <- [];
+    if Onll_obs.Opstats.active t.ostats then
+      Onll_obs.Sink.emit
+        (Onll_obs.Opstats.sink t.ostats)
+        ~proc:(M.self ())
+        (Onll_obs.Event.Checkpoint { upto });
+    upto
+
+  (* Same headroom discipline as the core construction — compact while
+     the checkpoint record that enables compaction still fits — except
+     the trigger budgets for the checkpoint's own footprint up front
+     (twice the last observed size, for state growth since), not just
+     the incoming record's: a batched log serves every process, so it
+     can reach the capacity wall between periodic checkpoints, and an
+     emergency checkpoint that no longer fits would strand the log. The
+     expensive full-state encode still only happens near the edge. *)
+  let ckpt_payload t =
+    Onll_util.Codec.encode record_codec
+      (Checkpoint
+         { upto_idx = M.Tvar.get t.durable; state = M.Tvar.get t.mirror })
+
+  let append_record t payload =
+    let need = String.length payload + entry_overhead in
+    (if L.free_bytes t.log < need + (2 * t.ckpt_hint) + 64 then
+       let ckpt = ckpt_payload t in
+       t.ckpt_hint <- String.length ckpt + entry_overhead;
+       if
+         L.free_bytes t.log < need + String.length ckpt + entry_overhead
+       then begin
+         (try ignore (checkpoint_body t) with Onll.Log_full _ -> ());
+         L.relocate t.log
+       end);
+    match L.try_append t.log payload with
+    | Ok () -> ()
+    | Error `Full -> (
+        (try ignore (checkpoint_body t) with Onll.Log_full _ -> ());
+        L.relocate t.log;
+        match L.try_append t.log payload with
+        | Ok () -> ()
+        | Error `Full -> raise (Onll.Log_full (L.name t.log)))
+
+  (* {2 The group commit (must hold the lock)} *)
+
+  (* Assemble a [Batch] record from the submitters' pre-encoded envelopes
+     — byte-identical to [encode record_codec (Batch { start_idx; envs })]
+     ([tagged] frames the body as an [int] tag plus a length-prefixed
+     [string]; the body is [pair int (list envelope_codec)]), but the
+     leader's share of the serialisation is a concatenation. *)
+  let encode_batch ~start_idx pre =
+    let count, body_len =
+      List.fold_left
+        (fun (n, l) s -> (n + 1, l + String.length s))
+        (0, 16) pre
+    in
+    let b = Buffer.create (body_len + 16) in
+    Buffer.add_int64_le b 0L (* tag: Batch *);
+    Buffer.add_int64_le b (Int64.of_int body_len);
+    Buffer.add_int64_le b (Int64.of_int start_idx);
+    Buffer.add_int64_le b (Int64.of_int count);
+    List.iter (Buffer.add_string b) pre;
+    Buffer.contents b
+
+  let combine t ~proc =
+    let requests = ref [] in
+    Array.iter
+      (fun slot ->
+        match M.Tvar.get slot with
+        | Req (env, bytes) -> requests := (env, bytes) :: !requests
+        | Empty | Done _ -> ())
+      t.slots;
+    let envs = List.rev !requests in
+    if envs <> [] then begin
+      let k = List.length envs in
+      let start_idx = t.next_idx in
+      let payload = encode_batch ~start_idx (List.map snd envs) in
+      (* One persistent fence covers the whole batch (and, with replicated
+         logs, every replica's copy of it — Plog drains them together). *)
+      append_record t payload;
+      Queue.push (start_idx + k - 1) t.covers;
+      t.batches <- t.batches + 1;
+      t.batched_ops <- t.batched_ops + k;
+      if k > t.max_occupancy then t.max_occupancy <- k;
+      if Onll_obs.Opstats.active t.ostats then begin
+        Onll_obs.Metrics.incr t.c_batch_fences;
+        Onll_obs.Metrics.observe t.h_occupancy k;
+        if k > 1 then
+          Onll_obs.Sink.emit
+            (Onll_obs.Opstats.sink t.ostats)
+            ~proc
+            (Onll_obs.Event.Help { helped = k - 1 })
+      end;
+      t.next_idx <- start_idx + k;
+      (* The batch is durable: advance the watermark, apply, publish. A
+         waiter observing its Done therefore knows its update's fence
+         completed — it never acknowledges an unfenced update. The floors
+         array is copied once per batch, not once per operation. *)
+      let base_is = M.Tvar.get t.mirror in
+      let floors = Array.copy base_is.floors in
+      let st = ref base_is.st in
+      let results, _ =
+        List.fold_left
+          (fun (acc, idx) (env, _) ->
+            let st', v = S.apply !st env.e_op in
+            st := st';
+            if env.e_seq >= floors.(env.e_proc) then
+              floors.(env.e_proc) <- env.e_seq + 1;
+            Hashtbl.replace t.applied (envelope_id env) idx;
+            t.hist <- (idx, env) :: t.hist;
+            ((env, v) :: acc, idx + 1))
+          ([], start_idx) envs
+      in
+      M.Tvar.set t.durable (start_idx + k - 1);
+      M.Tvar.set t.mirror { st = !st; floors };
+      List.iter
+        (fun (env, v) ->
+          M.Tvar.set t.slots.(env.e_proc)
+            (Done { d_seq = env.e_seq; d_value = v }))
+        (List.rev results)
+    end
+
+  (* {2 Operations} *)
+
+  let update_env t env =
+    attributed t Onll_obs.Opstats.update_done (fun () ->
+        let p = env.e_proc in
+        let bytes = Onll_util.Codec.encode envelope_codec env in
+        M.Tvar.set t.slots.(p) (Req (env, bytes));
+        (* Combining window: let concurrent submitters announce before
+           anyone pays the batch's fence. Solo (and on the adversarial
+           single-process schedule) the yield returns immediately and the
+           batch degenerates to one update — exactly 1 pf, the Thm 6.3
+           floor. *)
+        M.yield ();
+        let rec wait () =
+          match M.Tvar.get t.slots.(p) with
+          | Done { d_seq; d_value } when d_seq = env.e_seq ->
+              M.Tvar.set t.slots.(p) Empty;
+              d_value
+          | Done _ | Empty | Req _ ->
+              if try_lock t then begin
+                combine t ~proc:p;
+                unlock t;
+                wait ()
+              end
+              else begin
+                (* the lock holder is combining on our behalf (or about
+                   to); surrender the timeslice it may need *)
+                M.yield ();
+                wait ()
+              end
+        in
+        let v = wait () in
+        M.return_point ();
+        v)
+
+  let next_id t =
+    let p = M.self () in
+    let seq = t.seqs.(p) in
+    t.seqs.(p) <- seq + 1;
+    { Onll.id_proc = p; id_seq = seq }
+
+  let update_with_id t op =
+    let id = next_id t in
+    let v =
+      update_env t
+        { e_proc = id.Onll.id_proc; e_seq = id.Onll.id_seq; e_op = op }
+    in
+    (id, v)
+
+  let update t op = snd (update_with_id t op)
+
+  let update_detectable t ~seq op =
+    let p = M.self () in
+    if seq < t.seqs.(p) then
+      invalid_arg "Onll_batched.update_detectable: sequence number reused";
+    t.seqs.(p) <- seq + 1;
+    update_env t { e_proc = p; e_seq = seq; e_op = op }
+
+  let read t rop =
+    attributed t Onll_obs.Opstats.read_done (fun () ->
+        let v = S.read (M.Tvar.get t.mirror).st rop in
+        M.return_point ();
+        v)
+
+  (* {2 Recovery} *)
+
+  let decode_entries_tolerant log failures =
+    List.filter_map
+      (fun e ->
+        match Onll_util.Codec.decode record_codec e with
+        | r -> Some r
+        | exception _ ->
+            incr failures;
+            None)
+      (L.entries log)
+
+  (* One routine, mirroring the core construction: salvage the shared log,
+     adopt the deepest checkpoint plus the longest contiguous run of
+     batches above it, report everything that could not be adopted. A
+     batch whose fence did not complete is a torn tail record: its CRC
+     frame fails as a whole, so the batch vanishes all-or-nothing — no
+     operation of it was ever acknowledged, so nothing acknowledged is
+     lost. *)
+  let recover_core t ~hardened =
+    let salvage =
+      if hardened then [ (L.name t.log, L.recover t.log) ]
+      else begin
+        L.recover_unhardened t.log;
+        []
+      end
+    in
+    let decode_failures = ref 0 in
+    let records = decode_entries_tolerant t.log decode_failures in
+    let base_idx, base_state =
+      List.fold_left
+        (fun ((bi, _) as best) r ->
+          match r with
+          | Checkpoint { upto_idx; state } when upto_idx > bi ->
+              (upto_idx, state)
+          | Checkpoint _ | Batch _ -> best)
+        (0, initial_istate ())
+        records
+    in
+    let by_idx = Hashtbl.create 64 in
+    let disagreements = ref [] in
+    List.iter
+      (function
+        | Checkpoint _ -> ()
+        | Batch { start_idx; envs } ->
+            List.iteri
+              (fun k env ->
+                let idx = start_idx + k in
+                match Hashtbl.find_opt by_idx idx with
+                | None -> Hashtbl.replace by_idx idx env
+                | Some prior ->
+                    if prior.e_proc <> env.e_proc || prior.e_seq <> env.e_seq
+                    then disagreements := idx :: !disagreements)
+              envs)
+      records;
+    let max_idx = Hashtbl.fold (fun i _ acc -> max i acc) by_idx base_idx in
+    let gaps = ref [] in
+    for idx = max_idx downto base_idx + 1 do
+      if not (Hashtbl.mem by_idx idx) then gaps := idx :: !gaps
+    done;
+    let gaps = !gaps in
+    let stop_idx = match gaps with [] -> max_idx | g :: _ -> g - 1 in
+    Hashtbl.reset t.recovered;
+    Hashtbl.reset t.applied;
+    Array.blit base_state.floors 0 t.seqs 0 M.max_processes;
+    (* Bump sequence allocation past every id seen — including ids above a
+       gap that cannot be replayed — so no post-recovery update can reuse
+       a pre-crash identity. *)
+    Hashtbl.iter
+      (fun _ env ->
+        if env.e_seq >= t.seqs.(env.e_proc) then
+          t.seqs.(env.e_proc) <- env.e_seq + 1)
+      by_idx;
+    let state = ref base_state in
+    let hist = ref [] in
+    for idx = base_idx + 1 to stop_idx do
+      let env = Hashtbl.find by_idx idx in
+      state := fst (apply_env !state env);
+      hist := (idx, env) :: !hist;
+      Hashtbl.replace t.applied (envelope_id env) idx;
+      Hashtbl.replace t.recovered (envelope_id env) idx
+    done;
+    let dropped = ref [] in
+    for idx = max_idx downto stop_idx + 1 do
+      match Hashtbl.find_opt by_idx idx with
+      | Some env -> dropped := envelope_id env :: !dropped
+      | None -> ()
+    done;
+    t.base <- (base_idx, base_state);
+    t.hist <- !hist;
+    t.next_idx <- stop_idx + 1;
+    Queue.clear t.covers;
+    List.iter (fun r -> Queue.push (cover_key r) t.covers) records;
+    (* entries that survived the frame CRC but failed to decode are still
+       physically in the log; the account above misses them, so force the
+       next checkpoint to re-derive it by decoding *)
+    t.covers_valid <- !decode_failures = 0;
+    M.Tvar.set t.mirror !state;
+    M.Tvar.set t.durable stop_idx;
+    M.Tvar.set t.lock false;
+    Array.iter (fun s -> M.Tvar.set s Empty) t.slots;
+    t.batches <- 0;
+    t.batched_ops <- 0;
+    if Onll_obs.Opstats.active t.ostats then
+      Onll_obs.Sink.emit
+        (Onll_obs.Opstats.sink t.ostats)
+        ~proc:(M.self ())
+        (Onll_obs.Event.Recovery { ops = stop_idx - base_idx });
+    let report =
+      {
+        Onll.Recovery_report.recovered_ops = stop_idx - base_idx;
+        base_idx;
+        gap_indices = gaps;
+        dropped = !dropped;
+        disagreements = List.sort_uniq compare !disagreements;
+        decode_failures = !decode_failures;
+        salvage;
+      }
+    in
+    if hardened && Onll.Recovery_report.detected_loss report then
+      t.degraded <- true;
+    report
+
+  let recover_report t = recover_core t ~hardened:true
+
+  let recover t =
+    let r = recover_core t ~hardened:true in
+    match
+      (r.Onll.Recovery_report.disagreements, r.Onll.Recovery_report.gap_indices)
+    with
+    | d :: _, _ ->
+        raise
+          (Onll.Recovery_corrupt
+             (Printf.sprintf "logs disagree on operation at index %d" d))
+    | [], g :: _ ->
+        raise
+          (Onll.Recovery_corrupt
+             (Printf.sprintf "operation at index %d missing from all logs" g))
+    | [], [] ->
+        if r.Onll.Recovery_report.decode_failures > 0 then
+          raise (Onll.Recovery_corrupt "undecodable log entry")
+
+  let recover_unhardened t = ignore (recover_core t ~hardened:false)
+
+  let scrub t =
+    attributed t Onll_obs.Opstats.scrub_done (fun () ->
+        let r = L.scrub t.log in
+        if r.Onll_plog.Plog.unrepairable_spans > 0 then begin
+          t.degraded <- true;
+          (* an unrepairable span can change what the log decodes to;
+             stop trusting the record account *)
+          t.covers_valid <- false
+        end;
+        r)
+
+  let degraded t = t.degraded
+
+  (* {2 Detectable execution} *)
+
+  let recovered_ops t =
+    Hashtbl.fold (fun id idx acc -> (id, idx) :: acc) t.recovered []
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+
+  let was_linearized t id =
+    Hashtbl.mem t.applied id
+    ||
+    let _, base = t.base in
+    id.Onll.id_seq < base.floors.(id.Onll.id_proc)
+
+  (* {2 §8: checkpointing and compaction} *)
+
+  let rec with_lock t f =
+    if try_lock t then
+      Fun.protect ~finally:(fun () -> unlock t) f
+    else begin
+      M.yield ();
+      with_lock t f
+    end
+
+  let checkpoint t =
+    attributed t Onll_obs.Opstats.checkpoint_done (fun () ->
+        with_lock t (fun () -> checkpoint_body t))
+
+  let prune _t ~below:_ =
+    raise
+      (Trace_intf.Unsupported
+         "Onll_batched: the batched trace prunes via checkpoint only")
+
+  (* {2 Introspection} *)
+
+  let trace_nodes t =
+    let base_idx, _ = t.base in
+    (base_idx, true, None)
+    :: List.rev_map (fun (idx, env) -> (idx, true, Some env)) t.hist
+
+  let trace_base t =
+    let i, is = t.base in
+    (i, is.st)
+
+  let current_state t = (M.Tvar.get t.mirror).st
+
+  let snapshot t =
+    let ops_per_entry =
+      decode_entries t.log
+      |> List.map (function
+           | Batch { envs; _ } -> List.length envs
+           | Checkpoint _ -> 0)
+    in
+    {
+      Onll.Snapshot.latest_available_idx = M.Tvar.get t.durable;
+      max_fuzzy_window = t.max_occupancy;
+      degraded = t.degraded;
+      logs =
+        [
+          {
+            Onll.Snapshot.log_name = L.name t.log;
+            live_bytes = L.live_bytes t.log;
+            used_bytes = L.used_bytes t.log;
+            entry_count = List.length ops_per_entry;
+            ops_per_entry;
+          };
+        ];
+    }
+
+  let batch_stats t = (t.batches, t.batched_ops)
+  let durable_watermark t = M.Tvar.get t.durable
+end

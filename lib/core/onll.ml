@@ -165,7 +165,6 @@ module type CONSTRUCTION = sig
   type t
 
   val make : Config.t -> t
-  val create : ?log_capacity:int -> ?local_views:bool -> unit -> t
   val sink : t -> Onll_obs.Sink.t
   val update : t -> update_op -> value
   val update_with_id : t -> update_op -> op_id * value
@@ -189,11 +188,6 @@ module type CONSTRUCTION = sig
   val trace_base : t -> int * state
   val current_state : t -> state
   val snapshot : t -> Snapshot.t
-  val latest_available_idx : t -> int
-  val max_fuzzy_window : t -> int
-  val log_stats : t -> (string * int * int) list
-  val log_entry_counts : t -> int list
-  val log_ops_per_entry : t -> proc:int -> int list
 end
 
 (* The construction is generic in the trace implementation (see
@@ -325,9 +319,6 @@ module Make_generic
       degraded = false;
       ostats = Onll_obs.Opstats.make sink;
     }
-
-  let create ?(log_capacity = 1 lsl 16) ?(local_views = false) () =
-    make { Config.default with Config.log_capacity; local_views }
 
   let sink t = Onll_obs.Opstats.sink t.ostats
 
@@ -738,20 +729,6 @@ module Make_generic
       logs;
     }
 
-  (* Legacy introspection: one-line projections of {!snapshot}. *)
-  let latest_available_idx t = T.idx (T.latest_available t.trace)
-  let max_fuzzy_window t = t.max_fuzzy
-
-  let log_stats t =
-    (snapshot t).Snapshot.logs
-    |> List.map (fun l ->
-           Snapshot.(l.log_name, l.live_bytes, l.used_bytes))
-
-  let log_entry_counts t =
-    (snapshot t).Snapshot.logs |> List.map (fun l -> l.Snapshot.entry_count)
-
-  let log_ops_per_entry t ~proc =
-    (List.nth (snapshot t).Snapshot.logs proc).Snapshot.ops_per_entry
 end
 
 (** The paper's construction: ONLL over the lock-free Listing 2 trace. *)

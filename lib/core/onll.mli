@@ -171,14 +171,6 @@ module type CONSTRUCTION = sig
       per-operation attribution metrics; with the default null sink every
       instrumentation point is a single boolean test. *)
 
-  val create : ?log_capacity:int -> ?local_views:bool -> unit -> t
-  (** Allocate a fresh object with empty per-process logs of [log_capacity]
-      bytes each (default 64 KiB). [local_views] (default false) enables the
-      §8 read acceleration: each process caches the state at the newest
-      operation it has observed, so computes replay only the delta.
-      @deprecated Thin wrapper over {!make} — new code should build a
-      {!Config.t} (the only way to install a sink). *)
-
   val sink : t -> Onll_obs.Sink.t
   (** The sink this object was built with ({!Onll_obs.Sink.null} unless
       {!make} installed one). *)
@@ -314,26 +306,9 @@ module type CONSTRUCTION = sig
   (** State at the newest available operation. *)
 
   val snapshot : t -> Snapshot.t
-  (** Every introspection statistic in one call, decoding each log once.
-      Prefer this over the per-question functions below. *)
-
-  val latest_available_idx : t -> int
-  (** @deprecated [(snapshot t).latest_available_idx]. *)
-
-  val max_fuzzy_window : t -> int
-  (** @deprecated [(snapshot t).max_fuzzy_window]. *)
-
-  val log_stats : t -> (string * int * int) list
-  (** Per process log: (region name, live bytes, used bytes).
-      @deprecated Projection of {!snapshot}. *)
-
-  val log_entry_counts : t -> int list
-  (** @deprecated Projection of {!snapshot}. *)
-
-  val log_ops_per_entry : t -> proc:int -> int list
-  (** Operations per entry of one process's log (0 for checkpoints); an
-      entry with more than one operation exposes helping.
-      @deprecated Projection of {!snapshot}. *)
+  (** Every introspection statistic in one call, decoding each log once:
+      durable watermark, fuzzy-window high-water mark, degraded flag and
+      per-log space/entry statistics. *)
 end
 
 module Make_generic

@@ -22,8 +22,17 @@ module Counter (M : Machine_sig.S) = struct
   type t = Lf_obj of Lf.t | Wf_obj of Wf.t
 
   let create ?(wait_free = false) ?log_capacity ?local_views () =
-    if wait_free then Wf_obj (Wf.create ?log_capacity ?local_views ())
-    else Lf_obj (Lf.create ?log_capacity ?local_views ())
+    let d = Onll_core.Onll.Config.default in
+    let cfg =
+      {
+        d with
+        Onll_core.Onll.Config.log_capacity =
+          Option.value log_capacity ~default:d.Onll_core.Onll.Config.log_capacity;
+        local_views =
+          Option.value local_views ~default:d.Onll_core.Onll.Config.local_views;
+      }
+    in
+    if wait_free then Wf_obj (Wf.make cfg) else Lf_obj (Lf.make cfg)
 
   let incr = function
     | Lf_obj o -> Lf.update o Spec.Increment
@@ -52,7 +61,15 @@ module Kv (M : Machine_sig.S) = struct
   type t = C.t
 
   let create ?log_capacity ?local_views () =
-    C.create ?log_capacity ?local_views ()
+    let d = Onll_core.Onll.Config.default in
+    C.make
+      {
+        d with
+        Onll_core.Onll.Config.log_capacity =
+          Option.value log_capacity ~default:d.Onll_core.Onll.Config.log_capacity;
+        local_views =
+          Option.value local_views ~default:d.Onll_core.Onll.Config.local_views;
+      }
 
   let put t k v =
     match C.update t (Spec.Put (k, v)) with
@@ -86,7 +103,15 @@ module Queue (M : Machine_sig.S) = struct
   type t = C.t
 
   let create ?log_capacity ?local_views () =
-    C.create ?log_capacity ?local_views ()
+    let d = Onll_core.Onll.Config.default in
+    C.make
+      {
+        d with
+        Onll_core.Onll.Config.log_capacity =
+          Option.value log_capacity ~default:d.Onll_core.Onll.Config.log_capacity;
+        local_views =
+          Option.value local_views ~default:d.Onll_core.Onll.Config.local_views;
+      }
 
   let enqueue t x =
     match C.update t (Spec.Enqueue x) with
@@ -119,7 +144,15 @@ module Stack (M : Machine_sig.S) = struct
   type t = C.t
 
   let create ?log_capacity ?local_views () =
-    C.create ?log_capacity ?local_views ()
+    let d = Onll_core.Onll.Config.default in
+    C.make
+      {
+        d with
+        Onll_core.Onll.Config.log_capacity =
+          Option.value log_capacity ~default:d.Onll_core.Onll.Config.log_capacity;
+        local_views =
+          Option.value local_views ~default:d.Onll_core.Onll.Config.local_views;
+      }
 
   let push t x =
     match C.update t (Spec.Push x) with
@@ -151,7 +184,15 @@ module Set (M : Machine_sig.S) = struct
   type t = C.t
 
   let create ?log_capacity ?local_views () =
-    C.create ?log_capacity ?local_views ()
+    let d = Onll_core.Onll.Config.default in
+    C.make
+      {
+        d with
+        Onll_core.Onll.Config.log_capacity =
+          Option.value log_capacity ~default:d.Onll_core.Onll.Config.log_capacity;
+        local_views =
+          Option.value local_views ~default:d.Onll_core.Onll.Config.local_views;
+      }
 
   let insert t x =
     match C.update t (Spec.Insert x) with
@@ -183,7 +224,15 @@ module Pqueue (M : Machine_sig.S) = struct
   type t = C.t
 
   let create ?log_capacity ?local_views () =
-    C.create ?log_capacity ?local_views ()
+    let d = Onll_core.Onll.Config.default in
+    C.make
+      {
+        d with
+        Onll_core.Onll.Config.log_capacity =
+          Option.value log_capacity ~default:d.Onll_core.Onll.Config.log_capacity;
+        local_views =
+          Option.value local_views ~default:d.Onll_core.Onll.Config.local_views;
+      }
 
   let insert t ~prio x =
     match C.update t (Spec.Insert (prio, x)) with
@@ -217,7 +266,15 @@ module Ledger (M : Machine_sig.S) = struct
   exception Rejected of string
 
   let create ?log_capacity ?local_views () =
-    C.create ?log_capacity ?local_views ()
+    let d = Onll_core.Onll.Config.default in
+    C.make
+      {
+        d with
+        Onll_core.Onll.Config.log_capacity =
+          Option.value log_capacity ~default:d.Onll_core.Onll.Config.log_capacity;
+        local_views =
+          Option.value local_views ~default:d.Onll_core.Onll.Config.local_views;
+      }
 
   let lift = function
     | Spec.Ok_v -> Ok ()

@@ -68,6 +68,16 @@ module type S = sig
   val pause : unit -> unit
   (** Back-off hint for spin loops (lock-based baselines). *)
 
+  val yield : unit -> unit
+  (** Give other processes a chance to run before continuing — the strong
+      form of {!pause}. On the simulator both are a scheduling point; on
+      the native machine [pause] is a CPU relax hint (right when the peer
+      is running on another core) while [yield] surrenders the OS
+      timeslice (required when processes outnumber cores, where a spinning
+      waiter would otherwise burn the slice the lock holder needs). The
+      group-commit construction yields after announcing an update so
+      concurrent submitters get to join the batch. *)
+
   (** {1 Accounting} *)
 
   val persistent_fences : unit -> int

@@ -1,3 +1,5 @@
+external sched_yield : unit -> unit = "onll_sched_yield" [@@noalloc]
+
 type proc_slot = {
   mutable pending : int;  (* flushed-but-unfenced line count *)
   mutable pfences : int;
@@ -176,6 +178,7 @@ end) : Machine_sig.S = struct
   let self () = self_exn n
   let return_point () = ()
   let pause () = Domain.cpu_relax ()
+  let yield () = sched_yield ()
   let persistent_fences () = persistent_fences n
   let persistent_fences_by ~proc = n.slots.(proc).pfences
 end

@@ -101,6 +101,7 @@ end) : Machine_sig.S = struct
   let self () = Sched.current_proc ()
   let return_point () = Sched.step Sched.Return_point
   let pause () = Sched.step (Sched.Prim "pause")
+  let yield () = Sched.step (Sched.Prim "yield")
   let persistent_fences () = (Memory.stats mem).Memory.Stats.persistent_fences
   let persistent_fences_by ~proc = Memory.persistent_fences_by mem ~proc
 end

@@ -1,0 +1,17 @@
+/* Native machine: surrender the OS timeslice.
+
+   Domain.cpu_relax is a PAUSE hint — correct when the peer runs on
+   another core, catastrophic when domains outnumber cores (the spinner
+   burns the whole slice the lock holder needs; a lock handoff then costs
+   a preemption quantum, milliseconds instead of microseconds).
+   sched_yield moves the caller to the back of the run queue, so the
+   handoff costs one context switch. */
+
+#include <caml/mlvalues.h>
+#include <sched.h>
+
+CAMLprim value onll_sched_yield(value unit)
+{
+  sched_yield();
+  return Val_unit;
+}

@@ -111,6 +111,14 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
     mutable tail : int;  (* next append offset (absolute) *)
     mutable head : int;  (* first live entry offset (absolute) *)
     mutable header_seq : int64;
+    offs : int Queue.t;
+        (* live-entry offsets in log order, maintained incrementally by
+           [append] so [set_head] does not pay a CRC-validating scan of
+           the whole live span per compaction *)
+    mutable offs_valid : bool;
+        (* recovery, scrubbing and relocation move or rewrite records out
+           from under the account; they clear this and the next
+           [set_head] rebuilds it with one scan *)
   }
 
   let name t = t.log_name
@@ -341,6 +349,8 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
       tail = header_size;
       head = header_size;
       header_seq = 0L;
+      offs = Queue.create ();
+      offs_valid = true;
     }
 
   (* What lies at the end of the valid prefix [pos], judged across EVERY
@@ -454,6 +464,7 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
     heal_headers t ~seq ~head;
     t.header_seq <- seq;
     t.head <- head;
+    t.offs_valid <- false;
     let torn = ref 0 and qspans = ref 0 and qbytes = ref 0 in
     let repaired = ref 0 and rep_bytes = ref 0 in
     let markers = ref 0 in
@@ -543,7 +554,8 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
     in
     t.header_seq <- seq;
     t.head <- head;
-    t.tail <- loop head
+    t.tail <- loop head;
+    t.offs_valid <- false
 
   (* Online self-healing: CRC-walk the live span [head, tail) across all
      replicas while the log is in use — the in-memory cursors are
@@ -555,6 +567,8 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
      repairs. *)
   let scrub t =
     heal_headers t ~seq:t.header_seq ~head:t.head;
+    (* quarantine can rewrite record boundaries in place *)
+    t.offs_valid <- false;
     let scrubbed = ref 0 and repaired = ref 0 and rep_bytes = ref 0 in
     let unrep = ref 0 in
     let rec walk pos =
@@ -614,6 +628,7 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
     store_all t ~off:(off + 16) payload;
     persist t ~site:"plog.append" ~off ~len:need;
     t.tail <- off + need;
+    if t.offs_valid then Queue.push off t.offs;
     if Onll_obs.Sink.active t.sink then
       Onll_obs.Sink.emit t.sink ~proc:(M.self ())
         (Onll_obs.Event.Log_append { log = t.log_name; bytes = need })
@@ -629,30 +644,53 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
 
   let entry_count t = List.length (entries t)
 
+  let advance_head t ~new_head ~dropped =
+    let seq = Int64.add t.header_seq 1L in
+    (* Alternate slots so a torn header write leaves the other slot
+       intact. *)
+    let slot = if Int64.rem seq 2L = 0L then slot_a else slot_b in
+    store_int64_all t ~off:slot seq;
+    store_int64_all t ~off:(slot + 8) (Int64.of_int new_head);
+    store_int64_all t ~off:(slot + 16)
+      (crc_to_int64 (crc_of_int64s seq (Int64.of_int new_head)));
+    persist t ~site:"plog.set_head" ~off:slot ~len:slot_bytes;
+    t.header_seq <- seq;
+    t.head <- new_head;
+    if Onll_obs.Sink.active t.sink then
+      Onll_obs.Sink.emit t.sink ~proc:(M.self ())
+        (Onll_obs.Event.Log_compact { log = t.log_name; dropped })
+
   let set_head t n =
     if n < 0 then invalid_arg "Plog.set_head: negative count";
     if n > 0 then begin
-      let live, tail_off, _ = scan t t.head in
-      if n > List.length live then
-        invalid_arg "Plog.set_head: fewer entries than requested";
-      let new_head =
-        if n = List.length live then tail_off
-        else snd (List.nth live n)
-      in
-      let seq = Int64.add t.header_seq 1L in
-      (* Alternate slots so a torn header write leaves the other slot
-         intact. *)
-      let slot = if Int64.rem seq 2L = 0L then slot_a else slot_b in
-      store_int64_all t ~off:slot seq;
-      store_int64_all t ~off:(slot + 8) (Int64.of_int new_head);
-      store_int64_all t ~off:(slot + 16)
-        (crc_to_int64 (crc_of_int64s seq (Int64.of_int new_head)));
-      persist t ~site:"plog.set_head" ~off:slot ~len:slot_bytes;
-      t.header_seq <- seq;
-      t.head <- new_head;
-      if Onll_obs.Sink.active t.sink then
-        Onll_obs.Sink.emit t.sink ~proc:(M.self ())
-          (Onll_obs.Event.Log_compact { log = t.log_name; dropped = n })
+      if not t.offs_valid then begin
+        (* Rebuild the account with one scan — unless the valid prefix
+           stops short of the tail (unrepaired mid-log damage), in which
+           case offsets beyond the damage are unreachable by a scan and
+           the account cannot represent the log. *)
+        let live, tail_off, _ = scan t t.head in
+        Queue.clear t.offs;
+        List.iter (fun (_, off) -> Queue.push off t.offs) live;
+        t.offs_valid <- tail_off = t.tail
+      end;
+      if t.offs_valid then begin
+        if n > Queue.length t.offs then
+          invalid_arg "Plog.set_head: fewer entries than requested";
+        for _ = 1 to n do ignore (Queue.pop t.offs) done;
+        advance_head t
+          ~new_head:
+            (if Queue.is_empty t.offs then t.tail else Queue.peek t.offs)
+          ~dropped:n
+      end
+      else begin
+        let live, tail_off, _ = scan t t.head in
+        if n > List.length live then
+          invalid_arg "Plog.set_head: fewer entries than requested";
+        let new_head =
+          if n = List.length live then tail_off else snd (List.nth live n)
+        in
+        advance_head t ~new_head ~dropped:n
+      end
     end
 
   let used_bytes t = t.tail - header_size
@@ -733,6 +771,7 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
       t.header_seq <- seq;
       t.head <- header_size;
       t.tail <- header_size + live;
+      t.offs_valid <- false;
       let stale = old_tail - t.tail in
       if stale > 0 then begin
         store_all t ~off:t.tail (String.make stale '\000');

@@ -33,7 +33,7 @@ let execution1 () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   let upd = ref 0 and rd = ref 0 in
   ignore
     (Sim.run sim Sched.Strategy.round_robin
@@ -58,7 +58,7 @@ let execution2 () =
   let sim = Sim.create ~max_processes:3 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   (* Figure: the counter starts at 1 (node n1 already in the trace). *)
   ignore
     (Sim.run sim Sched.Strategy.round_robin
@@ -87,7 +87,7 @@ let execution3 () =
   let sim = Sim.create ~max_processes:3 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   ignore
     (Sim.run sim Sched.Strategy.round_robin
        [| (fun _ -> ignore (C.update obj Cs.Increment)) |]);
@@ -110,7 +110,7 @@ let execution3 () =
   ignore (Sim.run sim (Sched.Strategy.script script) procs);
   (* p2's (process 1's) single log entry covers both fuzzy operations. *)
   let p2_ops =
-    match C.log_ops_per_entry obj ~proc:1 with [ n ] -> n | _ -> -1
+    match (List.nth (C.snapshot obj).Onll_core.Onll.Snapshot.logs 1).Onll_core.Onll.Snapshot.ops_per_entry with [ n ] -> n | _ -> -1
   in
   {
     e3_p2_returned = !p2;
@@ -123,7 +123,7 @@ let execution4 () =
   let sim = Sim.create ~max_processes:4 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   let reader = ref (-1) in
   let procs =
     [|

@@ -120,7 +120,7 @@ let run_all () =
     let sim = Sim.create ~max_processes:2 () in
     let module M = (val Sim.machine sim) in
     let module C = Onll_core.Onll.Make (M) (Cs) in
-    let obj = C.create () in
+    let obj = C.make Onll_core.Onll.Config.default in
     branch ~name:"onll: linearize after persist"
       ~story:
         "the unpersisted update is simply not visible yet; the reader sees \

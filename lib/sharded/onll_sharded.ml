@@ -1,7 +1,48 @@
 (** Sharded ONLL (see onll_sharded.mli). *)
 
-module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
-  module Shard = Onll_core.Onll.Make (M) (S)
+(* Duplicated (condensed) from onll_sharded.mli, which carries the
+   documentation. *)
+module type SHARDED = sig
+  module Shard : Onll_core.Onll.CONSTRUCTION
+
+  type t
+
+  val make : shards:int -> Onll_core.Onll.Config.t -> t
+
+  val create :
+    ?shards:int -> ?log_capacity:int -> ?local_views:bool -> unit -> t
+
+  val shards : t -> int
+  val sink : t -> Onll_obs.Sink.t
+  val shard : t -> int -> Shard.t
+  val shard_of_update : t -> Shard.update_op -> int
+  val update : t -> Shard.update_op -> Shard.value
+  val update_with_id : t -> Shard.update_op -> Onll_core.Onll.op_id * Shard.value
+  val update_detectable : t -> seq:int -> Shard.update_op -> Shard.value
+  val read : t -> Shard.read_op -> Shard.value
+  val recover : t -> unit
+  val recover_report : t -> Onll_core.Onll.Recovery_report.t
+  val recover_reports : t -> Onll_core.Onll.Recovery_report.t list
+  val recover_unhardened : t -> unit
+  val scrub : t -> Onll_plog.Plog.scrub_report
+  val degraded : t -> bool
+  val was_linearized : t -> Shard.update_op -> Onll_core.Onll.op_id -> bool
+  val recovered_ops : t -> (int * Onll_core.Onll.op_id * int) list
+  val checkpoint : t -> int
+  val compact : t -> unit
+  val snapshot : t -> Onll_core.Onll.Snapshot.t
+end
+
+module Make_over
+    (M : Onll_machine.Machine_sig.S)
+    (S : Onll_core.Spec.S)
+    (C : Onll_core.Onll.CONSTRUCTION
+           with type state = S.state
+            and type update_op = S.update_op
+            and type read_op = S.read_op
+            and type value = S.value) =
+struct
+  module Shard = C
   module Report = Onll_core.Onll.Recovery_report
 
   type t = {
@@ -147,3 +188,6 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
       logs = List.concat_map (fun s -> s.Onll_core.Onll.Snapshot.logs) snaps;
     }
 end
+
+module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) =
+  Make_over (M) (S) (Onll_core.Onll.Make (M) (S))

@@ -31,16 +31,13 @@
     every shard and composes the per-shard reports; the sticky
     {!Make.degraded} flag is the OR over shards. *)
 
-module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) : sig
+(** The sharded surface, over whichever single-shard construction
+    {!Make} or {!Make_over} supplied. *)
+module type SHARDED = sig
   (** The underlying single-shard construction — exposed so tests and
       harnesses can reach one shard's full {!Onll_core.Onll.CONSTRUCTION}
       surface (log stats, trace introspection, targeted corruption). *)
-  module Shard :
-    Onll_core.Onll.CONSTRUCTION
-      with type state = S.state
-       and type update_op = S.update_op
-       and type read_op = S.read_op
-       and type value = S.value
+  module Shard : Onll_core.Onll.CONSTRUCTION
 
   type t
   (** A sharded durable object: an array of {!Shard.t} plus the router. *)
@@ -67,27 +64,27 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) : sig
   val shard : t -> int -> Shard.t
   (** Direct access to shard [i], for tests and introspection. *)
 
-  val shard_of_update : t -> S.update_op -> int
+  val shard_of_update : t -> Shard.update_op -> int
   (** The router: which shard [op] lands on. Pure — depends only on the
       operation and the shard count, so it answers identically across
       crashes and processes. *)
 
   (** {1 Operations} *)
 
-  val update : t -> S.update_op -> S.value
+  val update : t -> Shard.update_op -> Shard.value
   (** Route by {!Onll_core.Spec.S.shard_of_update} and run the update on
       that single shard: one persistent fence, exactly as unsharded. *)
 
-  val update_with_id : t -> S.update_op -> Onll_core.Onll.op_id * S.value
+  val update_with_id : t -> Shard.update_op -> Onll_core.Onll.op_id * Shard.value
   (** Like {!update}, also returning the identity — which is unique {e
       per shard} (the pair [(shard_of_update t op, id)] is globally
       unique). *)
 
-  val update_detectable : t -> seq:int -> S.update_op -> S.value
+  val update_detectable : t -> seq:int -> Shard.update_op -> Shard.value
   (** Client-chosen sequence number; freshness is enforced per shard, so
       per-process monotone seqs are valid whatever shard each lands on. *)
 
-  val read : t -> S.read_op -> S.value
+  val read : t -> Shard.read_op -> Shard.value
   (** Shard-routed reads ([shard_of_read = Some s]) run on shard [s];
       global reads ([None]) read every shard and merge with
       {!Onll_core.Spec.S.merge_read}. Either way: no fences, no NVM. *)
@@ -117,7 +114,7 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) : sig
   val degraded : t -> bool
   (** OR of the shards' sticky degraded flags. *)
 
-  val was_linearized : t -> S.update_op -> Onll_core.Onll.op_id -> bool
+  val was_linearized : t -> Shard.update_op -> Onll_core.Onll.op_id -> bool
   (** Detectable execution, routed: asks [op]'s shard whether [id] took
       effect there. Identities are per-shard, so the operation (or at
       least its routing key) is part of the question. *)
@@ -145,3 +142,26 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) : sig
       shards (each shard's window obeys Prop. 5.2 independently) and
       [degraded] is the OR. *)
 end
+
+module Make_over
+    (M : Onll_machine.Machine_sig.S)
+    (S : Onll_core.Spec.S)
+    (C : Onll_core.Onll.CONSTRUCTION
+           with type state = S.state
+            and type update_op = S.update_op
+            and type read_op = S.read_op
+            and type value = S.value) : SHARDED with module Shard = C
+(** Shard any construction that speaks the standard surface — in
+    particular [Make_over (M) (S) (Onll_batched.Make (M) (S))] is the
+    sharded group-commit object (E16 composes it this way): each shard
+    keeps its own leader lock and shared log, so disjoint-key traffic
+    scales with shards {e and} amortises fences within each shard. *)
+
+module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) :
+  SHARDED
+    with type Shard.state = S.state
+     and type Shard.update_op = S.update_op
+     and type Shard.read_op = S.read_op
+     and type Shard.value = S.value
+(** {!Make_over} applied to the paper's construction
+    ({!Onll_core.Onll.Make}). *)

@@ -1,30 +1,36 @@
+(* The arithmetic runs on native [int]s, not [Int32.t]: every [Int32]
+   operation allocates a box, which for a per-byte loop means ~15 words
+   per input byte — the log's CRC frame would dominate the allocation
+   rate of an update. A CRC-32 fits in 32 bits, so on a 64-bit host the
+   whole computation stays unboxed; only the result is boxed, once. *)
+
+let mask32 = 0xFFFFFFFF
+
 let table =
   lazy
-    (let t = Array.make 256 0l in
+    (let t = Array.make 256 0 in
      for n = 0 to 255 do
-       let c = ref (Int32.of_int n) in
+       let c = ref n in
        for _ = 0 to 7 do
-         if Int32.logand !c 1l <> 0l then
-           c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
-         else c := Int32.shift_right_logical !c 1
+         if !c land 1 <> 0 then c := 0xEDB88320 lxor (!c lsr 1)
+         else c := !c lsr 1
        done;
        t.(n) <- !c
      done;
      t)
 
-let update_byte crc b =
-  let t = Lazy.force table in
-  let idx = Int32.to_int (Int32.logand (Int32.logxor crc (Int32.of_int b)) 0xFFl) in
-  Int32.logxor t.(idx) (Int32.shift_right_logical crc 8)
-
 let bytes ?(init = 0l) b ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length b then
     invalid_arg "Crc32.bytes: range out of bounds";
-  let crc = ref (Int32.lognot init) in
+  let t = Lazy.force table in
+  let crc = ref (Int32.to_int init land mask32 lxor mask32) in
   for i = pos to pos + len - 1 do
-    crc := update_byte !crc (Char.code (Bytes.unsafe_get b i))
+    let c = !crc in
+    crc :=
+      Array.unsafe_get t ((c lxor Char.code (Bytes.unsafe_get b i)) land 0xFF)
+      lxor (c lsr 8)
   done;
-  Int32.lognot !crc
+  Int32.of_int (!crc lxor mask32)
 
 let string ?init s =
   bytes ?init (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)

@@ -43,7 +43,7 @@ let () =
     let sim = Onll_machine.Sim.create ~max_processes:2 () in
     let module M = (val Onll_machine.Sim.machine sim) in
     let module C = Onll_core.Onll.Make_wait_free (M) (Onll_specs.Counter) in
-    let obj = C.create ~log_capacity:8192 () in
+    let obj = C.make { Onll_core.Onll.Config.default with log_capacity = 8192 } in
     let completed = ref 0 in
     let procs = Array.init 2 (fun _ -> fun _ ->
       for k = 0 to 1 do

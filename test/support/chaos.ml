@@ -57,6 +57,14 @@ type plan = {
   shards : int;
       (** run the E14 sharded construction with this many shards
           (1 = plain unsharded ONLL); incompatible with [wait_free] *)
+  batched : bool;
+      (** run the E16 group-commit construction: updates combined into a
+          shared batch made durable under one fence, so the crash can land
+          {e mid-batch} — between the announce and the shared fence (the
+          whole unfenced tail-batch must vanish with no acknowledged op in
+          it) or between the fence and the acknowledgements (every batched
+          update must recover exactly once). Composes with [replicas];
+          incompatible with [wait_free] and [shards > 1] *)
   log_capacity : int;
   replicas : int;  (** log replication factor (1 = unmirrored) *)
   fault_scope : [ `All | `Primary_only ];
@@ -83,6 +91,7 @@ let default_plan =
     wait_free = false;
     local_views = false;
     shards = 1;
+    batched = false;
     log_capacity = 1 lsl 16;
     replicas = 1;
     fault_scope = `All;
@@ -156,6 +165,8 @@ module Make (S : Onll_core.Spec.S) = struct
     if plan.shards > 1 then begin
       if plan.wait_free then
         invalid_arg "Chaos: shards > 1 with wait_free is not supported";
+      if plan.batched then
+        invalid_arg "Chaos: shards > 1 with batched is not supported";
       let module C = Onll_sharded.Make (M) (S) in
       let obj = C.make ~shards:plan.shards cfg in
       (* The audit interrogates detectability by id alone, but sharded
@@ -196,6 +207,23 @@ module Make (S : Onll_core.Spec.S) = struct
             match Hashtbl.find_opt routes id with
             | Some op -> C.shard_of_update obj op
             | None -> -1);
+      }
+    end
+    else if plan.batched then begin
+      if plan.wait_free then
+        invalid_arg "Chaos: batched with wait_free is not supported";
+      let module C = Onll_batched.Make (M) (S) in
+      let obj = C.make cfg in
+      {
+        o_update = C.update obj;
+        o_update_detectable = (fun ~seq op -> C.update_detectable obj ~seq op);
+        o_read = C.read obj;
+        o_recover_report = (fun () -> C.recover_report obj);
+        o_recover_unhardened = (fun () -> C.recover_unhardened obj);
+        o_scrub = (fun () -> ignore (C.scrub obj));
+        o_was_linearized = C.was_linearized obj;
+        o_recovered_ops = (fun () -> C.recovered_ops obj);
+        o_shard_of = (fun _ -> 0);
       }
     end
     else if plan.wait_free then begin

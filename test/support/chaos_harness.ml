@@ -94,6 +94,22 @@ let sharded_plan_of_seed seed =
 let sharded_mirrored_plan_of_seed seed =
   { (mirrored_plan_of_seed seed) with Chaos.shards = 4; wait_free = false }
 
+(* The E16 arms: the same per-seed adversity against the {e group-commit}
+   construction, where the crash grid sweeps over the batch protocol
+   itself — before the shared fence (the whole unfenced tail-batch must
+   vanish with no acknowledged op in it) or after it (every batched
+   update must recover exactly once). wait_free off: batching replaces
+   the per-process-log trace, it does not compose with Kogan–Petrank. *)
+let batched_plan_of_seed seed =
+  { (plan_of_seed seed) with Chaos.batched = true; wait_free = false }
+
+(* Batched over mirrored logs with primary-scoped faults: the E13
+   no-excuse bar applied to group commit — a primary-only fault on the
+   shared batch log must cost nothing, because the mirror drained under
+   the same single batch fence. *)
+let batched_mirrored_plan_of_seed seed =
+  { (mirrored_plan_of_seed seed) with Chaos.batched = true; wait_free = false }
+
 type row = {
   obj_name : string;
   runs : int;

@@ -76,8 +76,7 @@ module Make (S : Onll_core.Spec.S) = struct
     if plan.wait_free then begin
       let module C = Onll_core.Onll.Make_wait_free (M) (S) in
       let obj =
-        C.create ~log_capacity:plan.log_capacity
-          ~local_views:plan.local_views ()
+        C.make { Onll_core.Onll.Config.default with log_capacity = plan.log_capacity; local_views = plan.local_views }
       in
       {
         o_update = C.update obj;
@@ -91,8 +90,7 @@ module Make (S : Onll_core.Spec.S) = struct
     else begin
       let module C = Onll_core.Onll.Make (M) (S) in
       let obj =
-        C.create ~log_capacity:plan.log_capacity
-          ~local_views:plan.local_views ()
+        C.make { Onll_core.Onll.Config.default with log_capacity = plan.log_capacity; local_views = plan.local_views }
       in
       {
         o_update = C.update obj;

@@ -1,0 +1,327 @@
+(* The E16 group-commit construction (Onll_batched): concurrent updates
+   combined into one batch made durable under a SINGLE shared persistent
+   fence. Semantics must be indistinguishable from the unbatched
+   construction — including detectability across crashes landing at every
+   point of the batch protocol — while the fence cost amortises below one
+   per update under concurrency and degenerates to exactly one solo
+   (Thm 6.3: no construction beats 1 pf/update without concurrency to
+   share it with). *)
+
+open Onll_machine
+module Cs = Onll_specs.Counter
+
+let check = Alcotest.check
+
+let cfg ?(log_capacity = 1 lsl 16) ?(replicas = 1)
+    ?(sink = Onll_obs.Sink.null) () =
+  { Onll_core.Onll.Config.default with log_capacity; replicas; sink }
+
+(* {1 Amortisation: the whole point of group commit} *)
+
+(* Round-robin, 4 submitters: every process announces its request before
+   the first one wins the combiner lock, so batches fill and the shared
+   fence is split 4 ways. The per-process attribution (leader pays the
+   fence, waiters pay nothing) is what the amortised metric measures. *)
+let test_combining_amortizes_fences () =
+  let registry = Onll_obs.Metrics.create () in
+  let sink = Onll_obs.Sink.make ~registry () in
+  let sim = Sim.create ~sink ~max_processes:4 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_batched.Make (M) (Cs) in
+  let obj = C.make (cfg ~sink ()) in
+  let body _ =
+    for _ = 1 to 8 do
+      ignore (C.update obj Cs.Increment)
+    done;
+    ignore (C.read obj Cs.Get)
+  in
+  (match
+     Sim.run sim Onll_sched.Sched.Strategy.round_robin (Array.make 4 body)
+   with
+  | Onll_sched.Sched.World.Completed -> ()
+  | _ -> Alcotest.fail "workload did not complete");
+  let v = Onll_obs.Metrics.counter_value registry in
+  check Alcotest.int "all updates applied" 32 (C.read obj Cs.Get);
+  check Alcotest.int "every update counted" 32 (v "ops.update");
+  check Alcotest.bool "some fences were paid" true (v "fences.update" > 0);
+  check Alcotest.bool
+    (Printf.sprintf "amortised below 1/2 pf/update (%d fences / 32 updates)"
+       (v "fences.update"))
+    true
+    (2 * v "fences.update" < v "ops.update");
+  check Alcotest.int "reads cost no fence" 0 (v "fences.read");
+  (* The dedicated counters agree with the object's own bookkeeping. *)
+  let batches, batched_ops = C.batch_stats obj in
+  check Alcotest.int "fences.batched = batch count" batches
+    (v "fences.batched");
+  check Alcotest.int "every update rode a batch" 32 batched_ops;
+  check Alcotest.bool "batches actually combined" true
+    ((C.snapshot obj).Onll_core.Onll.Snapshot.max_fuzzy_window >= 2)
+
+(* Solo, the construction degenerates to the unbatched bound: nobody to
+   share the fence with, so exactly one pf per update — never zero. *)
+let test_solo_degenerates_to_one_fence_per_update () =
+  let registry = Onll_obs.Metrics.create () in
+  let sink = Onll_obs.Sink.make ~registry () in
+  let sim = Sim.create ~sink ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_batched.Make (M) (Cs) in
+  let obj = C.make (cfg ~sink ()) in
+  let body _ = for _ = 1 to 10 do ignore (C.update obj Cs.Increment) done in
+  ignore (Sim.run sim Onll_sched.Sched.Strategy.round_robin [| body |]);
+  let v = Onll_obs.Metrics.counter_value registry in
+  check Alcotest.int "10 updates" 10 (v "ops.update");
+  check Alcotest.int "exactly 1 pf/update solo" 10 (v "fences.update");
+  check
+    Alcotest.(pair int int)
+    "10 singleton batches" (10, 10) (C.batch_stats obj);
+  check Alcotest.int "occupancy never exceeded 1" 1
+    (C.snapshot obj).Onll_core.Onll.Snapshot.max_fuzzy_window
+
+(* {1 Detectable execution semantics} *)
+
+let test_seq_reuse_rejected_before_effect () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_batched.Make (M) (Cs) in
+  let obj = C.make (cfg ()) in
+  let body _ =
+    ignore (C.update_detectable obj ~seq:0 Cs.Increment);
+    (match C.update_detectable obj ~seq:0 Cs.Increment with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "sequence reuse accepted");
+    (* the rejected call took no effect — not announced, not applied *)
+    check Alcotest.int "state unchanged by the rejected call" 1
+      (C.read obj Cs.Get);
+    ignore (C.update_detectable obj ~seq:5 Cs.Increment);
+    (* seq allocation advanced past the explicit jump *)
+    match C.update_detectable obj ~seq:3 Cs.Increment with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "stale sequence accepted after a jump"
+  in
+  ignore (Sim.run sim Onll_sched.Sched.Strategy.round_robin [| body |]);
+  check Alcotest.int "two updates landed" 2 (C.read obj Cs.Get);
+  check Alcotest.bool "seq 0 linearized" true
+    (C.was_linearized obj { Onll_core.Onll.id_proc = 0; id_seq = 0 });
+  check Alcotest.bool "seq 5 linearized" true
+    (C.was_linearized obj { Onll_core.Onll.id_proc = 0; id_seq = 5 });
+  check Alcotest.bool "seq 3 never executed" false
+    (C.was_linearized obj { Onll_core.Onll.id_proc = 0; id_seq = 3 })
+
+(* {1 Crash at every step of the batch protocol (the PR's acceptance
+   sweep)} *)
+
+(* Drive 3 concurrent submitters into shared batches and crash at every
+   scheduler step in turn. Whatever the crash cuts — announce, combine,
+   the shared fence, watermark publication, acknowledgement — recovery
+   must satisfy:
+
+   - {b no partial acks}: every acknowledged update is recovered, exactly
+     once (a crash before the batch fence must lose the whole unfenced
+     tail-batch, and since nothing in it was acknowledged, that loss is
+     invisible here);
+   - {b all-or-nothing batches}: the adopted history is gapless — a torn
+     batch record fails its CRC frame whole, so no prefix of a batch is
+     ever adopted (no gaps, no drops, no disagreements on clean media);
+   - {b idempotence}: re-recovery adopts the identical history;
+   - {b consistency}: the recovered state is exactly the fold of the
+     recovered history;
+   - {b liveness}: the recovered object completes a post-crash era.
+
+   Across the sweep both crash windows must actually occur: some run
+   loses an unacknowledged tail (crash before the fence), some run
+   recovers an update that was durable but never acknowledged (crash
+   after the fence, before the ack) — otherwise the sweep never
+   exercised the protocol it claims to. *)
+let crash_sweep ~replicas () =
+  let saw_tail_lost = ref false in
+  let saw_unacked_recovered = ref false in
+  let crashed_runs = ref 0 in
+  for crash_at = 2 to 90 do
+    let sim =
+      Sim.create ~max_processes:3
+        ~crash_policy:Onll_nvm.Crash_policy.Drop_all ()
+    in
+    let module M = (val Sim.machine sim) in
+    let module C = Onll_batched.Make (M) (Cs) in
+    let obj = C.make (cfg ~replicas ()) in
+    let invoked = ref [] in
+    let completed = ref [] in
+    let body p _ =
+      for seq = 0 to 2 do
+        let id = { Onll_core.Onll.id_proc = p; id_seq = seq } in
+        invoked := id :: !invoked;
+        ignore (C.update_detectable obj ~seq Cs.Increment);
+        completed := id :: !completed
+      done
+    in
+    let outcome =
+      Sim.run sim
+        (Onll_sched.Sched.Strategy.random_with_crash ~seed:crash_at
+           ~crash_at_step:crash_at)
+        (Array.init 3 (fun p -> body p))
+    in
+    if outcome = Onll_sched.Sched.World.Crashed then begin
+      incr crashed_runs;
+      let r = C.recover_report obj in
+      let fail_at fmt =
+        Format.kasprintf
+          (fun s -> Alcotest.failf "crash at step %d: %s" crash_at s)
+          fmt
+      in
+      (* all-or-nothing: clean media, so the adopted history is gapless *)
+      if r.Onll_core.Onll.Recovery_report.gap_indices <> [] then
+        fail_at "recovery found gaps — a batch was adopted partially";
+      if r.Onll_core.Onll.Recovery_report.dropped <> [] then
+        fail_at "recovery dropped operations on clean media";
+      if r.Onll_core.Onll.Recovery_report.disagreements <> [] then
+        fail_at "recovery found disagreements on clean media";
+      if r.Onll_core.Onll.Recovery_report.decode_failures <> 0 then
+        fail_at "undecodable record on clean media";
+      let ops = C.recovered_ops obj in
+      (* no partial acks: acknowledged => recovered exactly once *)
+      List.iter
+        (fun id ->
+          if not (C.was_linearized obj id) then
+            fail_at "acknowledged update %a lost" Onll_core.Onll.pp_op_id id;
+          match
+            List.length (List.filter (fun (id', _) -> id' = id) ops)
+          with
+          | 1 -> ()
+          | n ->
+              fail_at "acknowledged update %a recovered %d times"
+                Onll_core.Onll.pp_op_id id n)
+        !completed;
+      (* idempotence *)
+      ignore (C.recover_report obj);
+      if C.recovered_ops obj <> ops then fail_at "re-recovery disagreed";
+      (* consistency: counter state = number of recovered increments *)
+      check Alcotest.int
+        (Printf.sprintf "crash at step %d: state is the recovered fold"
+           crash_at)
+        (List.length ops) (C.read obj Cs.Get);
+      (* classify which side of the shared fence this crash landed on *)
+      List.iter
+        (fun id ->
+          if not (List.mem id !completed) then
+            if C.was_linearized obj id then saw_unacked_recovered := true
+            else saw_tail_lost := true)
+        !invoked;
+      (* liveness *)
+      let post _ = for _ = 1 to 2 do ignore (C.update obj Cs.Increment) done in
+      match Sim.run sim Onll_sched.Sched.Strategy.round_robin [| post |] with
+      | Onll_sched.Sched.World.Completed -> ()
+      | _ -> fail_at "post-crash era did not complete"
+    end
+  done;
+  check Alcotest.bool "sweep produced crashes" true (!crashed_runs > 40);
+  check Alcotest.bool
+    "some crash lost an unacknowledged (unfenced) tail-batch" true
+    !saw_tail_lost;
+  check Alcotest.bool
+    "some crash recovered a durable-but-unacknowledged update" true
+    !saw_unacked_recovered
+
+let test_crash_at_every_step () = crash_sweep ~replicas:1 ()
+let test_crash_at_every_step_mirrored () = crash_sweep ~replicas:2 ()
+
+(* {1 Checkpointing and compaction} *)
+
+let test_compaction_preserves_detectability () =
+  let sim = Sim.create ~max_processes:2 () in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_batched.Make (M) (Cs) in
+  (* 240 updates through a 2 KiB log: completion alone proves the
+     checkpoint-compact-relocate path ran many times over. *)
+  let obj = C.make (cfg ~log_capacity:2048 ()) in
+  let per_proc = 120 in
+  let body _ =
+    for _ = 1 to per_proc do
+      ignore (C.update obj Cs.Increment)
+    done
+  in
+  (match
+     Sim.run sim Onll_sched.Sched.Strategy.round_robin (Array.make 2 body)
+   with
+  | Onll_sched.Sched.World.Completed -> ()
+  | _ -> Alcotest.fail "workload did not survive log pressure");
+  check Alcotest.int "no update lost to compaction" (2 * per_proc)
+    (C.read obj Cs.Get);
+  (* Detectability is answered from sequence floors once the history
+     behind a checkpoint is gone — every pre-compaction id still
+     acknowledges. *)
+  for p = 0 to 1 do
+    for seq = 0 to per_proc - 1 do
+      if
+        not (C.was_linearized obj { Onll_core.Onll.id_proc = p; id_seq = seq })
+      then
+        Alcotest.failf "update (%d,%d) no longer detectable after compaction"
+          p seq
+    done
+  done;
+  check Alcotest.bool "never-executed id stays undetected" false
+    (C.was_linearized obj { Onll_core.Onll.id_proc = 0; id_seq = per_proc });
+  let snap = C.snapshot obj in
+  check Alcotest.int "one shared log" 1
+    (List.length snap.Onll_core.Onll.Snapshot.logs);
+  check Alcotest.int "watermark covers every update" (2 * per_proc)
+    snap.Onll_core.Onll.Snapshot.latest_available_idx
+
+(* {1 The chaos arms (media faults, nested recovery crashes)} *)
+
+let test_batched_chaos_arms () =
+  let module Ch = Test_support.Chaos.Make (Onll_specs.Kv) in
+  let run plan =
+    Ch.run ~plan ~gen_update:Test_support.Gen.Kv.update
+      ~gen_read:Test_support.Gen.Kv.read ()
+  in
+  for seed = 1 to 4 do
+    let r = run (Test_support.Chaos_harness.batched_plan_of_seed seed) in
+    check Alcotest.(list string)
+      (Printf.sprintf "batched seed %d clean" seed)
+      [] r.Test_support.Chaos.violations;
+    let r =
+      run (Test_support.Chaos_harness.batched_mirrored_plan_of_seed seed)
+    in
+    check Alcotest.(list string)
+      (Printf.sprintf "batched+mirrored seed %d clean" seed)
+      [] r.Test_support.Chaos.violations;
+    (* the E13 bar composed with batching: a primary-only fault on the
+       shared batch log costs nothing at all *)
+    check Alcotest.int
+      (Printf.sprintf "batched+mirrored seed %d lost nothing" seed)
+      0
+      (r.Test_support.Chaos.lost_reported
+     + r.Test_support.Chaos.tail_ambiguous)
+  done
+
+let () =
+  Alcotest.run "batched"
+    [
+      ( "amortisation",
+        [
+          Alcotest.test_case "concurrent submitters share the fence" `Quick
+            test_combining_amortizes_fences;
+          Alcotest.test_case "solo degenerates to exactly 1 pf/update"
+            `Quick test_solo_degenerates_to_one_fence_per_update;
+        ] );
+      ( "detectability",
+        [
+          Alcotest.test_case "sequence reuse rejected before effect" `Quick
+            test_seq_reuse_rejected_before_effect;
+          Alcotest.test_case "compaction preserves detectability" `Quick
+            test_compaction_preserves_detectability;
+        ] );
+      ( "crash-mid-batch",
+        [
+          Alcotest.test_case "crash at every step of the batch protocol"
+            `Quick test_crash_at_every_step;
+          Alcotest.test_case "crash at every step (mirrored log)" `Quick
+            test_crash_at_every_step_mirrored;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "batched and batched+mirrored arms clean"
+            `Quick test_batched_chaos_arms;
+        ] );
+    ]

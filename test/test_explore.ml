@@ -88,7 +88,7 @@ let test_onll_counter_all_schedules () =
     let sim = Sim.create ~max_processes:2 () in
     let module M = (val Sim.machine sim) in
     let module C = Onll_core.Onll.Make (M) (Cs) in
-    let obj = C.create ~log_capacity:4096 () in
+    let obj = C.make { Onll_core.Onll.Config.default with log_capacity = 4096 } in
     let procs =
       Array.init 2 (fun _ -> fun _ -> ignore (C.update obj Cs.Increment))
     in
@@ -113,7 +113,7 @@ let test_onll_durability_all_schedules_and_crashes () =
     let sim = Sim.create ~max_processes:2 () in
     let module M = (val Sim.machine sim) in
     let module C = Onll_core.Onll.Make (M) (Cs) in
-    let obj = C.create ~log_capacity:4096 () in
+    let obj = C.make { Onll_core.Onll.Config.default with log_capacity = 4096 } in
     let completed = ref 0 in
     let procs =
       Array.init 2 (fun p ->
@@ -219,7 +219,7 @@ let test_onll_same_program_no_violation () =
     let sim = Sim.create ~max_processes:2 () in
     let module M = (val Sim.machine sim) in
     let module C = Onll_core.Onll.Make (M) (Cs) in
-    let obj = C.create ~log_capacity:4096 () in
+    let obj = C.make { Onll_core.Onll.Config.default with log_capacity = 4096 } in
     let recorder = H.Recorder.create () in
     let procs =
       [|
@@ -257,7 +257,7 @@ let test_wait_free_onll_explored () =
     let sim = Sim.create ~max_processes:2 () in
     let module M = (val Sim.machine sim) in
     let module C = Onll_core.Onll.Make_wait_free (M) (Cs) in
-    let obj = C.create ~log_capacity:4096 () in
+    let obj = C.make { Onll_core.Onll.Config.default with log_capacity = 4096 } in
     ( sim,
       Array.init 2 (fun _ -> fun _ -> ignore (C.update obj Cs.Increment)),
       fun outcome ->

@@ -19,7 +19,7 @@ let test_media_corruption_deterministic () =
     let sim = Sim.create ~max_processes:1 () in
     let module M = (val Sim.machine sim) in
     let module C = Onll_core.Onll.Make (M) (Cs) in
-    let obj = C.create ~log_capacity:4096 () in
+    let obj = C.make { Onll_core.Onll.Config.default with log_capacity = 4096 } in
     for _ = 1 to 5 do ignore (C.update obj Cs.Increment) done;
     let mem = Sim.memory sim in
     let plan =

@@ -11,7 +11,7 @@ let onll n =
   let sim = Sim.create ~max_processes:n () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   ( sim,
     Array.init n (fun _ -> fun _ -> ignore (C.update obj Cs.Increment)) )
 
@@ -84,7 +84,7 @@ let test_onll_rounds_one_fence_per_operation () =
       let sim = Sim.create ~max_processes:n () in
       let module M = (val Sim.machine sim) in
       let module C = Onll_core.Onll.Make (M) (Cs) in
-      let obj = C.create () in
+      let obj = C.make Onll_core.Onll.Config.default in
       let procs =
         Array.init n (fun _ ->
             fun _ ->

@@ -14,7 +14,7 @@ let test_parallel_increments () =
   let native = Native.create ~max_processes:(n_domains + 1) ~fence_ns:0 () in
   let module M = (val Native.machine native) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create ~log_capacity:(1 lsl 20) () in
+  let obj = C.make { Onll_core.Onll.Config.default with log_capacity = (1 lsl 20) } in
   ignore (Native.register native)  (* the main domain reads at the end *);
   let per_domain = 200 in
   let bodies =
@@ -38,7 +38,7 @@ let test_parallel_mixed_reads () =
   let native = Native.create ~max_processes:(n_domains + 1) ~fence_ns:0 () in
   let module M = (val Native.machine native) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create ~log_capacity:(1 lsl 20) ~local_views:true () in
+  let obj = C.make { Onll_core.Onll.Config.default with log_capacity = (1 lsl 20); local_views = true } in
   ignore (Native.register native);
   let per_domain = 100 in
   let monotone =
@@ -64,7 +64,7 @@ let test_parallel_queue_fifo_per_producer () =
   let native = Native.create ~max_processes:n_domains ~fence_ns:0 () in
   let module M = (val Native.machine native) in
   let module C = Onll_core.Onll.Make (M) (Onll_specs.Queue_spec) in
-  let obj = C.create ~log_capacity:(1 lsl 20) () in
+  let obj = C.make { Onll_core.Onll.Config.default with log_capacity = (1 lsl 20) } in
   let per_domain = 50 in
   (* each producer enqueues p*1000, p*1000+1, ... — per-producer order must
      be preserved in the final queue (FIFO + linearizability) *)
@@ -95,7 +95,7 @@ let test_native_fence_cost_slows_updates () =
     let native = Native.create ~max_processes:1 ~fence_ns () in
     let module M = (val Native.machine native) in
     let module C = Onll_core.Onll.Make (M) (Cs) in
-    let obj = C.create ~log_capacity:(1 lsl 20) () in
+    let obj = C.make { Onll_core.Onll.Config.default with log_capacity = (1 lsl 20) } in
     ignore (Native.register native);
     let t0 = Unix.gettimeofday () in
     for _ = 1 to 300 do
@@ -114,7 +114,7 @@ let test_parallel_wait_free_increments () =
   let native = Native.create ~max_processes:(n_domains + 1) ~fence_ns:0 () in
   let module M = (val Native.machine native) in
   let module C = Onll_core.Onll.Make_wait_free (M) (Cs) in
-  let obj = C.create ~log_capacity:(1 lsl 22) () in
+  let obj = C.make { Onll_core.Onll.Config.default with log_capacity = (1 lsl 22) } in
   ignore (Native.register native);
   let per_domain = 100 in
   let results =
@@ -139,7 +139,7 @@ let test_parallel_queue_conservation () =
   let native = Native.create ~max_processes:(n_domains + 1) ~fence_ns:0 () in
   let module M = (val Native.machine native) in
   let module C = Onll_core.Onll.Make (M) (Onll_specs.Queue_spec) in
-  let obj = C.create ~log_capacity:(1 lsl 22) ~local_views:true () in
+  let obj = C.make { Onll_core.Onll.Config.default with log_capacity = (1 lsl 22); local_views = true } in
   ignore (Native.register native);
   let producers = n_domains / 2 and consumers = n_domains - (n_domains / 2) in
   let per = 80 in
@@ -172,7 +172,7 @@ let test_native_detectable_ids () =
   let native = Native.create ~max_processes:2 ~fence_ns:0 () in
   let module M = (val Native.machine native) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   let ids =
     Native.run_workers native
       (List.init 2 (fun _ ->

@@ -14,7 +14,7 @@ let test_sequential_counter () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   check Alcotest.int "read initial" 0 (C.read obj Cs.Get);
   check Alcotest.int "first increment" 1 (C.update obj Cs.Increment);
   check Alcotest.int "second increment" 2 (C.update obj Cs.Increment);
@@ -25,7 +25,7 @@ let test_sequential_kv () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Onll_specs.Kv) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   let open Onll_specs.Kv in
   check Alcotest.bool "put fresh" true
     (C.update obj (Put ("k", "v1")) = Previous None);
@@ -41,7 +41,7 @@ let test_sequential_queue () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Onll_specs.Queue_spec) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   let open Onll_specs.Queue_spec in
   check Alcotest.bool "deq empty" true (C.update obj Dequeue = Taken None);
   ignore (C.update obj (Enqueue 1));
@@ -56,7 +56,7 @@ let test_one_fence_per_update_zero_per_read () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   for i = 1 to 20 do
     ignore (C.update obj Cs.Increment);
     check Alcotest.int "updates: exactly one fence each" i
@@ -74,7 +74,7 @@ let test_fence_bound_concurrent () =
     let sim = Sim.create ~max_processes:4 () in
     let module M = (val Sim.machine sim) in
     let module C = Onll_core.Onll.Make (M) (Cs) in
-    let obj = C.create () in
+    let obj = C.make Onll_core.Onll.Config.default in
     let procs =
       Array.init 4 (fun _ ->
           fun _ ->
@@ -95,7 +95,7 @@ let test_concurrent_increments_return_distinct_values () =
   let sim = Sim.create ~max_processes:4 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   let results = ref [] in
   let procs =
     Array.init 4 (fun _ ->
@@ -120,7 +120,7 @@ let test_reads_monotone_per_process () =
   let sim = Sim.create ~max_processes:4 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   let violation = ref false in
   let procs =
     Array.init 4 (fun p ->
@@ -189,7 +189,7 @@ let test_prop59_read_anomaly () =
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
   let module H = Onll_histcheck.Histcheck.Make (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   let recorder = H.Recorder.create () in
   let read_v = ref (-1) in
   let procs =
@@ -248,7 +248,7 @@ let test_recover_empty () =
   let sim = Sim.create ~max_processes:2 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   C.recover obj;
   check Alcotest.int "empty recovery = initial" 0 (C.read obj Cs.Get)
 
@@ -256,7 +256,7 @@ let test_recover_idempotent () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   for _ = 1 to 5 do
     ignore (C.update obj Cs.Increment)
   done;
@@ -270,7 +270,7 @@ let test_repeated_crashes () =
   let sim = Sim.create ~max_processes:2 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   let total = ref 0 in
   for round = 1 to 5 do
     let procs =
@@ -299,7 +299,7 @@ let test_values_consistent_after_recovery () =
   let sim = Sim.create ~max_processes:3 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   let returned = ref [] in
   let procs =
     Array.init 3 (fun _ ->
@@ -325,7 +325,7 @@ let test_post_recovery_updates_continue () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   ignore (C.update obj (Cs.Add 10));
   Onll_nvm.Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
   C.recover obj;
@@ -345,7 +345,7 @@ let test_recovery_under_persist_all () =
   in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   let procs =
     Array.init 3 (fun _ ->
         fun _ ->
@@ -367,7 +367,7 @@ let test_detectable_pre_append_op_is_lost () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   let script =
     Sched.Strategy.script
       [
@@ -387,7 +387,7 @@ let test_detectable_post_fence_op_survives () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   let script =
     Sched.Strategy.script
       [
@@ -408,7 +408,7 @@ let test_detectable_seq_reuse_rejected () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   ignore (C.update_detectable obj ~seq:0 Cs.Increment);
   Alcotest.check_raises "reuse"
     (Invalid_argument "Onll.update_detectable: sequence number reused")
@@ -424,7 +424,7 @@ let test_detectable_seq_reuse_no_side_effects () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Kv) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   ignore (C.update_detectable obj ~seq:0 (Kv.Put ("k", "original")));
   let live_bytes () =
     List.map
@@ -459,7 +459,7 @@ let test_seq_numbers_advance_past_recovery () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   let id1, _ = C.update_with_id obj Cs.Increment in
   Onll_nvm.Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
   C.recover obj;
@@ -478,7 +478,7 @@ let test_local_views_same_results () =
     let sim = Sim.create ~max_processes:1 () in
     let module M = (val Sim.machine sim) in
     let module C = Onll_core.Onll.Make (M) (Cs) in
-    let obj = C.create ~local_views () in
+    let obj = C.make { Onll_core.Onll.Config.default with local_views } in
     List.concat_map
       (fun _ -> [ C.update obj Cs.Increment; C.read obj Cs.Get ])
       (List.init 10 Fun.id)
@@ -492,7 +492,7 @@ let test_local_views_same_results () =
     let sim = Sim.create ~max_processes:3 () in
     let module M = (val Sim.machine sim) in
     let module C = Onll_core.Onll.Make (M) (Cs) in
-    let obj = C.create ~local_views:true () in
+    let obj = C.make { Onll_core.Onll.Config.default with local_views = true } in
     let results = ref [] in
     let procs =
       Array.init 3 (fun _ ->
@@ -515,7 +515,7 @@ let test_local_views_survive_crash_reset () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create ~local_views:true () in
+  let obj = C.make { Onll_core.Onll.Config.default with local_views = true } in
   for _ = 1 to 5 do
     ignore (C.update obj Cs.Increment)
   done;
@@ -531,14 +531,14 @@ let test_checkpoint_compacts_log () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   for _ = 1 to 20 do
     ignore (C.update obj Cs.Increment)
   done;
-  let live_before = List.fold_left (fun a (_, l, _) -> a + l) 0 (C.log_stats obj) in
+  let live_before = List.fold_left (fun a (_, l, _) -> a + l) 0 ((List.map (fun l -> Onll_core.Onll.Snapshot.(l.log_name, l.live_bytes, l.used_bytes)) (C.snapshot obj).Onll_core.Onll.Snapshot.logs)) in
   let upto = C.checkpoint obj in
   check Alcotest.int "checkpoint covers all" 20 upto;
-  let live_after = List.fold_left (fun a (_, l, _) -> a + l) 0 (C.log_stats obj) in
+  let live_after = List.fold_left (fun a (_, l, _) -> a + l) 0 ((List.map (fun l -> Onll_core.Onll.Snapshot.(l.log_name, l.live_bytes, l.used_bytes)) (C.snapshot obj).Onll_core.Onll.Snapshot.logs)) in
   check Alcotest.bool "log shrank" true (live_after < live_before);
   check Alcotest.int "state unchanged" 20 (C.read obj Cs.Get)
 
@@ -546,7 +546,7 @@ let test_recovery_from_checkpoint () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   for _ = 1 to 10 do
     ignore (C.update obj Cs.Increment)
   done;
@@ -567,7 +567,7 @@ let test_detectability_past_checkpoint () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   let id, _ = C.update_with_id obj Cs.Increment in
   ignore (C.checkpoint obj);
   Onll_nvm.Memory.crash (Sim.memory sim) ~policy:Onll_nvm.Crash_policy.Drop_all;
@@ -581,7 +581,7 @@ let test_prune_keeps_reads_correct () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   for _ = 1 to 10 do
     ignore (C.update obj Cs.Increment)
   done;
@@ -597,7 +597,7 @@ let test_checkpoint_prune_crash_cycle () =
   let sim = Sim.create ~max_processes:2 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   for round = 1 to 4 do
     let procs =
       Array.init 2 (fun _ ->
@@ -608,7 +608,7 @@ let test_checkpoint_prune_crash_cycle () =
     in
     ignore (Sim.run sim (Sched.Strategy.random ~seed:round) procs);
     ignore (C.checkpoint obj);
-    C.prune obj ~below:(C.latest_available_idx obj);
+    C.prune obj ~below:((C.snapshot obj).Onll_core.Onll.Snapshot.latest_available_idx);
     Onll_nvm.Memory.crash (Sim.memory sim)
       ~policy:Onll_nvm.Crash_policy.Drop_all;
     C.recover obj;
@@ -622,8 +622,8 @@ let test_two_objects_independent () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let a = C.create () in
-  let b = C.create () in
+  let a = C.make Onll_core.Onll.Config.default in
+  let b = C.make Onll_core.Onll.Config.default in
   ignore (C.update a (Cs.Add 3));
   ignore (C.update b (Cs.Add 4));
   check Alcotest.int "a" 3 (C.read a Cs.Get);
@@ -637,7 +637,7 @@ let test_log_full_auto_compacts () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create ~log_capacity:256 () in
+  let obj = C.make { Onll_core.Onll.Config.default with log_capacity = 256 } in
   for _ = 1 to 100 do
     ignore (C.update obj Cs.Increment)
   done;
@@ -653,7 +653,7 @@ let test_log_full_terminal_when_checkpoint_cannot_fit () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create ~log_capacity:80 () in
+  let obj = C.make { Onll_core.Onll.Config.default with log_capacity = 80 } in
   check Alcotest.bool "typed Log_full" true
     (match
        for _ = 1 to 100 do
@@ -672,7 +672,7 @@ let test_recovery_corrupt_on_forged_gap () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   let open Onll_util in
   (* envelope (proc 0, seq 0, Increment); the operation is encoded inline
      (not length-prefixed) and Increment = tagged (0, "") *)

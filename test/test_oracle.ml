@@ -79,7 +79,7 @@ let test_real_onll_accepted_same_schedule () =
   let sim = Sim.create ~max_processes:2 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   let _, _, _, go =
     drive_scenario
       ~update:(fun () -> C.update obj Cs.Increment)

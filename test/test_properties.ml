@@ -49,12 +49,12 @@ let onll_driver (type s u r v)
   let module M = (val Sim.machine sim) in
   if wait_free then begin
     let module C = Onll_core.Onll.Make_wait_free (M) (S) in
-    let obj = C.create ~local_views () in
+    let obj = C.make { Onll_core.Onll.Config.default with local_views } in
     (C.update obj, C.read obj)
   end
   else begin
     let module C = Onll_core.Onll.Make (M) (S) in
-    let obj = C.create ~local_views () in
+    let obj = C.make { Onll_core.Onll.Config.default with local_views } in
     (C.update obj, C.read obj)
   end
 
@@ -153,7 +153,7 @@ let prop_recovered_count_bounds =
          let sim = Sim.create ~max_processes:3 () in
          let module M = (val Sim.machine sim) in
          let module C = Onll_core.Onll.Make (M) (Cs) in
-         let obj = C.create () in
+         let obj = C.make Onll_core.Onll.Config.default in
          let completed = ref 0 and invoked = ref 0 in
          let procs =
            Array.init 3 (fun _ ->
@@ -182,7 +182,7 @@ let prop_multi_era_monotone =
          let sim = Sim.create ~max_processes:2 () in
          let module M = (val Sim.machine sim) in
          let module C = Onll_core.Onll.Make (M) (Cs) in
-         let obj = C.create ~log_capacity:(1 lsl 18) () in
+         let obj = C.make { Onll_core.Onll.Config.default with log_capacity = (1 lsl 18) } in
          let last = ref 0 in
          let ok = ref true in
          for era = 1 to 4 do
@@ -217,13 +217,13 @@ let prop_checkpoint_anytime =
          let sim = Sim.create ~max_processes:1 () in
          let module M = (val Sim.machine sim) in
          let module C = Onll_core.Onll.Make (M) (Cs) in
-         let obj = C.create ~log_capacity:(1 lsl 18) () in
+         let obj = C.make { Onll_core.Onll.Config.default with log_capacity = (1 lsl 18) } in
          let n = 30 in
          for _ = 1 to n do
            ignore (C.update obj Cs.Increment);
            (match Splitmix.int rng 6 with
            | 0 -> ignore (C.checkpoint obj)
-           | 1 -> C.prune obj ~below:(C.latest_available_idx obj)
+           | 1 -> C.prune obj ~below:((C.snapshot obj).Onll_core.Onll.Snapshot.latest_available_idx)
            | _ -> ())
          done;
          Onll_nvm.Memory.crash (Sim.memory sim)
@@ -242,7 +242,7 @@ let prop_detectability_total =
          let sim = Sim.create ~max_processes:2 () in
          let module M = (val Sim.machine sim) in
          let module C = Onll_core.Onll.Make (M) (Cs) in
-         let obj = C.create () in
+         let obj = C.make Onll_core.Onll.Config.default in
          let per = 4 in
          let procs =
            Array.init 2 (fun p ->

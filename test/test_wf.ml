@@ -18,7 +18,7 @@ let test_sequential_counter () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make_wait_free (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   check Alcotest.int "initial" 0 (C.read obj Cs.Get);
   check Alcotest.int "incr" 1 (C.update obj Cs.Increment);
   check Alcotest.int "add" 6 (C.update obj (Cs.Add 5));
@@ -28,7 +28,7 @@ let test_sequential_kv () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make_wait_free (M) (Onll_specs.Kv) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   let open Onll_specs.Kv in
   check Alcotest.bool "put" true (C.update obj (Put ("k", "v")) = Previous None);
   check Alcotest.bool "get" true (C.read obj (Get "k") = Found (Some "v"))
@@ -37,7 +37,7 @@ let test_fences_one_per_update () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make_wait_free (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   for i = 1 to 15 do
     ignore (C.update obj Cs.Increment);
     check Alcotest.int "1 fence per update" i (M.persistent_fences ())
@@ -52,7 +52,7 @@ let test_concurrent_permutation () =
     let sim = Sim.create ~max_processes:4 () in
     let module M = (val Sim.machine sim) in
     let module C = Onll_core.Onll.Make_wait_free (M) (Cs) in
-    let obj = C.create () in
+    let obj = C.make Onll_core.Onll.Config.default in
     let results = ref [] in
     let procs =
       Array.init 4 (fun _ ->
@@ -77,7 +77,7 @@ let test_local_views_equivalent () =
     let sim = Sim.create ~max_processes:1 () in
     let module M = (val Sim.machine sim) in
     let module C = Onll_core.Onll.Make_wait_free (M) (Cs) in
-    let obj = C.create ~local_views () in
+    let obj = C.make { Onll_core.Onll.Config.default with local_views } in
     List.concat_map
       (fun _ -> [ C.update obj Cs.Increment; C.read obj Cs.Get ])
       (List.init 10 Fun.id)
@@ -94,7 +94,7 @@ let test_crash_recovery () =
   let sim = Sim.create ~max_processes:3 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make_wait_free (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   let procs =
     Array.init 3 (fun _ ->
         fun _ ->
@@ -117,7 +117,7 @@ let test_checkpoint_works_prune_unsupported () =
   let sim = Sim.create ~max_processes:1 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make_wait_free (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   for _ = 1 to 10 do
     ignore (C.update obj Cs.Increment)
   done;
@@ -144,7 +144,7 @@ let test_helper_completes_parked_insert () =
   let sim = Sim.create ~max_processes:2 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make_wait_free (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   let p1_value = ref 0 in
   let procs =
     [|
@@ -178,13 +178,13 @@ let test_helper_completes_parked_insert () =
   check Alcotest.int "p1 returned 2 (p0's op ordered first)" 2 !p1_value;
   (* p1's single log entry persisted both operations *)
   check Alcotest.(list int) "p1's entry has 2 ops" [ 2 ]
-    (C.log_ops_per_entry obj ~proc:1)
+    ((List.nth (C.snapshot obj).Onll_core.Onll.Snapshot.logs 1).Onll_core.Onll.Snapshot.ops_per_entry)
 
 let test_parked_insert_durable_across_crash () =
   let sim = Sim.create ~max_processes:2 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make_wait_free (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   let procs =
     [|
       (fun _ -> ignore (C.update_detectable obj ~seq:0 Cs.Increment));
@@ -217,7 +217,7 @@ let test_parked_announcer_resumes_cleanly () =
   let sim = Sim.create ~max_processes:2 () in
   let module M = (val Sim.machine sim) in
   let module C = Onll_core.Onll.Make_wait_free (M) (Cs) in
-  let obj = C.create () in
+  let obj = C.make Onll_core.Onll.Config.default in
   let p0_value = ref 0 and p1_value = ref 0 in
   let procs =
     [|
@@ -246,7 +246,7 @@ let test_lower_bound_holds_for_wf () =
     let sim = Sim.create ~max_processes:n () in
     let module M = (val Sim.machine sim) in
     let module C = Onll_core.Onll.Make_wait_free (M) (Cs) in
-    let obj = C.create () in
+    let obj = C.make Onll_core.Onll.Config.default in
     ( sim,
       Array.init n (fun _ -> fun _ -> ignore (C.update obj Cs.Increment)) )
   in
@@ -292,7 +292,7 @@ let test_wf_fuzzy_bound () =
     let sim = Sim.create ~max_processes:3 () in
     let module M = (val Sim.machine sim) in
     let module C = Onll_core.Onll.Make_wait_free (M) (Cs) in
-    let obj = C.create () in
+    let obj = C.make Onll_core.Onll.Config.default in
     let procs =
       Array.init 3 (fun _ ->
           fun _ ->
@@ -301,7 +301,7 @@ let test_wf_fuzzy_bound () =
             done)
     in
     ignore (Sim.run sim (Sched.Strategy.random ~seed) procs);
-    worst := max !worst (C.max_fuzzy_window obj);
+    worst := max !worst ((C.snapshot obj).Onll_core.Onll.Snapshot.max_fuzzy_window);
     check Alcotest.int "all ops applied" 15 (C.read obj Cs.Get)
   done;
   check Alcotest.bool "Prop 5.2 bound" true (!worst <= 3)
