@@ -29,15 +29,17 @@ gate:
 	dune build bench/bench_gate.exe
 	./_build/default/bench/bench_gate.exe --self-test
 
-# A fast slice of the E12/E13/E14/E16 chaos campaigns: media faults +
-# nested recovery crashes on two objects, the unhardened calibration
+# A fast slice of the E12/E13/E14/E16/E17 chaos campaigns: media faults
+# + nested recovery crashes on two objects, the unhardened calibration
 # baseline (which must be caught losing data), a mirrored slice where
 # primary-only faults must cost nothing (zero losses, zero ambiguity),
-# the same pair against the 4-shard partitioned construction, and the
+# the same pair against the 4-shard partitioned construction, the
 # group-commit object where the crash lands mid-batch (alone and
-# composed with --mirrored). Built once up front: the runs reuse one set
-# of artifacts instead of per-run dune exec rebuild checks. Full
-# campaigns: dune exec bench/main.exe e12 e13 e14 e16
+# composed with --mirrored), and a kill -9 slice of the E17 file-backend
+# campaign (real files, real fsync, SIGKILLed subprocess workers). Built
+# once up front: the runs reuse one set of artifacts instead of per-run
+# dune exec rebuild checks. Full campaigns: dune exec bench/main.exe
+# e12 e13 e14 e16 e17
 ONLL_CLI := ./_build/default/bin/onll_cli.exe
 chaos-smoke:
 	dune build bin/onll_cli.exe
@@ -50,6 +52,7 @@ chaos-smoke:
 	$(ONLL_CLI) chaos -s kv --seeds 10 --batched
 	$(ONLL_CLI) chaos -s kv --seeds 10 --batched --mirrored
 	$(ONLL_CLI) chaos --session --seeds 10
+	$(ONLL_CLI) store campaign --seeds 4
 	$(ONLL_CLI) scrub
 	$(ONLL_CLI) session
 

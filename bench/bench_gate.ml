@@ -20,10 +20,12 @@
     - [BENCH_e14.json]: every [e14.*] key (fence accounting, routing,
       chaos violation counters) must match exactly. Native [mops.*]
       gauges are measurements, not invariants — never gated;
-    - [BENCH_e13.json] / [BENCH_e15.json] / [BENCH_e16.json]: every
-      [e13.*] / [e15.*] / [e16.*] key (loss, duplicate, lost-ack,
-      violation, fence-amortisation and fault counters of the
-      deterministic slices) must match exactly;
+    - [BENCH_e13.json] / [BENCH_e15.json] / [BENCH_e16.json] /
+      [BENCH_e17.json]: every [e13.*] / [e15.*] / [e16.*] / [e17.*] key
+      (loss, duplicate, lost-ack, violation, fence-amortisation, fault
+      and file-store crash-slice counters of the deterministic slices)
+      must match exactly — the [e17t.*] timing and [e17c.*] subprocess
+      campaign keys live outside the gated prefix on purpose;
     - every committed golden: any key ending in [.violations] must be 0.
 
     Exit status 0 = gate passes; 1 = regression (each one named on
@@ -34,8 +36,8 @@
     Usage: [bench_gate.exe [--snapshots DIR] [--self-test] [--regen]]
     (default DIR: [bench/snapshots], resolved from the repo root or
     [$ONLL_GATE_DIR]). [--regen] overwrites the gated goldens (e1, e13,
-    e14, e15, e16) with the fresh run instead of diffing — review the
-    diff before committing it. *)
+    e14, e15, e16, e17) with the fresh run instead of diffing — review
+    the diff before committing it. *)
 
 let failures = ref []
 
@@ -166,6 +168,14 @@ let () =
   Group_commit.adversarial e16;
   Group_commit.chaos_slices e16;
   ignore (Harness.write_snapshot ~experiment:"e16" e16);
+  Printf.printf "== E17 deterministic file-store crash slices ==\n%!";
+  let e17 = Onll_obs.Metrics.create () in
+  File_store.gate_slices e17;
+  assert (Onll_obs.Metrics.counter_value e17 "e17.restart.plain.violations" = 0);
+  assert (
+    Onll_obs.Metrics.counter_value e17 "e17.restart.mirrored.violations" = 0);
+  assert (Onll_obs.Metrics.counter_value e17 "e17.eio.sticky.degraded" > 0);
+  ignore (Harness.write_snapshot ~experiment:"e17" e17);
   (* [--regen]: adopt the fresh snapshots as the new goldens and stop. *)
   if !regen then begin
     List.iter
@@ -180,7 +190,7 @@ let () =
         output_string oc body;
         close_out oc;
         Printf.printf "regenerated %s\n" dst)
-      [ "e1"; "e13"; "e14"; "e15"; "e16" ];
+      [ "e1"; "e13"; "e14"; "e15"; "e16"; "e17" ];
     print_endline "bench gate: goldens regenerated (review the diff)";
     exit 0
   end;
@@ -230,6 +240,15 @@ let () =
           ~fresh:f
       in
       Printf.printf "e16: %d gated group-commit keys compared\n" n
+  | _ -> ());
+  (match (load (golden "e17"), load (Filename.concat tmp "BENCH_e17.json"))
+   with
+  | Some g, Some f ->
+      let n =
+        compare_gated ~label:"e17" ~gated:(prefixed "e17.") ~golden:g
+          ~fresh:f
+      in
+      Printf.printf "e17: %d gated file-store crash-slice keys compared\n" n
   | _ -> ());
   (* 3. Every committed golden must carry zero violation counters. *)
   Array.iter

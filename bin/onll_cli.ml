@@ -644,7 +644,11 @@ module Stats_run (S : Onll_core.Spec.S) = struct
            exit 1
          end);
         (if crash_at <> None && h.recover = None then begin
-           Printf.eprintf "implementation %S has no hardened recovery\n" impl;
+           Printf.eprintf
+             "implementation %S has no hardened recovery; --crash-at needs \
+              one of: %s\n"
+             impl
+             (String.concat ", " Onll_baselines.Registry.recovery_capable);
            exit 1
          end);
         let strategy =
@@ -897,6 +901,205 @@ let rationale_cmd =
   Cmd.v (Cmd.info "rationale" ~doc)
     Term.(const Onll_scenarios.Rationale.print_all $ const ())
 
+(* {1 store: the file-backed store and its kill -9 harness (E17)} *)
+
+module Fchaos = Test_support.File_chaos
+
+let store_worker dir target replicas kill_at_fence kill_after_sectors
+    fsync_eio_from fsync_eio_count enospc_at_write short_write_prob seed
+    retry_budget backoff_ns =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Printf.eprintf "store directory %S does not exist\n" dir;
+    exit 2
+  end;
+  let fplan =
+    if
+      kill_at_fence = 0 && fsync_eio_from = 0 && enospc_at_write = 0
+      && short_write_prob = 0. && seed = 0
+    then None
+    else
+      Some
+        {
+          Onll_faults.Faults.File_plan.base =
+            { Onll_faults.Faults.Plan.none with seed };
+          kill_at_fence;
+          kill_after_sectors;
+          fsync_eio_from;
+          fsync_eio_count;
+          drop_pages_on_eio = true;
+          enospc_at_write;
+          short_write_prob;
+          kill_mode = Onll_faults.Faults.File_plan.Sigkill;
+        }
+  in
+  let emit line =
+    print_string line;
+    print_newline ();
+    flush stdout
+  in
+  match
+    Fchaos.run_epoch ?fplan ~retry_budget ~backoff_ns ~emit ~dir ~replicas
+      ~target ()
+  with
+  | Fchaos.Done _ -> exit 0
+  | Fchaos.Degraded _ -> exit 3
+  | Fchaos.Failed _ -> exit 4
+  | Fchaos.Crashed ->
+      (* Raise mode is never selected here; Sigkill never returns *)
+      exit 5
+
+let store_worker_cmd =
+  let doc =
+    "(harness internal) Run one epoch of the E17 counter workload against \
+     a file-backed store: open the store, recover, resolve the in-doubt \
+     session operation, submit increments to the target, narrating \
+     RESOLUTION/ACK/DONE lines on stdout. The kill/fault flags arm the \
+     file fault injector; with a kill armed the process SIGKILLs itself \
+     mid-fence and the supervisor audits what the files hold."
+  in
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR" ~doc:"store directory (must exist)")
+  in
+  let target =
+    Arg.(
+      value & opt int 8
+      & info [ "target" ] ~docv:"N" ~doc:"counter value to reach")
+  in
+  let replicas =
+    Arg.(
+      value & opt int 1
+      & info [ "replicas" ] ~docv:"R" ~doc:"mirror logs over R files")
+  in
+  let kill_at_fence =
+    Arg.(
+      value & opt int 0
+      & info [ "kill-at-fence" ] ~docv:"N"
+          ~doc:"SIGKILL self at the N-th persistent fence (0 = never)")
+  in
+  let kill_after_sectors =
+    Arg.(
+      value & opt int 0
+      & info [ "kill-after-sectors" ] ~docv:"K"
+          ~doc:
+            "where inside that fence: 0 before any write, K>0 after K \
+             sector writes, -1 at the fsync point")
+  in
+  let fsync_eio_from =
+    Arg.(
+      value & opt int 0
+      & info [ "fsync-eio-from" ] ~docv:"N"
+          ~doc:"first fsync (1-based) to fail with EIO (0 = never)")
+  in
+  let fsync_eio_count =
+    Arg.(
+      value & opt int 1
+      & info [ "fsync-eio-count" ] ~docv:"N"
+          ~doc:"how many consecutive fsyncs fail")
+  in
+  let enospc_at_write =
+    Arg.(
+      value & opt int 0
+      & info [ "enospc-at-write" ] ~docv:"N"
+          ~doc:"the N-th sector write raises ENOSPC (0 = never)")
+  in
+  let short_write_prob =
+    Arg.(
+      value & opt float 0.
+      & info [ "short-write-prob" ] ~docv:"P"
+          ~doc:"per-sector short (torn) write probability")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"injector seed")
+  in
+  let retry_budget =
+    Arg.(
+      value & opt int 8
+      & info [ "retry-budget" ] ~docv:"N"
+          ~doc:"fence write-back attempts before sticky degradation")
+  in
+  let backoff_ns =
+    Arg.(
+      value & opt int 0
+      & info [ "backoff-ns" ] ~docv:"NS" ~doc:"base retry backoff (ns)")
+  in
+  Cmd.v (Cmd.info "worker" ~doc)
+    Term.(
+      const store_worker $ dir $ target $ replicas $ kill_at_fence
+      $ kill_after_sectors $ fsync_eio_from $ fsync_eio_count
+      $ enospc_at_write $ short_write_prob $ seed $ retry_budget $ backoff_ns)
+
+let store_campaign seeds target dir keep =
+  let base =
+    match dir with
+    | Some d ->
+        if not (Sys.file_exists d) then Unix.mkdir d 0o755;
+        d
+    | None ->
+        let d =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "onll-e17-campaign-%d" (Unix.getpid ()))
+        in
+        Unix.mkdir d 0o755;
+        d
+  in
+  let cam =
+    Fchaos.run_campaign ~worker:Sys.executable_name ~dir:base ~seeds ~target
+  in
+  Format.printf "e17 campaign: %a@." Fchaos.pp_campaign cam;
+  List.iter
+    (Printf.eprintf "violation: %s\n")
+    (Fchaos.campaign_violations cam);
+  if not keep then Fchaos.rm_rf base;
+  if Fchaos.campaign_violations cam <> [] then exit 1
+
+let store_campaign_cmd =
+  let doc =
+    "The E17 kill -9 crash campaign: spawn `onll store worker` \
+     subprocesses against file-backed stores (plain and mirrored), \
+     SIGKILL them at seeded fence points — before, during and after the \
+     sector write-backs and at the fsync itself — rerun recovery in the \
+     next spawn, and audit exactly-once: no acked update lost, no update \
+     applied twice, fsync-EIO arms never ack past a failed fence. Exits \
+     non-zero on any violation."
+  in
+  let seeds =
+    Arg.(
+      value & opt int 8
+      & info [ "seeds" ] ~docv:"N" ~doc:"kill schedules per arm")
+  in
+  let target =
+    Arg.(
+      value & opt int 8
+      & info [ "target" ] ~docv:"N" ~doc:"counter target per scenario")
+  in
+  let dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"campaign scratch directory (default: under \\$TMPDIR)")
+  in
+  let keep =
+    Arg.(
+      value & flag
+      & info [ "keep" ] ~doc:"keep the store directories for inspection")
+  in
+  Cmd.v (Cmd.info "campaign" ~doc)
+    Term.(const store_campaign $ seeds $ target $ dir $ keep)
+
+let store_cmd =
+  let doc =
+    "The real file-backed store (E17): regions are files, a persistent \
+     fence is fsync. Subcommands run one worker epoch or the full kill -9 \
+     crash campaign."
+  in
+  Cmd.group (Cmd.info "store" ~doc) [ store_worker_cmd; store_campaign_cmd ]
+
 (* {1 simulate} *)
 
 let simulate procs ops seed crash_at =
@@ -986,5 +1189,6 @@ let () =
             session_cmd;
             fences_cmd;
             stats_cmd;
+            store_cmd;
             simulate_cmd;
           ]))

@@ -95,6 +95,9 @@ let family name o =
   | "onll-batched" | "batched" -> Some { o with batched = true }
   | _ -> None
 
+let recovery_capable =
+  List.filter (fun n -> family n default_options <> None) names
+
 module Make (S : Onll_core.Spec.S) = struct
   module type C =
     Onll_core.Onll.CONSTRUCTION

@@ -81,6 +81,10 @@ val pp_options : Format.formatter -> options -> unit
 val names : string list
 (** Canonical implementation names, in report order (aliases excluded). *)
 
+val recovery_capable : string list
+(** The subset of {!names} with hardened recovery (the ONLL family) — the
+    implementations [onll stats --crash] and the crash harnesses accept. *)
+
 module Make (S : Onll_core.Spec.S) : sig
   val build :
     ?sink:Onll_obs.Sink.t ->

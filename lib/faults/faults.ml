@@ -246,3 +246,208 @@ let pp_counters ppf c =
      fence_transients=%d recovery_crashes=%d@]"
     c.bit_flips c.torn_spans c.rot_flips c.flush_transients
     c.fence_transients c.recovery_crashes
+
+(* {2 File-backend fault injection} *)
+
+module File_memory = Onll_nvm.File_memory
+
+module File_plan = struct
+  type kill_mode = Sigkill | Raise
+
+  type t = {
+    base : Plan.t;
+    short_write_prob : float;
+    fsync_eio_from : int;
+    fsync_eio_count : int;
+    drop_pages_on_eio : bool;
+    enospc_at_write : int;
+    kill_at_fence : int;
+    kill_after_sectors : int;
+    kill_mode : kill_mode;
+  }
+
+  let none =
+    {
+      base = Plan.none;
+      short_write_prob = 0.;
+      fsync_eio_from = 0;
+      fsync_eio_count = 0;
+      drop_pages_on_eio = true;
+      enospc_at_write = 0;
+      kill_at_fence = 0;
+      kill_after_sectors = -1;
+      kill_mode = Sigkill;
+    }
+end
+
+type file_t = {
+  fplan : File_plan.t;
+  fmem : File_memory.t;
+  frng : Splitmix.t;
+  mutable f_consecutive : int;
+  mutable f_flush_transients : int;
+  mutable f_fence_transients : int;
+  mutable f_short_writes : int;
+  mutable f_eio_injected : int;
+  mutable f_enospc_injected : int;
+  mutable f_kills_fired : int;
+  mutable pfence_attempts : int;  (* fences seen with pending > 0 *)
+  mutable killing_this_fence : bool;
+  mutable sectors_this_fence : int;
+  mutable fsyncs_seen : int;
+  mutable writes_seen : int;
+}
+
+let femit t fault =
+  let sink = File_memory.sink t.fmem in
+  if Sink.active sink then
+    Sink.emit sink ~proc:(-1) (Event.Fault_injected { fault })
+
+(* Same roll discipline as the sim installer ([transient] above): fail
+   with the plan's probability, never more than [max_consecutive] in a
+   row, and only instructions that could have failed touch the counter.
+   The parity test drives one Plan through both installers and asserts
+   the injection sites coincide, so this must draw from its own fresh
+   SplitMix stream in exactly the sim's order. *)
+let ftransient t prob =
+  prob > 0.
+  && t.f_consecutive < t.fplan.File_plan.base.Plan.max_consecutive_transients
+  && Splitmix.float t.frng 1.0 < prob
+
+let fire_kill t where =
+  t.f_kills_fired <- t.f_kills_fired + 1;
+  femit t ("kill_" ^ where);
+  match t.fplan.File_plan.kill_mode with
+  | File_plan.Sigkill ->
+      (* flush stdio so the supervisor sees every line acked before the
+         cut — the kill models power loss to the process, not to already
+         written pipes *)
+      flush stdout;
+      flush stderr;
+      Unix.kill (Unix.getpid ()) Sys.sigkill
+  | File_plan.Raise -> raise Memory.Injected_crash
+
+let install_file fmem (fplan : File_plan.t) =
+  let base = fplan.File_plan.base in
+  let t =
+    {
+      fplan;
+      fmem;
+      frng = Splitmix.create base.Plan.seed;
+      f_consecutive = 0;
+      f_flush_transients = 0;
+      f_fence_transients = 0;
+      f_short_writes = 0;
+      f_eio_injected = 0;
+      f_enospc_injected = 0;
+      f_kills_fired = 0;
+      pfence_attempts = 0;
+      killing_this_fence = false;
+      sectors_this_fence = 0;
+      fsyncs_seen = 0;
+      writes_seen = 0;
+    }
+  in
+  let h_op (_ : Memory.op_kind) = () in
+  let h_flush ~proc:_ ~region =
+    if base.Plan.target region then
+      if ftransient t base.Plan.flush_fail_prob then begin
+        t.f_flush_transients <- t.f_flush_transients + 1;
+        t.f_consecutive <- t.f_consecutive + 1;
+        femit t "flush_transient";
+        raise (Memory.Transient_fault "flush")
+      end
+      else if base.Plan.flush_fail_prob > 0. then t.f_consecutive <- 0
+  in
+  let h_fence ~proc:_ ~pending =
+    if ftransient t base.Plan.fence_fail_prob then begin
+      t.f_fence_transients <- t.f_fence_transients + 1;
+      t.f_consecutive <- t.f_consecutive + 1;
+      femit t "fence_transient";
+      raise (Memory.Transient_fault "fence")
+    end
+    else if base.Plan.fence_fail_prob > 0. then t.f_consecutive <- 0;
+    (* Persistent-fence attempts drive the seeded kill: the [n]-th fence
+       that will actually write gets the cut, either mid-write (after
+       [kill_after_sectors] sector pwrites) or right at its fsync. *)
+    if pending > 0 then begin
+      t.pfence_attempts <- t.pfence_attempts + 1;
+      t.sectors_this_fence <- 0;
+      t.killing_this_fence <-
+        fplan.File_plan.kill_at_fence > 0
+        && t.pfence_attempts = fplan.File_plan.kill_at_fence;
+      if t.killing_this_fence && fplan.File_plan.kill_after_sectors = 0 then
+        fire_kill t "before_write"
+    end
+  in
+  let h_write ~region:_ ~sector:_ ~len =
+    t.writes_seen <- t.writes_seen + 1;
+    if
+      fplan.File_plan.enospc_at_write > 0
+      && t.writes_seen = fplan.File_plan.enospc_at_write
+    then begin
+      t.f_enospc_injected <- t.f_enospc_injected + 1;
+      femit t "enospc";
+      raise (Unix.Unix_error (Unix.ENOSPC, "write", "injected"))
+    end;
+    if t.killing_this_fence && fplan.File_plan.kill_after_sectors > 0 then begin
+      t.sectors_this_fence <- t.sectors_this_fence + 1;
+      if t.sectors_this_fence > fplan.File_plan.kill_after_sectors then
+        fire_kill t "mid_write"
+    end;
+    if
+      fplan.File_plan.short_write_prob > 0.
+      && Splitmix.float t.frng 1.0 < fplan.File_plan.short_write_prob
+    then begin
+      t.f_short_writes <- t.f_short_writes + 1;
+      femit t "short_write";
+      Splitmix.int t.frng (max 1 len)
+    end
+    else len
+  in
+  let h_fsync ~region:_ =
+    (* an armed kill always lands in its fence: mid-write when the fence
+       wrote enough sectors, otherwise here at the fsync point *)
+    if t.killing_this_fence && fplan.File_plan.kill_after_sectors <> 0 then
+      fire_kill t "at_fsync";
+    t.fsyncs_seen <- t.fsyncs_seen + 1;
+    if
+      fplan.File_plan.fsync_eio_from > 0
+      && t.fsyncs_seen >= fplan.File_plan.fsync_eio_from
+      && t.fsyncs_seen
+         < fplan.File_plan.fsync_eio_from + fplan.File_plan.fsync_eio_count
+    then begin
+      t.f_eio_injected <- t.f_eio_injected + 1;
+      femit t "fsync_eio";
+      `Eio fplan.File_plan.drop_pages_on_eio
+    end
+    else `Ok
+  in
+  File_memory.set_hooks fmem
+    (Some { File_memory.h_op; h_flush; h_fence; h_write; h_fsync });
+  t
+
+let remove_file t = File_memory.set_hooks t.fmem None
+
+type file_counters = {
+  f_flush_transients : int;
+  f_fence_transients : int;
+  f_short_writes : int;
+  f_eio_injected : int;
+  f_enospc_injected : int;
+  f_kills_fired : int;
+}
+
+let file_counters (t : file_t) : file_counters =
+  {
+    f_flush_transients = t.f_flush_transients;
+    f_fence_transients = t.f_fence_transients;
+    f_short_writes = t.f_short_writes;
+    f_eio_injected = t.f_eio_injected;
+    f_enospc_injected = t.f_enospc_injected;
+    f_kills_fired = t.f_kills_fired;
+  }
+
+let file_total c =
+  c.f_flush_transients + c.f_fence_transients + c.f_short_writes
+  + c.f_eio_injected + c.f_enospc_injected + c.f_kills_fired

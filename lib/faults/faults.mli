@@ -123,3 +123,76 @@ val counters : t -> counters
 val total : counters -> int
 
 val pp_counters : Format.formatter -> counters -> unit
+
+(** {1 File-backend fault injection}
+
+    The real-media failure model for {!Onll_nvm.File_memory}: everything a
+    file store suffers that the simulator cannot — short/torn sector
+    writes, [fsync] returning [EIO] with fsyncgate page loss, disk-full,
+    and the process being killed mid-fence. A {!File_plan.t} embeds a
+    {!Plan.t} whose transient flush/fence probabilities (with their
+    [target] scoping and consecutive-failure cap) are rolled with {e the
+    same discipline and draw order} as the sim installer, from a fresh
+    SplitMix stream seeded by the plan — so one plan produces identical
+    transient injection sites on both backends (asserted by the parity
+    test in [test_faults.ml]). Crash-time media corruption and online rot
+    do not apply: on real files "the crash" is the kill itself, and what
+    the media then holds is whatever the interrupted write-back left. *)
+
+module File_plan : sig
+  type kill_mode =
+    | Sigkill  (** [kill -9] the calling process — subprocess harness *)
+    | Raise
+        (** raise {!Onll_nvm.Memory.Injected_crash} — deterministic
+            in-process restart tests catch it, close the store, reopen *)
+
+  type t = {
+    base : Plan.t;
+        (** transient flush/fence probabilities, seed, scoping; the media
+            corruption fields are ignored on this backend *)
+    short_write_prob : float;
+        (** per sector [pwrite]: land only a random prefix of the sector,
+            failing the write-back attempt (bounded retry re-writes) *)
+    fsync_eio_from : int;
+        (** 1-based index of the first [fsync] call that returns [EIO];
+            [0] = never *)
+    fsync_eio_count : int;  (** how many consecutive fsyncs fail *)
+    drop_pages_on_eio : bool;
+        (** fsyncgate: the failed fsync also loses this attempt's writes
+            (reverted to pre-images), so only a full re-write can recover *)
+    enospc_at_write : int;
+        (** the [n]-th sector write (1-based) raises [ENOSPC]; [0] = never *)
+    kill_at_fence : int;
+        (** the [n]-th {e persistent} fence attempt (1-based) gets the
+            kill; [0] = never *)
+    kill_after_sectors : int;
+        (** where inside that fence: [0] = before any write, [n > 0] =
+            after [n] sector writes (falling through to the fsync point
+            when the fence writes fewer), [-1] = at the fsync point *)
+    kill_mode : kill_mode;
+  }
+
+  val none : t
+end
+
+type file_t
+(** An installed file-backend injector. *)
+
+val install_file : Onll_nvm.File_memory.t -> File_plan.t -> file_t
+(** Compile the plan into {!Onll_nvm.File_memory.hooks} and install it. *)
+
+val remove_file : file_t -> unit
+
+type file_counters = {
+  f_flush_transients : int;
+  f_fence_transients : int;
+  f_short_writes : int;
+  f_eio_injected : int;
+  f_enospc_injected : int;
+  f_kills_fired : int;
+      (** with [Raise] mode this counts; with [Sigkill] the process dies
+          before anyone reads it *)
+}
+
+val file_counters : file_t -> file_counters
+val file_total : file_counters -> int

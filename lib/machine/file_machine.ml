@@ -1,0 +1,94 @@
+(* The file-backed machine: real durability, fsync fences. See
+   file_machine.mli. *)
+
+external sched_yield : unit -> unit = "onll_sched_yield" [@@noalloc]
+
+type t = {
+  fm : Onll_nvm.File_memory.t;
+  next_id : int Atomic.t;
+  key : int option Domain.DLS.key;
+}
+
+let create ?sector_size ?retry_budget ?backoff_ns ?(sink = Onll_obs.Sink.null)
+    ~dir ~max_processes () =
+  {
+    fm =
+      Onll_nvm.File_memory.create ?sector_size ?retry_budget ?backoff_ns
+        ~sink ~dir ~max_processes ();
+    next_id = Atomic.make 0;
+    key = Domain.DLS.new_key (fun () -> None);
+  }
+
+let memory t = t.fm
+
+let register t =
+  match Domain.DLS.get t.key with
+  | Some id -> id
+  | None ->
+      let id = Atomic.fetch_and_add t.next_id 1 in
+      if id >= Onll_nvm.File_memory.max_processes t.fm then
+        failwith "File_machine.register: too many domains for max_processes";
+      Domain.DLS.set t.key (Some id);
+      id
+
+let self_exn t =
+  match Domain.DLS.get t.key with
+  | Some id -> id
+  | None ->
+      failwith
+        "File_machine: domain not registered (call File_machine.register)"
+
+let sink t = Onll_nvm.File_memory.sink t.fm
+let set_sink t s = Onll_nvm.File_memory.set_sink t.fm s
+let close t = Onll_nvm.File_memory.close t.fm
+let degraded t = Onll_nvm.File_memory.degraded t.fm
+
+module Make_machine (X : sig
+  val file : t
+end) : Machine_sig.S = struct
+  let m = X.file
+  let fm = m.fm
+  let id = "file"
+  let max_processes = Onll_nvm.File_memory.max_processes fm
+
+  module Tvar = struct
+    type 'a t = 'a Atomic.t
+
+    let make = Atomic.make
+    let get = Atomic.get
+    let set = Atomic.set
+    let cas v ~expected ~desired = Atomic.compare_and_set v expected desired
+  end
+
+  module Pm = struct
+    type t = Onll_nvm.File_memory.Region.t
+
+    module R = Onll_nvm.File_memory.Region
+
+    let create ~name ~size = Onll_nvm.File_memory.region fm ~name ~size
+    let size = R.size
+    let store r ~off data = R.store r ~proc:(self_exn m) ~off data
+    let load r ~off ~len = R.load r ~proc:(self_exn m) ~off ~len
+    let store_int64 r ~off v = R.store_int64 r ~proc:(self_exn m) ~off v
+    let load_int64 r ~off = R.load_int64 r ~proc:(self_exn m) ~off
+    let flush r ~off ~len = R.flush r ~proc:(self_exn m) ~off ~len
+  end
+
+  let fence () = Onll_nvm.File_memory.fence fm ~proc:(self_exn m)
+  let self () = self_exn m
+  let return_point () = ()
+  let pause () = Domain.cpu_relax ()
+  let yield () = sched_yield ()
+
+  let persistent_fences () =
+    (Onll_nvm.File_memory.stats fm).Onll_nvm.File_memory.Stats
+      .persistent_fences
+
+  let persistent_fences_by ~proc =
+    Onll_nvm.File_memory.persistent_fences_by fm ~proc
+end
+
+let machine t : Machine_sig.t =
+  (module Make_machine (struct
+    let file = t
+  end))

@@ -1,0 +1,49 @@
+(** The file-backed machine: {!Machine_sig.S} over {!Onll_nvm.File_memory}.
+
+    Regions are files under a store directory and a persistent fence is a
+    real [fsync] of every file the fence's write-backs touched. Everything
+    written against {!Machine_sig.S} — the persistent log, the universal
+    construction, mirroring, sessions, group commit — runs unchanged on
+    real media; kill the process at any instant and a fresh machine over
+    the same directory recovers from what the files actually contain.
+
+    [Tvar] is [Atomic] and process identity is per-domain, exactly like
+    the native machine ({!Native}); a worker calls {!register} before
+    touching the machine. Crashes are not an API here — the process
+    {e is} the volatile state, so the crash is [SIGKILL] (out-of-process
+    harness) or dropping the handle after {!close} (in-process restart
+    tests). The fault layer ({!Onll_faults.File_plan}) injects short
+    writes, fsync [EIO] and seeded kills underneath this module. *)
+
+type t
+
+val create :
+  ?sector_size:int ->
+  ?retry_budget:int ->
+  ?backoff_ns:int ->
+  ?sink:Onll_obs.Sink.t ->
+  dir:string ->
+  max_processes:int ->
+  unit ->
+  t
+(** Open a machine over store directory [dir] (which must exist). The
+    optional knobs are {!Onll_nvm.File_memory.create}'s. *)
+
+val machine : t -> Machine_sig.t
+
+val memory : t -> Onll_nvm.File_memory.t
+(** The underlying store — for fault installation and statistics. *)
+
+val register : t -> int
+(** Claim a process id for the calling domain (also usable by the main
+    domain for single-threaded runs). @raise Failure when more than
+    [max_processes] domains register. *)
+
+val degraded : t -> bool
+(** The store's sticky fail-stop flag (fsync retry budget exhausted). *)
+
+val close : t -> unit
+(** Close every backing file; the machine is unusable afterwards. *)
+
+val sink : t -> Onll_obs.Sink.t
+val set_sink : t -> Onll_obs.Sink.t -> unit

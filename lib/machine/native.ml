@@ -1,4 +1,5 @@
 external sched_yield : unit -> unit = "onll_sched_yield" [@@noalloc]
+external monotonic_ns : unit -> int64 = "onll_monotonic_ns"
 
 type proc_slot = {
   mutable pending : int;  (* flushed-but-unfenced line count *)
@@ -21,17 +22,18 @@ let iters_per_ns = ref 0.0
 
 let calibrate () =
   if !iters_per_ns = 0.0 then begin
-    (* Measure a pure spin loop against the wall clock. The loop body matches
-       [spin] below. *)
+    (* Measure a pure spin loop against the monotonic clock — never the
+       wall clock, whose NTP steps would silently skew the calibrated
+       fence duration. The loop body matches [spin] below. *)
     let iters = 50_000_000 in
-    let t0 = Unix.gettimeofday () in
+    let t0 = monotonic_ns () in
     let x = ref 0 in
     for i = 1 to iters do
       if !x land 1 = 0 then incr x else x := !x + i land 1
     done;
-    let t1 = Unix.gettimeofday () in
+    let t1 = monotonic_ns () in
     ignore (Sys.opaque_identity !x);
-    let ns = (t1 -. t0) *. 1e9 in
+    let ns = Int64.to_float (Int64.sub t1 t0) in
     iters_per_ns := float_of_int iters /. Float.max ns 1.0
   end;
   !iters_per_ns

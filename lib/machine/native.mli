@@ -45,3 +45,7 @@ val reset_stats : t -> unit
 val calibrate : unit -> float
 (** Spin-loop iterations per nanosecond on this host; measured once and
     cached. Exposed for reporting. *)
+
+val monotonic_ns : unit -> int64
+(** [CLOCK_MONOTONIC] in nanoseconds — immune to wall-clock (NTP) steps.
+    Used by {!calibrate} and by benches that time real fsync fences. *)

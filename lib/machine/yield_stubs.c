@@ -8,10 +8,21 @@
    handoff costs one context switch. */
 
 #include <caml/mlvalues.h>
+#include <caml/alloc.h>
 #include <sched.h>
+#include <time.h>
 
 CAMLprim value onll_sched_yield(value unit)
 {
   sched_yield();
   return Val_unit;
+}
+
+/* Monotonic nanoseconds. Fence calibration and fsync timing must not see
+   wall-clock steps (NTP slews would skew the calibrated spin). */
+CAMLprim value onll_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
 }

@@ -1,0 +1,483 @@
+(* File-backed persistent memory. See file_memory.mli for the model. *)
+
+module Stats = struct
+  type t = {
+    loads : int;
+    stores : int;
+    flushes : int;
+    fences : int;
+    persistent_fences : int;
+    fsyncs : int;
+    fsync_retries : int;
+    short_writes : int;
+  }
+
+  let zero =
+    { loads = 0; stores = 0; flushes = 0; fences = 0; persistent_fences = 0;
+      fsyncs = 0; fsync_retries = 0; short_writes = 0 }
+
+  let sub a b =
+    {
+      loads = a.loads - b.loads;
+      stores = a.stores - b.stores;
+      flushes = a.flushes - b.flushes;
+      fences = a.fences - b.fences;
+      persistent_fences = a.persistent_fences - b.persistent_fences;
+      fsyncs = a.fsyncs - b.fsyncs;
+      fsync_retries = a.fsync_retries - b.fsync_retries;
+      short_writes = a.short_writes - b.short_writes;
+    }
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "loads=%d stores=%d flushes=%d fences=%d persistent_fences=%d \
+       fsyncs=%d fsync_retries=%d short_writes=%d"
+      t.loads t.stores t.flushes t.fences t.persistent_fences t.fsyncs
+      t.fsync_retries t.short_writes
+end
+
+exception Degraded of string
+
+type fsync_verdict = [ `Ok | `Eio of bool ]
+
+type region = {
+  r_name : string;
+  r_size : int;  (* requested size; loads/stores bounded by this *)
+  r_file_size : int;  (* sector-rounded on-disk size *)
+  fd : Unix.file_descr;
+  path : string;
+  buf : Bytes.t;  (* volatile image: the "cache" side of every sector *)
+  dirty : (int, unit) Hashtbl.t;  (* sector indices stored since last flush *)
+  r_mem : t;
+}
+
+and pending = { p_region : region; p_sector : int; p_data : Bytes.t }
+
+and hooks = {
+  h_op : Memory.op_kind -> unit;
+  h_flush : proc:int -> region:string -> unit;
+  h_fence : proc:int -> pending:int -> unit;
+  h_write : region:string -> sector:int -> len:int -> int;
+      (* permitted byte count: < len models a short write *)
+  h_fsync : region:string -> fsync_verdict;
+}
+
+and t = {
+  sector_size : int;
+  max_processes : int;
+  dir : string;
+  regions : (string, region) Hashtbl.t;
+  pending : pending list ref array;  (* per process, newest first *)
+  io_lock : Mutex.t;
+  retry_budget : int;
+  backoff_ns : int;
+  mutable sink : Onll_obs.Sink.t;
+  mutable hooks : hooks option;
+  mutable degraded_reason : string option;
+  mutable closed : bool;
+  mutable s_loads : int;
+  mutable s_stores : int;
+  mutable s_flushes : int;
+  mutable s_fences : int;
+  mutable s_persistent_fences : int;
+  mutable s_fsyncs : int;
+  mutable s_fsync_retries : int;
+  mutable s_short_writes : int;
+  pf_by_proc : int array;
+}
+
+exception Short_write of string
+
+let op_hook t kind =
+  match t.hooks with None -> () | Some h -> h.h_op kind
+
+let create ?(sector_size = 512) ?(retry_budget = 8) ?(backoff_ns = 1_000_000)
+    ?(sink = Onll_obs.Sink.null) ~dir ~max_processes () =
+  if sector_size < 1 then invalid_arg "File_memory.create: sector_size < 1";
+  if max_processes < 1 then
+    invalid_arg "File_memory.create: max_processes < 1";
+  if retry_budget < 1 then invalid_arg "File_memory.create: retry_budget < 1";
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    invalid_arg
+      (Printf.sprintf "File_memory.create: %S is not a directory" dir);
+  {
+    sector_size;
+    max_processes;
+    dir;
+    regions = Hashtbl.create 8;
+    pending = Array.init max_processes (fun _ -> ref []);
+    io_lock = Mutex.create ();
+    retry_budget;
+    backoff_ns;
+    sink;
+    hooks = None;
+    degraded_reason = None;
+    closed = false;
+    s_loads = 0;
+    s_stores = 0;
+    s_flushes = 0;
+    s_fences = 0;
+    s_persistent_fences = 0;
+    s_fsyncs = 0;
+    s_fsync_retries = 0;
+    s_short_writes = 0;
+    pf_by_proc = Array.make max_processes 0;
+  }
+
+let sink t = t.sink
+let set_sink t s = t.sink <- s
+let set_hooks t h = t.hooks <- h
+let sector_size t = t.sector_size
+let max_processes t = t.max_processes
+let dir t = t.dir
+let degraded t = t.degraded_reason <> None
+let degraded_reason t = t.degraded_reason
+
+let check_proc t proc =
+  if proc < 0 || proc >= t.max_processes then
+    invalid_arg (Printf.sprintf "File_memory: process id %d out of range" proc)
+
+let check_open t what =
+  if t.closed then
+    invalid_arg (Printf.sprintf "File_memory.%s: store is closed" what)
+
+(* pwrite/pread via lseek under the store's io lock: the OCaml stdlib has
+   neither, and region fds are shared by all processes of the machine. *)
+let pwrite t fd ~off bytes ~pos ~len =
+  Mutex.lock t.io_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.io_lock)
+    (fun () ->
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      let written = ref 0 in
+      while !written < len do
+        let n = Unix.write fd bytes (pos + !written) (len - !written) in
+        if n = 0 then raise (Unix.Unix_error (Unix.EIO, "write", ""));
+        written := !written + n
+      done)
+
+let pread t fd ~off ~len =
+  Mutex.lock t.io_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.io_lock)
+    (fun () ->
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      let out = Bytes.create len in
+      let read = ref 0 in
+      let eof = ref false in
+      while (not !eof) && !read < len do
+        let n = Unix.read fd out !read (len - !read) in
+        if n = 0 then eof := true else read := !read + n
+      done;
+      (* short files read as zeros, like a fresh ftruncate *)
+      out)
+
+let valid_region_name name =
+  String.length name > 0
+  && name <> "." && name <> ".."
+  && not (String.exists (fun c -> c = '/' || c = '\000') name)
+
+let region t ~name ~size =
+  check_open t "region";
+  if size <= 0 then invalid_arg "File_memory.region: non-positive size";
+  if not (valid_region_name name) then
+    invalid_arg
+      (Printf.sprintf "File_memory.region: %S is not a valid file name" name);
+  if Hashtbl.mem t.regions name then
+    invalid_arg
+      (Printf.sprintf "File_memory.region: duplicate region %S" name);
+  let sectors = (size + t.sector_size - 1) / t.sector_size in
+  let file_size = sectors * t.sector_size in
+  let path = Filename.concat t.dir name in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let r =
+    try
+      let st = Unix.fstat fd in
+      if st.Unix.st_size = 0 then Unix.ftruncate fd file_size
+      else if st.Unix.st_size <> file_size then
+        invalid_arg
+          (Printf.sprintf
+             "File_memory.region: %S exists with size %d, expected %d" name
+             st.Unix.st_size file_size);
+      let buf = pread t fd ~off:0 ~len:file_size in
+      {
+        r_name = name;
+        r_size = size;
+        r_file_size = file_size;
+        fd;
+        path;
+        buf;
+        dirty = Hashtbl.create 64;
+        r_mem = t;
+      }
+    with e ->
+      Unix.close fd;
+      raise e
+  in
+  Hashtbl.replace t.regions name r;
+  r
+
+let find_region t name = Hashtbl.find_opt t.regions name
+
+let region_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.regions []
+  |> List.sort compare
+
+module Region = struct
+  type nonrec t = region
+
+  let name r = r.r_name
+  let size r = r.r_size
+  let path r = r.path
+
+  let check_range r off len what =
+    if off < 0 || len < 0 || off + len > r.r_size then
+      invalid_arg
+        (Printf.sprintf "File_memory.%s: [%d, %d) out of bounds for %S" what
+           off (off + len) r.r_name)
+
+  let store r ~proc ~off data =
+    let mem = r.r_mem in
+    check_proc mem proc;
+    check_open mem "store";
+    let len = String.length data in
+    check_range r off len "store";
+    op_hook mem Memory.Op_store;
+    mem.s_stores <- mem.s_stores + 1;
+    if len > 0 then begin
+      Bytes.blit_string data 0 r.buf off len;
+      let ss = mem.sector_size in
+      for s = off / ss to (off + len - 1) / ss do
+        Hashtbl.replace r.dirty s ()
+      done
+    end
+
+  let load r ~proc ~off ~len =
+    let mem = r.r_mem in
+    check_proc mem proc;
+    check_open mem "load";
+    check_range r off len "load";
+    op_hook mem Memory.Op_load;
+    mem.s_loads <- mem.s_loads + 1;
+    Bytes.sub_string r.buf off len
+
+  let store_int64 r ~proc ~off v =
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 v;
+    store r ~proc ~off (Bytes.unsafe_to_string b)
+
+  let load_int64 r ~proc ~off =
+    String.get_int64_le (load r ~proc ~off ~len:8) 0
+
+  let flush r ~proc ~off ~len =
+    let mem = r.r_mem in
+    check_proc mem proc;
+    check_open mem "flush";
+    check_range r off len "flush";
+    op_hook mem Memory.Op_flush;
+    (* A transient flush failure faults the whole instruction before any
+       sector is queued — all-or-nothing, exactly like the simulator. *)
+    (match mem.hooks with
+    | Some h -> h.h_flush ~proc ~region:r.r_name
+    | None -> ());
+    if len > 0 then begin
+      let ss = mem.sector_size in
+      let first = off / ss and last = (off + len - 1) / ss in
+      let queued = ref 0 in
+      for s = first to last do
+        if Hashtbl.mem r.dirty s then begin
+          Hashtbl.remove r.dirty s;
+          mem.s_flushes <- mem.s_flushes + 1;
+          incr queued;
+          let snapshot = Bytes.sub r.buf (s * ss) ss in
+          let q = mem.pending.(proc) in
+          q := { p_region = r; p_sector = s; p_data = snapshot } :: !q
+        end
+      done;
+      if !queued > 0 && Onll_obs.Sink.active mem.sink then
+        Onll_obs.Sink.emit mem.sink ~proc
+          (Onll_obs.Event.Flush { lines = !queued })
+    end
+
+  let durable_snapshot r =
+    let mem = r.r_mem in
+    check_open mem "durable_snapshot";
+    Bytes.sub_string (pread mem r.fd ~off:0 ~len:r.r_file_size) 0 r.r_size
+
+  let dirty_sectors r =
+    Hashtbl.fold (fun s _ acc -> s :: acc) r.dirty [] |> List.sort compare
+end
+
+(* One write-back attempt over the captured pending entries, from scratch:
+   every sector is re-written (pwrite) and every touched file re-fsynced.
+   Re-writing on retry is what makes a failed fsync recoverable at all —
+   after fsyncgate semantics the kernel may have dropped the dirty pages,
+   so "just fsync again" would durably lose them while reporting success.
+   When the fault layer injects an EIO with page loss we physically revert
+   this attempt's writes from pre-images, so only a full re-write can land
+   the data. Raises on short write, EIO, ENOSPC; [Injected_crash] (the
+   in-process kill) escapes untouched. *)
+let write_back_attempt t entries =
+  let hooks = t.hooks in
+  let pre_images = ref [] in
+  let touched = Hashtbl.create 4 in
+  try
+    List.iter
+      (fun p ->
+        let r = p.p_region in
+        let ss = t.sector_size in
+        let off = p.p_sector * ss in
+        let len = Bytes.length p.p_data in
+        (match hooks with
+        | None -> ()
+        | Some _ ->
+            (* capture the pre-image so an injected page-dropping EIO can
+               revert exactly what this attempt wrote *)
+            let old = pread t r.fd ~off ~len in
+            pre_images := (r, off, old) :: !pre_images);
+        let allowed =
+          match hooks with
+          | None -> len
+          | Some h -> h.h_write ~region:r.r_name ~sector:p.p_sector ~len
+        in
+        let allowed = min allowed len in
+        if allowed > 0 then pwrite t r.fd ~off p.p_data ~pos:0 ~len:allowed;
+        if allowed < len then begin
+          t.s_short_writes <- t.s_short_writes + 1;
+          raise
+            (Short_write
+               (Printf.sprintf "%s sector %d: %d of %d bytes" r.r_name
+                  p.p_sector allowed len))
+        end;
+        if not (Hashtbl.mem touched r.r_name) then
+          Hashtbl.replace touched r.r_name r)
+      entries;
+    Hashtbl.iter
+      (fun _ r ->
+        (match hooks with
+        | None -> ()
+        | Some h -> (
+            match h.h_fsync ~region:r.r_name with
+            | `Ok -> ()
+            | `Eio drop_pages ->
+                if drop_pages then
+                  List.iter
+                    (fun (r', off, old) ->
+                      if r' == r then
+                        pwrite t r'.fd ~off old ~pos:0
+                          ~len:(Bytes.length old))
+                    !pre_images;
+                raise (Unix.Unix_error (Unix.EIO, "fsync", r.r_name))));
+        Unix.fsync r.fd;
+        t.s_fsyncs <- t.s_fsyncs + 1)
+      touched
+  with
+  | Unix.Unix_error ((Unix.EIO | Unix.ENOSPC), fn, arg) ->
+      raise (Short_write (Printf.sprintf "%s(%s): I/O error" fn arg))
+
+let fence t ~proc =
+  check_proc t proc;
+  check_open t "fence";
+  (match t.degraded_reason with
+  | Some reason -> raise (Degraded reason)
+  | None -> ());
+  op_hook t Memory.Op_fence;
+  (* A transient fence failure leaves the pending set intact: the fence
+     simply did not happen, and a retry drains everything. *)
+  (match t.hooks with
+  | Some h -> h.h_fence ~proc ~pending:(List.length !(t.pending.(proc)))
+  | None -> ());
+  t.s_fences <- t.s_fences + 1;
+  let q = t.pending.(proc) in
+  let persistent =
+    match !q with
+    | [] -> false
+    | newest_first ->
+        let entries = List.rev newest_first in
+        let rec attempt n =
+          match write_back_attempt t entries with
+          | () -> ()
+          | exception Short_write msg ->
+              if n + 1 >= t.retry_budget then begin
+                t.degraded_reason <-
+                  Some
+                    (Printf.sprintf
+                       "fence write-back failed %d times, last: %s"
+                       t.retry_budget msg);
+                raise (Degraded (Option.get t.degraded_reason))
+              end
+              else begin
+                t.s_fsync_retries <- t.s_fsync_retries + 1;
+                if t.backoff_ns > 0 then
+                  Unix.sleepf
+                    (float_of_int (t.backoff_ns lsl min n 10) /. 1e9);
+                attempt (n + 1)
+              end
+        in
+        attempt 0;
+        q := [];
+        t.s_persistent_fences <- t.s_persistent_fences + 1;
+        t.pf_by_proc.(proc) <- t.pf_by_proc.(proc) + 1;
+        true
+  in
+  if Onll_obs.Sink.active t.sink then
+    Onll_obs.Sink.emit t.sink ~proc (Onll_obs.Event.Fence { persistent })
+
+let pending_write_backs t ~proc =
+  check_proc t proc;
+  List.length !(t.pending.(proc))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Hashtbl.iter (fun _ r -> try Unix.close r.fd with Unix.Unix_error _ -> ())
+      t.regions
+  end
+
+let stats t =
+  {
+    Stats.loads = t.s_loads;
+    stores = t.s_stores;
+    flushes = t.s_flushes;
+    fences = t.s_fences;
+    persistent_fences = t.s_persistent_fences;
+    fsyncs = t.s_fsyncs;
+    fsync_retries = t.s_fsync_retries;
+    short_writes = t.s_short_writes;
+  }
+
+let persistent_fences_by t ~proc =
+  check_proc t proc;
+  t.pf_by_proc.(proc)
+
+let reset_stats t =
+  t.s_loads <- 0;
+  t.s_stores <- 0;
+  t.s_flushes <- 0;
+  t.s_fences <- 0;
+  t.s_persistent_fences <- 0;
+  t.s_fsyncs <- 0;
+  t.s_fsync_retries <- 0;
+  t.s_short_writes <- 0;
+  Array.fill t.pf_by_proc 0 (Array.length t.pf_by_proc) 0
+
+let instance t : Memory_sig.t =
+  (module struct
+    let id = "file"
+    let max_processes = t.max_processes
+
+    type nonrec region = region
+
+    let region ~name ~size = region t ~name ~size
+    let find_region name = find_region t name
+    let region_names () = region_names t
+    let name = Region.name
+    let size = Region.size
+    let store = Region.store
+    let load = Region.load
+    let flush = Region.flush
+    let durable_snapshot = Region.durable_snapshot
+    let fence ~proc = fence t ~proc
+    let pending_write_backs ~proc = pending_write_backs t ~proc
+    let persistent_fences () = t.s_persistent_fences
+  end)

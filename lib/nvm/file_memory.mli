@@ -1,0 +1,175 @@
+(** File-backed persistent memory: regions are files, fences are [fsync].
+
+    A {!t} is a store directory holding one file per region. The §2.1 cost
+    model is preserved exactly:
+
+    {ul
+    {- [store] writes a volatile in-process buffer and marks the touched
+       sectors dirty; nothing reaches the file.}
+    {- [flush] snapshots the dirty sectors in a range into the calling
+       process's pending write-back set — asynchronous, no I/O, free.}
+    {- [fence] with pending write-backs physically [pwrite]s the pending
+       sectors and [fsync]s every touched file; it is counted as a
+       {e persistent fence}. A fence with no pending write-backs does no
+       I/O and is an ordinary fence.}}
+
+    Deferring the [pwrite]s to fence time (rather than issuing them at
+    flush) is what makes [SIGKILL] as adversarial as power loss: data that
+    was never covered by a fence exists only in this process's heap, so
+    killing the process at any instant durably loses exactly the unfenced
+    suffix — the nondeterminism the paper's crash model describes. Sectors
+    already written when a mid-fence kill lands may or may not be visible
+    after restart, which is the genuine torn-fence case the recovery path
+    (salvage + replay) must absorb.
+
+    {b fsync failure semantics (fsyncgate).} After a failed [fsync] the
+    kernel may have dropped the very dirty pages the fence was supposed to
+    persist, so retrying the [fsync] alone can report success while the
+    data is gone. This store therefore keeps the pending set intact across
+    a failed attempt and {e re-writes every sector} before re-fsyncing,
+    up to [retry_budget] attempts with exponential backoff. If the budget
+    exhausts, the store trips a {e sticky} degraded flag and every
+    subsequent fence raises {!Degraded}: fail-stop, so no caller can
+    acknowledge an update whose fence never succeeded. Short writes and
+    [ENOSPC] follow the same retry-then-degrade path.
+
+    Like the simulator, the store is driven by at most [max_processes]
+    logical processes; file I/O is serialised by an internal lock so the
+    native machine's domains can share it. *)
+
+type t
+
+exception Degraded of string
+(** Raised by [fence] (and every later fence — the flag is sticky) once
+    the write-back retry budget is exhausted. The data of the failed fence
+    is {e not} durable; callers must fail the operation, never ack it. *)
+
+type fsync_verdict = [ `Ok | `Eio of bool ]
+(** Fault-hook verdict for an fsync: [`Eio drop_pages] fails the fsync
+    with [EIO]; when [drop_pages] is true the store first reverts this
+    attempt's writes from pre-images, modelling a kernel that discarded
+    the dirty pages (so only a full re-write can still land the data). *)
+
+type hooks = {
+  h_op : Memory.op_kind -> unit;
+      (** Start of every durable-memory operation. May raise
+          {!Memory.Injected_crash}. *)
+  h_flush : proc:int -> region:string -> unit;
+      (** Before any sector is queued. May raise {!Memory.Transient_fault}
+          to fail the whole instruction, exactly like the simulator. *)
+  h_fence : proc:int -> pending:int -> unit;
+      (** Before the write-back begins. May raise
+          {!Memory.Transient_fault} (pending set left intact). *)
+  h_write : region:string -> sector:int -> len:int -> int;
+      (** Before each sector [pwrite]; returns how many bytes actually
+          land ([< len] models a short/torn write, failing the attempt).
+          May raise [Unix_error (EIO|ENOSPC, _, _)] or kill the process. *)
+  h_fsync : region:string -> fsync_verdict;
+      (** Before each real [fsync]. *)
+}
+
+val set_hooks : t -> hooks option -> unit
+(** Install (or remove) fault hooks; installed by [Onll_faults.File]. *)
+
+val create :
+  ?sector_size:int ->
+  ?retry_budget:int ->
+  ?backoff_ns:int ->
+  ?sink:Onll_obs.Sink.t ->
+  dir:string ->
+  max_processes:int ->
+  unit ->
+  t
+(** [create ~dir ~max_processes ()] opens a store rooted at existing
+    directory [dir]. [sector_size] (default 512) is the write-back
+    granularity; [retry_budget] (default 8) bounds fence write-back
+    attempts; [backoff_ns] (default 1 ms) is the base of the exponential
+    backoff between attempts (0 for deterministic tests).
+    @raise Invalid_argument if [dir] is not a directory or a knob is out
+    of range. *)
+
+val sink : t -> Onll_obs.Sink.t
+val set_sink : t -> Onll_obs.Sink.t -> unit
+val sector_size : t -> int
+val max_processes : t -> int
+val dir : t -> string
+
+val degraded : t -> bool
+(** The sticky fail-stop flag (see module doc). *)
+
+val degraded_reason : t -> string option
+
+(** {1 Regions} *)
+
+module Region : sig
+  type t
+
+  val name : t -> string
+  val size : t -> int
+  val path : t -> string  (** the backing file *)
+
+  val store : t -> proc:int -> off:int -> string -> unit
+  val load : t -> proc:int -> off:int -> len:int -> string
+  val store_int64 : t -> proc:int -> off:int -> int64 -> unit
+  val load_int64 : t -> proc:int -> off:int -> int64
+  val flush : t -> proc:int -> off:int -> len:int -> unit
+
+  val durable_snapshot : t -> string
+  (** The backing file's bytes (a [pread], bypassing the buffer) — what a
+      process kill at this instant would preserve, modulo sectors the OS
+      has not yet written back. *)
+
+  val dirty_sectors : t -> int list
+  (** Sectors stored since their last flush, sorted. For tests. *)
+end
+
+val region : t -> name:string -> size:int -> Region.t
+(** Allocate or {e reopen} a region: if [dir/name] already exists with the
+    (sector-rounded) size, its contents become the region's initial durable
+    bytes — this is how a restarted process finds its logs. A fresh region
+    is created zero-filled.
+    @raise Invalid_argument on size mismatch, duplicate name within this
+    store instance, non-positive size, or a name that is not a plain file
+    name. *)
+
+val find_region : t -> string -> Region.t option
+val region_names : t -> string list
+
+(** {1 Fences} *)
+
+val fence : t -> proc:int -> unit
+(** Drain [proc]'s pending write-backs to the backing files (see module
+    doc). @raise Degraded once the store is degraded. *)
+
+val pending_write_backs : t -> proc:int -> int
+
+val close : t -> unit
+(** Close every backing file. The handle is unusable afterwards; reopen
+    the same directory with a fresh {!create} to model a process restart.
+    Idempotent. *)
+
+(** {1 Statistics} *)
+
+module Stats : sig
+  type t = {
+    loads : int;
+    stores : int;
+    flushes : int;  (** sector write-backs queued *)
+    fences : int;
+    persistent_fences : int;  (** fences that drained pending sectors *)
+    fsyncs : int;  (** successful [fsync] calls *)
+    fsync_retries : int;  (** failed write-back attempts that were retried *)
+    short_writes : int;  (** injected short writes observed *)
+  }
+
+  val zero : t
+  val sub : t -> t -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+val stats : t -> Stats.t
+val persistent_fences_by : t -> proc:int -> int
+val reset_stats : t -> unit
+
+val instance : t -> Memory_sig.t
+(** This store as a backend-neutral {!Memory_sig.S} instance. *)

@@ -254,6 +254,10 @@ let region_names t =
 let image_codec =
   Onll_util.Codec.(list (pair string string))
 
+(* Crash-atomic: write the image to a temp file, fsync it, then rename
+   over the destination (and best-effort fsync the directory so the
+   rename itself is durable). A crash at any instant leaves either the
+   old image or the new one — never a torn file at [path]. *)
 let save_image t ~path =
   let payload =
     Onll_util.Codec.encode image_codec
@@ -264,14 +268,26 @@ let save_image t ~path =
          (region_names t))
   in
   let crc = Onll_util.Crc32.string payload in
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc
-        (Onll_util.Codec.encode
-           Onll_util.Codec.(pair int32 string)
-           (crc, payload)))
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc
+       (Onll_util.Codec.encode
+          Onll_util.Codec.(pair int32 string)
+          (crc, payload));
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path;
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+  | exception Unix.Unix_error _ -> ()
 
 let load_image t ~path =
   let ic = open_in_bin path in
@@ -395,3 +411,24 @@ let reset_stats t =
   t.s_persistent_fences <- 0;
   t.s_crashes <- 0;
   Array.fill t.pf_by_proc 0 (Array.length t.pf_by_proc) 0
+
+let instance t : Memory_sig.t =
+  (module struct
+    let id = "sim"
+    let max_processes = t.max_processes
+
+    type nonrec region = region
+
+    let region ~name ~size = region t ~name ~size
+    let find_region name = find_region t name
+    let region_names () = region_names t
+    let name = Region.name
+    let size = Region.size
+    let store = Region.store
+    let load = Region.load
+    let flush = Region.flush
+    let durable_snapshot = Region.durable_snapshot
+    let fence ~proc = fence t ~proc
+    let pending_write_backs ~proc = pending_write_backs t ~proc
+    let persistent_fences () = t.s_persistent_fences
+  end)

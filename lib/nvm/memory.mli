@@ -137,7 +137,10 @@ val region_names : t -> string list
     [examples/disk_persistence.ml]). *)
 
 val save_image : t -> path:string -> unit
-(** Write all regions' durable bytes to [path] (CRC-protected). *)
+(** Write all regions' durable bytes to [path] (CRC-protected).
+    Crash-atomic: the image is written to [path ^ ".tmp"], fsynced and
+    renamed into place, so a crash mid-save leaves the previous image
+    (or no image) at [path] — never a torn one. *)
 
 val load_image : t -> path:string -> unit
 (** Restore a snapshot into this memory system's NVM.
@@ -185,3 +188,8 @@ val persistent_fences_by : t -> proc:int -> int
     [reset_stats]. *)
 
 val reset_stats : t -> unit
+
+val instance : t -> Memory_sig.t
+(** This memory system as a backend-neutral {!Memory_sig.S} instance —
+    the surface shared with {!File_memory} for backend-agnostic drivers
+    (e.g. the fault-scoping parity tests). *)

@@ -1,0 +1,46 @@
+(** The backend-neutral persistent-memory surface.
+
+    Two memory systems implement the §2.1 cost model: the deterministic
+    simulator ({!Memory}, bytes in RAM with an explicit dirty-line overlay)
+    and the file-backed store ({!File_memory}, one file per region with
+    [fsync] as the persistent fence). Code that must run identically against
+    both — the fault-injection parity tests, backend-agnostic drivers —
+    works through this first-class-module signature instead of either
+    concrete [t]. {!Memory.instance} and {!File_memory.instance} produce
+    one.
+
+    The operations mirror the shared semantic core: stores are volatile
+    until flushed {e and} fenced; [flush] is asynchronous and free; a fence
+    with pending write-backs is a persistent fence. Anything
+    backend-specific (crash policies, sector sizes, fsync retry budgets)
+    stays on the concrete modules. *)
+
+module type S = sig
+  val id : string
+  (** ["sim"] or ["file"]; for reports. *)
+
+  val max_processes : int
+
+  type region
+
+  val region : name:string -> size:int -> region
+  (** Allocate (or, on the file backend, reopen) a region. *)
+
+  val find_region : string -> region option
+  val region_names : unit -> string list
+
+  val name : region -> string
+  val size : region -> int
+  val store : region -> proc:int -> off:int -> string -> unit
+  val load : region -> proc:int -> off:int -> len:int -> string
+  val flush : region -> proc:int -> off:int -> len:int -> unit
+
+  val durable_snapshot : region -> string
+  (** The durable bytes only — what survives losing all volatile state. *)
+
+  val fence : proc:int -> unit
+  val pending_write_backs : proc:int -> int
+  val persistent_fences : unit -> int
+end
+
+type t = (module S)

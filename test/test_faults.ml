@@ -380,6 +380,74 @@ let test_mirroring_disambiguates_tail_faults () =
         0 r.Test_support.Chaos.tail_ambiguous)
     !ambiguous_seeds
 
+(* {1 Backend-uniform fault scoping (E17)}
+
+   One {!Faults.Plan.t} must mean the same thing on both backends: the
+   sim installer and the file installer roll transient flush/fence
+   failures with the same discipline (same short-circuits, same
+   consecutive cap, same SplitMix draw order from the same seed) and the
+   same [target] region scoping — so a plan tuned against the simulator
+   transfers to real files without re-tuning. Drive an identical
+   store/flush/fence program through both backends via the shared
+   {!Onll_nvm.Memory_sig.S} surface and require byte-identical injection
+   sites. *)
+
+let parity_plan =
+  {
+    Faults.Plan.none with
+    Faults.Plan.seed = 42;
+    flush_fail_prob = 0.3;
+    fence_fail_prob = 0.2;
+    max_consecutive_transients = 2;
+    target = (fun n -> n = "a");
+  }
+
+let drive_parity (module B : Onll_nvm.Memory_sig.S) =
+  let a = B.region ~name:"a" ~size:1024 in
+  let b = B.region ~name:"b" ~size:1024 in
+  let faults = ref [] in
+  let record what i = faults := (what, i) :: !faults in
+  for i = 0 to 59 do
+    let off = i mod 60 * 16 in
+    B.store a ~proc:0 ~off (String.make 8 'x');
+    B.store b ~proc:0 ~off (String.make 8 'y');
+    (try B.flush a ~proc:0 ~off ~len:8
+     with Memory.Transient_fault _ -> record "flush.a" i);
+    (try B.flush b ~proc:0 ~off ~len:8
+     with Memory.Transient_fault _ -> record "flush.b" i);
+    try B.fence ~proc:0 with Memory.Transient_fault _ -> record "fence" i
+  done;
+  List.rev !faults
+
+let test_plan_scoping_uniform_across_backends () =
+  let sim_mem = Memory.create ~max_processes:1 () in
+  let h_sim = Faults.install sim_mem parity_plan in
+  let sim_sites = drive_parity (Memory.instance sim_mem) in
+  Faults.remove h_sim;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "onll-parity-%d" (Unix.getpid ()))
+  in
+  Unix.mkdir dir 0o755;
+  let fmem = Onll_nvm.File_memory.create ~dir ~max_processes:1 () in
+  let h_file =
+    Faults.install_file fmem { Faults.File_plan.none with base = parity_plan }
+  in
+  let file_sites = drive_parity (Onll_nvm.File_memory.instance fmem) in
+  Faults.remove_file h_file;
+  Onll_nvm.File_memory.close fmem;
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir;
+  check Alcotest.bool "plan injected something" true (sim_sites <> []);
+  check Alcotest.bool "targeted flushes faulted" true
+    (List.exists (fun (w, _) -> w = "flush.a") sim_sites);
+  check Alcotest.bool "untargeted region never faulted" true
+    (not (List.exists (fun (w, _) -> w = "flush.b") sim_sites));
+  check
+    Alcotest.(list (pair string int))
+    "identical injection sites on both backends" sim_sites file_sites
+
 let () =
   Alcotest.run "faults"
     [
@@ -422,5 +490,10 @@ let () =
             `Quick test_scrub_under_active_rot_never_spreads_damage;
           Alcotest.test_case "relocate under active rot never loses" `Quick
             test_relocate_under_active_rot_never_loses;
+        ] );
+      ( "backend parity",
+        [
+          Alcotest.test_case "plan scoping uniform across backends" `Quick
+            test_plan_scoping_uniform_across_backends;
         ] );
     ]

@@ -275,6 +275,35 @@ let test_image_roundtrip () =
     (Memory.Region.load r2 ~proc:0 ~off:0 ~len:8);
   Sys.remove path
 
+let test_image_save_is_crash_atomic () =
+  (* save_image writes a temp file, fsyncs it and renames over the
+     target: overwriting an existing (even corrupt) image either fully
+     replaces it or leaves it untouched, and never strands the temp *)
+  let path = Filename.temp_file "onll" ".img" in
+  let oc = open_out_bin path in
+  output_string oc "garbage that a torn overwrite must never expose";
+  close_out oc;
+  let m, r = region () in
+  Memory.Region.store r ~proc:0 ~off:0 "replaced";
+  Memory.Region.flush r ~proc:0 ~off:0 ~len:8;
+  Memory.fence m ~proc:0;
+  Memory.save_image m ~path;
+  check Alcotest.bool "no temp file left behind" false
+    (Sys.file_exists (path ^ ".tmp"));
+  let m2 = mem () in
+  let r2 = Memory.region m2 ~name:"r" ~size:1024 in
+  Memory.load_image m2 ~path;
+  check Alcotest.string "old image fully replaced" "replaced"
+    (Memory.Region.load r2 ~proc:0 ~off:0 ~len:8);
+  Sys.remove path;
+  (* a failing save must not touch the target or strand its temp *)
+  let missing = Filename.concat path "nope/img" in
+  (match Memory.save_image m ~path:missing with
+  | () -> Alcotest.fail "save into a missing directory succeeded"
+  | exception Sys_error _ -> ());
+  check Alcotest.bool "failed save leaves no temp" false
+    (Sys.file_exists (missing ^ ".tmp"))
+
 let test_image_excludes_cache () =
   (* only durable bytes are captured: an unfenced store must not leak into
      the image *)
@@ -460,6 +489,8 @@ let () =
       ( "images",
         [
           Alcotest.test_case "roundtrip" `Quick test_image_roundtrip;
+          Alcotest.test_case "crash-atomic save" `Quick
+            test_image_save_is_crash_atomic;
           Alcotest.test_case "excludes cache" `Quick test_image_excludes_cache;
           Alcotest.test_case "checksum" `Quick test_image_checksum_rejected;
           Alcotest.test_case "missing region" `Quick
