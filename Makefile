@@ -35,11 +35,14 @@ gate:
 # primary-only faults must cost nothing (zero losses, zero ambiguity),
 # the same pair against the 4-shard partitioned construction, the
 # group-commit object where the crash lands mid-batch (alone and
-# composed with --mirrored), and a kill -9 slice of the E17 file-backend
-# campaign (real files, real fsync, SIGKILLed subprocess workers). Built
-# once up front: the runs reuse one set of artifacts instead of per-run
-# dune exec rebuild checks. Full campaigns: dune exec bench/main.exe
-# e12 e13 e14 e16 e17
+# composed with --mirrored), a kill -9 slice of the E17 file-backend
+# campaign (real files, real fsync, SIGKILLed subprocess workers), and
+# a slice of the E18 service campaign (`onll serve` subprocesses over
+# real sockets: SIGKILL mid-fence, reattach floods, SIGTERM mid-load,
+# sticky degradation — audited for exactly-once). Built once up front:
+# the runs reuse one set of artifacts instead of per-run dune exec
+# rebuild checks. Full campaigns: dune exec bench/main.exe
+# e12 e13 e14 e16 e17 e18
 ONLL_CLI := ./_build/default/bin/onll_cli.exe
 chaos-smoke:
 	dune build bin/onll_cli.exe
@@ -53,6 +56,7 @@ chaos-smoke:
 	$(ONLL_CLI) chaos -s kv --seeds 10 --batched --mirrored
 	$(ONLL_CLI) chaos --session --seeds 10
 	$(ONLL_CLI) store campaign --seeds 4
+	$(ONLL_CLI) service campaign --seeds 2
 	$(ONLL_CLI) scrub
 	$(ONLL_CLI) session
 

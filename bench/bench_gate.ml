@@ -21,11 +21,12 @@
       chaos violation counters) must match exactly. Native [mops.*]
       gauges are measurements, not invariants — never gated;
     - [BENCH_e13.json] / [BENCH_e15.json] / [BENCH_e16.json] /
-      [BENCH_e17.json]: every [e13.*] / [e15.*] / [e16.*] / [e17.*] key
-      (loss, duplicate, lost-ack, violation, fence-amortisation, fault
-      and file-store crash-slice counters of the deterministic slices)
-      must match exactly — the [e17t.*] timing and [e17c.*] subprocess
-      campaign keys live outside the gated prefix on purpose;
+      [BENCH_e17.json] / [BENCH_e18.json]: every [e13.*] / [e15.*] /
+      [e16.*] / [e17.*] / [e18.*] key (loss, duplicate, lost-ack,
+      violation, fence-amortisation, fault, file-store and service
+      crash-slice counters of the deterministic slices) must match
+      exactly — the [e17t.*] / [e18t.*] timing and [e17c.*] / [e18c.*]
+      subprocess campaign keys live outside the gated prefix on purpose;
     - every committed golden: any key ending in [.violations] must be 0.
 
     Exit status 0 = gate passes; 1 = regression (each one named on
@@ -36,8 +37,8 @@
     Usage: [bench_gate.exe [--snapshots DIR] [--self-test] [--regen]]
     (default DIR: [bench/snapshots], resolved from the repo root or
     [$ONLL_GATE_DIR]). [--regen] overwrites the gated goldens (e1, e13,
-    e14, e15, e16, e17) with the fresh run instead of diffing — review
-    the diff before committing it. *)
+    e14, e15, e16, e17, e18) with the fresh run instead of diffing —
+    review the diff before committing it. *)
 
 let failures = ref []
 
@@ -176,6 +177,16 @@ let () =
     Onll_obs.Metrics.counter_value e17 "e17.restart.mirrored.violations" = 0);
   assert (Onll_obs.Metrics.counter_value e17 "e17.eio.sticky.degraded" > 0);
   ignore (Harness.write_snapshot ~experiment:"e17" e17);
+  Printf.printf "== E18 deterministic service crash slices ==\n%!";
+  let e18 = Onll_obs.Metrics.create () in
+  Service_bench.gate_slices e18;
+  assert (
+    Onll_obs.Metrics.counter_value e18 "e18.restart.plain.violations" = 0);
+  assert (
+    Onll_obs.Metrics.counter_value e18 "e18.restart.mirrored.violations" = 0);
+  assert (Onll_obs.Metrics.counter_value e18 "e18.restart.plain.kills" > 0);
+  assert (Onll_obs.Metrics.counter_value e18 "e18.oseq.reused" = 0);
+  ignore (Harness.write_snapshot ~experiment:"e18" e18);
   (* [--regen]: adopt the fresh snapshots as the new goldens and stop. *)
   if !regen then begin
     List.iter
@@ -190,7 +201,7 @@ let () =
         output_string oc body;
         close_out oc;
         Printf.printf "regenerated %s\n" dst)
-      [ "e1"; "e13"; "e14"; "e15"; "e16"; "e17" ];
+      [ "e1"; "e13"; "e14"; "e15"; "e16"; "e17"; "e18" ];
     print_endline "bench gate: goldens regenerated (review the diff)";
     exit 0
   end;
@@ -249,6 +260,15 @@ let () =
           ~fresh:f
       in
       Printf.printf "e17: %d gated file-store crash-slice keys compared\n" n
+  | _ -> ());
+  (match (load (golden "e18"), load (Filename.concat tmp "BENCH_e18.json"))
+   with
+  | Some g, Some f ->
+      let n =
+        compare_gated ~label:"e18" ~gated:(prefixed "e18.") ~golden:g
+          ~fresh:f
+      in
+      Printf.printf "e18: %d gated service crash-slice keys compared\n" n
   | _ -> ());
   (* 3. Every committed golden must carry zero violation counters. *)
   Array.iter

@@ -31,6 +31,8 @@ let experiments =
      Group_commit.run);
     ("e17", "file-backed store: kill -9 crash harness + fsync fence cost",
      File_store.run);
+    ("e18", "crash-tolerant network front-end: fault-storm SLOs",
+     Service_bench.run);
     ("f1", "Figure 1: the four counter executions, replayed",
      Onll_scenarios.Figure1.print_all);
     ("f2", "Figure 2 / Prop 5.2: fuzzy-window bound", Fuzzy_window.run);

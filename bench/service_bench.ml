@@ -1,0 +1,159 @@
+(* E18: the crash-tolerant network front-end.
+
+   Three arms, mirroring the E17 layout:
+
+   1. The deterministic service crash slices ({!gate_slices}, shared with
+      the bench gate): in-process restart scenarios driving the protocol
+      state machine ([Service.Make.handle]) over file-backed stores with
+      Raise-mode kills, plus the policy-surface and allocator-restart
+      slices — all counters golden-able under the [e18.] prefix.
+
+   2. The fault-storm SLO measurement: spawn a real `onll serve` (socket,
+      in-memory machine with emulated fences), drive it with the
+      open-loop generator at a four-digit client population — beyond
+      select(2)'s FD_SETSIZE, which is why the front-end polls — and
+      report p50/p99/p999 arrival-to-confirm latency, shed rate and
+      goodput, keyed [e18t.*] (never gated: wall-clock).
+
+   3. The out-of-process campaign: seeded SIGKILL storms, reattach floods
+      with SIGTERM landing mid-load, and the degraded-media drill, under
+      one cross-pass exactly-once audit, keyed [e18c.*]. *)
+
+module Schaos = Test_support.Service_chaos
+module Loadgen = Onll_serve.Loadgen
+module Metrics = Onll_obs.Metrics
+
+let gate_slices = Schaos.gate_slices
+
+(* {1 Arm 2: fault-storm SLOs at a 4-digit client population} *)
+
+let find_cli () =
+  match Sys.getenv_opt "ONLL_CLI" with
+  | Some p when Sys.file_exists p -> Some p
+  | _ ->
+      let candidate = "_build/default/bin/onll_cli.exe" in
+      if Sys.file_exists candidate then Some candidate else None
+
+let env_int name default =
+  match Sys.getenv_opt name with Some s -> int_of_string s | None -> default
+
+let slo_pass reg ~worker ~construction =
+  let clients = env_int "ONLL_E18_CLIENTS" 1200 in
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "onll-e18-slo-%d.sock" (Unix.getpid ()))
+  in
+  let pid, ic =
+    let r, w = Unix.pipe () in
+    let pid =
+      Unix.create_process worker
+        [|
+          worker;
+          "serve";
+          "--socket=" ^ socket;
+          "--construction=" ^ construction;
+          "--max-conns=" ^ string_of_int (clients + 64);
+        |]
+        Unix.stdin w Unix.stderr
+    in
+    Unix.close w;
+    (pid, Unix.in_channel_of_descr r)
+  in
+  (* if an assertion below fires, still reap the worker: an orphaned server
+     keeps the pipe (and any CI log tail) open forever *)
+  Fun.protect ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()))
+  @@ fun () ->
+  (match input_line ic with
+  | exception End_of_file -> failwith "e18 slo: server died before READY"
+  | _ready ->
+      let audit = Loadgen.Audit.create () in
+      let cfg =
+        {
+          (Loadgen.default_config ~socket_path:socket) with
+          Loadgen.clients;
+          rate_hz = 2.;
+          duration_ms = 2_000;
+          seed = 42;
+          deadline_ms = 1_000;
+          connect_timeout_ms = 10_000;
+        }
+      in
+      let rep = Loadgen.run ~audit cfg in
+      let g name v =
+        Metrics.set
+          (Metrics.gauge reg (Printf.sprintf "e18t.%s.%s" construction name))
+          v
+      in
+      g "clients" (float_of_int clients);
+      g "confirmed" (float_of_int rep.Loadgen.r_confirmed);
+      g "p50_us" (float_of_int rep.Loadgen.r_p50_us);
+      g "p99_us" (float_of_int rep.Loadgen.r_p99_us);
+      g "p999_us" (float_of_int rep.Loadgen.r_p999_us);
+      g "goodput_ops_s" rep.Loadgen.r_goodput;
+      g "shed_rate" rep.Loadgen.r_shed_rate;
+      Format.printf "e18 slo (%s, %d clients): %a@." construction clients
+        Loadgen.pp_report rep;
+      assert (rep.Loadgen.r_confirmed > 0);
+      (* deadline-exhausted clients legitimately end the pass with an op in
+         doubt; a quiet re-attach pass must resolve every one of them *)
+      if rep.Loadgen.r_unresolved > 0 then begin
+        let rep2 = Loadgen.run ~audit { cfg with Loadgen.duration_ms = 0 } in
+        Format.printf "e18 slo resolve (%s): %a@." construction
+          Loadgen.pp_report rep2;
+        assert (rep2.Loadgen.r_unresolved = 0)
+      end);
+  Unix.kill pid Sys.sigterm;
+  let _, st = Unix.waitpid [] pid in
+  close_in ic;
+  (try Sys.remove socket with Sys_error _ -> ());
+  match st with
+  | Unix.WEXITED 0 -> ()
+  | _ -> failwith "e18 slo: server did not drain cleanly"
+
+let slo reg = function
+  | None ->
+      print_endline
+        "e18 slo: onll CLI binary not found (set $ONLL_CLI); skipping the \
+         socket arm"
+  | Some worker ->
+      List.iter
+        (fun construction -> slo_pass reg ~worker ~construction)
+        [ "plain"; "batched" ]
+
+(* {1 Arm 3: the fault-storm campaign} *)
+
+let campaign reg = function
+  | None ->
+      print_endline
+        "e18 campaign: onll CLI binary not found (set $ONLL_CLI); skipping \
+         the subprocess arm"
+  | Some worker ->
+      let seeds = env_int "ONLL_E18_SEEDS" 8 in
+      let dir = Schaos.fresh_dir () in
+      let cam = Schaos.run_campaign ~worker ~dir ~seeds in
+      Format.printf "e18 campaign: %a@." Schaos.pp_campaign cam;
+      List.iter
+        (Printf.eprintf "e18 campaign violation: %s\n")
+        (Schaos.campaign_violations cam);
+      Schaos.campaign_to_metrics reg cam;
+      Schaos.rm_rf dir;
+      assert (Schaos.campaign_violations cam = [])
+
+let run () =
+  let reg = Metrics.create () in
+  print_endline "== deterministic service crash slices (gate material) ==";
+  gate_slices reg;
+  assert (Metrics.counter_value reg "e18.restart.plain.violations" = 0);
+  assert (Metrics.counter_value reg "e18.restart.mirrored.violations" = 0);
+  assert (Metrics.counter_value reg "e18.restart.plain.kills" > 0);
+  assert (Metrics.counter_value reg "e18.oseq.reused" = 0);
+  let cli = find_cli () in
+  print_endline "== fault-storm SLOs over a real socket ==";
+  slo reg cli;
+  print_endline "== SIGKILL / flood / degraded campaign ==";
+  campaign reg cli;
+  let path = Harness.write_snapshot ~experiment:"e18" reg in
+  Printf.printf "snapshot: %s\n" path

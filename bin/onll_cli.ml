@@ -1100,6 +1100,461 @@ let store_cmd =
   in
   Cmd.group (Cmd.info "store" ~doc) [ store_worker_cmd; store_campaign_cmd ]
 
+(* {1 serve / load: the crash-tolerant network front-end (E18)} *)
+
+let parse_construction s =
+  match Onll_serve.Service.construction_of_string s with
+  | Some c -> c
+  | None ->
+      Printf.eprintf
+        "unknown construction %S (plain|mirrored|sharded|batched)\n" s;
+      exit 2
+
+let serve socket dir construction token max_clients oseq_block log_capacity
+    idle_timeout_ms max_conns drain_grace_ms fence_ns retry_budget backoff_ns
+    kill_at_fence kill_after_sectors fsync_eio_from fsync_eio_count
+    enospc_at_write short_write_prob seed stats_out =
+  let construction = parse_construction construction in
+  let sink = Onll_obs.Sink.make () in
+  let scfg =
+    {
+      (Onll_serve.Server.default_config ~socket_path:socket) with
+      idle_timeout_ms;
+      max_conns;
+      drain_grace_ms;
+      on_ready = (fun () -> Printf.printf "READY %s\n%!" socket);
+    }
+  in
+  let finish ~degraded =
+    (match stats_out with
+    | Some path ->
+        Onll_obs.Export.write_file ~path
+          (Onll_obs.Export.json
+             ~meta:
+               [
+                 ("experiment", "e18");
+                 ( "construction",
+                   Onll_serve.Service.construction_name construction );
+               ]
+             (Onll_obs.Sink.registry sink))
+    | None -> ());
+    exit (if degraded then 3 else 0)
+  in
+  match dir with
+  | None ->
+      (* in-memory backend: real durability semantics are the file
+         machine's; this one serves SLO experiments with emulated fences *)
+      let nat = Native.create ~fence_ns ~sink ~max_processes:1 () in
+      ignore (Native.register nat);
+      let module M = (val Native.machine nat) in
+      let module Srv = Onll_serve.Server.Make (M) in
+      let svc =
+        Srv.Svc.make ~sink ~token ~max_clients ~oseq_block ?log_capacity
+          construction
+      in
+      Srv.run svc scfg;
+      finish ~degraded:false
+  | Some dir ->
+      if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+        Printf.eprintf "store directory %S does not exist\n" dir;
+        exit 2
+      end;
+      let fmach =
+        File_machine.create ~retry_budget ~backoff_ns ~sink ~dir
+          ~max_processes:1 ()
+      in
+      let fplan =
+        if
+          kill_at_fence = 0 && fsync_eio_from = 0 && enospc_at_write = 0
+          && short_write_prob = 0. && seed = 0
+        then None
+        else
+          Some
+            {
+              Onll_faults.Faults.File_plan.base =
+                { Onll_faults.Faults.Plan.none with seed };
+              kill_at_fence;
+              kill_after_sectors;
+              fsync_eio_from;
+              fsync_eio_count;
+              drop_pages_on_eio = true;
+              enospc_at_write;
+              short_write_prob;
+              kill_mode = Onll_faults.Faults.File_plan.Sigkill;
+            }
+      in
+      let inj =
+        Option.map
+          (fun p ->
+            Onll_faults.Faults.install_file (File_machine.memory fmach) p)
+          fplan
+      in
+      ignore (File_machine.register fmach);
+      let module M = (val File_machine.machine fmach) in
+      let module Srv = Onll_serve.Server.Make (M) in
+      let svc =
+        Srv.Svc.make ~sink ~token ~max_clients ~oseq_block ?log_capacity
+          construction
+      in
+      Srv.run svc scfg;
+      let degraded = Srv.Svc.degraded svc in
+      Option.iter Onll_faults.Faults.remove_file inj;
+      File_machine.close fmach;
+      finish ~degraded
+
+let serve_cmd =
+  let doc =
+    "Serve the shared durable counter over a Unix-domain socket: one \
+     durable session (exactly-once, single-fence) per authenticated \
+     client, over any of the four constructions, on the in-memory machine \
+     (SLO experiments) or the file-backed store (--dir; fsync fences, \
+     crash-recoverable). Prints READY once listening; SIGTERM drains \
+     gracefully — stop accepting, answer in-flight requests (refusing \
+     not-yet-durable work), fence, exit. The kill/fault flags arm the \
+     file fault injector for the E18 chaos campaign: the server SIGKILLs \
+     itself mid-fence and the supervisor audits the survivors."
+  in
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path")
+  in
+  let dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"file-backed store directory (must exist); default in-memory")
+  in
+  let construction =
+    Arg.(
+      value & opt string "plain"
+      & info [ "construction" ] ~docv:"C"
+          ~doc:"plain | mirrored | sharded | batched")
+  in
+  let token =
+    Arg.(
+      value & opt string "onll"
+      & info [ "token" ] ~docv:"TOKEN" ~doc:"shared authentication token")
+  in
+  let max_clients =
+    Arg.(
+      value & opt int 10_000
+      & info [ "max-clients" ] ~docv:"N" ~doc:"served client-id range")
+  in
+  let oseq_block =
+    Arg.(
+      value & opt int 1024
+      & info [ "oseq-block" ] ~docv:"N"
+          ~doc:"object-seq identities reserved per allocator fence")
+  in
+  let log_capacity =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "log-capacity" ] ~docv:"N" ~doc:"shared object log capacity")
+  in
+  let idle_timeout_ms =
+    Arg.(
+      value & opt int 30_000
+      & info [ "idle-timeout-ms" ] ~docv:"MS"
+          ~doc:"reap connections idle this long (0 = never)")
+  in
+  let max_conns =
+    Arg.(
+      value & opt int 12_000
+      & info [ "max-conns" ] ~docv:"N" ~doc:"connection cap")
+  in
+  let drain_grace_ms =
+    Arg.(
+      value & opt int 2_000
+      & info [ "drain-grace-ms" ] ~docv:"MS"
+          ~doc:"max flush time after SIGTERM")
+  in
+  let fence_ns =
+    Arg.(
+      value & opt int 500
+      & info [ "fence-ns" ] ~docv:"NS"
+          ~doc:"emulated fence duration (in-memory backend)")
+  in
+  let retry_budget =
+    Arg.(
+      value & opt int 8
+      & info [ "retry-budget" ] ~docv:"N"
+          ~doc:"fence write-back attempts before sticky degradation")
+  in
+  let backoff_ns =
+    Arg.(
+      value & opt int 0
+      & info [ "backoff-ns" ] ~docv:"NS" ~doc:"base retry backoff (ns)")
+  in
+  let kill_at_fence =
+    Arg.(
+      value & opt int 0
+      & info [ "kill-at-fence" ] ~docv:"N"
+          ~doc:"SIGKILL self at the N-th persistent fence (0 = never)")
+  in
+  let kill_after_sectors =
+    Arg.(
+      value & opt int 0
+      & info [ "kill-after-sectors" ] ~docv:"K"
+          ~doc:
+            "where inside that fence: 0 before any write, K>0 after K \
+             sector writes, -1 at the fsync point")
+  in
+  let fsync_eio_from =
+    Arg.(
+      value & opt int 0
+      & info [ "fsync-eio-from" ] ~docv:"N"
+          ~doc:"first fsync (1-based) to fail with EIO (0 = never)")
+  in
+  let fsync_eio_count =
+    Arg.(
+      value & opt int 1
+      & info [ "fsync-eio-count" ] ~docv:"N"
+          ~doc:"how many consecutive fsyncs fail")
+  in
+  let enospc_at_write =
+    Arg.(
+      value & opt int 0
+      & info [ "enospc-at-write" ] ~docv:"N"
+          ~doc:"the N-th sector write raises ENOSPC (0 = never)")
+  in
+  let short_write_prob =
+    Arg.(
+      value & opt float 0.
+      & info [ "short-write-prob" ] ~docv:"P"
+          ~doc:"per-sector short (torn) write probability")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"injector seed")
+  in
+  let stats_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-out" ] ~docv:"FILE"
+          ~doc:"write the serve.* metrics snapshot (JSON) on exit")
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const serve $ socket $ dir $ construction $ token $ max_clients
+      $ oseq_block $ log_capacity $ idle_timeout_ms $ max_conns
+      $ drain_grace_ms $ fence_ns $ retry_budget $ backoff_ns $ kill_at_fence
+      $ kill_after_sectors $ fsync_eio_from $ fsync_eio_count
+      $ enospc_at_write $ short_write_prob $ seed $ stats_out)
+
+let load socket clients first_client rate duration_ms seed token deadline_ms
+    max_attempts backoff_base_ms backoff_cap_ms churn_every_ms churn_frac
+    connect_timeout_ms base no_audit json_out =
+  let open Onll_serve in
+  let cfg =
+    {
+      Loadgen.socket_path = socket;
+      clients;
+      first_client;
+      rate_hz = rate;
+      duration_ms;
+      seed;
+      token;
+      deadline_ms;
+      max_attempts;
+      backoff_base_ms;
+      backoff_cap_ms;
+      churn_every_ms;
+      churn_frac;
+      connect_timeout_ms;
+    }
+  in
+  let audit = Loadgen.Audit.create () in
+  let rep = Loadgen.run ~audit cfg in
+  Format.printf "e18 load: %a@." Loadgen.pp_report rep;
+  Option.iter
+    (fun path ->
+      Onll_obs.Export.write_file ~path (Loadgen.report_to_json rep))
+    json_out;
+  if not no_audit then begin
+    match rep.Loadgen.r_final_value with
+    | None ->
+        Printf.eprintf "audit: no final counter read (server unreachable)\n";
+        exit 1
+    | Some v ->
+        let viols = Loadgen.Audit.check_final audit ~counter_value:(v - base) in
+        List.iter (Printf.eprintf "violation: %s\n") viols;
+        if viols <> [] then exit 1
+  end
+
+let load_cmd =
+  let doc =
+    "Open-loop load generator for `onll serve`: drive N concurrent \
+     clients (poll(2), one process) with seeded exponential arrivals, \
+     per-op deadlines, bounded backoff on shed, reconnect-and-resolve on \
+     timeouts and resets, and optional disconnect/reattach churn floods. \
+     Reports p50/p99/p999 arrival-to-confirm latency, shed rate and \
+     goodput, then audits exactly-once against a direct counter read \
+     (exit 1 on any duplicate apply or lost ack)."
+  in
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"server socket path")
+  in
+  let clients =
+    Arg.(
+      value & opt int 64
+      & info [ "clients" ] ~docv:"N" ~doc:"concurrent clients")
+  in
+  let first_client =
+    Arg.(
+      value & opt int 0
+      & info [ "first-client" ] ~docv:"ID" ~doc:"first client id")
+  in
+  let rate =
+    Arg.(
+      value & opt float 50.
+      & info [ "rate" ] ~docv:"HZ" ~doc:"per-client arrival rate (ops/s)")
+  in
+  let duration_ms =
+    Arg.(
+      value & opt int 2_000
+      & info [ "duration-ms" ] ~docv:"MS"
+          ~doc:"issuing window (0 = resolve-only pass)")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"arrival seed")
+  in
+  let token =
+    Arg.(
+      value & opt string "onll"
+      & info [ "token" ] ~docv:"TOKEN" ~doc:"authentication token")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt int 500
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"per-op deadline stamped on submits (0 = none)")
+  in
+  let max_attempts =
+    Arg.(
+      value & opt int 8
+      & info [ "max-attempts" ] ~docv:"N" ~doc:"per-op shed-retry budget")
+  in
+  let backoff_base_ms =
+    Arg.(
+      value & opt int 1 & info [ "backoff-base-ms" ] ~docv:"MS" ~doc:"")
+  in
+  let backoff_cap_ms =
+    Arg.(value & opt int 64 & info [ "backoff-cap-ms" ] ~docv:"MS" ~doc:"")
+  in
+  let churn_every_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "churn-every-ms" ] ~docv:"MS"
+          ~doc:"disconnect/reattach flood period (0 = off)")
+  in
+  let churn_frac =
+    Arg.(
+      value & opt float 0.
+      & info [ "churn-frac" ] ~docv:"F"
+          ~doc:"fraction of connected clients hard-closed per flood")
+  in
+  let connect_timeout_ms =
+    Arg.(
+      value & opt int 3_000
+      & info [ "connect-timeout-ms" ] ~docv:"MS"
+          ~doc:"reconnect budget against a dead/restarting server")
+  in
+  let base =
+    Arg.(
+      value & opt int 0
+      & info [ "base" ] ~docv:"N"
+          ~doc:"counter value before this run (audit subtracts it)")
+  in
+  let no_audit =
+    Arg.(
+      value & flag
+      & info [ "no-audit" ]
+          ~doc:"skip the exactly-once audit (e.g. store reused across runs)")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"write the report as JSON")
+  in
+  Cmd.v (Cmd.info "load" ~doc)
+    Term.(
+      const load $ socket $ clients $ first_client $ rate $ duration_ms
+      $ seed $ token $ deadline_ms $ max_attempts $ backoff_base_ms
+      $ backoff_cap_ms $ churn_every_ms $ churn_frac $ connect_timeout_ms
+      $ base $ no_audit $ json_out)
+
+module Schaos = Test_support.Service_chaos
+
+let service_campaign seeds dir keep =
+  let base =
+    match dir with
+    | Some d ->
+        if not (Sys.file_exists d) then Unix.mkdir d 0o755;
+        d
+    | None ->
+        let d =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "onll-e18-campaign-%d" (Unix.getpid ()))
+        in
+        Unix.mkdir d 0o755;
+        d
+  in
+  let cam = Schaos.run_campaign ~worker:Sys.executable_name ~dir:base ~seeds in
+  Format.printf "e18 campaign: %a@." Schaos.pp_campaign cam;
+  List.iter
+    (Printf.eprintf "violation: %s\n")
+    (Schaos.campaign_violations cam);
+  if not keep then Schaos.rm_rf base;
+  if Schaos.campaign_violations cam <> [] then exit 1
+
+let service_campaign_cmd =
+  let doc =
+    "The E18 fault-storm campaign: spawn `onll serve` subprocesses over \
+     real sockets and file-backed stores, drive them with the open-loop \
+     load generator, SIGKILL the server mid-fence at seeded points \
+     (plain and mirrored), flood it with disconnect/reattach churn, land \
+     SIGTERM mid-load, and drill sticky media degradation — then resolve \
+     every in-doubt operation against a clean restart and audit \
+     exactly-once: 0 duplicate applies, 0 lost acks. Exits non-zero on \
+     any violation."
+  in
+  let seeds =
+    Arg.(
+      value & opt int 8
+      & info [ "seeds" ] ~docv:"N" ~doc:"kill schedules per arm")
+  in
+  let dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"campaign scratch directory (default: under \\$TMPDIR)")
+  in
+  let keep =
+    Arg.(
+      value & flag
+      & info [ "keep" ] ~doc:"keep the store directories for inspection")
+  in
+  Cmd.v (Cmd.info "campaign" ~doc)
+    Term.(const service_campaign $ seeds $ dir $ keep)
+
+let service_cmd =
+  let doc =
+    "The crash-tolerant network front-end (E18): campaign and drills \
+     around `onll serve` / `onll load`."
+  in
+  Cmd.group (Cmd.info "service" ~doc) [ service_campaign_cmd ]
+
 (* {1 simulate} *)
 
 let simulate procs ops seed crash_at =
@@ -1190,5 +1645,8 @@ let () =
             fences_cmd;
             stats_cmd;
             store_cmd;
+            serve_cmd;
+            load_cmd;
+            service_cmd;
             simulate_cmd;
           ]))

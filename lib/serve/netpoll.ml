@@ -1,0 +1,50 @@
+(* poll(2) wrapper (see netpoll.mli). *)
+
+let pollin = 1
+let pollout = 2
+let pollerr = 4
+
+external poll_raw : int array -> int array -> int array -> int -> int -> int
+  = "onll_poll"
+
+external fd_int : Unix.file_descr -> int = "%identity"
+external int_fd : int -> Unix.file_descr = "%identity"
+
+type t = {
+  mutable fds : int array;
+  mutable events : int array;
+  mutable revents : int array;
+  mutable n : int;
+}
+
+let create ?(initial = 64) () =
+  let initial = max initial 1 in
+  {
+    fds = Array.make initial 0;
+    events = Array.make initial 0;
+    revents = Array.make initial 0;
+    n = 0;
+  }
+
+let clear t = t.n <- 0
+
+let grow t =
+  let cap = Array.length t.fds * 2 in
+  let copy a = Array.append a (Array.make (cap - Array.length a) 0) in
+  t.fds <- copy t.fds;
+  t.events <- copy t.events;
+  t.revents <- copy t.revents
+
+let add t fd interest =
+  if t.n = Array.length t.fds then grow t;
+  t.fds.(t.n) <- fd_int fd;
+  t.events.(t.n) <- interest;
+  t.revents.(t.n) <- 0;
+  t.n <- t.n + 1
+
+let wait t ~timeout_ms = poll_raw t.fds t.events t.revents t.n timeout_ms
+
+let ready t f =
+  for i = 0 to t.n - 1 do
+    if t.revents.(i) <> 0 then f (int_fd t.fds.(i)) t.revents.(i)
+  done

@@ -1,0 +1,38 @@
+(** poll(2)-backed readiness notification for thousands of descriptors.
+
+    [Unix.select] is capped at [FD_SETSIZE] (1024 descriptors on glibc)
+    no matter what the process rlimit allows, which rules it out for a
+    server or load generator holding 1k–10k connections. This module
+    wraps [poll(2)] over caller-owned parallel arrays, so one event-loop
+    iteration costs no OCaml allocation. *)
+
+val pollin : int  (** interest/result bit: readable *)
+
+val pollout : int  (** interest/result bit: writable *)
+
+val pollerr : int
+(** result bit: error, hangup or invalid descriptor ([POLLERR], [POLLHUP],
+    [POLLNVAL]) — always reported, never requested. *)
+
+type t
+(** A reusable poll set (grows automatically). *)
+
+val create : ?initial:int -> unit -> t
+
+val clear : t -> unit
+(** Forget every registered descriptor (O(1)); call at the top of each
+    event-loop iteration. *)
+
+val add : t -> Unix.file_descr -> int -> unit
+(** [add t fd interest] registers [fd] with an [interest] bitmask of
+    {!pollin} / {!pollout} for the next {!wait}. *)
+
+val wait : t -> timeout_ms:int -> int
+(** Poll the registered descriptors. Returns the number of ready
+    descriptors, [0] on timeout, or [-1] when interrupted by a signal
+    (callers recheck their shutdown flags and loop). [timeout_ms < 0]
+    blocks indefinitely. *)
+
+val ready : t -> (Unix.file_descr -> int -> unit) -> unit
+(** [ready t f] calls [f fd revents] for every descriptor whose result
+    bits are non-zero after the last {!wait}. *)

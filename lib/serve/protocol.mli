@@ -1,0 +1,112 @@
+(** The `onll serve` wire protocol: length-prefixed binary frames.
+
+    Every message is a 4-byte big-endian payload length followed by a
+    {!Onll_util.Codec}-encoded payload. The protocol carries exactly what
+    the durable-session contract needs at a network boundary: the client
+    id and a token ({!req.Hello}), the client's intent sequence number and
+    a deadline ({!req.Submit}), and — the crash half — a reattach response
+    ({!resp.Attached}) that tells the returning client its durable cursors
+    {e and} the fate of its one in-doubt operation, so a client that
+    disconnected mid-operation (or outlived a server crash) can resolve it
+    without ever re-submitting blindly.
+
+    The client-side resolution rule, given [Attached { next_seq; resolution; _ }]
+    and an outstanding operation at sequence [s]. A non-[W_none]
+    resolution is always about the session's {e last durable intent},
+    session sequence [next_seq - 1] (the payloads carry object sequences,
+    which the client never sees otherwise); recovery may re-report an op
+    that was applied but not yet durably acknowledged, so a resolution
+    only binds the client's op when [s = next_seq - 1]:
+    {ul
+    {- [s = next_seq - 1] and [resolution] is not [W_none] — trust it
+       (adopted / re-invoked / refused / still unresolved);}
+    {- otherwise, [s < next_seq] — the operation was applied and
+       acknowledged durably; the protocol acknowledgement was what got
+       lost. Confirm it, do not resubmit;}
+    {- otherwise [s >= next_seq] — the intent never became durable;
+       resubmit under [next_seq].}} *)
+
+(** Client → server. *)
+type req =
+  | Hello of { client : int; token : string }
+      (** Authenticate and attach (or re-attach) the client's durable
+          session. Answered by {!resp.Attached} or a refusal. *)
+  | Submit of { seq : int; deadline_ns : int; op : string }
+      (** One exactly-once update: [seq] must equal the session's next
+          sequence number (stale or future values are refused with
+          {!refusal.R_bad_seq} carrying the expected one). [deadline_ns]
+          is an absolute [CLOCK_MONOTONIC] deadline stamped by the client
+          ([0] = none); the server sheds the request without durable work
+          once it has passed. [op] is the {!Onll_specs.Counter} update,
+          encoded. *)
+  | Fetch of { op : string }  (** fence-free read; never refused *)
+  | Ping  (** liveness/idle keep-alive *)
+  | Bye  (** orderly goodbye; the server replies {!resp.Gone} and closes *)
+
+(** Why a request was refused. Every refusal is {e definite} about
+    durable state except [R_timeout], which is the session contract's
+    indeterminate case — the client resolves it by re-attaching. *)
+type refusal =
+  | R_overloaded  (** watermark admission shed it before any durable work *)
+  | R_timeout
+      (** deadline passed (before work: definite) or the durable path
+          timed out (indeterminate: reattach to resolve) *)
+  | R_degraded  (** sticky degraded policy refuses writes *)
+  | R_draining  (** server is draining (SIGTERM); reconnect elsewhere *)
+  | R_bad_seq of int  (** wrong intent seq; payload = expected next seq *)
+  | R_bad_token
+  | R_bad_client  (** client id out of the served range *)
+  | R_not_attached  (** Submit/Fetch before Hello *)
+  | R_bad_op  (** undecodable operation payload *)
+
+(** The in-doubt resolution carried on {!resp.Attached}, mirroring
+    {!Onll_session.Make.resolution} with object-sequence payloads. *)
+type wire_resolution =
+  | W_none
+  | W_applied of int  (** in-doubt op (object seq) is in the history *)
+  | W_reinvoked of int * int * int
+      (** (old object seq, fresh object seq, value) *)
+  | W_refused of int  (** degradation policy withheld re-invocation *)
+  | W_unresolved of int  (** still in doubt (faults raging); retry Hello *)
+
+(** Server → client. *)
+type resp =
+  | Attached of { next_seq : int; acked : int; resolution : wire_resolution }
+  | Acked of { seq : int; value : int }  (** durably applied; the ack *)
+  | Refused of refusal
+  | Got of int  (** read result *)
+  | Pong
+  | Gone
+
+val pp_refusal : Format.formatter -> refusal -> unit
+
+val req_codec : req Onll_util.Codec.t
+val resp_codec : resp Onll_util.Codec.t
+
+(** {1 Framing} *)
+
+val max_frame : int
+(** Upper bound on a payload (64 KiB) — a length prefix beyond it is a
+    protocol error, not an allocation request. *)
+
+val write_frame : Buffer.t -> 'a Onll_util.Codec.t -> 'a -> unit
+(** Append one frame (length prefix + payload) to an output buffer. *)
+
+(** Per-connection incremental input buffer: feed raw bytes as they
+    arrive, pop complete frames as they close. *)
+module Inbuf : sig
+  type t
+
+  exception Oversized_frame
+
+  val create : unit -> t
+  val add : t -> bytes -> int -> unit  (** append the first [n] bytes *)
+
+  val pop : t -> 'a Onll_util.Codec.t -> 'a option
+  (** The next complete frame, decoded, or [None] if more bytes are
+      needed. @raise Oversized_frame on a length prefix over {!max_frame}
+      (the connection should be dropped).
+      @raise Onll_util.Codec.Decode_error on a malformed payload. *)
+
+  val pending : t -> int  (** buffered bytes not yet popped *)
+end

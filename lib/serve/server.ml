@@ -1,0 +1,233 @@
+(* Socket shell (see server.mli). *)
+
+let now_ns () = Int64.to_int (Onll_machine.Native.monotonic_ns ())
+let now_ms () = now_ns () / 1_000_000
+
+(* Process-global so the SIGTERM handler needs no server handle. *)
+let drain_requested = ref false
+let request_drain () = drain_requested := true
+
+type config = {
+  socket_path : string;
+  idle_timeout_ms : int;
+  max_conns : int;
+  drain_grace_ms : int;
+  on_ready : unit -> unit;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    idle_timeout_ms = 30_000;
+    max_conns = 12_000;
+    drain_grace_ms = 2_000;
+    on_ready = ignore;
+  }
+
+module Make (M : Onll_machine.Machine_sig.S) = struct
+  module Svc = Service.Make (M)
+
+  type conn = {
+    fd : Unix.file_descr;
+    inb : Protocol.Inbuf.t;
+    out : Buffer.t;
+    mutable out_off : int;  (* bytes of [out] already written *)
+    sconn : Svc.conn;
+    mutable last_ms : int;
+    mutable close_after_flush : bool;
+  }
+
+  external fd_int : Unix.file_descr -> int = "%identity"
+
+  let out_pending c = Buffer.length c.out - c.out_off
+
+  (* Flush as much of the response buffer as the socket accepts. *)
+  let flush_out c =
+    let n = out_pending c in
+    if n > 0 then begin
+      let s = Buffer.to_bytes c.out in
+      match Unix.write c.fd s c.out_off n with
+      | written ->
+          c.out_off <- c.out_off + written;
+          if out_pending c = 0 then begin
+            Buffer.clear c.out;
+            c.out_off <- 0
+          end
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error ((EPIPE | ECONNRESET), _, _) ->
+          c.close_after_flush <- true;
+          Buffer.clear c.out;
+          c.out_off <- 0
+    end
+
+  let run svc cfg =
+    let conns : (int, conn) Hashtbl.t = Hashtbl.create 1024 in
+    let listener = Unix.socket PF_UNIX SOCK_STREAM 0 in
+    let prev_term =
+      Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> request_drain ()))
+    in
+    let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+    drain_requested := false;
+    (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+    Unix.bind listener (ADDR_UNIX cfg.socket_path);
+    Unix.listen listener 1024;
+    Unix.set_nonblock listener;
+    cfg.on_ready ();
+    let poll = Netpoll.create ~initial:1024 () in
+    let scratch = Bytes.create 65536 in
+    let listening = ref true in
+    let drain_deadline = ref max_int in
+    let close_conn c =
+      Hashtbl.remove conns (fd_int c.fd);
+      try Unix.close c.fd with Unix.Unix_error _ -> ()
+    in
+    let accept_new now =
+      let continue = ref true in
+      while !continue do
+        match Unix.accept ~cloexec:true listener with
+        | fd, _ ->
+            if Hashtbl.length conns >= cfg.max_conns then Unix.close fd
+            else begin
+              Unix.set_nonblock fd;
+              Hashtbl.replace conns (fd_int fd)
+                {
+                  fd;
+                  inb = Protocol.Inbuf.create ();
+                  out = Buffer.create 256;
+                  out_off = 0;
+                  sconn = Svc.conn ();
+                  last_ms = now;
+                  close_after_flush = false;
+                }
+            end
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+            continue := false
+        | exception Unix.Unix_error (EINTR, _, _) -> ()
+      done
+    in
+    (* Drain every complete frame currently buffered on [c]. The deadline
+       check runs here, before the service core ever sees the request, so
+       an expired submit is shed with zero durable work. *)
+    let handle_frames c =
+      let continue = ref true in
+      while !continue do
+        match Protocol.Inbuf.pop c.inb Protocol.req_codec with
+        | None -> continue := false
+        | Some req ->
+            let resp =
+              match req with
+              | Protocol.Submit { deadline_ns; _ }
+                when deadline_ns > 0 && now_ns () > deadline_ns ->
+                  Protocol.Refused Protocol.R_timeout
+              | req -> Svc.handle svc c.sconn req
+            in
+            Protocol.write_frame c.out Protocol.resp_codec resp;
+            if req = Protocol.Bye then begin
+              c.close_after_flush <- true;
+              continue := false
+            end
+        | exception
+            ( Protocol.Inbuf.Oversized_frame | Onll_util.Codec.Decode_error _ )
+          ->
+            c.close_after_flush <- true;
+            continue := false
+      done
+    in
+    let read_conn c now =
+      let continue = ref true in
+      while !continue do
+        match Unix.read c.fd scratch 0 (Bytes.length scratch) with
+        | 0 ->
+            c.close_after_flush <- true;
+            continue := false
+        | n ->
+            c.last_ms <- now;
+            Protocol.Inbuf.add c.inb scratch n;
+            if n < Bytes.length scratch then continue := false
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+            continue := false
+        | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) ->
+            c.close_after_flush <- true;
+            continue := false
+      done;
+      handle_frames c;
+      flush_out c
+    in
+    let finished = ref false in
+    while not !finished do
+      (* entering drain: stop accepting, refuse new durable work, flush *)
+      if !drain_requested && not (Svc.draining svc) then begin
+        Svc.drain svc;
+        if !listening then begin
+          listening := false;
+          (try Unix.close listener with Unix.Unix_error _ -> ());
+          (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ())
+        end;
+        drain_deadline := now_ms () + cfg.drain_grace_ms;
+        (* answer everything already buffered (the in-flight ops): each
+           gets a definite response — R_draining for new work *)
+        Hashtbl.iter
+          (fun _ c ->
+            handle_frames c;
+            flush_out c)
+          conns
+      end;
+      Netpoll.clear poll;
+      if !listening then Netpoll.add poll listener Netpoll.pollin;
+      Hashtbl.iter
+        (fun _ c ->
+          let interest =
+            Netpoll.pollin
+            lor (if out_pending c > 0 then Netpoll.pollout else 0)
+          in
+          Netpoll.add poll c.fd interest)
+        conns;
+      let _n = Netpoll.wait poll ~timeout_ms:100 in
+      let now = now_ms () in
+      Netpoll.ready poll (fun fd revents ->
+          if !listening && fd_int fd = fd_int listener then accept_new now
+          else
+            match Hashtbl.find_opt conns (fd_int fd) with
+            | None -> ()
+            | Some c ->
+                if revents land Netpoll.pollerr <> 0 then
+                  c.close_after_flush <- true
+                else begin
+                  if revents land Netpoll.pollin <> 0 then read_conn c now;
+                  if revents land Netpoll.pollout <> 0 then flush_out c
+                end);
+      (* reap: closed-after-flush connections whose buffers emptied, and
+         idle connections past the timeout *)
+      let doomed = ref [] in
+      Hashtbl.iter
+        (fun _ c ->
+          if c.close_after_flush && out_pending c = 0 then
+            doomed := c :: !doomed
+          else if
+            cfg.idle_timeout_ms > 0
+            && (not (Svc.draining svc))
+            && now - c.last_ms > cfg.idle_timeout_ms
+          then doomed := c :: !doomed)
+        conns;
+      List.iter close_conn !doomed;
+      if Svc.draining svc then begin
+        let still_flushing = ref false in
+        Hashtbl.iter
+          (fun _ c -> if out_pending c > 0 then still_flushing := true)
+          conns;
+        if (not !still_flushing) || now > !drain_deadline then
+          finished := true
+      end
+    done;
+    Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+      conns;
+    Hashtbl.reset conns;
+    if !listening then begin
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ()
+    end;
+    (* the last durable action: nothing is acked after this fence *)
+    Svc.quiesce svc;
+    Sys.set_signal Sys.sigterm prev_term;
+    Sys.set_signal Sys.sigpipe prev_pipe
+end

@@ -119,6 +119,12 @@ type config = {
       (** sample backend pressure every [n] submissions (a snapshot scan
           is cheap but not free; default 16, [1] = every submission) *)
   degradation : degradation;  (** default {!degradation.Fail_writes} *)
+  rng_seed : int;
+      (** seed for the backoff-jitter RNG. The jitter stream is a pure
+          function of [(rng_seed, client)], so chaos campaigns replay
+          byte-identically under a pinned seed. [0] (the default) keeps
+          the historical per-client derivation — itself deterministic,
+          but not campaign-selectable. *)
 }
 
 val default_config : config
@@ -138,6 +144,21 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) : sig
     b_pressure : unit -> float;
         (** max over the backend's logs of live bytes / log capacity —
             the fraction compaction cannot reclaim *)
+    b_alloc : (unit -> int) option;
+        (** Object-identity allocator for {e multi-tenant} backends. When
+            one machine process hosts many client sessions over the same
+            object (a server front-end), each session's private sequence
+            counter would collide with the others' as object identities
+            — and a collision is not a crash, it is a {e wrong answer}:
+            {!Onll_core.Onll.CONSTRUCTION.was_linearized} would vouch for
+            another client's operation. [Some alloc] draws every
+            invocation's object sequence number from the shared
+            allocator; the drawn number is made durable inside the intent
+            record itself, so recovery interrogates the exact identity
+            the invocation would have used. The allocator must be
+            monotone {e across crashes} (persist a watermark). [None]
+            (and {!Over.backend}) keeps the session's own counter — the
+            single-tenant default, byte-identical on media to E15. *)
   }
 
   (** Adapter for any unsharded construction instance. *)
@@ -155,8 +176,13 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) : sig
 
   type t
   (** One client's durable session. Owned by a single process: {!submit}
-      and {!recover} must be called by the process whose id was given to
-      {!attach} (operation identities embed it). *)
+      and {!recover} must be called by the machine process given to
+      {!attach} as [?proc] (default: the client id). Operation identities
+      embed [proc] — the construction's per-process tables are sized by
+      its [max_processes], so [proc] must be a machine process id, never
+      a raw client id; what keeps many clients on one process
+      collision-free is the shared allocator's globally unique object
+      sequence ({!backend.b_alloc}). *)
 
   (** How {!recover} disposed of the in-doubt operation. *)
   type resolution =
@@ -182,17 +208,28 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) : sig
     ?config:config ->
     ?sink:Onll_obs.Sink.t ->
     ?name:string ->
+    ?proc:int ->
     client:int ->
     backend ->
     t
   (** Open client [client]'s session over [backend], creating (or, after
       a restart over surviving media, re-reading) the durable client
       record log named [name] (default ["<spec>.session.c<client>"]).
-      [sink] receives the session's events and hosts its counters and
-      per-outcome latency histograms; install the same sink as the
-      machine's and the object's for one interleaved stream. Attaching
-      performs no object operations — call {!recover} before the first
-      {!submit} if the media may hold an interrupted session. *)
+      [proc] is the machine process that runs the session's durable work
+      (default [client], the single-tenant case where client ids {e are}
+      process ids); a server hosting many clients passes its own process
+      id, freeing [client] to range over the whole authenticated
+      population. Operation identities embed [proc] plus the object
+      sequence drawn from {!backend.b_alloc} (durable inside the intent
+      record), so a client's exactly-once history survives being
+      re-homed, provided the new home attaches with the {e same} [proc]
+      — recovery rebuilds the identity from the current [proc] and the
+      recorded sequence. [sink] receives the session's events and
+      hosts its counters and per-outcome latency histograms; install the
+      same sink as the machine's and the object's for one interleaved
+      stream. Attaching performs no object operations — call {!recover}
+      before the first {!submit} if the media may hold an interrupted
+      session. *)
 
   val recover : t -> resolution
   (** Crash-recovery resolution: salvage the client-record log, rebuild

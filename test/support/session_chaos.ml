@@ -218,6 +218,7 @@ module Make (S : Onll_core.Spec.S) = struct
                     (fun acc (l : Onll_core.Onll.Snapshot.log) ->
                       Float.max acc (float_of_int l.live_bytes /. capf))
                     0. snap.Onll_core.Onll.Snapshot.logs);
+              b_alloc = None;
             },
             (fun () -> ignore (C.recover_report obj)),
             fun () ->

@@ -1,0 +1,365 @@
+(* Deterministic unit tests for the `onll serve` front-end (E18): wire
+   framing, the region-naming audit, the service's protocol policy over
+   an in-memory machine, the identity allocator's never-reuse contract
+   across a file-machine restart, recovery-complete serving, and the
+   SIGTERM drain over a real socket (plain and mirrored). The
+   randomized/adversarial coverage lives in the E18 chaos campaign
+   ([test_support/service_chaos.ml]); these are the pinned specimens. *)
+
+open Onll_machine
+module Fm = Onll_machine.File_machine
+module Cs = Onll_specs.Counter
+module Codec = Onll_util.Codec
+module Protocol = Onll_serve.Protocol
+module Service = Onll_serve.Service
+module Server = Onll_serve.Server
+
+let check = Alcotest.check
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "onll-tsv-%d-%d" (Unix.getpid ()) !n)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+let incr_op = Codec.encode Cs.update_codec Cs.Increment
+
+(* {1 Wire framing} *)
+
+let test_framing () =
+  (* Roundtrip through the length-prefixed framing, delivered one byte
+     at a time (the poll loop's worst case). *)
+  let msgs =
+    [
+      Protocol.Hello { client = 42; token = "onll" };
+      Protocol.Submit { seq = 7; deadline_ns = 123_456; op = incr_op };
+      Protocol.Fetch { op = "" };
+      Protocol.Ping;
+      Protocol.Bye;
+    ]
+  in
+  let buf = Buffer.create 256 in
+  List.iter (fun m -> Protocol.write_frame buf Protocol.req_codec m) msgs;
+  let raw = Buffer.contents buf in
+  let inbuf = Protocol.Inbuf.create () in
+  let got = ref [] in
+  String.iter
+    (fun ch ->
+      Protocol.Inbuf.add inbuf (Bytes.make 1 ch) 1;
+      match Protocol.Inbuf.pop inbuf Protocol.req_codec with
+      | Some m -> got := m :: !got
+      | None -> ())
+    raw;
+  check Alcotest.int "every frame popped" (List.length msgs)
+    (List.length !got);
+  check Alcotest.bool "frames decode to the originals" true
+    (List.rev !got = msgs);
+  check Alcotest.int "no residue" 0 (Protocol.Inbuf.pending inbuf);
+  (* a forged length prefix over the cap is a protocol error, not an
+     allocation request *)
+  let evil = Bytes.create 4 in
+  Bytes.set_int32_be evil 0 (Int32.of_int (Protocol.max_frame + 1));
+  Protocol.Inbuf.add inbuf evil 4;
+  check Alcotest.bool "oversized prefix raises" true
+    (match Protocol.Inbuf.pop inbuf Protocol.req_codec with
+    | exception Protocol.Inbuf.Oversized_frame -> true
+    | _ -> false)
+
+(* {1 Region naming: injective across the whole client-id range} *)
+
+let test_region_names_injective () =
+  let seen = Hashtbl.create 20_000 in
+  for client = 0 to 9_999 do
+    let name = Service.region_name ~client in
+    (match Hashtbl.find_opt seen name with
+    | Some other ->
+        Alcotest.failf "clients %d and %d share region %S" other client name
+    | None -> ());
+    Hashtbl.replace seen name client
+  done;
+  check Alcotest.int "10k distinct region names" 10_000 (Hashtbl.length seen)
+
+(* {1 Protocol policy over an in-memory machine} *)
+
+let test_handle_policy () =
+  let nat = Native.create ~fence_ns:0 ~max_processes:1 () in
+  ignore (Native.register nat);
+  let module M = (val Native.machine nat) in
+  let module Svc = Service.Make (M) in
+  let t = Svc.make ~token:"secret" ~max_clients:100 Service.Plain in
+  let conn = Svc.conn () in
+  let h req = Svc.handle t conn req in
+  (* auth and range policy, all before any durable work *)
+  check Alcotest.bool "bad token refused" true
+    (h (Protocol.Hello { client = 1; token = "wrong" })
+    = Protocol.Refused Protocol.R_bad_token);
+  check Alcotest.bool "client out of range refused" true
+    (h (Protocol.Hello { client = 100; token = "secret" })
+    = Protocol.Refused Protocol.R_bad_client);
+  check Alcotest.bool "submit before hello refused" true
+    (h (Protocol.Submit { seq = 0; deadline_ns = 0; op = incr_op })
+    = Protocol.Refused Protocol.R_not_attached);
+  (* the session-region accounting moves exactly once per client *)
+  let rb0 = Svc.region_bytes t in
+  (match h (Protocol.Hello { client = 1; token = "secret" }) with
+  | Protocol.Attached { next_seq = 0; resolution = Protocol.W_none; _ } -> ()
+  | r -> Alcotest.failf "hello: %s" (match r with
+      | Protocol.Refused ref ->
+          Format.asprintf "refused %a" Protocol.pp_refusal ref
+      | _ -> "unexpected response shape"));
+  let rb1 = Svc.region_bytes t in
+  check Alcotest.bool "attach reserves session-region bytes" true (rb1 > rb0);
+  ignore (h (Protocol.Hello { client = 1; token = "secret" }) : Protocol.resp);
+  check Alcotest.int "re-attach reserves nothing new" rb1 (Svc.region_bytes t);
+  (* the exactly-once submit path *)
+  check Alcotest.bool "first submit acks value 1" true
+    (h (Protocol.Submit { seq = 0; deadline_ns = 0; op = incr_op })
+    = Protocol.Acked { seq = 0; value = 1 });
+  check Alcotest.bool "stale seq refused with the expected one" true
+    (h (Protocol.Submit { seq = 0; deadline_ns = 0; op = incr_op })
+    = Protocol.Refused (Protocol.R_bad_seq 1));
+  check Alcotest.bool "undecodable op refused" true
+    (h (Protocol.Submit { seq = 1; deadline_ns = 0; op = "\xff\xff\xff" })
+    = Protocol.Refused Protocol.R_bad_op);
+  check Alcotest.bool "read sees the one applied op" true
+    (h (Protocol.Fetch { op = "" }) = Protocol.Got 1);
+  check Alcotest.int "counter agrees" 1 (Svc.counter_value t);
+  (* drain policy *)
+  Svc.drain t;
+  check Alcotest.bool "hello while draining refused" true
+    (h (Protocol.Hello { client = 2; token = "secret" })
+    = Protocol.Refused Protocol.R_draining);
+  check Alcotest.bool "submit while draining refused" true
+    (h (Protocol.Submit { seq = 1; deadline_ns = 0; op = incr_op })
+    = Protocol.Refused Protocol.R_draining);
+  check Alcotest.bool "reads still answer while draining" true
+    (h (Protocol.Fetch { op = "" }) = Protocol.Got 1);
+  check Alcotest.bool "bye answers gone" true (h Protocol.Bye = Protocol.Gone)
+
+(* {1 The identity allocator never re-hands an identity across restart} *)
+
+let test_oseq_restart_never_reuses () =
+  let dir = fresh_dir () in
+  let drawn = ref [] in
+  (* life 1: draw from a block of 8, then die with the tail unused *)
+  let fm = Fm.create ~dir ~max_processes:1 () in
+  ignore (Fm.register fm);
+  let module M1 = (val Fm.machine fm) in
+  let module S1 = Service.Make (M1) in
+  let o1 = S1.Oseq.create ~block:8 () in
+  S1.Oseq.recover o1;
+  for _ = 1 to 5 do
+    drawn := S1.Oseq.next o1 :: !drawn
+  done;
+  check Alcotest.int "block reservation is durable up front" 8
+    (S1.Oseq.watermark o1);
+  Fm.close fm;
+  (* life 2: the unused tail of the block is abandoned, never re-handed *)
+  let fm2 = Fm.create ~dir ~max_processes:1 () in
+  ignore (Fm.register fm2);
+  let module M2 = (val Fm.machine fm2) in
+  let module S2 = Service.Make (M2) in
+  let o2 = S2.Oseq.create ~block:8 () in
+  S2.Oseq.recover o2;
+  check Alcotest.bool "restart resumes at the durable watermark" true
+    (S2.Oseq.watermark o2 >= 8);
+  for _ = 1 to 10 do
+    let id = S2.Oseq.next o2 in
+    if List.mem id !drawn then
+      Alcotest.failf "identity %d re-handed after restart" id
+  done;
+  Fm.close fm2
+
+(* {1 Recovery-complete serving across a file-machine restart} *)
+
+let test_recovery_complete_restart () =
+  let dir = fresh_dir () in
+  (* life 1: client 7 attaches and applies one op *)
+  let fm = Fm.create ~dir ~max_processes:1 () in
+  ignore (Fm.register fm);
+  let module M1 = (val Fm.machine fm) in
+  let module S1 = Service.Make (M1) in
+  let t1 = S1.make Service.Plain in
+  let c1 = S1.conn () in
+  (match S1.handle t1 c1 (Protocol.Hello { client = 7; token = "onll" }) with
+  | Protocol.Attached _ -> ()
+  | _ -> Alcotest.fail "life-1 hello refused");
+  (match
+     S1.handle t1 c1 (Protocol.Submit { seq = 0; deadline_ns = 0; op = incr_op })
+   with
+  | Protocol.Acked { value = 1; _ } -> ()
+  | _ -> Alcotest.fail "life-1 submit not acked");
+  S1.quiesce t1;
+  Fm.close fm;
+  (* life 2: [make] must re-attach the directory's clients before serving
+     — an in-doubt identity resolved lazily would be unsound, see the
+     directory comment in [Service] *)
+  let fm2 = Fm.create ~dir ~max_processes:1 () in
+  ignore (Fm.register fm2);
+  let module M2 = (val Fm.machine fm2) in
+  let module S2 = Service.Make (M2) in
+  let t2 = S2.make Service.Plain in
+  check Alcotest.bool "directory re-attached client 7 before serving" true
+    (S2.sessions t2 >= 1);
+  check Alcotest.int "the applied op survived the restart" 1
+    (S2.counter_value t2);
+  (* and the client's cursors came back with it *)
+  let c2 = S2.conn () in
+  (match S2.handle t2 c2 (Protocol.Hello { client = 7; token = "onll" }) with
+  | Protocol.Attached { next_seq = 1; _ } -> ()
+  | Protocol.Attached { next_seq; _ } ->
+      Alcotest.failf "life-2 next_seq = %d, wanted 1" next_seq
+  | _ -> Alcotest.fail "life-2 hello refused");
+  Fm.close fm2
+
+(* {1 SIGTERM drain over a real socket} *)
+
+(* Blocking client-side framing helpers (tests only). *)
+let send_req fd req =
+  let buf = Buffer.create 64 in
+  Protocol.write_frame buf Protocol.req_codec req;
+  let s = Buffer.to_bytes buf in
+  let n = Bytes.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd s !off (n - !off)
+  done
+
+let recv_resp fd inbuf =
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Protocol.Inbuf.pop inbuf Protocol.resp_codec with
+    | Some r -> Some r
+    | None -> (
+        match Unix.read fd chunk 0 4096 with
+        | 0 -> None
+        | n ->
+            Protocol.Inbuf.add inbuf chunk n;
+            go ()
+        | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> None)
+  in
+  go ()
+
+(* A server child over the native machine; SIGTERM lands while the parent
+   is mid-submit. Every in-flight op must be finished (Acked) or cleanly
+   refused (R_draining / connection closed after a flush) — never left
+   half-acked — and the child must exit 0 through the drain path. *)
+let drain_scenario construction =
+  let dir = fresh_dir () in
+  let socket = Filename.concat dir "srv.sock" in
+  let ready_r, ready_w = Unix.pipe () in
+  let child = Unix.fork () in
+  if child = 0 then begin
+    let code =
+      try
+        Unix.close ready_r;
+        let nat = Native.create ~fence_ns:0 ~max_processes:1 () in
+        ignore (Native.register nat);
+        let module M = (val Native.machine nat) in
+        let module Srv = Server.Make (M) in
+        let svc = Srv.Svc.make construction in
+        let scfg =
+          {
+            (Server.default_config ~socket_path:socket) with
+            Server.on_ready =
+              (fun () ->
+                ignore (Unix.write ready_w (Bytes.make 1 'R') 0 1);
+                Unix.close ready_w);
+          }
+        in
+        Srv.run svc scfg;
+        0
+      with _ -> 1
+    in
+    Unix._exit code
+  end;
+  Unix.close ready_w;
+  check Alcotest.int "server came up" 1 (Unix.read ready_r (Bytes.create 1) 0 1);
+  Unix.close ready_r;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  let inbuf = Protocol.Inbuf.create () in
+  send_req fd (Protocol.Hello { client = 0; token = "onll" });
+  (match recv_resp fd inbuf with
+  | Some (Protocol.Attached _) -> ()
+  | _ -> Alcotest.fail "hello refused");
+  let acked = ref 0 and drained = ref false and closed = ref false in
+  let seq = ref 0 in
+  let i = ref 0 in
+  while (not !drained) && (not !closed) && !i < 200 do
+    if !i = 20 then Unix.kill child Sys.sigterm;
+    (match
+       send_req fd
+         (Protocol.Submit { seq = !seq; deadline_ns = 0; op = incr_op })
+     with
+    | () -> (
+        match recv_resp fd inbuf with
+        | Some (Protocol.Acked { seq = s; _ }) ->
+            check Alcotest.int "acks arrive in submit order" !seq s;
+            incr acked;
+            incr seq
+        | Some (Protocol.Refused Protocol.R_draining) -> drained := true
+        | Some (Protocol.Refused Protocol.R_overloaded) -> ()
+        | Some _ -> Alcotest.fail "unexpected response to submit"
+        | None -> closed := true)
+    | exception Unix.Unix_error (Unix.EPIPE, _, _) -> closed := true);
+    incr i
+  done;
+  Unix.close fd;
+  (match Unix.waitpid [] child with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> Alcotest.failf "server exited %d" n
+  | _, _ -> Alcotest.fail "server killed by signal");
+  check Alcotest.bool "durable work happened before the drain" true
+    (!acked > 0);
+  check Alcotest.bool "the drain answered or cleanly closed" true
+    (!drained || !closed);
+  check Alcotest.bool "the socket file was removed on drain" false
+    (Sys.file_exists socket)
+
+let test_drain_plain () =
+  let prev = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigpipe prev)
+  @@ fun () -> drain_scenario Service.Plain
+
+let test_drain_mirrored () =
+  let prev = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigpipe prev)
+  @@ fun () -> drain_scenario Service.Mirrored
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "framing roundtrip + oversized prefix" `Quick
+            test_framing;
+          Alcotest.test_case "handle policy: auth, seq, drain, reads" `Quick
+            test_handle_policy;
+        ] );
+      ( "regions",
+        [
+          Alcotest.test_case "10k region names are injective" `Quick
+            test_region_names_injective;
+        ] );
+      ( "restart",
+        [
+          Alcotest.test_case "oseq never re-hands an identity" `Quick
+            test_oseq_restart_never_reuses;
+          Alcotest.test_case "recovery-complete serving after restart" `Quick
+            test_recovery_complete_restart;
+        ] );
+      ( "drain",
+        [
+          Alcotest.test_case "SIGTERM drain over a socket (plain)" `Quick
+            test_drain_plain;
+          Alcotest.test_case "SIGTERM drain over a socket (mirrored)" `Quick
+            test_drain_mirrored;
+        ] );
+    ]

@@ -344,6 +344,67 @@ let test_degradation_read_only_refuses_reinvocation () =
       check Alcotest.int "no write of any kind happened" 0
         (Sess.read s Cs.Get))
 
+(* {1 Backoff jitter: deterministic under a pinned rng_seed} *)
+
+(* One world: a bounded transient storm long enough to punch through the
+   persistent log's own retry budget (8), so the escaping transient
+   reaches the session's jittered backoff — then relents, so every
+   submission eventually lands. Returns the whole observable outcome:
+   retry count, session fences, final value, cursors. *)
+let jitter_world ~rng_seed =
+  let registry = Onll_obs.Metrics.create () in
+  let sink = Onll_obs.Sink.make ~registry () in
+  let sim = Sim.create ~sink ~max_processes:1 () in
+  let mem = Sim.memory sim in
+  let module M = (val Sim.machine sim) in
+  let module C = Onll_core.Onll.Make (M) (Cs) in
+  let obj = C.make { Onll_core.Onll.Config.default with sink } in
+  let module Sess = Onll_session.Make (M) (Cs) in
+  let module Over = Sess.Over (C) in
+  let config =
+    { Sess_t.default_config with rng_seed; max_attempts = 64; deadline = 0 }
+  in
+  let s = Sess.attach ~config ~sink ~proc:0 ~client:3 (Over.backend obj) in
+  (* storm only the session's own log: every intent/ack append punches
+     through the plog budget once (9 failures), backs off with jitter,
+     and lands on the retry — the object itself stays clean, so every
+     submission terminates *)
+  let h =
+    Faults.install mem
+      {
+        Faults.Plan.none with
+        seed = 11;
+        flush_fail_prob = 1.0;
+        max_consecutive_transients = 12;
+        target = (fun n -> n = Sess.log_name s);
+      }
+  in
+  run sim (fun _ ->
+      for _ = 1 to 6 do
+        match Sess.submit s Cs.Increment with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "storm exceeded the budget: %a"
+                       Sess_t.pp_error e
+      done);
+  Faults.remove h;
+  ( Onll_obs.Metrics.counter_value registry "session.retries",
+    Onll_obs.Metrics.counter_value registry "fences.session",
+    Sess.read s Cs.Get,
+    Sess.next_seq s )
+
+let test_jitter_deterministic () =
+  let r1, f1, v1, n1 = jitter_world ~rng_seed:42 in
+  let r2, f2, v2, n2 = jitter_world ~rng_seed:42 in
+  check Alcotest.bool "the storm actually forced retries" true (r1 > 0);
+  check Alcotest.int "same seed: identical retry count" r1 r2;
+  check Alcotest.int "same seed: identical fence count" f1 f2;
+  check Alcotest.int "same seed: identical value" v1 v2;
+  check Alcotest.int "same seed: identical cursor" n1 n2;
+  (* a different seed reshuffles the jitter, never the outcome *)
+  let _, _, v3, n3 = jitter_world ~rng_seed:9001 in
+  check Alcotest.int "different seed: same exactly-once value" v1 v3;
+  check Alcotest.int "different seed: same cursor" n1 n3
+
 (* {1 Misuse: a foreign process on an owned session} *)
 
 let test_foreign_process_raises () =
@@ -388,6 +449,8 @@ let () =
             test_timeout_then_submit_raises;
           Alcotest.test_case "deterministic Overloaded shed" `Quick
             test_overloaded;
+          Alcotest.test_case "backoff jitter pinned by rng_seed" `Quick
+            test_jitter_deterministic;
         ] );
       ( "durability",
         [
