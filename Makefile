@@ -29,36 +29,58 @@ gate:
 	dune build bench/bench_gate.exe
 	./_build/default/bench/bench_gate.exe --self-test
 
-# A fast slice of the E12/E13/E14/E16/E17 chaos campaigns: media faults
-# + nested recovery crashes on two objects, the unhardened calibration
+# A fast slice of every chaos campaign, E12 through E19: media faults +
+# nested recovery crashes on two objects, the unhardened calibration
 # baseline (which must be caught losing data), a mirrored slice where
-# primary-only faults must cost nothing (zero losses, zero ambiguity),
-# the same pair against the 4-shard partitioned construction, the
-# group-commit object where the crash lands mid-batch (alone and
-# composed with --mirrored), a kill -9 slice of the E17 file-backend
-# campaign (real files, real fsync, SIGKILLed subprocess workers), and
-# a slice of the E18 service campaign (`onll serve` subprocesses over
-# real sockets: SIGKILL mid-fence, reattach floods, SIGTERM mid-load,
-# sticky degradation — audited for exactly-once). Built once up front:
-# the runs reuse one set of artifacts instead of per-run dune exec
-# rebuild checks. Full campaigns: dune exec bench/main.exe
-# e12 e13 e14 e16 e17 e18
+# primary-only faults must cost nothing, the same pair against the
+# 4-shard partitioned construction, the group-commit object with the
+# crash landing mid-batch (alone and composed with --mirrored), durable
+# client sessions (E15), cross-shard transactions (E19: all-or-nothing
+# across a crash sweep, plain and mirrored), a kill -9 slice of the E17
+# file-backend campaign (real files, real fsync, SIGKILLed subprocess
+# workers), and a slice of the E18 service campaign (`onll serve`
+# subprocesses over real sockets, audited for exactly-once).
+#
+# CHAOS_SMOKE_SLICES below is the single source of truth for the slice
+# list — ci.yml's smoke step runs this target and documents nothing of
+# its own. One slice per line, each a full `onll` CLI invocation.
+# Full campaigns: dune exec bench/main.exe e12 e13 e14 e15 e16 e17 e18 e19
+define CHAOS_SMOKE_SLICES
+chaos -s kv --seeds 15
+chaos -s counter --seeds 15
+chaos -s kv --seeds 15 --unhardened
+chaos -s kv --seeds 10 --mirrored
+chaos -s kv --seeds 10 --sharded
+chaos -s kv --seeds 10 --sharded --mirrored
+chaos -s kv --seeds 10 --batched
+chaos -s kv --seeds 10 --batched --mirrored
+chaos --session --seeds 10
+chaos -s kv --txn --seeds 10
+chaos -s kv --txn --mirrored --seeds 10
+store campaign --seeds 4
+service campaign --seeds 2
+scrub
+session
+endef
+export CHAOS_SMOKE_SLICES
+
+# Built once up front: the slices reuse one set of artifacts instead of
+# per-run dune exec rebuild checks. Each slice is timed and the target
+# ends with a per-slice wall-clock summary, so a slice that quietly got
+# slow shows up in the CI log without artifact spelunking.
 ONLL_CLI := ./_build/default/bin/onll_cli.exe
 chaos-smoke:
 	dune build bin/onll_cli.exe
-	$(ONLL_CLI) chaos -s kv --seeds 15
-	$(ONLL_CLI) chaos -s counter --seeds 15
-	$(ONLL_CLI) chaos -s kv --seeds 15 --unhardened
-	$(ONLL_CLI) chaos -s kv --seeds 10 --mirrored
-	$(ONLL_CLI) chaos -s kv --seeds 10 --sharded
-	$(ONLL_CLI) chaos -s kv --seeds 10 --sharded --mirrored
-	$(ONLL_CLI) chaos -s kv --seeds 10 --batched
-	$(ONLL_CLI) chaos -s kv --seeds 10 --batched --mirrored
-	$(ONLL_CLI) chaos --session --seeds 10
-	$(ONLL_CLI) store campaign --seeds 4
-	$(ONLL_CLI) service campaign --seeds 2
-	$(ONLL_CLI) scrub
-	$(ONLL_CLI) session
+	@echo "$$CHAOS_SMOKE_SLICES" | { total0=$$(date +%s); summary=""; \
+	  while IFS= read -r slice; do \
+	    [ -n "$$slice" ] || continue; \
+	    t0=$$(date +%s); \
+	    $(ONLL_CLI) $$slice || exit 1; \
+	    summary="$$summary  $$(( $$(date +%s) - t0 ))s	onll $$slice\n"; \
+	  done; \
+	  printf 'chaos-smoke wall clock per slice (total %ds):\n' \
+	    $$(( $$(date +%s) - total0 )); \
+	  printf "$$summary"; }
 
 bench:
 	dune exec bench/main.exe

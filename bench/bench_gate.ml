@@ -21,12 +21,14 @@
       chaos violation counters) must match exactly. Native [mops.*]
       gauges are measurements, not invariants — never gated;
     - [BENCH_e13.json] / [BENCH_e15.json] / [BENCH_e16.json] /
-      [BENCH_e17.json] / [BENCH_e18.json]: every [e13.*] / [e15.*] /
-      [e16.*] / [e17.*] / [e18.*] key (loss, duplicate, lost-ack,
-      violation, fence-amortisation, fault, file-store and service
-      crash-slice counters of the deterministic slices) must match
-      exactly — the [e17t.*] / [e18t.*] timing and [e17c.*] / [e18c.*]
-      subprocess campaign keys live outside the gated prefix on purpose;
+      [BENCH_e17.json] / [BENCH_e18.json] / [BENCH_e19.json]: every
+      [e13.*] / [e15.*] / [e16.*] / [e17.*] / [e18.*] / [e19.*] key
+      (loss, duplicate, lost-ack, violation, fence-amortisation, fault,
+      file-store, service and transaction crash-slice counters of the
+      deterministic slices — for e19 that includes the fences-per-txn
+      accounting against the 2PC baseline) must match exactly — the
+      [e17t.*] / [e18t.*] timing and [e17c.*] / [e18c.*] subprocess
+      campaign keys live outside the gated prefix on purpose;
     - every committed golden: any key ending in [.violations] must be 0.
 
     Exit status 0 = gate passes; 1 = regression (each one named on
@@ -36,9 +38,19 @@
 
     Usage: [bench_gate.exe [--snapshots DIR] [--self-test] [--regen]]
     (default DIR: [bench/snapshots], resolved from the repo root or
-    [$ONLL_GATE_DIR]). [--regen] overwrites the gated goldens (e1, e13,
-    e14, e15, e16, e17, e18) with the fresh run instead of diffing —
-    review the diff before committing it. *)
+    [$ONLL_GATE_DIR]). [--regen] overwrites the gated goldens (see
+    {!gated_experiments}) with the fresh run instead of diffing — review
+    the diff before committing it. [--list-gated] prints the gated
+    experiment ids and exits; CI's gate-freshness step diffs it against
+    [ls bench/snapshots/] so no snapshot can sit there ungated. *)
+
+(* Every experiment with a gated golden in bench/snapshots/. CI's
+   gate-freshness step diffs [--list-gated] against the directory listing,
+   so a snapshot that exists without being gated here fails the build —
+   adding a BENCH_*.json means adding it to this list (and a compare
+   block below). *)
+let gated_experiments =
+  [ "e1"; "e13"; "e14"; "e15"; "e16"; "e17"; "e18"; "e19" ]
 
 let failures = ref []
 
@@ -108,6 +120,9 @@ let () =
     | "--regen" :: rest ->
         regen := true;
         parse rest
+    | "--list-gated" :: _ ->
+        List.iter print_endline gated_experiments;
+        exit 0
     | a :: _ ->
         prerr_endline ("bench_gate: unknown argument " ^ a);
         exit 2
@@ -187,6 +202,21 @@ let () =
   assert (Onll_obs.Metrics.counter_value e18 "e18.restart.plain.kills" > 0);
   assert (Onll_obs.Metrics.counter_value e18 "e18.oseq.reused" = 0);
   ignore (Harness.write_snapshot ~experiment:"e18" e18);
+  Printf.printf "== E19 deterministic transaction slices ==\n%!";
+  let e19 = Onll_obs.Metrics.create () in
+  Txn_bench.gate_slices e19;
+  (* one coordinator fence per txn, <= (S+1)/2 of the 2PC baseline *)
+  assert (
+    Onll_obs.Metrics.counter_value e19 "e19.acct.fences.txn"
+    = Onll_obs.Metrics.counter_value e19 "e19.acct.ops.txn");
+  assert (
+    2 * Onll_obs.Metrics.counter_value e19 "e19.acct.fences.txn"
+    <= Onll_obs.Metrics.counter_value e19 "e19.acct.fences.2pc");
+  assert (Onll_obs.Metrics.counter_value e19 "e19.txn.violations" = 0);
+  assert (
+    Onll_obs.Metrics.counter_value e19 "e19.txn/mirrored.violations" = 0);
+  assert (Onll_obs.Metrics.counter_value e19 "e19.calibration.caught" > 0);
+  ignore (Harness.write_snapshot ~experiment:"e19" e19);
   (* [--regen]: adopt the fresh snapshots as the new goldens and stop. *)
   if !regen then begin
     List.iter
@@ -201,7 +231,7 @@ let () =
         output_string oc body;
         close_out oc;
         Printf.printf "regenerated %s\n" dst)
-      [ "e1"; "e13"; "e14"; "e15"; "e16"; "e17"; "e18" ];
+      gated_experiments;
     print_endline "bench gate: goldens regenerated (review the diff)";
     exit 0
   end;
@@ -269,6 +299,15 @@ let () =
           ~fresh:f
       in
       Printf.printf "e18: %d gated service crash-slice keys compared\n" n
+  | _ -> ());
+  (match (load (golden "e19"), load (Filename.concat tmp "BENCH_e19.json"))
+   with
+  | Some g, Some f ->
+      let n =
+        compare_gated ~label:"e19" ~gated:(prefixed "e19.") ~golden:g
+          ~fresh:f
+      in
+      Printf.printf "e19: %d gated transaction-slice keys compared\n" n
   | _ -> ());
   (* 3. Every committed golden must carry zero violation counters. *)
   Array.iter

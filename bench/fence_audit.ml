@@ -160,7 +160,11 @@ let run () =
       match row with
       | [ _; impl; pu; pr; ps ]
         when impl = "onll" || impl = "onll+views" || impl = "onll-wait-free"
-             || impl = "onll-mirrored" || impl = "onll-sharded" ->
+             || impl = "onll-mirrored" || impl = "onll-sharded"
+             || impl = "onll-txn" ->
+          (* onll-txn included: single updates take the fast path — a
+             plain sharded update, so the transaction layer adds nothing
+             to Theorem 5.1's per-operation cost. *)
           assert (pu = "1" && pr = "0" && ps = "0")
       | [ _; "onll-session"; pu; pr; ps ] ->
           (* Theorem 5.1 per layer: the object still pays exactly 1

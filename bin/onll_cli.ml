@@ -171,8 +171,54 @@ let session_chaos seeds =
     || Session_chaos.e15_naive_duplicates s = 0
   then exit 1
 
-let chaos spec seeds unhardened mirrored sharded batched session =
+(* [--txn]: the E19 cross-shard transaction atomicity campaign — seeded
+   kv transfers cut by crashes, audited all-or-nothing (plain or
+   mirrored); [--unhardened] runs the no-sweep calibration, which must be
+   caught tearing or losing committed transfers. *)
+let txn_chaos seeds unhardened mirrored =
+  let open Test_support in
+  if unhardened then begin
+    let runs, caught = Txn_chaos.calibrate ~seeds in
+    Printf.printf
+      "kv/txn (unhardened calibration): %d/%d crashes caught losing or \
+       tearing transactions\n"
+      caught runs;
+    if caught = 0 then begin
+      Printf.printf
+        "calibration FAILED: the sweep-free recovery was never caught\n";
+      exit 1
+    end
+  end
+  else begin
+    let messages = ref [] in
+    let plan_of, arm =
+      if mirrored then (Txn_chaos.mirrored_plan_of_seed, "kv/txn/mirrored")
+      else (Txn_chaos.plan_of_seed, "kv/txn")
+    in
+    let r = Txn_chaos.campaign ~plan_of ~arm ~seeds ~messages () in
+    List.iter (Printf.printf "  VIOLATION %s\n") (List.rev !messages);
+    Printf.printf
+      "%s: %d runs, %d crashed, %d actions completed, %d txns committed, \
+       %d sub-ops swept, %d violations\n"
+      arm r.Txn_chaos.runs r.Txn_chaos.crashed r.Txn_chaos.completed
+      r.Txn_chaos.committed r.Txn_chaos.swept r.Txn_chaos.violations;
+    if r.Txn_chaos.violations > 0 then exit 1
+  end
+
+let chaos spec seeds unhardened mirrored sharded batched session txn =
   if session then session_chaos seeds
+  else if txn then begin
+    if sharded || batched then begin
+      Printf.eprintf "chaos: --txn composes with --mirrored only\n";
+      exit 1
+    end;
+    if spec <> "kv" then begin
+      Printf.eprintf
+        "chaos: --txn runs the kv transfer workload (use -s kv)\n";
+      exit 1
+    end;
+    txn_chaos seeds unhardened mirrored
+  end
   else if batched && sharded then begin
     Printf.eprintf "chaos: --batched does not compose with --sharded\n";
     exit 1
@@ -277,7 +323,12 @@ let chaos_cmd =
      (counter and ledger workloads through durable client sessions over \
      the plain, mirrored and sharded backends, plus the naive \
      at-least-once calibration arm, $(i,SEEDS) seeds per arm); the other \
-     flags are ignored."
+     flags are ignored. With $(b,--txn), run the E19 cross-shard \
+     transaction atomicity campaign instead: seeded kv transfers cut by \
+     crashes at swept schedule points, audited all-or-nothing with \
+     balanced books — composable with $(b,--mirrored) (and \
+     $(b,--unhardened) for its no-sweep calibration), not with \
+     $(b,--sharded)/$(b,--batched)."
   in
   let spec =
     Arg.(
@@ -321,10 +372,18 @@ let chaos_cmd =
             "run the E15 exactly-once durable-session grid (all arms, \
              SEEDS seeds each) instead")
   in
+  let txn =
+    Arg.(
+      value & flag
+      & info [ "txn" ]
+          ~doc:
+            "run the E19 cross-shard transaction atomicity campaign (kv \
+             transfers, all-or-nothing after every crash)")
+  in
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const chaos $ spec $ seeds $ unhardened $ mirrored $ sharded $ batched
-      $ session)
+      $ session $ txn)
 
 (* {1 scrub} *)
 
@@ -417,6 +476,124 @@ let scrub_cmd =
   in
   Cmd.v (Cmd.info "scrub" ~doc)
     Term.(const scrub_demo $ updates $ interval $ seed)
+
+(* {1 txn} *)
+
+(* A deterministic end-to-end narration of cross-shard atomic commit
+   (E19): a transfer between accounts on different shards of a 4-shard kv
+   object, paid for with ONE coordinator fence (2PC would pay one
+   force-write per participant plus a decision); then a crash parked
+   before the commit fence (nothing of the transfer may survive), and a
+   crash after it (all of it must). *)
+let txn_demo () =
+  let registry = Onll_obs.Metrics.create () in
+  let sink = Onll_obs.Sink.make ~registry () in
+  let sim = Sim.create ~sink ~max_processes:1 () in
+  let mem = Sim.memory sim in
+  let module M = (val Sim.machine sim) in
+  let module Tx = Onll_txn.Make (M) (Onll_specs.Kv) in
+  let module Kv = Onll_specs.Kv in
+  let obj = Tx.make ~shards:4 { Onll_core.Onll.Config.default with sink } in
+  let route op = Tx.Sh.shard_of_update (Tx.sharded obj) op in
+  let key_for s =
+    let rec go i =
+      let k = Printf.sprintf "acct-%d" i in
+      if route (Kv.Put (k, "")) = s then k else go (i + 1)
+    in
+    go 0
+  in
+  let alice = key_for 0 and bob = key_for 1 in
+  let balance k =
+    match Tx.read obj (Kv.Get k) with
+    | Kv.Found (Some v) -> v
+    | _ -> "(absent)"
+  in
+  let run1 body =
+    match Sim.run sim Onll_sched.Sched.Strategy.round_robin [| body |] with
+    | Onll_sched.Sched.World.Completed -> ()
+    | _ -> assert false
+  in
+  Format.printf
+    "a 4-shard kv object; %s lives on shard 0, %s on shard 1@." alice bob;
+  run1 (fun _ ->
+      ignore (Tx.update obj (Kv.Put (alice, "100")));
+      ignore (Tx.update obj (Kv.Put (bob, "100"))));
+  Format.printf "funded both accounts: 2 updates, %d fences@."
+    (M.persistent_fences ());
+  let before = M.persistent_fences () in
+  run1 (fun _ ->
+      ignore
+        (Tx.txn_detectable obj ~seq:0
+           [ Kv.Put (alice, "60"); Kv.Put (bob, "140") ]));
+  Format.printf
+    "transfer 40 (%s -> %s), both shards atomically: %d fence (2PC would \
+     pay 3: one prepare force-write per shard + a decision)@."
+    alice bob
+    (M.persistent_fences () - before);
+  Format.printf "balances: %s=%s %s=%s@." alice (balance alice) bob
+    (balance bob);
+  (* crash parked BEFORE the commit fence: the staged transfer must
+     vanish whole *)
+  let script =
+    Onll_sched.Sched.Strategy.script
+      [
+        Onll_sched.Sched.Strategy.run_until_pfence 0;
+        Onll_sched.Sched.Strategy.Crash_here;
+      ]
+  in
+  (match
+     Sim.run sim script
+       [|
+         (fun _ ->
+           ignore
+             (Tx.txn_detectable obj ~seq:1
+                [ Kv.Put (alice, "0"); Kv.Put (bob, "200") ]));
+       |]
+   with
+  | Onll_sched.Sched.World.Crashed -> ()
+  | _ -> assert false);
+  Format.printf
+    "@.crash parked before the commit fence of a second transfer...@.";
+  let r = Tx.recover_report obj in
+  Format.printf "recovery: %a@." Onll_core.Onll.Recovery_report.pp r;
+  Format.printf
+    "txn seq 1 committed? %b — and the books show it: %s=%s %s=%s \
+     (all-or-nothing: nothing of it survived)@."
+    (Tx.txn_was_committed obj { Onll_txn.txn_proc = 0; txn_seq = 1 })
+    alice (balance alice) bob (balance bob);
+  (* the same transfer run to completion, then a crash: all of it must
+     survive, replayed from the one commit record *)
+  run1 (fun _ ->
+      ignore
+        (Tx.txn_detectable obj ~seq:1
+           [ Kv.Put (alice, "0"); Kv.Put (bob, "200") ]));
+  Onll_nvm.Memory.crash mem ~policy:Onll_nvm.Crash_policy.Drop_all;
+  Format.printf "@.the same transfer completed, then a crash...@.";
+  let r = Tx.recover_report obj in
+  Format.printf "recovery: %a@." Onll_core.Onll.Recovery_report.pp r;
+  Format.printf
+    "txn seq 1 committed? %b — %s=%s %s=%s (replayed in full from the one \
+     commit record; %d sub-ops swept back in)@."
+    (Tx.txn_was_committed obj { Onll_txn.txn_proc = 0; txn_seq = 1 })
+    alice (balance alice) bob (balance bob)
+    (Onll_obs.Metrics.counter_value registry "txn.sweep.injected");
+  if balance alice <> "0" || balance bob <> "200" then begin
+    Format.printf "FAILED: the committed transfer did not survive@.";
+    exit 1
+  end;
+  Format.printf
+    "@.fences.txn=%d over ops.txn=%d — one fence per transaction@."
+    (Onll_obs.Metrics.counter_value registry "fences.txn")
+    (Onll_obs.Metrics.counter_value registry "ops.txn")
+
+let txn_cmd =
+  let doc =
+    "Narrate a cross-shard atomic transaction (E19): a two-shard transfer \
+     committed under ONE coordinator fence, crashed before the fence \
+     (nothing survives) and after it (everything does, replayed from the \
+     single commit record)."
+  in
+  Cmd.v (Cmd.info "txn" ~doc) Term.(const txn_demo $ const ())
 
 (* {1 session} *)
 
@@ -1641,6 +1818,7 @@ let () =
             fuzz_cmd;
             chaos_cmd;
             scrub_cmd;
+            txn_cmd;
             session_cmd;
             fences_cmd;
             stats_cmd;

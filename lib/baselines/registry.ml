@@ -34,6 +34,7 @@ type options = {
   session : bool;
   local_views : bool;
   wait_free : bool;
+  txn : bool;
 }
 
 let default_options =
@@ -46,12 +47,14 @@ let default_options =
     session = false;
     local_views = false;
     wait_free = false;
+    txn = false;
   }
 
 let pp_options ppf o =
   let d = default_options in
   let parts = ref [] in
   let p fmt = Printf.ksprintf (fun s -> parts := s :: !parts) fmt in
+  if o.txn then p "txn";
   if o.wait_free then p "wait-free";
   if o.local_views then p "views";
   if o.session then p "session";
@@ -74,6 +77,7 @@ let names =
     "onll-sharded";
     "onll-session";
     "onll-batched";
+    "onll-txn";
     "persist-on-read";
     "shadow";
     "flat-combining";
@@ -93,6 +97,13 @@ let family name o =
       Some { o with shards = (if o.shards > 1 then o.shards else 4) }
   | "onll-session" | "session" -> Some { o with session = true }
   | "onll-batched" | "batched" -> Some { o with batched = true }
+  | "onll-txn" | "txn" ->
+      Some
+        {
+          o with
+          txn = true;
+          shards = (if o.shards > 1 then o.shards else 4);
+        }
   | _ -> None
 
 let recovery_capable =
@@ -114,6 +125,9 @@ module Make (S : Onll_core.Spec.S) = struct
         invalid_arg "Registry.build: batched and wait_free are exclusive";
       if o.session && o.shards > 1 then
         invalid_arg "Registry.build: session composes over an unsharded object";
+      if o.txn && (o.batched || o.session || o.wait_free) then
+        invalid_arg
+          "Registry.build: txn composes over the plain sharded construction";
       let sim = fresh_sim () in
       let module M = (val Onll_machine.Sim.machine sim) in
       let cfg =
@@ -131,7 +145,23 @@ module Make (S : Onll_core.Spec.S) = struct
         else (module Onll_core.Onll.Make (M) (S))
       in
       let module C = (val base) in
-      if o.session then begin
+      if o.txn then begin
+        (* The E19 transactional object. Its single-operation path is a
+           plain sharded update (the fast path), which is exactly what
+           the E1 audit row asserts: one fence per update, zero on reads
+           — transactions only ever {e reduce} the per-op fence count. *)
+        let module Tx = Onll_txn.Make (M) (S) in
+        let obj = Tx.make ~shards:o.shards cfg in
+        {
+          sim;
+          sink;
+          update = (fun () -> ignore (Tx.txn obj [ gen_update () ]));
+          read = (fun () -> ignore (Tx.read obj (gen_read ())));
+          scrub = Some (fun () -> ignore (Tx.scrub obj));
+          recover = Some (fun () -> Tx.recover_report obj);
+        }
+      end
+      else if o.session then begin
         (* The object behind durable per-client sessions (E15): every
            update is an exactly-once [Onll_session.submit]. Sessions are
            attached eagerly, one per process, because region creation must

@@ -11,7 +11,10 @@
     attributed to ["fences.session"], none added to the object's path),
     ["onll-batched"] (alias ["batched"]; the E16 group-commit construction —
     concurrent updates share one batch fence, amortised below 1 pf/update,
-    degenerating to exactly 1 solo), ["persist-on-read"], ["shadow"],
+    degenerating to exactly 1 solo), ["onll-txn"] (alias ["txn"]; the E19
+    cross-shard transaction coordinator over 4 shards — multi-shard
+    transactions commit under one coordinator fence, single updates take
+    the sharded fast path), ["persist-on-read"], ["shadow"],
     ["flat-combining"] and ["volatile"] over a fresh simulated machine —
     used by the CLI ([onll lowerbound -i], [onll stats -i]), the
     lower-bound benchmark and the fence audit instead of per-caller copies
@@ -66,6 +69,14 @@ type options = {
   wait_free : bool;
       (** wait-free trace variant (default false; ["onll-wait-free"]
           implies it); mutually exclusive with [batched] *)
+  txn : bool;
+      (** front the sharded object with the E19 cross-shard transaction
+          coordinator ({!Onll_txn}; default false; ["onll-txn"] implies
+          it, plus [shards = 4] unless the record asks for more);
+          composes with [replicas]/[shards], not with
+          [batched]/[session]/[wait_free]. Single updates take the fast
+          path — a plain sharded update, one fence — so the E1 audit
+          holds unchanged *)
 }
 (** How to build an ONLL-family object: every axis the registry knows,
     with {!default_options} as the neutral point. Only the ONLL family

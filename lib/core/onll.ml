@@ -190,6 +190,26 @@ module type CONSTRUCTION = sig
   val snapshot : t -> Snapshot.t
 end
 
+(* CONSTRUCTION plus the order/linearize split and the oracle-aware
+   recovery a cross-shard coordinator (E19, {!Onll_txn}) needs. Duplicated
+   (condensed) from onll.mli, which carries the documentation. *)
+module type TXN_CAPABLE = sig
+  include CONSTRUCTION
+
+  type staged
+
+  val reserve_seq : t -> int
+  val stage_txn : t -> seq:int -> payload:string -> update_op -> staged
+  val staged_idx : staged -> int
+  val finish_txn : t -> staged -> value
+  val inject_txn_run : t -> (op_id * update_op) list -> int list
+
+  val recover_txn :
+    t ->
+    extra:(int * op_id * update_op) list ->
+    Recovery_report.t * string list
+end
+
 (* The construction is generic in the trace implementation (see
    Trace_intf): [Make] uses the paper's lock-free trace, [Make_wait_free]
    the Kogan–Petrank-style wait-free one (§8). *)
@@ -197,7 +217,7 @@ module Make_generic
     (M : Onll_machine.Machine_sig.S)
     (T : Trace_intf.S)
     (S : Spec.S) :
-  CONSTRUCTION
+  TXN_CAPABLE
     with type state = S.state
      and type update_op = S.update_op
      and type read_op = S.read_op
@@ -209,7 +229,18 @@ module Make_generic
   type read_op = S.read_op
   type value = S.value
 
-  type envelope = { e_proc : int; e_seq : int; e_op : S.update_op }
+  (* [e_txn]: when this operation is a sub-operation of a cross-shard
+     transaction (E19, {!Onll_txn}) that has been staged but whose
+     coordinator record is not yet known durable, it carries the encoded
+     commit payload. Any process that persists such an envelope (helping,
+     Listing 3) thereby makes the whole transaction durable: recovery
+     treats a payload found in any log as a committed transaction. *)
+  type envelope = {
+    e_proc : int;
+    e_seq : int;
+    e_op : S.update_op;
+    e_txn : string option;
+  }
 
   let envelope_id e = { id_proc = e.e_proc; id_seq = e.e_seq }
   let envelope_op e = e.e_op
@@ -245,9 +276,9 @@ module Make_generic
   let envelope_codec =
     let open Onll_util.Codec in
     map
-      (fun (e_proc, e_seq, e_op) -> { e_proc; e_seq; e_op })
-      (fun { e_proc; e_seq; e_op } -> (e_proc, e_seq, e_op))
-      (triple int int S.update_codec)
+      (fun ((e_proc, e_seq, e_op), e_txn) -> { e_proc; e_seq; e_op; e_txn })
+      (fun { e_proc; e_seq; e_op; e_txn } -> ((e_proc, e_seq, e_op), e_txn))
+      (pair (triple int int S.update_codec) (option string))
 
   let istate_codec =
     let open Onll_util.Codec in
@@ -434,7 +465,12 @@ module Make_generic
     let node = T.insert t.trace env in
     let fuzzy = T.fuzzy_envs t.trace node in
     let fuzzy_len = List.length fuzzy in
-    assert (fuzzy_len <= M.max_processes);
+    (* Prop 5.2 bounds the window by MAX-PROCESSES counting at most one
+       in-flight operation per process; staged transaction sub-operations
+       (E19) are exempt — one process may have several staged at once. *)
+    assert (
+      List.length (List.filter (fun e -> e.e_txn = None) fuzzy)
+      <= M.max_processes);
     if fuzzy_len > t.max_fuzzy then t.max_fuzzy <- fuzzy_len;
     if Onll_obs.Opstats.active t.ostats then begin
       Onll_obs.Opstats.observe_fuzzy t.ostats fuzzy_len;
@@ -471,7 +507,8 @@ module Make_generic
   let update_with_id t op =
     let id = next_id t in
     let v =
-      update_env t { e_proc = id.id_proc; e_seq = id.id_seq; e_op = op }
+      update_env t
+        { e_proc = id.id_proc; e_seq = id.id_seq; e_op = op; e_txn = None }
     in
     (id, v)
 
@@ -485,7 +522,7 @@ module Make_generic
     if seq < t.seqs.(p) then
       invalid_arg "Onll.update_detectable: sequence number reused";
     t.seqs.(p) <- seq + 1;
-    update_env t { e_proc = p; e_seq = seq; e_op = op }
+    update_env t { e_proc = p; e_seq = seq; e_op = op; e_txn = None }
 
   (* Listing 4. *)
   let read t rop =
@@ -517,8 +554,23 @@ module Make_generic
      checkpoint — and the report says exactly what could not be adopted.
      The strict [recover] entry point turns a lossy report into
      [Recovery_corrupt]; the unhardened one discards it (the calibration
-     baseline the chaos campaign must catch). *)
-  let recover_core t ~hardened =
+     baseline the chaos campaign must catch).
+
+     [extra] (E19) is the committed-transaction oracle: sub-operations
+     whose sole durable copy is a coordinator's commit record, keyed by
+     the execution index assigned when they were staged. They are merged
+     into the index table before the gap scan, so a hole a shard log
+     alone cannot account for (a staged sub-operation overwritten only in
+     the coordinator region) is filled rather than reported as loss.
+     Oracle entries never *create* reportable gaps: gaps are reported
+     only below the highest log-resident index, because a missing index
+     there strands a durably-logged operation, whereas indices reachable
+     only through the oracle are simply re-applied by the coordinator
+     sweep ({!Onll_txn}) if they cannot be adopted in place.
+
+     Also returns every transaction commit payload found riding in a
+     logged envelope ([e_txn]) — the helper-committed transactions. *)
+  let recover_core t ~hardened ~extra =
     let salvage =
       if hardened then
         Array.to_list t.logs |> List.map (fun l -> (L.name l, L.recover l))
@@ -548,12 +600,17 @@ module Make_generic
        agree on the operation id. *)
     let by_idx = Hashtbl.create 64 in
     let disagreements = ref [] in
+    let payloads = ref [] in
     List.iter
       (function
         | Checkpoint _ -> ()
         | Ops { exec_idx; envs } ->
             List.iteri
               (fun k env ->
+                (match env.e_txn with
+                | Some p when not (List.mem p !payloads) ->
+                    payloads := p :: !payloads
+                | Some _ | None -> ());
                 let idx = exec_idx - k in
                 match Hashtbl.find_opt by_idx idx with
                 | None -> Hashtbl.replace by_idx idx env
@@ -562,7 +619,32 @@ module Make_generic
                     then disagreements := idx :: !disagreements)
               envs)
       records;
-    let max_idx = Hashtbl.fold (fun i _ acc -> max i acc) by_idx base_idx in
+    (* Highest index with a *log-resident* copy: the horizon below which a
+       missing index is reportable loss. *)
+    let log_max = Hashtbl.fold (fun i _ acc -> max i acc) by_idx base_idx in
+    (* [extended] = log entries plus the committed-transaction oracle. An
+       oracle entry whose identity is already log-resident is skipped: a
+       sub-operation an earlier sweep re-applied (and durably logged) at a
+       relocated index would otherwise collide with its own commit
+       record's stale staging index. *)
+    let log_ids = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun _ env -> Hashtbl.replace log_ids (env.e_proc, env.e_seq) ())
+      by_idx;
+    let extended = Hashtbl.copy by_idx in
+    List.iter
+      (fun (idx, id, op) ->
+        if idx > base_idx && not (Hashtbl.mem log_ids (id.id_proc, id.id_seq))
+        then
+          let env =
+            { e_proc = id.id_proc; e_seq = id.id_seq; e_op = op; e_txn = None }
+          in
+          match Hashtbl.find_opt extended idx with
+          | None -> Hashtbl.replace extended idx env
+          | Some prior ->
+              if prior.e_proc <> env.e_proc || prior.e_seq <> env.e_seq then
+                disagreements := idx :: !disagreements)
+      extra;
     (* Under the clean crash model a gap below a persisted operation is
        impossible (Prop 5.10); under media faults it means the operation's
        every durable copy was corrupted. Only the contiguous prefix below
@@ -570,11 +652,16 @@ module Make_generic
        without fabricating the missing operation, so it is reported as
        dropped instead. *)
     let gaps = ref [] in
-    for idx = max_idx downto base_idx + 1 do
-      if not (Hashtbl.mem by_idx idx) then gaps := idx :: !gaps
+    for idx = log_max downto base_idx + 1 do
+      if not (Hashtbl.mem extended idx) then gaps := idx :: !gaps
     done;
     let gaps = !gaps in
-    let stop_idx = match gaps with [] -> max_idx | g :: _ -> g - 1 in
+    (* Adopt the longest contiguous prefix of the extended table; with no
+       oracle entries this is exactly first-gap - 1. *)
+    let stop_idx =
+      let rec go i = if Hashtbl.mem extended (i + 1) then go (i + 1) else i in
+      go base_idx
+    in
     let trace =
       T.create ~sink:(Onll_obs.Opstats.sink t.ostats) ~base_idx ~base_state ()
     in
@@ -588,9 +675,9 @@ module Make_generic
       (fun _ env ->
         if env.e_seq >= t.seqs.(env.e_proc) then
           t.seqs.(env.e_proc) <- env.e_seq + 1)
-      by_idx;
+      extended;
     for idx = base_idx + 1 to stop_idx do
-      let env = Hashtbl.find by_idx idx in
+      let env = Hashtbl.find extended idx in
       let node = T.insert trace env in
       assert (T.idx node = idx);
       T.set_available node;
@@ -598,8 +685,11 @@ module Make_generic
         { id_proc = env.e_proc; id_seq = env.e_seq }
         idx
     done;
+    (* Only log-resident strandings count as dropped: an oracle entry
+       above the stop index is re-applied by the coordinator sweep, so
+       nothing durable is lost through it. *)
     let dropped = ref [] in
-    for idx = max_idx downto stop_idx + 1 do
+    for idx = log_max downto stop_idx + 1 do
       match Hashtbl.find_opt by_idx idx with
       | Some env ->
           dropped := { id_proc = env.e_proc; id_seq = env.e_seq } :: !dropped
@@ -626,12 +716,13 @@ module Make_generic
        it is admitted, stickily, until the object is rebuilt. *)
     if hardened && Recovery_report.detected_loss report then
       t.degraded <- true;
-    report
+    (report, List.rev !payloads)
 
-  let recover_report t = recover_core t ~hardened:true
+  let recover_txn t ~extra = recover_core t ~hardened:true ~extra
+  let recover_report t = fst (recover_core t ~hardened:true ~extra:[])
 
   let recover t =
-    let r = recover_core t ~hardened:true in
+    let r = fst (recover_core t ~hardened:true ~extra:[]) in
     match (r.Recovery_report.disagreements, r.Recovery_report.gap_indices) with
     | d :: _, _ ->
         raise
@@ -645,7 +736,8 @@ module Make_generic
         if r.Recovery_report.decode_failures > 0 then
           raise (Recovery_corrupt "undecodable log entry")
 
-  let recover_unhardened t = ignore (recover_core t ~hardened:false)
+  let recover_unhardened t =
+    ignore (recover_core t ~hardened:false ~extra:[])
 
   (* Online self-healing (cooperative step): CRC-walk every process's log
      across its replicas, repairing divergence in place and quarantining
@@ -679,6 +771,87 @@ module Make_generic
            | Some e -> e.e_proc = id.id_proc && e.e_seq = id.id_seq
            | None -> false)
          (T.to_list t.trace)
+
+  (* {2 E19: cross-shard transaction support ({!Onll_txn})}
+
+     The order/persist/linearize split of a single update, exposed so a
+     coordinator can run each stage across several shard objects:
+     [stage_txn] orders a sub-operation (insert, not yet available, no
+     durable write), the coordinator then persists the whole transaction
+     with one fence in its own region, and [finish_txn] linearizes each
+     staged node. [inject_txn_run] is the recovery-side idempotent
+     re-apply for committed sub-operations no log or oracle could place. *)
+
+  type staged = { st_node : (envelope, istate) T.node }
+
+  (* Allocate the next per-process sequence number without running an
+     update: the coordinator fixes every sub-operation's identity before
+     encoding the commit payload that embeds them. The number counts as
+     used — [update_detectable] will refuse it — exactly as if an update
+     had consumed it. *)
+  let reserve_seq t =
+    let p = M.self () in
+    let seq = t.seqs.(p) in
+    t.seqs.(p) <- seq + 1;
+    seq
+
+  let stage_txn t ~seq ~payload op =
+    let p = M.self () in
+    if seq >= t.seqs.(p) then
+      invalid_arg "Onll.stage_txn: sequence number was not reserved";
+    {
+      st_node =
+        T.insert t.trace
+          { e_proc = p; e_seq = seq; e_op = op; e_txn = Some payload };
+    }
+
+  let staged_idx s = T.idx s.st_node
+
+  let finish_txn t s =
+    T.set_available s.st_node;
+    let _, value = compute t s.st_node in
+    match value with
+    | Some v -> v
+    | None -> assert false (* the staged node's own op is in the delta *)
+
+  (* Insert, linearize and durably log a run of committed sub-operations
+     during the coordinator sweep. One fenced Ops append covers the whole
+     run (the inserts are back-to-back under one process, so the indices
+     are contiguous as the record format requires); afterwards the
+     operations are ordinary log residents and the next recovery adopts
+     them without the oracle. The payload tag is dropped — the
+     transaction is already known committed. *)
+  let inject_txn_run t subs =
+    match subs with
+    | [] -> []
+    | _ ->
+        let envs_idx =
+          List.map
+            (fun (id, op) ->
+              let env =
+                {
+                  e_proc = id.id_proc;
+                  e_seq = id.id_seq;
+                  e_op = op;
+                  e_txn = None;
+                }
+              in
+              let node = T.insert t.trace env in
+              T.set_available node;
+              if id.id_seq >= t.seqs.(id.id_proc) then
+                t.seqs.(id.id_proc) <- id.id_seq + 1;
+              Hashtbl.replace t.recovered id (T.idx node);
+              (env, T.idx node))
+            subs
+        in
+        let newest_first = List.rev envs_idx in
+        let exec_idx = snd (List.hd newest_first) in
+        let payload =
+          Onll_util.Codec.encode record_codec
+            (Ops { exec_idx; envs = List.map fst newest_first })
+        in
+        append_record t (M.self ()) payload;
+        List.map snd envs_idx
 
   (* {2 §8: checkpointing, log compaction, trace pruning} *)
 

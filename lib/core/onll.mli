@@ -311,11 +311,75 @@ module type CONSTRUCTION = sig
       per-log space/entry statistics. *)
 end
 
+(** {!CONSTRUCTION} plus the hooks a cross-shard transaction coordinator
+    ({!Onll_txn}, E19) needs: the update's order/persist/linearize stages
+    exposed separately, so the coordinator can order a sub-operation in
+    each participant shard, persist the {e whole} transaction with one
+    fence in its own region, and only then linearize the staged nodes —
+    and a recovery variant that accepts a committed-transaction oracle.
+
+    A staged envelope carries the encoded commit payload, so any
+    concurrent update that helps persist it (Listing 3's fuzzy window)
+    thereby durably commits the whole transaction — that is what keeps a
+    staged-but-uncommitted node from ever becoming durable {e without}
+    its transaction. *)
+module type TXN_CAPABLE = sig
+  include CONSTRUCTION
+
+  type staged
+  (** An ordered-but-not-yet-linearized sub-operation: a trace node that
+      is not available and has no durable copy of its own yet. *)
+
+  val reserve_seq : t -> int
+  (** Allocate (and consume) the calling process's next sequence number
+      without running an update, so the coordinator can fix every
+      sub-operation's identity before encoding the commit payload. *)
+
+  val stage_txn : t -> seq:int -> payload:string -> update_op -> staged
+  (** Order stage only: insert the sub-operation into the trace, tagged
+      with the transaction's commit [payload], not yet available, nothing
+      written durably. [seq] must come from {!reserve_seq}.
+      @raise Invalid_argument if [seq] was never reserved. *)
+
+  val staged_idx : staged -> int
+  (** The staged node's execution index — recorded in the commit payload
+      so recovery can re-adopt the sub-operation in place. *)
+
+  val finish_txn : t -> staged -> value
+  (** Linearize stage: set the staged node available and compute its
+      return value from the trace prefix. No fences. Call only after the
+      transaction's commit record is durable. *)
+
+  val inject_txn_run : t -> (op_id * update_op) list -> int list
+  (** Recovery-side re-apply for committed sub-operations absent from the
+      rebuilt trace: insert each (oldest first), linearize it, and make
+      the whole run durable in the calling process's log with one fenced
+      append, returning the assigned execution indices. Identities are
+      registered with {!CONSTRUCTION.recovered_ops} /
+      {!CONSTRUCTION.was_linearized} and sequence allocation is bumped
+      past them. *)
+
+  val recover_txn :
+    t ->
+    extra:(int * op_id * update_op) list ->
+    Recovery_report.t * string list
+  (** Hardened recovery ({!CONSTRUCTION.recover_report}) with a
+      committed-transaction oracle: [extra] lists sub-operations (staged
+      execution index, identity, operation) whose durability is vouched
+      for by a coordinator commit record. They fill index holes the shard
+      logs alone cannot account for, and are never themselves reported as
+      gaps or drops — an oracle entry that cannot be adopted in place is
+      left to the coordinator sweep ({!Onll_txn}) to re-apply. Also
+      returns every commit payload found riding in a logged envelope: the
+      transactions committed by a helping process rather than by their
+      coordinator. *)
+end
+
 module Make_generic
     (M : Onll_machine.Machine_sig.S)
     (T : Trace_intf.S)
     (S : Spec.S) :
-  CONSTRUCTION
+  TXN_CAPABLE
     with type state = S.state
      and type update_op = S.update_op
      and type read_op = S.read_op
@@ -323,7 +387,7 @@ module Make_generic
 
 (** The paper's construction: ONLL over the lock-free Listing 2 trace. *)
 module Make (M : Onll_machine.Machine_sig.S) (S : Spec.S) :
-  CONSTRUCTION
+  TXN_CAPABLE
     with type state = S.state
      and type update_op = S.update_op
      and type read_op = S.read_op
@@ -332,7 +396,7 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Spec.S) :
 (** §8: the same construction over the Kogan–Petrank-style wait-free trace
     ({!Wf_trace}); {!CONSTRUCTION.prune} is unsupported. *)
 module Make_wait_free (M : Onll_machine.Machine_sig.S) (S : Spec.S) :
-  CONSTRUCTION
+  TXN_CAPABLE
     with type state = S.state
      and type update_op = S.update_op
      and type read_op = S.read_op

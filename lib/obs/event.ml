@@ -73,6 +73,10 @@ type kind =
   | Session of { client : int; seq : int; outcome : session_outcome }
       (** A durable client session (E15) disposed of [client]'s operation
           [seq]: see {!session_outcome}. *)
+  | Txn of { shards : int; ops : int }
+      (** A cross-shard transaction (E19) committed: [ops] sub-operations
+          across [shards] participant shards, made durable by one
+          coordinator fence. *)
 
 type t = {
   time : int;  (** logical timestamp, unique and monotone per sink *)
@@ -106,6 +110,7 @@ let kind_label = function
   | Scrub _ -> "scrub"
   | Route _ -> "route"
   | Session _ -> "session"
+  | Txn _ -> "txn"
 
 let pp ppf { time; proc; kind } =
   let p ppf = Format.fprintf ppf in
@@ -134,5 +139,6 @@ let pp ppf { time; proc; kind } =
       else p ppf " shard=%d" shard
   | Session { client; seq; outcome } ->
       p ppf " client=%d seq=%d outcome=%s" client seq
-        (session_outcome_label outcome));
+        (session_outcome_label outcome)
+  | Txn { shards; ops } -> p ppf " shards=%d ops=%d" shards ops);
   p ppf "@]"

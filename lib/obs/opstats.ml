@@ -9,6 +9,8 @@ type t = {
   fences_checkpoint : Metrics.counter;
   ops_scrub : Metrics.counter;
   fences_scrub : Metrics.counter;
+  ops_txn : Metrics.counter;
+  fences_txn : Metrics.counter;
   fuzzy : Metrics.histogram;
 }
 
@@ -26,6 +28,8 @@ let make sink =
     fences_checkpoint = Metrics.counter r "fences.checkpoint";
     ops_scrub = Metrics.counter r "ops.scrub";
     fences_scrub = Metrics.counter r "fences.scrub";
+    ops_txn = Metrics.counter r "ops.txn";
+    fences_txn = Metrics.counter r "fences.txn";
     fuzzy = Metrics.histogram r "fuzzy.window";
   }
 
@@ -47,4 +51,9 @@ let checkpoint_done t ~fences = Metrics.add t.fences_checkpoint fences
 let scrub_done t ~fences =
   Metrics.incr t.ops_scrub;
   Metrics.add t.fences_scrub fences
+
+let txn_done t ~fences =
+  Metrics.incr t.ops_txn;
+  Metrics.add t.fences_txn fences
+
 let observe_fuzzy t n = Metrics.observe t.fuzzy n

@@ -44,4 +44,11 @@ val scrub_done : t -> fences:int -> unit
     ["fences.scrub"], so scrub fences never pollute the per-update
     Theorem 5.1 attribution. *)
 
+val txn_done : t -> fences:int -> unit
+(** One cross-shard transaction (E19) committed, having executed [fences]
+    persistent fences on the coordinating process — recorded under
+    ["ops.txn"]/["fences.txn"]. The E19 headline is exactly this ratio:
+    one coordinator fence per transaction, versus the 2PC baseline's
+    participants + 1. *)
+
 val observe_fuzzy : t -> int -> unit

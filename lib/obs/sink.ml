@@ -44,6 +44,8 @@ type t = {
   c_session_refused : Metrics.counter;
   c_session_applied : Metrics.counter;
   c_session_reinvoked : Metrics.counter;
+  c_txns : Metrics.counter;
+  c_txn_subops : Metrics.counter;
 }
 
 let build ~active ~registry ~handler =
@@ -91,6 +93,8 @@ let build ~active ~registry ~handler =
     c_session_applied = Metrics.counter registry "session.resolved.applied";
     c_session_reinvoked =
       Metrics.counter registry "session.resolved.reinvoked";
+    c_txns = Metrics.counter registry "txns";
+    c_txn_subops = Metrics.counter registry "txn.subops";
   }
 
 let make ?registry ?handler () =
@@ -159,7 +163,10 @@ let emit t ~proc kind =
         | Event.Sess_shed -> Metrics.incr t.c_session_sheds
         | Event.Sess_refused -> Metrics.incr t.c_session_refused
         | Event.Sess_applied -> Metrics.incr t.c_session_applied
-        | Event.Sess_reinvoked -> Metrics.incr t.c_session_reinvoked));
+        | Event.Sess_reinvoked -> Metrics.incr t.c_session_reinvoked)
+    | Event.Txn { ops; _ } ->
+        Metrics.incr t.c_txns;
+        Metrics.add t.c_txn_subops ops);
     match t.handler with
     | Some f -> f { Event.time; proc; kind }
     | None -> ()

@@ -16,6 +16,7 @@ module type SHARDED = sig
   val sink : t -> Onll_obs.Sink.t
   val shard : t -> int -> Shard.t
   val shard_of_update : t -> Shard.update_op -> int
+  val participants : t -> Shard.update_op list -> int list
   val update : t -> Shard.update_op -> Shard.value
   val update_with_id : t -> Shard.update_op -> Onll_core.Onll.op_id * Shard.value
   val update_detectable : t -> seq:int -> Shard.update_op -> Shard.value
@@ -98,6 +99,12 @@ struct
     t.insts.(i)
 
   let shard_of_update t op = S.shard_of_update ~shards:t.n op
+
+  (* The multi-shard routing question a transaction coordinator (E19)
+     asks before anything runs: which shards does this operation list
+     touch? Pure, like the router it is built on. *)
+  let participants t ops =
+    List.sort_uniq compare (List.map (shard_of_update t) ops)
 
   let route_update t op =
     let s = shard_of_update t op in

@@ -69,6 +69,11 @@ module type SHARDED = sig
       operation and the shard count, so it answers identically across
       crashes and processes. *)
 
+  val participants : t -> Shard.update_op list -> int list
+  (** The distinct shards an operation list touches, ascending — the
+      participant set a cross-shard transaction coordinator
+      ({!Onll_txn}, E19) plans against. Pure, like {!shard_of_update}. *)
+
   (** {1 Operations} *)
 
   val update : t -> Shard.update_op -> Shard.value

@@ -1,0 +1,443 @@
+(** The E19 atomicity chaos campaign: seeded cross-shard transfers cut by
+    crashes at swept schedule points, audited for {e all-or-nothing}
+    visibility.
+
+    Each simulated process owns a disjoint set of kv accounts (so no
+    cross-process data races muddy the oracle) plus one "note" key, and
+    runs a deterministic action script: mostly two-operation {e transfers}
+    between two of its accounts on (usually) different shards, submitted
+    with {!Onll_txn.Make.txn_detectable}, interleaved with plain
+    single-key updates — the latter both exercise the fast path and give
+    concurrent fuzzy windows a chance to {e helper-commit} a neighbour's
+    staged transaction. Every action writes {e absolute} values drawn
+    from a per-action power of two, which makes the state after every
+    prefix of a process's script pairwise distinct — so "which prefix
+    survived?" has exactly one answer and a partial transaction matches
+    {e no} prefix at all.
+
+    Why no media faults here: the E12/E13 grids already cover media
+    damage, and absolute-valued transfers make account sums
+    history-dependent under whole-record loss — the crisp invariants
+    below only hold when durable fenced records survive, i.e. under pure
+    crash policies ([Drop_all]/[Persist_all]/[Random] pending-line
+    subsets). Under those, a process's coordinator records are
+    prefix-closed (each commit fence drains before the next txn stages),
+    which is what the audit leans on.
+
+    Post-crash, recovery must satisfy, per process:
+
+    - {b prefix}: the recovered values of its accounts + note equal the
+      model state after some prefix of its script — a transfer with one
+      leg visible and the other missing matches no prefix (the atomicity
+      check);
+    - {b completion}: every action that {e returned} before the crash is
+      inside that prefix, and every transfer that returned answers
+      [txn_was_committed] = true;
+    - {b prefix-closed commitment}: the committed transaction sequence
+      numbers form a gapless prefix [0..k-1];
+    - {b balance}: summed over {e all} processes and shards, the transfer
+      accounts net to zero — value moved, never created or destroyed;
+    - {b idempotence}: an immediate second recovery adopts the identical
+      operation set;
+    - {b liveness}: the recovered object completes a post-crash transfer
+      era and the books still balance.
+
+    The calibration arm re-runs a slice of the same plans against
+    {!Onll_txn.Make.recover_unhardened} (no coordinator sweep, no
+    oracle): completed transfers become invisible or half-applied, and
+    the audit {e must} flag it — a campaign whose detector never fires
+    proves nothing. *)
+
+open Onll_util
+open Onll_machine
+module Kv = Onll_specs.Kv
+
+type plan = {
+  seed : int;
+  n_procs : int;
+  actions_per_proc : int;
+  crash_at : int;  (** scheduler step of the crash *)
+  policy : Onll_nvm.Crash_policy.t;
+  replicas : int;
+  hardened : bool;
+}
+
+let plan_of_seed seed =
+  {
+    seed;
+    n_procs = 2 + (seed mod 2);
+    actions_per_proc = 4 + (seed mod 3);
+    crash_at = 10 + (seed * 13 mod 170);
+    policy =
+      (match seed mod 3 with
+      | 0 -> Onll_nvm.Crash_policy.Persist_all
+      | 1 -> Onll_nvm.Crash_policy.Drop_all
+      | _ -> Onll_nvm.Crash_policy.Random seed);
+    replicas = 1;
+    hardened = true;
+  }
+
+(* The mirrored arm: every region — shard logs and coordinator logs —
+   two-way replicated, all copies drained under the same fences. The
+   invariants are identical; what is being checked is that mirroring
+   composes with the commit protocol without adding fences or races. *)
+let mirrored_plan_of_seed seed =
+  { (plan_of_seed seed) with replicas = 2 }
+
+(* One process's deterministic script: the action list and the model
+   state (accounts, note) after every prefix. Account values are signed
+   sums of distinct powers of two and the note is a fresh power per
+   write, so prefix states are pairwise distinct. *)
+type action =
+  | Transfer of { t_seq : int; ops : Kv.update_op list }
+  | Note of Kv.update_op
+
+let n_accts = 4
+
+let acct_key p i = Printf.sprintf "acct.%d.%d" p i
+let note_key p = Printf.sprintf "note.%d" p
+
+let script_of ~plan p =
+  let rng = Splitmix.create ((plan.seed * 1_000_003) + p) in
+  let bal = Array.make n_accts 0 in
+  let note = ref 0 in
+  let states = ref [ (Array.copy bal, !note) ] (* newest first *) in
+  let txn_seq = ref 0 in
+  let actions =
+    List.init plan.actions_per_proc (fun t ->
+        let amount = 1 lsl t in
+        let a =
+          if t mod 3 = 2 then begin
+            note := amount;
+            Note (Kv.Put (note_key p, string_of_int amount))
+          end
+          else begin
+            let src = Splitmix.int rng n_accts in
+            let dst = (src + 1 + Splitmix.int rng (n_accts - 1)) mod n_accts in
+            bal.(src) <- bal.(src) - amount;
+            bal.(dst) <- bal.(dst) + amount;
+            let ops =
+              [
+                Kv.Put (acct_key p src, string_of_int bal.(src));
+                Kv.Put (acct_key p dst, string_of_int bal.(dst));
+              ]
+            in
+            let seq = !txn_seq in
+            incr txn_seq;
+            Transfer { t_seq = seq; ops }
+          end
+        in
+        states := (Array.copy bal, !note) :: !states;
+        a)
+  in
+  (* states.(k) = model after prefix k, oldest first *)
+  (actions, Array.of_list (List.rev !states))
+
+type result = {
+  crashed : bool;
+  completed : int;  (** actions that returned pre-crash, all processes *)
+  committed : int;  (** transactions committed per the recovered table *)
+  swept : int;  (** sub-operations recovery had to re-apply *)
+  violations : string list;
+  metrics : (string * int) list;
+}
+
+let tracked_counters =
+  [ "txns"; "txn.subops"; "txn.fast_path"; "txn.sweep.injected"; "crashes" ]
+
+let run ~plan () =
+  let registry = Onll_obs.Metrics.create () in
+  let sink = Onll_obs.Sink.make ~registry () in
+  let sim =
+    Sim.create ~sink ~max_processes:plan.n_procs ~crash_policy:plan.policy ()
+  in
+  let module M = (val Sim.machine sim) in
+  let module Tx = Onll_txn.Make (M) (Kv) in
+  let obj =
+    Tx.make ~shards:4
+      {
+        Onll_core.Onll.Config.log_capacity = 1 lsl 16;
+        replicas = plan.replicas;
+        local_views = false;
+        region_suffix = "";
+        sink;
+      }
+  in
+  let scripts = Array.init plan.n_procs (fun p -> script_of ~plan p) in
+  (* Plain refs mutated inside simulated processes: bookkeeping, not
+     shared state, hence not scheduling points. *)
+  let done_actions = Array.make plan.n_procs 0 in
+  let done_txn_seq = Array.make plan.n_procs (-1) in
+  let mk_proc p _ =
+    let actions, _ = scripts.(p) in
+    List.iter
+      (fun a ->
+        (match a with
+        | Transfer { t_seq; ops } ->
+            ignore (Tx.txn_detectable obj ~seq:t_seq ops);
+            done_txn_seq.(p) <- t_seq
+        | Note op -> ignore (Tx.update obj op));
+        done_actions.(p) <- done_actions.(p) + 1)
+      actions
+  in
+  let strategy =
+    let base = Onll_sched.Sched.Strategy.random ~seed:plan.seed in
+    fun view ->
+      if view.Onll_sched.Sched.Strategy.steps () >= plan.crash_at then
+        Onll_sched.Sched.Strategy.Crash_now
+      else base view
+  in
+  let outcome =
+    Sim.run sim strategy (Array.init plan.n_procs (fun p -> mk_proc p))
+  in
+  let crashed = outcome = Onll_sched.Sched.World.Crashed in
+  let violations = ref [] in
+  let fail fmt =
+    Format.kasprintf (fun s -> violations := s :: !violations) fmt
+  in
+  if crashed then begin
+    (if plan.hardened then begin
+       let r = Tx.recover_report obj in
+       (* Pure crash chaos: nothing fenced can vanish, so recovery must
+          be spotless — any gap, disagreement or decode failure is a
+          protocol bug, not an excuse. *)
+       if not (Onll_core.Onll.Recovery_report.clean r) then
+         fail "recovery not clean under pure crash: %a"
+           Onll_core.Onll.Recovery_report.pp r
+     end
+     else Tx.recover_unhardened obj);
+    let balance key =
+      match Tx.read obj (Kv.Get key) with
+      | Kv.Found (Some s) -> int_of_string s
+      | _ -> 0
+    in
+    for p = 0 to plan.n_procs - 1 do
+      let actions, states = scripts.(p) in
+      let state_matches k =
+        let bal, note = states.(k) in
+        balance (note_key p) = note
+        && Array.for_all2 ( = )
+             (Array.init n_accts (fun i -> balance (acct_key p i)))
+             bal
+      in
+      (* The longest matching prefix — with pairwise-distinct prefix
+         states there is at most one, so scan from the newest. *)
+      let rec longest k = if k < 0 then None else if state_matches k then Some k else longest (k - 1) in
+      (match longest (List.length actions) with
+      | None ->
+          fail
+            "proc %d: recovered state matches NO prefix of its script — a \
+             partial transaction is visible"
+            p
+      | Some k ->
+          if done_actions.(p) > k then
+            fail
+              "proc %d: %d actions returned before the crash but only the \
+               %d-action prefix survived"
+              p
+              done_actions.(p)
+              k);
+      (* Commitment: gapless prefix, covering every returned transfer. *)
+      let committed_seqs =
+        List.filter_map
+          (fun (id : Onll_txn.txn_id) ->
+            if id.txn_proc = p then Some id.txn_seq else None)
+          (Tx.committed_txns obj)
+      in
+      let sorted = List.sort compare committed_seqs in
+      if sorted <> List.init (List.length sorted) (fun i -> i) then
+        fail "proc %d: committed transaction seqs are not a gapless prefix" p;
+      for s = 0 to done_txn_seq.(p) do
+        if not (Tx.txn_was_committed obj { Onll_txn.txn_proc = p; txn_seq = s })
+        then
+          fail
+            "proc %d: transfer seq %d returned before the crash but is not \
+             committed after recovery"
+            p s
+      done
+    done;
+    (* Balance: transfers move value, never mint it. *)
+    let total =
+      let sum = ref 0 in
+      for p = 0 to plan.n_procs - 1 do
+        for i = 0 to n_accts - 1 do
+          sum := !sum + balance (acct_key p i)
+        done
+      done;
+      !sum
+    in
+    if total <> 0 then
+      fail "shard sums do not balance: transfer accounts net %d, want 0" total;
+    (* Idempotence (hardened only: the calibration baseline neither
+       sweeps nor reports, so re-running it proves nothing). *)
+    if plan.hardened then begin
+      let ops1 = Tx.recovered_ops obj in
+      ignore (Tx.recover_report obj);
+      if ops1 <> Tx.recovered_ops obj then
+        fail "second recovery adopted a different operation set"
+    end;
+    (* Liveness: a post-crash delta transfer per process, then the books
+       must still balance. *)
+    let post p _ =
+      let src = balance (acct_key p 0) and dst = balance (acct_key p 1) in
+      ignore
+        (Tx.txn obj
+           [
+             Kv.Put (acct_key p 0, string_of_int (src - 7));
+             Kv.Put (acct_key p 1, string_of_int (dst + 7));
+           ])
+    in
+    (match
+       Sim.run sim Onll_sched.Sched.Strategy.round_robin
+         (Array.init plan.n_procs (fun p -> post p))
+     with
+    | Onll_sched.Sched.World.Completed -> ()
+    | _ -> fail "post-crash transfer era did not complete");
+    let total' =
+      let sum = ref 0 in
+      for p = 0 to plan.n_procs - 1 do
+        for i = 0 to n_accts - 1 do
+          sum := !sum + balance (acct_key p i)
+        done
+      done;
+      !sum
+    in
+    if total' <> 0 then
+      fail "books unbalanced after the post-crash era: net %d" total'
+  end;
+  {
+    crashed;
+    completed = Array.fold_left ( + ) 0 done_actions;
+    committed = List.length (Tx.committed_txns obj);
+    swept = Onll_obs.Metrics.counter_value registry "txn.sweep.injected";
+    violations = List.rev !violations;
+    metrics =
+      List.map
+        (fun k -> (k, Onll_obs.Metrics.counter_value registry k))
+        tracked_counters;
+  }
+
+(* {2 Campaign aggregation} *)
+
+type row = {
+  arm : string;
+  runs : int;
+  crashed : int;
+  completed : int;
+  committed : int;
+  swept : int;
+  violations : int;
+}
+
+type summary = {
+  rows : row list;
+  cal_runs : int;
+  cal_caught : int;  (** unhardened runs the audit flagged (must be > 0) *)
+  messages : string list;
+}
+
+let total_violations s =
+  List.fold_left (fun acc r -> acc + r.violations) 0 s.rows
+
+let campaign ?(plan_of = plan_of_seed) ~arm ~seeds ~messages () =
+  let acc =
+    ref
+      {
+        arm;
+        runs = 0;
+        crashed = 0;
+        completed = 0;
+        committed = 0;
+        swept = 0;
+        violations = 0;
+      }
+  in
+  for seed = 1 to seeds do
+    let r = run ~plan:(plan_of seed) () in
+    List.iter
+      (fun m ->
+        messages := Printf.sprintf "%s seed %d: %s" arm seed m :: !messages)
+      r.violations;
+    let a = !acc in
+    acc :=
+      {
+        a with
+        runs = a.runs + 1;
+        crashed = (a.crashed + if r.crashed then 1 else 0);
+        completed = a.completed + r.completed;
+        committed = a.committed + r.committed;
+        swept = a.swept + r.swept;
+        violations = a.violations + List.length r.violations;
+      }
+  done;
+  !acc
+
+let calibrate ~seeds =
+  let caught = ref 0 in
+  for seed = 1 to seeds do
+    let plan = { (plan_of_seed seed) with hardened = false } in
+    let r = run ~plan () in
+    if r.crashed && r.violations <> [] then incr caught
+  done;
+  (seeds, !caught)
+
+let run_campaign ~seeds ~calibration_seeds =
+  let messages = ref [] in
+  let rows =
+    [
+      campaign ~arm:"txn" ~seeds ~messages ();
+      campaign ~plan_of:mirrored_plan_of_seed ~arm:"txn/mirrored" ~seeds
+        ~messages ();
+    ]
+  in
+  let cal_runs, cal_caught = calibrate ~seeds:calibration_seeds in
+  { rows; cal_runs; cal_caught; messages = List.rev !messages }
+
+let print s =
+  Table.print
+    ~title:
+      "E19 — cross-shard transaction atomicity chaos (crash sweep; after \
+       every crash a transfer is all-or-nothing and the books balance; \
+       violations must be 0)"
+    ~header:
+      [
+        "arm"; "runs"; "crashed"; "completed"; "committed"; "swept";
+        "violations";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.arm;
+           string_of_int r.runs;
+           string_of_int r.crashed;
+           string_of_int r.completed;
+           string_of_int r.committed;
+           string_of_int r.swept;
+           string_of_int r.violations;
+         ])
+       s.rows);
+  List.iter (fun m -> Printf.printf "  VIOLATION %s\n" m) s.messages;
+  Printf.printf
+    "calibration (unhardened recovery, no sweep): %d/%d crashes caught \
+     losing or tearing transactions %s\n"
+    s.cal_caught s.cal_runs
+    (if s.cal_caught > 0 then "(detector fires)"
+     else "(DETECTOR NEVER FIRED — campaign proves nothing)")
+
+(* Fold into a metrics registry for the BENCH_e19.json gate slice
+   ([?reg] merges into an existing summary instead). *)
+let to_metrics ?(reg = Onll_obs.Metrics.create ()) s =
+  let add name v = Onll_obs.Metrics.add (Onll_obs.Metrics.counter reg name) v in
+  List.iter
+    (fun r ->
+      let p fmt = Printf.sprintf fmt r.arm in
+      add (p "e19.%s.runs") r.runs;
+      add (p "e19.%s.crashed") r.crashed;
+      add (p "e19.%s.completed") r.completed;
+      add (p "e19.%s.committed") r.committed;
+      add (p "e19.%s.swept") r.swept;
+      add (p "e19.%s.violations") r.violations)
+    s.rows;
+  add "e19.calibration.runs" s.cal_runs;
+  add "e19.calibration.caught" s.cal_caught;
+  reg
