@@ -29,7 +29,7 @@ gate:
 	dune build bench/bench_gate.exe
 	./_build/default/bench/bench_gate.exe --self-test
 
-# A fast slice of every chaos campaign, E12 through E19: media faults +
+# A fast slice of every chaos campaign, E12 through E20: media faults +
 # nested recovery crashes on two objects, the unhardened calibration
 # baseline (which must be caught losing data), a mirrored slice where
 # primary-only faults must cost nothing, the same pair against the
@@ -38,8 +38,10 @@ gate:
 # client sessions (E15), cross-shard transactions (E19: all-or-nothing
 # across a crash sweep, plain and mirrored), a kill -9 slice of the E17
 # file-backend campaign (real files, real fsync, SIGKILLed subprocess
-# workers), and a slice of the E18 service campaign (`onll serve`
-# subprocesses over real sockets, audited for exactly-once).
+# workers), a slice of the E18 service campaign (`onll serve`
+# subprocesses over real sockets, audited for exactly-once), and the E20
+# bounded-staleness campaign (risk-budgeted lazy fences; crash loss must
+# be the budgeted suffix, exactly reported — plain and mirrored).
 #
 # CHAOS_SMOKE_SLICES below is the single source of truth for the slice
 # list — ci.yml's smoke step runs this target and documents nothing of
@@ -57,6 +59,8 @@ chaos -s kv --seeds 10 --batched --mirrored
 chaos --session --seeds 10
 chaos -s kv --txn --seeds 10
 chaos -s kv --txn --mirrored --seeds 10
+chaos -s kv --relaxed --seeds 10
+chaos -s kv --relaxed --mirrored --seeds 10
 store campaign --seeds 4
 service campaign --seeds 2
 scrub
@@ -81,6 +85,15 @@ chaos-smoke:
 	  printf 'chaos-smoke wall clock per slice (total %ds):\n' \
 	    $$(( $$(date +%s) - total0 )); \
 	  printf "$$summary"; }
+	@# A campaign that records violations must exit with the distinct
+	@# code 4 even under --quiet: the E20 unhardened calibration is the
+	@# deliberately violating campaign, so assert on its exit code alone.
+	@st=0; $(ONLL_CLI) chaos -s kv --relaxed --unhardened --quiet --seeds 6 || st=$$?; \
+	  if [ "$$st" -ne 4 ]; then \
+	    echo "chaos-smoke: expected exit 4 from the quiet violating campaign, got $$st"; \
+	    exit 1; \
+	  fi; \
+	  echo "quiet violating campaign exited with code 4 (asserted)"
 
 bench:
 	dune exec bench/main.exe

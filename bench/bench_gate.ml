@@ -21,14 +21,17 @@
       chaos violation counters) must match exactly. Native [mops.*]
       gauges are measurements, not invariants — never gated;
     - [BENCH_e13.json] / [BENCH_e15.json] / [BENCH_e16.json] /
-      [BENCH_e17.json] / [BENCH_e18.json] / [BENCH_e19.json]: every
-      [e13.*] / [e15.*] / [e16.*] / [e17.*] / [e18.*] / [e19.*] key
-      (loss, duplicate, lost-ack, violation, fence-amortisation, fault,
-      file-store, service and transaction crash-slice counters of the
+      [BENCH_e17.json] / [BENCH_e18.json] / [BENCH_e19.json] /
+      [BENCH_e20.json]: every [e13.*] / [e15.*] / [e16.*] / [e17.*] /
+      [e18.*] / [e19.*] / [e20.*] key (loss, duplicate, lost-ack,
+      violation, fence-amortisation, fault, file-store, service,
+      transaction and staleness crash-slice counters of the
       deterministic slices — for e19 that includes the fences-per-txn
-      accounting against the 2PC baseline) must match exactly — the
-      [e17t.*] / [e18t.*] timing and [e17c.*] / [e18c.*] subprocess
-      campaign keys live outside the gated prefix on purpose;
+      accounting against the 2PC baseline, for e20 the sub-1 relaxed
+      fence accounting with its solo-after-quiesce 1/k floor and the
+      ops-at-risk histogram) must match exactly — the [e17t.*] /
+      [e18t.*] timing and [e17c.*] / [e18c.*] subprocess campaign keys
+      live outside the gated prefix on purpose;
     - every committed golden: any key ending in [.violations] must be 0.
 
     Exit status 0 = gate passes; 1 = regression (each one named on
@@ -50,7 +53,7 @@
    adding a BENCH_*.json means adding it to this list (and a compare
    block below). *)
 let gated_experiments =
-  [ "e1"; "e13"; "e14"; "e15"; "e16"; "e17"; "e18"; "e19" ]
+  [ "e1"; "e13"; "e14"; "e15"; "e16"; "e17"; "e18"; "e19"; "e20" ]
 
 let failures = ref []
 
@@ -217,6 +220,24 @@ let () =
     Onll_obs.Metrics.counter_value e19 "e19.txn/mirrored.violations" = 0);
   assert (Onll_obs.Metrics.counter_value e19 "e19.calibration.caught" > 0);
   ignore (Harness.write_snapshot ~experiment:"e19" e19);
+  Printf.printf "== E20 deterministic bounded-staleness slices ==\n%!";
+  let e20 = Onll_obs.Metrics.create () in
+  Relaxed_bench.gate_slices e20;
+  (* strictly below 1 pf/update relaxed, exactly 1 strict, and the
+     solo-after-quiesce floor pinned at one fence per full budget *)
+  assert (
+    Onll_obs.Metrics.counter_value e20 "e20.acct.fences.relaxed"
+    < Onll_obs.Metrics.counter_value e20 "e20.acct.ops");
+  assert (Onll_obs.Metrics.counter_value e20 "e20.acct.fences.relaxed" > 0);
+  assert (
+    Onll_obs.Metrics.counter_value e20 "e20.acct.fences.strict"
+    = Onll_obs.Metrics.counter_value e20 "e20.acct.ops");
+  assert (Onll_obs.Metrics.counter_value e20 "e20.acct.solo.fences" = 1);
+  assert (Onll_obs.Metrics.counter_value e20 "e20.relaxed.violations" = 0);
+  assert (
+    Onll_obs.Metrics.counter_value e20 "e20.relaxed/mirrored.violations" = 0);
+  assert (Onll_obs.Metrics.counter_value e20 "e20.calibration.caught" > 0);
+  ignore (Harness.write_snapshot ~experiment:"e20" e20);
   (* [--regen]: adopt the fresh snapshots as the new goldens and stop. *)
   if !regen then begin
     List.iter
@@ -308,6 +329,15 @@ let () =
           ~fresh:f
       in
       Printf.printf "e19: %d gated transaction-slice keys compared\n" n
+  | _ -> ());
+  (match (load (golden "e20"), load (Filename.concat tmp "BENCH_e20.json"))
+   with
+  | Some g, Some f ->
+      let n =
+        compare_gated ~label:"e20" ~gated:(prefixed "e20.") ~golden:g
+          ~fresh:f
+      in
+      Printf.printf "e20: %d gated staleness-slice keys compared\n" n
   | _ -> ());
   (* 3. Every committed golden must carry zero violation counters. *)
   Array.iter

@@ -35,6 +35,8 @@ let experiments =
      Service_bench.run);
     ("e19", "cross-shard transactions: 1 coordinator fence vs 2PC + atomicity chaos",
      Txn_bench.run);
+    ("e20", "bounded staleness: risk-budgeted lazy fences + quantified crash loss",
+     Relaxed_bench.run);
     ("f1", "Figure 1: the four counter executions, replayed",
      Onll_scenarios.Figure1.print_all);
     ("f2", "Figure 2 / Prop 5.2: fuzzy-window bound", Fuzzy_window.run);

@@ -156,36 +156,44 @@ let fuzz_cmd =
 
 (* {1 chaos} *)
 
+(* Exit discipline, uniform across every chaos arm: a campaign that
+   RECORDS VIOLATIONS exits with the distinct code [4] — also under
+   [--quiet], so scripts can assert on the code alone — while a failed
+   calibration (the deliberately broken arm was never caught) exits 1. *)
+let exit_violations = 4
+
 (* [--session]: the E15 grid instead — every (spec, arm) campaign of the
    exactly-once session audit, [seeds] seeds per arm. The session arms
    must be perfect; the naive at-least-once arm must duplicate, or the
    detector proved nothing. *)
-let session_chaos seeds =
+let session_chaos seeds quiet =
   let open Test_support in
   let s = Session_chaos.run_e15 ~seeds_per_arm:seeds in
-  Session_chaos.print s;
+  if not quiet then Session_chaos.print s;
   if
     Session_chaos.e15_violations s > 0
     || Session_chaos.e15_session_duplicates s > 0
     || Session_chaos.e15_session_lost_acks s > 0
-    || Session_chaos.e15_naive_duplicates s = 0
-  then exit 1
+  then exit exit_violations;
+  if Session_chaos.e15_naive_duplicates s = 0 then exit 1
 
 (* [--txn]: the E19 cross-shard transaction atomicity campaign — seeded
    kv transfers cut by crashes, audited all-or-nothing (plain or
    mirrored); [--unhardened] runs the no-sweep calibration, which must be
    caught tearing or losing committed transfers. *)
-let txn_chaos seeds unhardened mirrored =
+let txn_chaos seeds unhardened mirrored quiet =
   let open Test_support in
   if unhardened then begin
     let runs, caught = Txn_chaos.calibrate ~seeds in
-    Printf.printf
-      "kv/txn (unhardened calibration): %d/%d crashes caught losing or \
-       tearing transactions\n"
-      caught runs;
-    if caught = 0 then begin
+    if not quiet then
       Printf.printf
-        "calibration FAILED: the sweep-free recovery was never caught\n";
+        "kv/txn (unhardened calibration): %d/%d crashes caught losing or \
+         tearing transactions\n"
+        caught runs;
+    if caught = 0 then begin
+      if not quiet then
+        Printf.printf
+          "calibration FAILED: the sweep-free recovery was never caught\n";
       exit 1
     end
   end
@@ -196,17 +204,76 @@ let txn_chaos seeds unhardened mirrored =
       else (Txn_chaos.plan_of_seed, "kv/txn")
     in
     let r = Txn_chaos.campaign ~plan_of ~arm ~seeds ~messages () in
-    List.iter (Printf.printf "  VIOLATION %s\n") (List.rev !messages);
-    Printf.printf
-      "%s: %d runs, %d crashed, %d actions completed, %d txns committed, \
-       %d sub-ops swept, %d violations\n"
-      arm r.Txn_chaos.runs r.Txn_chaos.crashed r.Txn_chaos.completed
-      r.Txn_chaos.committed r.Txn_chaos.swept r.Txn_chaos.violations;
-    if r.Txn_chaos.violations > 0 then exit 1
+    if not quiet then begin
+      List.iter (Printf.printf "  VIOLATION %s\n") (List.rev !messages);
+      Printf.printf
+        "%s: %d runs, %d crashed, %d actions completed, %d txns committed, \
+         %d sub-ops swept, %d violations\n"
+        arm r.Txn_chaos.runs r.Txn_chaos.crashed r.Txn_chaos.completed
+        r.Txn_chaos.committed r.Txn_chaos.swept r.Txn_chaos.violations
+    end;
+    if r.Txn_chaos.violations > 0 then exit exit_violations
   end
 
-let chaos spec seeds unhardened mirrored sharded batched session txn =
-  if session then session_chaos seeds
+(* [--relaxed]: the E20 bounded-staleness campaign — seeded crashes cut
+   the risk-budgeted tail at swept depths (plain or mirrored), audited
+   for quantified suffix-only loss. [--unhardened] runs the ledger-free
+   calibration, whose violations are the expected outcome: it exits with
+   the distinct violation code when caught (the Makefile smoke asserts
+   exactly that, under [--quiet]) and 1 when the detector never fired. *)
+let relaxed_chaos seeds unhardened mirrored quiet =
+  let open Test_support in
+  if unhardened then begin
+    let runs, caught = Relaxed_chaos.calibrate ~seeds in
+    if not quiet then
+      Printf.printf
+        "kv/relaxed (unhardened calibration): %d/%d crashes caught losing \
+         acknowledged updates\n"
+        caught runs;
+    if caught = 0 then begin
+      if not quiet then
+        Printf.printf
+          "calibration FAILED: the ledger-free recovery was never caught\n";
+      exit 1
+    end;
+    exit exit_violations
+  end
+  else begin
+    let messages = ref [] in
+    let plan_of, arm =
+      if mirrored then
+        (Relaxed_chaos.mirrored_plan_of_seed, "kv/relaxed/mirrored")
+      else (Relaxed_chaos.plan_of_seed, "kv/relaxed")
+    in
+    let r = Relaxed_chaos.campaign ~plan_of ~arm ~seeds ~messages () in
+    if not quiet then begin
+      List.iter (Printf.printf "  VIOLATION %s\n") (List.rev !messages);
+      Printf.printf
+        "%s: %d runs, %d crashed, %d acked, %d lost, %d drains, %d \
+         deferred acks, %d violations\n"
+        arm r.Relaxed_chaos.runs r.Relaxed_chaos.crashed
+        r.Relaxed_chaos.completed r.Relaxed_chaos.lost
+        r.Relaxed_chaos.drains r.Relaxed_chaos.deferred
+        r.Relaxed_chaos.violations
+    end;
+    if r.Relaxed_chaos.violations > 0 then exit exit_violations
+  end
+
+let chaos spec seeds unhardened mirrored sharded batched session txn relaxed
+    quiet =
+  if session then session_chaos seeds quiet
+  else if relaxed then begin
+    if sharded || batched || txn then begin
+      Printf.eprintf "chaos: --relaxed composes with --mirrored only\n";
+      exit 1
+    end;
+    if spec <> "kv" then begin
+      Printf.eprintf
+        "chaos: --relaxed runs the kv staleness workload (use -s kv)\n";
+      exit 1
+    end;
+    relaxed_chaos seeds unhardened mirrored quiet
+  end
   else if txn then begin
     if sharded || batched then begin
       Printf.eprintf "chaos: --txn composes with --mirrored only\n";
@@ -217,7 +284,7 @@ let chaos spec seeds unhardened mirrored sharded batched session txn =
         "chaos: --txn runs the kv transfer workload (use -s kv)\n";
       exit 1
     end;
-    txn_chaos seeds unhardened mirrored
+    txn_chaos seeds unhardened mirrored quiet
   end
   else if batched && sharded then begin
     Printf.eprintf "chaos: --batched does not compose with --sharded\n";
@@ -254,36 +321,41 @@ let chaos spec seeds unhardened mirrored sharded batched session txn =
       ambiguous := !ambiguous + r.Chaos.tail_ambiguous;
       if r.Chaos.violations <> [] then begin
         incr violations;
-        Printf.printf "seed %d VIOLATIONS:\n" seed;
-        List.iter (fun v -> Printf.printf "  %s\n" v) r.Chaos.violations
+        if not quiet then begin
+          Printf.printf "seed %d VIOLATIONS:\n" seed;
+          List.iter (fun v -> Printf.printf "  %s\n" v) r.Chaos.violations
+        end
       end
     done;
-    Printf.printf
-      "%s%s%s: %d runs, %d crashed, %d media faults, %d transients, %d nested \
-       recovery crashes, %d reported-lost, %d tail-ambiguous, %d runs with \
-       violations\n"
-      (spec
-      ^ (if sharded then "/sharded" else "")
-      ^ if batched then "/batched" else "")
-      (if mirrored then " (mirrored, primary-only faults)" else "")
-      (if unhardened then " (unhardened calibration)" else "")
-      seeds !crashed !media !transients !nested !lost !ambiguous !violations;
+    if not quiet then
+      Printf.printf
+        "%s%s%s: %d runs, %d crashed, %d media faults, %d transients, %d nested \
+         recovery crashes, %d reported-lost, %d tail-ambiguous, %d runs with \
+         violations\n"
+        (spec
+        ^ (if sharded then "/sharded" else "")
+        ^ if batched then "/batched" else "")
+        (if mirrored then " (mirrored, primary-only faults)" else "")
+        (if unhardened then " (unhardened calibration)" else "")
+        seeds !crashed !media !transients !nested !lost !ambiguous !violations;
     (* hardened must be clean; the unhardened baseline must be caught *)
     if unhardened then begin
       if !violations = 0 then begin
-        Printf.printf
-          "calibration FAILED: the unhardened recovery was never caught\n";
+        if not quiet then
+          Printf.printf
+            "calibration FAILED: the unhardened recovery was never caught\n";
         exit 1
       end
     end
-    else if !violations > 0 then exit 1
+    else if !violations > 0 then exit exit_violations
     else if mirrored && !lost + !ambiguous > 0 then begin
       (* primary-only faults against a mirror must cost NOTHING *)
-      Printf.printf
-        "MIRRORED LOSS: %d reported-lost + %d tail-ambiguous should all \
-         have been repaired from the intact replica\n"
-        !lost !ambiguous;
-      exit 1
+      if not quiet then
+        Printf.printf
+          "MIRRORED LOSS: %d reported-lost + %d tail-ambiguous should all \
+           have been repaired from the intact replica\n"
+          !lost !ambiguous;
+      exit exit_violations
     end
   in
   match spec with
@@ -328,7 +400,17 @@ let chaos_cmd =
      crashes at swept schedule points, audited all-or-nothing with \
      balanced books — composable with $(b,--mirrored) (and \
      $(b,--unhardened) for its no-sweep calibration), not with \
-     $(b,--sharded)/$(b,--batched)."
+     $(b,--sharded)/$(b,--batched). With $(b,--relaxed), run the E20 \
+     bounded-staleness campaign instead: seeded crashes cut the \
+     risk-budgeted volatile tail at swept depths, audited for \
+     quantified suffix-only loss, idempotent recovery and convergence — \
+     composable with $(b,--mirrored); its $(b,--unhardened) calibration \
+     exits with the violation code when the ledger-free recovery is \
+     caught (the expected outcome). Any campaign that records \
+     violations exits with code 4 — also under $(b,--quiet), which \
+     suppresses all output — so scripts can assert on the exit code \
+     alone (1 is reserved for usage errors and calibrations whose \
+     detector never fired)."
   in
   let spec =
     Arg.(
@@ -380,10 +462,27 @@ let chaos_cmd =
             "run the E19 cross-shard transaction atomicity campaign (kv \
              transfers, all-or-nothing after every crash)")
   in
+  let relaxed =
+    Arg.(
+      value & flag
+      & info [ "relaxed" ]
+          ~doc:
+            "run the E20 bounded-staleness campaign (risk-budgeted lazy \
+             fences; crash loss must be the budgeted suffix, exactly \
+             reported)")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet" ]
+          ~doc:
+            "suppress all campaign output; the exit code still reports \
+             violations (code 4)")
+  in
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const chaos $ spec $ seeds $ unhardened $ mirrored $ sharded $ batched
-      $ session $ txn)
+      $ session $ txn $ relaxed $ quiet)
 
 (* {1 scrub} *)
 
@@ -1525,8 +1624,16 @@ let serve_cmd =
 
 let load socket clients first_client rate duration_ms seed token deadline_ms
     max_attempts backoff_base_ms backoff_cap_ms churn_every_ms churn_frac
-    connect_timeout_ms base no_audit json_out =
+    connect_timeout_ms tier base no_audit json_out =
   let open Onll_serve in
+  let tier =
+    match Protocol.tier_of_string tier with
+    | Some t -> t
+    | None ->
+        Printf.eprintf
+          "load: bad --tier %S (exactly-once | strict | stale:<k>)\n" tier;
+        exit 1
+  in
   let cfg =
     {
       Loadgen.socket_path = socket;
@@ -1543,6 +1650,7 @@ let load socket clients first_client rate duration_ms seed token deadline_ms
       churn_every_ms;
       churn_frac;
       connect_timeout_ms;
+      tier;
     }
   in
   let audit = Loadgen.Audit.create () in
@@ -1644,6 +1752,19 @@ let load_cmd =
       & info [ "connect-timeout-ms" ] ~docv:"MS"
           ~doc:"reconnect budget against a dead/restarting server")
   in
+  let tier =
+    Arg.(
+      value
+      & opt string "exactly-once"
+      & info [ "tier" ] ~docv:"TIER"
+          ~doc:
+            "durability tier requested at Hello (E20): $(b,exactly-once) \
+             (the default session contract), $(b,strict) (one fence per \
+             update, no dedup) or $(b,stale:k) (fence-free acks, at most \
+             k acknowledged updates at risk). The relaxed tiers waive \
+             server-side dedup — combine with $(b,--no-audit) under \
+             fault-heavy schedules.")
+  in
   let base =
     Arg.(
       value & opt int 0
@@ -1667,7 +1788,7 @@ let load_cmd =
       const load $ socket $ clients $ first_client $ rate $ duration_ms
       $ seed $ token $ deadline_ms $ max_attempts $ backoff_base_ms
       $ backoff_cap_ms $ churn_every_ms $ churn_frac $ connect_timeout_ms
-      $ base $ no_audit $ json_out)
+      $ tier $ base $ no_audit $ json_out)
 
 module Schaos = Test_support.Service_chaos
 

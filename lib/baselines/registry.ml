@@ -35,6 +35,8 @@ type options = {
   local_views : bool;
   wait_free : bool;
   txn : bool;
+  relaxed : bool;
+  risk_budget : int;
 }
 
 let default_options =
@@ -48,12 +50,15 @@ let default_options =
     local_views = false;
     wait_free = false;
     txn = false;
+    relaxed = false;
+    risk_budget = 8;
   }
 
 let pp_options ppf o =
   let d = default_options in
   let parts = ref [] in
   let p fmt = Printf.ksprintf (fun s -> parts := s :: !parts) fmt in
+  if o.relaxed then p "relaxed(k=%d)" o.risk_budget;
   if o.txn then p "txn";
   if o.wait_free then p "wait-free";
   if o.local_views then p "views";
@@ -78,6 +83,7 @@ let names =
     "onll-session";
     "onll-batched";
     "onll-txn";
+    "onll-relaxed";
     "persist-on-read";
     "shadow";
     "flat-combining";
@@ -95,7 +101,10 @@ let family name o =
   | "onll-mirrored" | "mirrored" -> Some { o with replicas = max 2 o.replicas }
   | "onll-sharded" | "sharded" ->
       Some { o with shards = (if o.shards > 1 then o.shards else 4) }
-  | "onll-session" | "session" -> Some { o with session = true }
+  (* session and relaxed name unsharded families: a caller-supplied shard
+     count (e.g. the CLI's --shards default, documented as ignored by
+     non-sharded implementations) must not trip the composition guard *)
+  | "onll-session" | "session" -> Some { o with session = true; shards = 1 }
   | "onll-batched" | "batched" -> Some { o with batched = true }
   | "onll-txn" | "txn" ->
       Some
@@ -104,6 +113,7 @@ let family name o =
           txn = true;
           shards = (if o.shards > 1 then o.shards else 4);
         }
+  | "onll-relaxed" | "relaxed" -> Some { o with relaxed = true; shards = 1 }
   | _ -> None
 
 let recovery_capable =
@@ -128,6 +138,10 @@ module Make (S : Onll_core.Spec.S) = struct
       if o.txn && (o.batched || o.session || o.wait_free) then
         invalid_arg
           "Registry.build: txn composes over the plain sharded construction";
+      if o.relaxed && (o.batched || o.session || o.txn || o.shards > 1) then
+        invalid_arg
+          "Registry.build: relaxed composes over the plain (optionally \
+           mirrored or wait-free) construction";
       let sim = fresh_sim () in
       let module M = (val Onll_machine.Sim.machine sim) in
       let cfg =
@@ -145,7 +159,35 @@ module Make (S : Onll_core.Spec.S) = struct
         else (module Onll_core.Onll.Make (M) (S))
       in
       let module C = (val base) in
-      if o.txn then begin
+      if o.relaxed then begin
+        (* The E20 bounded-staleness wrapper: updates ack fence-free into
+           a risk-budgeted tail, one lazy fence drains it — the E1 audit
+           row asserts strictly sub-1 fences per update, reads still
+           free. *)
+        let module TC =
+          (val (if o.wait_free then
+                  (module Onll_core.Onll.Make_wait_free (M) (S)
+                  : Onll_core.Onll.TXN_CAPABLE
+                    with type state = S.state
+                     and type update_op = S.update_op
+                     and type read_op = S.read_op
+                     and type value = S.value)
+                else (module Onll_core.Onll.Make (M) (S))))
+        in
+        let module R = Onll_relaxed.Make_over (M) (S) (TC) in
+        let obj =
+          R.attach ~max_unfenced_ops:o.risk_budget cfg (TC.make cfg)
+        in
+        {
+          sim;
+          sink;
+          update = (fun () -> ignore (R.update obj (gen_update ())));
+          read = (fun () -> ignore (R.read obj (gen_read ())));
+          scrub = Some (fun () -> ignore (R.scrub obj));
+          recover = Some (fun () -> R.recover_report obj);
+        }
+      end
+      else if o.txn then begin
         (* The E19 transactional object. Its single-operation path is a
            plain sharded update (the fast path), which is exactly what
            the E1 audit row asserts: one fence per update, zero on reads

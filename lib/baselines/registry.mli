@@ -14,7 +14,10 @@
     degenerating to exactly 1 solo), ["onll-txn"] (alias ["txn"]; the E19
     cross-shard transaction coordinator over 4 shards — multi-shard
     transactions commit under one coordinator fence, single updates take
-    the sharded fast path), ["persist-on-read"], ["shadow"],
+    the sharded fast path), ["onll-relaxed"] (alias ["relaxed"]; the E20
+    bounded-staleness mode — fence-free acks under a risk budget, one
+    lazy fence per full tail, strictly below 1 pf/update),
+    ["persist-on-read"], ["shadow"],
     ["flat-combining"] and ["volatile"] over a fresh simulated machine —
     used by the CLI ([onll lowerbound -i], [onll stats -i]), the
     lower-bound benchmark and the fence audit instead of per-caller copies
@@ -77,6 +80,18 @@ type options = {
           [batched]/[session]/[wait_free]. Single updates take the fast
           path — a plain sharded update, one fence — so the E1 audit
           holds unchanged *)
+  relaxed : bool;
+      (** wrap the object in the E20 bounded-staleness mode
+          ({!Onll_relaxed}): updates acknowledged fence-free into a
+          volatile tail of at most [risk_budget] operations, one lazy
+          fence draining it — strictly below 1 pf/update in steady state,
+          with a crash losing at most the budgeted (and precisely
+          reported) suffix. Default false; ["onll-relaxed"] implies it;
+          composes with [replicas]/[wait_free], not with
+          [batched]/[session]/[txn]/[shards] *)
+  risk_budget : int;
+      (** [relaxed] only: max acknowledged-unfenced operations (default
+          8) *)
 }
 (** How to build an ONLL-family object: every axis the registry knows,
     with {!default_options} as the neutral point. Only the ONLL family

@@ -524,6 +524,7 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Spec.S) = struct
         disagreements = List.sort_uniq compare !disagreements;
         decode_failures = !decode_failures;
         salvage;
+        lost_acked = [];
       }
     in
     if hardened && Onll.Recovery_report.detected_loss report then

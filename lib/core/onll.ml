@@ -58,6 +58,7 @@ module Recovery_report = struct
     disagreements : int list;
     decode_failures : int;
     salvage : (string * Onll_plog.Plog.salvage_report) list;
+    lost_acked : op_id list;
   }
 
   let detected_loss r =
@@ -72,12 +73,13 @@ module Recovery_report = struct
   let pp ppf r =
     Format.fprintf ppf
       "@[<v>recovered_ops=%d base_idx=%d gaps=%d dropped=%d disagreements=%d \
-       decode_failures=%d@,"
+       decode_failures=%d lost_acked=%d@,"
       r.recovered_ops r.base_idx
       (List.length r.gap_indices)
       (List.length r.dropped)
       (List.length r.disagreements)
-      r.decode_failures;
+      r.decode_failures
+      (List.length r.lost_acked);
     List.iter
       (fun (name, s) ->
         if s <> Onll_plog.Plog.clean_report then
@@ -94,6 +96,7 @@ module Recovery_report = struct
     c "dropped" (List.length r.dropped);
     c "disagreements" (List.length r.disagreements);
     c "decode_failures" r.decode_failures;
+    c "lost_acked" (List.length r.lost_acked);
     g "base_idx" (float_of_int r.base_idx);
     g "detected_loss" (if detected_loss r then 1. else 0.);
     let torn, quarantined, lost_bytes, repaired, repaired_bytes =
@@ -710,6 +713,11 @@ module Make_generic
         disagreements = List.sort_uniq compare !disagreements;
         decode_failures = !decode_failures;
         salvage;
+        (* Only a relaxed-mode wrapper ({!Onll_relaxed}) knows which acked
+           operations were still unfenced at the crash; the core cannot
+           distinguish a lost unfenced suffix from operations that were
+           simply never invoked, so it reports none. *)
+        lost_acked = [];
       }
     in
     (* The degraded-mode policy: detected loss never stops the object, but

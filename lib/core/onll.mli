@@ -61,6 +61,16 @@ module Recovery_report : sig
         (** CRC-valid entries whose payload did not decode *)
     salvage : (string * Onll_plog.Plog.salvage_report) list;
         (** per-log media repairs (log region name, report) *)
+    lost_acked : op_id list;
+        (** E20 (relaxed mode): operations that were
+            acknowledged to their caller fence-free under a staleness
+            budget and whose sole copy was still volatile at the crash.
+            Always [[]] from the strict constructions — only a relaxed
+            wrapper ([Onll_relaxed]) can know an operation was acked, so
+            only it fills this in. Budgeted loss is admitted, precisely
+            accounted, and bounded by the configured risk budget; it does
+            {e not} flip {!detected_loss}, which reports loss of
+            {e durable} data. *)
   }
 
   val detected_loss : t -> bool

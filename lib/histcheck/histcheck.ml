@@ -231,6 +231,219 @@ module Make (S : Onll_core.Spec.S) = struct
                n_eras)
     | exception Found witness -> Durably_linearizable witness
 
+  (* {2 Buffered durable linearizability (E20)} *)
+
+  type buffered_verdict =
+    | Buffered_linearizable of { witness : int list; lost : int list }
+    | Buffered_violation of string
+    | Buffered_budget_exhausted
+
+  let pp_buffered_verdict ppf = function
+    | Buffered_linearizable { witness; lost } ->
+        Format.fprintf ppf
+          "buffered durably linearizable (witness: %s; lost: %s)"
+          (String.concat " " (List.map string_of_int witness))
+          (String.concat " " (List.map string_of_int lost))
+    | Buffered_violation msg -> Format.fprintf ppf "VIOLATION: %s" msg
+    | Buffered_budget_exhausted -> Format.pp_print_string ppf "budget exhausted"
+
+  let popcount m =
+    let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
+    go m 0
+
+  (* The buffered dual of [check]: each era's linearization carries a
+     nondeterministic {e cut}. Operations linearized after the cut really
+     executed (their recorded values are still checked against the
+     evolving volatile state) but did not survive the era's crash: the
+     next era resumes from the state {e at} the cut, so the durable
+     history is always a prefix of the era's linearization — an operation
+     real-time-preceding a survivor can never itself be lost, because the
+     survivor would have to be linearized after it and would then sit
+     after the cut too. Per era, at most [staleness] {e completed
+     updates} may fall after the cut (pending operations and reads are
+     free: nothing was promised for them). [declared_lost] pins the cut
+     placement to a recovery report: exactly those uids (no more, no
+     fewer among completed updates) must be the lost set. *)
+  let check_buffered ?(max_states = 2_000_000) ?declared_lost ~staleness
+      events =
+    if staleness < 0 then
+      invalid_arg "Histcheck.check_buffered: negative staleness";
+    let ops, n_eras = parse events in
+    let n = List.length ops in
+    if n > 62 then
+      invalid_arg "Histcheck: more than 62 operations in one history";
+    let ops = Array.of_list ops in
+    let slot_of_uid = Hashtbl.create 16 in
+    Array.iteri (fun i o -> Hashtbl.replace slot_of_uid o.o_uid i) ops;
+    let preds = Array.make n 0 in
+    Array.iteri
+      (fun i oi ->
+        Array.iteri
+          (fun j oj ->
+            if i <> j then
+              match oj.o_ret with
+              | Some r when r < oi.o_inv -> preds.(i) <- preds.(i) lor (1 lsl j)
+              | Some _ | None -> ())
+          ops)
+      ops;
+    let era_mask = Array.make n_eras 0 in
+    let era_complete = Array.make n_eras 0 in
+    let update_mask = ref 0 in
+    Array.iteri
+      (fun i o ->
+        era_mask.(o.o_era) <- era_mask.(o.o_era) lor (1 lsl i);
+        (match o.o_kind with
+        | Update _ -> update_mask := !update_mask lor (1 lsl i)
+        | Read _ -> ());
+        if o.o_ret <> None then
+          era_complete.(o.o_era) <- era_complete.(o.o_era) lor (1 lsl i))
+      ops;
+    let update_mask = !update_mask in
+    let declared =
+      match declared_lost with
+      | None -> None
+      | Some uids ->
+          let m = Array.make n_eras 0 in
+          List.iter
+            (fun uid ->
+              match Hashtbl.find_opt slot_of_uid uid with
+              | Some i -> m.(ops.(i).o_era) <- m.(ops.(i).o_era) lor (1 lsl i)
+              | None ->
+                  invalid_arg
+                    (Printf.sprintf
+                       "Histcheck.check_buffered: declared-lost uid %d is \
+                        not an operation of the history"
+                       uid))
+            uids;
+          Some m
+    in
+    let seen = Hashtbl.create 4096 in
+    let states = ref 0 in
+    let budget_hit = ref false in
+    let exception Found of int list * int list in
+    (* [cut = None]: no cut placed yet this era (and [postcut] is 0).
+       [cut = Some st]: the durable frontier is the state [st]; ops
+       linearized since are in [postcut]. *)
+    let rec dfs era done_mask state cut postcut acc_rev lost_rev =
+      if !budget_hit then ()
+      else begin
+        let key =
+          ( era,
+            done_mask,
+            postcut,
+            (match cut with
+            | None -> ""
+            | Some st -> "|" ^ Onll_util.Codec.encode S.state_codec st),
+            Onll_util.Codec.encode S.state_codec state )
+        in
+        if Hashtbl.mem seen key then ()
+        else begin
+          incr states;
+          if !states > max_states then budget_hit := true
+          else begin
+            if era = n_eras then
+              raise (Found (List.rev acc_rev, List.rev lost_rev));
+            (* Option 1: crash — advance the era. Every completed op of
+               the era must be linearized (pre- or post-cut); completed
+               updates past the cut are the era's loss. *)
+            if era_complete.(era) land lnot done_mask = 0 then begin
+              let lost_here = postcut land update_mask land era_complete.(era) in
+              let declared_ok =
+                match declared with
+                | None -> true
+                | Some m ->
+                    m.(era) land lnot postcut = 0
+                    && lost_here land lnot m.(era) = 0
+              in
+              if popcount lost_here <= staleness && declared_ok then begin
+                let state' = match cut with None -> state | Some cs -> cs in
+                let lost_rev' =
+                  let rec add i acc =
+                    if i >= n then acc
+                    else
+                      add (i + 1)
+                        (if lost_here land (1 lsl i) <> 0 then
+                           ops.(i).o_uid :: acc
+                         else acc)
+                  in
+                  add 0 lost_rev
+                in
+                dfs (era + 1)
+                  (done_mask lor era_mask.(era))
+                  state' None 0 acc_rev lost_rev'
+              end
+            end;
+            (* Option 2: place the cut here (at most once per era). *)
+            (match cut with
+            | None -> dfs era done_mask state (Some state) 0 acc_rev lost_rev
+            | Some _ -> ());
+            (* Option 3: linearize a candidate from the current era. *)
+            let remaining = era_mask.(era) land lnot done_mask in
+            let rec try_slots m =
+              if m <> 0 then begin
+                let i =
+                  let b = m land -m in
+                  let rec log2 b acc =
+                    if b = 1 then acc else log2 (b lsr 1) (acc + 1)
+                  in
+                  log2 b 0
+                in
+                let o = ops.(i) in
+                let bit = 1 lsl i in
+                let admissible =
+                  preds.(i) land lnot done_mask = 0
+                  &&
+                  (* past the cut, a completed update is a loss: prune
+                     over-budget and report-contradicting branches *)
+                  match cut with
+                  | None -> true
+                  | Some _ ->
+                      if bit land update_mask <> 0 && o.o_ret <> None then
+                        popcount
+                          (postcut land update_mask land era_complete.(era))
+                        < staleness
+                        && (match declared with
+                           | None -> true
+                           | Some dm -> dm.(era) land bit <> 0)
+                      else true
+                in
+                if admissible then begin
+                  let state', value =
+                    match o.o_kind with
+                    | Update u -> S.apply state u
+                    | Read r -> (state, S.read state r)
+                  in
+                  let ok =
+                    match o.o_value with
+                    | None -> true
+                    | Some recorded -> S.equal_value value recorded
+                  in
+                  if ok then
+                    dfs era (done_mask lor bit) state' cut
+                      (match cut with None -> 0 | Some _ -> postcut lor bit)
+                      (o.o_uid :: acc_rev) lost_rev
+                end;
+                try_slots (m land (m - 1))
+              end
+            in
+            try_slots remaining;
+            Hashtbl.replace seen key ()
+          end
+        end
+      end
+    in
+    match dfs 0 0 S.initial None 0 [] [] with
+    | () ->
+        if !budget_hit then Buffered_budget_exhausted
+        else
+          Buffered_violation
+            (Printf.sprintf
+               "no buffered linearization of %d operations across %d era(s) \
+                within staleness %d"
+               n n_eras staleness)
+    | exception Found (witness, lost) ->
+        Buffered_linearizable { witness; lost }
+
   let validate_witness events witness =
     let ops, _ = parse events in
     let by_uid = Hashtbl.create 16 in

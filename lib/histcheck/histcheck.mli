@@ -67,6 +67,45 @@ module Make (S : Onll_core.Spec.S) : sig
       invocation, two pending invocations by one process, more than 62
       operations). *)
 
+  (** {2 Buffered durable linearizability (E20)} *)
+
+  type buffered_verdict =
+    | Buffered_linearizable of { witness : int list; lost : int list }
+        (** [witness]: every linearized operation in order, {e including}
+            the lost ones (they executed before their crash); [lost]: the
+            completed updates whose effects did not survive their era's
+            crash, in witness order *)
+    | Buffered_violation of string
+    | Buffered_budget_exhausted
+
+  val pp_buffered_verdict : Format.formatter -> buffered_verdict -> unit
+
+  val check_buffered :
+    ?max_states:int ->
+    ?declared_lost:int list ->
+    staleness:int ->
+    event list ->
+    buffered_verdict
+  (** The relaxed-mode dual of {!check} ("The Path to Durable
+      Linearizability"'s buffered variant, with a staleness bound): each
+      era's linearization may carry a {e cut}; operations after the cut
+      executed (their recorded values must still be legal) but are lost
+      at the era's crash — the next era resumes from the state at the
+      cut. Accepts a history iff some placement exists in which, per era,
+      at most [staleness] completed updates fall after the cut. The lost
+      set is structurally a {e suffix} of the era's linearization, so an
+      operation that real-time-precedes a survivor can never be lost,
+      lost effects are absent from every post-recovery read, and a lost
+      operation can never resurrect after a later crash.
+
+      [declared_lost] pins the cut to a recovery report
+      ({!Onll_core.Onll.Recovery_report.t.lost_acked} mapped to history
+      uids): exactly those operations — no more, no fewer among completed
+      updates — must form the lost set, so an impostor report is a
+      violation, not a wider search.
+      @raise Invalid_argument as {!check}, or if [staleness < 0], or if a
+      declared-lost uid is not an operation of the history. *)
+
   val validate_witness : event list -> int list -> (unit, string) result
   (** Independently verify a linearization witness against a history: the
       order must include every completed operation exactly once, respect

@@ -1,0 +1,419 @@
+(** Bounded-staleness relaxed mode (E20); see onll_relaxed.mli. *)
+
+module Onll = Onll_core.Onll
+module Metrics = Onll_obs.Metrics
+module Report = Onll.Recovery_report
+
+module Make_over
+    (M : Onll_machine.Machine_sig.S)
+    (S : Onll_core.Spec.S)
+    (C :
+      Onll.TXN_CAPABLE
+        with type state = S.state
+         and type update_op = S.update_op
+         and type read_op = S.read_op
+         and type value = S.value) =
+struct
+  module L = Onll_plog.Plog.Make (M)
+  module A = Onll_core.Attribution.Make (M)
+
+  (* {2 The drain record}
+
+     One CRC-framed entry in the drainer's coordinator log: every
+     operation of the drained tail with its identity and the execution
+     index it was staged at. Exactly the E19 commit-record shape with the
+     whole tail as one "transaction": recovery feeds the indices to
+     {!Onll.TXN_CAPABLE.recover_txn} as the oracle, so a drained
+     operation whose trace node never reached a per-process log is
+     adopted in place rather than reported as a gap. *)
+
+  type sub = { d_proc : int; d_seq : int; d_idx : int; d_op : S.update_op }
+
+  let sub_codec =
+    let open Onll_util.Codec in
+    map
+      (fun ((d_proc, d_seq, d_idx), d_op) -> { d_proc; d_seq; d_idx; d_op })
+      (fun { d_proc; d_seq; d_idx; d_op } -> ((d_proc, d_seq, d_idx), d_op))
+      (pair (triple int int int) S.update_codec)
+
+  let drain_codec = Onll_util.Codec.list sub_codec
+
+  (* An acknowledged-but-possibly-unfenced operation: its sole durable
+     hope is the next drain (or an incidental checkpoint). *)
+  type pending = {
+    p_id : Onll.op_id;
+    p_idx : int;
+    p_op : S.update_op;
+    p_at : int64;  (** stamp from [now_ns] at ack time; 0 without a clock *)
+    p_budget : int;  (** the staleness bound this op was acked under *)
+  }
+
+  type t = {
+    obj : C.t;
+    coord : L.t array;  (** per process; the lazy-fence durability point *)
+    budget_ops : int;  (** default k: max acked-unfenced operations *)
+    budget_ns : int64 option;  (** max age of the oldest unfenced ack *)
+    now_ns : (unit -> int64) option;
+    alloc : (unit -> int) option;
+        (** external identity allocator (e.g. the serve layer's durable
+            object-sequence allocator) shared with other update paths on
+            the same process; [None] = the object's own cursor *)
+    lock : bool M.Tvar.t;
+        (** serialises tail manipulation and drains across processes; the
+            tail is one global suffix, never per-process (see the prefix
+            argument in the mli) *)
+    mutable tail : pending list;  (** oldest first; the ops at risk *)
+    acked : (Onll.op_id, unit) Hashtbl.t;
+        (** every operation acknowledged this era. Plain transient
+            bookkeeping — it deliberately survives a simulated crash, so
+            recovery can name exactly which acks the crash voided. *)
+    mutable last_lost : Onll.op_id list;
+    mutable peak : int;
+    ostats : Onll_obs.Opstats.t;
+    c_deferred : Metrics.counter;  (** acks that paid no fence *)
+    c_drains : Metrics.counter;
+    g_peak : Metrics.gauge;  (** deepest tail ever = worst-case ops at risk *)
+  }
+
+  let instances = ref 0
+
+  let attach ?(max_unfenced_ops = 8) ?max_unfenced_ns ?now_ns ?alloc
+      (cfg : Onll.Config.t) obj =
+    if max_unfenced_ops < 1 then
+      invalid_arg "Onll_relaxed.attach: max_unfenced_ops must be >= 1";
+    let sink = cfg.Onll.Config.sink in
+    let n = !instances in
+    incr instances;
+    let reg =
+      if Onll_obs.Sink.active sink then Onll_obs.Sink.registry sink
+      else Metrics.create ()
+    in
+    {
+      obj;
+      coord =
+        Array.init M.max_processes (fun p ->
+            L.create ~sink ~replicas:cfg.Onll.Config.replicas
+              ~name:
+                (Printf.sprintf "%s%s.%d.relaxcoord.%d" S.name
+                   cfg.Onll.Config.region_suffix n p)
+              ~capacity:cfg.Onll.Config.log_capacity ());
+      budget_ops = max_unfenced_ops;
+      budget_ns = max_unfenced_ns;
+      now_ns;
+      alloc;
+      lock = M.Tvar.make false;
+      tail = [];
+      acked = Hashtbl.create 64;
+      last_lost = [];
+      peak = 0;
+      ostats = Onll_obs.Opstats.make sink;
+      c_deferred = Metrics.counter reg "fences.deferred";
+      c_drains = Metrics.counter reg "fences.drains";
+      g_peak = Metrics.gauge reg "risk.peak";
+    }
+
+  let inner t = t.obj
+  let sink t = Onll_obs.Opstats.sink t.ostats
+  let pending_ops t = List.length t.tail
+  let risk_peak t = t.peak
+  let lost_acked t = t.last_lost
+
+  (* Test-and-test-and-set, as the group-commit construction does. *)
+  let lock t =
+    while
+      not
+        ((not (M.Tvar.get t.lock))
+        && M.Tvar.cas t.lock ~expected:false ~desired:true)
+    do
+      M.yield ()
+    done
+
+  let unlock t = M.Tvar.set t.lock false
+
+  (* No [Fun.protect]: releasing the lock is a machine step, and a
+     simulated process being killed by a crash must not step while
+     unwinding (the scheduler forbids it). An exception escaping [f] is
+     either that kill or a fatal error aborting the run — both end in
+     {!recover_report}, which resets the lock. *)
+  let with_lock t f =
+    lock t;
+    let v = f () in
+    unlock t;
+    v
+
+  (* {2 Coordinator-log space} *)
+
+  (* A checkpoint of the inner object summarises everything available —
+     which includes the whole tail, since acked operations are available
+     the moment they are acked. Afterwards every drain record is covered
+     and the tail itself is durable, so both are dropped. Must hold the
+     lock. *)
+  let compact_locked t =
+    ignore (C.checkpoint t.obj);
+    Array.iter
+      (fun l ->
+        L.set_head l (L.entry_count l);
+        L.relocate l)
+      t.coord;
+    t.tail <- []
+
+  let append_coord t p payload =
+    match L.try_append t.coord.(p) payload with
+    | Ok () -> ()
+    | Error `Full -> (
+        compact_locked t;
+        match L.try_append t.coord.(p) payload with
+        | Ok () -> ()
+        | Error `Full -> raise (Onll.Log_full (L.name t.coord.(p))))
+
+  (* {2 The lazy fence} *)
+
+  (* ONE fenced coordinator append covering the whole tail. Draining the
+     whole tail (never a sub-range) is what keeps the durable set a
+     prefix of the linearization at all times. Must hold the lock. *)
+  let drain_locked t =
+    match t.tail with
+    | [] -> ()
+    | tail ->
+        let subs =
+          List.map
+            (fun pd ->
+              {
+                d_proc = pd.p_id.Onll.id_proc;
+                d_seq = pd.p_id.Onll.id_seq;
+                d_idx = pd.p_idx;
+                d_op = pd.p_op;
+              })
+            tail
+        in
+        append_coord t (M.self ())
+          (Onll_util.Codec.encode drain_codec subs);
+        Metrics.incr t.c_drains;
+        t.tail <- []
+
+  let now t = match t.now_ns with None -> 0L | Some f -> f ()
+
+  let over_time_budget t =
+    match (t.budget_ns, t.tail) with
+    | Some limit, oldest :: _ ->
+        Int64.sub (now t) oldest.p_at >= limit
+    | _ -> false
+
+  (* Shared ack path. [strict]: the caller wants classic durable
+     linearizability for this operation — it is staged like the others
+     but the tail (including it) is drained before the ack, so it costs
+     exactly the one fence of Theorem 5.1 and lazily covers every
+     deferred predecessor (piggybacking). Relaxed: the ack is fence-free
+     unless it fills the risk budget. *)
+  let update_impl t ~strict ?budget op =
+    A.attributed t.ostats Onll_obs.Opstats.update_done (fun () ->
+        with_lock t (fun () ->
+            let k =
+              match budget with
+              | None -> t.budget_ops
+              | Some b ->
+                  if b < 1 then
+                    invalid_arg "Onll_relaxed.update: budget must be >= 1";
+                  min b t.budget_ops
+            in
+            let seq =
+              match t.alloc with
+              | None -> C.reserve_seq t.obj
+              | Some f ->
+                  (* a shared monotone allocator: every consumer on this
+                     process uses allocator identities, so the object's
+                     cursor trails the allocated value. Burn the cursor
+                     up to it — identities passed over were drawn and
+                     abandoned (dead by the allocator's never-reuse
+                     contract), never live. *)
+                  let s = f () in
+                  while C.reserve_seq t.obj < s do
+                    ()
+                  done;
+                  s
+            in
+            let id = { Onll.id_proc = M.self (); id_seq = seq } in
+            let payload =
+              Onll_util.Codec.encode drain_codec
+                [ { d_proc = id.Onll.id_proc; d_seq = seq; d_idx = -1; d_op = op } ]
+            in
+            let st = C.stage_txn t.obj ~seq ~payload op in
+            t.tail <-
+              t.tail
+              @ [
+                  {
+                    p_id = id;
+                    p_idx = C.staged_idx st;
+                    p_op = op;
+                    p_at = now t;
+                    p_budget = k;
+                  };
+                ];
+            let depth = List.length t.tail in
+            if depth > t.peak then begin
+              t.peak <- depth;
+              Metrics.set t.g_peak (float_of_int t.peak)
+            end;
+            (* The tightest bound any pending op was acked under governs
+               the whole tail: an op promised staleness <= k must never
+               sit in a deeper unfenced suffix. *)
+            let threshold =
+              List.fold_left (fun m pd -> min m pd.p_budget) max_int t.tail
+            in
+            if strict || depth >= threshold || over_time_budget t then
+              drain_locked t
+            else Metrics.incr t.c_deferred;
+            let v = C.finish_txn t.obj st in
+            Hashtbl.replace t.acked id ();
+            M.return_point ();
+            (id, v)))
+
+  let update ?budget t op = update_impl t ~strict:false ?budget op
+  let update_strict t op = update_impl t ~strict:true op
+
+  let read t op =
+    (* Reads see the acked-volatile frontier — that is the relaxed
+       contract. Still zero fences, zero shared writes. *)
+    C.read t.obj op
+
+  (* The explicit lazy fence: attributed to the checkpoint class, never
+     to the per-update Theorem 5.1 accounting — it is maintenance
+     durability work, like a checkpoint. *)
+  let flush t =
+    A.attributed t.ostats Onll_obs.Opstats.checkpoint_done (fun () ->
+        with_lock t (fun () -> drain_locked t))
+
+  let checkpoint t =
+    with_lock t (fun () ->
+        let upto = C.checkpoint t.obj in
+        (* the checkpoint summarised every available op — tail included *)
+        t.tail <- [];
+        upto)
+
+  let was_linearized t id = C.was_linearized t.obj id
+  let current_state t = C.current_state t.obj
+
+  (* {2 Recovery} *)
+
+  let decode_drains_tolerant log failures =
+    List.filter_map
+      (fun e ->
+        match Onll_util.Codec.decode drain_codec e with
+        | subs -> Some subs
+        | exception _ ->
+            incr failures;
+            None)
+      (L.entries log)
+
+  (* Hardened recovery: salvage the coordinator logs, recover the inner
+     object with the drained indices as the oracle, re-apply any drained
+     operation the rebuilt trace could not place, then settle the ledger:
+     every operation acked this era is either linearized now or named in
+     [lost_acked]. The lost set is, by construction, the unfenced suffix
+     at the crash (minus anything an incidental checkpoint saved). *)
+  let recover_report t =
+    M.Tvar.set t.lock false;
+    let failures = ref 0 in
+    let coord_salvage =
+      Array.to_list t.coord |> List.map (fun l -> (L.name l, L.recover l))
+    in
+    let drained =
+      Array.to_list t.coord
+      |> List.concat_map (fun l -> decode_drains_tolerant l failures)
+      |> List.concat
+    in
+    let extra =
+      List.filter_map
+        (fun s ->
+          if s.d_idx >= 0 then
+            Some (s.d_idx, { Onll.id_proc = s.d_proc; id_seq = s.d_seq }, s.d_op)
+          else None)
+        drained
+    in
+    let r, _helper_payloads = C.recover_txn t.obj ~extra in
+    (* Drained ops stranded above a hole (their oracle index unreachable)
+       are re-applied exactly-once, in staging order, and made durable. *)
+    let seen = Hashtbl.create 16 in
+    let missing =
+      List.sort (fun a b -> compare a.d_idx b.d_idx) drained
+      |> List.filter_map (fun s ->
+             let id = { Onll.id_proc = s.d_proc; id_seq = s.d_seq } in
+             if Hashtbl.mem seen id || C.was_linearized t.obj id then None
+             else begin
+               Hashtbl.replace seen id ();
+               Some (id, s.d_op)
+             end)
+    in
+    let injected = List.length (C.inject_txn_run t.obj missing) in
+    (* Settle the ledger: an acked op that is still not linearized was
+       lost with the volatile tail. *)
+    let lost =
+      Hashtbl.fold
+        (fun id () acc ->
+          if C.was_linearized t.obj id then acc else id :: acc)
+        t.acked []
+      |> List.sort (fun a b ->
+             compare (a.Onll.id_proc, a.Onll.id_seq)
+               (b.Onll.id_proc, b.Onll.id_seq))
+    in
+    t.last_lost <- lost;
+    t.tail <- [];
+    Hashtbl.reset t.acked;
+    {
+      r with
+      Report.recovered_ops = r.Report.recovered_ops + injected;
+      decode_failures = r.Report.decode_failures + !failures;
+      salvage = coord_salvage @ r.Report.salvage;
+      lost_acked = lost @ r.Report.lost_acked;
+    }
+
+  (* The calibration baseline: forgets the drain records and the ledger,
+     exactly the mistake the checker and the chaos audits must catch. *)
+  let recover_unhardened t =
+    M.Tvar.set t.lock false;
+    t.tail <- [];
+    t.last_lost <- [];
+    Hashtbl.reset t.acked;
+    C.recover_unhardened t.obj;
+    Array.iter L.recover_unhardened t.coord
+
+  let scrub t =
+    let r = C.scrub t.obj in
+    Array.fold_left
+      (fun acc l -> Onll_plog.Plog.add_scrub acc (L.scrub l))
+      r t.coord
+
+  let degraded t = C.degraded t.obj
+
+  let snapshot t =
+    let s = C.snapshot t.obj in
+    let coord_logs =
+      Array.to_list t.coord
+      |> List.map (fun l ->
+             let ops_per_entry =
+               List.map
+                 (fun e ->
+                   match Onll_util.Codec.decode drain_codec e with
+                   | subs -> List.length subs
+                   | exception _ -> 0)
+                 (L.entries l)
+             in
+             {
+               Onll.Snapshot.log_name = L.name l;
+               live_bytes = L.live_bytes l;
+               used_bytes = L.used_bytes l;
+               entry_count = List.length ops_per_entry;
+               ops_per_entry;
+             })
+    in
+    { s with Onll.Snapshot.logs = s.Onll.Snapshot.logs @ coord_logs }
+end
+
+module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
+  module C = Onll.Make (M) (S)
+  module R = Make_over (M) (S) (C)
+  include R
+
+  let make ?max_unfenced_ops ?max_unfenced_ns ?now_ns ?alloc cfg =
+    attach ?max_unfenced_ops ?max_unfenced_ns ?now_ns ?alloc cfg (C.make cfg)
+end

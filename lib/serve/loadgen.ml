@@ -86,6 +86,7 @@ type config = {
   churn_every_ms : int;
   churn_frac : float;
   connect_timeout_ms : int;
+  tier : Protocol.tier;
 }
 
 let default_config ~socket_path =
@@ -104,6 +105,7 @@ let default_config ~socket_path =
     churn_every_ms = 0;
     churn_frac = 0.;
     connect_timeout_ms = 3_000;
+    tier = Protocol.T_exactly_once;
   }
 
 type report = {
@@ -387,7 +389,7 @@ let run ?audit cfg =
     match Unix.connect fd (ADDR_UNIX cfg.socket_path) with
     | () ->
         send c Protocol.req_codec
-          (Protocol.Hello { client = c.id; token = cfg.token });
+          (Protocol.Hello { client = c.id; token = cfg.token; tier = cfg.tier });
         c.phase <- Hello_wait
     | exception Unix.Unix_error (EINPROGRESS, _, _) -> c.phase <- Connecting
     | exception
@@ -520,9 +522,10 @@ let run ?audit cfg =
             c.phase <- Ready
         | Protocol.R_not_attached ->
             send c Protocol.req_codec
-              (Protocol.Hello { client = c.id; token = cfg.token });
+              (Protocol.Hello { client = c.id; token = cfg.token; tier = cfg.tier });
             c.phase <- Hello_wait
-        | Protocol.R_bad_token | Protocol.R_bad_client | Protocol.R_bad_op ->
+        | Protocol.R_bad_token | Protocol.R_bad_client | Protocol.R_bad_op
+        | Protocol.R_bad_tier ->
             give_up c)
     | Protocol.Got v ->
         c.got_value <- Some v;
@@ -684,7 +687,7 @@ let run ?audit cfg =
                     match Unix.getsockopt_error fd with
                     | None ->
                         send c Protocol.req_codec
-                          (Protocol.Hello { client = c.id; token = cfg.token });
+                          (Protocol.Hello { client = c.id; token = cfg.token; tier = cfg.tier });
                         c.phase <- Hello_wait;
                         flush_client c
                     | Some _ ->

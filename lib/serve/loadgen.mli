@@ -68,11 +68,16 @@ type config = {
   connect_timeout_ms : int;
       (** per-connection budget for connect/Hello retries against a dead
           or restarting server before the pass gives up on it *)
+  tier : Protocol.tier;
+      (** durability tier every client asks for at Hello (E20). The
+          relaxed tiers waive the server-side dedup: a retry after an
+          indeterminate refusal may double-apply, so drive them with the
+          exactly-once audit disabled (or fault-free). *)
 }
 
 val default_config : socket_path:string -> config
 (** 64 clients, 50 ops/s each, 2 s, seed 1, deadline 500 ms, 8 attempts,
-    backoff 1→64 ms, no churn. *)
+    backoff 1→64 ms, no churn, exactly-once tier. *)
 
 type report = {
   r_sent : int;  (** submit frames written *)

@@ -2,8 +2,31 @@
 
 module Codec = Onll_util.Codec
 
+type tier = T_exactly_once | T_strict | T_staleness of int
+
+let tier_name = function
+  | T_exactly_once -> "exactly-once"
+  | T_strict -> "strict"
+  | T_staleness k -> Printf.sprintf "stale:%d" k
+
+let tier_of_string s =
+  match s with
+  | "exactly-once" | "eo" -> Some T_exactly_once
+  | "strict" -> Some T_strict
+  | _ -> (
+      match String.index_opt s ':' with
+      | Some i
+        when String.sub s 0 i = "stale"
+             || String.sub s 0 i = "staleness" -> (
+          match
+            int_of_string (String.sub s (i + 1) (String.length s - i - 1))
+          with
+          | k -> Some (T_staleness k)
+          | exception Failure _ -> None)
+      | _ -> None)
+
 type req =
-  | Hello of { client : int; token : string }
+  | Hello of { client : int; token : string; tier : tier }
   | Submit of { seq : int; deadline_ns : int; op : string }
   | Fetch of { op : string }
   | Ping
@@ -19,6 +42,7 @@ type refusal =
   | R_bad_client
   | R_not_attached
   | R_bad_op
+  | R_bad_tier
 
 type wire_resolution =
   | W_none
@@ -46,13 +70,27 @@ let pp_refusal ppf r =
     | R_bad_token -> "bad-token"
     | R_bad_client -> "bad-client"
     | R_not_attached -> "not-attached"
-    | R_bad_op -> "bad-op")
+    | R_bad_op -> "bad-op"
+    | R_bad_tier -> "bad-tier")
+
+let tier_codec =
+  Codec.tagged
+    (function
+      | T_exactly_once -> (0, "")
+      | T_strict -> (1, "")
+      | T_staleness k -> (2, Codec.encode Codec.int k))
+    (fun tag payload ->
+      match tag with
+      | 0 -> T_exactly_once
+      | 1 -> T_strict
+      | 2 -> T_staleness (Codec.decode Codec.int payload)
+      | _ -> raise (Codec.Decode_error "Protocol: unknown tier tag"))
 
 let req_codec =
   Codec.tagged
     (function
-      | Hello { client; token } ->
-          (0, Codec.encode Codec.(pair int string) (client, token))
+      | Hello { client; token; tier } ->
+          (0, Codec.encode Codec.(triple int string tier_codec) (client, token, tier))
       | Submit { seq; deadline_ns; op } ->
           (1, Codec.encode Codec.(triple int int string) (seq, deadline_ns, op))
       | Fetch { op } -> (2, Codec.encode Codec.string op)
@@ -61,8 +99,10 @@ let req_codec =
     (fun tag payload ->
       match tag with
       | 0 ->
-          let client, token = Codec.decode Codec.(pair int string) payload in
-          Hello { client; token }
+          let client, token, tier =
+            Codec.decode Codec.(triple int string tier_codec) payload
+          in
+          Hello { client; token; tier }
       | 1 ->
           let seq, deadline_ns, op =
             Codec.decode Codec.(triple int int string) payload
@@ -84,7 +124,8 @@ let refusal_codec =
       | R_bad_token -> (5, "")
       | R_bad_client -> (6, "")
       | R_not_attached -> (7, "")
-      | R_bad_op -> (8, ""))
+      | R_bad_op -> (8, "")
+      | R_bad_tier -> (9, ""))
     (fun tag payload ->
       match tag with
       | 0 -> R_overloaded
@@ -96,6 +137,7 @@ let refusal_codec =
       | 6 -> R_bad_client
       | 7 -> R_not_attached
       | 8 -> R_bad_op
+      | 9 -> R_bad_tier
       | _ -> raise (Codec.Decode_error "Protocol: unknown refusal tag"))
 
 let resolution_codec =

@@ -26,11 +26,30 @@
     {- otherwise [s >= next_seq] — the intent never became durable;
        resubmit under [next_seq].}} *)
 
+(** The durability tier a session asks for at [Hello] (E20). The server
+    refuses combinations it cannot honour with {!refusal.R_bad_tier}. *)
+type tier =
+  | T_exactly_once
+      (** the default: exactly-once durable acks through the session
+          machinery (intent record + Theorem 5.1 fence) *)
+  | T_strict
+      (** classic durable linearizability, no dedup: exactly one fence
+          per update ({!Onll_relaxed}'s piggybacking strict path — it
+          also drains any staleness tail ahead of it) *)
+  | T_staleness of int
+      (** bounded staleness k: fence-free acks into the shared risk
+          budget; a crash may cost at most the k-deep acked suffix,
+          named in the recovery ledger — never an interior op *)
+
+val tier_name : tier -> string
+val tier_of_string : string -> tier option
+(** ["exactly-once"]/["eo"], ["strict"], ["stale:<k>"]/["staleness:<k>"]. *)
+
 (** Client → server. *)
 type req =
-  | Hello of { client : int; token : string }
+  | Hello of { client : int; token : string; tier : tier }
       (** Authenticate and attach (or re-attach) the client's durable
-          session. Answered by {!resp.Attached} or a refusal. *)
+          session at [tier]. Answered by {!resp.Attached} or a refusal. *)
   | Submit of { seq : int; deadline_ns : int; op : string }
       (** One exactly-once update: [seq] must equal the session's next
           sequence number (stale or future values are refused with
@@ -58,6 +77,9 @@ type refusal =
   | R_bad_client  (** client id out of the served range *)
   | R_not_attached  (** Submit/Fetch before Hello *)
   | R_bad_op  (** undecodable operation payload *)
+  | R_bad_tier
+      (** tier the server cannot honour: relaxed tiers on a sharded or
+          batched construction, or a staleness bound out of range *)
 
 (** The in-doubt resolution carried on {!resp.Attached}, mirroring
     {!Onll_session.Make.resolution} with object-sequence payloads. *)

@@ -143,6 +143,19 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
     sink : Sink.t;
     token : string;
     max_clients : int;
+    max_staleness : int;
+    (* E20 tier plumbing (Plain|Mirrored only): submit via the relaxed
+       wrapper — [T_strict] pays exactly one piggybacking fence,
+       [T_staleness k] is fence-free within the budget — and the flush
+       that drains the shared tail at quiesce. *)
+    tier_submit : (Protocol.tier -> Cs.update_op -> int) option;
+    tier_flush : unit -> unit;
+    (* watermark admission for the tiered path — the session applies the
+       same policy inside [Sess.submit]; without it the relaxed tiers
+       would never shed and overload would surface as deadline blowouts
+       instead of definite refusals *)
+    mutable tier_submits : int;
+    mutable tier_pressure : float;
     proc : int;  (* the machine process every session runs on *)
     scfg : Onll_session.config;
     backend : Sess.backend;  (* shared by every session; b_alloc installed *)
@@ -168,6 +181,9 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
     m_drained : Metrics.counter;
     m_bad_seq : Metrics.counter;
     m_bad_auth : Metrics.counter;
+    m_bad_tier : Metrics.counter;
+    m_tier_strict : Metrics.counter;
+    m_tier_relaxed : Metrics.counter;
     m_adopted : Metrics.counter;
     m_reinvoked : Metrics.counter;
     m_res_refused : Metrics.counter;
@@ -178,21 +194,67 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
   let create_service ?session ?(sink = Sink.null) ?(token = "onll")
       ?(max_clients = 10_000) ?(oseq_block = 1024)
       ?(log_capacity = Onll_core.Onll.Config.default.log_capacity)
-      construction =
+      ?(max_staleness = 64) construction =
     let replicas = if construction = Mirrored then 2 else 1 in
     let ccfg =
-      { Onll_core.Onll.Config.default with log_capacity; replicas; sink }
+      (* local views (§8, E4): a server applies every client's updates
+         from one process, so without them each update replays the whole
+         history — O(n²) CPU over a pass. Volatile read acceleration
+         only: fence accounting and recovery are unchanged. *)
+      {
+        Onll_core.Onll.Config.default with
+        log_capacity;
+        replicas;
+        sink;
+        local_views = true;
+      }
     in
-    let base_backend, read0, obj_degraded =
+    let alloc = Oseq.create ~sink ~block:oseq_block () in
+    Oseq.recover alloc;
+    let base_backend, read0, obj_degraded, tier_submit, tier_flush =
       match construction with
       | Plain | Mirrored ->
           let module C = Onll_core.Onll.Make (M) (Cs) in
           let obj = C.make ccfg in
-          ignore (C.recover_report obj : Onll_core.Onll.Recovery_report.t);
+          (* The relaxed wrapper (E20) mediates every update on the
+             object — including the exactly-once path below — so the
+             acked-but-unfenced staleness tail is always a suffix of the
+             linearization. Its recovery subsumes the construction's
+             (salvage + drain-record re-apply). *)
+          let module R = Onll_relaxed.Make_over (M) (Cs) (C) in
+          (* the wrapper draws identities from the same durable
+             allocator as the session path — the two update paths share
+             the object, so they must share its identity space *)
+          let robj =
+            R.attach ~max_unfenced_ops:max_staleness
+              ~alloc:(fun () -> Oseq.next alloc)
+              ccfg obj
+          in
+          ignore (R.recover_report robj : Onll_core.Onll.Recovery_report.t);
           let module Ov = Sess.Over (C) in
-          ( Ov.backend ~log_capacity obj,
+          let base = Ov.backend ~log_capacity obj in
+          ( {
+              base with
+              Sess.b_update_detectable =
+                (fun ~seq op ->
+                  (* an exactly-once update fences its own fuzzy window,
+                     which skips the acked-available tail; earlier
+                     staleness acks must go durable first or a crash
+                     would lose an interior operation. Free (no fence)
+                     when the tail is empty — the all-exactly-once
+                     steady state. *)
+                  R.flush robj;
+                  C.update_detectable obj ~seq op);
+            },
             (fun () -> C.read obj Cs.Get),
-            fun () -> C.degraded obj )
+            (fun () -> C.degraded obj),
+            Some
+              (fun tier op ->
+                match (tier : Protocol.tier) with
+                | Protocol.T_strict -> snd (R.update_strict robj op)
+                | Protocol.T_staleness k -> snd (R.update ~budget:k robj op)
+                | Protocol.T_exactly_once -> assert false),
+            fun () -> R.flush robj )
       | Batched ->
           let module C = Onll_batched.Make (M) (Cs) in
           let obj = C.make ccfg in
@@ -200,7 +262,9 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
           let module Ov = Sess.Over (C) in
           ( Ov.backend ~log_capacity obj,
             (fun () -> C.read obj Cs.Get),
-            fun () -> C.degraded obj )
+            (fun () -> C.degraded obj),
+            None,
+            fun () -> () )
       | Sharded ->
           let module C = Onll_sharded.Make (M) (Cs) in
           let obj = C.make ~shards:4 ccfg in
@@ -222,10 +286,10 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
               b_alloc = None;
             },
             (fun () -> C.read obj Cs.Get),
-            fun () -> C.degraded obj )
+            (fun () -> C.degraded obj),
+            None,
+            fun () -> () )
     in
-    let alloc = Oseq.create ~sink ~block:oseq_block () in
-    Oseq.recover alloc;
     let dir = Dir.create ~sink ~max_clients () in
     let backend =
       { base_backend with Sess.b_alloc = Some (fun () -> Oseq.next alloc) }
@@ -240,6 +304,11 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
       sink;
       token;
       max_clients;
+      max_staleness;
+      tier_submit;
+      tier_flush;
+      tier_submits = 0;
+      tier_pressure = 0.;
       proc = M.self ();
       scfg;
       backend;
@@ -263,6 +332,9 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
       m_drained = Metrics.counter reg "serve.refused.draining";
       m_bad_seq = Metrics.counter reg "serve.refused.bad_seq";
       m_bad_auth = Metrics.counter reg "serve.refused.auth";
+      m_bad_tier = Metrics.counter reg "serve.refused.bad_tier";
+      m_tier_strict = Metrics.counter reg "serve.submit.strict";
+      m_tier_relaxed = Metrics.counter reg "serve.submit.relaxed";
       m_adopted = Metrics.counter reg "serve.resolved.adopted";
       m_reinvoked = Metrics.counter reg "serve.resolved.reinvoked";
       m_res_refused = Metrics.counter reg "serve.resolved.refused";
@@ -333,10 +405,10 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
      request — see the {!Dir} comment for why lazy per-Hello recovery
      would be unsound, not merely slow. *)
   let make ?session ?sink ?token ?max_clients ?oseq_block ?log_capacity
-      construction =
+      ?max_staleness construction =
     let t =
       create_service ?session ?sink ?token ?max_clients ?oseq_block
-        ?log_capacity construction
+        ?log_capacity ?max_staleness construction
     in
     List.iter
       (fun client ->
@@ -345,11 +417,17 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
       (Dir.clients t.dir);
     t
 
-  type conn = { mutable auth : Sess.t option }
+  type conn = { mutable auth : Sess.t option; mutable tier : Protocol.tier }
 
-  let conn () = { auth = None }
+  let conn () = { auth = None; tier = Protocol.T_exactly_once }
 
-  let hello t conn ~client ~token =
+  let tier_ok t = function
+    | Protocol.T_exactly_once -> true
+    | Protocol.T_strict -> t.tier_submit <> None
+    | Protocol.T_staleness k ->
+        t.tier_submit <> None && k >= 1 && k <= t.max_staleness
+
+  let hello t conn ~client ~token ~tier =
     if t.drain_flag then begin
       Metrics.incr t.m_drained;
       Protocol.Refused Protocol.R_draining
@@ -362,6 +440,13 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
       Metrics.incr t.m_bad_auth;
       Protocol.Refused Protocol.R_bad_client
     end
+    else if not (tier_ok t tier) then begin
+      (* definite, pre-durable: relaxed tiers need the wrapper (plain or
+         mirrored construction) and a staleness bound within the
+         server's risk cap *)
+      Metrics.incr t.m_bad_tier;
+      Protocol.Refused Protocol.R_bad_tier
+    end
     else begin
       (* the first-ever attach fences (directory membership), so a sticky
          degraded store can surface right here — a protocol error, never
@@ -373,6 +458,7 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
           Protocol.Refused Protocol.R_degraded
       | sess, fresh ->
           conn.auth <- Some sess;
+          conn.tier <- tier;
           (* A fresh attach always runs recovery (the region may hold an
              interrupted pre-restart session); a re-attach on a live
              server only needs it when an op is actually in doubt. *)
@@ -388,6 +474,42 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
             }
     end
 
+  (* Relaxed tiers (E20): no session dedup, no intent record — the ack
+     path is the wrapper's, priced exactly one fence (strict) or 1/k
+     (staleness). [seq] is echoed, not checked: retrying an
+     indeterminate submit may double-apply; that is the tier's stated
+     trade. *)
+  let tier_overloaded t =
+    t.tier_submits <- t.tier_submits + 1;
+    if t.tier_submits mod max t.scfg.check_pressure_every 1 = 0 then
+      t.tier_pressure <- t.backend.Sess.b_pressure ();
+    t.scfg.high_watermark < 1.0
+    && t.tier_pressure >= t.scfg.high_watermark
+
+  let submit_tiered t ~seq ~op tier =
+    if tier_overloaded t then begin
+      Metrics.incr t.m_shed;
+      Protocol.Refused Protocol.R_overloaded
+    end
+    else
+    match Codec.decode Cs.update_codec op with
+    | exception Codec.Decode_error _ -> Protocol.Refused Protocol.R_bad_op
+    | uop -> (
+        match (Option.get t.tier_submit) tier uop with
+        | v ->
+            Metrics.incr t.m_ok;
+            Metrics.incr
+              (if tier = Protocol.T_strict then t.m_tier_strict
+               else t.m_tier_relaxed);
+            Protocol.Acked { seq; value = v }
+        | exception Onll_nvm.File_memory.Degraded _ ->
+            t.went_degraded <- true;
+            Metrics.incr t.m_degraded;
+            Protocol.Refused Protocol.R_degraded
+        | exception Onll_nvm.Memory.Transient_fault _ ->
+            Metrics.incr t.m_timeout;
+            Protocol.Refused Protocol.R_timeout)
+
   let submit t conn ~seq ~op =
     match conn.auth with
     | None -> Protocol.Refused Protocol.R_not_attached
@@ -396,6 +518,8 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
           Metrics.incr t.m_drained;
           Protocol.Refused Protocol.R_draining
         end
+        else if conn.tier <> Protocol.T_exactly_once then
+          submit_tiered t ~seq ~op conn.tier
         else if Sess.pending sess <> None then begin
           (* an unresolved in-doubt op blocks new work; the client should
              have resolved it via Hello — refuse rather than guess *)
@@ -446,7 +570,8 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
 
   let handle t conn (req : Protocol.req) : Protocol.resp =
     match req with
-    | Protocol.Hello { client; token } -> hello t conn ~client ~token
+    | Protocol.Hello { client; token; tier } ->
+        hello t conn ~client ~token ~tier
     | Protocol.Submit { seq; deadline_ns = _; op } -> submit t conn ~seq ~op
     | Protocol.Fetch _ -> fetch t conn
     | Protocol.Ping -> Protocol.Pong
@@ -457,9 +582,14 @@ module Make (M : Onll_machine.Machine_sig.S) = struct
   let drain t = t.drain_flag <- true
   let draining t = t.drain_flag
   (* A degraded store cannot fence — and needs no final one: nothing was
-     acked past the failed fence that made it sticky. *)
-  let quiesce (_ : t) =
-    try M.fence () with Onll_nvm.File_memory.Degraded _ -> ()
+     acked past the failed fence that made it sticky. A healthy one
+     first drains the staleness tail: an orderly shutdown loses no
+     acked operation, whatever its tier. *)
+  let quiesce t =
+    try
+      t.tier_flush ();
+      M.fence ()
+    with Onll_nvm.File_memory.Degraded _ -> ()
   let counter_value t = t.read0 ()
   let sessions t = Hashtbl.length t.sessions
   let region_bytes t = t.rbytes

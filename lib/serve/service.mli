@@ -66,6 +66,7 @@ module Make (M : Onll_machine.Machine_sig.S) : sig
     ?max_clients:int ->
     ?oseq_block:int ->
     ?log_capacity:int ->
+    ?max_staleness:int ->
     construction ->
     t
   (** Build the service over machine [M]: the shared counter under
@@ -83,7 +84,12 @@ module Make (M : Onll_machine.Machine_sig.S) : sig
       client session ([log_capacity]/[replicas] of the {e session}
       regions ride in it); [log_capacity] is the {e object}'s.
       [max_clients] bounds the client-id range (default 10_000). [token]
-      is the shared authentication secret (default ["onll"]). *)
+      is the shared authentication secret (default ["onll"]).
+      [max_staleness] (default 64) caps the per-session staleness bound
+      a [Hello] may request ({!Protocol.tier.T_staleness}) — it is the
+      risk budget of the {!Onll_relaxed} wrapper the service attaches
+      over a [Plain] or [Mirrored] object. On [Sharded]/[Batched] every
+      relaxed tier is refused with {!Protocol.refusal.R_bad_tier}. *)
 
   type conn
   (** Per-connection authentication state (which session, if any, this
@@ -108,7 +114,9 @@ module Make (M : Onll_machine.Machine_sig.S) : sig
   val draining : t -> bool
 
   val quiesce : t -> unit
-  (** Final fence before exit — nothing may be acked after it fails. *)
+  (** Drain the staleness tail (E20) and fence, final, before exit — an
+      orderly shutdown loses no acked operation of any tier; nothing may
+      be acked after it fails. *)
 
   (** {1 Introspection (audits, stats)} *)
 

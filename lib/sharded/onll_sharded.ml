@@ -147,6 +147,7 @@ struct
       decode_failures =
         List.fold_left (fun a r -> a + r.Report.decode_failures) 0 rs;
       salvage = List.concat_map (fun r -> r.Report.salvage) rs;
+      lost_acked = List.concat_map (fun r -> r.Report.lost_acked) rs;
     }
 
   let recover_unhardened t = Array.iter Shard.recover_unhardened t.insts

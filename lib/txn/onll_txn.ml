@@ -420,6 +420,7 @@ module Make (M : Onll_machine.Machine_sig.S) (S : Onll_core.Spec.S) = struct
         + !failures;
       salvage =
         coord_salvage @ List.concat_map (fun r -> r.Report.salvage) rs;
+      lost_acked = List.concat_map (fun r -> r.Report.lost_acked) rs;
     }
 
   let recover t =

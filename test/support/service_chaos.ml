@@ -155,7 +155,7 @@ let run_restart_scenario ~construction ~target ~seed totals =
        for i = 0 to nclients - 1 do
          match
            Srv.handle svc conns.(i)
-             (Protocol.Hello { client = i; token = "onll" })
+             (Protocol.Hello { client = i; token = "onll"; tier = Protocol.T_exactly_once })
          with
          | Protocol.Attached { next_seq; acked = _; resolution } -> (
              next.(i) <- next_seq;
@@ -270,12 +270,12 @@ let run_policy_slice reg =
     (refusal conn (Protocol.Submit { seq = 0; deadline_ns = 0; op = inc_op })
     = Some Protocol.R_not_attached);
   expect
-    (refusal conn (Protocol.Hello { client = 1; token = "wrong" })
+    (refusal conn (Protocol.Hello { client = 1; token = "wrong"; tier = Protocol.T_exactly_once })
     = Some Protocol.R_bad_token);
   expect
-    (refusal conn (Protocol.Hello { client = 100; token = "sesame" })
+    (refusal conn (Protocol.Hello { client = 100; token = "sesame"; tier = Protocol.T_exactly_once })
     = Some Protocol.R_bad_client);
-  (match Srv.handle svc conn (Protocol.Hello { client = 1; token = "sesame" })
+  (match Srv.handle svc conn (Protocol.Hello { client = 1; token = "sesame"; tier = Protocol.T_exactly_once })
    with
   | Protocol.Attached { next_seq = 0; _ } -> incr hits
   | _ -> ());
@@ -300,7 +300,7 @@ let run_policy_slice reg =
   for client = 2 to 41 do
     let cn = Srv.conn () in
     (match
-       Srv.handle svc cn (Protocol.Hello { client; token = "sesame" })
+       Srv.handle svc cn (Protocol.Hello { client; token = "sesame"; tier = Protocol.T_exactly_once })
      with
     | Protocol.Attached _ -> ()
     | _ -> ());
@@ -312,7 +312,7 @@ let run_policy_slice reg =
   done;
   Srv.drain svc;
   expect
-    (refusal (Srv.conn ()) (Protocol.Hello { client = 50; token = "sesame" })
+    (refusal (Srv.conn ()) (Protocol.Hello { client = 50; token = "sesame"; tier = Protocol.T_exactly_once })
     = Some Protocol.R_draining);
   expect
     (refusal conn (Protocol.Submit { seq = 1; deadline_ns = 0; op = inc_op })

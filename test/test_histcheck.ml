@@ -146,6 +146,79 @@ let test_queue_concurrent_enqueues () =
   check Alcotest.bool "2 first" true (okq (Hq.check (h 2)));
   check Alcotest.bool "3 impossible" false (okq (Hq.check (h 3)))
 
+(* {1 Buffered durable linearizability (E20)} *)
+
+let bok = function
+  | H.Buffered_linearizable _ -> true
+  | H.Buffered_violation _ | H.Buffered_budget_exhausted -> false
+
+let test_buffered_k_bounded_loss_accepted () =
+  (* Two acknowledged increments vanish at the crash: the strict checker
+     rejects, the buffered one accepts within the staleness budget and
+     names the lost suffix. *)
+  let h v =
+    [ inv 0 upd; ret 0 1; inv 1 upd; ret 1 2; H.Crash; inv 2 get; ret 2 v ]
+  in
+  check Alcotest.bool "strict rejects" false (ok (H.check (h 0)));
+  check Alcotest.bool "k=2 accepts" true
+    (bok (H.check_buffered ~staleness:2 (h 0)));
+  (match H.check_buffered ~staleness:2 (h 0) with
+  | H.Buffered_linearizable { lost; _ } ->
+      check Alcotest.(list int) "lost suffix" [ 0; 1 ] lost
+  | _ -> Alcotest.fail "expected buffered success");
+  (* losing only the newest ack needs staleness 1 *)
+  check Alcotest.bool "suffix of 1" true
+    (bok (H.check_buffered ~staleness:1 (h 1)));
+  (* staleness 0 degenerates to the strict checker *)
+  check Alcotest.bool "k=0 is strict" false
+    (bok (H.check_buffered ~staleness:0 (h 0)))
+
+let test_buffered_depth_k_plus_1_rejected () =
+  let h =
+    [
+      inv 0 upd; ret 0 1; inv 1 upd; ret 1 2; inv 2 upd; ret 2 3;
+      H.Crash; inv 3 get; ret 3 0;
+    ]
+  in
+  check Alcotest.bool "3 lost under k=2" false
+    (bok (H.check_buffered ~staleness:2 h));
+  check Alcotest.bool "3 lost under k=3" true
+    (bok (H.check_buffered ~staleness:3 h))
+
+let test_buffered_lost_op_invisible_post_recovery () =
+  (* declared_lost pins the cut to the recovery report: a post-recovery
+     read must not see a declared-lost op, and the lost set must be a
+     suffix — declaring the *first* of two sequential acks lost is an
+     interior hole, rejected no matter what the read returns. *)
+  let h v =
+    [ inv 0 upd; ret 0 1; inv 1 upd; ret 1 2; H.Crash; inv 2 get; ret 2 v ]
+  in
+  check Alcotest.bool "declared suffix, clean read" true
+    (bok (H.check_buffered ~staleness:2 ~declared_lost:[ 1 ] (h 1)));
+  check Alcotest.bool "post-recovery read of a lost op" false
+    (bok (H.check_buffered ~staleness:2 ~declared_lost:[ 1 ] (h 2)));
+  check Alcotest.bool "interior loss" false
+    (bok (H.check_buffered ~staleness:2 ~declared_lost:[ 0 ] (h 1)));
+  (* an impostor report that declares nothing lost while the state lost
+     an ack is equally a violation *)
+  check Alcotest.bool "undeclared loss" false
+    (bok (H.check_buffered ~staleness:2 ~declared_lost:[] (h 1)))
+
+let test_buffered_no_resurrection () =
+  (* An op lost at the first crash stays lost: reappearing after a second
+     crash is rejected. *)
+  let h v2 =
+    [
+      inv 0 upd; ret 0 1; H.Crash;
+      inv 1 get; ret 1 0; H.Crash;
+      inv 2 get; ret 2 v2;
+    ]
+  in
+  check Alcotest.bool "stays lost" true
+    (bok (H.check_buffered ~staleness:1 (h 0)));
+  check Alcotest.bool "resurrection" false
+    (bok (H.check_buffered ~staleness:1 (h 1)))
+
 (* {1 Witness and malformed input} *)
 
 let test_witness_is_a_valid_order () =
@@ -295,6 +368,17 @@ let () =
             test_queue_fifo_violation_detected;
           Alcotest.test_case "concurrent enqueues" `Quick
             test_queue_concurrent_enqueues;
+        ] );
+      ( "buffered",
+        [
+          Alcotest.test_case "k-bounded loss accepted" `Quick
+            test_buffered_k_bounded_loss_accepted;
+          Alcotest.test_case "depth k+1 rejected" `Quick
+            test_buffered_depth_k_plus_1_rejected;
+          Alcotest.test_case "lost op invisible after recovery" `Quick
+            test_buffered_lost_op_invisible_post_recovery;
+          Alcotest.test_case "no resurrection" `Quick
+            test_buffered_no_resurrection;
         ] );
       ( "robustness",
         [

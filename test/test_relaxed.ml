@@ -1,0 +1,277 @@
+(* Bounded-staleness relaxed mode (E20): risk-budgeted fence-free acks,
+   the lazy drain, strict piggybacking, quantified crash loss
+   (lost_acked), the unhardened calibration baseline, and the buffered
+   checker closing the loop on a real history. *)
+
+open Onll_machine
+open Onll_sched
+module Cs = Onll_specs.Counter
+module Report = Onll_core.Onll.Recovery_report
+
+let check = Alcotest.check
+let default = Onll_core.Onll.Config.default
+
+let run1 sim f = ignore (Sim.run sim Sched.Strategy.round_robin [| f |])
+
+(* {1 Fence accounting} *)
+
+let test_budgeted_fences () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module R = Onll_relaxed.Make (M) (Cs) in
+  let obj = R.make ~max_unfenced_ops:4 default in
+  run1 sim (fun _ ->
+      for i = 1 to 3 do
+        let _, v = R.update obj Cs.Increment in
+        check Alcotest.int "acked value" i v
+      done;
+      check Alcotest.int "no fences below the budget" 0
+        (M.persistent_fences ());
+      check Alcotest.int "three ops at risk" 3 (R.pending_ops obj);
+      ignore (R.update obj Cs.Increment);
+      check Alcotest.int "one lazy fence at depth k" 1
+        (M.persistent_fences ());
+      check Alcotest.int "tail drained" 0 (R.pending_ops obj);
+      (* solo-after-quiesce floor: the next k updates cost exactly one
+         more fence — 1/k per update, never less *)
+      for _ = 1 to 4 do
+        ignore (R.update obj Cs.Increment)
+      done;
+      check Alcotest.int "1/k fences per update" 2 (M.persistent_fences ());
+      check Alcotest.int "risk peak pinned at the budget" 4 (R.risk_peak obj);
+      check Alcotest.int "reads stay free" 8 (R.read obj Cs.Get);
+      check Alcotest.int "reads cost no fence" 2 (M.persistent_fences ()))
+
+let test_strict_piggyback () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module R = Onll_relaxed.Make (M) (Cs) in
+  let obj = R.make ~max_unfenced_ops:8 default in
+  run1 sim (fun _ ->
+      ignore (R.update obj Cs.Increment);
+      ignore (R.update obj Cs.Increment);
+      check Alcotest.int "deferred" 0 (M.persistent_fences ());
+      let _, v = R.update_strict obj Cs.Increment in
+      check Alcotest.int "strict value" 3 v;
+      check Alcotest.int "strict costs exactly one fence" 1
+        (M.persistent_fences ());
+      check Alcotest.int "and drains its predecessors" 0 (R.pending_ops obj));
+  (* the piggybacked fence made all three durable *)
+  Onll_nvm.Memory.crash (Sim.memory sim)
+    ~policy:Onll_nvm.Crash_policy.Drop_all;
+  let r = R.recover_report obj in
+  check Alcotest.bool "clean" true (Report.clean r);
+  check Alcotest.(list int) "nothing lost" []
+    (List.map (fun id -> id.Onll_core.Onll.id_seq) r.Report.lost_acked);
+  check Alcotest.int "all survive" 3 (R.read obj Cs.Get)
+
+let test_budget_override_tightens () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module R = Onll_relaxed.Make (M) (Cs) in
+  let obj = R.make ~max_unfenced_ops:8 default in
+  run1 sim (fun _ ->
+      ignore (R.update ~budget:2 obj Cs.Increment);
+      check Alcotest.int "below the tight budget" 0 (M.persistent_fences ());
+      (* the default-budget ack joins a tail governed by the tightest
+         pending promise *)
+      ignore (R.update obj Cs.Increment);
+      check Alcotest.int "tightest pending budget governs" 1
+        (M.persistent_fences ());
+      check Alcotest.int "drained" 0 (R.pending_ops obj))
+
+let test_time_budget () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module R = Onll_relaxed.Make (M) (Cs) in
+  let clock = ref 0L in
+  let obj =
+    R.make ~max_unfenced_ops:100 ~max_unfenced_ns:1_000L
+      ~now_ns:(fun () -> !clock)
+      default
+  in
+  run1 sim (fun _ ->
+      ignore (R.update obj Cs.Increment);
+      check Alcotest.int "young tail unfenced" 0 (M.persistent_fences ());
+      clock := 2_000L;
+      ignore (R.update obj Cs.Increment);
+      check Alcotest.int "aged tail drained" 1 (M.persistent_fences ());
+      check Alcotest.int "empty" 0 (R.pending_ops obj))
+
+(* {1 Crash loss is the budgeted suffix, precisely reported} *)
+
+let test_crash_loses_exactly_the_unfenced_suffix () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module R = Onll_relaxed.Make (M) (Cs) in
+  let obj = R.make ~max_unfenced_ops:4 default in
+  let ids = ref [] in
+  run1 sim (fun _ ->
+      for _ = 1 to 6 do
+        ids := fst (R.update obj Cs.Increment) :: !ids
+      done);
+  let ids = List.rev !ids in
+  check Alcotest.int "two acks at risk" 2 (R.pending_ops obj);
+  Onll_nvm.Memory.crash (Sim.memory sim)
+    ~policy:Onll_nvm.Crash_policy.Drop_all;
+  let r = R.recover_report obj in
+  check Alcotest.bool "no durable data was lost" true (Report.clean r);
+  check Alcotest.(list int) "lost = the acked unfenced suffix" [ 4; 5 ]
+    (List.map (fun id -> id.Onll_core.Onll.id_seq) r.Report.lost_acked);
+  check Alcotest.int "the drained prefix survives" 4 (R.read obj Cs.Get);
+  List.iteri
+    (fun i id ->
+      check Alcotest.bool
+        (Printf.sprintf "was_linearized #%d" i)
+        (i < 4)
+        (R.was_linearized obj id))
+    ids;
+  (* convergence: ordinary durable linearizability from here on *)
+  let ops1 =
+    List.filter (fun id -> R.was_linearized obj id) ids
+  in
+  ignore (R.recover_report obj);
+  check Alcotest.(list int) "idempotent re-recovery, no new loss" []
+    (List.map (fun id -> id.Onll_core.Onll.id_seq) (R.lost_acked obj));
+  check Alcotest.bool "same adopted set" true
+    (ops1 = List.filter (fun id -> R.was_linearized obj id) ids);
+  run1 sim (fun _ ->
+      let _, v = R.update_strict obj Cs.Increment in
+      check Alcotest.int "post-recovery update applies" 5 v)
+
+let test_flush_empties_the_risk_window () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module R = Onll_relaxed.Make (M) (Cs) in
+  let obj = R.make ~max_unfenced_ops:8 default in
+  run1 sim (fun _ ->
+      ignore (R.update obj Cs.Increment);
+      ignore (R.update obj Cs.Increment);
+      R.flush obj;
+      check Alcotest.int "flush fenced once" 1 (M.persistent_fences ());
+      R.flush obj;
+      check Alcotest.int "empty flush is free" 1 (M.persistent_fences ()));
+  Onll_nvm.Memory.crash (Sim.memory sim)
+    ~policy:Onll_nvm.Crash_policy.Drop_all;
+  let r = R.recover_report obj in
+  check Alcotest.int "nothing lost after flush" 0
+    (List.length r.Report.lost_acked);
+  check Alcotest.int "both survive" 2 (R.read obj Cs.Get)
+
+let test_checkpoint_covers_the_tail () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module R = Onll_relaxed.Make (M) (Cs) in
+  let obj = R.make ~max_unfenced_ops:8 default in
+  run1 sim (fun _ ->
+      for _ = 1 to 3 do
+        ignore (R.update obj Cs.Increment)
+      done;
+      ignore (R.checkpoint obj);
+      check Alcotest.int "checkpoint made the tail durable" 0
+        (R.pending_ops obj));
+  Onll_nvm.Memory.crash (Sim.memory sim)
+    ~policy:Onll_nvm.Crash_policy.Drop_all;
+  let r = R.recover_report obj in
+  check Alcotest.int "nothing lost" 0 (List.length r.Report.lost_acked);
+  check Alcotest.int "summarised ops survive" 3 (R.read obj Cs.Get)
+
+(* {1 The calibration baseline the audits must catch} *)
+
+let test_unhardened_recovery_loses_silently () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module R = Onll_relaxed.Make (M) (Cs) in
+  let obj = R.make ~max_unfenced_ops:2 default in
+  let ids = ref [] in
+  run1 sim (fun _ ->
+      for _ = 1 to 2 do
+        ids := fst (R.update obj Cs.Increment) :: !ids
+      done);
+  check Alcotest.int "drained (durable) at depth 2" 0 (R.pending_ops obj);
+  Onll_nvm.Memory.crash (Sim.memory sim)
+    ~policy:Onll_nvm.Crash_policy.Drop_all;
+  R.recover_unhardened obj;
+  (* both acks were fenced, yet the unhardened path forgets the drain
+     records — and admits nothing *)
+  check Alcotest.int "drained acks silently gone" 0 (R.read obj Cs.Get);
+  check Alcotest.(list int) "and no loss admitted" []
+    (List.map (fun id -> id.Onll_core.Onll.id_seq) (R.lost_acked obj));
+  List.iter
+    (fun id ->
+      check Alcotest.bool "not linearized" false (R.was_linearized obj id))
+    !ids
+
+(* {1 The checker dual closes the loop on a real history} *)
+
+let test_history_buffered_checkable () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module R = Onll_relaxed.Make (M) (Cs) in
+  let module H = Onll_histcheck.Histcheck.Make (Cs) in
+  let obj = R.make ~max_unfenced_ops:4 default in
+  let rec_ = H.Recorder.create () in
+  run1 sim (fun _ ->
+      for _ = 1 to 6 do
+        ignore
+          (H.Recorder.run_update rec_ ~proc:0 Cs.Increment (fun op ->
+               snd (R.update obj op)))
+      done);
+  Onll_nvm.Memory.crash (Sim.memory sim)
+    ~policy:Onll_nvm.Crash_policy.Drop_all;
+  H.Recorder.crash rec_;
+  let r = R.recover_report obj in
+  (* per-process sequence numbers are the recorder uids here: one
+     process, recorded in ack order *)
+  let declared_lost =
+    List.map (fun id -> id.Onll_core.Onll.id_seq) r.Report.lost_acked
+  in
+  check Alcotest.(list int) "report names the suffix" [ 4; 5 ] declared_lost;
+  run1 sim (fun _ ->
+      ignore
+        (H.Recorder.run_read rec_ ~proc:0 Cs.Get (fun op -> R.read obj op)));
+  let h = H.Recorder.history rec_ in
+  (match H.check h with
+  | H.Violation _ -> ()
+  | _ -> Alcotest.fail "strict checker must reject the lost suffix");
+  (match H.check_buffered ~staleness:4 ~declared_lost h with
+  | H.Buffered_linearizable { lost; _ } ->
+      check Alcotest.(list int) "checker agrees with the report" [ 4; 5 ]
+        (List.sort compare lost)
+  | v ->
+      Alcotest.failf "buffered checker rejected a budgeted loss: %a"
+        H.pp_buffered_verdict v);
+  (* the report is load-bearing: declaring less than was lost fails *)
+  match H.check_buffered ~staleness:4 ~declared_lost:[ 5 ] h with
+  | H.Buffered_linearizable _ ->
+      Alcotest.fail "an under-declaring report must be rejected"
+  | H.Buffered_violation _ | H.Buffered_budget_exhausted -> ()
+
+let () =
+  Alcotest.run "relaxed"
+    [
+      ( "fences",
+        [
+          Alcotest.test_case "budgeted lazy fences" `Quick
+            test_budgeted_fences;
+          Alcotest.test_case "strict piggyback" `Quick test_strict_piggyback;
+          Alcotest.test_case "budget override tightens" `Quick
+            test_budget_override_tightens;
+          Alcotest.test_case "time budget" `Quick test_time_budget;
+        ] );
+      ( "crash loss",
+        [
+          Alcotest.test_case "lost = unfenced suffix" `Quick
+            test_crash_loses_exactly_the_unfenced_suffix;
+          Alcotest.test_case "flush" `Quick test_flush_empties_the_risk_window;
+          Alcotest.test_case "checkpoint covers tail" `Quick
+            test_checkpoint_covers_the_tail;
+          Alcotest.test_case "unhardened calibration" `Quick
+            test_unhardened_recovery_loses_silently;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "history buffered-checkable" `Quick
+            test_history_buffered_checkable;
+        ] );
+    ]

@@ -37,7 +37,7 @@ let test_framing () =
      at a time (the poll loop's worst case). *)
   let msgs =
     [
-      Protocol.Hello { client = 42; token = "onll" };
+      Protocol.Hello { client = 42; token = "onll"; tier = Protocol.T_exactly_once };
       Protocol.Submit { seq = 7; deadline_ns = 123_456; op = incr_op };
       Protocol.Fetch { op = "" };
       Protocol.Ping;
@@ -97,17 +97,17 @@ let test_handle_policy () =
   let h req = Svc.handle t conn req in
   (* auth and range policy, all before any durable work *)
   check Alcotest.bool "bad token refused" true
-    (h (Protocol.Hello { client = 1; token = "wrong" })
+    (h (Protocol.Hello { client = 1; token = "wrong"; tier = Protocol.T_exactly_once })
     = Protocol.Refused Protocol.R_bad_token);
   check Alcotest.bool "client out of range refused" true
-    (h (Protocol.Hello { client = 100; token = "secret" })
+    (h (Protocol.Hello { client = 100; token = "secret"; tier = Protocol.T_exactly_once })
     = Protocol.Refused Protocol.R_bad_client);
   check Alcotest.bool "submit before hello refused" true
     (h (Protocol.Submit { seq = 0; deadline_ns = 0; op = incr_op })
     = Protocol.Refused Protocol.R_not_attached);
   (* the session-region accounting moves exactly once per client *)
   let rb0 = Svc.region_bytes t in
-  (match h (Protocol.Hello { client = 1; token = "secret" }) with
+  (match h (Protocol.Hello { client = 1; token = "secret"; tier = Protocol.T_exactly_once }) with
   | Protocol.Attached { next_seq = 0; resolution = Protocol.W_none; _ } -> ()
   | r -> Alcotest.failf "hello: %s" (match r with
       | Protocol.Refused ref ->
@@ -115,7 +115,7 @@ let test_handle_policy () =
       | _ -> "unexpected response shape"));
   let rb1 = Svc.region_bytes t in
   check Alcotest.bool "attach reserves session-region bytes" true (rb1 > rb0);
-  ignore (h (Protocol.Hello { client = 1; token = "secret" }) : Protocol.resp);
+  ignore (h (Protocol.Hello { client = 1; token = "secret"; tier = Protocol.T_exactly_once }) : Protocol.resp);
   check Alcotest.int "re-attach reserves nothing new" rb1 (Svc.region_bytes t);
   (* the exactly-once submit path *)
   check Alcotest.bool "first submit acks value 1" true
@@ -133,7 +133,7 @@ let test_handle_policy () =
   (* drain policy *)
   Svc.drain t;
   check Alcotest.bool "hello while draining refused" true
-    (h (Protocol.Hello { client = 2; token = "secret" })
+    (h (Protocol.Hello { client = 2; token = "secret"; tier = Protocol.T_exactly_once })
     = Protocol.Refused Protocol.R_draining);
   check Alcotest.bool "submit while draining refused" true
     (h (Protocol.Submit { seq = 1; deadline_ns = 0; op = incr_op })
@@ -141,6 +141,89 @@ let test_handle_policy () =
   check Alcotest.bool "reads still answer while draining" true
     (h (Protocol.Fetch { op = "" }) = Protocol.Got 1);
   check Alcotest.bool "bye answers gone" true (h Protocol.Bye = Protocol.Gone)
+
+(* {1 Per-session durability tiers (E20)} *)
+
+let test_tiers () =
+  let nat = Native.create ~fence_ns:0 ~max_processes:1 () in
+  ignore (Native.register nat);
+  let module M = (val Native.machine nat) in
+  let module Svc = Service.Make (M) in
+  let t = Svc.make ~max_staleness:8 Service.Plain in
+  let submit conn seq =
+    Svc.handle t conn (Protocol.Submit { seq; deadline_ns = 0; op = incr_op })
+  in
+  (* tier validation is definite and pre-durable *)
+  let refused tier =
+    Svc.handle t (Svc.conn ())
+      (Protocol.Hello { client = 9; token = "onll"; tier })
+    = Protocol.Refused Protocol.R_bad_tier
+  in
+  check Alcotest.bool "staleness 0 refused" true
+    (refused (Protocol.T_staleness 0));
+  check Alcotest.bool "staleness above the server cap refused" true
+    (refused (Protocol.T_staleness 9));
+  check Alcotest.bool "staleness at the cap accepted" false
+    (refused (Protocol.T_staleness 8));
+  (* a staleness-k session: fence-free acks, visible to reads at once *)
+  let ck = Svc.conn () in
+  (match
+     Svc.handle t ck
+       (Protocol.Hello
+          { client = 1; token = "onll"; tier = Protocol.T_staleness 4 })
+   with
+  | Protocol.Attached _ -> ()
+  | _ -> Alcotest.fail "staleness hello not attached");
+  check Alcotest.bool "staleness submit acks" true
+    (submit ck 0 = Protocol.Acked { seq = 0; value = 1 });
+  check Alcotest.bool "staleness echoes the client seq" true
+    (submit ck 1 = Protocol.Acked { seq = 1; value = 2 });
+  check Alcotest.int "acks are readable immediately" 2 (Svc.counter_value t);
+  (* a strict session piggybacks: its one fence drains the tail too *)
+  let cs = Svc.conn () in
+  (match
+     Svc.handle t cs
+       (Protocol.Hello { client = 2; token = "onll"; tier = Protocol.T_strict })
+   with
+  | Protocol.Attached _ -> ()
+  | _ -> Alcotest.fail "strict hello not attached");
+  check Alcotest.bool "strict submit acks" true
+    (submit cs 0 = Protocol.Acked { seq = 0; value = 3 });
+  (* exactly-once clients interleave with tiered ones on the same object *)
+  let ce = Svc.conn () in
+  ignore
+    (Svc.handle t ce
+       (Protocol.Hello
+          { client = 3; token = "onll"; tier = Protocol.T_exactly_once })
+      : Protocol.resp);
+  check Alcotest.bool "exactly-once submit still acks" true
+    (submit ce 0 = Protocol.Acked { seq = 0; value = 4 });
+  check Alcotest.int "all four updates landed" 4 (Svc.counter_value t);
+  Svc.quiesce t;
+  (* relaxed tiers are a wrapper property: constructions without it
+     refuse them outright (fresh machine: region names are global) *)
+  let nat2 = Native.create ~fence_ns:0 ~max_processes:1 () in
+  ignore (Native.register nat2);
+  let module M2 = (val Native.machine nat2) in
+  let module Svc = Service.Make (M2) in
+  let tb = Svc.make ~token:"onll" Service.Batched in
+  check Alcotest.bool "batched refuses the strict tier" true
+    (Svc.handle tb (Svc.conn ())
+       (Protocol.Hello { client = 1; token = "onll"; tier = Protocol.T_strict })
+    = Protocol.Refused Protocol.R_bad_tier);
+  check Alcotest.bool "batched refuses staleness tiers" true
+    (Svc.handle tb (Svc.conn ())
+       (Protocol.Hello
+          { client = 1; token = "onll"; tier = Protocol.T_staleness 2 })
+    = Protocol.Refused Protocol.R_bad_tier);
+  check Alcotest.bool "batched still serves exactly-once" true
+    (match
+       Svc.handle tb (Svc.conn ())
+         (Protocol.Hello
+            { client = 1; token = "onll"; tier = Protocol.T_exactly_once })
+     with
+    | Protocol.Attached _ -> true
+    | _ -> false)
 
 (* {1 The identity allocator never re-hands an identity across restart} *)
 
@@ -187,7 +270,7 @@ let test_recovery_complete_restart () =
   let module S1 = Service.Make (M1) in
   let t1 = S1.make Service.Plain in
   let c1 = S1.conn () in
-  (match S1.handle t1 c1 (Protocol.Hello { client = 7; token = "onll" }) with
+  (match S1.handle t1 c1 (Protocol.Hello { client = 7; token = "onll"; tier = Protocol.T_exactly_once }) with
   | Protocol.Attached _ -> ()
   | _ -> Alcotest.fail "life-1 hello refused");
   (match
@@ -211,7 +294,7 @@ let test_recovery_complete_restart () =
     (S2.counter_value t2);
   (* and the client's cursors came back with it *)
   let c2 = S2.conn () in
-  (match S2.handle t2 c2 (Protocol.Hello { client = 7; token = "onll" }) with
+  (match S2.handle t2 c2 (Protocol.Hello { client = 7; token = "onll"; tier = Protocol.T_exactly_once }) with
   | Protocol.Attached { next_seq = 1; _ } -> ()
   | Protocol.Attached { next_seq; _ } ->
       Alcotest.failf "life-2 next_seq = %d, wanted 1" next_seq
@@ -285,7 +368,7 @@ let drain_scenario construction =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.connect fd (Unix.ADDR_UNIX socket);
   let inbuf = Protocol.Inbuf.create () in
-  send_req fd (Protocol.Hello { client = 0; token = "onll" });
+  send_req fd (Protocol.Hello { client = 0; token = "onll"; tier = Protocol.T_exactly_once });
   (match recv_resp fd inbuf with
   | Some (Protocol.Attached _) -> ()
   | _ -> Alcotest.fail "hello refused");
@@ -342,6 +425,8 @@ let () =
             test_framing;
           Alcotest.test_case "handle policy: auth, seq, drain, reads" `Quick
             test_handle_policy;
+          Alcotest.test_case "durability tiers: strict / staleness-k" `Quick
+            test_tiers;
         ] );
       ( "regions",
         [
