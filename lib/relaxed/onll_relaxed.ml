@@ -64,9 +64,12 @@ struct
             argument in the mli) *)
     mutable tail : pending list;  (** oldest first; the ops at risk *)
     acked : (Onll.op_id, unit) Hashtbl.t;
-        (** every operation acknowledged this era. Plain transient
-            bookkeeping — it deliberately survives a simulated crash, so
-            recovery can name exactly which acks the crash voided. *)
+        (** every acked operation still at risk — drains and checkpoints
+            prune what they made durable, so the ledger stays bounded by
+            the budget instead of growing with total relaxed ops. Plain
+            transient bookkeeping — it deliberately survives a simulated
+            crash, so recovery can name exactly which acks the crash
+            voided. *)
     mutable last_lost : Onll.op_id list;
     mutable peak : int;
     ostats : Onll_obs.Opstats.t;
@@ -130,16 +133,26 @@ struct
 
   let unlock t = M.Tvar.set t.lock false
 
-  (* No [Fun.protect]: releasing the lock is a machine step, and a
-     simulated process being killed by a crash must not step while
-     unwinding (the scheduler forbids it). An exception escaping [f] is
-     either that kill or a fatal error aborting the run — both end in
-     {!recover_report}, which resets the lock. *)
+  (* No blanket [Fun.protect]: releasing the lock is a machine step, and
+     a simulated process being killed by a crash must not step while
+     unwinding (the scheduler forbids it) — the kill passes through with
+     the lock held, and {!recover_report} resets it. Every {e other}
+     escaping exception (a sticky fsync degradation, a transient fault, a
+     caller error) is one the caller may catch and keep serving past, so
+     the lock must be released on the way out: leaking it would wedge
+     every later update, flush and quiesce on the object in the lock's
+     busy-wait. *)
+  let recoverable = function Onll_sched.Sched.Preempted -> false | _ -> true
+
   let with_lock t f =
     lock t;
-    let v = f () in
-    unlock t;
-    v
+    match f () with
+    | v ->
+        unlock t;
+        v
+    | exception e when recoverable e ->
+        unlock t;
+        raise e
 
   (* {2 Coordinator-log space} *)
 
@@ -148,6 +161,9 @@ struct
      the moment they are acked. Afterwards every drain record is covered
      and the tail itself is durable, so both are dropped. Must hold the
      lock. *)
+  let prune_acked t pendings =
+    List.iter (fun pd -> Hashtbl.remove t.acked pd.p_id) pendings
+
   let compact_locked t =
     ignore (C.checkpoint t.obj);
     Array.iter
@@ -155,6 +171,7 @@ struct
         L.set_head l (L.entry_count l);
         L.relocate l)
       t.coord;
+    prune_acked t t.tail;
     t.tail <- []
 
   let append_coord t p payload =
@@ -189,6 +206,9 @@ struct
         append_coord t (M.self ())
           (Onll_util.Codec.encode drain_codec subs);
         Metrics.incr t.c_drains;
+        (* fenced = durable: a drained op can never appear in lost_acked,
+           so it leaves the ledger here *)
+        prune_acked t tail;
         t.tail <- []
 
   let now t = match t.now_ns with None -> 0L | Some f -> f ()
@@ -206,16 +226,18 @@ struct
      deferred predecessor (piggybacking). Relaxed: the ack is fence-free
      unless it fills the risk budget. *)
   let update_impl t ~strict ?budget op =
+    (* validate before touching the lock, like {!attach} does: a bad
+       argument is a recoverable caller error, never a wedged object *)
+    let k =
+      match budget with
+      | None -> t.budget_ops
+      | Some b ->
+          if b < 1 then
+            invalid_arg "Onll_relaxed.update: budget must be >= 1";
+          min b t.budget_ops
+    in
     A.attributed t.ostats Onll_obs.Opstats.update_done (fun () ->
         with_lock t (fun () ->
-            let k =
-              match budget with
-              | None -> t.budget_ops
-              | Some b ->
-                  if b < 1 then
-                    invalid_arg "Onll_relaxed.update: budget must be >= 1";
-                  min b t.budget_ops
-            in
             let seq =
               match t.alloc with
               | None -> C.reserve_seq t.obj
@@ -260,11 +282,12 @@ struct
             let threshold =
               List.fold_left (fun m pd -> min m pd.p_budget) max_int t.tail
             in
-            if strict || depth >= threshold || over_time_budget t then
-              drain_locked t
-            else Metrics.incr t.c_deferred;
+            let drained = strict || depth >= threshold || over_time_budget t in
+            if drained then drain_locked t else Metrics.incr t.c_deferred;
             let v = C.finish_txn t.obj st in
-            Hashtbl.replace t.acked id ();
+            (* a drained op is already durable — only unfenced acks enter
+               the ledger (drain_locked prunes the rest) *)
+            if not drained then Hashtbl.replace t.acked id ();
             M.return_point ();
             (id, v)))
 
@@ -287,6 +310,7 @@ struct
     with_lock t (fun () ->
         let upto = C.checkpoint t.obj in
         (* the checkpoint summarised every available op — tail included *)
+        prune_acked t t.tail;
         t.tail <- [];
         upto)
 
@@ -308,7 +332,8 @@ struct
   (* Hardened recovery: salvage the coordinator logs, recover the inner
      object with the drained indices as the oracle, re-apply any drained
      operation the rebuilt trace could not place, then settle the ledger:
-     every operation acked this era is either linearized now or named in
+     every at-risk ack (drained acks left the ledger when fenced — they
+     are durable by construction) is either linearized now or named in
      [lost_acked]. The lost set is, by construction, the unfenced suffix
      at the crash (minus anything an incidental checkpoint saved). *)
   let recover_report t =

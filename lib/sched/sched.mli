@@ -150,3 +150,11 @@ module World : sig
 end
 
 exception Stuck of string
+
+exception Preempted
+(** The kill exception: {!World} discontinues every live process with it
+    at a crash (or when a run is abandoned). Process code must never
+    catch it and must not take machine steps while unwinding from it —
+    the scheduler forbids stepping during a kill. Unwind-protection code
+    (e.g. a lock wrapper releasing its lock on recoverable errors) may
+    test for it in a [when] guard to let a kill pass through untouched. *)

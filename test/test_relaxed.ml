@@ -176,6 +176,56 @@ let test_checkpoint_covers_the_tail () =
   check Alcotest.int "nothing lost" 0 (List.length r.Report.lost_acked);
   check Alcotest.int "summarised ops survive" 3 (R.read obj Cs.Get)
 
+(* {1 Recoverable faults release the lock}
+
+   A degraded store or a transient fault escapes the wrapper to the
+   caller (the serve layer catches both and keeps refusing/serving), so
+   an escaping exception must leave the tail lock free — leaking it
+   would wedge every later update, flush and quiesce in the lock's
+   busy-wait. *)
+
+exception Boom
+
+let test_escaping_fault_releases_lock () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module R = Onll_relaxed.Make (M) (Cs) in
+  let seq = ref (-1) in
+  let boom = ref true in
+  let obj =
+    R.make ~max_unfenced_ops:4
+      ~alloc:(fun () ->
+        if !boom then raise Boom
+        else begin
+          incr seq;
+          !seq
+        end)
+      default
+  in
+  run1 sim (fun _ ->
+      (match R.update obj Cs.Increment with
+      | _ -> Alcotest.fail "the injected fault must escape"
+      | exception Boom -> ());
+      boom := false;
+      (* the lock was released on the way out: the object keeps serving *)
+      let _, v = R.update obj Cs.Increment in
+      check Alcotest.int "serves after a recoverable fault" 1 v;
+      R.flush obj;
+      check Alcotest.int "flush still drains" 0 (R.pending_ops obj))
+
+let test_bad_budget_is_recoverable () =
+  let sim = Sim.create ~max_processes:1 () in
+  let module M = (val Sim.machine sim) in
+  let module R = Onll_relaxed.Make (M) (Cs) in
+  let obj = R.make ~max_unfenced_ops:4 default in
+  run1 sim (fun _ ->
+      (match R.update ~budget:0 obj Cs.Increment with
+      | _ -> Alcotest.fail "budget 0 must be rejected"
+      | exception Invalid_argument _ -> ());
+      (* validation happens before the lock: the object is not wedged *)
+      let _, v = R.update obj Cs.Increment in
+      check Alcotest.int "object still serves" 1 v)
+
 (* {1 The calibration baseline the audits must catch} *)
 
 let test_unhardened_recovery_loses_silently () =
@@ -268,6 +318,13 @@ let () =
             test_checkpoint_covers_the_tail;
           Alcotest.test_case "unhardened calibration" `Quick
             test_unhardened_recovery_loses_silently;
+        ] );
+      ( "fault containment",
+        [
+          Alcotest.test_case "escaping fault releases the lock" `Quick
+            test_escaping_fault_releases_lock;
+          Alcotest.test_case "bad budget is recoverable" `Quick
+            test_bad_budget_is_recoverable;
         ] );
       ( "checker",
         [
